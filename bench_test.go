@@ -1,0 +1,441 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Sections 4.2 and 5). Each benchmark reports the paper's
+// metric through b.ReportMetric, so `go test -bench=. -benchmem`
+// reproduces the evaluation next to the usual performance numbers:
+//
+//	Fig. 7  -> BenchmarkFig7_*          (instructions, relative to baseline)
+//	Fig. 8  -> BenchmarkFig8_*          (binary round-trip throughput)
+//	Table 1 -> BenchmarkTable1_*        (assembler over the full ISA)
+//	Table 2 -> BenchmarkTable2_*        (OpSel mask resolution)
+//	Fig. 11 -> BenchmarkFig11_AllXY     (staircase deviation)
+//	Fig. 12 -> BenchmarkFig12_RBTiming  (error per gate vs interval)
+//	Sec. 5  -> BenchmarkActiveReset, BenchmarkFeedbackLatency,
+//	           BenchmarkCFCVerification, BenchmarkGroverTomography,
+//	           BenchmarkQuMISBaseline
+package eqasm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/benchmarks"
+	"eqasm/internal/compiler"
+	"eqasm/internal/dse"
+	"eqasm/internal/experiments"
+	"eqasm/internal/isa"
+	"eqasm/internal/microarch"
+	"eqasm/internal/quantum"
+	"eqasm/internal/qumis"
+	"eqasm/internal/topology"
+)
+
+// --- Fig. 7: design-space exploration ---
+
+// fig7Schedules caches the three benchmark schedules (RB reduced to 512
+// Cliffords per qubit; all Fig. 7 ratios are size independent).
+var fig7Schedules = func() map[string]*compiler.Schedule {
+	circuits, order := dse.BenchmarkSet(512)
+	out := map[string]*compiler.Schedule{}
+	for _, name := range order {
+		s, err := compiler.ASAP(circuits[name])
+		if err != nil {
+			panic(err)
+		}
+		out[name] = s
+	}
+	return out
+}()
+
+func BenchmarkFig7_Count(b *testing.B) {
+	cases := []struct {
+		bench  string
+		config string
+		opts   compiler.Options
+	}{
+		{"RB", "Config1_w1", compiler.Config1.WithWidth(1)},
+		{"RB", "Config2_w2", compiler.Config2.WithWidth(2)},
+		{"RB", "Config9_w2", compiler.Config9.WithWidth(2)},
+		{"IM", "Config1_w1", compiler.Config1.WithWidth(1)},
+		{"IM", "Config9_w2", compiler.Config9.WithWidth(2)},
+		{"SR", "Config1_w1", compiler.Config1.WithWidth(1)},
+		{"SR", "Config5_w1", compiler.Config5.WithWidth(1)},
+		{"SR", "Config9_w2", compiler.Config9.WithWidth(2)},
+	}
+	for _, c := range cases {
+		b.Run(c.bench+"_"+c.config, func(b *testing.B) {
+			s := fig7Schedules[c.bench]
+			var r compiler.CountResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = compiler.Count(s, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.Instructions), "instructions")
+			b.ReportMetric(r.OpsPerBundle(), "ops/bundle")
+		})
+	}
+}
+
+func BenchmarkFig7_FullSweep(b *testing.B) {
+	var tab *dse.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = dse.Run(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if r, err := tab.Reduction("RB", "Config1", 1, "Config1", 4); err == nil {
+		b.ReportMetric(100*r, "RB_w4_reduction_%")
+	}
+	if c, ok := tab.Lookup("RB", "Config9", 2); ok {
+		b.ReportMetric(c.Result.OpsPerBundle(), "RB_ops/bundle")
+	}
+}
+
+// --- Fig. 8: binary format ---
+
+func BenchmarkFig8_EncodeDecode(b *testing.B) {
+	cfg := isa.DefaultConfig()
+	instrs := []isa.Instr{
+		{Op: isa.OpSMIS, Addr: 7, Mask: isa.QubitMask(0, 2)},
+		{Op: isa.OpSMIT, Addr: 3, Mask: 1},
+		{Op: isa.OpQWAIT, Imm: 10000},
+		isa.NewBundle(1, isa.QOp{Name: "X90", Target: 0}, isa.QOp{Name: "X", Target: 2}),
+		{Op: isa.OpFMR, Rd: 1, Qi: 1},
+		{Op: isa.OpBR, Cond: isa.CondEQ, Imm: 3},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, ins := range instrs {
+			w, err := isa.Encode(ins, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := isa.Decode(w, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table 1: the full instruction set through the assembler ---
+
+const table1Program = `
+start:
+LDI R0, 1
+LDUI R1, 100, R0
+CMP R0, R1
+FBR LT, R2
+ADD R3, R0, R1
+SUB R4, R1, R0
+AND R5, R0, R1
+OR R6, R0, R1
+XOR R7, R0, R1
+NOT R8, R0
+ST R3, R0(16)
+LD R9, R0(16)
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+SMIT T0, {(2, 0)}
+QWAIT 100
+QWAITR R0
+X S0
+1, X90 S0 | Y90 S2
+CZ T0
+2, MEASZ S7
+QWAIT 50
+FMR R10, Q0
+CMP R10, R0
+BR NEVER, start
+NOP
+STOP
+`
+
+func BenchmarkTable1_Assembler(b *testing.B) {
+	a := asm.New(isa.DefaultConfig(), topology.TwoQubit())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Assemble(table1Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Execution(b *testing.B) {
+	m, err := microarch.New(microarch.Config{
+		Topo:     topology.TwoQubit(),
+		OpConfig: isa.DefaultConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := asm.New(isa.DefaultConfig(), topology.TwoQubit())
+	p, err := a.Assemble(table1Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.LoadProgram(p)
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		instrs = m.Stats().InstructionsExecuted
+	}
+	b.ReportMetric(float64(instrs), "instructions/run")
+}
+
+// --- Table 2: OpSel resolution ---
+
+func BenchmarkTable2_OpSelResolve(b *testing.B) {
+	m, err := microarch.New(microarch.Config{
+		Topo:     topology.Surface7(),
+		OpConfig: isa.DefaultConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	masks := []uint64{1 << 0, 1 << 9, 1<<0 | 1<<6, 1<<2 | 1<<4, 1 << 15}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, mask := range masks {
+			if _, err := m.ResolveOpSelPair(mask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Fig. 11: two-qubit AllXY ---
+
+func BenchmarkFig11_AllXY(b *testing.B) {
+	var r *experiments.AllXYResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunAllXY(experiments.AllXYOptions{
+			Noise: experiments.CalibratedNoise(),
+			Seed:  int64(i + 1),
+			Shots: 60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxDeviation, "max_staircase_dev")
+	b.ReportMetric(r.RMSDeviation, "rms_staircase_dev")
+}
+
+// --- Fig. 12: RB error versus gate interval ---
+
+func BenchmarkFig12_RBTiming(b *testing.B) {
+	for _, iv := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("interval_%dns", iv*20), func(b *testing.B) {
+			var r *experiments.RBTimingResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = experiments.RunRBTiming(experiments.RBTimingOptions{
+					Noise:           experiments.CalibratedNoise(),
+					Seed:            int64(i + 1),
+					IntervalsCycles: []int{iv},
+					Lengths:         []int{1, 8, 16, 32, 64, 128},
+					Randomizations:  6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*r.Curves[0].ErrorPerGate, "error_%/gate")
+		})
+	}
+}
+
+// --- Section 5 feedback experiments ---
+
+func BenchmarkActiveReset(b *testing.B) {
+	var r *experiments.ResetResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunReset(experiments.ResetOptions{
+			Noise: experiments.CalibratedNoise(),
+			Seed:  int64(i + 1),
+			Shots: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.P0, "P0_%")
+}
+
+func BenchmarkFeedbackLatency(b *testing.B) {
+	var r *experiments.LatencyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.MeasureLatencies()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.FastCondNs), "fastcond_ns")
+	b.ReportMetric(float64(r.CFCNs), "cfc_ns")
+}
+
+func BenchmarkCFCVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCFC(experiments.CFCOptions{Rounds: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Alternates {
+			b.Fatal("CFC alternation failed")
+		}
+	}
+}
+
+func BenchmarkGroverTomography(b *testing.B) {
+	var r *experiments.GroverResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunGrover(experiments.GroverOptions{
+			Noise:           experiments.CalibratedNoise(),
+			Seed:            int64(i + 1),
+			Marked:          3,
+			ShotsPerSetting: 300,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Fidelity, "fidelity_%")
+}
+
+func BenchmarkIQPE(b *testing.B) {
+	var r *experiments.IQPEResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunIQPE(experiments.IQPEOptions{
+			Noise:          experiments.CalibratedNoise(),
+			Seed:           int64(i + 1),
+			Bits:           3,
+			PhaseNumerator: 5,
+			Shots:          100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.SuccessRate, "exact_recovery_%")
+}
+
+// BenchmarkQECSOMQBenefit quantifies the Section 4.2 prediction that
+// quantum error correction benefits most from SOMQ: repeated syndrome
+// extraction on the surface-17 chip.
+func BenchmarkQECSOMQBenefit(b *testing.B) {
+	s, err := compiler.ASAP(benchmarks.QEC(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		plain, err1 := compiler.Count(s, compiler.Config5.WithWidth(1))
+		somq, err2 := compiler.Count(s, compiler.Config9.WithWidth(1))
+		if err1 != nil || err2 != nil {
+			b.Fatal(err1, err2)
+		}
+		reduction = 1 - float64(somq.Instructions)/float64(plain.Instructions)
+	}
+	b.ReportMetric(100*reduction, "somq_reduction_%")
+}
+
+// --- Baseline: QuMIS information density (Sections 1.2 / 2.4) ---
+
+func BenchmarkQuMISBaseline(b *testing.B) {
+	s := fig7Schedules["RB"]
+	var r qumis.CompareResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = qumis.CompareWithEQASM(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.QuMIS), "qumis_instructions")
+	b.ReportMetric(float64(r.EQASM), "eqasm_instructions")
+	b.ReportMetric(100*r.Reduction, "reduction_%")
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkStateVectorGate(b *testing.B) {
+	s := quantum.NewState(10, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply1(quantum.GateX90, i%10)
+	}
+}
+
+func BenchmarkStateVectorCZ(b *testing.B) {
+	s := quantum.NewState(10, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		s.ApplyCZ(i%9, (i+1)%9+1)
+	}
+}
+
+func BenchmarkDensityMatrixGate(b *testing.B) {
+	d := quantum.NewDensity(4)
+	for i := 0; i < b.N; i++ {
+		d.Apply1(quantum.GateX90, i%4)
+	}
+}
+
+func BenchmarkMicroarchRBThroughput(b *testing.B) {
+	m, err := microarch.New(microarch.Config{
+		Topo:     topology.TwoQubit(),
+		OpConfig: isa.DefaultConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A 512-gate single-qubit stream, back to back.
+	rng := rand.New(rand.NewSource(9))
+	prog := &isa.Program{Labels: map[string]int{}}
+	prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpSMIS, Addr: 0, Mask: 1})
+	names := []string{"X", "Y", "X90", "Y90", "Xm90", "Ym90"}
+	for i := 0; i < 512; i++ {
+		prog.Instrs = append(prog.Instrs, isa.NewBundle(1, isa.QOp{Name: names[rng.Intn(len(names))], Target: 0}))
+	}
+	prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpSTOP})
+	m.LoadProgram(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ops := float64(m.Stats().QuantumOpsTriggered)
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+func BenchmarkTomographyMLE(b *testing.B) {
+	d := quantum.NewDensity(2)
+	d.Apply1(quantum.Hadamard, 0)
+	d.ApplyCZ(0, 1)
+	d.Depolarize2(0, 1, 0.1)
+	expect := map[string]float64{}
+	for _, p := range quantum.PauliStrings(2) {
+		expect[string(p)] = d.ExpectationPauli(p)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rho := quantum.LinearInversion(2, expect)
+		quantum.MLEProject(rho)
+	}
+}

@@ -1,0 +1,136 @@
+// Command eqasm-asm assembles eQASM source into the 32-bit binary of the
+// seven-qubit instantiation (Fig. 8), disassembles binaries back to
+// source, and prints the instruction-set overview of Table 1.
+//
+// Usage:
+//
+//	eqasm-asm [-topo surface7|twoqubit] [-o out.bin] prog.eqasm
+//	eqasm-asm -d prog.bin
+//	eqasm-asm -list prog.eqasm
+//	eqasm-asm -table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topo", "surface7", "chip topology: surface7, twoqubit, iontrap5, ibmqx2")
+	out := flag.String("o", "", "output file (default: stdout hex dump)")
+	disasm := flag.Bool("d", false, "disassemble a binary instead of assembling")
+	list := flag.Bool("list", false, "print the assembly listing after label resolution")
+	table1 := flag.Bool("table1", false, "print the Table 1 instruction overview and exit")
+	flag.Parse()
+
+	if *table1 {
+		printTable1()
+		return
+	}
+	topo := pickTopo(*topoName)
+	cfg := isa.DefaultConfig()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "eqasm-asm: exactly one input file required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		words, err := isa.BytesToWords(data)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := asm.NewDisassembler(cfg, topo).Disassemble(words)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+
+	a := asm.New(cfg, topo)
+	if *list {
+		prog, err := a.Assemble(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.String())
+		return
+	}
+	words, err := a.AssembleToBinary(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, isa.WordsToBytes(words), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d instructions (%d bytes) to %s\n", len(words), 4*len(words), *out)
+		return
+	}
+	for i, w := range words {
+		fmt.Printf("%4d: %08x\n", i, w)
+	}
+}
+
+func pickTopo(name string) *topology.Topology {
+	switch name {
+	case "surface7":
+		return topology.Surface7()
+	case "twoqubit":
+		return topology.TwoQubit()
+	case "iontrap5":
+		return topology.IonTrap5()
+	case "ibmqx2":
+		return topology.IBMQX2()
+	}
+	fmt.Fprintf(os.Stderr, "eqasm-asm: unknown topology %q\n", name)
+	os.Exit(2)
+	return nil
+}
+
+func printTable1() {
+	rows := [][2]string{
+		{"CMP Rs, Rt", "compare GPRs and set the comparison flags"},
+		{"BR <flag>, Offset", "jump to PC + Offset if the flag is 1"},
+		{"FBR <flag>, Rd", "fetch a comparison flag into a GPR"},
+		{"LDI Rd, Imm", "Rd = sign_ext(Imm[19..0], 32)"},
+		{"LDUI Rd, Imm, Rs", "Rd = Imm[14..0]::Rs[16..0]"},
+		{"LD Rd, Rt(Imm)", "load from data memory"},
+		{"ST Rs, Rt(Imm)", "store to data memory"},
+		{"FMR Rd, Qi", "fetch the last measurement result of qubit i"},
+		{"AND/OR/XOR Rd, Rs, Rt", "logical operations"},
+		{"NOT Rd, Rt", "logical not"},
+		{"ADD/SUB Rd, Rs, Rt", "arithmetic"},
+		{"QWAIT Imm", "new timing point after Imm cycles"},
+		{"QWAITR Rs", "new timing point after GPR-valued cycles"},
+		{"SMIS Sd, {qubits}", "set a single-qubit operation target register"},
+		{"SMIT Td, {(s,t)...}", "set a two-qubit operation target register"},
+		{"[PI,] op [| op]*", "quantum bundle: operations after PI cycles"},
+	}
+	fmt.Println("eQASM instruction overview (Table 1):")
+	for _, r := range rows {
+		fmt.Printf("  %-24s %s\n", r[0], r[1])
+	}
+	fmt.Println("\nconfigured quantum operations (compile-time, Section 3.2):")
+	cfg := isa.DefaultConfig()
+	for _, n := range cfg.Names() {
+		d, _ := cfg.ByName(n)
+		fmt.Printf("  %-8s opcode %3d  %-8s %2d cycles  flag: %s\n",
+			n, d.Opcode, d.Kind, d.DurationCycles, d.CondSel)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eqasm-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command eqasm-dse regenerates the Fig. 7 design-space exploration:
+// instruction counts for the RB, IM and SR benchmarks across the ten
+// architecture configurations and VLIW widths 1-4.
+//
+// Usage:
+//
+//	eqasm-dse [-cliffords N] [-headline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eqasm/internal/benchmarks"
+	"eqasm/internal/compiler"
+	"eqasm/internal/dse"
+)
+
+func main() {
+	cliffords := flag.Int("cliffords", 4096, "Cliffords per qubit in the RB benchmark")
+	headline := flag.Bool("headline", false, "also print the paper's quoted comparisons")
+	profile := flag.Bool("profile", false, "also print benchmark parallelism and interval profiles")
+	qec := flag.Bool("qec", false, "also print the QEC syndrome-extraction SOMQ benefit (Section 4.2 prediction)")
+	flag.Parse()
+
+	if *qec {
+		s, err := compiler.ASAP(benchmarks.QEC(20))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
+			os.Exit(1)
+		}
+		fmt.Println("QEC syndrome extraction on surface-17 (20 cycles):")
+		for _, w := range []int{1, 2} {
+			plain, err1 := compiler.Count(s, compiler.Config5.WithWidth(w))
+			somq, err2 := compiler.Count(s, compiler.Config9.WithWidth(w))
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(os.Stderr, "eqasm-dse:", err1, err2)
+				os.Exit(1)
+			}
+			fmt.Printf("  w=%d: %d -> %d instructions with SOMQ (%.0f%% reduction)\n",
+				w, plain.Instructions, somq.Instructions,
+				100*(1-float64(somq.Instructions)/float64(plain.Instructions)))
+		}
+		fmt.Println()
+	}
+
+	table, err := dse.Run(*cliffords)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
+		os.Exit(1)
+	}
+	fmt.Print(table.Render())
+	if *headline {
+		fmt.Println("-- paper comparisons --")
+		for _, line := range table.Headline() {
+			fmt.Println(line)
+		}
+	}
+	if *profile {
+		fmt.Println("-- benchmark profiles --")
+		for _, name := range []string{"RB", "IM", "SR"} {
+			s := table.Schedules[name]
+			fmt.Printf("%s: gates/point=%.2f length=%d cycles\n", name, s.ParallelismProfile(), s.LengthCycles)
+			ih := compiler.IntervalHistogram(s)
+			fmt.Printf("  intervals:")
+			for _, k := range compiler.SortedKeys(ih) {
+				fmt.Printf(" %d:%d", k, ih[k])
+			}
+			fmt.Println()
+		}
+	}
+}

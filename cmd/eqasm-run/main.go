@@ -1,0 +1,135 @@
+// Command eqasm-run executes an eQASM program (source or binary) on the
+// QuMA_v2 microarchitecture simulator and reports measurement results,
+// execution statistics and, optionally, the device-operation trace.
+//
+// Usage:
+//
+//	eqasm-run [-topo twoqubit] [-shots N] [-noise] [-trace] prog.eqasm
+//	eqasm-run -bin prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eqasm/internal/core"
+	"eqasm/internal/experiments"
+	"eqasm/internal/hwconf"
+	"eqasm/internal/isa"
+	"eqasm/internal/microarch"
+	"eqasm/internal/quantum"
+	"eqasm/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topo", "twoqubit", "chip topology: surface7, twoqubit")
+	confPath := flag.String("config", "", "hardware configuration file (topology + operations); overrides -topo")
+	shots := flag.Int("shots", 1, "number of repetitions")
+	noisy := flag.Bool("noise", false, "use the calibrated noise model instead of an ideal chip")
+	trace := flag.Bool("trace", false, "print the device-operation trace")
+	bin := flag.Bool("bin", false, "input is a binary instruction image")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "eqasm-run: exactly one input file required")
+		os.Exit(2)
+	}
+	var topo *topology.Topology
+	var opCfg *isa.OpConfig
+	var confNoise *quantum.NoiseModel
+	if *confPath != "" {
+		f, t, c, err := hwconf.LoadFull(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		topo, opCfg = t, c
+		if f.Noise != nil {
+			m, err := f.NoiseModel()
+			if err != nil {
+				fatal(err)
+			}
+			confNoise = &m
+		}
+	} else {
+		switch *topoName {
+		case "surface7":
+			topo = topology.Surface7()
+		case "twoqubit":
+			topo = topology.TwoQubit()
+		default:
+			fmt.Fprintf(os.Stderr, "eqasm-run: unknown topology %q\n", *topoName)
+			os.Exit(2)
+		}
+	}
+	noise := quantum.Ideal()
+	if *noisy {
+		noise = experiments.CalibratedNoise()
+	}
+	if confNoise != nil {
+		noise = *confNoise
+	}
+	sys, err := core.NewSystem(core.Options{
+		Topology:        topo,
+		OpConfig:        opCfg,
+		Noise:           noise,
+		Seed:            *seed,
+		RecordDeviceOps: *trace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *bin {
+		words, err := isa.BytesToWords(data)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := isa.Default.DecodeProgram(words, sys.OpConfig)
+		if err != nil {
+			fatal(err)
+		}
+		sys.LoadProgram(prog)
+	} else if err := sys.Load(string(data)); err != nil {
+		fatal(err)
+	}
+
+	counts := map[string]int{}
+	err = sys.RunShots(*shots, func(shot int, m *microarch.Machine) {
+		var bits []string
+		for _, r := range m.Measurements() {
+			bits = append(bits, fmt.Sprintf("q%d=%d", r.Qubit, r.Result))
+		}
+		key := strings.Join(bits, " ")
+		if key == "" {
+			key = "(no measurements)"
+		}
+		counts[key]++
+		if *trace && shot == 0 {
+			fmt.Println("device trace (shot 0):")
+			for _, op := range m.DeviceTrace() {
+				fmt.Printf("  %s\n", op)
+			}
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("outcomes over %d shot(s):\n", *shots)
+	for k, n := range counts {
+		fmt.Printf("  %-30s %6d  (%.1f%%)\n", k, n, 100*float64(n)/float64(*shots))
+	}
+	st := sys.Machine.Stats()
+	fmt.Printf("last shot: %d instructions, %d bundles, %d quantum ops, %d cancelled, %d ns\n",
+		st.InstructionsExecuted, st.BundlesIssued, st.QuantumOpsTriggered, st.OpsCancelled, st.FinalTimeNs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eqasm-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package eqasm is a from-scratch Go reproduction of "eQASM: An
+// Executable Quantum Instruction Set Architecture" (X. Fu et al., HPCA
+// 2019): the eQASM instruction set and its 32-bit instantiation for a
+// seven-qubit superconducting processor, an assembler and disassembler,
+// the QuMA_v2 control microarchitecture that executes it, the QuMIS
+// baseline, the compiler backend and benchmarks regenerating the Fig. 7
+// design-space exploration, and the full Section 5 experiment suite on a
+// simulated transmon chip.
+//
+// The implementation lives under internal/; see README.md for the map,
+// DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
+// directory regenerates every table and figure of the paper's
+// evaluation.
+package eqasm

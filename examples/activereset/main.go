@@ -1,0 +1,38 @@
+// Active qubit reset (Fig. 4): the fast-conditional-execution showcase.
+// A qubit is put on the equator with an X90, measured, and conditionally
+// flipped back to |0> with a C_X gate that only fires when the last
+// measurement read |1> — the paper's first feedback experiment, here run
+// on both an ideal and the calibrated noisy chip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eqasm/internal/experiments"
+	"eqasm/internal/quantum"
+)
+
+func main() {
+	for _, cfg := range []struct {
+		name  string
+		noise quantum.NoiseModel
+	}{
+		{"ideal chip", quantum.Ideal()},
+		{"calibrated chip (readout-limited)", experiments.CalibratedNoise()},
+	} {
+		r, err := experiments.RunReset(experiments.ResetOptions{
+			Noise: cfg.noise,
+			Seed:  7,
+			Shots: 4000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", cfg.name)
+		fmt.Printf("  first measurement P(1): %.3f (X90 puts the qubit on the equator)\n", r.FirstP1)
+		fmt.Printf("  C_X fired in %.1f%% of shots (fast conditional execution)\n", 100*r.PFlipApplied)
+		fmt.Printf("  P(|0>) after conditional reset: %.1f%%\n\n", 100*r.P0)
+	}
+	fmt.Println("paper, Section 5: 82.7%, limited by the readout fidelity")
+}

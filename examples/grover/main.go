@@ -1,0 +1,33 @@
+// Two-qubit Grover search (Section 5's algorithm demonstration): the
+// full data-flow of the "quantum data, classical control" paradigm —
+// superposition, oracle, diffusion — compiled to eQASM, executed on the
+// QuMA_v2 model, and characterised by maximum-likelihood state
+// tomography exactly as the paper reports its 85.6% algorithmic
+// fidelity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eqasm/internal/experiments"
+)
+
+func main() {
+	noise := experiments.CalibratedNoise()
+	fmt.Println("two-qubit Grover search, calibrated chip:")
+	for marked := 0; marked < 4; marked++ {
+		r, err := experiments.RunGrover(experiments.GroverOptions{
+			Noise:           noise,
+			Seed:            int64(100 + marked),
+			Marked:          marked,
+			ShotsPerSetting: 1200,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  marked |%02b>: MLE-tomography fidelity %.1f%%, direct success %.1f%%\n",
+			marked, 100*r.Fidelity, 100*r.SuccessProb)
+	}
+	fmt.Println("\npaper, Section 5: algorithmic fidelity 85.6%, limited by the CZ gate")
+}

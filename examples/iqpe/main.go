@@ -1,0 +1,84 @@
+// Iterative quantum phase estimation — the "quantum data, classical
+// control" workload the paper's introduction motivates eQASM with. One
+// generated program combines every feedback mechanism of the
+// architecture: comprehensive feedback control steers a per-iteration
+// branch tree selecting classically-computed phase corrections, fast
+// conditional execution recycles the ancilla between iterations, the
+// accumulator arithmetic runs on the auxiliary classical instructions,
+// the controlled-U powers are compile-time configured custom operations,
+// and the final estimate is published to the host through the shared
+// data memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"eqasm/internal/experiments"
+	"eqasm/internal/quantum"
+)
+
+func main() {
+	// Estimate phi = 2*pi * 5/8 (bits 101) on an ideal chip.
+	r, err := experiments.RunIQPE(experiments.IQPEOptions{
+		Noise:          quantum.Ideal(),
+		Seed:           1,
+		Bits:           3,
+		PhaseNumerator: 5,
+		Shots:          100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ideal chip, true phase = 2*pi * %d/8:\n", r.PhaseNumerator)
+	fmt.Printf("  exact recovery rate: %.0f%%\n\n", 100*r.SuccessRate)
+
+	// The same estimation on the calibrated noisy chip.
+	r, err = experiments.RunIQPE(experiments.IQPEOptions{
+		Noise:          experiments.CalibratedNoise(),
+		Seed:           2,
+		Bits:           3,
+		PhaseNumerator: 5,
+		Shots:          400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("calibrated chip, estimate histogram:")
+	var keys []int
+	for k := range r.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  %03b: %3d shots\n", k, r.Histogram[k])
+	}
+	fmt.Printf("exact recovery rate: %.0f%% (readout-limited)\n", 100*r.SuccessRate)
+
+	fmt.Println("\ngenerated program (first iterations):")
+	lines := 0
+	for _, line := range splitLines(r.Program) {
+		fmt.Println("  " + line)
+		lines++
+		if lines > 30 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,537 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+// Assembler translates eQASM assembly source into assembly-level
+// instructions and binary words. It is configured, exactly as Section 3.2
+// prescribes, with the same operation configuration that drives the
+// microcode unit and pulse generation, plus the chip topology used to
+// resolve and validate qubit-pair addressing.
+type Assembler struct {
+	Config *isa.OpConfig
+	Topo   *topology.Topology
+	Inst   isa.Instantiation
+}
+
+// New returns an assembler for the default 32-bit instantiation.
+func New(cfg *isa.OpConfig, topo *topology.Topology) *Assembler {
+	return &Assembler{Config: cfg, Topo: topo, Inst: isa.Default}
+}
+
+// Error is one assembly diagnostic.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// ErrorList collects assembly diagnostics.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// classicalMnemonics maps upper-case mnemonics to opcodes.
+var classicalMnemonics = map[string]isa.Opcode{
+	"NOP": isa.OpNOP, "STOP": isa.OpSTOP,
+	"CMP": isa.OpCMP, "BR": isa.OpBR,
+	"FBR": isa.OpFBR, "LDI": isa.OpLDI, "LDUI": isa.OpLDUI,
+	"LD": isa.OpLD, "ST": isa.OpST, "FMR": isa.OpFMR,
+	"AND": isa.OpAND, "OR": isa.OpOR, "XOR": isa.OpXOR, "NOT": isa.OpNOT,
+	"ADD": isa.OpADD, "SUB": isa.OpSUB,
+	"QWAIT": isa.OpQWAIT, "QWAITR": isa.OpQWAITR,
+	"SMIS": isa.OpSMIS, "SMIT": isa.OpSMIT,
+}
+
+// Assemble parses and validates source, returning the resolved program.
+func (a *Assembler) Assemble(src string) (*isa.Program, error) {
+	p := &parser{asm: a, prog: &isa.Program{Labels: map[string]int{}}}
+	for lineNo, line := range strings.Split(src, "\n") {
+		p.parseLine(line, lineNo+1)
+	}
+	p.resolveBranches()
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return p.prog, nil
+}
+
+// AssembleToBinary assembles and encodes to instruction words.
+func (a *Assembler) AssembleToBinary(src string) ([]uint32, error) {
+	p, err := a.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return a.Inst.EncodeProgram(p, a.Config)
+}
+
+// parser holds per-run assembly state.
+type parser struct {
+	asm  *Assembler
+	prog *isa.Program
+	errs ErrorList
+	// branches to patch: instruction index -> label token.
+	fixups []fixup
+}
+
+type fixup struct {
+	instrIdx int
+	label    string
+	line     int
+}
+
+func (p *parser) errorf(line int, format string, args ...any) {
+	p.errs = append(p.errs, Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) emit(ins isa.Instr, line int) {
+	ins.SourceLine = line
+	p.prog.Instrs = append(p.prog.Instrs, ins)
+}
+
+func (p *parser) parseLine(line string, lineNo int) {
+	toks, err := lexLine(line, lineNo)
+	if err != nil {
+		p.errorf(lineNo, "%v", err)
+		return
+	}
+	c := &cursor{toks: toks, line: lineNo, p: p}
+	// Leading labels: IDENT ':' (possibly several, possibly alone).
+	for c.peek().kind == tokIdent && c.peekAt(1).kind == tokColon {
+		name := c.next().text
+		c.next() // colon
+		if _, dup := p.prog.Labels[name]; dup {
+			p.errorf(lineNo, "label %q redefined", name)
+		} else {
+			p.prog.Labels[name] = len(p.prog.Instrs)
+		}
+	}
+	if c.peek().kind == tokEOL {
+		return
+	}
+	switch c.peek().kind {
+	case tokNumber:
+		p.parseBundle(c, true)
+	case tokIdent:
+		mnemonic := strings.ToUpper(c.peek().text)
+		if op, ok := classicalMnemonics[mnemonic]; ok {
+			c.next()
+			p.parseClassical(c, op)
+			return
+		}
+		p.parseBundle(c, false)
+	default:
+		p.errorf(lineNo, "unexpected %s at start of statement", c.peek().kind)
+	}
+}
+
+// cursor walks a token slice with error reporting.
+type cursor struct {
+	toks []token
+	pos  int
+	line int
+	p    *parser
+	bad  bool
+}
+
+func (c *cursor) peek() token { return c.toks[c.pos] }
+
+func (c *cursor) peekAt(n int) token {
+	if c.pos+n >= len(c.toks) {
+		return c.toks[len(c.toks)-1]
+	}
+	return c.toks[c.pos+n]
+}
+
+func (c *cursor) next() token {
+	t := c.toks[c.pos]
+	if t.kind != tokEOL {
+		c.pos++
+	}
+	return t
+}
+
+func (c *cursor) expect(kind tokenKind) (token, bool) {
+	t := c.peek()
+	if t.kind != kind {
+		if !c.bad {
+			c.p.errorf(c.line, "expected %s, found %s %q", kind, t.kind, t.text)
+			c.bad = true
+		}
+		return t, false
+	}
+	return c.next(), true
+}
+
+func (c *cursor) expectEnd() {
+	if t := c.peek(); t.kind != tokEOL && !c.bad {
+		c.p.errorf(c.line, "trailing %s %q after instruction", t.kind, t.text)
+		c.bad = true
+	}
+}
+
+// reg parses a register token with the given prefix letter, returning its
+// index.
+func (c *cursor) reg(prefix byte, limit int, what string) (uint8, bool) {
+	t, ok := c.expect(tokIdent)
+	if !ok {
+		return 0, false
+	}
+	up := strings.ToUpper(t.text)
+	if len(up) < 2 || up[0] != prefix {
+		c.p.errorf(c.line, "expected %s register %c<n>, found %q", what, prefix, t.text)
+		c.bad = true
+		return 0, false
+	}
+	n, err := parseNumber(up[1:])
+	if err != nil || n < 0 {
+		c.p.errorf(c.line, "malformed register %q", t.text)
+		c.bad = true
+		return 0, false
+	}
+	if int(n) >= limit {
+		c.p.errorf(c.line, "%s register %q out of range (max %c%d)", what, t.text, prefix, limit-1)
+		c.bad = true
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+func (c *cursor) gpr(what string) (uint8, bool) {
+	return c.reg('R', c.p.asm.Inst.NumGPR, what)
+}
+
+func (c *cursor) comma() bool {
+	_, ok := c.expect(tokComma)
+	return ok
+}
+
+func (c *cursor) number(what string) (int64, bool) {
+	t, ok := c.expect(tokNumber)
+	if !ok {
+		return 0, false
+	}
+	_ = what
+	return t.num, true
+}
+
+func (p *parser) parseClassical(c *cursor, op isa.Opcode) {
+	ins := isa.Instr{Op: op}
+	defer func() {
+		if !c.bad {
+			c.expectEnd()
+		}
+		if !c.bad {
+			p.emit(ins, c.line)
+		}
+	}()
+	switch op {
+	case isa.OpNOP, isa.OpSTOP:
+	case isa.OpCMP:
+		ins.Rs, _ = c.gpr("first")
+		c.comma()
+		ins.Rt, _ = c.gpr("second")
+	case isa.OpBR:
+		ins.Cond = p.parseCond(c)
+		c.comma()
+		switch t := c.peek(); t.kind {
+		case tokIdent:
+			c.next()
+			ins.Label = t.text
+			p.fixups = append(p.fixups, fixup{len(p.prog.Instrs), t.text, c.line})
+		case tokNumber:
+			c.next()
+			ins.Imm = int32(t.num)
+		default:
+			p.errorf(c.line, "expected branch target label or offset, found %s", t.kind)
+			c.bad = true
+		}
+	case isa.OpFBR:
+		ins.Cond = p.parseCond(c)
+		c.comma()
+		ins.Rd, _ = c.gpr("destination")
+	case isa.OpLDI:
+		ins.Rd, _ = c.gpr("destination")
+		c.comma()
+		v, _ := c.number("immediate")
+		ins.Imm = int32(v)
+	case isa.OpLDUI:
+		ins.Rd, _ = c.gpr("destination")
+		c.comma()
+		v, _ := c.number("immediate")
+		ins.Imm = int32(v)
+		c.comma()
+		ins.Rs, _ = c.gpr("source")
+	case isa.OpLD, isa.OpST:
+		r, _ := c.gpr("data")
+		if op == isa.OpLD {
+			ins.Rd = r
+		} else {
+			ins.Rs = r
+		}
+		c.comma()
+		ins.Rt, _ = c.gpr("base")
+		if _, ok := c.expect(tokLParen); ok {
+			v, _ := c.number("offset")
+			ins.Imm = int32(v)
+			c.expect(tokRParen)
+		}
+	case isa.OpFMR:
+		ins.Rd, _ = c.gpr("destination")
+		c.comma()
+		q, ok := c.reg('Q', 32, "measurement result")
+		if ok {
+			if int(q) >= p.asm.Topo.NumQubits {
+				p.errorf(c.line, "Q%d exceeds the %d-qubit chip", q, p.asm.Topo.NumQubits)
+				c.bad = true
+			}
+			ins.Qi = q
+		}
+	case isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpADD, isa.OpSUB:
+		ins.Rd, _ = c.gpr("destination")
+		c.comma()
+		ins.Rs, _ = c.gpr("first source")
+		c.comma()
+		ins.Rt, _ = c.gpr("second source")
+	case isa.OpNOT:
+		ins.Rd, _ = c.gpr("destination")
+		c.comma()
+		ins.Rt, _ = c.gpr("source")
+	case isa.OpQWAIT:
+		v, ok := c.number("wait time")
+		if ok && v < 0 {
+			p.errorf(c.line, "QWAIT time must be non-negative, got %d", v)
+			c.bad = true
+		}
+		ins.Imm = int32(v)
+	case isa.OpQWAITR:
+		ins.Rs, _ = c.gpr("source")
+	case isa.OpSMIS:
+		ins.Addr, _ = c.reg('S', p.asm.Inst.NumSReg, "single-qubit target")
+		c.comma()
+		ins.Mask = p.parseQubitList(c)
+	case isa.OpSMIT:
+		ins.Addr, _ = c.reg('T', p.asm.Inst.NumTReg, "two-qubit target")
+		c.comma()
+		ins.Mask = p.parsePairList(c)
+	default:
+		p.errorf(c.line, "internal: unhandled mnemonic %v", op)
+		c.bad = true
+	}
+}
+
+func (p *parser) parseCond(c *cursor) isa.CondFlag {
+	t, ok := c.expect(tokIdent)
+	if !ok {
+		return isa.CondAlways
+	}
+	f, ok := isa.ParseCondFlag(strings.ToUpper(t.text))
+	if !ok {
+		p.errorf(c.line, "unknown comparison flag %q", t.text)
+		c.bad = true
+		return isa.CondAlways
+	}
+	return f
+}
+
+// parseQubitList parses {q0, q1, ...} and returns the SMIS mask.
+func (p *parser) parseQubitList(c *cursor) uint64 {
+	if _, ok := c.expect(tokLBrace); !ok {
+		return 0
+	}
+	var mask uint64
+	for c.peek().kind != tokRBrace && c.peek().kind != tokEOL {
+		v, ok := c.number("qubit address")
+		if !ok {
+			return mask
+		}
+		if v < 0 || int(v) >= p.asm.Inst.QubitMaskBits {
+			p.errorf(c.line, "qubit address %d outside the %d-bit mask", v, p.asm.Inst.QubitMaskBits)
+			c.bad = true
+		} else if p.asm.Topo.Feedline(int(v)) < 0 {
+			p.errorf(c.line, "qubit %d is not available on chip %q", v, p.asm.Topo.Name)
+			c.bad = true
+		} else {
+			if mask&(1<<uint(v)) != 0 {
+				p.errorf(c.line, "qubit %d listed twice", v)
+				c.bad = true
+			}
+			mask |= 1 << uint(v)
+		}
+		if c.peek().kind == tokComma {
+			c.next()
+		}
+	}
+	c.expect(tokRBrace)
+	return mask
+}
+
+// parsePairList parses {(s, t), ...} and returns the SMIT edge mask,
+// enforcing the Section 4.3 validity rule that no two selected edges share
+// a qubit.
+func (p *parser) parsePairList(c *cursor) uint64 {
+	if _, ok := c.expect(tokLBrace); !ok {
+		return 0
+	}
+	var mask uint64
+	for c.peek().kind != tokRBrace && c.peek().kind != tokEOL {
+		if _, ok := c.expect(tokLParen); !ok {
+			return mask
+		}
+		src, ok := c.number("source qubit")
+		if !ok {
+			return mask
+		}
+		c.comma()
+		tgt, ok := c.number("target qubit")
+		if !ok {
+			return mask
+		}
+		c.expect(tokRParen)
+		id, allowed := p.asm.Topo.EdgeID(int(src), int(tgt))
+		switch {
+		case !allowed:
+			p.errorf(c.line, "(%d, %d) is not an allowed qubit pair on chip %q", src, tgt, p.asm.Topo.Name)
+			c.bad = true
+		case id >= p.asm.Inst.PairMaskBits:
+			p.errorf(c.line, "edge %d outside the %d-bit pair mask", id, p.asm.Inst.PairMaskBits)
+			c.bad = true
+		default:
+			if mask&(1<<uint(id)) != 0 {
+				p.errorf(c.line, "pair (%d, %d) listed twice", src, tgt)
+				c.bad = true
+			}
+			mask |= 1 << uint(id)
+		}
+		if c.peek().kind == tokComma {
+			c.next()
+		}
+	}
+	c.expect(tokRBrace)
+	if err := p.asm.Topo.ValidatePairMask(mask); err != nil && !c.bad {
+		p.errorf(c.line, "invalid two-qubit target: %v", err)
+		c.bad = true
+	}
+	return mask
+}
+
+// parseBundle parses "[PI,] op [| op]*", applies the ts3 timing rule
+// (PI too large for its field becomes a QWAIT), and splits the bundle to
+// the VLIW width.
+func (p *parser) parseBundle(c *cursor, explicitPI bool) {
+	pi := int64(1) // Section 3.1.2: PI defaults to 1 if not specified.
+	if explicitPI {
+		v, ok := c.number("pre-interval")
+		if !ok {
+			return
+		}
+		if v < 0 {
+			p.errorf(c.line, "pre-interval must be non-negative, got %d", v)
+			return
+		}
+		pi = v
+		if !c.comma() {
+			return
+		}
+	}
+	var ops []isa.QOp
+	for {
+		op, ok := p.parseQOp(c)
+		if !ok {
+			return
+		}
+		if op.Name != isa.QNOPName {
+			ops = append(ops, op)
+		}
+		if c.peek().kind != tokPipe {
+			break
+		}
+		c.next()
+	}
+	c.expectEnd()
+	if c.bad {
+		return
+	}
+	// Timing: PI beyond the field width becomes an explicit QWAIT followed
+	// by a zero-PI bundle (Section 4.2's ts3 specification method).
+	if pi > int64(p.asm.Inst.MaxPI()) {
+		p.emit(isa.Instr{Op: isa.OpQWAIT, Imm: int32(pi)}, c.line)
+		pi = 0
+	}
+	// VLIW splitting: continuation words use PI = 0 so every operation
+	// stays on the same timing point (Section 3.4.2).
+	w := p.asm.Inst.VLIWWidth
+	if len(ops) == 0 {
+		p.emit(isa.NewBundle(uint8(pi)), c.line)
+		return
+	}
+	for start := 0; start < len(ops); start += w {
+		end := min(start+w, len(ops))
+		bundlePI := uint8(0)
+		if start == 0 {
+			bundlePI = uint8(pi)
+		}
+		p.emit(isa.NewBundle(bundlePI, ops[start:end]...), c.line)
+	}
+}
+
+// parseQOp parses one quantum operation: NAME [S<k>|T<k>] or QNOP.
+func (p *parser) parseQOp(c *cursor) (isa.QOp, bool) {
+	t, ok := c.expect(tokIdent)
+	if !ok {
+		return isa.QOp{}, false
+	}
+	if strings.ToUpper(t.text) == isa.QNOPName {
+		return isa.QOp{Name: isa.QNOPName}, true
+	}
+	def, ok := p.asm.Config.ByName(t.text)
+	if !ok {
+		p.errorf(c.line, "quantum operation %q is not configured (available: %s)",
+			t.text, strings.Join(p.asm.Config.Names(), ", "))
+		c.bad = true
+		return isa.QOp{}, false
+	}
+	var reg uint8
+	if def.Kind == isa.OpKindTwo {
+		reg, ok = c.reg('T', p.asm.Inst.NumTReg, "two-qubit target")
+	} else {
+		reg, ok = c.reg('S', p.asm.Inst.NumSReg, "single-qubit target")
+	}
+	if !ok {
+		return isa.QOp{}, false
+	}
+	return isa.QOp{Name: def.Name, Target: reg}, true
+}
+
+// resolveBranches patches label references into PC-relative offsets
+// (target index minus branch index).
+func (p *parser) resolveBranches() {
+	for _, f := range p.fixups {
+		target, ok := p.prog.Labels[f.label]
+		if !ok {
+			p.errorf(f.line, "undefined label %q", f.label)
+			continue
+		}
+		p.prog.Instrs[f.instrIdx].Imm = int32(target - f.instrIdx)
+	}
+	// Deterministic error ordering for tests and tooling.
+	sort.SliceStable(p.errs, func(i, j int) bool { return p.errs[i].Line < p.errs[j].Line })
+}

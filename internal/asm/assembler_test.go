@@ -1,0 +1,372 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+func newTestAssembler() *Assembler {
+	return New(isa.DefaultConfig(), topology.Surface7())
+}
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := newTestAssembler().Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble failed:\n%v", err)
+	}
+	return p
+}
+
+func assembleErr(t *testing.T, src string) ErrorList {
+	t.Helper()
+	_, err := newTestAssembler().Assemble(src)
+	if err == nil {
+		t.Fatalf("expected assembly errors for:\n%s", src)
+	}
+	return err.(ErrorList)
+}
+
+// Fig. 3: part of the two-qubit AllXY code.
+const fig3 = `
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+QWAIT 10000
+0, Y S7
+1, X90 S0 | X S2
+1, MEASZ S7
+QWAIT 50
+`
+
+func TestAssembleFig3(t *testing.T) {
+	p := mustAssemble(t, fig3)
+	want := []isa.Opcode{
+		isa.OpSMIS, isa.OpSMIS, isa.OpSMIS, isa.OpQWAIT,
+		isa.OpBundle, isa.OpBundle, isa.OpBundle, isa.OpQWAIT,
+	}
+	if len(p.Instrs) != len(want) {
+		t.Fatalf("got %d instructions, want %d:\n%s", len(p.Instrs), len(want), p)
+	}
+	for i, w := range want {
+		if p.Instrs[i].Op != w {
+			t.Errorf("instr %d op = %v, want %v", i, p.Instrs[i].Op, w)
+		}
+	}
+	if m := p.Instrs[2].Mask; m != isa.QubitMask(0, 2) {
+		t.Errorf("S7 mask = %#b, want qubits {0,2}", m)
+	}
+	vliw := p.Instrs[5]
+	if vliw.PI != 1 || len(vliw.QOps) != 2 {
+		t.Fatalf("VLIW bundle wrong: %+v", vliw)
+	}
+	if vliw.QOps[0].Name != "X90" || vliw.QOps[0].Target != 0 {
+		t.Errorf("slot0 = %+v", vliw.QOps[0])
+	}
+	if vliw.QOps[1].Name != "X" || vliw.QOps[1].Target != 2 {
+		t.Errorf("slot1 = %+v", vliw.QOps[1])
+	}
+}
+
+// Fig. 4: active qubit reset.
+const fig4 = `
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+C_X S2
+MEASZ S2
+`
+
+func TestAssembleFig4(t *testing.T) {
+	p := mustAssemble(t, fig4)
+	if len(p.Instrs) != 7 {
+		t.Fatalf("got %d instructions:\n%s", len(p.Instrs), p)
+	}
+	// Bare quantum operations become bundles with the default PI of 1.
+	for _, idx := range []int{2, 3, 5, 6} {
+		ins := p.Instrs[idx]
+		if ins.Op != isa.OpBundle || ins.PI != 1 {
+			t.Errorf("instr %d = %+v, want PI-1 bundle", idx, ins)
+		}
+	}
+	if p.Instrs[5].QOps[0].Name != "C_X" {
+		t.Errorf("conditional op = %q", p.Instrs[5].QOps[0].Name)
+	}
+}
+
+// Fig. 5: comprehensive feedback control.
+const fig5 = `
+SMIS S0, {0}
+SMIS S1, {1}
+LDI R0, 1
+MEASZ S1
+QWAIT 30
+FMR R1, Q1  # fetch msmt result
+CMP R1, R0  # compare
+BR EQ, eq_path  # jump if R0 == R1
+ne_path:
+X S0   # happen if msmt result is 0
+BR ALWAYS, next  # this flag is always '1'
+eq_path:
+Y S0   # happen if msmt result is 1
+next:
+STOP
+`
+
+func TestAssembleFig5(t *testing.T) {
+	p := mustAssemble(t, fig5)
+	if got := p.Labels["ne_path"]; got != 8 {
+		t.Errorf("ne_path at %d, want 8", got)
+	}
+	if got := p.Labels["eq_path"]; got != 10 {
+		t.Errorf("eq_path at %d, want 10", got)
+	}
+	if got := p.Labels["next"]; got != 11 {
+		t.Errorf("next at %d, want 11", got)
+	}
+	// BR EQ at index 7 targets eq_path at 10: offset 3.
+	br := p.Instrs[7]
+	if br.Op != isa.OpBR || br.Cond != isa.CondEQ || br.Imm != 3 {
+		t.Errorf("BR EQ = %+v, want offset 3", br)
+	}
+	// BR ALWAYS at index 9 targets next at 11: offset 2.
+	br2 := p.Instrs[9]
+	if br2.Cond != isa.CondAlways || br2.Imm != 2 {
+		t.Errorf("BR ALWAYS = %+v, want offset 2", br2)
+	}
+	if p.Instrs[5].Op != isa.OpFMR || p.Instrs[5].Qi != 1 || p.Instrs[5].Rd != 1 {
+		t.Errorf("FMR = %+v", p.Instrs[5])
+	}
+}
+
+// Section 3.1.3 example: timing with QWAITR and PI.
+const timingExample = `
+LDI r0, 1
+X S0
+Y S0
+QWAITR r0
+0, X90 S0
+QWAIT 0
+1, Y90 S0
+`
+
+func TestAssembleTimingExample(t *testing.T) {
+	p := mustAssemble(t, timingExample)
+	if p.Instrs[3].Op != isa.OpQWAITR || p.Instrs[3].Rs != 0 {
+		t.Errorf("QWAITR = %+v", p.Instrs[3])
+	}
+	if p.Instrs[4].PI != 0 {
+		t.Errorf("explicit PI 0 lost: %+v", p.Instrs[4])
+	}
+	if p.Instrs[5].Op != isa.OpQWAIT || p.Instrs[5].Imm != 0 {
+		t.Errorf("QWAIT 0 = %+v", p.Instrs[5])
+	}
+	// Lower-case register names are accepted (paper uses r0).
+	if p.Instrs[0].Op != isa.OpLDI || p.Instrs[0].Rd != 0 {
+		t.Errorf("LDI r0 = %+v", p.Instrs[0])
+	}
+}
+
+// Section 3.3.3: SMIT pair list resolves to edge mask.
+func TestAssembleSMIT(t *testing.T) {
+	// On surface-7, (2,0) is edge 0 and (3,1) is edge 4.
+	p := mustAssemble(t, "SMIT T3, {(2, 0), (3, 1)}\nCZ T3")
+	if p.Instrs[0].Mask != 1<<0|1<<4 {
+		t.Errorf("SMIT mask = %#b, want edges {0,4}", p.Instrs[0].Mask)
+	}
+	cz := p.Instrs[1]
+	if cz.Op != isa.OpBundle || cz.QOps[0].Name != "CZ" || cz.QOps[0].Target != 3 {
+		t.Errorf("CZ bundle = %+v", cz)
+	}
+}
+
+// Section 3.4.2: a wide bundle splits into VLIW-width words with PI=0
+// continuations (QNOP fill happens at encode time).
+func TestBundleSplitting(t *testing.T) {
+	p := mustAssemble(t, `
+SMIS S5, {5}
+SMIS S7, {0, 2}
+SMIT T3, {(2, 0)}
+2, X S5 | H S7 | CNOT T3
+`)
+	if len(p.Instrs) != 5 {
+		t.Fatalf("got %d instructions, want 5 (3 SMIS/SMIT + 2 bundle words):\n%s", len(p.Instrs), p)
+	}
+	b1, b2 := p.Instrs[3], p.Instrs[4]
+	if b1.PI != 2 || len(b1.QOps) != 2 {
+		t.Errorf("first word = %+v", b1)
+	}
+	if b2.PI != 0 || len(b2.QOps) != 1 || b2.QOps[0].Name != "CNOT" {
+		t.Errorf("continuation word = %+v", b2)
+	}
+}
+
+// ts3 rule: a PI that does not fit the 3-bit field becomes QWAIT + PI=0.
+func TestLargePIBecomesQWAIT(t *testing.T) {
+	p := mustAssemble(t, "SMIS S0, {0}\n100, X S0")
+	if len(p.Instrs) != 3 {
+		t.Fatalf("got %d instructions, want 3:\n%s", len(p.Instrs), p)
+	}
+	if p.Instrs[1].Op != isa.OpQWAIT || p.Instrs[1].Imm != 100 {
+		t.Errorf("expected QWAIT 100, got %+v", p.Instrs[1])
+	}
+	if p.Instrs[2].Op != isa.OpBundle || p.Instrs[2].PI != 0 {
+		t.Errorf("expected PI-0 bundle, got %+v", p.Instrs[2])
+	}
+	// PI = 7 still fits.
+	p = mustAssemble(t, "SMIS S0, {0}\n7, X S0")
+	if len(p.Instrs) != 2 || p.Instrs[1].PI != 7 {
+		t.Fatalf("PI 7 mishandled:\n%s", p)
+	}
+}
+
+func TestQNOPHandling(t *testing.T) {
+	p := mustAssemble(t, "QNOP\n3, QNOP")
+	for i, ins := range p.Instrs {
+		if ins.Op != isa.OpBundle || len(ins.QOps) != 0 {
+			t.Errorf("instr %d = %+v, want empty bundle", i, ins)
+		}
+	}
+	if p.Instrs[0].PI != 1 || p.Instrs[1].PI != 3 {
+		t.Errorf("QNOP PIs = %d,%d", p.Instrs[0].PI, p.Instrs[1].PI)
+	}
+}
+
+func TestAssemblyErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{"undefined label", "BR EQ, nowhere", "undefined label"},
+		{"unknown op", "FROB S0", "not configured"},
+		{"unknown mnemonic arg", "LDI R99, 1", "out of range"},
+		{"bad qubit", "SMIS S0, {9}", "outside the 7-bit mask"},
+		{"unavailable qubit", "SMIS S0, {1}", ""}, // valid on surface7; checked below differently
+		{"bad pair", "SMIT T0, {(0, 1)}", "not an allowed qubit pair"},
+		{"pair mask conflict", "SMIT T0, {(2, 0), (0, 3)}", "both use qubit 0"},
+		{"duplicate qubit", "SMIS S0, {0, 0}", "listed twice"},
+		{"negative qwait", "QWAIT -5", "non-negative"},
+		{"negative PI", "-1, X S0", "non-negative"},
+		{"trailing garbage", "NOP NOP", "trailing"},
+		{"bad flag", "BR WAT, 0", "unknown comparison flag"},
+		{"duplicate label", "a:\na:\nNOP", "redefined"},
+		{"wrong reg class", "X T0", "expected single-qubit target register"},
+		{"two-qubit needs T", "CZ S0", "expected two-qubit target register"},
+	}
+	for _, c := range cases {
+		if c.wantSub == "" {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			errs := assembleErr(t, c.src)
+			if !strings.Contains(errs.Error(), c.wantSub) {
+				t.Errorf("errors %q do not mention %q", errs.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+func TestUnavailableQubitOnTwoQubitChip(t *testing.T) {
+	a := New(isa.DefaultConfig(), topology.TwoQubit())
+	if _, err := a.Assemble("SMIS S0, {1}"); err == nil {
+		t.Fatal("qubit 1 does not exist on the two-qubit chip")
+	}
+	if _, err := a.Assemble("SMIS S0, {0, 2}"); err != nil {
+		t.Fatalf("qubits 0 and 2 must be available: %v", err)
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	errs := assembleErr(t, "NOP\nNOP\nFROB S0\n")
+	if errs[0].Line != 3 {
+		t.Errorf("error line = %d, want 3", errs[0].Line)
+	}
+}
+
+func TestMultipleErrorsCollected(t *testing.T) {
+	errs := assembleErr(t, "FROB S0\nSMIS S0, {9}\nBR EQ, nowhere\n")
+	if len(errs) < 3 {
+		t.Errorf("collected %d errors, want >= 3:\n%v", len(errs), errs)
+	}
+}
+
+func TestAssembleToBinaryAndBack(t *testing.T) {
+	a := newTestAssembler()
+	words, err := a.AssembleToBinary(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 8 {
+		t.Fatalf("got %d words", len(words))
+	}
+	d := NewDisassembler(a.Config, a.Topo)
+	text, err := d.Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The disassembly must assemble to the identical binary.
+	words2, err := a.AssembleToBinary(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\nlisting:\n%s", err, text)
+	}
+	if len(words2) != len(words) {
+		t.Fatalf("reassembly changed length: %d vs %d", len(words2), len(words))
+	}
+	for i := range words {
+		if words[i] != words2[i] {
+			t.Errorf("word %d changed: %#08x vs %#08x", i, words[i], words2[i])
+		}
+	}
+}
+
+func TestDisassembleBranches(t *testing.T) {
+	a := newTestAssembler()
+	words, err := a.AssembleToBinary(fig5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDisassembler(a.Config, a.Topo)
+	text, err := d.Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "BR EQ, L") {
+		t.Errorf("disassembly lost branch label:\n%s", text)
+	}
+	words2, err := a.AssembleToBinary(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	for i := range words {
+		if words[i] != words2[i] {
+			t.Fatalf("word %d changed after round trip", i)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, "# full-line comment\n\n   \nNOP # trailing comment\n")
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != isa.OpNOP {
+		t.Fatalf("got %+v", p.Instrs)
+	}
+}
+
+func TestLabelOnOwnLineAndSameLine(t *testing.T) {
+	p := mustAssemble(t, "start:\nNOP\nend: STOP\n")
+	if p.Labels["start"] != 0 || p.Labels["end"] != 1 {
+		t.Fatalf("labels = %v", p.Labels)
+	}
+}
+
+func TestSourceLinesRecorded(t *testing.T) {
+	p := mustAssemble(t, "NOP\nQWAIT 5\n")
+	if p.Instrs[0].SourceLine != 1 || p.Instrs[1].SourceLine != 2 {
+		t.Fatalf("source lines = %d,%d", p.Instrs[0].SourceLine, p.Instrs[1].SourceLine)
+	}
+}

@@ -1,0 +1,163 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+// Exercise the classical-instruction parse paths and their error
+// diagnostics comprehensively.
+func TestParseClassicalVariants(t *testing.T) {
+	good := []string{
+		"NOP",
+		"STOP",
+		"CMP R1, R2",
+		"BR GT, 5",
+		"BR LEU, -2",
+		"FBR GEU, R9",
+		"LDI R31, -524288",
+		"LDUI R4, 32767, R4",
+		"LD R1, R2(0)",
+		"LD R1, R2(-16384)",
+		"ST R3, R4(16383)",
+		"FMR R5, Q2",
+		"AND R1, R2, R3",
+		"OR R1, R2, R3",
+		"XOR R1, R2, R3",
+		"NOT R1, R2",
+		"ADD R1, R2, R3",
+		"SUB R1, R2, R3",
+		"QWAIT 0",
+		"QWAIT 1048575",
+		"QWAITR R31",
+		"SMIS S31, {0, 1, 2, 3, 4, 5, 6}",
+		"SMIT T31, {(2, 0), (4, 1)}",
+	}
+	a := newTestAssembler()
+	for _, src := range good {
+		if _, err := a.Assemble(src); err != nil {
+			t.Errorf("%q rejected: %v", src, err)
+		}
+	}
+	bad := []struct{ src, diag string }{
+		{"CMP R1", "expected"},
+		{"CMP X1, R2", "expected first register"},
+		{"BR", "expected identifier"},
+		{"BR EQ", "expected"},
+		{"BR EQ, {", "expected branch target"},
+		{"FBR EQ, S1", "expected destination register"},
+		{"LDI R1", "expected"},
+		{"LDI R1, x", "expected number"},
+		{"LDUI R1, 5", "expected"},
+		{"LD R1, R2", "expected '('"},
+		{"LD R1, R2(3", "expected ')'"},
+		{"FMR R1, R2", "expected measurement result register"},
+		{"FMR R1, Q25", "exceeds the 7-qubit chip"},
+		{"QWAITR 5", "expected identifier"},
+		{"SMIS S1", "expected"},
+		{"SMIS S1, 0", "expected '{'"},
+		{"SMIT T1, {(2 0)}", "expected ','"},
+		{"SMIT T1, {2, 0}", "expected '('"},
+		{"NOT R1, R2, R3", "trailing"},
+		{"R", "not configured"},
+		{"QWAIT 9999999999999999999", "malformed number"},
+		{"X S0 |", "expected identifier"},
+		{"X S99", "out of range"},
+		{"5, ", "expected identifier"},
+	}
+	for _, c := range bad {
+		_, err := a.Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q accepted", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.diag) {
+			t.Errorf("%q diagnostic %q does not contain %q", c.src, err.Error(), c.diag)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lexLine("SMIT T3, {(1, 3)} # trailing", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.kind
+	}
+	want := []tokenKind{tokIdent, tokIdent, tokComma, tokLBrace, tokLParen,
+		tokNumber, tokComma, tokNumber, tokRParen, tokRBrace, tokEOL}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens: %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v (%s), want %v", i, kinds[i], kinds[i], want[i])
+		}
+	}
+	// Every token kind renders a diagnostic name.
+	for k := tokIdent; k <= tokEOL; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "token(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"42":    42,
+		"-17":   -17,
+		"0x1F":  31,
+		"0X10":  16,
+		"0b101": 5,
+		"0B11":  3,
+	}
+	for src, want := range cases {
+		toks, err := lexLine(src, 1)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[0].num != want {
+			t.Errorf("%q = %d, want %d", src, toks[0].num, want)
+		}
+	}
+	for _, bad := range []string{"0x", "0xZZ", "-"} {
+		if _, err := lexLine(bad, 1); err == nil {
+			t.Errorf("%q lexed without error", bad)
+		}
+	}
+	if _, err := lexLine("a @ b", 1); err == nil {
+		t.Error("unexpected character accepted")
+	}
+}
+
+// The disassembler renders SMIT masks through the topology even for
+// masks it cannot name.
+func TestDisassembleSMITPairList(t *testing.T) {
+	a := New(isa.DefaultConfig(), topology.Surface7())
+	words, err := a.AssembleToBinary("SMIT T1, {(2, 0), (4, 1)}\nCZ T1\nSTOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDisassembler(a.Config, a.Topo)
+	text, err := d.Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "SMIT T1, {(2, 0), (4, 1)}") {
+		t.Fatalf("disassembly:\n%s", text)
+	}
+	// Branch beyond program bounds is rejected.
+	brOut, err := isa.Encode(isa.Instr{Op: isa.OpBR, Cond: isa.CondAlways, Imm: 100}, a.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Disassemble([]uint32{brOut}); err == nil {
+		t.Error("out-of-range branch disassembled")
+	}
+}

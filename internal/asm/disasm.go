@@ -1,0 +1,92 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+// Disassembler renders binary instruction words back to assembly text,
+// resolving q-opcodes through the operation configuration and SMIT masks
+// through the chip topology, and synthesizing labels for branch targets.
+type Disassembler struct {
+	Config *isa.OpConfig
+	Topo   *topology.Topology
+	Inst   isa.Instantiation
+}
+
+// NewDisassembler returns a disassembler for the default instantiation.
+func NewDisassembler(cfg *isa.OpConfig, topo *topology.Topology) *Disassembler {
+	return &Disassembler{Config: cfg, Topo: topo, Inst: isa.Default}
+}
+
+// Disassemble decodes words and renders an assembly listing that the
+// Assembler accepts back (round-trip property, tested).
+func (d *Disassembler) Disassemble(words []uint32) (string, error) {
+	prog, err := d.Inst.DecodeProgram(words, d.Config)
+	if err != nil {
+		return "", err
+	}
+	// Synthesize labels at branch targets.
+	labelAt := map[int]string{}
+	for idx, ins := range prog.Instrs {
+		if ins.Op != isa.OpBR {
+			continue
+		}
+		target := idx + int(ins.Imm)
+		if target < 0 || target > len(prog.Instrs) {
+			return "", fmt.Errorf("asm: branch at word %d targets %d, outside the program", idx, target)
+		}
+		if _, ok := labelAt[target]; !ok {
+			labelAt[target] = fmt.Sprintf("L%d", len(labelAt))
+		}
+	}
+	var b strings.Builder
+	for idx, ins := range prog.Instrs {
+		if l, ok := labelAt[idx]; ok {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "    %s\n", d.render(ins, idx, labelAt))
+	}
+	if l, ok := labelAt[len(prog.Instrs)]; ok {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
+	return b.String(), nil
+}
+
+func (d *Disassembler) render(ins isa.Instr, idx int, labelAt map[int]string) string {
+	switch ins.Op {
+	case isa.OpBR:
+		return fmt.Sprintf("BR %s, %s", ins.Cond, labelAt[idx+int(ins.Imm)])
+	case isa.OpSMIT:
+		return fmt.Sprintf("SMIT T%d, %s", ins.Addr, d.formatPairMask(ins.Mask))
+	case isa.OpBundle:
+		parts := make([]string, 0, len(ins.QOps))
+		for _, q := range ins.QOps {
+			parts = append(parts, q.StringWithConfig(d.Config))
+		}
+		if len(parts) == 0 {
+			parts = append(parts, isa.QNOPName)
+		}
+		return fmt.Sprintf("%d, %s", ins.PI, strings.Join(parts, " | "))
+	default:
+		return ins.String()
+	}
+}
+
+// formatPairMask renders a SMIT mask as the pair-list syntax using the
+// topology's edge table.
+func (d *Disassembler) formatPairMask(mask uint64) string {
+	var parts []string
+	for _, id := range isa.MaskQubits(mask) {
+		if id < len(d.Topo.Edges) {
+			e := d.Topo.Edges[id]
+			parts = append(parts, fmt.Sprintf("(%d, %d)", e.Src, e.Tgt))
+		} else {
+			parts = append(parts, fmt.Sprintf("<edge %d?>", id))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

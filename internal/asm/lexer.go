@@ -1,0 +1,165 @@
+// Package asm implements the eQASM assembler and disassembler: parsing of
+// the assembly syntax used throughout the paper (Figs. 3, 4, 5 and the
+// Section 3 examples), validity checking against the chip topology and
+// operation configuration, quantum-bundle splitting to the instantiated
+// VLIW width (Section 3.4.2), label resolution, and binary emission via
+// the isa package.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokComma
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokPipe
+	tokColon
+	tokEOL
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokPipe:
+		return "'|'"
+	case tokColon:
+		return "':'"
+	case tokEOL:
+		return "end of line"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexeme with its source column (1-based).
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	col  int
+}
+
+// lexLine tokenizes one assembly line. Comments start with '#' and run to
+// the end of the line. The returned slice always ends with a tokEOL.
+func lexLine(line string, lineNo int) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == '#':
+			i = n
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", 0, i + 1})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", 0, i + 1})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", 0, i + 1})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", 0, i + 1})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", 0, i + 1})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", 0, i + 1})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", 0, i + 1})
+			i++
+		case c == '-' || c >= '0' && c <= '9':
+			start := i
+			i++
+			for i < n && (isAlnum(line[i])) {
+				i++
+			}
+			text := line[start:i]
+			v, err := parseNumber(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d col %d: %v", lineNo, start+1, err)
+			}
+			toks = append(toks, token{tokNumber, text, v, start + 1})
+		case isIdentStart(c):
+			start := i
+			i++
+			for i < n && isIdentChar(line[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, line[start:i], 0, start + 1})
+		default:
+			return nil, fmt.Errorf("line %d col %d: unexpected character %q", lineNo, i+1, string(c))
+		}
+	}
+	toks = append(toks, token{tokEOL, "", 0, n + 1})
+	return toks, nil
+}
+
+func parseNumber(s string) (int64, error) {
+	neg := false
+	body := s
+	if strings.HasPrefix(body, "-") {
+		neg = true
+		body = body[1:]
+	}
+	if body == "" {
+		return 0, fmt.Errorf("malformed number %q", s)
+	}
+	base := 10
+	if strings.HasPrefix(body, "0x") || strings.HasPrefix(body, "0X") {
+		base = 16
+		body = body[2:]
+	} else if strings.HasPrefix(body, "0b") || strings.HasPrefix(body, "0B") {
+		base = 2
+		body = body[2:]
+	}
+	v, err := strconv.ParseInt(body, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed number %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || isAlnum(c)
+}
+
+func isAlnum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

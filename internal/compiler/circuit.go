@@ -1,0 +1,188 @@
+// Package compiler is the quantum compiler backend of the eQASM stack
+// (the second compilation step of Fig. 1): it takes hardware-independent
+// circuits, schedules them with gate durations, and generates eQASM under
+// a configurable architecture — timing-specification method (ts1/ts2/ts3
+// of Section 4.2), PI field width, SOMQ, and VLIW width — both in
+// instruction-counting mode (the Fig. 7 design-space exploration) and in
+// executable mode (emitting runnable assembly with target-register
+// allocation).
+package compiler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Gate is one circuit-level operation on explicit qubits.
+type Gate struct {
+	// Name is the operation mnemonic (resolved against an isa.OpConfig
+	// when emitting executable code; free-form for counting).
+	Name string
+	// Qubits lists the operands: one for single-qubit gates and
+	// measurements, two (source, target) for two-qubit gates.
+	Qubits []int
+	// DurationCycles of the pulse; 0 means "look up by kind" during
+	// scheduling (single: 1, two-qubit: 2, measurement: 15).
+	DurationCycles int
+	// Measure marks a measurement operation.
+	Measure bool
+}
+
+// IsTwoQubit reports whether the gate has two operands.
+func (g Gate) IsTwoQubit() bool { return len(g.Qubits) == 2 }
+
+// Circuit is a hardware-independent gate list over NumQubits qubits.
+// Program order defines data dependencies (gates sharing a qubit must not
+// reorder).
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []Gate
+}
+
+// Validate checks operand ranges.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if len(g.Qubits) < 1 || len(g.Qubits) > 2 {
+			return fmt.Errorf("compiler: gate %d (%s) has %d operands", i, g.Name, len(g.Qubits))
+		}
+		for _, q := range g.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("compiler: gate %d (%s) targets qubit %d outside [0,%d)",
+					i, g.Name, q, c.NumQubits)
+			}
+		}
+		if len(g.Qubits) == 2 && g.Qubits[0] == g.Qubits[1] {
+			return fmt.Errorf("compiler: gate %d (%s) uses qubit %d twice", i, g.Name, g.Qubits[0])
+		}
+	}
+	return nil
+}
+
+// Stats summarises a circuit's gate mix.
+type Stats struct {
+	Total     int
+	SingleQ   int
+	TwoQ      int
+	Measures  int
+	TwoQFrac  float64
+	GateNames map[string]int
+}
+
+// Stats computes the gate mix (the quantity the paper quotes: IM has <1%
+// two-qubit gates, SR ~39%).
+func (c *Circuit) Stats() Stats {
+	s := Stats{GateNames: map[string]int{}}
+	for _, g := range c.Gates {
+		s.Total++
+		s.GateNames[g.Name]++
+		switch {
+		case g.Measure:
+			s.Measures++
+		case g.IsTwoQubit():
+			s.TwoQ++
+		default:
+			s.SingleQ++
+		}
+	}
+	if s.Total > 0 {
+		s.TwoQFrac = float64(s.TwoQ) / float64(s.Total)
+	}
+	return s
+}
+
+// Default durations by gate kind (Section 4.2: single-qubit 1 cycle,
+// two-qubit 2 cycles, measurement 15 cycles).
+const (
+	DefaultSingleCycles  = 1
+	DefaultTwoCycles     = 2
+	DefaultMeasureCycles = 15
+)
+
+func (g Gate) duration() int64 {
+	if g.DurationCycles > 0 {
+		return int64(g.DurationCycles)
+	}
+	switch {
+	case g.Measure:
+		return DefaultMeasureCycles
+	case g.IsTwoQubit():
+		return DefaultTwoCycles
+	default:
+		return DefaultSingleCycles
+	}
+}
+
+// ScheduledGate is a gate bound to a start cycle.
+type ScheduledGate struct {
+	Gate
+	Start int64
+}
+
+// Schedule is a timing-resolved circuit: gates sorted by start cycle.
+type Schedule struct {
+	NumQubits int
+	Gates     []ScheduledGate
+	// LengthCycles is the makespan.
+	LengthCycles int64
+}
+
+// ASAP schedules the circuit as-soon-as-possible under qubit-resource
+// dependencies: a gate starts when all its operands are free; operands
+// stay busy for the gate's duration. This is the compiler scheduling pass
+// the paper assigns to the backend (Fig. 1, "qubit mapping and
+// scheduling").
+func ASAP(c *Circuit) (*Schedule, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	free := make([]int64, c.NumQubits)
+	s := &Schedule{NumQubits: c.NumQubits, Gates: make([]ScheduledGate, 0, len(c.Gates))}
+	for _, g := range c.Gates {
+		start := int64(0)
+		for _, q := range g.Qubits {
+			if free[q] > start {
+				start = free[q]
+			}
+		}
+		end := start + g.duration()
+		for _, q := range g.Qubits {
+			free[q] = end
+		}
+		s.Gates = append(s.Gates, ScheduledGate{Gate: g, Start: start})
+		if end > s.LengthCycles {
+			s.LengthCycles = end
+		}
+	}
+	sort.SliceStable(s.Gates, func(i, j int) bool { return s.Gates[i].Start < s.Gates[j].Start })
+	return s, nil
+}
+
+// TimingPoint is one distinct start time with its parallel gate set.
+type TimingPoint struct {
+	Cycle int64
+	Gates []ScheduledGate
+}
+
+// Points groups the schedule into its distinct timing points, in order —
+// the timeline the eQASM program has to construct (Section 3.1.2).
+func (s *Schedule) Points() []TimingPoint {
+	var pts []TimingPoint
+	for _, g := range s.Gates {
+		if n := len(pts); n == 0 || pts[n-1].Cycle != g.Start {
+			pts = append(pts, TimingPoint{Cycle: g.Start})
+		}
+		pts[len(pts)-1].Gates = append(pts[len(pts)-1].Gates, g)
+	}
+	return pts
+}
+
+// ParallelismProfile returns the mean number of gates per timing point,
+// the parallelism statistic that separates RB/IM from SR in Section 4.2.
+func (s *Schedule) ParallelismProfile() float64 {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return 0
+	}
+	return float64(len(s.Gates)) / float64(len(pts))
+}

@@ -1,0 +1,246 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TimingSpec selects one of the three timing-specification methods
+// explored in Section 4.2.
+type TimingSpec int
+
+const (
+	// TS1 specifies every timing point with a separate QWAIT instruction
+	// (the QuMIS fashion).
+	TS1 TimingSpec = iota
+	// TS2 lets a QWAIT occupy a VLIW slot inside the quantum bundle
+	// instruction in place of a quantum operation (requires width >= 2).
+	TS2
+	// TS3 uses the PI field of the bundle word for short intervals and a
+	// separate QWAIT for longer ones — the method the instantiation
+	// adopts (Config 9: wPI = 3).
+	TS3
+)
+
+func (t TimingSpec) String() string {
+	switch t {
+	case TS1:
+		return "ts1"
+	case TS2:
+		return "ts2"
+	case TS3:
+		return "ts3"
+	}
+	return fmt.Sprintf("TimingSpec(%d)", int(t))
+}
+
+// Options parameterises the architecture being explored.
+type Options struct {
+	Spec TimingSpec
+	// WPI is the PI field width in bits (TS3 only).
+	WPI int
+	// SOMQ enables single-operation-multiple-qubit combining.
+	SOMQ bool
+	// VLIWWidth is the number of operations per bundle word (w).
+	VLIWWidth int
+}
+
+func (o Options) String() string {
+	pi := "no PI"
+	if o.Spec == TS3 {
+		pi = fmt.Sprintf("wPI=%d", o.WPI)
+	}
+	somq := "no SOMQ"
+	if o.SOMQ {
+		somq = "SOMQ"
+	}
+	return fmt.Sprintf("(%s, %s, %s) w=%d", o.Spec, pi, somq, o.VLIWWidth)
+}
+
+// Validate rejects inconsistent option sets.
+func (o Options) Validate() error {
+	if o.VLIWWidth < 1 {
+		return fmt.Errorf("compiler: VLIW width %d < 1", o.VLIWWidth)
+	}
+	if o.Spec == TS2 && o.VLIWWidth < 2 {
+		return fmt.Errorf("compiler: ts2 requires VLIW width >= 2 (Section 4.2)")
+	}
+	if o.Spec == TS3 && (o.WPI < 1 || o.WPI > 20) {
+		return fmt.Errorf("compiler: ts3 needs a PI width in [1,20], got %d", o.WPI)
+	}
+	return nil
+}
+
+// The ten architecture configurations of Fig. 7.
+var (
+	// Config1 is (ts1, no PI, no SOMQ); Config1 with w=1 is the baseline.
+	Config1 = Options{Spec: TS1, VLIWWidth: 1}
+	// Config2 is (ts2, no PI, no SOMQ).
+	Config2 = Options{Spec: TS2, VLIWWidth: 2}
+	// Config3..6 are (ts3, wPI=1..4, no SOMQ).
+	Config3 = Options{Spec: TS3, WPI: 1, VLIWWidth: 1}
+	Config4 = Options{Spec: TS3, WPI: 2, VLIWWidth: 1}
+	Config5 = Options{Spec: TS3, WPI: 3, VLIWWidth: 1}
+	Config6 = Options{Spec: TS3, WPI: 4, VLIWWidth: 1}
+	// Config7..10 are (ts3, wPI=1..4, SOMQ). Config9 with w=2 is the
+	// adopted instantiation.
+	Config7  = Options{Spec: TS3, WPI: 1, SOMQ: true, VLIWWidth: 1}
+	Config8  = Options{Spec: TS3, WPI: 2, SOMQ: true, VLIWWidth: 1}
+	Config9  = Options{Spec: TS3, WPI: 3, SOMQ: true, VLIWWidth: 1}
+	Config10 = Options{Spec: TS3, WPI: 4, SOMQ: true, VLIWWidth: 1}
+)
+
+// WithWidth returns the options with the VLIW width replaced.
+func (o Options) WithWidth(w int) Options {
+	o.VLIWWidth = w
+	return o
+}
+
+// CountResult is the instruction-count outcome of one configuration.
+type CountResult struct {
+	// Instructions is the total instruction count (the Fig. 7 metric).
+	Instructions int64
+	// BundleWords counts quantum bundle instruction words.
+	BundleWords int64
+	// QWaits counts standalone QWAIT instructions.
+	QWaits int64
+	// EffectiveOps counts quantum operations after SOMQ combining.
+	EffectiveOps int64
+	// RawGates counts circuit gates before combining.
+	RawGates int64
+	// Points counts distinct timing points.
+	Points int64
+}
+
+// OpsPerBundle is the average effective quantum operations per bundle
+// word (the Section 4.2 statistic: 1.795/1.485/1.118 for RB/IM/SR under
+// Config 9 with w=2).
+func (r CountResult) OpsPerBundle() float64 {
+	if r.BundleWords == 0 {
+		return 0
+	}
+	return float64(r.EffectiveOps) / float64(r.BundleWords)
+}
+
+// Count sizes the eQASM program a schedule compiles to under the given
+// architecture options, following the paper's analysis assumptions: the
+// quantum operation target registers always provide the required qubit
+// (pair) lists, so SMIS/SMIT instructions are not counted.
+func Count(s *Schedule, opt Options) (CountResult, error) {
+	if err := opt.Validate(); err != nil {
+		return CountResult{}, err
+	}
+	var res CountResult
+	prev := int64(0)
+	maxPI := int64(0)
+	if opt.Spec == TS3 {
+		maxPI = int64(1)<<uint(opt.WPI) - 1
+	}
+	w := int64(opt.VLIWWidth)
+	for _, pt := range s.Points() {
+		interval := pt.Cycle - prev
+		prev = pt.Cycle
+		ops := int64(len(pt.Gates))
+		res.RawGates += ops
+		if opt.SOMQ {
+			ops = combinedOps(pt.Gates)
+		}
+		res.EffectiveOps += ops
+		res.Points++
+		needsWait := interval > 0 || res.Points > 1
+		// A point at cycle 0 opening the program needs no interval
+		// specification under any method.
+		switch opt.Spec {
+		case TS1:
+			if needsWait {
+				res.QWaits++
+			}
+			res.BundleWords += ceilDiv(ops, w)
+		case TS2:
+			slots := ops
+			if needsWait {
+				slots++
+			}
+			res.BundleWords += ceilDiv(slots, w)
+		case TS3:
+			if needsWait && interval > maxPI {
+				res.QWaits++
+			}
+			res.BundleWords += ceilDiv(ops, w)
+		}
+	}
+	res.Instructions = res.BundleWords + res.QWaits
+	return res, nil
+}
+
+// combinedOps counts the operations remaining after SOMQ combining: one
+// per distinct operation name among the point's single-qubit gates and
+// measurements, one per distinct name among its two-qubit gates (a
+// two-qubit target register holds multiple disjoint pairs).
+func combinedOps(gates []ScheduledGate) int64 {
+	single := map[string]bool{}
+	double := map[string]bool{}
+	for _, g := range gates {
+		if g.IsTwoQubit() {
+			double[g.Name] = true
+		} else {
+			single[g.Name] = true
+		}
+	}
+	return int64(len(single) + len(double))
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// SweepWidths runs Count for each width, the inner loop of Fig. 7.
+func SweepWidths(s *Schedule, base Options, widths []int) (map[int]CountResult, error) {
+	out := make(map[int]CountResult, len(widths))
+	for _, w := range widths {
+		if base.Spec == TS2 && w < 2 {
+			continue
+		}
+		r, err := Count(s, base.WithWidth(w))
+		if err != nil {
+			return nil, err
+		}
+		out[w] = r
+	}
+	return out, nil
+}
+
+// PointSizeHistogram reports how many timing points carry each gate
+// count, a diagnostic for benchmark parallelism.
+func PointSizeHistogram(s *Schedule) map[int]int {
+	h := map[int]int{}
+	for _, pt := range s.Points() {
+		h[len(pt.Gates)]++
+	}
+	return h
+}
+
+// IntervalHistogram reports the distribution of inter-point intervals,
+// the quantity that determines which PI width suffices (Section 4.2:
+// "most of the waiting time is short and can be encoded in a 3-bit PI
+// field").
+func IntervalHistogram(s *Schedule) map[int64]int {
+	h := map[int64]int{}
+	prev := int64(0)
+	for i, pt := range s.Points() {
+		if i > 0 {
+			h[pt.Cycle-prev]++
+		}
+		prev = pt.Cycle
+	}
+	return h
+}
+
+// SortedKeys returns the histogram keys in ascending order (helper for
+// deterministic reports).
+func SortedKeys[K int | int64](h map[K]int) []K {
+	keys := make([]K, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,139 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCircuitStats(t *testing.T) {
+	c := &Circuit{NumQubits: 3, Gates: []Gate{
+		lin("X", 0), lin("X", 1),
+		{Name: "CZ", Qubits: []int{0, 1}},
+		{Name: "MEASZ", Qubits: []int{0}, Measure: true},
+	}}
+	st := c.Stats()
+	if st.Total != 4 || st.SingleQ != 2 || st.TwoQ != 1 || st.Measures != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.TwoQFrac != 0.25 {
+		t.Fatalf("two-qubit fraction = %v", st.TwoQFrac)
+	}
+	if st.GateNames["X"] != 2 {
+		t.Fatalf("name histogram: %v", st.GateNames)
+	}
+	if empty := (&Circuit{}).Stats(); empty.Total != 0 || empty.TwoQFrac != 0 {
+		t.Fatalf("empty stats: %+v", empty)
+	}
+}
+
+func TestOptionStrings(t *testing.T) {
+	for _, c := range []struct {
+		opt  Options
+		want string
+	}{
+		{Config1, "(ts1, no PI, no SOMQ) w=1"},
+		{Config2, "(ts2, no PI, no SOMQ) w=2"},
+		{Config9.WithWidth(2), "(ts3, wPI=3, SOMQ) w=2"},
+	} {
+		if got := c.opt.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	for _, ts := range []TimingSpec{TS1, TS2, TS3} {
+		if strings.HasPrefix(ts.String(), "TimingSpec(") {
+			t.Errorf("spec %d unnamed", ts)
+		}
+	}
+}
+
+func TestSweepWidths(t *testing.T) {
+	c := &Circuit{NumQubits: 2, Gates: []Gate{
+		lin("X", 0), lin("Y", 1), lin("X", 0), lin("Y", 1),
+	}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SweepWidths(s, Config1, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("sweep returned %d widths", len(res))
+	}
+	if res[1].Instructions < res[2].Instructions {
+		t.Fatal("width 2 should not need more instructions than width 1")
+	}
+	// ts2 skips width 1.
+	res, err = SweepWidths(s, Config2, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res[1]; ok {
+		t.Fatal("ts2 at width 1 should be skipped")
+	}
+	if r := res[2]; r.OpsPerBundle() <= 0 {
+		t.Fatalf("ops/bundle = %v", r.OpsPerBundle())
+	}
+}
+
+func TestHistogramsAndSortedKeys(t *testing.T) {
+	c := &Circuit{NumQubits: 2, Gates: []Gate{
+		lin("X", 0), lin("Y", 1), // point 0: 2 gates
+		{Name: "CZ", Qubits: []int{0, 1}}, // point 1
+		lin("X", 0),                       // point 3 (CZ lasts 2)
+	}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := PointSizeHistogram(s)
+	if ps[2] != 1 || ps[1] != 2 {
+		t.Fatalf("point sizes: %v", ps)
+	}
+	ih := IntervalHistogram(s)
+	if ih[1] != 1 || ih[2] != 1 {
+		t.Fatalf("intervals: %v", ih)
+	}
+	keys := SortedKeys(ih)
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 2 {
+		t.Fatalf("sorted keys: %v", keys)
+	}
+	ki := SortedKeys(ps)
+	if len(ki) != 2 || ki[0] != 1 || ki[1] != 2 {
+		t.Fatalf("sorted int keys: %v", ki)
+	}
+}
+
+func TestSymmetricGate(t *testing.T) {
+	if !symmetricGate("CZ") || symmetricGate("CNOT") {
+		t.Fatal("CZ is symmetric, CNOT is not")
+	}
+}
+
+func TestGanttRenderer(t *testing.T) {
+	c := &Circuit{NumQubits: 2, Gates: []Gate{
+		lin("X", 0),
+		{Name: "CZ", Qubits: []int{0, 1}},
+		lin("H", 1),
+	}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Gantt(0)
+	if !strings.Contains(out, "q0 ") || !strings.Contains(out, "q1 ") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// q0: X at 0, CZ at 1-2, idle at 3; q1: idle, CZ, then H.
+	if !strings.Contains(out, "|XCC.|") {
+		t.Fatalf("q0 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|.CCH|") {
+		t.Fatalf("q1 row wrong:\n%s", out)
+	}
+	// Truncation works.
+	if short := s.Gantt(2); !strings.Contains(short, "|XC|") {
+		t.Fatalf("truncated render wrong:\n%s", short)
+	}
+}

@@ -1,0 +1,155 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func testEmitter() *Emitter {
+	return NewEmitter(isa.DefaultConfig(), topology.TwoQubit())
+}
+
+func TestEmitSimpleProgram(t *testing.T) {
+	c := &Circuit{NumQubits: 3, Gates: []Gate{
+		lin("X90", 0),
+		lin("X90", 2),
+		{Name: "MEASZ", Qubits: []int{0}, Measure: true},
+		{Name: "MEASZ", Qubits: []int{2}, Measure: true},
+	}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := testEmitter().Emit(s, EmitOptions{SOMQ: true, AppendStop: true, InitWaitCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: SMIS {0,2}, QWAIT 100 (init exceeds PI), bundle X90,
+	// bundle MEASZ, STOP. SOMQ combines both qubits into one mask.
+	var kinds []isa.Opcode
+	for _, ins := range prog.Instrs {
+		kinds = append(kinds, ins.Op)
+	}
+	want := []isa.Opcode{isa.OpSMIS, isa.OpQWAIT, isa.OpBundle, isa.OpBundle, isa.OpSTOP}
+	if len(kinds) != len(want) {
+		t.Fatalf("program:\n%s", prog)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("instr %d = %v, want %v\n%s", i, kinds[i], want[i], prog)
+		}
+	}
+	if prog.Instrs[0].Mask != isa.QubitMask(0, 2) {
+		t.Errorf("SMIS mask = %#b", prog.Instrs[0].Mask)
+	}
+	if prog.Instrs[1].Imm != 100 {
+		t.Errorf("init QWAIT = %d", prog.Instrs[1].Imm)
+	}
+	// MEASZ reuses the same S register: no second SMIS.
+	if prog.Instrs[3].QOps[0].Name != "MEASZ" || prog.Instrs[3].QOps[0].Target != prog.Instrs[2].QOps[0].Target {
+		t.Errorf("register reuse failed:\n%s", prog)
+	}
+}
+
+func TestEmitTwoQubitGate(t *testing.T) {
+	c := &Circuit{NumQubits: 3, Gates: []Gate{
+		lin("H", 0),
+		{Name: "CZ", Qubits: []int{2, 0}},
+	}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := testEmitter().Emit(s, EmitOptions{AppendStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smit *isa.Instr
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == isa.OpSMIT {
+			smit = &prog.Instrs[i]
+		}
+	}
+	if smit == nil {
+		t.Fatalf("no SMIT emitted:\n%s", prog)
+	}
+	if smit.Mask != 1<<0 { // edge 0 = (2,0) on the two-qubit chip
+		t.Errorf("SMIT mask = %#b", smit.Mask)
+	}
+}
+
+func TestEmitRejectsUnmappedPair(t *testing.T) {
+	c := &Circuit{NumQubits: 3, Gates: []Gate{{Name: "CZ", Qubits: []int{0, 1}}}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testEmitter().Emit(s, EmitOptions{}); err == nil {
+		t.Fatal("pair (0,1) is not an allowed edge and must be rejected")
+	}
+}
+
+func TestEmitRejectsUnconfiguredOp(t *testing.T) {
+	c := &Circuit{NumQubits: 3, Gates: []Gate{lin("WOBBLE", 0)}}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testEmitter().Emit(s, EmitOptions{}); err == nil {
+		t.Fatal("unconfigured operation must be rejected")
+	}
+}
+
+// The emitted program must encode cleanly to binary (all fields in range).
+func TestEmitEncodes(t *testing.T) {
+	cfg := isa.DefaultConfig()
+	e := NewEmitter(cfg, topology.TwoQubit())
+	c := &Circuit{NumQubits: 3}
+	rng := newRand(3)
+	names := []string{"X", "Y", "X90", "Ym90", "H"}
+	for i := 0; i < 50; i++ {
+		q := []int{0, 2}[rng.Intn(2)]
+		c.Gates = append(c.Gates, lin(names[rng.Intn(len(names))], q))
+	}
+	s, err := ASAP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := e.Emit(s, EmitOptions{SOMQ: true, AppendStop: true, InitWaitCycles: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := isa.EncodeProgram(prog, cfg); err != nil {
+		t.Fatalf("emitted program does not encode: %v", err)
+	}
+}
+
+func TestRegAllocLRU(t *testing.T) {
+	a := newRegAlloc(2)
+	r0, fresh := a.get(0b001)
+	if !fresh || r0 != 0 {
+		t.Fatalf("first alloc: %d,%v", r0, fresh)
+	}
+	r1, fresh := a.get(0b010)
+	if !fresh || r1 != 1 {
+		t.Fatalf("second alloc: %d,%v", r1, fresh)
+	}
+	// Hit keeps the register.
+	if r, fresh := a.get(0b001); fresh || r != r0 {
+		t.Fatalf("hit: %d,%v", r, fresh)
+	}
+	// Third mask evicts the least recently used (0b010).
+	r2, fresh := a.get(0b100)
+	if !fresh || r2 != r1 {
+		t.Fatalf("eviction picked %d, want %d", r2, r1)
+	}
+	// 0b010 is gone: reallocating it is fresh again.
+	if _, fresh := a.get(0b010); !fresh {
+		t.Fatal("evicted mask still resident")
+	}
+}

@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"fmt"
+
+	"eqasm/internal/topology"
+)
+
+// This file implements the qubit mapping pass of the compiler backend
+// (Fig. 1: "the compiler performs qubit mapping and scheduling"): virtual
+// circuit qubits are placed onto physical chip qubits, and two-qubit
+// gates between non-adjacent placements are routed by inserting SWAP
+// chains (each SWAP decomposed into three CNOTs) along shortest paths of
+// the coupling graph.
+
+// MapResult is the outcome of MapToTopology.
+type MapResult struct {
+	// Circuit is the routed physical circuit.
+	Circuit *Circuit
+	// Initial and Final give the virtual->physical placement before and
+	// after routing (SWAPs move logical qubits).
+	Initial, Final []int
+	// SwapCount is the number of SWAPs inserted.
+	SwapCount int
+}
+
+// MapToTopology places and routes a circuit onto a chip. initial maps
+// each virtual qubit to a distinct physical qubit; nil assigns virtual i
+// to physical i. Two-qubit gates are emitted on allowed pairs, using the
+// reverse edge for the symmetric CZ when only that direction exists.
+func MapToTopology(c *Circuit, topo *topology.Topology, initial []int) (*MapResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if initial == nil {
+		initial = make([]int, c.NumQubits)
+		for i := range initial {
+			initial[i] = i
+		}
+	}
+	if len(initial) != c.NumQubits {
+		return nil, fmt.Errorf("compiler: placement covers %d of %d virtual qubits", len(initial), c.NumQubits)
+	}
+	place := make([]int, c.NumQubits) // virtual -> physical
+	used := map[int]bool{}
+	for v, p := range initial {
+		if p < 0 || p >= topo.NumQubits {
+			return nil, fmt.Errorf("compiler: virtual %d placed on physical %d outside the chip", v, p)
+		}
+		if used[p] {
+			return nil, fmt.Errorf("compiler: physical qubit %d used twice in the placement", p)
+		}
+		used[p] = true
+		place[v] = p
+	}
+	dist, next, err := shortestPaths(topo)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MapResult{
+		Circuit: &Circuit{Name: c.Name + "-mapped", NumQubits: topo.NumQubits},
+		Initial: append([]int(nil), initial...),
+	}
+	emit := func(g Gate) { res.Circuit.Gates = append(res.Circuit.Gates, g) }
+	emitCNOT := func(a, b int) error {
+		if _, ok := topo.EdgeID(a, b); !ok {
+			return fmt.Errorf("compiler: no directed pair (%d,%d) for CNOT", a, b)
+		}
+		emit(Gate{Name: "CNOT", Qubits: []int{a, b}})
+		return nil
+	}
+	swap := func(a, b int) error {
+		// SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b); both directions exist on
+		// every symmetric coupling map in this repository.
+		if err := emitCNOT(a, b); err != nil {
+			return err
+		}
+		if err := emitCNOT(b, a); err != nil {
+			return err
+		}
+		if err := emitCNOT(a, b); err != nil {
+			return err
+		}
+		res.SwapCount++
+		return nil
+	}
+	phys2virt := map[int]int{}
+	for v, p := range place {
+		phys2virt[p] = v
+	}
+
+	for _, g := range c.Gates {
+		if !g.IsTwoQubit() {
+			ng := g
+			ng.Qubits = []int{place[g.Qubits[0]]}
+			emit(ng)
+			continue
+		}
+		va, vb := g.Qubits[0], g.Qubits[1]
+		// Route va's physical location toward vb along the shortest path.
+		for dist[place[va]][place[vb]] > 1 {
+			pa := place[va]
+			step := next[pa][place[vb]]
+			if step < 0 {
+				return nil, fmt.Errorf("compiler: physical qubits %d and %d are disconnected", pa, place[vb])
+			}
+			if err := swap(pa, step); err != nil {
+				return nil, err
+			}
+			// Update placements: whatever logical qubit sat on `step`
+			// moves to `pa`.
+			if other, ok := phys2virt[step]; ok {
+				place[other] = pa
+				phys2virt[pa] = other
+			} else {
+				delete(phys2virt, pa)
+			}
+			place[va] = step
+			phys2virt[step] = va
+		}
+		pa, pb := place[va], place[vb]
+		ng := g
+		switch {
+		case hasEdge(topo, pa, pb):
+			ng.Qubits = []int{pa, pb}
+		case hasEdge(topo, pb, pa) && symmetricGate(g.Name):
+			ng.Qubits = []int{pb, pa}
+		default:
+			return nil, fmt.Errorf("compiler: adjacent pair (%d,%d) lacks a usable directed edge for %s", pa, pb, g.Name)
+		}
+		emit(ng)
+	}
+	res.Final = append([]int(nil), place...)
+	return res, nil
+}
+
+func hasEdge(t *topology.Topology, a, b int) bool {
+	_, ok := t.EdgeID(a, b)
+	return ok
+}
+
+// symmetricGate reports operand symmetry (CZ is; CNOT is not).
+func symmetricGate(name string) bool { return name == "CZ" }
+
+// shortestPaths runs all-pairs BFS over the undirected coupling graph,
+// returning hop distances and, for each (from, to), the first hop of one
+// shortest path (-1 when unreachable).
+func shortestPaths(t *topology.Topology) (dist [][]int, next [][]int, err error) {
+	n := t.NumQubits
+	dist = make([][]int, n)
+	next = make([][]int, n)
+	for s := 0; s < n; s++ {
+		dist[s] = make([]int, n)
+		next[s] = make([]int, n)
+		for i := range dist[s] {
+			dist[s][i] = -1
+			next[s][i] = -1
+		}
+		dist[s][s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range t.Neighbors(u) {
+				if dist[s][v] != -1 {
+					continue
+				}
+				dist[s][v] = dist[s][u] + 1
+				if u == s {
+					next[s][v] = v
+				} else {
+					next[s][v] = next[s][u]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Unreachable pairs keep dist -1; routing through them fails lazily
+	// (disconnected or unused qubits are legal on a chip).
+	return dist, next, nil
+}

@@ -1,0 +1,52 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the schedule as a per-qubit ASCII timeline, one column
+// per cycle: each gate prints its first letter across its duration, '.'
+// marks idle cycles. Useful for inspecting what ASAP/ALAP and the mapper
+// actually did; truncated at maxCycles columns.
+func (s *Schedule) Gantt(maxCycles int) string {
+	if maxCycles <= 0 || int64(maxCycles) > s.LengthCycles {
+		maxCycles = int(s.LengthCycles)
+	}
+	rows := make([][]byte, s.NumQubits)
+	for q := range rows {
+		rows[q] = []byte(strings.Repeat(".", maxCycles))
+	}
+	mark := func(q int, start, dur int64, name string) {
+		c := byte('?')
+		if len(name) > 0 {
+			c = name[0]
+		}
+		for k := int64(0); k < dur; k++ {
+			pos := start + k
+			if pos >= int64(maxCycles) {
+				return
+			}
+			rows[q][pos] = c
+		}
+	}
+	used := map[int]bool{}
+	for _, g := range s.Gates {
+		for _, q := range g.Qubits {
+			used[q] = true
+			mark(q, g.Start, g.duration(), g.Name)
+		}
+	}
+	var qubits []int
+	for q := range used {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles 0..%d of %d\n", maxCycles-1, s.LengthCycles)
+	for _, q := range qubits {
+		fmt.Fprintf(&b, "q%-2d |%s|\n", q, rows[q])
+	}
+	return b.String()
+}

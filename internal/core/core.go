@@ -1,0 +1,224 @@
+// Package core is the top-level facade of the eQASM reproduction: it
+// wires the paper's full stack — operation configuration, assembler,
+// QuMA_v2 microarchitecture and simulated quantum chip — into one System
+// with assemble-and-run entry points, the way the host CPU of Fig. 1
+// drives the quantum processor. The cmd/ tools and examples/ programs are
+// thin wrappers around this package.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/isa"
+	"eqasm/internal/microarch"
+	"eqasm/internal/quantum"
+	"eqasm/internal/topology"
+)
+
+// Options selects the chip, noise and instrumentation of a System.
+type Options struct {
+	// Topology is the quantum chip; defaults to the two-qubit validation
+	// chip of Section 5.
+	Topology *topology.Topology
+	// OpConfig is the quantum operation configuration; defaults to the
+	// Section 5 gate set.
+	OpConfig *isa.OpConfig
+	// Instantiation is the binary binding; defaults to the paper's 32-bit
+	// seven-qubit instantiation (isa.Default). Alternative bindings such
+	// as isa.Surface17Instantiation() widen masks or switch the SMIT
+	// encoding.
+	Instantiation isa.Instantiation
+	// Noise parameterises the simulated chip; zero is ideal.
+	Noise quantum.NoiseModel
+	// Seed drives measurement sampling and trajectory noise.
+	Seed int64
+	// UseDensityMatrix selects the exact density-matrix chip simulator.
+	UseDensityMatrix bool
+	// RecordDeviceOps enables the device-operation trace.
+	RecordDeviceOps bool
+	// MockMeasure substitutes scripted measurement results (CFC
+	// verification mode).
+	MockMeasure func(qubit, index int) int
+	// Microarch overrides individual microarchitecture parameters; the
+	// Topo/OpConfig/Noise/Seed fields of this nested config are ignored.
+	Microarch microarch.Config
+}
+
+// System is an assembled eQASM machine: assembler + microarchitecture +
+// chip, sharing one operation configuration (Section 3.2).
+type System struct {
+	Topo     *topology.Topology
+	OpConfig *isa.OpConfig
+	Asm      *asm.Assembler
+	Machine  *microarch.Machine
+
+	program *isa.Program
+}
+
+// NewSystem builds a System.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Topology == nil {
+		opts.Topology = topology.TwoQubit()
+	}
+	if opts.OpConfig == nil {
+		opts.OpConfig = isa.DefaultConfig()
+	}
+	if opts.Instantiation.VLIWWidth == 0 {
+		opts.Instantiation = isa.Default
+	}
+	mcfg := opts.Microarch
+	mcfg.Topo = opts.Topology
+	mcfg.OpConfig = opts.OpConfig
+	mcfg.Inst = opts.Instantiation
+	mcfg.Noise = opts.Noise
+	mcfg.Seed = opts.Seed
+	mcfg.UseDensityMatrix = opts.UseDensityMatrix
+	mcfg.RecordDeviceOps = opts.RecordDeviceOps
+	mcfg.MockMeasure = opts.MockMeasure
+	m, err := microarch.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	a := asm.New(opts.OpConfig, opts.Topology)
+	a.Inst = opts.Instantiation
+	return &System{
+		Topo:     opts.Topology,
+		OpConfig: opts.OpConfig,
+		Asm:      a,
+		Machine:  m,
+	}, nil
+}
+
+// Load assembles source and uploads it to the instruction memory.
+func (s *System) Load(src string) error {
+	p, err := s.Asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	s.program = p
+	s.Machine.LoadProgram(p)
+	return nil
+}
+
+// LoadProgram uploads an already-assembled program.
+func (s *System) LoadProgram(p *isa.Program) {
+	s.program = p
+	s.Machine.LoadProgram(p)
+}
+
+// Program returns the loaded program.
+func (s *System) Program() *isa.Program { return s.program }
+
+// Run executes the loaded program once from the current machine state.
+func (s *System) Run() error {
+	return s.Machine.Run()
+}
+
+// RunAssembly assembles and executes source in one step.
+func (s *System) RunAssembly(src string) error {
+	if err := s.Load(src); err != nil {
+		return err
+	}
+	return s.Run()
+}
+
+// RunShots re-executes the loaded program repeatedly from power-on state
+// (Reset between shots; the random stream continues so outcomes vary),
+// invoking collect after each successful shot.
+func (s *System) RunShots(shots int, collect func(shot int, m *microarch.Machine)) error {
+	if s.program == nil {
+		return fmt.Errorf("core: no program loaded")
+	}
+	for i := 0; i < shots; i++ {
+		s.Machine.Reset()
+		if err := s.Machine.Run(); err != nil {
+			return fmt.Errorf("core: shot %d: %w", i, err)
+		}
+		if collect != nil {
+			collect(i, s.Machine)
+		}
+	}
+	return nil
+}
+
+// ParallelShots distributes repeated executions of an assembly program
+// over worker goroutines, each with its own machine (machines are not
+// concurrency safe; the chips are independent anyway). Workers derive
+// their random streams from opts.Seed plus the worker index, so results
+// are reproducible for a fixed worker count. collect is called serially.
+func ParallelShots(opts Options, src string, shots, workers int,
+	collect func(shot int, m *microarch.Machine)) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shots {
+		workers = shots
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	perWorker := (shots + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wOpts := opts
+			wOpts.Seed = opts.Seed + int64(w)*1_000_003
+			sys, err := NewSystem(wOpts)
+			if err == nil {
+				err = sys.Load(src)
+			}
+			for i := 0; i < perWorker; i++ {
+				shot := w*perWorker + i
+				if shot >= shots {
+					return
+				}
+				var runErr error
+				if err != nil {
+					runErr = err
+				} else {
+					sys.Machine.Reset()
+					runErr = sys.Machine.Run()
+				}
+				// collect runs serially (shots may arrive out of order);
+				// the worker holds the lock so its machine state is
+				// stable while the callback reads it.
+				mu.Lock()
+				switch {
+				case firstErr != nil:
+				case runErr != nil:
+					firstErr = fmt.Errorf("core: shot %d: %w", shot, runErr)
+				case collect != nil:
+					collect(shot, sys.Machine)
+				}
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// MeasuredBits returns the last run's measurement results as a bitmask
+// keyed by qubit (the most recent result per qubit) plus the full record.
+func (s *System) MeasuredBits() map[int]int {
+	out := map[int]int{}
+	for _, r := range s.Machine.Measurements() {
+		out[r.Qubit] = r.Result
+	}
+	return out
+}
+
+// Binary assembles source straight to instruction words (host-side
+// tooling path).
+func (s *System) Binary(src string) ([]uint32, error) {
+	return s.Asm.AssembleToBinary(src)
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"eqasm/internal/core"
+)
+
+// The smallest end-to-end flow: assemble an eQASM program, execute it on
+// the QuMA_v2 model, read the measurement result.
+func ExampleSystem() {
+	sys, err := core.NewSystem(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.RunAssembly(`
+SMIS S0, {0}
+X S0
+MEASZ S0
+STOP
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qubit 0 measured: %d\n", sys.MeasuredBits()[0])
+	// Output: qubit 0 measured: 1
+}
+
+// Programs can also be compiled to the 32-bit binary of Fig. 8 and
+// uploaded as an instruction-memory image.
+func ExampleSystem_binary() {
+	sys, err := core.NewSystem(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	words, err := sys.Binary("QWAIT 10000\nSTOP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%08x %08x\n", words[0], words[1])
+	// Output: 20002710 02000000
+}

@@ -1,0 +1,179 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+// runSmall shares one reduced-size DSE run across assertions (4096
+// Cliffords is the paper's size; 512 preserves all ratios).
+var cached *Table
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	if cached == nil {
+		tab, err := Run(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached = tab
+	}
+	return cached
+}
+
+func within(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.3f, want within [%.3f, %.3f]", name, got, lo, hi)
+	}
+}
+
+// Fig. 7 headline: increasing w from 1 to 4 reduces RB instructions by up
+// to 62%.
+func TestConfig1WidthScalingRB(t *testing.T) {
+	tab := table(t)
+	r, err := tab.Reduction("RB", "Config1", 1, "Config1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "Config1 w4 vs w1 (RB)", r, 0.55, 0.68)
+	// SR barely benefits from width (~8% in the paper).
+	rSR, err := tab.Reduction("SR", "Config1", 1, "Config1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "Config1 w4 vs w1 (SR)", rSR, 0.03, 0.25)
+	if rSR >= r {
+		t.Error("width must help parallel RB more than sequential SR")
+	}
+}
+
+// Config2 (QWAIT in a bundle slot) vs Config1, per benchmark band.
+func TestConfig2Bands(t *testing.T) {
+	tab := table(t)
+	type band struct{ lo, hi float64 }
+	bands := map[string]band{
+		"RB": {0.15, 0.38}, // paper 20-33%
+		"IM": {0.15, 0.50}, // paper 24-45%
+		"SR": {0.30, 0.55}, // paper 43-50%
+	}
+	for bench, b := range bands {
+		for _, w := range []int{2, 3, 4} {
+			r, err := tab.Reduction(bench, "Config1", w, "Config2", w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			within(t, "Config2 vs Config1 "+bench, r, b.lo, b.hi)
+		}
+	}
+	// SR benefits most (sequential programs have relatively more QWAITs
+	// and empty slots to fill).
+	rSR, _ := tab.Reduction("SR", "Config1", 2, "Config2", 2)
+	rRB, _ := tab.Reduction("RB", "Config1", 2, "Config2", 2)
+	if rSR <= rRB {
+		t.Errorf("SR (%.2f) should gain more from ts2 than RB (%.2f)", rSR, rRB)
+	}
+}
+
+// ts3 with a wider PI field: marginal for RB/IM (intervals ~1), decisive
+// for SR (intervals up to several cycles).
+func TestPIWidthEffect(t *testing.T) {
+	tab := table(t)
+	// RB: wPI=1 already captures everything; widening adds nothing.
+	r1, _ := tab.Reduction("RB", "Config1", 1, "Config3", 1)
+	r4, _ := tab.Reduction("RB", "Config1", 1, "Config6", 1)
+	if r4-r1 > 0.02 {
+		t.Errorf("RB gains %.3f from wider PI, want ~0", r4-r1)
+	}
+	// SR: widening PI from 1 to 3 bits gives a substantial further drop
+	// (paper: ~17% at wPI=1 to ~48% at wPI>=3).
+	s1, _ := tab.Reduction("SR", "Config1", 1, "Config3", 1)
+	s3, _ := tab.Reduction("SR", "Config1", 1, "Config5", 1)
+	if s3-s1 < 0.05 {
+		t.Errorf("SR gains only %.3f from widening PI, want a clear jump", s3-s1)
+	}
+	within(t, "SR Config5 vs baseline", s3, 0.30, 0.55)
+}
+
+// SOMQ helps parallel benchmarks and is negligible for sequential SR
+// (paper: RB up to 42%, IM ~24% at w=1, SR <= 4%).
+func TestSOMQEffect(t *testing.T) {
+	tab := table(t)
+	rb, _ := tab.Reduction("RB", "Config4", 2, "Config8", 2)
+	within(t, "SOMQ RB (w=2)", rb, 0.25, 0.50)
+	im, _ := tab.Reduction("IM", "Config3", 1, "Config7", 1)
+	within(t, "SOMQ IM (w=1)", im, 0.15, 0.35)
+	sr := 0.0
+	for _, w := range []int{1, 2, 4} {
+		r, _ := tab.Reduction("SR", "Config5", w, "Config9", w)
+		if r > sr {
+			sr = r
+		}
+	}
+	if sr > 0.06 {
+		t.Errorf("SOMQ SR = %.3f, want <= ~4%%", sr)
+	}
+	if rb <= im || im <= sr {
+		t.Error("SOMQ benefit must order RB > IM > SR")
+	}
+}
+
+// SOMQ's effect shrinks as w grows (IM: ~24/19/9/2% in the paper).
+func TestSOMQShrinksWithWidth(t *testing.T) {
+	tab := table(t)
+	prev := 1.0
+	for _, w := range []int{1, 2, 4} {
+		r, err := tab.Reduction("IM", "Config5", w, "Config9", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > prev+0.02 {
+			t.Errorf("SOMQ IM benefit grew with width at w=%d: %.3f > %.3f", w, r, prev)
+		}
+		prev = r
+	}
+}
+
+// The Section 4.2 ops-per-bundle statistic under the adopted Config 9,
+// w=2 (paper: RB 1.795, IM 1.485, SR 1.118): with SOMQ, w > 2 is not
+// highly required.
+func TestOpsPerBundleConfig9(t *testing.T) {
+	tab := table(t)
+	get := func(bench string, w int) float64 {
+		c, ok := tab.Lookup(bench, "Config9", w)
+		if !ok {
+			t.Fatalf("missing cell %s w%d", bench, w)
+		}
+		return c.Result.OpsPerBundle()
+	}
+	within(t, "ops/bundle RB w2", get("RB", 2), 1.6, 2.0)
+	within(t, "ops/bundle IM w2", get("IM", 2), 1.3, 1.8)
+	within(t, "ops/bundle SR w2", get("SR", 2), 1.0, 1.45)
+	if !(get("RB", 2) > get("IM", 2) && get("IM", 2) > get("SR", 2)) {
+		t.Error("ops/bundle must order RB > IM > SR")
+	}
+}
+
+func TestRenderAndHeadline(t *testing.T) {
+	tab := table(t)
+	out := tab.Render()
+	for _, want := range []string{"== RB", "== IM", "== SR", "Config9", "effective ops per bundle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	lines := tab.Headline()
+	if len(lines) < 10 {
+		t.Errorf("headline produced only %d lines", len(lines))
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tab := table(t)
+	if _, ok := tab.Lookup("RB", "Config2", 1); ok {
+		t.Error("ts2 with w=1 should not exist")
+	}
+	if _, err := tab.Reduction("RB", "Config2", 1, "Config1", 1); err == nil {
+		t.Error("expected error for missing reference cell")
+	}
+}

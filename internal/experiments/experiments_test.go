@@ -1,0 +1,468 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"eqasm/internal/quantum"
+)
+
+func TestCalibratedNoiseIsPhysical(t *testing.T) {
+	if err := CalibratedNoise().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadoutCorrect(t *testing.T) {
+	// p_meas = p_true(1-e) + (1-p_true)e; correction must invert it.
+	for _, pTrue := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		const e = 0.08
+		pMeas := pTrue*(1-e) + (1-pTrue)*e
+		if got := ReadoutCorrect(pMeas, e); math.Abs(got-pTrue) > 1e-12 {
+			t.Errorf("correct(%v) = %v, want %v", pMeas, got, pTrue)
+		}
+	}
+	if got := ReadoutCorrect(0.01, 0.08); got != 0 {
+		t.Errorf("clamping failed: %v", got)
+	}
+	if got := ReadoutCorrect(0.7, 0.6); got != 0.7 {
+		t.Errorf("e >= 0.5 must pass through: %v", got)
+	}
+}
+
+// Fig. 11: the ideal chip must produce the exact staircase.
+func TestAllXYIdealChip(t *testing.T) {
+	r, err := RunAllXY(AllXYOptions{Noise: quantum.Ideal(), Seed: 5, Shots: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 42 {
+		t.Fatalf("points = %d, want 42", len(r.Points))
+	}
+	// Sampling noise only: sqrt(0.25/300) ~ 0.029 per point.
+	if r.MaxDeviation > 0.12 {
+		t.Fatalf("ideal-chip staircase deviation = %v", r.MaxDeviation)
+	}
+	// The second qubit runs the full sequence twice; the first qubit
+	// repeats each pair. Check the index mapping on a known round.
+	p := r.Points[23]
+	if p.PairA != 11 || p.PairB != 2 {
+		t.Fatalf("round 23 pairs = (%d,%d), want (11,2)", p.PairA, p.PairB)
+	}
+}
+
+// Fig. 11 with the calibrated chip: staircase survives within a few
+// percent after readout correction.
+func TestAllXYCalibratedChip(t *testing.T) {
+	r, err := RunAllXY(AllXYOptions{Noise: CalibratedNoise(), Seed: 7, Shots: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDeviation > 0.16 {
+		t.Fatalf("staircase deviation = %v", r.MaxDeviation)
+	}
+	if r.RMSDeviation > 0.06 {
+		t.Fatalf("staircase rms = %v", r.RMSDeviation)
+	}
+}
+
+func TestAllXYIdealValues(t *testing.T) {
+	if AllXYIdeal(0) != 0 || AllXYIdeal(4) != 0 {
+		t.Error("pairs 1-5 must end in |0>")
+	}
+	if AllXYIdeal(5) != 0.5 || AllXYIdeal(16) != 0.5 {
+		t.Error("pairs 6-17 must end on the equator")
+	}
+	if AllXYIdeal(17) != 1 || AllXYIdeal(20) != 1 {
+		t.Error("pairs 18-21 must end in |1>")
+	}
+}
+
+// Fig. 12: error per gate grows monotonically with the gate interval, by
+// a factor of several from 20 ns to 320 ns, and the 20 ns fidelity is
+// ~99.9%.
+func TestRBTimingShape(t *testing.T) {
+	opts := RBTimingOptions{
+		Noise:           CalibratedNoise(),
+		Seed:            3,
+		IntervalsCycles: []int{1, 4, 16},
+		Lengths:         []int{1, 8, 16, 32, 64, 128, 256},
+		Randomizations:  8,
+	}
+	r, err := RunRBTiming(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 3 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	e20 := r.Curves[0].ErrorPerGate
+	e80 := r.Curves[1].ErrorPerGate
+	e320 := r.Curves[2].ErrorPerGate
+	if !(e20 < e80 && e80 < e320) {
+		t.Fatalf("error not monotone in interval: %v %v %v", e20, e80, e320)
+	}
+	if e20 < 0.0005 || e20 > 0.002 {
+		t.Errorf("20 ns error per gate = %v, want ~0.1%%", e20)
+	}
+	if ratio := e320 / e20; ratio < 3.5 {
+		t.Errorf("320/20 ns error ratio = %v, want >= 3.5 (paper: ~7)", ratio)
+	}
+	// Single-qubit fidelity at minimal spacing ~99.9% (Section 5).
+	if f := 1 - e20; f < 0.9975 {
+		t.Errorf("minimal-interval gate fidelity = %v, want >= 99.75%%", f)
+	}
+}
+
+// An ideal chip shows no interval dependence.
+func TestRBTimingIdealChipFlat(t *testing.T) {
+	opts := RBTimingOptions{
+		Noise:           quantum.Ideal(),
+		Seed:            3,
+		IntervalsCycles: []int{1, 16},
+		Lengths:         []int{1, 16, 64},
+		Randomizations:  4,
+	}
+	r, err := RunRBTiming(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Curves {
+		for _, s := range c.Survival {
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("ideal chip survival = %v at interval %d", s, c.IntervalCycles)
+			}
+		}
+	}
+}
+
+// Active reset: ideal chip resets perfectly; calibrated chip lands near
+// the paper's readout-limited 82.7%.
+func TestActiveReset(t *testing.T) {
+	ideal, err := RunReset(ResetOptions{Noise: quantum.Ideal(), Seed: 1, Shots: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.P0 != 1 {
+		t.Fatalf("ideal-chip reset P0 = %v, want 1", ideal.P0)
+	}
+	if math.Abs(ideal.FirstP1-0.5) > 0.1 {
+		t.Fatalf("first measurement P1 = %v, want ~0.5", ideal.FirstP1)
+	}
+	cal, err := RunReset(ResetOptions{Noise: CalibratedNoise(), Seed: 1, Shots: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.P0 < 0.78 || cal.P0 > 0.88 {
+		t.Fatalf("calibrated reset P0 = %v, want ~0.827", cal.P0)
+	}
+}
+
+// CFC verification: the program flow must follow arbitrary mock scripts.
+func TestCFCFollowsMockResults(t *testing.T) {
+	r, err := RunCFC(CFCOptions{Rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Alternates {
+		t.Fatalf("alternation failed: got %v, want %v", r.Ops, r.Expected)
+	}
+	// A non-trivial script.
+	script := []int{1, 1, 0, 1, 0, 0}
+	r, err = RunCFC(CFCOptions{
+		Rounds:      len(script),
+		MockResults: func(round int) int { return script[round] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Alternates {
+		t.Fatalf("scripted flow failed: got %v, want %v", r.Ops, r.Expected)
+	}
+}
+
+// Feedback latencies: fast conditional ~92 ns, CFC ~316 ns.
+func TestFeedbackLatencies(t *testing.T) {
+	r, err := MeasureLatencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FastCondNs < 60 || r.FastCondNs > 140 {
+		t.Errorf("fast conditional latency = %d ns, want ~92", r.FastCondNs)
+	}
+	if r.CFCNs < 240 || r.CFCNs > 400 {
+		t.Errorf("CFC latency = %d ns, want ~316", r.CFCNs)
+	}
+	if r.CFCNs <= r.FastCondNs {
+		t.Error("CFC must be slower than fast conditional execution")
+	}
+}
+
+// Grover: ideal chip gives fidelity ~1; calibrated chip lands near 85.6%.
+func TestGrover(t *testing.T) {
+	ideal, err := RunGrover(GroverOptions{Noise: quantum.Ideal(), Seed: 2, Marked: 3, ShotsPerSetting: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Fidelity < 0.97 {
+		t.Fatalf("ideal Grover fidelity = %v", ideal.Fidelity)
+	}
+	if ideal.SuccessProb < 0.97 {
+		t.Fatalf("ideal Grover success = %v", ideal.SuccessProb)
+	}
+	cal, err := RunGrover(GroverOptions{Noise: CalibratedNoise(), Seed: 2, Marked: 2, ShotsPerSetting: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Fidelity < 0.78 || cal.Fidelity > 0.93 {
+		t.Fatalf("calibrated Grover fidelity = %v, want ~0.856", cal.Fidelity)
+	}
+	if cal.Fidelity >= ideal.Fidelity {
+		t.Error("noise must reduce fidelity")
+	}
+}
+
+func TestGroverRejectsBadMark(t *testing.T) {
+	if _, err := RunGrover(GroverOptions{Marked: 7}); err == nil {
+		t.Fatal("marked element 7 accepted")
+	}
+}
+
+// Rabi: the oscillation tracks sin^2 and finds the pi pulse mid-sweep.
+func TestRabi(t *testing.T) {
+	r, err := RunRabi(RabiOptions{Noise: quantum.Ideal(), Seed: 4, Steps: 21, Shots: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 21 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.MaxDeviation > 0.08 {
+		t.Fatalf("deviation from sin^2 = %v", r.MaxDeviation)
+	}
+	// 2*pi sweep over 21 points: pi at index 10.
+	if r.PiPulseIndex < 9 || r.PiPulseIndex > 11 {
+		t.Fatalf("pi pulse at index %d, want ~10", r.PiPulseIndex)
+	}
+}
+
+// T1: the fitted relaxation time recovers the configured one.
+func TestT1Recovery(t *testing.T) {
+	noise := quantum.NoiseModel{T1Ns: 25_000}
+	r, err := RunT1(T1Options{Noise: noise, Seed: 6, Shots: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.FittedT1Ns-noise.T1Ns)/noise.T1Ns > 0.25 {
+		t.Fatalf("fitted T1 = %v ns, configured %v ns", r.FittedT1Ns, noise.T1Ns)
+	}
+	// Decay must be monotone (within sampling noise).
+	first, last := r.Points[0].P1, r.Points[len(r.Points)-1].P1
+	if first < 0.9 || last > first {
+		t.Fatalf("decay curve wrong: first %v last %v", first, last)
+	}
+}
+
+// ALAP scheduling keeps the excited qubit fresh longer and therefore
+// beats ASAP on fidelity at identical makespan — the compiler timing
+// optimization explicit QISA-level timing enables.
+func TestALAPBeatsASAPUnderT1(t *testing.T) {
+	r, err := RunSchedulingComparison(SchedulingOptions{
+		Noise: quantum.NoiseModel{T1Ns: 10_000}, // aggressive T1 to expose the gap
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IdleGapCycles <= 0 {
+		t.Fatalf("ALAP did not delay the early gate (gap %d)", r.IdleGapCycles)
+	}
+	if r.ALAPFidelity <= r.ASAPFidelity {
+		t.Fatalf("ALAP %v <= ASAP %v", r.ALAPFidelity, r.ASAPFidelity)
+	}
+	// The gap should be substantial with the 40-cycle idle at T1=10us.
+	if r.ALAPFidelity-r.ASAPFidelity < 0.02 {
+		t.Fatalf("fidelity gap %v too small to be the T1 effect",
+			r.ALAPFidelity-r.ASAPFidelity)
+	}
+}
+
+// On an ideal chip both schedules are exactly equivalent.
+func TestSchedulesEquivalentOnIdealChip(t *testing.T) {
+	r, err := RunSchedulingComparison(SchedulingOptions{Noise: quantum.Ideal(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ASAPFidelity-1) > 1e-9 || math.Abs(r.ALAPFidelity-1) > 1e-9 {
+		t.Fatalf("ideal-chip fidelities %v / %v, want 1", r.ASAPFidelity, r.ALAPFidelity)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	axy, err := RunAllXY(AllXYOptions{Noise: quantum.Ideal(), Seed: 1, Shots: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := axy.Render()
+	for _, want := range []string{"idx", "max deviation", "I,I"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AllXY render missing %q", want)
+		}
+	}
+	rb, err := RunRBTiming(RBTimingOptions{
+		Noise:           quantum.Ideal(),
+		Seed:            1,
+		IntervalsCycles: []int{1},
+		Lengths:         []int{1, 4},
+		Randomizations:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rb.Render(), "error/gate") {
+		t.Error("RB render missing header")
+	}
+	def := DefaultRBTiming()
+	if len(def.IntervalsCycles) != 5 || def.IntervalsCycles[4] != 16 {
+		t.Errorf("default sweep: %+v", def.IntervalsCycles)
+	}
+}
+
+// Ramsey: full-contrast fringes on an ideal chip, following the detuning;
+// decaying contrast recovering T2 on a noisy chip.
+func TestRamseyIdealFringes(t *testing.T) {
+	r, err := RunRamsey(RamseyOptions{
+		Noise:        quantum.Ideal(),
+		Seed:         5,
+		DelaysCycles: []int{0, 50, 100, 150, 200},
+		Shots:        500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		if math.Abs(p.P1-p.Ideal) > 0.08 {
+			t.Fatalf("delay %.0f ns: P1 %.3f, ideal %.3f", p.DelayNs, p.P1, p.Ideal)
+		}
+	}
+	// At zero delay both X90s compose to X: P1 = 1.
+	if r.Points[0].P1 < 0.9 {
+		t.Fatalf("zero-delay P1 = %v", r.Points[0].P1)
+	}
+}
+
+func TestRamseyRecoversT2(t *testing.T) {
+	noise := quantum.NoiseModel{T1Ns: 100_000, T2Ns: 15_000}
+	r, err := RunRamsey(RamseyOptions{
+		Noise:        noise,
+		Seed:         6,
+		DelaysCycles: []int{0, 100, 200, 300, 400, 500, 700, 900},
+		Shots:        1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FittedT2Ns <= 0 || math.IsInf(r.FittedT2Ns, 1) {
+		t.Fatalf("T2 fit failed: %v", r.FittedT2Ns)
+	}
+	if math.Abs(r.FittedT2Ns-noise.T2Ns)/noise.T2Ns > 0.4 {
+		t.Fatalf("fitted T2 = %.0f ns, configured %.0f ns", r.FittedT2Ns, noise.T2Ns)
+	}
+}
+
+// Teleportation must succeed deterministically on the ideal chip, in all
+// four Bell-measurement branches (the corrections do their job).
+func TestTeleportIdealChip(t *testing.T) {
+	r, err := RunTeleport(TeleportOptions{Noise: quantum.Ideal(), Seed: 8, Shots: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuccessProb != 1 {
+		t.Fatalf("teleport success = %v, branches %v", r.SuccessProb, r.PerBranchSuccess)
+	}
+	// All four correction branches occur (Bell outcomes are uniform).
+	if len(r.CorrectionHistogram) != 4 {
+		t.Fatalf("branches seen: %v", r.CorrectionHistogram)
+	}
+	for branch, p := range r.PerBranchSuccess {
+		if p != 1 {
+			t.Fatalf("branch %02b success = %v", branch, p)
+		}
+	}
+}
+
+// Teleporting a computational basis state also works (different prep).
+func TestTeleportBasisState(t *testing.T) {
+	r, err := RunTeleport(TeleportOptions{
+		Noise:       quantum.Ideal(),
+		Seed:        3,
+		PrepareName: "X",
+		InverseName: "X",
+		Shots:       100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuccessProb != 1 {
+		t.Fatalf("basis-state teleport success = %v", r.SuccessProb)
+	}
+}
+
+func TestTeleportNeedsInverse(t *testing.T) {
+	if _, err := RunTeleport(TeleportOptions{PrepareName: "Y90"}); err == nil {
+		t.Fatal("missing inverse accepted")
+	}
+}
+
+// ReadoutCorrect2Q inverts the independent two-qubit assignment channel
+// exactly.
+func TestReadoutCorrect2Q(t *testing.T) {
+	const e = 0.09
+	apply := func(p [4]float64) [4]float64 {
+		a := [2][2]float64{{1 - e, e}, {e, 1 - e}}
+		var out [4]float64
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				out[i] += a[i&1][j&1] * a[i>>1][j>>1] * p[j]
+			}
+		}
+		return out
+	}
+	for _, truth := range [][4]float64{
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0.25, 0.25, 0.25, 0.25},
+		{0.7, 0.1, 0.1, 0.1},
+	} {
+		got := ReadoutCorrect2Q(apply(truth), e)
+		for i := range truth {
+			if math.Abs(got[i]-truth[i]) > 1e-9 {
+				t.Fatalf("truth %v: corrected %v", truth, got)
+			}
+		}
+	}
+	// e >= 0.5 passes through.
+	p := [4]float64{0.4, 0.2, 0.2, 0.2}
+	if ReadoutCorrect2Q(p, 0.6) != p {
+		t.Fatal("e >= 0.5 must pass through")
+	}
+}
+
+// The error budget confirms the paper's attribution: the CZ gate
+// dominates the Grover infidelity under the calibrated noise.
+func TestGroverBudgetCZDominates(t *testing.T) {
+	b, err := RunGroverBudget(CalibratedNoise(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CZDominates {
+		t.Fatalf("CZ should dominate: %+v", b)
+	}
+	if b.Ideal < 0.97 {
+		t.Fatalf("ideal budget point = %v", b.Ideal)
+	}
+	if b.NoCZError <= b.Full {
+		t.Fatalf("removing CZ error should raise fidelity: %+v", b)
+	}
+}

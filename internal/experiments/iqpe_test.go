@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eqasm/internal/quantum"
+)
+
+// On an ideal chip, IQPE recovers every exactly-representable phase with
+// certainty (the algorithm is deterministic bit by bit).
+func TestIQPEIdealChipExact(t *testing.T) {
+	for num := 0; num < 8; num++ {
+		r, err := RunIQPE(IQPEOptions{
+			Noise:          quantum.Ideal(),
+			Seed:           int64(num + 1),
+			Bits:           3,
+			PhaseNumerator: num,
+			Shots:          20,
+		})
+		if err != nil {
+			t.Fatalf("numerator %d: %v", num, err)
+		}
+		if r.SuccessRate != 1 {
+			t.Fatalf("numerator %d: success rate %v, histogram %v", num, r.SuccessRate, r.Histogram)
+		}
+	}
+}
+
+// Two-bit estimation also works (different branch-tree shape).
+func TestIQPETwoBits(t *testing.T) {
+	r, err := RunIQPE(IQPEOptions{
+		Noise:          quantum.Ideal(),
+		Seed:           9,
+		Bits:           2,
+		PhaseNumerator: 3,
+		Shots:          10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuccessRate != 1 {
+		t.Fatalf("success rate %v, histogram %v", r.SuccessRate, r.Histogram)
+	}
+}
+
+// Under the calibrated noise the true phase remains the modal estimate.
+func TestIQPENoisyModalEstimate(t *testing.T) {
+	r, err := RunIQPE(IQPEOptions{
+		Noise:          CalibratedNoise(),
+		Seed:           3,
+		Bits:           3,
+		PhaseNumerator: 6,
+		Shots:          300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestCount := -1, 0
+	for v, n := range r.Histogram {
+		if n > bestCount {
+			best, bestCount = v, n
+		}
+	}
+	if best != 6 {
+		t.Fatalf("modal estimate %d, want 6 (histogram %v)", best, r.Histogram)
+	}
+	if r.SuccessRate < 0.4 {
+		t.Fatalf("success rate %v too low", r.SuccessRate)
+	}
+}
+
+// The generated program uses every feedback mechanism: CFC (FMR),
+// fast-conditional reset (C_X), accumulator arithmetic (ADD) and custom
+// configured operations.
+func TestIQPEProgramStructure(t *testing.T) {
+	r, err := RunIQPE(IQPEOptions{
+		Noise:          quantum.Ideal(),
+		Seed:           1,
+		Bits:           3,
+		PhaseNumerator: 2,
+		Shots:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FMR R12, Q0", "C_X S0", "ADD R10, R10, R12", "CU_P2 T0", "FB_3_", "ST R10"} {
+		if !strings.Contains(r.Program, want) {
+			t.Errorf("program missing %q", want)
+		}
+	}
+}
+
+func TestIQPERejectsBadNumerator(t *testing.T) {
+	if _, err := RunIQPE(IQPEOptions{Bits: 3, PhaseNumerator: 8}); err == nil {
+		t.Fatal("numerator 8 accepted for 3 bits")
+	}
+	if _, err := RunIQPE(IQPEOptions{Bits: 3, PhaseNumerator: -1}); err == nil {
+		t.Fatal("negative numerator accepted")
+	}
+}

@@ -1,0 +1,295 @@
+// Package hwconf implements the hardware configuration files of
+// Section 5: "A configuration file is used to specify the quantum chip
+// topology with the two qubits renamed as qubit 0 and 2. It is used by
+// the quantum compiler and the assembler."
+//
+// A configuration file carries the chip topology (qubits, allowed pairs,
+// feedlines) and the compile-time quantum operation configuration
+// (mnemonics, opcodes, kinds, durations, execution-flag selections and
+// pulse semantics), so that the assembler, compiler and microcode unit
+// are all driven by one artifact, as Section 3.2 requires.
+package hwconf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/quantum"
+	"eqasm/internal/topology"
+)
+
+// File is the serialised hardware configuration.
+type File struct {
+	// Name labels the setup.
+	Name string `json:"name"`
+	// CycleNs is the quantum cycle time (default 20).
+	CycleNs float64 `json:"cycle_ns,omitempty"`
+	// Topology describes the chip.
+	Topology TopologySpec `json:"topology"`
+	// Operations configures the quantum operations.
+	Operations []OpSpec `json:"operations"`
+	// Noise optionally records the chip's calibrated error parameters.
+	Noise *NoiseSpec `json:"noise,omitempty"`
+}
+
+// NoiseSpec serialises the chip noise model.
+type NoiseSpec struct {
+	T1Ns         float64 `json:"t1_ns,omitempty"`
+	T2Ns         float64 `json:"t2_ns,omitempty"`
+	Gate1QError  float64 `json:"gate1q_error,omitempty"`
+	Gate2QError  float64 `json:"gate2q_error,omitempty"`
+	ReadoutError float64 `json:"readout_error,omitempty"`
+}
+
+// NoiseModel materialises the noise section; the zero model when absent.
+func (f *File) NoiseModel() (quantum.NoiseModel, error) {
+	if f.Noise == nil {
+		return quantum.Ideal(), nil
+	}
+	m := quantum.NoiseModel{
+		T1Ns:         f.Noise.T1Ns,
+		T2Ns:         f.Noise.T2Ns,
+		Gate1QError:  f.Noise.Gate1QError,
+		Gate2QError:  f.Noise.Gate2QError,
+		ReadoutError: f.Noise.ReadoutError,
+	}
+	if err := m.Validate(); err != nil {
+		return quantum.Ideal(), fmt.Errorf("hwconf: noise section: %w", err)
+	}
+	return m, nil
+}
+
+// TopologySpec serialises a chip topology.
+type TopologySpec struct {
+	NumQubits int `json:"num_qubits"`
+	// Edges lists allowed pairs as [source, target]; edge IDs are
+	// assigned in list order.
+	Edges [][2]int `json:"edges"`
+	// Feedlines lists the qubits measured through each feedline.
+	Feedlines [][]int `json:"feedlines"`
+}
+
+// OpSpec serialises one quantum operation definition.
+type OpSpec struct {
+	Name string `json:"name"`
+	// Opcode is the 9-bit q-opcode; 0 auto-assigns.
+	Opcode uint16 `json:"opcode,omitempty"`
+	// Kind: "single" (default), "two", or "measure".
+	Kind string `json:"kind,omitempty"`
+	// DurationCycles defaults by kind (1 / 2 / 15).
+	DurationCycles int `json:"duration_cycles,omitempty"`
+	// Cond selects the fast-conditional execution flag: "always"
+	// (default), "last_one", "last_zero", "last_two_equal".
+	Cond string `json:"cond,omitempty"`
+	// Channel: "microwave" (default for single), "flux".
+	Channel string `json:"channel,omitempty"`
+	// Rotation gives the unitary as an axis/angle pulse; mutually
+	// exclusive with Builtin.
+	Rotation *RotationSpec `json:"rotation,omitempty"`
+	// Builtin selects a canned unitary: "I", "X", "Y", "Z", "H", "S",
+	// "T", "CZ", "CNOT". Measurements need neither.
+	Builtin string `json:"builtin,omitempty"`
+}
+
+// RotationSpec is an axis/angle pulse definition.
+type RotationSpec struct {
+	Axis     string  `json:"axis"` // "x", "y", "z"
+	AngleDeg float64 `json:"angle_deg"`
+}
+
+// Load reads and materialises a configuration file.
+func Load(path string) (*topology.Topology, *isa.OpConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Parse(data)
+}
+
+// LoadFull additionally returns the parsed file for access to the noise
+// section and other metadata.
+func LoadFull(path string) (*File, *topology.Topology, *isa.OpConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, nil, fmt.Errorf("hwconf: %w", err)
+	}
+	topo, cfg, err := f.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &f, topo, cfg, nil
+}
+
+// Parse materialises a configuration from JSON bytes.
+func Parse(data []byte) (*topology.Topology, *isa.OpConfig, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("hwconf: %w", err)
+	}
+	return f.Build()
+}
+
+// Build materialises the topology and operation configuration.
+func (f *File) Build() (*topology.Topology, *isa.OpConfig, error) {
+	edges := make([]topology.Edge, len(f.Topology.Edges))
+	for i, e := range f.Topology.Edges {
+		edges[i] = topology.Edge{ID: i, Src: e[0], Tgt: e[1]}
+	}
+	topo, err := topology.New(f.Name, f.Topology.NumQubits, edges, f.Topology.Feedlines)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hwconf: %w", err)
+	}
+	cycle := f.CycleNs
+	if cycle == 0 {
+		cycle = isa.DefaultCycleNs
+	}
+	cfg := isa.NewOpConfig(cycle)
+	for _, spec := range f.Operations {
+		def, err := spec.toDef()
+		if err != nil {
+			return nil, nil, fmt.Errorf("hwconf: operation %q: %w", spec.Name, err)
+		}
+		if _, err := cfg.Define(def); err != nil {
+			return nil, nil, fmt.Errorf("hwconf: %w", err)
+		}
+	}
+	return topo, cfg, nil
+}
+
+var builtinSingle = map[string]quantum.Matrix2{
+	"I": quantum.Identity, "X": quantum.GateX, "Y": quantum.GateY,
+	"Z": quantum.PauliZ, "H": quantum.Hadamard, "S": quantum.SGate, "T": quantum.TGate,
+	"X90": quantum.GateX90, "Y90": quantum.GateY90,
+	"Xm90": quantum.GateXm90, "Ym90": quantum.GateYm90,
+}
+
+var builtinTwo = map[string]quantum.Matrix4{
+	"CZ": quantum.CZ, "CNOT": quantum.CNOT,
+}
+
+func (s OpSpec) toDef() (isa.OpDef, error) {
+	def := isa.OpDef{Name: s.Name, Opcode: s.Opcode, DurationCycles: s.DurationCycles}
+	switch s.Kind {
+	case "", "single":
+		def.Kind = isa.OpKindSingle
+		if def.DurationCycles == 0 {
+			def.DurationCycles = isa.DefaultGate1QCycles
+		}
+	case "two":
+		def.Kind = isa.OpKindTwo
+		if def.DurationCycles == 0 {
+			def.DurationCycles = isa.DefaultGate2QCycles
+		}
+	case "measure":
+		def.Kind = isa.OpKindMeasure
+		if def.DurationCycles == 0 {
+			def.DurationCycles = isa.DefaultMeasureCycles
+		}
+	default:
+		return def, fmt.Errorf("unknown kind %q", s.Kind)
+	}
+	switch s.Cond {
+	case "", "always":
+		def.CondSel = isa.FlagAlways
+	case "last_one":
+		def.CondSel = isa.FlagLastOne
+	case "last_zero":
+		def.CondSel = isa.FlagLastZero
+	case "last_two_equal":
+		def.CondSel = isa.FlagLastTwoEqual
+	default:
+		return def, fmt.Errorf("unknown cond %q", s.Cond)
+	}
+	switch s.Channel {
+	case "", "microwave":
+		def.Channel = isa.ChanMicrowave
+	case "flux":
+		def.Channel = isa.ChanFlux
+	default:
+		return def, fmt.Errorf("unknown channel %q", s.Channel)
+	}
+	// Semantics.
+	switch {
+	case def.Kind == isa.OpKindMeasure:
+		if s.Rotation != nil || s.Builtin != "" {
+			return def, fmt.Errorf("measurements take no unitary")
+		}
+	case s.Rotation != nil && s.Builtin != "":
+		return def, fmt.Errorf("rotation and builtin are mutually exclusive")
+	case s.Rotation != nil:
+		if def.Kind == isa.OpKindTwo {
+			return def, fmt.Errorf("rotations define single-qubit operations only")
+		}
+		var axis quantum.Axis
+		switch s.Rotation.Axis {
+		case "x", "X":
+			axis = quantum.AxisX
+		case "y", "Y":
+			axis = quantum.AxisY
+		case "z", "Z":
+			axis = quantum.AxisZ
+		default:
+			return def, fmt.Errorf("unknown axis %q", s.Rotation.Axis)
+		}
+		def.Unitary1 = quantum.RotationDeg(axis, s.Rotation.AngleDeg)
+	case s.Builtin != "":
+		if def.Kind == isa.OpKindTwo {
+			u, ok := builtinTwo[s.Builtin]
+			if !ok {
+				return def, fmt.Errorf("unknown two-qubit builtin %q", s.Builtin)
+			}
+			def.Unitary2 = u
+		} else {
+			u, ok := builtinSingle[s.Builtin]
+			if !ok {
+				return def, fmt.Errorf("unknown single-qubit builtin %q", s.Builtin)
+			}
+			def.Unitary1 = u
+		}
+	default:
+		return def, fmt.Errorf("operation needs a rotation or builtin unitary")
+	}
+	return def, nil
+}
+
+// TwoQubitChipJSON is the Section 5 validation setup as a configuration
+// file: the two-qubit chip (qubits renamed 0 and 2) with the experiment
+// gate set.
+const TwoQubitChipJSON = `{
+  "name": "twoqubit-validation",
+  "cycle_ns": 20,
+  "topology": {
+    "num_qubits": 3,
+    "edges": [[2, 0], [0, 2]],
+    "feedlines": [[0, 2]]
+  },
+  "operations": [
+    {"name": "I", "builtin": "I"},
+    {"name": "X", "builtin": "X"},
+    {"name": "Y", "builtin": "Y"},
+    {"name": "X90", "rotation": {"axis": "x", "angle_deg": 90}},
+    {"name": "Y90", "rotation": {"axis": "y", "angle_deg": 90}},
+    {"name": "Xm90", "rotation": {"axis": "x", "angle_deg": -90}},
+    {"name": "Ym90", "rotation": {"axis": "y", "angle_deg": -90}},
+    {"name": "H", "builtin": "H"},
+    {"name": "C_X", "builtin": "X", "cond": "last_one"},
+    {"name": "C_Y", "builtin": "Y", "cond": "last_one"},
+    {"name": "CZ", "kind": "two", "builtin": "CZ"},
+    {"name": "MEASZ", "kind": "measure"}
+  ]
+}`
+
+// Save serialises a configuration file to disk with indentation.
+func Save(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"eqasm/internal/topology"
+)
+
+// Section 3.3.2's worked numbers: the fully connected 5-qubit ion trap
+// needs only 2 x 2 x 3 = 12 bits as address pairs versus a 20-bit mask,
+// while IBM QX2's 6-bit mask beats 12 bits of pairs.
+func TestAddressingCostPaperNumbers(t *testing.T) {
+	mask, pairs := AddressingCost(topology.IonTrap5(), 2)
+	if mask != 20 || pairs != 12 {
+		t.Fatalf("ion trap: mask %d pairs %d, want 20/12", mask, pairs)
+	}
+	if got := PreferredSMITFormat(topology.IonTrap5(), 2); got != SMITPairList {
+		t.Fatalf("ion trap preferred format = %v", got)
+	}
+	mask, pairs = AddressingCost(topology.IBMQX2(), 2)
+	if mask != 6 || pairs != 12 {
+		t.Fatalf("QX2: mask %d pairs %d, want 6/12", mask, pairs)
+	}
+	if got := PreferredSMITFormat(topology.IBMQX2(), 2); got != SMITMask {
+		t.Fatalf("QX2 preferred format = %v", got)
+	}
+	// Surface-17: a 48-bit mask cannot fit the word; 20 bits of pairs do.
+	mask, pairs = AddressingCost(topology.Surface17(), 2)
+	if mask != 48 || pairs != 20 {
+		t.Fatalf("surface17: mask %d pairs %d, want 48/20", mask, pairs)
+	}
+}
+
+func TestIonTrapSMITPairListRoundTrip(t *testing.T) {
+	inst := IonTrap5Instantiation()
+	topo := inst.PairTopology
+	cfg := DefaultConfig()
+	// Two disjoint pairs: (0,1) and (2,3).
+	id1, ok1 := topo.EdgeID(0, 1)
+	id2, ok2 := topo.EdgeID(2, 3)
+	if !ok1 || !ok2 {
+		t.Fatal("expected pairs missing from the fully connected trap")
+	}
+	in := Instr{Op: OpSMIT, Addr: 5, Mask: 1<<uint(id1) | 1<<uint(id2)}
+	w, err := inst.Encode(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := inst.Decode(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != OpSMIT || out.Addr != 5 || out.Mask != in.Mask {
+		t.Fatalf("round trip changed %+v -> %+v", in, out)
+	}
+	// The pair fields must occupy only 12 bits.
+	if field := w & 0xFFFFF &^ 0xFFF; field != 0 {
+		// Bits 12-19 hold the empty-slot sentinels for unused... actually
+		// with 2 slots all 12 bits are used; higher payload bits must be 0.
+		t.Fatalf("pair-list encoding spilled beyond 12 bits: %#x", w)
+	}
+}
+
+func TestIonTrapSMITSingleAndEmpty(t *testing.T) {
+	inst := IonTrap5Instantiation()
+	cfg := DefaultConfig()
+	id, _ := inst.PairTopology.EdgeID(4, 2)
+	for _, mask := range []uint64{0, 1 << uint(id)} {
+		in := Instr{Op: OpSMIT, Addr: 1, Mask: mask}
+		w, err := inst.Encode(in, cfg)
+		if err != nil {
+			t.Fatalf("mask %#x: %v", mask, err)
+		}
+		out, err := inst.Decode(w, cfg)
+		if err != nil {
+			t.Fatalf("mask %#x: %v", mask, err)
+		}
+		if out.Mask != mask {
+			t.Fatalf("mask %#x round-tripped to %#x", mask, out.Mask)
+		}
+	}
+}
+
+func TestPairListRejectsTooManyPairs(t *testing.T) {
+	inst := IonTrap5Instantiation()
+	cfg := DefaultConfig()
+	topo := inst.PairTopology
+	// Three disjoint pairs don't exist on 5 qubits, but three edges do.
+	a, _ := topo.EdgeID(0, 1)
+	b, _ := topo.EdgeID(2, 3)
+	c, _ := topo.EdgeID(1, 4) // shares qubit 1 with (0,1), but encoding only counts slots
+	in := Instr{Op: OpSMIT, Addr: 0, Mask: 1<<uint(a) | 1<<uint(b) | 1<<uint(c)}
+	if _, err := inst.Encode(in, cfg); err == nil {
+		t.Fatal("three pairs in two slots accepted")
+	}
+}
+
+func TestSurface17Instantiation(t *testing.T) {
+	inst := Surface17Instantiation()
+	cfg := DefaultConfig()
+	topo := inst.PairTopology
+	// A 17-bit SMIS mask round-trips.
+	in := Instr{Op: OpSMIS, Addr: 3, Mask: 1<<16 | 1<<8 | 1}
+	w, err := inst.Encode(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := inst.Decode(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("SMIS round trip changed %+v -> %+v", in, out)
+	}
+	// Two disjoint ancilla-data pairs round-trip through pair slots.
+	id1, ok1 := topo.EdgeID(9, 0)
+	id2, ok2 := topo.EdgeID(10, 8)
+	if !ok1 || !ok2 {
+		t.Fatal("expected surface-17 couplings missing")
+	}
+	smit := Instr{Op: OpSMIT, Addr: 7, Mask: 1<<uint(id1) | 1<<uint(id2)}
+	w, err = inst.Encode(smit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = inst.Decode(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mask != smit.Mask || out.Addr != 7 {
+		t.Fatalf("SMIT round trip changed %+v -> %+v", smit, out)
+	}
+}
+
+// Property: every single edge of the surface-17 chip round-trips through
+// the pair-list encoding.
+func TestSurface17PairListProperty(t *testing.T) {
+	inst := Surface17Instantiation()
+	cfg := DefaultConfig()
+	n := len(inst.PairTopology.Edges)
+	f := func(sel uint8, reg uint8) bool {
+		id := int(sel) % n
+		in := Instr{Op: OpSMIT, Addr: reg % 32, Mask: 1 << uint(id)}
+		w, err := inst.Encode(in, cfg)
+		if err != nil {
+			return false
+		}
+		out, err := inst.Decode(w, cfg)
+		if err != nil {
+			return false
+		}
+		return out.Mask == in.Mask && out.Addr == in.Addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairListDecodeRejectsBogusPair(t *testing.T) {
+	inst := Surface17Instantiation()
+	cfg := DefaultConfig()
+	// Hand-craft a word with pair (0, 1): two data qubits, never coupled.
+	word := uint32(OpSMIT)<<25 | uint32(0)<<20 | (0<<5 | 1)
+	if _, err := inst.Decode(word, cfg); err == nil {
+		t.Fatal("decode accepted a pair that is not an allowed coupling")
+	}
+}
+
+func TestPairListNeedsTopology(t *testing.T) {
+	inst := Default
+	inst.SMITFormat = SMITPairList
+	inst.PairSlots = 2
+	inst.QubitAddrBits = 3
+	cfg := DefaultConfig()
+	if _, err := inst.Encode(Instr{Op: OpSMIT, Mask: 1}, cfg); err == nil {
+		t.Fatal("pair-list encode without topology accepted")
+	}
+	if _, err := inst.Decode(uint32(OpSMIT)<<25, cfg); err == nil {
+		t.Fatal("pair-list decode without topology accepted")
+	}
+}

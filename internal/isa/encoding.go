@@ -1,0 +1,453 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"eqasm/internal/topology"
+)
+
+// This file is the 32-bit binary instantiation of eQASM for the
+// seven-qubit superconducting processor (Section 4.2, Fig. 8).
+//
+// All instructions are 32 bits for memory alignment. Two formats exist:
+//
+//	bit 31 = 0: single format. Bits [30:25] hold the 6-bit opcode; the
+//	            remaining 25 bits are instruction-specific.
+//	bit 31 = 1: bundle format, VLIW width 2:
+//	            [30:22] q-opcode 0, [21:17] S/T register 0,
+//	            [16:8]  q-opcode 1, [7:3]  S/T register 1, [2:0] PI.
+//
+// The quantum-instruction layouts follow Fig. 8 exactly:
+//
+//	SMIS:   [24:20] Sd, [6:0]  7-bit qubit mask
+//	SMIT:   [24:20] Td, [15:0] 16-bit qubit pair mask
+//	QWAIT:  [19:0]  20-bit wait time
+//	QWAITR: [19:15] Rs
+//
+// The paper leaves classical-instruction encodings to the instantiation;
+// the layouts chosen here are documented per opcode below.
+
+// Instantiation collects the binding parameters of this 32-bit
+// instantiation. The values below are Config 9 of the design-space
+// exploration with VLIW width 2 (Section 4.2).
+type Instantiation struct {
+	// VLIWWidth is the number of quantum operations per bundle word.
+	VLIWWidth int
+	// WPI is the PI field width in bits.
+	WPI int
+	// NumGPR / NumSReg / NumTReg are the register file sizes.
+	NumGPR, NumSReg, NumTReg int
+	// QubitMaskBits / PairMaskBits size the S/T register masks.
+	QubitMaskBits, PairMaskBits int
+	// QOpcodeBits is the q-opcode field width.
+	QOpcodeBits int
+	// Immediate field widths.
+	LDIImmBits, LDUIImmBits, MemOffsetBits, QWaitImmBits, BROffsetBits int
+
+	// SMITFormat selects the two-qubit target encoding (Section 3.3.2:
+	// mask for sparse connectivity, explicit address pairs for dense
+	// connectivity or large chips). SMITMask is the zero value.
+	SMITFormat SMITFormat
+	// PairSlots is the number of (src, tgt) pairs a pair-list SMIT word
+	// carries.
+	PairSlots int
+	// QubitAddrBits is the address width per qubit in a pair slot.
+	QubitAddrBits int
+	// PairTopology binds the pair-list encoding to its chip (needed to
+	// translate between address pairs and the architectural edge mask).
+	PairTopology *topology.Topology
+}
+
+// Default is the paper's instantiation.
+var Default = Instantiation{
+	VLIWWidth:     2,
+	WPI:           3,
+	NumGPR:        32,
+	NumSReg:       32,
+	NumTReg:       32,
+	QubitMaskBits: 7,
+	PairMaskBits:  16,
+	QOpcodeBits:   9,
+	LDIImmBits:    20,
+	LDUIImmBits:   15,
+	MemOffsetBits: 15,
+	QWaitImmBits:  20,
+	BROffsetBits:  21,
+}
+
+// MaxPI is the largest pre-interval encodable in the PI field.
+func (n Instantiation) MaxPI() int { return 1<<uint(n.WPI) - 1 }
+
+// EncodeError describes an instruction that does not fit the binary
+// format.
+type EncodeError struct {
+	Instr Instr
+	Cause string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %q: %s", e.Instr.String(), e.Cause)
+}
+
+func encErr(i Instr, format string, args ...any) error {
+	return &EncodeError{Instr: i, Cause: fmt.Sprintf(format, args...)}
+}
+
+func fitsSigned(v int32, bits int) bool {
+	min := int32(-1) << uint(bits-1)
+	max := int32(1)<<uint(bits-1) - 1
+	return v >= min && v <= max
+}
+
+func fitsUnsigned(v int32, bits int) bool {
+	return v >= 0 && int64(v) <= int64(1)<<uint(bits)-1
+}
+
+func signExtend(v uint32, bits int) int32 {
+	shift := 32 - uint(bits)
+	return int32(v<<shift) >> shift
+}
+
+// Encode translates one instruction to its 32-bit word. Bundle operation
+// names are resolved through cfg (assembler and microcode unit must share
+// it, Section 3.2).
+func Encode(i Instr, cfg *OpConfig) (uint32, error) {
+	return Default.Encode(i, cfg)
+}
+
+// Encode translates one instruction under this instantiation.
+func (n Instantiation) Encode(i Instr, cfg *OpConfig) (uint32, error) {
+	checkGPR := func(r uint8, what string) error {
+		if int(r) >= n.NumGPR {
+			return encErr(i, "%s R%d exceeds %d GPRs", what, r, n.NumGPR)
+		}
+		return nil
+	}
+	single := func(fields uint32) uint32 {
+		return uint32(i.Op)<<25 | fields
+	}
+	switch i.Op {
+	case OpNOP, OpSTOP:
+		return single(0), nil
+	case OpCMP:
+		if err := checkGPR(i.Rs, "source"); err != nil {
+			return 0, err
+		}
+		if err := checkGPR(i.Rt, "source"); err != nil {
+			return 0, err
+		}
+		return single(uint32(i.Rs)<<20 | uint32(i.Rt)<<15), nil
+	case OpBR:
+		if !fitsSigned(i.Imm, n.BROffsetBits) {
+			return 0, encErr(i, "branch offset %d exceeds %d bits", i.Imm, n.BROffsetBits)
+		}
+		off := uint32(i.Imm) & (1<<uint(n.BROffsetBits) - 1)
+		return single(uint32(i.Cond)<<21 | off), nil
+	case OpFBR:
+		if err := checkGPR(i.Rd, "destination"); err != nil {
+			return 0, err
+		}
+		return single(uint32(i.Cond)<<21 | uint32(i.Rd)<<16), nil
+	case OpLDI:
+		if err := checkGPR(i.Rd, "destination"); err != nil {
+			return 0, err
+		}
+		if !fitsSigned(i.Imm, n.LDIImmBits) {
+			return 0, encErr(i, "immediate %d exceeds %d bits", i.Imm, n.LDIImmBits)
+		}
+		return single(uint32(i.Rd)<<20 | uint32(i.Imm)&0xFFFFF), nil
+	case OpLDUI:
+		if err := checkGPR(i.Rd, "destination"); err != nil {
+			return 0, err
+		}
+		if err := checkGPR(i.Rs, "source"); err != nil {
+			return 0, err
+		}
+		if !fitsUnsigned(i.Imm, n.LDUIImmBits) {
+			return 0, encErr(i, "immediate %d exceeds %d unsigned bits", i.Imm, n.LDUIImmBits)
+		}
+		return single(uint32(i.Rd)<<20 | uint32(i.Imm)<<5 | uint32(i.Rs)), nil
+	case OpLD:
+		if err := checkGPR(i.Rd, "destination"); err != nil {
+			return 0, err
+		}
+		if err := checkGPR(i.Rt, "base"); err != nil {
+			return 0, err
+		}
+		if !fitsSigned(i.Imm, n.MemOffsetBits) {
+			return 0, encErr(i, "offset %d exceeds %d bits", i.Imm, n.MemOffsetBits)
+		}
+		return single(uint32(i.Rd)<<20 | uint32(i.Rt)<<15 | uint32(i.Imm)&0x7FFF), nil
+	case OpST:
+		if err := checkGPR(i.Rs, "source"); err != nil {
+			return 0, err
+		}
+		if err := checkGPR(i.Rt, "base"); err != nil {
+			return 0, err
+		}
+		if !fitsSigned(i.Imm, n.MemOffsetBits) {
+			return 0, encErr(i, "offset %d exceeds %d bits", i.Imm, n.MemOffsetBits)
+		}
+		return single(uint32(i.Rs)<<20 | uint32(i.Rt)<<15 | uint32(i.Imm)&0x7FFF), nil
+	case OpFMR:
+		if err := checkGPR(i.Rd, "destination"); err != nil {
+			return 0, err
+		}
+		if i.Qi >= 32 {
+			return 0, encErr(i, "qubit register Q%d exceeds the 5-bit field", i.Qi)
+		}
+		return single(uint32(i.Rd)<<20 | uint32(i.Qi)<<15), nil
+	case OpAND, OpOR, OpXOR, OpADD, OpSUB:
+		for _, c := range []struct {
+			r    uint8
+			what string
+		}{{i.Rd, "destination"}, {i.Rs, "source"}, {i.Rt, "source"}} {
+			if err := checkGPR(c.r, c.what); err != nil {
+				return 0, err
+			}
+		}
+		return single(uint32(i.Rd)<<20 | uint32(i.Rs)<<15 | uint32(i.Rt)<<10), nil
+	case OpNOT:
+		if err := checkGPR(i.Rd, "destination"); err != nil {
+			return 0, err
+		}
+		if err := checkGPR(i.Rt, "source"); err != nil {
+			return 0, err
+		}
+		return single(uint32(i.Rd)<<20 | uint32(i.Rt)<<15), nil
+	case OpQWAIT:
+		if !fitsUnsigned(i.Imm, n.QWaitImmBits) {
+			return 0, encErr(i, "wait time %d exceeds %d unsigned bits", i.Imm, n.QWaitImmBits)
+		}
+		return single(uint32(i.Imm)), nil
+	case OpQWAITR:
+		if err := checkGPR(i.Rs, "source"); err != nil {
+			return 0, err
+		}
+		return single(uint32(i.Rs) << 15), nil
+	case OpSMIS:
+		if int(i.Addr) >= n.NumSReg {
+			return 0, encErr(i, "S%d exceeds %d S registers", i.Addr, n.NumSReg)
+		}
+		if i.Mask >= 1<<uint(n.QubitMaskBits) {
+			return 0, encErr(i, "qubit mask %#x exceeds %d bits", i.Mask, n.QubitMaskBits)
+		}
+		return single(uint32(i.Addr)<<20 | uint32(i.Mask)), nil
+	case OpSMIT:
+		if int(i.Addr) >= n.NumTReg {
+			return 0, encErr(i, "T%d exceeds %d T registers", i.Addr, n.NumTReg)
+		}
+		if n.PairMaskBits < 64 && i.Mask >= 1<<uint(n.PairMaskBits) {
+			return 0, encErr(i, "pair mask %#x exceeds %d bits", i.Mask, n.PairMaskBits)
+		}
+		if n.SMITFormat == SMITPairList {
+			field, err := n.encodeSMITPairs(i)
+			if err != nil {
+				return 0, err
+			}
+			return single(field), nil
+		}
+		return single(uint32(i.Addr)<<20 | uint32(i.Mask)), nil
+	case OpBundle:
+		return n.encodeBundle(i, cfg)
+	}
+	return 0, encErr(i, "unknown opcode %v", i.Op)
+}
+
+func (n Instantiation) encodeBundle(i Instr, cfg *OpConfig) (uint32, error) {
+	if len(i.QOps) > n.VLIWWidth {
+		return 0, encErr(i, "bundle has %d operations; VLIW width is %d (assembler must split first)", len(i.QOps), n.VLIWWidth)
+	}
+	if int(i.PI) > n.MaxPI() {
+		return 0, encErr(i, "PI %d exceeds the %d-bit field", i.PI, n.WPI)
+	}
+	if cfg == nil {
+		return 0, encErr(i, "bundle encoding requires an operation configuration")
+	}
+	word := uint32(1) << 31
+	word |= uint32(i.PI)
+	slotShift := [2]struct{ op, reg uint }{{22, 17}, {8, 3}}
+	for slot := 0; slot < n.VLIWWidth; slot++ {
+		var opcode uint16
+		var target uint8
+		if slot < len(i.QOps) {
+			q := i.QOps[slot]
+			if q.Name == QNOPName {
+				opcode = QNOPOpcode
+			} else {
+				def, ok := cfg.ByName(q.Name)
+				if !ok {
+					return 0, encErr(i, "operation %q is not configured", q.Name)
+				}
+				opcode = def.Opcode
+				target = q.Target
+				limit := n.NumSReg
+				if def.Kind == OpKindTwo {
+					limit = n.NumTReg
+				}
+				if int(target) >= limit {
+					return 0, encErr(i, "target register %d of %q exceeds %d registers", target, q.Name, limit)
+				}
+			}
+		}
+		word |= uint32(opcode)<<slotShift[slot].op | uint32(target)<<slotShift[slot].reg
+	}
+	return word, nil
+}
+
+// DecodeError describes a word that is not a valid instruction under the
+// instantiation and operation configuration.
+type DecodeError struct {
+	Word  uint32
+	Cause string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: cannot decode %#08x: %s", e.Word, e.Cause)
+}
+
+// Decode translates a 32-bit word back to assembly-level form under the
+// default instantiation.
+func Decode(word uint32, cfg *OpConfig) (Instr, error) {
+	return Default.Decode(word, cfg)
+}
+
+// Decode translates one word under this instantiation.
+func (n Instantiation) Decode(word uint32, cfg *OpConfig) (Instr, error) {
+	if word>>31 == 1 {
+		return n.decodeBundle(word, cfg)
+	}
+	op := Opcode(word >> 25 & 0x3F)
+	i := Instr{Op: op}
+	switch op {
+	case OpNOP, OpSTOP:
+	case OpCMP:
+		i.Rs = uint8(word >> 20 & 0x1F)
+		i.Rt = uint8(word >> 15 & 0x1F)
+	case OpBR:
+		i.Cond = CondFlag(word >> 21 & 0xF)
+		i.Imm = signExtend(word&(1<<uint(n.BROffsetBits)-1), n.BROffsetBits)
+	case OpFBR:
+		i.Cond = CondFlag(word >> 21 & 0xF)
+		i.Rd = uint8(word >> 16 & 0x1F)
+	case OpLDI:
+		i.Rd = uint8(word >> 20 & 0x1F)
+		i.Imm = signExtend(word&0xFFFFF, n.LDIImmBits)
+	case OpLDUI:
+		i.Rd = uint8(word >> 20 & 0x1F)
+		i.Imm = int32(word >> 5 & 0x7FFF)
+		i.Rs = uint8(word & 0x1F)
+	case OpLD:
+		i.Rd = uint8(word >> 20 & 0x1F)
+		i.Rt = uint8(word >> 15 & 0x1F)
+		i.Imm = signExtend(word&0x7FFF, n.MemOffsetBits)
+	case OpST:
+		i.Rs = uint8(word >> 20 & 0x1F)
+		i.Rt = uint8(word >> 15 & 0x1F)
+		i.Imm = signExtend(word&0x7FFF, n.MemOffsetBits)
+	case OpFMR:
+		i.Rd = uint8(word >> 20 & 0x1F)
+		i.Qi = uint8(word >> 15 & 0x1F)
+	case OpAND, OpOR, OpXOR, OpADD, OpSUB:
+		i.Rd = uint8(word >> 20 & 0x1F)
+		i.Rs = uint8(word >> 15 & 0x1F)
+		i.Rt = uint8(word >> 10 & 0x1F)
+	case OpNOT:
+		i.Rd = uint8(word >> 20 & 0x1F)
+		i.Rt = uint8(word >> 15 & 0x1F)
+	case OpQWAIT:
+		i.Imm = int32(word & 0xFFFFF)
+	case OpQWAITR:
+		i.Rs = uint8(word >> 15 & 0x1F)
+	case OpSMIS:
+		i.Addr = uint8(word >> 20 & 0x1F)
+		i.Mask = uint64(word) & (1<<uint(n.QubitMaskBits) - 1)
+	case OpSMIT:
+		if n.SMITFormat == SMITPairList {
+			return n.decodeSMITPairs(word)
+		}
+		i.Addr = uint8(word >> 20 & 0x1F)
+		i.Mask = uint64(word) & (1<<uint(n.PairMaskBits) - 1)
+	default:
+		return Instr{}, &DecodeError{Word: word, Cause: fmt.Sprintf("unknown opcode %d", uint8(op))}
+	}
+	if i.Cond >= condCount {
+		return Instr{}, &DecodeError{Word: word, Cause: fmt.Sprintf("invalid condition flag %d", i.Cond)}
+	}
+	return i, nil
+}
+
+func (n Instantiation) decodeBundle(word uint32, cfg *OpConfig) (Instr, error) {
+	if cfg == nil {
+		return Instr{}, &DecodeError{Word: word, Cause: "bundle decoding requires an operation configuration"}
+	}
+	i := Instr{Op: OpBundle, PI: uint8(word & 0x7)}
+	slots := [2]struct{ op, reg uint }{{22, 17}, {8, 3}}
+	for _, s := range slots {
+		opcode := uint16(word >> s.op & 0x1FF)
+		target := uint8(word >> s.reg & 0x1F)
+		if opcode == QNOPOpcode {
+			continue
+		}
+		def, ok := cfg.ByOpcode(opcode)
+		if !ok {
+			return Instr{}, &DecodeError{Word: word, Cause: fmt.Sprintf("q-opcode %d is not configured", opcode)}
+		}
+		i.QOps = append(i.QOps, QOp{Name: def.Name, Target: target})
+	}
+	return i, nil
+}
+
+// EncodeProgram encodes all instructions of a program.
+func EncodeProgram(p *Program, cfg *OpConfig) ([]uint32, error) {
+	return Default.EncodeProgram(p, cfg)
+}
+
+// EncodeProgram encodes all instructions under this instantiation.
+func (n Instantiation) EncodeProgram(p *Program, cfg *OpConfig) ([]uint32, error) {
+	words := make([]uint32, len(p.Instrs))
+	for idx, ins := range p.Instrs {
+		w, err := n.Encode(ins, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", idx, err)
+		}
+		words[idx] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram decodes a word sequence back to assembly-level form.
+func (n Instantiation) DecodeProgram(words []uint32, cfg *OpConfig) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	for idx, w := range words {
+		ins, err := n.Decode(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", idx, err)
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	return p, nil
+}
+
+// WordsToBytes serialises instruction words little-endian, the layout of
+// the instruction memory image uploaded by the host CPU.
+func WordsToBytes(words []uint32) []byte {
+	out := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(out[4*i:], w)
+	}
+	return out
+}
+
+// BytesToWords parses a little-endian instruction memory image.
+func BytesToWords(b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("isa: image length %d is not word aligned", len(b))
+	}
+	words := make([]uint32, len(b)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return words, nil
+}

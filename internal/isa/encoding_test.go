@@ -1,0 +1,297 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in Instr, cfg *OpConfig) Instr {
+	t.Helper()
+	w, err := Encode(in, cfg)
+	if err != nil {
+		t.Fatalf("encode %q: %v", in, err)
+	}
+	out, err := Decode(w, cfg)
+	if err != nil {
+		t.Fatalf("decode %#08x (%q): %v", w, in, err)
+	}
+	return out
+}
+
+func normalise(i Instr) Instr {
+	i.Label = ""
+	i.SourceLine = 0
+	return i
+}
+
+func TestEncodeDecodeRoundTripAllKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []Instr{
+		{Op: OpNOP},
+		{Op: OpSTOP},
+		{Op: OpCMP, Rs: 1, Rt: 31},
+		{Op: OpBR, Cond: CondEQ, Imm: 5},
+		{Op: OpBR, Cond: CondALWAYSAlias(), Imm: -3},
+		{Op: OpFBR, Cond: CondNE, Rd: 7},
+		{Op: OpLDI, Rd: 0, Imm: 1},
+		{Op: OpLDI, Rd: 3, Imm: -1234},
+		{Op: OpLDUI, Rd: 3, Imm: 0x7FFF, Rs: 3},
+		{Op: OpLD, Rd: 1, Rt: 2, Imm: -100},
+		{Op: OpST, Rs: 1, Rt: 2, Imm: 100},
+		{Op: OpFMR, Rd: 1, Qi: 6},
+		{Op: OpAND, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpOR, Rd: 4, Rs: 5, Rt: 6},
+		{Op: OpXOR, Rd: 7, Rs: 8, Rt: 9},
+		{Op: OpNOT, Rd: 10, Rt: 11},
+		{Op: OpADD, Rd: 12, Rs: 13, Rt: 14},
+		{Op: OpSUB, Rd: 15, Rs: 16, Rt: 17},
+		{Op: OpQWAIT, Imm: 10000},
+		{Op: OpQWAIT, Imm: 0},
+		{Op: OpQWAITR, Rs: 0},
+		{Op: OpSMIS, Addr: 7, Mask: QubitMask(0, 1)},
+		{Op: OpSMIT, Addr: 3, Mask: 0b1000001},
+		NewBundle(1, QOp{Name: "X90", Target: 0}, QOp{Name: "X", Target: 2}),
+		NewBundle(0, QOp{Name: "CNOT", Target: 3}),
+		NewBundle(7, QOp{Name: "MEASZ", Target: 7}),
+		NewBundle(2),
+	}
+	for _, in := range cases {
+		out := roundTrip(t, in, cfg)
+		if !reflect.DeepEqual(normalise(in), normalise(out)) {
+			t.Errorf("round trip changed %q -> %q", in, out)
+		}
+	}
+}
+
+// CondALWAYSAlias avoids a literal to make the negative-offset case read
+// clearly in the table above.
+func CondALWAYSAlias() CondFlag { return CondAlways }
+
+// Fig. 8 layout checks: exact bit placements.
+func TestEncodeFig8Layouts(t *testing.T) {
+	cfg := DefaultConfig()
+	// SMIS S7, {0,1}: format 0, opcode SMIS, Sd=7 at [24:20], mask=0b11.
+	w, err := Encode(Instr{Op: OpSMIS, Addr: 7, Mask: 0b11}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w>>31 != 0 {
+		t.Error("SMIS must use the single format")
+	}
+	if got := w >> 25 & 0x3F; got != uint32(OpSMIS) {
+		t.Errorf("SMIS opcode field = %d", got)
+	}
+	if got := w >> 20 & 0x1F; got != 7 {
+		t.Errorf("SMIS Sd field = %d, want 7", got)
+	}
+	if got := w & 0x7F; got != 0b11 {
+		t.Errorf("SMIS mask field = %#b", got)
+	}
+
+	// QWAIT 10000: immediate in the low 20 bits.
+	w, err = Encode(Instr{Op: OpQWAIT, Imm: 10000}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w & 0xFFFFF; got != 10000 {
+		t.Errorf("QWAIT imm field = %d", got)
+	}
+
+	// Bundle: bit 31 set, PI in [2:0], q-opcodes 9 bits wide.
+	x90 := mustDef(t, cfg, "X90")
+	x := mustDef(t, cfg, "X")
+	w, err = Encode(NewBundle(1, QOp{Name: "X90", Target: 0}, QOp{Name: "X", Target: 2}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w>>31 != 1 {
+		t.Error("bundle must set the format bit")
+	}
+	if got := w & 0x7; got != 1 {
+		t.Errorf("PI field = %d, want 1", got)
+	}
+	if got := uint16(w >> 22 & 0x1FF); got != x90.Opcode {
+		t.Errorf("slot0 opcode = %d, want %d", got, x90.Opcode)
+	}
+	if got := w >> 17 & 0x1F; got != 0 {
+		t.Errorf("slot0 target = %d, want 0", got)
+	}
+	if got := uint16(w >> 8 & 0x1FF); got != x.Opcode {
+		t.Errorf("slot1 opcode = %d, want %d", got, x.Opcode)
+	}
+	if got := w >> 3 & 0x1F; got != 2 {
+		t.Errorf("slot1 target = %d, want 2", got)
+	}
+}
+
+func mustDef(t *testing.T, cfg *OpConfig, name string) *OpDef {
+	t.Helper()
+	d, ok := cfg.ByName(name)
+	if !ok {
+		t.Fatalf("operation %q missing from config", name)
+	}
+	return d
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []Instr{
+		{Op: OpLDI, Rd: 0, Imm: 1 << 20},           // 20-bit signed overflow
+		{Op: OpLDI, Rd: 40, Imm: 0},                // bad register
+		{Op: OpQWAIT, Imm: -1},                     // negative wait
+		{Op: OpQWAIT, Imm: 1 << 20},                // 20-bit overflow
+		{Op: OpSMIS, Addr: 0, Mask: 1 << 7},        // 7-bit mask overflow
+		{Op: OpSMIT, Addr: 0, Mask: 1 << 16},       // 16-bit mask overflow
+		{Op: OpSMIS, Addr: 32, Mask: 1},            // S register out of range
+		{Op: OpBR, Cond: CondEQ, Imm: 1 << 20},     // 21-bit signed overflow
+		{Op: OpLDUI, Rd: 0, Imm: 1 << 15, Rs: 0},   // 15-bit overflow
+		{Op: OpLD, Rd: 0, Rt: 0, Imm: 1 << 14},     // 15-bit signed overflow
+		NewBundle(8, QOp{Name: "X", Target: 0}),    // PI > 7
+		NewBundle(0, QOp{Name: "NOPE", Target: 0}), // unconfigured op
+		NewBundle(0, QOp{Name: "X", Target: 0}, QOp{Name: "X", Target: 1}, QOp{Name: "X", Target: 2}), // too wide
+	}
+	for _, in := range cases {
+		if _, err := Encode(in, cfg); err == nil {
+			t.Errorf("encode %q: expected error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cfg := DefaultConfig()
+	// Unknown single opcode (0x3F).
+	if _, err := Decode(uint32(0x3F)<<25, cfg); err == nil {
+		t.Error("decoded an unknown opcode")
+	}
+	// Bundle with unconfigured q-opcode 0x1FF.
+	if _, err := Decode(1<<31|uint32(0x1FF)<<22, cfg); err == nil {
+		t.Error("decoded an unconfigured q-opcode")
+	}
+	// Bundle decode without a config must fail.
+	if _, err := Decode(1<<31, nil); err == nil {
+		t.Error("decoded a bundle without an operation configuration")
+	}
+}
+
+// Property: any classical instruction with in-range fields round-trips.
+func TestRoundTripPropertyClassical(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(5))
+	f := func(opSel uint8, rd, rs, rt uint8, imm int32, cond uint8) bool {
+		ops := []Opcode{OpCMP, OpBR, OpFBR, OpLDI, OpLDUI, OpLD, OpST, OpFMR,
+			OpAND, OpOR, OpXOR, OpNOT, OpADD, OpSUB, OpQWAIT, OpQWAITR}
+		op := ops[int(opSel)%len(ops)]
+		rd, rs, rt = rd%32, rs%32, rt%32
+		c := CondFlag(cond % uint8(condCount))
+		var in Instr
+		switch op {
+		case OpCMP:
+			in = Instr{Op: op, Rs: rs, Rt: rt}
+		case OpBR:
+			in = Instr{Op: op, Cond: c, Imm: imm % (1 << 20)}
+		case OpFBR:
+			in = Instr{Op: op, Cond: c, Rd: rd}
+		case OpLDI:
+			in = Instr{Op: op, Rd: rd, Imm: imm % (1 << 19)}
+		case OpLDUI:
+			in = Instr{Op: op, Rd: rd, Rs: rs, Imm: abs32(imm) % (1 << 15)}
+		case OpLD:
+			in = Instr{Op: op, Rd: rd, Rt: rt, Imm: imm % (1 << 14)}
+		case OpST:
+			in = Instr{Op: op, Rs: rs, Rt: rt, Imm: imm % (1 << 14)}
+		case OpFMR:
+			in = Instr{Op: op, Rd: rd, Qi: rt % 7}
+		case OpAND, OpOR, OpXOR, OpADD, OpSUB:
+			in = Instr{Op: op, Rd: rd, Rs: rs, Rt: rt}
+		case OpNOT:
+			in = Instr{Op: op, Rd: rd, Rt: rt}
+		case OpQWAIT:
+			in = Instr{Op: op, Imm: abs32(imm) % (1 << 20)}
+		case OpQWAITR:
+			in = Instr{Op: op, Rs: rs}
+		}
+		out := roundTrip(t, in, cfg)
+		return reflect.DeepEqual(normalise(in), normalise(out))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any bundle over configured ops with in-range fields
+// round-trips.
+func TestRoundTripPropertyBundle(t *testing.T) {
+	cfg := DefaultConfig()
+	names := cfg.Names()
+	f := func(pi uint8, n1, n2, t1, t2 uint8, twoOps bool) bool {
+		in := NewBundle(pi%8, QOp{Name: names[int(n1)%len(names)], Target: t1 % 32})
+		if twoOps {
+			in.QOps = append(in.QOps, QOp{Name: names[int(n2)%len(names)], Target: t2 % 32})
+		}
+		w, err := Encode(in, cfg)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w, cfg)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalise(in), normalise(out))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramImageRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	p := &Program{Instrs: []Instr{
+		{Op: OpSMIS, Addr: 0, Mask: QubitMask(0)},
+		{Op: OpSMIS, Addr: 2, Mask: QubitMask(2)},
+		{Op: OpQWAIT, Imm: 10000},
+		NewBundle(0, QOp{Name: "Y", Target: 7}),
+		NewBundle(1, QOp{Name: "X90", Target: 0}, QOp{Name: "X", Target: 2}),
+		NewBundle(1, QOp{Name: "MEASZ", Target: 7}),
+		{Op: OpQWAIT, Imm: 50},
+		{Op: OpSTOP},
+	}, Labels: map[string]int{}}
+	words, err := EncodeProgram(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := WordsToBytes(words)
+	if len(img) != 4*len(p.Instrs) {
+		t.Fatalf("image length %d", len(img))
+	}
+	back, err := BytesToWords(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Default.DecodeProgram(back, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Instrs) != len(p.Instrs) {
+		t.Fatalf("program length changed: %d vs %d", len(p2.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if !reflect.DeepEqual(normalise(p.Instrs[i]), normalise(p2.Instrs[i])) {
+			t.Errorf("instr %d changed: %q -> %q", i, p.Instrs[i], p2.Instrs[i])
+		}
+	}
+	if _, err := BytesToWords([]byte{1, 2, 3}); err == nil {
+		t.Error("unaligned image accepted")
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		if v == -1<<31 {
+			return 0
+		}
+		return -v
+	}
+	return v
+}

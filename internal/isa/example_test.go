@@ -1,0 +1,51 @@
+package isa_test
+
+import (
+	"fmt"
+	"log"
+
+	"eqasm/internal/isa"
+)
+
+// Quantum bundles encode two operations plus a pre-interval into one
+// 32-bit word (Fig. 8).
+func ExampleEncode() {
+	cfg := isa.DefaultConfig()
+	bundle := isa.NewBundle(1,
+		isa.QOp{Name: "X90", Target: 0},
+		isa.QOp{Name: "X", Target: 2},
+	)
+	word, err := isa.Encode(bundle, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := isa.Decode(word, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(back)
+	// Output: 1, X90 0 | X 2
+}
+
+// The operation set is configured at compile time (Section 3.2), not
+// fixed at QISA design time.
+func ExampleOpConfig_Define() {
+	cfg := isa.NewOpConfig(20)
+	def, err := cfg.Define(isa.OpDef{
+		Name:           "X_AMP_7",
+		Kind:           isa.OpKindSingle,
+		DurationCycles: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s -> opcode %d, %s, %d cycle\n", def.Name, def.Opcode, def.Kind, def.DurationCycles)
+	// Output: X_AMP_7 -> opcode 1, single, 1 cycle
+}
+
+// CMP writes all comparison flags at once; BR and FBR select one.
+func ExampleCompare() {
+	flags := isa.Compare(3, 7)
+	fmt.Println(flags.Test(isa.CondLT), flags.Test(isa.CondEQ), flags.Test(isa.CondAlways))
+	// Output: true false true
+}

@@ -1,0 +1,346 @@
+// Package isa defines the eQASM instruction set architecture of the paper
+// "eQASM: An Executable Quantum Instruction Set Architecture" (Fu et al.,
+// HPCA 2019): the assembly-level instruction kinds of Table 1, the
+// architectural registers of Fig. 2, the quantum-operation configuration
+// mechanism of Section 3.2, and the 32-bit binary instantiation of
+// Section 4.2 / Fig. 8 targeting the seven-qubit superconducting
+// processor.
+//
+// Following the paper, the ISA definition focuses on the assembly level;
+// the binary format in encoding.go is one instantiation (the one the
+// paper builds), and the instantiation parameters are collected in
+// Instantiation so alternative bindings can be expressed.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode enumerates the eQASM instruction kinds of Table 1, plus the
+// NOP/STOP housekeeping instructions every concrete instantiation needs.
+type Opcode uint8
+
+const (
+	// OpNOP does nothing for one cycle.
+	OpNOP Opcode = iota
+	// OpSTOP halts the quantum processor. Not part of Table 1; an
+	// instantiation-level extension so programs can terminate cleanly.
+	OpSTOP
+
+	// Control (Table 1).
+	OpCMP // CMP Rs, Rt
+	OpBR  // BR <cond>, Offset
+
+	// Data transfer (Table 1).
+	OpFBR  // FBR <cond>, Rd
+	OpLDI  // LDI Rd, Imm
+	OpLDUI // LDUI Rd, Imm, Rs
+	OpLD   // LD Rd, Rt(Imm)
+	OpST   // ST Rs, Rt(Imm)
+	OpFMR  // FMR Rd, Qi
+
+	// Logical (Table 1).
+	OpAND // AND Rd, Rs, Rt
+	OpOR  // OR Rd, Rs, Rt
+	OpXOR // XOR Rd, Rs, Rt
+	OpNOT // NOT Rd, Rt
+
+	// Arithmetic (Table 1).
+	OpADD // ADD Rd, Rs, Rt
+	OpSUB // SUB Rd, Rs, Rt
+
+	// Waiting (Table 1).
+	OpQWAIT  // QWAIT Imm
+	OpQWAITR // QWAITR Rs
+
+	// Target specify (Table 1).
+	OpSMIS // SMIS Sd, {qubits}
+	OpSMIT // SMIT Td, {(s,t) pairs}
+
+	// Quantum bundle: [PI,] Q_Op [| Q_Op]*.
+	OpBundle
+
+	opcodeCount
+)
+
+var opcodeNames = [...]string{
+	OpNOP: "NOP", OpSTOP: "STOP",
+	OpCMP: "CMP", OpBR: "BR",
+	OpFBR: "FBR", OpLDI: "LDI", OpLDUI: "LDUI", OpLD: "LD", OpST: "ST", OpFMR: "FMR",
+	OpAND: "AND", OpOR: "OR", OpXOR: "XOR", OpNOT: "NOT",
+	OpADD: "ADD", OpSUB: "SUB",
+	OpQWAIT: "QWAIT", OpQWAITR: "QWAITR",
+	OpSMIS: "SMIS", OpSMIT: "SMIT",
+	OpBundle: "BUNDLE",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// CondFlag selects one of the comparison flags written by CMP and read by
+// BR and FBR. ALWAYS and NEVER are constant flags; the paper's Fig. 5
+// example uses "BR ALWAYS, next".
+type CondFlag uint8
+
+const (
+	CondAlways CondFlag = iota
+	CondNever
+	CondEQ
+	CondNE
+	CondLT // signed
+	CondGE // signed
+	CondLE // signed
+	CondGT // signed
+	CondLTU
+	CondGEU
+	CondLEU
+	CondGTU
+	condCount
+)
+
+var condNames = [...]string{
+	"ALWAYS", "NEVER", "EQ", "NE", "LT", "GE", "LE", "GT", "LTU", "GEU", "LEU", "GTU",
+}
+
+func (c CondFlag) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("Cond(%d)", uint8(c))
+}
+
+// ParseCondFlag maps an assembly mnemonic to its flag.
+func ParseCondFlag(s string) (CondFlag, bool) {
+	for i, n := range condNames {
+		if n == s {
+			return CondFlag(i), true
+		}
+	}
+	return 0, false
+}
+
+// ComparisonFlags is the architectural comparison-flag register: one bit
+// per CondFlag, all updated atomically by CMP.
+type ComparisonFlags uint16
+
+// Compare computes the flag set for CMP Rs, Rt with 32-bit register
+// values (signed comparisons use two's-complement interpretation).
+func Compare(rs, rt uint32) ComparisonFlags {
+	var f ComparisonFlags
+	set := func(c CondFlag, v bool) {
+		if v {
+			f |= 1 << c
+		}
+	}
+	ss, st := int32(rs), int32(rt)
+	set(CondAlways, true)
+	set(CondNever, false)
+	set(CondEQ, rs == rt)
+	set(CondNE, rs != rt)
+	set(CondLT, ss < st)
+	set(CondGE, ss >= st)
+	set(CondLE, ss <= st)
+	set(CondGT, ss > st)
+	set(CondLTU, rs < rt)
+	set(CondGEU, rs >= rt)
+	set(CondLEU, rs <= rt)
+	set(CondGTU, rs > rt)
+	return f
+}
+
+// Test reports whether flag c is set. ALWAYS tests true and NEVER false
+// even on the zero value, so BR ALWAYS works before any CMP.
+func (f ComparisonFlags) Test(c CondFlag) bool {
+	switch c {
+	case CondAlways:
+		return true
+	case CondNever:
+		return false
+	}
+	return f&(1<<c) != 0
+}
+
+// QOp is one quantum operation inside a bundle: a configured operation
+// name applied to a quantum operation target register (S register for
+// single-qubit operations including measurement, T register for two-qubit
+// operations).
+type QOp struct {
+	// Name is the configured operation mnemonic (resolved against an
+	// OpConfig during assembly/execution).
+	Name string
+	// Target is the S/T register index.
+	Target uint8
+}
+
+// Instr is one eQASM instruction in assembly-level form. A single struct
+// (rather than an interface per kind) keeps encoding, assembly and the
+// microarchitecture pipelines straightforward, mirroring how fields are
+// unioned in the 32-bit word.
+type Instr struct {
+	Op Opcode
+
+	// GPR operands.
+	Rd, Rs, Rt uint8
+	// Imm is the immediate: LDI (20-bit signed), LDUI (15-bit unsigned),
+	// LD/ST offset (15-bit signed), QWAIT (20-bit unsigned), BR offset in
+	// instruction words relative to the BR itself (after resolution).
+	Imm int32
+	// Cond selects the comparison flag for BR and FBR.
+	Cond CondFlag
+	// Qi is the qubit measurement result register address for FMR.
+	Qi uint8
+
+	// Addr is the destination target-register index for SMIS/SMIT.
+	Addr uint8
+	// Mask is the resolved qubit mask (SMIS, one bit per qubit) or qubit
+	// pair mask (SMIT, one bit per allowed-pair edge ID).
+	Mask uint64
+
+	// PI is the bundle pre-interval in cycles.
+	PI uint8
+	// QOps are the bundle's quantum operations.
+	QOps []QOp
+
+	// Label is an unresolved branch target; the assembler replaces it
+	// with Imm. Kept for listings.
+	Label string
+	// SourceLine is the 1-based assembly source line, 0 if synthesized.
+	SourceLine int
+}
+
+// NewBundle builds a quantum bundle instruction.
+func NewBundle(pi uint8, ops ...QOp) Instr {
+	return Instr{Op: OpBundle, PI: pi, QOps: ops}
+}
+
+// String renders the instruction in eQASM assembly syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNOP, OpSTOP:
+		return i.Op.String()
+	case OpCMP:
+		return fmt.Sprintf("CMP R%d, R%d", i.Rs, i.Rt)
+	case OpBR:
+		if i.Label != "" {
+			return fmt.Sprintf("BR %s, %s", i.Cond, i.Label)
+		}
+		return fmt.Sprintf("BR %s, %d", i.Cond, i.Imm)
+	case OpFBR:
+		return fmt.Sprintf("FBR %s, R%d", i.Cond, i.Rd)
+	case OpLDI:
+		return fmt.Sprintf("LDI R%d, %d", i.Rd, i.Imm)
+	case OpLDUI:
+		return fmt.Sprintf("LDUI R%d, %d, R%d", i.Rd, i.Imm, i.Rs)
+	case OpLD:
+		return fmt.Sprintf("LD R%d, R%d(%d)", i.Rd, i.Rt, i.Imm)
+	case OpST:
+		return fmt.Sprintf("ST R%d, R%d(%d)", i.Rs, i.Rt, i.Imm)
+	case OpFMR:
+		return fmt.Sprintf("FMR R%d, Q%d", i.Rd, i.Qi)
+	case OpAND, OpOR, OpXOR, OpADD, OpSUB:
+		return fmt.Sprintf("%s R%d, R%d, R%d", i.Op, i.Rd, i.Rs, i.Rt)
+	case OpNOT:
+		return fmt.Sprintf("NOT R%d, R%d", i.Rd, i.Rt)
+	case OpQWAIT:
+		return fmt.Sprintf("QWAIT %d", i.Imm)
+	case OpQWAITR:
+		return fmt.Sprintf("QWAITR R%d", i.Rs)
+	case OpSMIS:
+		return fmt.Sprintf("SMIS S%d, %s", i.Addr, FormatQubitMask(i.Mask))
+	case OpSMIT:
+		return fmt.Sprintf("SMIT T%d, %d", i.Addr, i.Mask)
+	case OpBundle:
+		parts := make([]string, len(i.QOps))
+		for k, q := range i.QOps {
+			parts[k] = q.String()
+		}
+		return fmt.Sprintf("%d, %s", i.PI, strings.Join(parts, " | "))
+	}
+	return fmt.Sprintf("<%s>", i.Op)
+}
+
+// String renders a bundle operation as "NAME Sx" / "NAME Tx"; the S/T
+// register class is not recoverable without an OpConfig, so bare QNOP is
+// special-cased and other operations print with an untyped register.
+func (q QOp) String() string {
+	if q.Name == QNOPName {
+		return QNOPName
+	}
+	return fmt.Sprintf("%s %d", q.Name, q.Target)
+}
+
+// StringWithConfig renders a bundle operation with the correct register
+// class prefix, given the operation configuration.
+func (q QOp) StringWithConfig(cfg *OpConfig) string {
+	if q.Name == QNOPName {
+		return QNOPName
+	}
+	def, ok := cfg.ByName(q.Name)
+	if ok && def.Kind == OpKindTwo {
+		return fmt.Sprintf("%s T%d", q.Name, q.Target)
+	}
+	return fmt.Sprintf("%s S%d", q.Name, q.Target)
+}
+
+// FormatQubitMask renders a SMIS qubit mask as the assembly qubit list,
+// e.g. {0, 2}.
+func FormatQubitMask(mask uint64) string {
+	var qs []string
+	for q := 0; mask != 0; q++ {
+		if mask&1 != 0 {
+			qs = append(qs, fmt.Sprint(q))
+		}
+		mask >>= 1
+	}
+	return "{" + strings.Join(qs, ", ") + "}"
+}
+
+// QubitMask builds a SMIS mask from a qubit list.
+func QubitMask(qubits ...int) uint64 {
+	var m uint64
+	for _, q := range qubits {
+		m |= 1 << uint(q)
+	}
+	return m
+}
+
+// MaskQubits expands a mask into the ascending qubit (or edge) list.
+func MaskQubits(mask uint64) []int {
+	var out []int
+	for q := 0; mask != 0; q++ {
+		if mask&1 != 0 {
+			out = append(out, q)
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+// Program is an assembled eQASM program: a flat instruction sequence with
+// branch offsets resolved, plus the label table for listings.
+type Program struct {
+	Instrs []Instr
+	// Labels maps label name to instruction index.
+	Labels map[string]int
+}
+
+// String renders the program as an assembly listing.
+func (p *Program) String() string {
+	byIndex := map[int][]string{}
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	var b strings.Builder
+	for i, ins := range p.Instrs {
+		for _, l := range byIndex[i] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "    %s\n", ins)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareFlags(t *testing.T) {
+	cases := []struct {
+		rs, rt uint32
+		set    []CondFlag
+		unset  []CondFlag
+	}{
+		{5, 5, []CondFlag{CondEQ, CondGE, CondLE, CondGEU, CondLEU}, []CondFlag{CondNE, CondLT, CondGT}},
+		{3, 7, []CondFlag{CondNE, CondLT, CondLE, CondLTU}, []CondFlag{CondEQ, CondGE, CondGT}},
+		{7, 3, []CondFlag{CondNE, CondGT, CondGE, CondGTU}, []CondFlag{CondEQ, CondLT, CondLE}},
+		// Signed vs unsigned disagreement: -1 vs 1.
+		{0xFFFFFFFF, 1, []CondFlag{CondLT, CondGTU}, []CondFlag{CondGT, CondLTU}},
+	}
+	for _, c := range cases {
+		f := Compare(c.rs, c.rt)
+		for _, s := range c.set {
+			if !f.Test(s) {
+				t.Errorf("Compare(%d,%d): flag %s should be set", c.rs, c.rt, s)
+			}
+		}
+		for _, u := range c.unset {
+			if f.Test(u) {
+				t.Errorf("Compare(%d,%d): flag %s should be clear", c.rs, c.rt, u)
+			}
+		}
+	}
+}
+
+func TestAlwaysNeverFlags(t *testing.T) {
+	var zero ComparisonFlags
+	if !zero.Test(CondAlways) {
+		t.Error("ALWAYS must test true on the zero flag register")
+	}
+	if zero.Test(CondNever) {
+		t.Error("NEVER must test false")
+	}
+	f := Compare(1, 2)
+	if !f.Test(CondAlways) || f.Test(CondNever) {
+		t.Error("ALWAYS/NEVER broken after CMP")
+	}
+}
+
+// Property: Compare is antisymmetric in LT/GT and consistent with EQ.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ab := Compare(a, b)
+		ba := Compare(b, a)
+		if ab.Test(CondEQ) != (a == b) {
+			return false
+		}
+		if ab.Test(CondLT) != ba.Test(CondGT) {
+			return false
+		}
+		if ab.Test(CondLTU) != ba.Test(CondGTU) {
+			return false
+		}
+		return ab.Test(CondLE) == (ab.Test(CondLT) || ab.Test(CondEQ))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCondFlag(t *testing.T) {
+	for c := CondAlways; c < condCount; c++ {
+		got, ok := ParseCondFlag(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCondFlag(%q) = %v,%v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseCondFlag("BOGUS"); ok {
+		t.Error("parsed a bogus flag")
+	}
+}
+
+func TestInstrStringMatchesPaperSyntax(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpCMP, Rs: 1, Rt: 0}, "CMP R1, R0"},
+		{Instr{Op: OpBR, Cond: CondEQ, Label: "eq_path"}, "BR EQ, eq_path"},
+		{Instr{Op: OpFBR, Cond: CondEQ, Rd: 3}, "FBR EQ, R3"},
+		{Instr{Op: OpLDI, Rd: 0, Imm: 1}, "LDI R0, 1"},
+		{Instr{Op: OpLDUI, Rd: 2, Imm: 17, Rs: 2}, "LDUI R2, 17, R2"},
+		{Instr{Op: OpLD, Rd: 1, Rt: 2, Imm: 4}, "LD R1, R2(4)"},
+		{Instr{Op: OpST, Rs: 1, Rt: 2, Imm: -4}, "ST R1, R2(-4)"},
+		{Instr{Op: OpFMR, Rd: 1, Qi: 1}, "FMR R1, Q1"},
+		{Instr{Op: OpAND, Rd: 1, Rs: 2, Rt: 3}, "AND R1, R2, R3"},
+		{Instr{Op: OpNOT, Rd: 1, Rt: 2}, "NOT R1, R2"},
+		{Instr{Op: OpQWAIT, Imm: 10000}, "QWAIT 10000"},
+		{Instr{Op: OpQWAITR, Rs: 0}, "QWAITR R0"},
+		{Instr{Op: OpSMIS, Addr: 7, Mask: QubitMask(0, 1)}, "SMIS S7, {0, 1}"},
+		{NewBundle(1, QOp{Name: "X90", Target: 0}, QOp{Name: "X", Target: 2}), "1, X90 0 | X 2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestQubitMaskHelpers(t *testing.T) {
+	m := QubitMask(0, 2, 6)
+	if m != 0b1000101 {
+		t.Fatalf("mask = %#b", m)
+	}
+	qs := MaskQubits(m)
+	want := []int{0, 2, 6}
+	if len(qs) != 3 || qs[0] != want[0] || qs[1] != want[1] || qs[2] != want[2] {
+		t.Fatalf("MaskQubits = %v, want %v", qs, want)
+	}
+	if got := FormatQubitMask(m); got != "{0, 2, 6}" {
+		t.Fatalf("FormatQubitMask = %q", got)
+	}
+	if got := FormatQubitMask(0); got != "{}" {
+		t.Fatalf("empty mask = %q", got)
+	}
+}
+
+func TestProgramListing(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			{Op: OpLDI, Rd: 0, Imm: 1},
+			{Op: OpBR, Cond: CondAlways, Imm: -1, Label: "loop"},
+		},
+		Labels: map[string]int{"loop": 1},
+	}
+	s := p.String()
+	if !strings.Contains(s, "loop:") || !strings.Contains(s, "LDI R0, 1") {
+		t.Fatalf("listing missing parts:\n%s", s)
+	}
+}

@@ -1,0 +1,339 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eqasm/internal/quantum"
+)
+
+// This file implements the paper's Section 3.2 mechanism: eQASM does not
+// fix a quantum operation set at QISA design time. Instead, the
+// programmer configures the available operations at compile time, and the
+// assembler, the microcode unit and the pulse generator are all driven by
+// the same configuration. Here that shared configuration is OpConfig;
+// OpDef carries everything each consumer needs (mnemonic and opcode for
+// the assembler, kind/flag selection/micro-operations for the microcode
+// unit, unitary and duration for the codeword-triggered pulse layer).
+
+// QNOPName is the reserved quantum no-operation filling unused VLIW slots.
+const QNOPName = "QNOP"
+
+// QNOPOpcode is the reserved q-opcode 0.
+const QNOPOpcode = 0
+
+// OpKind classifies a configured quantum operation.
+type OpKind uint8
+
+const (
+	// OpKindSingle is a single-qubit operation targeting an S register.
+	OpKindSingle OpKind = iota
+	// OpKindTwo is a two-qubit operation targeting a T register.
+	OpKindTwo
+	// OpKindMeasure is a measurement; it targets an S register and its
+	// completion feeds the qubit measurement result registers.
+	OpKindMeasure
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpKindSingle:
+		return "single"
+	case OpKindTwo:
+		return "two"
+	case OpKindMeasure:
+		return "measure"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// ExecFlagSel selects which execution flag gates an operation under fast
+// conditional execution (Section 3.5). The instantiation defines four
+// combinatorial flag logics (Section 4.3).
+type ExecFlagSel uint8
+
+const (
+	// FlagAlways: '1' (default, unconditional execution).
+	FlagAlways ExecFlagSel = iota
+	// FlagLastOne: '1' iff the last finished measurement result is |1>.
+	FlagLastOne
+	// FlagLastZero: '1' iff the last finished measurement result is |0>.
+	FlagLastZero
+	// FlagLastTwoEqual: '1' iff the last two finished measurements got
+	// the same result.
+	FlagLastTwoEqual
+	// ExecFlagCount is the size of each per-qubit execution flag register.
+	ExecFlagCount
+)
+
+func (s ExecFlagSel) String() string {
+	switch s {
+	case FlagAlways:
+		return "always"
+	case FlagLastOne:
+		return "last==1"
+	case FlagLastZero:
+		return "last==0"
+	case FlagLastTwoEqual:
+		return "last-two-equal"
+	}
+	return fmt.Sprintf("ExecFlagSel(%d)", uint8(s))
+}
+
+// Channel identifies which analog-digital-interface device class carries
+// an operation's pulse (Section 4.4): microwave (x/y rotations via
+// HDAWG + VSM), flux (z rotations and CZ via flux-line HDAWG), or
+// measurement (UHFQC per feedline).
+type Channel uint8
+
+const (
+	ChanMicrowave Channel = iota
+	ChanFlux
+	ChanMeasure
+)
+
+func (c Channel) String() string {
+	switch c {
+	case ChanMicrowave:
+		return "microwave"
+	case ChanFlux:
+		return "flux"
+	case ChanMeasure:
+		return "measurement"
+	}
+	return fmt.Sprintf("Channel(%d)", uint8(c))
+}
+
+// OpDef is one configured quantum operation.
+type OpDef struct {
+	// Name is the assembly mnemonic.
+	Name string
+	// Opcode is the 9-bit q-opcode assigned in the binary instantiation.
+	Opcode uint16
+	// Kind classifies the operation (S vs T register, measurement).
+	Kind OpKind
+	// DurationCycles is the pulse duration in quantum cycles (20 ns).
+	DurationCycles int
+	// CondSel is the execution flag gating this operation under fast
+	// conditional execution; FlagAlways for unconditional operations.
+	CondSel ExecFlagSel
+	// Channel carries the pulse for single-qubit operations (two-qubit
+	// operations always use flux, measurements always the feedline).
+	Channel Channel
+	// Unitary1 is the single-qubit unitary (OpKindSingle).
+	Unitary1 quantum.Matrix2
+	// Unitary2 is the two-qubit unitary (OpKindTwo), with the pair's
+	// source qubit as the high-order basis label.
+	Unitary2 quantum.Matrix4
+}
+
+// OpConfig is the compile-time quantum operation configuration shared by
+// assembler, microcode unit and pulse generation.
+type OpConfig struct {
+	// CycleNs is the quantum cycle time in nanoseconds (20 in the paper's
+	// instantiation).
+	CycleNs  float64
+	byName   map[string]*OpDef
+	byOpcode map[uint16]*OpDef
+	next     uint16
+}
+
+// NewOpConfig returns an empty configuration with the given cycle time.
+func NewOpConfig(cycleNs float64) *OpConfig {
+	return &OpConfig{
+		CycleNs:  cycleNs,
+		byName:   make(map[string]*OpDef),
+		byOpcode: make(map[uint16]*OpDef),
+		next:     1, // opcode 0 is QNOP
+	}
+}
+
+// Define registers an operation. A zero Opcode is auto-assigned the next
+// free q-opcode. Defining reuses of a name or opcode fail.
+func (c *OpConfig) Define(def OpDef) (*OpDef, error) {
+	if def.Name == "" || def.Name == QNOPName {
+		return nil, fmt.Errorf("isa: invalid operation name %q", def.Name)
+	}
+	if _, dup := c.byName[def.Name]; dup {
+		return nil, fmt.Errorf("isa: operation %q already configured", def.Name)
+	}
+	if def.Opcode == 0 {
+		for c.byOpcode[c.next] != nil {
+			c.next++
+		}
+		def.Opcode = c.next
+		c.next++
+	}
+	if def.Opcode >= 1<<9 {
+		return nil, fmt.Errorf("isa: q-opcode %d exceeds the 9-bit field", def.Opcode)
+	}
+	if _, dup := c.byOpcode[def.Opcode]; dup {
+		return nil, fmt.Errorf("isa: q-opcode %d already in use", def.Opcode)
+	}
+	if def.DurationCycles <= 0 {
+		return nil, fmt.Errorf("isa: operation %q needs a positive duration", def.Name)
+	}
+	switch def.Kind {
+	case OpKindTwo:
+		def.Channel = ChanFlux
+	case OpKindMeasure:
+		def.Channel = ChanMeasure
+	}
+	d := def
+	c.byName[d.Name] = &d
+	c.byOpcode[d.Opcode] = &d
+	return &d, nil
+}
+
+// MustDefine is Define but panics on error; for canned configurations.
+func (c *OpConfig) MustDefine(def OpDef) *OpDef {
+	d, err := c.Define(def)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ByName resolves a mnemonic.
+func (c *OpConfig) ByName(name string) (*OpDef, bool) {
+	d, ok := c.byName[name]
+	return d, ok
+}
+
+// ByOpcode resolves a binary q-opcode.
+func (c *OpConfig) ByOpcode(op uint16) (*OpDef, bool) {
+	d, ok := c.byOpcode[op]
+	return d, ok
+}
+
+// Names returns all configured mnemonics, sorted.
+func (c *OpConfig) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DurationNs returns an operation's duration in nanoseconds.
+func (c *OpConfig) DurationNs(d *OpDef) float64 {
+	return float64(d.DurationCycles) * c.CycleNs
+}
+
+// Durations used by the paper's instantiation (Section 4.2): single-qubit
+// gates take 1 cycle (20 ns), the CZ gate 2 cycles (~40 ns), and a
+// measurement 15 cycles (300 ns).
+const (
+	DefaultCycleNs        = 20
+	DefaultGate1QCycles   = 1
+	DefaultGate2QCycles   = 2
+	DefaultMeasureCycles  = 15
+	DefaultInitIdleCycles = 10000 // 200 us initialisation by relaxation
+)
+
+// DefaultConfig returns the Section 5 configuration: single-qubit gates
+// {I, X, Y, X90, Y90, Xm90, Ym90}, the two-qubit CZ gate, MEASZ, the
+// fast-conditional C_X / C_Y / C0_X variants, plus H and CNOT used by the
+// paper's Section 3 examples.
+func DefaultConfig() *OpConfig {
+	c := NewOpConfig(DefaultCycleNs)
+	single := func(name string, u quantum.Matrix2) {
+		c.MustDefine(OpDef{Name: name, Kind: OpKindSingle,
+			DurationCycles: DefaultGate1QCycles, Unitary1: u})
+	}
+	single("I", quantum.Identity)
+	single("X", quantum.GateX)
+	single("Y", quantum.GateY)
+	single("X90", quantum.GateX90)
+	single("Y90", quantum.GateY90)
+	single("Xm90", quantum.GateXm90)
+	single("Ym90", quantum.GateYm90)
+	single("H", quantum.Hadamard)
+	// Virtual/flux z rotations.
+	c.MustDefine(OpDef{Name: "Z", Kind: OpKindSingle, Channel: ChanFlux,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.PauliZ})
+	c.MustDefine(OpDef{Name: "S", Kind: OpKindSingle, Channel: ChanFlux,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.SGate})
+	c.MustDefine(OpDef{Name: "T", Kind: OpKindSingle, Channel: ChanFlux,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.TGate})
+
+	// Fast-conditional single-qubit operations (Section 3.5 / 4.3).
+	c.MustDefine(OpDef{Name: "C_X", Kind: OpKindSingle, CondSel: FlagLastOne,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.GateX})
+	c.MustDefine(OpDef{Name: "C_Y", Kind: OpKindSingle, CondSel: FlagLastOne,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.GateY})
+	c.MustDefine(OpDef{Name: "C0_X", Kind: OpKindSingle, CondSel: FlagLastZero,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.GateX})
+	c.MustDefine(OpDef{Name: "CEQ_X", Kind: OpKindSingle, CondSel: FlagLastTwoEqual,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.GateX})
+
+	// Two-qubit operations.
+	c.MustDefine(OpDef{Name: "CZ", Kind: OpKindTwo,
+		DurationCycles: DefaultGate2QCycles, Unitary2: quantum.CZ})
+	c.MustDefine(OpDef{Name: "CNOT", Kind: OpKindTwo,
+		DurationCycles: DefaultGate2QCycles, Unitary2: quantum.CNOT})
+
+	// Measurement.
+	c.MustDefine(OpDef{Name: "MEASZ", Kind: OpKindMeasure,
+		DurationCycles: DefaultMeasureCycles})
+	return c
+}
+
+// WithRabiAmplitudes returns the configuration extended with the
+// uncalibrated X_AMP_<i> rotations of the Section 5 Rabi experiment:
+// steps x-rotations with amplitude (and thus angle) increasing linearly
+// from 0 to maxAngle radians. Each is an independent user-defined
+// operation, demonstrating compile-time configurability.
+func (c *OpConfig) WithRabiAmplitudes(steps int, maxAngle float64) (*OpConfig, []string, error) {
+	names := make([]string, steps)
+	for i := 0; i < steps; i++ {
+		theta := maxAngle * float64(i) / float64(steps-1)
+		name := fmt.Sprintf("X_AMP_%d", i)
+		_, err := c.Define(OpDef{
+			Name:           name,
+			Kind:           OpKindSingle,
+			DurationCycles: DefaultGate1QCycles,
+			Unitary1:       quantum.Rotation(quantum.AxisX, theta),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		names[i] = name
+	}
+	return c, names, nil
+}
+
+// RotationName returns a canonical mnemonic for an axis rotation by the
+// given angle in degrees, defining it on first use. The compiler uses it
+// to configure exactly the rotations a circuit needs (Section 3.2:
+// "different quantum experiments or algorithms may require a different
+// set of physical quantum operations").
+func (c *OpConfig) RotationName(axis quantum.Axis, deg float64) (string, error) {
+	norm := math.Mod(deg, 360)
+	if norm < 0 {
+		norm += 360
+	}
+	name := fmt.Sprintf("R%s%d", map[quantum.Axis]string{
+		quantum.AxisX: "X", quantum.AxisY: "Y", quantum.AxisZ: "Z",
+	}[axis], int(math.Round(norm*100)))
+	if _, ok := c.byName[name]; ok {
+		return name, nil
+	}
+	ch := ChanMicrowave
+	if axis == quantum.AxisZ {
+		ch = ChanFlux
+	}
+	_, err := c.Define(OpDef{
+		Name:           name,
+		Kind:           OpKindSingle,
+		Channel:        ch,
+		DurationCycles: DefaultGate1QCycles,
+		Unitary1:       quantum.RotationDeg(axis, norm),
+	})
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}

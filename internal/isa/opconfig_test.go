@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"math"
+	"testing"
+
+	"eqasm/internal/quantum"
+)
+
+func TestDefaultConfigContents(t *testing.T) {
+	cfg := DefaultConfig()
+	// The Section 5 experiment set must be present.
+	for _, name := range []string{"I", "X", "Y", "X90", "Y90", "Xm90", "Ym90", "CZ", "MEASZ", "C_X"} {
+		if _, ok := cfg.ByName(name); !ok {
+			t.Errorf("default config missing %q", name)
+		}
+	}
+	x := mustDef(t, cfg, "X")
+	if x.Kind != OpKindSingle || x.DurationCycles != 1 {
+		t.Errorf("X misconfigured: %+v", x)
+	}
+	cz := mustDef(t, cfg, "CZ")
+	if cz.Kind != OpKindTwo || cz.Channel != ChanFlux || cz.DurationCycles != 2 {
+		t.Errorf("CZ misconfigured: %+v", cz)
+	}
+	m := mustDef(t, cfg, "MEASZ")
+	if m.Kind != OpKindMeasure || m.Channel != ChanMeasure || m.DurationCycles != 15 {
+		t.Errorf("MEASZ misconfigured: %+v", m)
+	}
+	cx := mustDef(t, cfg, "C_X")
+	if cx.CondSel != FlagLastOne {
+		t.Errorf("C_X flag selection = %v, want last==1", cx.CondSel)
+	}
+	if cfg.DurationNs(m) != 300 {
+		t.Errorf("MEASZ duration = %v ns, want 300", cfg.DurationNs(m))
+	}
+}
+
+func TestOpcodeUniqueness(t *testing.T) {
+	cfg := DefaultConfig()
+	seen := map[uint16]string{}
+	for _, name := range cfg.Names() {
+		d, _ := cfg.ByName(name)
+		if d.Opcode == QNOPOpcode {
+			t.Errorf("%q uses the reserved QNOP opcode", name)
+		}
+		if prev, dup := seen[d.Opcode]; dup {
+			t.Errorf("opcode %d shared by %q and %q", d.Opcode, prev, name)
+		}
+		seen[d.Opcode] = name
+		if back, ok := cfg.ByOpcode(d.Opcode); !ok || back.Name != name {
+			t.Errorf("ByOpcode(%d) does not return %q", d.Opcode, name)
+		}
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	cfg := NewOpConfig(20)
+	if _, err := cfg.Define(OpDef{Name: "", DurationCycles: 1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := cfg.Define(OpDef{Name: QNOPName, DurationCycles: 1}); err == nil {
+		t.Error("QNOP name accepted")
+	}
+	if _, err := cfg.Define(OpDef{Name: "G", DurationCycles: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := cfg.Define(OpDef{Name: "G", DurationCycles: 1, Opcode: 600}); err == nil {
+		t.Error("q-opcode beyond 9 bits accepted")
+	}
+	if _, err := cfg.Define(OpDef{Name: "G", DurationCycles: 1}); err != nil {
+		t.Fatalf("valid define failed: %v", err)
+	}
+	if _, err := cfg.Define(OpDef{Name: "G", DurationCycles: 1}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	g, _ := cfg.ByName("G")
+	if _, err := cfg.Define(OpDef{Name: "H2", DurationCycles: 1, Opcode: g.Opcode}); err == nil {
+		t.Error("duplicate opcode accepted")
+	}
+}
+
+func TestWithRabiAmplitudes(t *testing.T) {
+	cfg, names, err := DefaultConfig().WithRabiAmplitudes(5, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("got %d names", len(names))
+	}
+	// Last amplitude is a full pi rotation: equals X up to phase.
+	last := mustDef(t, cfg, names[4])
+	if !last.Unitary1.ApproxEqualUpToPhase(quantum.GateX, 1e-9) {
+		t.Error("max-amplitude Rabi op is not a pi rotation")
+	}
+	first := mustDef(t, cfg, names[0])
+	if !first.Unitary1.ApproxEqualUpToPhase(quantum.Identity, 1e-9) {
+		t.Error("zero-amplitude Rabi op is not identity")
+	}
+}
+
+func TestRotationNameDefinesOnce(t *testing.T) {
+	cfg := NewOpConfig(20)
+	n1, err := cfg.RotationName(quantum.AxisX, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := cfg.RotationName(quantum.AxisX, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("same rotation got two names: %q vs %q", n1, n2)
+	}
+	d := mustDef(t, cfg, n1)
+	if !d.Unitary1.ApproxEqual(quantum.RotationDeg(quantum.AxisX, 45), 1e-9) {
+		t.Error("rotation unitary mismatch")
+	}
+	// Negative angles normalise into [0,360).
+	n3, err := cfg.RotationName(quantum.AxisY, -90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := mustDef(t, cfg, n3)
+	if !d3.Unitary1.ApproxEqual(quantum.RotationDeg(quantum.AxisY, 270), 1e-9) {
+		t.Error("negative rotation not normalised")
+	}
+	// Z rotations ride the flux channel.
+	nz, err := cfg.RotationName(quantum.AxisZ, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustDef(t, cfg, nz).Channel != ChanFlux {
+		t.Error("z rotation should use the flux channel")
+	}
+}

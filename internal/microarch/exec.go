@@ -1,0 +1,117 @@
+package microarch
+
+import (
+	"encoding/binary"
+
+	"eqasm/internal/isa"
+)
+
+// execute retires one instruction in the classical pipeline. Quantum
+// instructions are forwarded to the quantum pipeline (Section 4.3); both
+// happen within the issuing tick, with the quantum front-end latency
+// modelled when events are timestamped.
+func (m *Machine) execute() {
+	if m.pc < 0 || m.pc >= len(m.program) {
+		m.fail(&RuntimeError{PC: m.pc, Tick: m.tick, Msg: "program counter ran off the instruction memory"})
+		return
+	}
+	ins := m.program[m.pc]
+	m.stats.InstructionsExecuted++
+	advance := true
+	switch ins.Op {
+	case isa.OpNOP:
+	case isa.OpSTOP:
+		m.halted = true
+	case isa.OpCMP:
+		m.cmpFlags = isa.Compare(m.gpr[ins.Rs], m.gpr[ins.Rt])
+	case isa.OpBR:
+		if m.cmpFlags.Test(ins.Cond) {
+			m.pc += int(ins.Imm)
+			m.stallTicks += m.cfg.BranchPenaltyTicks
+			advance = false
+		}
+	case isa.OpFBR:
+		if m.cmpFlags.Test(ins.Cond) {
+			m.gpr[ins.Rd] = 1
+		} else {
+			m.gpr[ins.Rd] = 0
+		}
+	case isa.OpLDI:
+		m.gpr[ins.Rd] = uint32(ins.Imm)
+	case isa.OpLDUI:
+		m.gpr[ins.Rd] = uint32(ins.Imm)<<17 | m.gpr[ins.Rs]&0x1FFFF
+	case isa.OpLD:
+		addr := int(int32(m.gpr[ins.Rt]) + ins.Imm)
+		if addr < 0 || addr+4 > len(m.mem) {
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: "load address out of data memory"})
+			return
+		}
+		m.gpr[ins.Rd] = binary.LittleEndian.Uint32(m.mem[addr:])
+	case isa.OpST:
+		addr := int(int32(m.gpr[ins.Rt]) + ins.Imm)
+		if addr < 0 || addr+4 > len(m.mem) {
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: "store address out of data memory"})
+			return
+		}
+		binary.LittleEndian.PutUint32(m.mem[addr:], m.gpr[ins.Rs])
+	case isa.OpFMR:
+		if int(ins.Qi) >= len(m.measCounters) {
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: "FMR addresses a qubit beyond the chip"})
+			return
+		}
+		// Section 3.6: if Qi is invalid (pending measurements), the
+		// pipeline stalls until it becomes valid again.
+		if m.measCounters[ins.Qi] > 0 {
+			m.fmrStalled = true
+			m.stats.InstructionsExecuted-- // retires when the stall clears
+			return
+		}
+		m.gpr[ins.Rd] = uint32(m.qResults[ins.Qi])
+	case isa.OpAND:
+		m.gpr[ins.Rd] = m.gpr[ins.Rs] & m.gpr[ins.Rt]
+	case isa.OpOR:
+		m.gpr[ins.Rd] = m.gpr[ins.Rs] | m.gpr[ins.Rt]
+	case isa.OpXOR:
+		m.gpr[ins.Rd] = m.gpr[ins.Rs] ^ m.gpr[ins.Rt]
+	case isa.OpNOT:
+		m.gpr[ins.Rd] = ^m.gpr[ins.Rt]
+	case isa.OpADD:
+		m.gpr[ins.Rd] = m.gpr[ins.Rs] + m.gpr[ins.Rt]
+	case isa.OpSUB:
+		m.gpr[ins.Rd] = m.gpr[ins.Rs] - m.gpr[ins.Rt]
+	case isa.OpQWAIT:
+		m.reserveWait(int64(ins.Imm))
+	case isa.OpQWAITR:
+		// Only the least significant 20 bits specify the waiting time
+		// (Section 4.2).
+		m.reserveWait(int64(m.gpr[ins.Rs] & 0xFFFFF))
+	case isa.OpSMIS:
+		m.sRegs[ins.Addr] = ins.Mask
+	case isa.OpSMIT:
+		m.tRegs[ins.Addr] = ins.Mask
+	case isa.OpBundle:
+		m.issueBundle(ins)
+	default:
+		m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick, Msg: "unimplemented opcode"})
+		return
+	}
+	if advance && m.err == nil {
+		m.pc++
+	}
+}
+
+// retryFMR re-checks the stalled FMR each tick; when the Ci counter drops
+// to zero the fetch completes and the pipeline resumes.
+func (m *Machine) retryFMR() {
+	ins := m.program[m.pc]
+	if m.measCounters[ins.Qi] > 0 {
+		return
+	}
+	m.gpr[ins.Rd] = uint32(m.qResults[ins.Qi])
+	m.fmrStalled = false
+	m.stats.InstructionsExecuted++
+	m.pc++
+}

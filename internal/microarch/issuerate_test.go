@@ -1,0 +1,119 @@
+package microarch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+// denseProgram emits `bundlesPerPoint` single-operation bundle words per
+// timing point (distinct operations on distinct qubits, so neither SOMQ
+// nor VLIW packing could compress them further), each point one cycle
+// apart: a workload whose required issue rate is bundlesPerPoint
+// instructions per 2 ticks.
+func denseProgram(points, bundlesPerPoint int) string {
+	var b strings.Builder
+	for q := 0; q < 7; q++ {
+		fmt.Fprintf(&b, "SMIS S%d, {%d}\n", q, q)
+	}
+	names := []string{"X", "Y", "X90", "Y90", "Xm90", "Ym90", "I"}
+	for i := 0; i < points; i++ {
+		for w := 0; w < bundlesPerPoint; w++ {
+			pi := 0
+			if w == 0 {
+				pi = 1
+			}
+			fmt.Fprintf(&b, "%d, %s S%d\n", pi, names[w], w)
+		}
+	}
+	b.WriteString("STOP\n")
+	return b.String()
+}
+
+func runDense(t *testing.T, ipc, bundlesPerPoint int) error {
+	t.Helper()
+	m, err := New(Config{
+		Topo:         topology.Surface7(),
+		OpConfig:     isa.DefaultConfig(),
+		ClassicalIPC: ipc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newAsm(m)
+	p, err := a.Assemble(denseProgram(60, bundlesPerPoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(p)
+	return m.Run()
+}
+
+// The Section 2.4 extension: multiple issue raises R_allowed. A workload
+// needing 3 instructions per 20 ns point (R_req = 1.5/tick) fails at
+// IPC=1 and succeeds at IPC=2.
+func TestMultiIssueRaisesAllowedRate(t *testing.T) {
+	var verr *TimingViolationError
+	if err := runDense(t, 1, 3); !errors.As(err, &verr) {
+		t.Fatalf("IPC=1 at R_req=1.5/tick: expected timing violation, got %v", err)
+	}
+	if err := runDense(t, 2, 3); err != nil {
+		t.Fatalf("IPC=2 at R_req=1.5/tick: %v", err)
+	}
+}
+
+// Even IPC=2 cannot sustain 5 instructions per point; IPC=4 can (the
+// wall moves with the issue width, it does not disappear).
+func TestIssueRateWallMoves(t *testing.T) {
+	var verr *TimingViolationError
+	if err := runDense(t, 2, 5); !errors.As(err, &verr) {
+		t.Fatalf("IPC=2 at R_req=2.5/tick: expected timing violation, got %v", err)
+	}
+	if err := runDense(t, 4, 5); err != nil {
+		t.Fatalf("IPC=4 at R_req=2.5/tick: %v", err)
+	}
+}
+
+// Multi-issue must not change program semantics, only timing headroom.
+func TestMultiIssueSemanticsUnchanged(t *testing.T) {
+	prog := `
+SMIS S0, {0}
+LDI R1, 5
+LDI R2, 3
+ADD R3, R1, R2
+X S0
+MEASZ S0
+FMR R4, Q0
+STOP
+`
+	results := make([]uint32, 2)
+	for i, ipc := range []int{1, 4} {
+		m, err := New(Config{
+			Topo:         topology.TwoQubit(),
+			OpConfig:     isa.DefaultConfig(),
+			ClassicalIPC: ipc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := newAsm(m).Assemble(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LoadProgram(p)
+		if err := m.Run(); err != nil {
+			t.Fatalf("ipc=%d: %v", ipc, err)
+		}
+		if got := m.GPR(3); got != 8 {
+			t.Fatalf("ipc=%d: R3 = %d", ipc, got)
+		}
+		results[i] = m.GPR(4)
+	}
+	if results[0] != 1 || results[1] != 1 {
+		t.Fatalf("measurement results differ across IPC: %v", results)
+	}
+}

@@ -1,0 +1,337 @@
+package microarch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/quantum"
+)
+
+// Machine is one QuMA_v2 quantum processor instance: architectural state
+// (Fig. 2), microarchitectural state (Fig. 9) and the simulated chip.
+type Machine struct {
+	cfg     Config
+	backend quantum.Backend
+	cstore  *ControlStore
+
+	program []isa.Instr
+
+	// Classical pipeline state.
+	pc         int
+	gpr        []uint32
+	cmpFlags   isa.ComparisonFlags
+	mem        []byte
+	halted     bool
+	stallTicks int
+	fmrStalled bool
+
+	// Quantum pipeline and timing state.
+	sRegs          []uint64
+	tRegs          []uint64
+	lastPointCycle int64
+	timelineLive   bool
+	events         eventHeap
+	eventSeq       int64
+	claims         map[claimKey]string
+	results        []pendingResult
+
+	// Measurement-result architecture (CFC protocol).
+	measCounters []int   // Ci per qubit
+	qResults     []uint8 // Qi per qubit
+	measIssued   []int   // total measurements issued per qubit (mock indexing)
+
+	// Fast-conditional-execution state.
+	execLast []uint8
+	execPrev []uint8
+	haveLast []bool
+	havePrev []bool
+
+	// Chip clock bookkeeping for decoherence.
+	qubitLocalNs []float64
+	// busyUntil tracks, per qubit, the cycle at which the executing pulse
+	// ends; triggering a new pulse earlier is a control error.
+	busyUntil []int64
+
+	tick    int64
+	stats   Stats
+	trace   []DeviceOp
+	measRec []MeasurementRecord
+	err     error
+}
+
+type claimKey struct {
+	cycle int64
+	qubit int
+}
+
+// New builds a machine. Topo and OpConfig are mandatory.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("microarch: config needs a topology")
+	}
+	if cfg.OpConfig == nil {
+		return nil, fmt.Errorf("microarch: config needs an operation configuration")
+	}
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg}
+	m.backend = cfg.Backend
+	if m.backend == nil {
+		if cfg.UseDensityMatrix {
+			m.backend = quantum.NewDMBackend(cfg.Topo.NumQubits, cfg.Noise, cfg.Seed)
+		} else {
+			m.backend = quantum.NewSVBackend(cfg.Topo.NumQubits, cfg.Noise, cfg.Seed)
+		}
+	}
+	if m.backend.NumQubits() < cfg.Topo.NumQubits {
+		return nil, fmt.Errorf("microarch: backend has %d qubits, topology needs %d",
+			m.backend.NumQubits(), cfg.Topo.NumQubits)
+	}
+	m.gpr = make([]uint32, cfg.Inst.NumGPR)
+	m.mem = make([]byte, cfg.MemoryBytes)
+	m.sRegs = make([]uint64, cfg.Inst.NumSReg)
+	m.tRegs = make([]uint64, cfg.Inst.NumTReg)
+	n := cfg.Topo.NumQubits
+	m.measCounters = make([]int, n)
+	m.qResults = make([]uint8, n)
+	m.measIssued = make([]int, n)
+	m.execLast = make([]uint8, n)
+	m.execPrev = make([]uint8, n)
+	m.haveLast = make([]bool, n)
+	m.havePrev = make([]bool, n)
+	m.qubitLocalNs = make([]float64, n)
+	m.busyUntil = make([]int64, n)
+	m.claims = make(map[claimKey]string)
+	m.cstore = BuildControlStore(cfg.OpConfig)
+	return m, nil
+}
+
+// LoadProgram installs an assembled program and resets execution state
+// (the quantum state and data memory are preserved, as when the host CPU
+// uploads new quantum code).
+func (m *Machine) LoadProgram(p *isa.Program) {
+	m.program = p.Instrs
+	m.resetExecState()
+}
+
+// LoadBinary decodes an instruction-word image and installs it.
+func (m *Machine) LoadBinary(words []uint32) error {
+	p, err := m.cfg.Inst.DecodeProgram(words, m.cfg.OpConfig)
+	if err != nil {
+		return err
+	}
+	m.LoadProgram(p)
+	return nil
+}
+
+func (m *Machine) resetExecState() {
+	m.pc = 0
+	m.halted = false
+	m.stallTicks = 0
+	m.fmrStalled = false
+	m.timelineLive = false
+	m.lastPointCycle = 0
+	m.events = m.events[:0]
+	m.results = m.results[:0]
+	m.claims = make(map[claimKey]string)
+	m.tick = 0
+	m.stats = Stats{}
+	m.trace = m.trace[:0]
+	m.measRec = m.measRec[:0]
+	m.err = nil
+	for i := range m.measCounters {
+		m.measCounters[i] = 0
+		m.qResults[i] = 0
+		m.measIssued[i] = 0
+		m.execLast[i] = 0
+		m.execPrev[i] = 0
+		m.haveLast[i] = false
+		m.havePrev[i] = false
+		m.qubitLocalNs[i] = 0
+		m.busyUntil[i] = 0
+	}
+}
+
+// Reset restores the machine to power-on state: execution state, register
+// files, data memory and the quantum chip itself.
+func (m *Machine) Reset() {
+	m.resetExecState()
+	for i := range m.gpr {
+		m.gpr[i] = 0
+	}
+	for i := range m.sRegs {
+		m.sRegs[i] = 0
+	}
+	for i := range m.tRegs {
+		m.tRegs[i] = 0
+	}
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.backend.Reset()
+	m.cmpFlags = 0
+}
+
+// Run executes the loaded program until STOP (draining in-flight quantum
+// activity), a microarchitectural fault, or the watchdog limit.
+func (m *Machine) Run() error {
+	if m.program == nil {
+		return fmt.Errorf("microarch: no program loaded")
+	}
+	for {
+		if m.err != nil {
+			m.stats.TicksRun = m.tick
+			m.stats.FinalTimeNs = m.tick * int64(m.cfg.ClassicalTickNs)
+			return m.err
+		}
+		if m.done() {
+			m.stats.TicksRun = m.tick
+			m.stats.FinalTimeNs = m.tick * int64(m.cfg.ClassicalTickNs)
+			return nil
+		}
+		if m.tick >= m.cfg.MaxTicks {
+			return &RuntimeError{PC: m.pc, Tick: m.tick, Instr: m.current(),
+				Msg: "watchdog limit reached (runaway program?)"}
+		}
+		m.step()
+	}
+}
+
+func (m *Machine) done() bool {
+	return m.halted && len(m.events) == 0 && len(m.results) == 0
+}
+
+func (m *Machine) current() isa.Instr {
+	if m.pc >= 0 && m.pc < len(m.program) {
+		return m.program[m.pc]
+	}
+	return isa.Instr{}
+}
+
+// step advances one classical tick (possibly fast-forwarding through idle
+// time when the pipeline cannot do anything).
+func (m *Machine) step() {
+	// Timing controller: trigger everything whose timing point has been
+	// reached (the controller works on the 50 MHz cycle grid; event
+	// timestamps are cycle-aligned by construction).
+	m.triggerCycle(m.tick / int64(m.cfg.CycleTicks))
+	m.deliverResults()
+	switch {
+	case m.stallTicks > 0:
+		m.stallTicks--
+	case m.halted:
+	case m.fmrStalled:
+		m.stats.FMRStallTicks++
+		m.retryFMR()
+	default:
+		// Issue up to ClassicalIPC instructions this tick; a stall,
+		// taken branch or halt ends the issue group.
+		for i := 0; i < m.cfg.ClassicalIPC; i++ {
+			m.execute()
+			if m.halted || m.fmrStalled || m.stallTicks > 0 || m.err != nil {
+				break
+			}
+		}
+	}
+	m.tick++
+	m.fastForward()
+}
+
+// fastForward jumps over ticks in which nothing can happen: the pipeline
+// is halted or stalled on FMR and the next event or result is in the
+// future. It preserves cycle alignment by construction (jump targets are
+// exact event ticks).
+func (m *Machine) fastForward() {
+	if m.err != nil || (!m.halted && !m.fmrStalled) || m.stallTicks > 0 {
+		return
+	}
+	next := int64(-1)
+	consider := func(t int64) {
+		if t > m.tick && (next < 0 || t < next) {
+			next = t
+		}
+	}
+	if len(m.events) > 0 {
+		consider(m.events[0].cycle * int64(m.cfg.CycleTicks))
+	}
+	for _, r := range m.results {
+		consider(r.flagTick)
+		consider(r.qiTick)
+	}
+	if next > m.tick {
+		m.tick = next
+	}
+}
+
+// --- Architectural state access (the host-CPU view) ---
+
+// GPR returns general purpose register i.
+func (m *Machine) GPR(i int) uint32 { return m.gpr[i] }
+
+// SetGPR writes general purpose register i (host upload of parameters).
+func (m *Machine) SetGPR(i int, v uint32) { m.gpr[i] = v }
+
+// SReg returns the single-qubit target register mask.
+func (m *Machine) SReg(i int) uint64 { return m.sRegs[i] }
+
+// TReg returns the two-qubit target register mask.
+func (m *Machine) TReg(i int) uint64 { return m.tRegs[i] }
+
+// ComparisonFlags returns the comparison flag register.
+func (m *Machine) ComparisonFlags() isa.ComparisonFlags { return m.cmpFlags }
+
+// QubitResult returns the qubit measurement result register Qi.
+func (m *Machine) QubitResult(q int) int { return int(m.qResults[q]) }
+
+// PendingMeasurements returns the Ci counter of qubit q.
+func (m *Machine) PendingMeasurements(q int) int { return m.measCounters[q] }
+
+// ReadWord reads 32 bits of data memory at a byte address (host side of
+// the shared data memory).
+func (m *Machine) ReadWord(addr int) (uint32, error) {
+	if addr < 0 || addr+4 > len(m.mem) {
+		return 0, fmt.Errorf("microarch: data address %d out of range", addr)
+	}
+	return binary.LittleEndian.Uint32(m.mem[addr:]), nil
+}
+
+// WriteWord writes 32 bits of data memory at a byte address.
+func (m *Machine) WriteWord(addr int, v uint32) error {
+	if addr < 0 || addr+4 > len(m.mem) {
+		return fmt.Errorf("microarch: data address %d out of range", addr)
+	}
+	binary.LittleEndian.PutUint32(m.mem[addr:], v)
+	return nil
+}
+
+// Backend exposes the simulated chip (tests and experiments read exact
+// state probabilities from it).
+func (m *Machine) Backend() quantum.Backend { return m.backend }
+
+// ControlStore exposes the microcode unit's Q control store.
+func (m *Machine) ControlStore() *ControlStore { return m.cstore }
+
+// Stats returns execution counters for the last Run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// DeviceTrace returns the recorded device operations (requires
+// Config.RecordDeviceOps).
+func (m *Machine) DeviceTrace() []DeviceOp { return m.trace }
+
+// Measurements returns all completed measurements in completion order.
+func (m *Machine) Measurements() []MeasurementRecord { return m.measRec }
+
+// NowNs returns the current simulation time.
+func (m *Machine) NowNs() int64 { return m.tick * int64(m.cfg.ClassicalTickNs) }
+
+// CycleNs returns the quantum cycle duration in nanoseconds.
+func (m *Machine) CycleNs() int64 {
+	return int64(m.cfg.CycleTicks) * int64(m.cfg.ClassicalTickNs)
+}
+
+func (m *Machine) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+	m.halted = true
+}

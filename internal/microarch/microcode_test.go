@@ -1,0 +1,100 @@
+package microarch
+
+import (
+	"testing"
+
+	"eqasm/internal/isa"
+)
+
+func TestControlStoreEntries(t *testing.T) {
+	cfg := isa.DefaultConfig()
+	cs := BuildControlStore(cfg)
+	if cs.Size() != len(cfg.Names()) {
+		t.Fatalf("store has %d entries for %d operations", cs.Size(), len(cfg.Names()))
+	}
+	// Single-qubit: one micro-op on the microwave channel.
+	x, _ := cfg.ByName("X")
+	ops, ok := cs.Lookup(x.Opcode)
+	if !ok || len(ops) != 1 {
+		t.Fatalf("X micro-ops: %v", ops)
+	}
+	if ops[0].Role != RoleSingle || ops[0].Channel != isa.ChanMicrowave || ops[0].DurationCycles != 1 {
+		t.Fatalf("X micro-op: %+v", ops[0])
+	}
+	// Two-qubit: µ-op_src and µ-op_tgt on flux channels with distinct
+	// codewords (Section 4.3).
+	cz, _ := cfg.ByName("CZ")
+	ops, ok = cs.Lookup(cz.Opcode)
+	if !ok || len(ops) != 2 {
+		t.Fatalf("CZ micro-ops: %v", ops)
+	}
+	if ops[0].Role != RoleSrc || ops[1].Role != RoleTgt {
+		t.Fatalf("CZ roles: %v %v", ops[0].Role, ops[1].Role)
+	}
+	if ops[0].Codeword == ops[1].Codeword {
+		t.Fatal("µ-op_src and µ-op_tgt share a codeword")
+	}
+	for _, o := range ops {
+		if o.Channel != isa.ChanFlux || o.DurationCycles != 2 {
+			t.Fatalf("CZ micro-op: %+v", o)
+		}
+	}
+	// Measurement: one micro-op on the measurement channel.
+	meas, _ := cfg.ByName("MEASZ")
+	ops, _ = cs.Lookup(meas.Opcode)
+	if len(ops) != 1 || ops[0].Role != RoleMeasure || ops[0].Channel != isa.ChanMeasure {
+		t.Fatalf("MEASZ micro-ops: %v", ops)
+	}
+	// Conditional operations carry their flag selection.
+	cx, _ := cfg.ByName("C_X")
+	ops, _ = cs.Lookup(cx.Opcode)
+	if ops[0].CondSel != isa.FlagLastOne {
+		t.Fatalf("C_X flag selection: %v", ops[0].CondSel)
+	}
+}
+
+func TestControlStoreCodewordsUnique(t *testing.T) {
+	cs := BuildControlStore(isa.DefaultConfig())
+	seen := map[uint16]bool{}
+	for _, op := range cs.Opcodes() {
+		micros, _ := cs.Lookup(op)
+		for _, mo := range micros {
+			if seen[mo.Codeword] {
+				t.Fatalf("codeword %d assigned twice", mo.Codeword)
+			}
+			seen[mo.Codeword] = true
+		}
+	}
+}
+
+func TestControlStoreUnknownOpcode(t *testing.T) {
+	cs := BuildControlStore(isa.DefaultConfig())
+	if _, ok := cs.Lookup(0x1FF); ok {
+		t.Fatal("unknown opcode resolved")
+	}
+}
+
+// A CZ on the machine emits two device operations with the control
+// store's src/tgt codewords.
+func TestTwoQubitTraceCarriesMicroCodewords(t *testing.T) {
+	m, a := newTwoQubitMachine(t, Config{RecordDeviceOps: true})
+	run(t, m, a, `
+SMIT T0, {(2, 0)}
+CZ T0
+STOP
+`)
+	tr := m.DeviceTrace()
+	if len(tr) != 2 {
+		t.Fatalf("trace: %v", tr)
+	}
+	cz, _ := m.cfg.OpConfig.ByName("CZ")
+	micros, _ := m.ControlStore().Lookup(cz.Opcode)
+	if tr[0].Codeword != micros[0].Codeword || tr[1].Codeword != micros[1].Codeword {
+		t.Fatalf("trace codewords %d/%d, want %d/%d",
+			tr[0].Codeword, tr[1].Codeword, micros[0].Codeword, micros[1].Codeword)
+	}
+	// Source qubit of the pair (2,0) is 2.
+	if tr[0].Qubit != 2 || tr[1].Qubit != 0 {
+		t.Fatalf("trace qubits: %v", tr)
+	}
+}

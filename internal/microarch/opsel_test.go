@@ -1,0 +1,192 @@
+package microarch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+func surface7Machine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(Config{Topo: topology.Surface7(), OpConfig: isa.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Table 2 semantics for single-qubit masks: '11' where selected.
+func TestOpSelSingleTable2(t *testing.T) {
+	m := surface7Machine(t)
+	sel := m.ResolveOpSelSingle(isa.QubitMask(0, 3, 6))
+	want := []OpSel{SelSingle, SelNone, SelNone, SelSingle, SelNone, SelNone, SelSingle}
+	for q, w := range want {
+		if sel[q] != w {
+			t.Errorf("OpSel%d = %v, want %v", q, sel[q], w)
+		}
+	}
+}
+
+// Section 4.3 worked example: OpSel0 = (T[0] | T[9]) :: (T[1] | T[8]).
+// Edge 0 or 9 selected -> qubit 0 is the target ('10'); edge 1 or 8 ->
+// qubit 0 is the source ('01').
+func TestOpSel0MatchesPaperFormula(t *testing.T) {
+	m := surface7Machine(t)
+	cases := []struct {
+		mask uint64
+		want OpSel
+	}{
+		{1 << 0, SelTgt},
+		{1 << 9, SelTgt},
+		{1 << 1, SelSrc},
+		{1 << 8, SelSrc},
+		{1 << 4, SelNone}, // edge 4 = (3,1): qubit 0 uninvolved
+	}
+	for _, c := range cases {
+		sel, err := m.ResolveOpSelPair(c.mask)
+		if err != nil {
+			t.Fatalf("mask %#x: %v", c.mask, err)
+		}
+		if sel[0] != c.want {
+			t.Errorf("mask %#x: OpSel0 = %v, want %v", c.mask, sel[0], c.want)
+		}
+	}
+}
+
+// Property: for every single edge, exactly its source gets µ-op_src and
+// its target µ-op_tgt; every other qubit gets none.
+func TestOpSelPairProperty(t *testing.T) {
+	m := surface7Machine(t)
+	topo := topology.Surface7()
+	f := func(edgeSel uint8) bool {
+		id := int(edgeSel) % 16
+		sel, err := m.ResolveOpSelPair(1 << uint(id))
+		if err != nil {
+			return false
+		}
+		e := topo.Edges[id]
+		for q := 0; q < 7; q++ {
+			var want OpSel
+			switch q {
+			case e.Src:
+				want = SelSrc
+			case e.Tgt:
+				want = SelTgt
+			default:
+				want = SelNone
+			}
+			if sel[q] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpSelPairConflict(t *testing.T) {
+	m := surface7Machine(t)
+	// Edges 0=(2,0) and 1=(0,3) share qubit 0.
+	if _, err := m.ResolveOpSelPair(1<<0 | 1<<1); err == nil {
+		t.Error("conflicting mask accepted")
+	}
+	// Disjoint edges 0=(2,0) and 6=(4,1) are fine.
+	if _, err := m.ResolveOpSelPair(1<<0 | 1<<6); err != nil {
+		t.Errorf("disjoint mask rejected: %v", err)
+	}
+}
+
+// Two CZs on disjoint pairs in one SMIT execute in parallel.
+func TestParallelTwoQubitGates(t *testing.T) {
+	m := surface7Machine(t)
+	a := newAsm(m)
+	src := `
+SMIS S0, {2, 4}
+SMIT T0, {(2, 0), (4, 1)}
+H S0
+CZ T0
+STOP
+`
+	p, err := a.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().QuantumOpsTriggered != 4 {
+		t.Fatalf("ops triggered = %d, want 4 (2 H + 2 CZ)", m.Stats().QuantumOpsTriggered)
+	}
+}
+
+func newAsm(m *Machine) *asm.Assembler {
+	return asm.New(m.cfg.OpConfig, m.cfg.Topo)
+}
+
+// The issue-rate problem made executable: a seven-qubit program that
+// needs more bundle instructions per cycle than the pipeline can issue
+// eventually starves the timing controller.
+func TestIssueRateViolation(t *testing.T) {
+	m := surface7Machine(t)
+	a := newAsm(m)
+	// Seven different single-qubit ops per timing point = 7 bundles per
+	// 20 ns point at width 1 each... construct with distinct ops so SOMQ
+	// cannot compress them. With 4 ops per point (4 instructions = 40 ns
+	// of issue time per 20 ns point), reservation falls behind within the
+	// initial slack.
+	var b strings.Builder
+	for q := 0; q < 7; q++ {
+		fmt.Fprintf(&b, "SMIS S%d, {%d}\n", q, q)
+	}
+	for i := 0; i < 40; i++ {
+		// One timing point per iteration, 4 sequential bundle words.
+		b.WriteString("1, X S0 | Y S1\n")
+		b.WriteString("0, X90 S2 | Y90 S3\n")
+		b.WriteString("0, Xm90 S4 | Ym90 S5\n")
+		b.WriteString("0, I S6\n")
+	}
+	b.WriteString("STOP\n")
+	p, err := a.Assemble(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(p)
+	var verr *TimingViolationError
+	if err := m.Run(); !errors.As(err, &verr) {
+		t.Fatalf("expected issue-rate timing violation, got %v", err)
+	}
+}
+
+// The same workload at one point per two cycles is sustainable.
+func TestIssueRateSustainable(t *testing.T) {
+	m := surface7Machine(t)
+	a := newAsm(m)
+	var b strings.Builder
+	for q := 0; q < 7; q++ {
+		fmt.Fprintf(&b, "SMIS S%d, {%d}\n", q, q)
+	}
+	for i := 0; i < 40; i++ {
+		b.WriteString("2, X S0 | Y S1\n")
+		b.WriteString("0, X90 S2 | Y90 S3\n")
+		b.WriteString("0, Xm90 S4 | Ym90 S5\n")
+		b.WriteString("0, I S6\n")
+	}
+	b.WriteString("STOP\n")
+	p, err := a.Assemble(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(p)
+	if err := m.Run(); err != nil {
+		t.Fatalf("sustainable rate still violated: %v", err)
+	}
+}

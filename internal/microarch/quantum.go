@@ -1,0 +1,216 @@
+package microarch
+
+import (
+	"fmt"
+
+	"eqasm/internal/isa"
+)
+
+// OpSel is the two-bit micro-operation selection signal of Table 2,
+// produced per qubit when a mask-addressed operation is resolved.
+type OpSel uint8
+
+const (
+	// SelNone: no micro-operation for this qubit.
+	SelNone OpSel = 0b00
+	// SelSrc: apply the source micro-operation (qubit is the source of a
+	// selected allowed pair).
+	SelSrc OpSel = 0b01
+	// SelTgt: apply the target micro-operation.
+	SelTgt OpSel = 0b10
+	// SelSingle: apply the single-qubit micro-operation.
+	SelSingle OpSel = 0b11
+)
+
+func (s OpSel) String() string {
+	switch s {
+	case SelNone:
+		return "none"
+	case SelSrc:
+		return "µ-op_src"
+	case SelTgt:
+		return "µ-op_tgt"
+	case SelSingle:
+		return "µ-op_s"
+	}
+	return fmt.Sprintf("OpSel(%d)", uint8(s))
+}
+
+// ResolveOpSelSingle computes the per-qubit selection signals for a
+// single-qubit operation mask: '11' where the mask bit is set (Table 2).
+func (m *Machine) ResolveOpSelSingle(mask uint64) []OpSel {
+	sel := make([]OpSel, m.cfg.Topo.NumQubits)
+	for q := range sel {
+		if mask&(1<<uint(q)) != 0 {
+			sel[q] = SelSingle
+		}
+	}
+	return sel
+}
+
+// ResolveOpSelPair computes the per-qubit selection signals for a
+// two-qubit operation mask over allowed-pair edge IDs: '01' for source
+// qubits, '10' for target qubits, '00' otherwise (Table 2). For qubit 0
+// on the surface-7 chip this reduces to the paper's
+// OpSel0 = (T[0] | T[9]) :: (T[1] | T[8]) OR logic.
+func (m *Machine) ResolveOpSelPair(mask uint64) ([]OpSel, error) {
+	sel := make([]OpSel, m.cfg.Topo.NumQubits)
+	for id, e := range m.cfg.Topo.Edges {
+		if mask&(1<<uint(id)) == 0 {
+			continue
+		}
+		for _, role := range []struct {
+			q int
+			s OpSel
+		}{{e.Src, SelSrc}, {e.Tgt, SelTgt}} {
+			if sel[role.q] != SelNone {
+				return nil, fmt.Errorf("pair mask %#x selects two edges sharing qubit %d", mask, role.q)
+			}
+			sel[role.q] = role.s
+		}
+	}
+	return sel, nil
+}
+
+// reserveWait implements QWAIT/QWAITR in the timestamp manager: a new
+// timing point is generated at the specified interval after the last
+// generated point (interval 0 keeps the same point, Section 3.1.2).
+func (m *Machine) reserveWait(cycles int64) {
+	m.ensureTimeline()
+	if cycles < 0 {
+		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+			Msg: "negative wait interval"})
+		return
+	}
+	m.lastPointCycle += cycles
+}
+
+// ensureTimeline starts the timeline on the first quantum instruction —
+// the paper's external start trigger — placing the origin a small slack
+// after the point where the first micro-operations can reach the queues.
+func (m *Machine) ensureTimeline() {
+	if m.timelineLive {
+		return
+	}
+	m.timelineLive = true
+	m.lastPointCycle = m.earliestCycle() + int64(m.cfg.InitialSlackCycles)
+}
+
+// earliestCycle is the earliest timing point micro-operations issued this
+// tick could still reach in time, given the quantum front-end depth.
+func (m *Machine) earliestCycle() int64 {
+	readyTick := m.tick + int64(m.cfg.QuantumPipelineTicks)
+	ct := int64(m.cfg.CycleTicks)
+	return (readyTick + ct - 1) / ct
+}
+
+// issueBundle runs a quantum bundle through the VLIW front end: PI
+// advances the timeline, then each operation is decoded by the microcode
+// unit, its target register is read, the mask is resolved to per-qubit
+// micro-operations, and the operation combination stage checks for qubit
+// collisions before handing device events to the timing unit.
+func (m *Machine) issueBundle(ins isa.Instr) {
+	m.ensureTimeline()
+	m.stats.BundlesIssued++
+	m.lastPointCycle += int64(ins.PI)
+	if len(ins.QOps) == 0 {
+		return
+	}
+	point := m.lastPointCycle
+	if point < m.earliestCycle() {
+		m.fail(&TimingViolationError{PC: m.pc, PointCycle: point, EarliestCycle: m.earliestCycle()})
+		return
+	}
+	for _, q := range ins.QOps {
+		def, ok := m.cfg.OpConfig.ByName(q.Name)
+		if !ok {
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: fmt.Sprintf("operation %q is not configured", q.Name)})
+			return
+		}
+		// Microcode unit: the q-opcode selects the microinstruction(s)
+		// from the Q control store (Section 3.2: assembler and microcode
+		// unit must be configured consistently).
+		micro, ok := m.cstore.Lookup(def.Opcode)
+		if !ok {
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: fmt.Sprintf("q-opcode %d (%s) missing from the Q control store", def.Opcode, q.Name)})
+			return
+		}
+		switch def.Kind {
+		case isa.OpKindTwo:
+			m.issuePairOp(def, micro, m.tRegs[q.Target], point)
+		default:
+			m.issueSingleOp(def, micro, m.sRegs[q.Target], point)
+		}
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+// claim registers a qubit as busy at a timing point, failing on
+// collisions: "if two different quantum bundle instructions specify a
+// quantum operation on the same qubit, an error is raised, and the
+// quantum processor stops" (Section 4.3).
+func (m *Machine) claim(qubit int, cycle int64, opName string) bool {
+	key := claimKey{cycle, qubit}
+	if prev, busy := m.claims[key]; busy {
+		m.fail(&CollisionError{PC: m.pc, Qubit: qubit, Cycle: cycle, Ops: [2]string{prev, opName}})
+		return false
+	}
+	m.claims[key] = opName
+	return true
+}
+
+func (m *Machine) issueSingleOp(def *isa.OpDef, micro []MicroOp, mask uint64, point int64) {
+	if high := mask &^ (1<<uint(m.cfg.Topo.NumQubits) - 1); high != 0 {
+		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+			Msg: fmt.Sprintf("target mask %#x addresses qubits beyond the %d-qubit chip",
+				mask, m.cfg.Topo.NumQubits)})
+		return
+	}
+	for q, sel := range m.ResolveOpSelSingle(mask) {
+		if sel != SelSingle {
+			continue
+		}
+		if !m.claim(q, point, def.Name) {
+			return
+		}
+		kind := evGate1
+		if def.Kind == isa.OpKindMeasure {
+			kind = evMeasure
+			if m.cfg.Topo.Feedline(q) < 0 {
+				m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+					Msg: fmt.Sprintf("qubit %d has no feedline to measure through", q)})
+				return
+			}
+			// Section 3.6 step 1: Qi is invalidated the moment the
+			// measurement instruction is issued.
+			m.measCounters[q]++
+		}
+		m.pushEvent(gateEvent{cycle: point, kind: kind, def: def, micro: micro, qubit: q, pc: m.pc})
+	}
+}
+
+func (m *Machine) issuePairOp(def *isa.OpDef, micro []MicroOp, mask uint64, point int64) {
+	if high := mask &^ (1<<uint(len(m.cfg.Topo.Edges)) - 1); high != 0 {
+		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+			Msg: fmt.Sprintf("pair mask %#x addresses edges beyond the chip's %d allowed pairs",
+				mask, len(m.cfg.Topo.Edges))})
+		return
+	}
+	if _, err := m.ResolveOpSelPair(mask); err != nil {
+		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick, Msg: err.Error()})
+		return
+	}
+	for id, e := range m.cfg.Topo.Edges {
+		if mask&(1<<uint(id)) == 0 {
+			continue
+		}
+		if !m.claim(e.Src, point, def.Name) || !m.claim(e.Tgt, point, def.Name) {
+			return
+		}
+		m.pushEvent(gateEvent{cycle: point, kind: evGate2, def: def, micro: micro, qubit: e.Src, tgt: e.Tgt, pc: m.pc})
+	}
+}

@@ -1,0 +1,241 @@
+package microarch
+
+import (
+	"container/heap"
+	"fmt"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/quantum"
+)
+
+// gateEvent is a device operation queued in the timing control unit,
+// awaiting its timing point.
+type gateEvent struct {
+	cycle int64
+	kind  eventKind
+	def   *isa.OpDef
+	// micro holds the Q-control-store microinstructions: one entry for
+	// single-qubit operations and measurements, (µ-op_src, µ-op_tgt) for
+	// two-qubit operations.
+	micro []MicroOp
+	qubit int // acting qubit (source qubit for two-qubit operations)
+	tgt   int // target qubit for two-qubit operations
+	pc    int
+	seq   int64 // insertion order for stable triggering
+}
+
+type eventKind uint8
+
+const (
+	evGate1 eventKind = iota
+	evGate2
+	evMeasure
+)
+
+// eventHeap orders events by trigger cycle, then insertion order.
+type eventHeap []gateEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(gateEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (m *Machine) pushEvent(e gateEvent) {
+	if cap := m.cfg.EventQueueCapacity; cap > 0 && len(m.events) >= cap {
+		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+			Msg: fmt.Sprintf("event queue overflow: %d operations buffered (capacity %d)", len(m.events), cap)})
+		return
+	}
+	e.seq = m.eventSeq
+	m.eventSeq++
+	heap.Push(&m.events, e)
+}
+
+// pendingResult is a measurement result in flight from the discrimination
+// unit back into the Central Controller.
+type pendingResult struct {
+	qubit     int
+	bit       int
+	flagTick  int64 // execution flag registers update (fast path)
+	qiTick    int64 // Qi write-back / Ci decrement (CFC path)
+	resultNs  int64 // when the result entered the controller
+	triggerNs int64
+	flagDone  bool
+	qiDone    bool
+}
+
+// triggerCycle runs the timing controller for one quantum cycle: every
+// device operation whose timing point equals the cycle is triggered, then
+// gated by fast conditional execution, then released to the
+// analog-digital interface (the simulated chip).
+func (m *Machine) triggerCycle(cycle int64) {
+	for len(m.events) > 0 && m.events[0].cycle <= cycle {
+		e := heap.Pop(&m.events).(gateEvent)
+		m.stats.QuantumOpsTriggered++
+		m.dispatch(e)
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+func (m *Machine) dispatch(e gateEvent) {
+	tNs := e.cycle * m.CycleNs()
+	durNs := m.cfg.OpConfig.DurationNs(e.def)
+	outNs := tNs + int64(m.cfg.OutputDelayNs)
+	switch e.kind {
+	case evGate1:
+		mo := e.micro[0]
+		// Fast conditional execution: the selected execution flag of the
+		// target qubit decides go/no-go after triggering (Section 3.5).
+		if !m.execFlag(e.qubit, mo.CondSel) {
+			m.stats.OpsCancelled++
+			m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: mo.Channel,
+				Device: e.qubit, Codeword: mo.Codeword, OpName: e.def.Name,
+				Qubit: e.qubit, Cancelled: true})
+			return
+		}
+		if !m.markBusy(e, e.qubit) {
+			return
+		}
+		m.idleUpTo(e.qubit, tNs)
+		m.backend.Apply1(e.def.Unitary1, e.qubit, durNs)
+		m.qubitLocalNs[e.qubit] = float64(tNs) + durNs
+		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: mo.Channel,
+			Device: e.qubit, Codeword: mo.Codeword, OpName: e.def.Name, Qubit: e.qubit})
+	case evGate2:
+		if !m.markBusy(e, e.qubit) || !m.markBusy(e, e.tgt) {
+			return
+		}
+		m.idleUpTo(e.qubit, tNs)
+		m.idleUpTo(e.tgt, tNs)
+		if e.def.Unitary2 == quantum.CZ {
+			m.backend.ApplyCZ(e.qubit, e.tgt, durNs)
+		} else {
+			m.backend.Apply2(e.def.Unitary2, e.qubit, e.tgt, durNs)
+		}
+		m.qubitLocalNs[e.qubit] = float64(tNs) + durNs
+		m.qubitLocalNs[e.tgt] = float64(tNs) + durNs
+		// Two flux pulses, one per qubit of the pair (µ-op_src, µ-op_tgt),
+		// with distinct control-store codewords.
+		src, tgt := e.micro[0], e.micro[1]
+		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: src.Channel,
+			Device: e.qubit, Codeword: src.Codeword, OpName: e.def.Name, Qubit: e.qubit})
+		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: tgt.Channel,
+			Device: e.tgt, Codeword: tgt.Codeword, OpName: e.def.Name, Qubit: e.tgt})
+	case evMeasure:
+		if !m.markBusy(e, e.qubit) {
+			return
+		}
+		idx := m.measIssued[e.qubit]
+		m.measIssued[e.qubit]++
+		var bit int
+		if m.cfg.MockMeasure != nil {
+			// Mock discrimination (paper: UHFQC programmed to generate
+			// mock results, no qubits attached).
+			bit = m.cfg.MockMeasure(e.qubit, idx) & 1
+		} else {
+			m.idleUpTo(e.qubit, tNs)
+			bit = m.backend.Measure(e.qubit, durNs)
+			m.qubitLocalNs[e.qubit] = float64(tNs) + durNs
+		}
+		resultTick := (e.cycle + int64(e.def.DurationCycles)) * int64(m.cfg.CycleTicks)
+		resultNs := resultTick * int64(m.cfg.ClassicalTickNs)
+		m.results = append(m.results, pendingResult{
+			qubit:     e.qubit,
+			bit:       bit,
+			flagTick:  resultTick + int64(m.cfg.ResultToFlagTicks),
+			qiTick:    resultTick + int64(m.cfg.ResultToQiTicks),
+			resultNs:  resultNs,
+			triggerNs: tNs,
+		})
+		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: isa.ChanMeasure,
+			Device: m.cfg.Topo.Feedline(e.qubit), Codeword: e.micro[0].Codeword,
+			OpName: e.def.Name, Qubit: e.qubit})
+	}
+}
+
+// deliverResults completes measurement write-backs whose paths have
+// reached their destinations: the fast path updates the execution flag
+// registers, the slow path writes Qi and decrements Ci (releasing any
+// stalled FMR).
+func (m *Machine) deliverResults() {
+	out := m.results[:0]
+	for _, r := range m.results {
+		if !r.flagDone && r.flagTick <= m.tick {
+			m.execPrev[r.qubit] = m.execLast[r.qubit]
+			m.havePrev[r.qubit] = m.haveLast[r.qubit]
+			m.execLast[r.qubit] = uint8(r.bit)
+			m.haveLast[r.qubit] = true
+			r.flagDone = true
+		}
+		if !r.qiDone && r.qiTick <= m.tick {
+			m.qResults[r.qubit] = uint8(r.bit)
+			m.measCounters[r.qubit]--
+			r.qiDone = true
+			m.measRec = append(m.measRec, MeasurementRecord{
+				Qubit: r.qubit, Result: r.bit,
+				TriggerNs: r.triggerNs, ResultNs: r.resultNs,
+			})
+		}
+		if !r.flagDone || !r.qiDone {
+			out = append(out, r)
+		}
+	}
+	m.results = out
+}
+
+// markBusy checks that qubit q is not still executing an earlier pulse
+// when e triggers, and reserves it for e's duration. Overlapping pulses
+// on one qubit are a control error that stops the processor.
+func (m *Machine) markBusy(e gateEvent, q int) bool {
+	if e.cycle < m.busyUntil[q] {
+		m.fail(&CollisionError{PC: e.pc, Qubit: q, Cycle: e.cycle,
+			Ops: [2]string{"<pulse in progress>", e.def.Name}})
+		return false
+	}
+	m.busyUntil[q] = e.cycle + int64(e.def.DurationCycles)
+	return true
+}
+
+// execFlag evaluates the four instantiated execution-flag logics
+// (Section 4.3) for qubit q.
+func (m *Machine) execFlag(q int, sel isa.ExecFlagSel) bool {
+	switch sel {
+	case isa.FlagAlways:
+		return true
+	case isa.FlagLastOne:
+		return m.haveLast[q] && m.execLast[q] == 1
+	case isa.FlagLastZero:
+		return m.haveLast[q] && m.execLast[q] == 0
+	case isa.FlagLastTwoEqual:
+		return m.haveLast[q] && m.havePrev[q] && m.execLast[q] == m.execPrev[q]
+	}
+	return false
+}
+
+// idleUpTo exposes qubit q to decoherence up to absolute time tNs.
+func (m *Machine) idleUpTo(q int, tNs int64) {
+	if gap := float64(tNs) - m.qubitLocalNs[q]; gap > 0 {
+		m.backend.Idle(q, gap)
+		m.qubitLocalNs[q] = float64(tNs)
+	}
+}
+
+func (m *Machine) record(op DeviceOp) {
+	if m.cfg.RecordDeviceOps {
+		m.trace = append(m.trace, op)
+	}
+}

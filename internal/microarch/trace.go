@@ -1,0 +1,121 @@
+package microarch
+
+import (
+	"fmt"
+
+	"eqasm/internal/isa"
+)
+
+// DeviceOp is one entry of the device-operation trace: a codeword
+// delivered to an analog-digital-interface device at a deterministic
+// time. Tests observe this trace the way the paper's authors probed the
+// Central Controller's digital outputs with an oscilloscope.
+type DeviceOp struct {
+	// TimeNs is when the codeword leaves the controller (trigger time
+	// plus the output path delay).
+	TimeNs int64
+	// Cycle is the quantum cycle of the timing point that triggered it.
+	Cycle int64
+	// Channel is the device class.
+	Channel isa.Channel
+	// Device indexes the device within its class (qubit for microwave and
+	// flux channels, feedline for measurement).
+	Device int
+	// Codeword is the configured q-opcode driving codeword-triggered
+	// pulse generation.
+	Codeword uint16
+	// OpName is the configured operation mnemonic.
+	OpName string
+	// Qubit is the physical qubit the pulse acts on.
+	Qubit int
+	// Cancelled reports that fast conditional execution gated the
+	// operation off (the codeword is withheld from the device).
+	Cancelled bool
+}
+
+func (d DeviceOp) String() string {
+	state := ""
+	if d.Cancelled {
+		state = " (cancelled)"
+	}
+	return fmt.Sprintf("t=%dns cycle=%d %s[%d] %s q%d%s",
+		d.TimeNs, d.Cycle, d.Channel, d.Device, d.OpName, d.Qubit, state)
+}
+
+// MeasurementRecord is one completed measurement.
+type MeasurementRecord struct {
+	Qubit int
+	// Result is the discriminated bit reported to the controller.
+	Result int
+	// TriggerNs is when the measurement pulse was triggered.
+	TriggerNs int64
+	// ResultNs is when the result entered the Central Controller.
+	ResultNs int64
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	// TicksRun is the number of 10 ns classical ticks simulated.
+	TicksRun int64
+	// InstructionsExecuted counts retired instructions.
+	InstructionsExecuted int64
+	// BundlesIssued counts quantum bundle instructions.
+	BundlesIssued int64
+	// QuantumOpsTriggered counts micro-operations reaching the timing
+	// controller (before fast-conditional gating).
+	QuantumOpsTriggered int64
+	// OpsCancelled counts operations gated off by fast conditional
+	// execution.
+	OpsCancelled int64
+	// FMRStallTicks counts ticks the classical pipeline spent stalled on
+	// FMR waiting for a valid Qi.
+	FMRStallTicks int64
+	// FinalTimeNs is the wall-clock simulation time at halt.
+	FinalTimeNs int64
+}
+
+// RuntimeError is a fault detected by the microarchitecture; the quantum
+// processor stops (Section 4.3: "an error is raised, and the quantum
+// processor stops").
+type RuntimeError struct {
+	PC    int
+	Instr isa.Instr
+	Tick  int64
+	Msg   string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("microarch: tick %d, pc %d (%s): %s", e.Tick, e.PC, e.Instr, e.Msg)
+}
+
+// TimingViolationError reports that the quantum instruction stream could
+// not keep the timeline ahead of the timing controller — the executable
+// form of the issue-rate failure (R_req > R_allowed) and of feedback with
+// insufficient wait margin.
+type TimingViolationError struct {
+	PC int
+	// PointCycle is the timing point that was reserved too late.
+	PointCycle int64
+	// EarliestCycle is the earliest cycle the point could still have been
+	// delivered to the timing controller.
+	EarliestCycle int64
+}
+
+func (e *TimingViolationError) Error() string {
+	return fmt.Sprintf("microarch: timing violation at pc %d: point at cycle %d reserved after cycle %d had passed",
+		e.PC, e.PointCycle, e.EarliestCycle)
+}
+
+// CollisionError reports two micro-operations addressing the same qubit
+// at the same timing point (Section 4.3 operation combination rule).
+type CollisionError struct {
+	PC    int
+	Qubit int
+	Cycle int64
+	Ops   [2]string
+}
+
+func (e *CollisionError) Error() string {
+	return fmt.Sprintf("microarch: operation collision on qubit %d at cycle %d (%s vs %s), pc %d",
+		e.Qubit, e.Cycle, e.Ops[0], e.Ops[1], e.PC)
+}

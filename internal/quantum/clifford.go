@@ -1,0 +1,161 @@
+package quantum
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The single-qubit Clifford group has 24 elements. Randomized
+// benchmarking (Fig. 12, and the RB workload of the Fig. 7 design-space
+// exploration) applies random Cliffords decomposed into the processor's
+// primitive x/y rotations; the standard atomic decomposition below
+// averages 45/24 = 1.875 primitives per Clifford, the figure quoted in
+// Section 5.
+
+// CliffordCount is the order of the single-qubit Clifford group.
+const CliffordCount = 24
+
+// cliffordDecomp lists, for each Clifford index, the primitive gates in
+// application order (first gate applied first).
+var cliffordDecomp = [CliffordCount][]string{
+	{"I"},
+	{"X"},
+	{"Y"},
+	{"Y", "X"},
+	{"X90", "Y90"},
+	{"X90", "Ym90"},
+	{"Xm90", "Y90"},
+	{"Xm90", "Ym90"},
+	{"Y90", "X90"},
+	{"Y90", "Xm90"},
+	{"Ym90", "X90"},
+	{"Ym90", "Xm90"},
+	{"X90"},
+	{"Xm90"},
+	{"Y90"},
+	{"Ym90"},
+	{"Xm90", "Y90", "X90"},
+	{"Xm90", "Ym90", "X90"},
+	{"X", "Y90"},
+	{"X", "Ym90"},
+	{"Y", "X90"},
+	{"Y", "Xm90"},
+	{"X90", "Y90", "X90"},
+	{"Xm90", "Y90", "Xm90"},
+}
+
+// PrimitiveGates maps the mnemonics used in Clifford decompositions to
+// their unitaries. These are exactly the operations the Section 5
+// experiments configure into eQASM.
+var PrimitiveGates = map[string]Matrix2{
+	"I":    Identity,
+	"X":    GateX,
+	"Y":    GateY,
+	"X90":  GateX90,
+	"Y90":  GateY90,
+	"Xm90": GateXm90,
+	"Ym90": GateYm90,
+}
+
+var (
+	cliffordMatrices [CliffordCount]Matrix2
+	cliffordMulTable [CliffordCount][CliffordCount]int
+	cliffordInvTable [CliffordCount]int
+)
+
+func init() {
+	for i, seq := range cliffordDecomp {
+		m := Identity
+		for _, g := range seq {
+			u, ok := PrimitiveGates[g]
+			if !ok {
+				panic(fmt.Sprintf("quantum: unknown primitive %q in Clifford %d", g, i))
+			}
+			m = u.Mul(m) // apply in sequence: later gates multiply on the left
+		}
+		cliffordMatrices[i] = m
+	}
+	// Verify the 24 elements are pairwise distinct up to phase and build
+	// the multiplication and inverse tables.
+	const tol = 1e-9
+	for i := 0; i < CliffordCount; i++ {
+		for j := i + 1; j < CliffordCount; j++ {
+			if cliffordMatrices[i].ApproxEqualUpToPhase(cliffordMatrices[j], tol) {
+				panic(fmt.Sprintf("quantum: Clifford table degenerate: %d == %d", i, j))
+			}
+		}
+	}
+	find := func(m Matrix2) int {
+		for k := 0; k < CliffordCount; k++ {
+			if m.ApproxEqualUpToPhase(cliffordMatrices[k], tol) {
+				return k
+			}
+		}
+		panic("quantum: Clifford product left the group (table is wrong)")
+	}
+	for i := 0; i < CliffordCount; i++ {
+		for j := 0; j < CliffordCount; j++ {
+			// Entry [i][j]: Clifford j applied after Clifford i.
+			cliffordMulTable[i][j] = find(cliffordMatrices[j].Mul(cliffordMatrices[i]))
+		}
+		cliffordInvTable[i] = find(cliffordMatrices[i].Adjoint())
+	}
+}
+
+// CliffordMatrix returns the unitary of Clifford idx.
+func CliffordMatrix(idx int) Matrix2 { return cliffordMatrices[idx] }
+
+// CliffordDecomposition returns the primitive-gate mnemonics implementing
+// Clifford idx, in application order. The returned slice must not be
+// modified.
+func CliffordDecomposition(idx int) []string { return cliffordDecomp[idx] }
+
+// CliffordCompose returns the index of (second after first).
+func CliffordCompose(first, second int) int { return cliffordMulTable[first][second] }
+
+// CliffordInverse returns the index of the inverse of idx.
+func CliffordInverse(idx int) int { return cliffordInvTable[idx] }
+
+// RBSequence is a randomized-benchmarking sequence: k random Cliffords
+// followed by the recovery Clifford that inverts their composition, so an
+// ideal qubit returns to |0>.
+type RBSequence struct {
+	// Cliffords holds the k random Clifford indices.
+	Cliffords []int
+	// Recovery is the inverting Clifford index.
+	Recovery int
+}
+
+// NewRBSequence draws a k-Clifford RB sequence from rng.
+func NewRBSequence(k int, rng *rand.Rand) RBSequence {
+	seq := RBSequence{Cliffords: make([]int, k)}
+	acc := 0 // identity
+	for i := 0; i < k; i++ {
+		c := rng.Intn(CliffordCount)
+		seq.Cliffords[i] = c
+		acc = CliffordCompose(acc, c)
+	}
+	seq.Recovery = CliffordInverse(acc)
+	return seq
+}
+
+// Primitives expands the sequence (random Cliffords plus recovery) into
+// primitive-gate mnemonics in application order.
+func (s RBSequence) Primitives() []string {
+	var out []string
+	for _, c := range s.Cliffords {
+		out = append(out, cliffordDecomp[c]...)
+	}
+	out = append(out, cliffordDecomp[s.Recovery]...)
+	return out
+}
+
+// AvgPrimitivesPerClifford returns the mean decomposition length over the
+// whole group: 1.875 for the standard table.
+func AvgPrimitivesPerClifford() float64 {
+	total := 0
+	for _, seq := range cliffordDecomp {
+		total += len(seq)
+	}
+	return float64(total) / CliffordCount
+}

@@ -1,0 +1,84 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCliffordAveragePrimitiveCount(t *testing.T) {
+	// Section 5: "each Clifford gate is decomposed into primitive x- and
+	// y-rotations the gate count is increased by 1.875 on average".
+	if got := AvgPrimitivesPerClifford(); math.Abs(got-1.875) > 1e-12 {
+		t.Fatalf("average primitives per Clifford = %v, want 1.875", got)
+	}
+}
+
+func TestCliffordGroupClosure(t *testing.T) {
+	for i := 0; i < CliffordCount; i++ {
+		for j := 0; j < CliffordCount; j++ {
+			k := CliffordCompose(i, j)
+			want := CliffordMatrix(j).Mul(CliffordMatrix(i))
+			if !CliffordMatrix(k).ApproxEqualUpToPhase(want, tol) {
+				t.Fatalf("compose(%d,%d)=%d does not match matrix product", i, j, k)
+			}
+		}
+	}
+}
+
+func TestCliffordInverse(t *testing.T) {
+	for i := 0; i < CliffordCount; i++ {
+		inv := CliffordInverse(i)
+		if got := CliffordCompose(i, inv); got != 0 {
+			t.Fatalf("C%d * C%d^-1 = C%d, want identity (0)", i, inv, got)
+		}
+	}
+}
+
+func TestCliffordDecompositionMatchesMatrix(t *testing.T) {
+	for i := 0; i < CliffordCount; i++ {
+		m := Identity
+		for _, g := range CliffordDecomposition(i) {
+			m = PrimitiveGates[g].Mul(m)
+		}
+		if !m.ApproxEqualUpToPhase(CliffordMatrix(i), tol) {
+			t.Fatalf("decomposition of Clifford %d does not reproduce its matrix", i)
+		}
+	}
+}
+
+// Property: every RB sequence returns an ideal qubit to |0>.
+func TestRBSequenceReturnsToGround(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%64 + 1
+		rng := rand.New(rand.NewSource(seed))
+		seq := NewRBSequence(k, rng)
+		s := NewState(1, rng)
+		for _, g := range seq.Primitives() {
+			s.Apply1(PrimitiveGates[g], 0)
+		}
+		return s.Prob1(0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRBSequenceLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seq := NewRBSequence(100, rng)
+	if len(seq.Cliffords) != 100 {
+		t.Fatalf("sequence length %d, want 100", len(seq.Cliffords))
+	}
+	// Average primitive count over many draws approaches 1.875*(k+1).
+	total := 0
+	const draws = 200
+	for i := 0; i < draws; i++ {
+		total += len(NewRBSequence(100, rng).Primitives())
+	}
+	avg := float64(total) / draws / 101
+	if math.Abs(avg-1.875) > 0.05 {
+		t.Fatalf("empirical primitives per Clifford = %v, want ~1.875", avg)
+	}
+}

@@ -1,0 +1,90 @@
+package quantum
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBackendApply2(t *testing.T) {
+	sv := NewSVBackend(2, Ideal(), 1)
+	dm := NewDMBackend(2, Ideal(), 1)
+	for _, b := range []Backend{sv, dm} {
+		b.Apply1(PauliX, 1, 20) // control (high operand) to |1>
+		b.Apply2(CNOT, 1, 0, 40)
+		if p := b.Prob1(0); math.Abs(p-1) > 1e-9 {
+			t.Fatalf("%T: CNOT via Apply2 failed: P1=%v", b, p)
+		}
+		if b.NumQubits() != 2 {
+			t.Fatalf("%T: NumQubits", b)
+		}
+		b.Reset()
+		if p := b.Prob1(0); p > 1e-9 {
+			t.Fatalf("%T: reset failed", b)
+		}
+	}
+}
+
+func TestDMBackendMeasureCollapses(t *testing.T) {
+	b := NewDMBackend(1, Ideal(), 3)
+	b.Apply1(GateX90, 0, 20)
+	first := b.Measure(0, 300)
+	for i := 0; i < 5; i++ {
+		if got := b.Measure(0, 300); got != first {
+			t.Fatalf("repeated DM measurement changed: %d then %d", first, got)
+		}
+	}
+	if b.Density.NumQubits() != 1 {
+		t.Fatal("NumQubits")
+	}
+}
+
+func TestDMBackendReadoutError(t *testing.T) {
+	b := NewDMBackend(1, NoiseModel{ReadoutError: 1}, 1)
+	if got := b.Measure(0, 300); got != 1 {
+		t.Fatalf("fully flipped readout returned %d", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if AxisX.String() != "x" || AxisY.String() != "y" || AxisZ.String() != "z" {
+		t.Error("axis names")
+	}
+	if !strings.HasPrefix(Axis(9).String(), "Axis(") {
+		t.Error("unknown axis")
+	}
+}
+
+func TestDensityPanicsOnBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDensity(0) },
+		func() { NewDensity(9) },
+		func() { NewDensity(2).Apply1(PauliX, 5) },
+		func() { NewDensity(2).Apply2(CNOT, 1, 1) },
+		func() { NewDensity(2).ExpectationPauli([]byte("X")) },
+		func() { NewDensity(1).FidelityPure([]complex128{1, 0, 0}) },
+		func() { NewState(0, nil) },
+		func() { NewState(2, nil).Apply2(CNOT, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNoiseErrorStrings(t *testing.T) {
+	for _, m := range []NoiseModel{
+		{T1Ns: -1},
+		{ReadoutError: 2},
+		{T1Ns: 100, T2Ns: 300},
+	} {
+		if err := m.Validate(); err == nil || err.Error() == "" {
+			t.Errorf("model %+v: missing error", m)
+		}
+	}
+}

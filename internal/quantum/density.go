@@ -1,0 +1,388 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Density is an exact density-matrix simulator over n qubits (n <= 6).
+// Where the state-vector simulator samples noise trajectories, Density
+// applies noise channels exactly, so probabilities and tomography results
+// carry no shot noise. The experiments use it for the paper's
+// fidelity-style results (AllXY staircase, RB decay, Grover tomography).
+type Density struct {
+	n   int
+	dim int
+	rho [][]complex128 // rho[row][col]
+}
+
+// NewDensity returns |0...0><0...0| on n qubits.
+func NewDensity(n int) *Density {
+	if n < 1 || n > 6 {
+		panic(fmt.Sprintf("quantum: density-matrix size %d out of supported range [1,6]", n))
+	}
+	dim := 1 << uint(n)
+	d := &Density{n: n, dim: dim, rho: newMat(dim)}
+	d.rho[0][0] = 1
+	return d
+}
+
+func newMat(dim int) [][]complex128 {
+	m := make([][]complex128, dim)
+	buf := make([]complex128, dim*dim)
+	for i := range m {
+		m[i], buf = buf[:dim], buf[dim:]
+	}
+	return m
+}
+
+// NumQubits returns the register width.
+func (d *Density) NumQubits() int { return d.n }
+
+// Reset returns the register to the ground state.
+func (d *Density) Reset() {
+	for i := range d.rho {
+		for j := range d.rho[i] {
+			d.rho[i][j] = 0
+		}
+	}
+	d.rho[0][0] = 1
+}
+
+// Rho returns the raw density matrix (shared storage; callers must not
+// mutate it).
+func (d *Density) Rho() [][]complex128 { return d.rho }
+
+// Trace returns tr(rho); 1 for a valid state.
+func (d *Density) Trace() float64 {
+	var t float64
+	for i := 0; i < d.dim; i++ {
+		t += real(d.rho[i][i])
+	}
+	return t
+}
+
+func (d *Density) checkQubit(q int) {
+	if q < 0 || q >= d.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, d.n))
+	}
+}
+
+// apply1Side computes u*rho (side=left) and rho*u† (side=right) in place
+// for a single-qubit operator acting on qubit q.
+func (d *Density) conjugate1(u Matrix2, q int) {
+	bit := 1 << uint(q)
+	// rho <- U rho: transform rows in pairs.
+	for col := 0; col < d.dim; col++ {
+		for base := 0; base < d.dim; base++ {
+			if base&bit != 0 {
+				continue
+			}
+			r0 := d.rho[base][col]
+			r1 := d.rho[base|bit][col]
+			d.rho[base][col] = u[0][0]*r0 + u[0][1]*r1
+			d.rho[base|bit][col] = u[1][0]*r0 + u[1][1]*r1
+		}
+	}
+	// rho <- rho U†: transform columns in pairs.
+	ud := u.Adjoint()
+	for row := 0; row < d.dim; row++ {
+		for base := 0; base < d.dim; base++ {
+			if base&bit != 0 {
+				continue
+			}
+			c0 := d.rho[row][base]
+			c1 := d.rho[row][base|bit]
+			d.rho[row][base] = c0*ud[0][0] + c1*ud[1][0]
+			d.rho[row][base|bit] = c0*ud[0][1] + c1*ud[1][1]
+		}
+	}
+}
+
+// Apply1 conjugates rho by the single-qubit unitary u on qubit q.
+func (d *Density) Apply1(u Matrix2, q int) {
+	d.checkQubit(q)
+	d.conjugate1(u, q)
+}
+
+// Apply2 conjugates rho by the two-qubit unitary u on (qa, qb), qa being
+// the high-order bit of u's basis label.
+func (d *Density) Apply2(u Matrix4, qa, qb int) {
+	d.checkQubit(qa)
+	d.checkQubit(qb)
+	if qa == qb {
+		panic(fmt.Sprintf("quantum: two-qubit gate on identical qubit %d", qa))
+	}
+	ba, bb := 1<<uint(qa), 1<<uint(qb)
+	idx := func(base, k int) int {
+		r := base
+		if k&2 != 0 {
+			r |= ba
+		}
+		if k&1 != 0 {
+			r |= bb
+		}
+		return r
+	}
+	// rho <- U rho.
+	for col := 0; col < d.dim; col++ {
+		for base := 0; base < d.dim; base++ {
+			if base&ba != 0 || base&bb != 0 {
+				continue
+			}
+			var in, out [4]complex128
+			for k := 0; k < 4; k++ {
+				in[k] = d.rho[idx(base, k)][col]
+			}
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					out[r] += u[r][c] * in[c]
+				}
+			}
+			for k := 0; k < 4; k++ {
+				d.rho[idx(base, k)][col] = out[k]
+			}
+		}
+	}
+	// rho <- rho U†.
+	for row := 0; row < d.dim; row++ {
+		for base := 0; base < d.dim; base++ {
+			if base&ba != 0 || base&bb != 0 {
+				continue
+			}
+			var in, out [4]complex128
+			for k := 0; k < 4; k++ {
+				in[k] = d.rho[row][idx(base, k)]
+			}
+			for c := 0; c < 4; c++ {
+				for k := 0; k < 4; k++ {
+					out[c] += in[k] * cmplx.Conj(u[c][k])
+				}
+			}
+			for k := 0; k < 4; k++ {
+				d.rho[row][idx(base, k)] = out[k]
+			}
+		}
+	}
+}
+
+// ApplyCZ conjugates rho by CZ on (qa, qb).
+func (d *Density) ApplyCZ(qa, qb int) { d.Apply2(CZ, qa, qb) }
+
+// applyKraus applies a single-qubit channel given by Kraus operators:
+// rho <- sum_k K_k rho K_k†.
+func (d *Density) applyKraus(q int, kraus []Matrix2) {
+	d.checkQubit(q)
+	acc := newMat(d.dim)
+	for _, k := range kraus {
+		tmp := cloneMat(d.rho)
+		work := &Density{n: d.n, dim: d.dim, rho: tmp}
+		work.conjugate1(k, q)
+		for i := 0; i < d.dim; i++ {
+			for j := 0; j < d.dim; j++ {
+				acc[i][j] += tmp[i][j]
+			}
+		}
+	}
+	d.rho = acc
+}
+
+func cloneMat(m [][]complex128) [][]complex128 {
+	dim := len(m)
+	c := newMat(dim)
+	for i := range m {
+		copy(c[i], m[i])
+	}
+	return c
+}
+
+// AmplitudeDamp applies the exact amplitude-damping channel with decay
+// probability gamma on qubit q.
+func (d *Density) AmplitudeDamp(q int, gamma float64) {
+	if gamma <= 0 {
+		return
+	}
+	k0 := Matrix2{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	k1 := Matrix2{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
+	d.applyKraus(q, []Matrix2{k0, k1})
+}
+
+// Dephase applies the exact phase-flip channel with probability p.
+func (d *Density) Dephase(q int, p float64) {
+	if p <= 0 {
+		return
+	}
+	k0 := Identity.Scale(complex(math.Sqrt(1-p), 0))
+	k1 := PauliZ.Scale(complex(math.Sqrt(p), 0))
+	d.applyKraus(q, []Matrix2{k0, k1})
+}
+
+// Depolarize1 applies the exact single-qubit depolarizing channel of
+// strength p on qubit q.
+func (d *Density) Depolarize1(q int, p float64) {
+	if p <= 0 {
+		return
+	}
+	sI := complex(math.Sqrt(1-p), 0)
+	sP := complex(math.Sqrt(p/3), 0)
+	d.applyKraus(q, []Matrix2{
+		Identity.Scale(sI), PauliX.Scale(sP), PauliY.Scale(sP), PauliZ.Scale(sP),
+	})
+}
+
+// Depolarize2 applies the exact two-qubit depolarizing channel of strength
+// p on (qa, qb): with probability p the pair is replaced by one of the 15
+// non-identity Pauli conjugations uniformly.
+func (d *Density) Depolarize2(qa, qb int, p float64) {
+	if p <= 0 {
+		return
+	}
+	paulis := [4]Matrix2{Identity, PauliX, PauliY, PauliZ}
+	acc := newMat(d.dim)
+	addScaled := func(m [][]complex128, w float64) {
+		for i := 0; i < d.dim; i++ {
+			for j := 0; j < d.dim; j++ {
+				acc[i][j] += complex(w, 0) * m[i][j]
+			}
+		}
+	}
+	for k := 0; k < 16; k++ {
+		w := p / 15
+		if k == 0 {
+			w = 1 - p
+		}
+		tmp := cloneMat(d.rho)
+		work := &Density{n: d.n, dim: d.dim, rho: tmp}
+		if pa := k >> 2; pa != 0 {
+			work.conjugate1(paulis[pa], qa)
+		}
+		if pb := k & 3; pb != 0 {
+			work.conjugate1(paulis[pb], qb)
+		}
+		addScaled(tmp, w)
+	}
+	d.rho = acc
+}
+
+// Prob1 returns P(measuring qubit q -> 1) = tr(P1 rho).
+func (d *Density) Prob1(q int) float64 {
+	d.checkQubit(q)
+	bit := 1 << uint(q)
+	var p float64
+	for i := 0; i < d.dim; i++ {
+		if i&bit != 0 {
+			p += real(d.rho[i][i])
+		}
+	}
+	return p
+}
+
+// ProjectMeasure collapses qubit q to the given outcome (non-selective
+// measurement result already chosen by the caller) and renormalises.
+// It returns the pre-collapse probability of that outcome.
+func (d *Density) ProjectMeasure(q, outcome int) float64 {
+	d.checkQubit(q)
+	bit := 1 << uint(q)
+	p1 := d.Prob1(q)
+	p := p1
+	if outcome == 0 {
+		p = 1 - p1
+	}
+	if p <= 1e-15 {
+		// Impossible branch requested; leave rho untouched.
+		return 0
+	}
+	keep := func(i int) bool { return (i&bit != 0) == (outcome == 1) }
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			if keep(i) && keep(j) {
+				d.rho[i][j] /= complex(p, 0)
+			} else {
+				d.rho[i][j] = 0
+			}
+		}
+	}
+	return p
+}
+
+// Dephase measurement: a non-selective Z measurement of qubit q (used
+// when a measurement happens but its outcome is averaged over).
+func (d *Density) MeasureNonSelective(q int) {
+	d.checkQubit(q)
+	bit := 1 << uint(q)
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			if (i&bit != 0) != (j&bit != 0) {
+				d.rho[i][j] = 0
+			}
+		}
+	}
+}
+
+// ExpectationPauli returns tr(rho * P) for a Pauli string given as one
+// operator label per qubit ('I', 'X', 'Y', 'Z'), label[q] acting on qubit
+// q. The result of a physical rho is real; the real part is returned.
+func (d *Density) ExpectationPauli(labels []byte) float64 {
+	if len(labels) != d.n {
+		panic(fmt.Sprintf("quantum: Pauli string of length %d on %d qubits", len(labels), d.n))
+	}
+	// Pauli strings map each basis state to exactly one basis state with
+	// a phase, so the trace is computed column-sparsely.
+	var tr complex128
+	for col := 0; col < d.dim; col++ {
+		row := col
+		phase := complex128(1)
+		for q := 0; q < d.n; q++ {
+			op := opFromLabel(labels[q])
+			bit := (col >> uint(q)) & 1
+			switch op {
+			case 'X':
+				row ^= 1 << uint(q)
+			case 'Y':
+				row ^= 1 << uint(q)
+				if bit == 0 {
+					phase *= 1i
+				} else {
+					phase *= -1i
+				}
+			case 'Z':
+				if bit == 1 {
+					phase *= -1
+				}
+			}
+		}
+		// tr(rho P) = sum_col (rho P)[col][col] = sum_col rho[col][row]*P[row][col].
+		// P[row][col] = phase as computed (P maps |col> -> phase|row>).
+		tr += d.rho[col][row] * phase
+	}
+	return real(tr)
+}
+
+func opFromLabel(b byte) byte {
+	switch b {
+	case 'I', 'X', 'Y', 'Z':
+		return b
+	}
+	panic(fmt.Sprintf("quantum: invalid Pauli label %q", b))
+}
+
+// FidelityPure returns <psi|rho|psi> for a target pure state psi given as
+// amplitudes in the same basis ordering.
+func (d *Density) FidelityPure(psi []complex128) float64 {
+	if len(psi) != d.dim {
+		panic("quantum: fidelity target of wrong dimension")
+	}
+	var f complex128
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			f += cmplx.Conj(psi[i]) * d.rho[i][j] * psi[j]
+		}
+	}
+	return real(f)
+}
+
+// Clone returns a deep copy.
+func (d *Density) Clone() *Density {
+	return &Density{n: d.n, dim: d.dim, rho: cloneMat(d.rho)}
+}

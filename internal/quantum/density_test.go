@@ -1,0 +1,189 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDensityInitialState(t *testing.T) {
+	d := NewDensity(2)
+	if got := real(d.Rho()[0][0]); math.Abs(got-1) > tol {
+		t.Fatalf("rho[0][0] = %v, want 1", got)
+	}
+	if tr := d.Trace(); math.Abs(tr-1) > tol {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+// Density evolution of a pure state must match the state-vector simulator.
+func TestDensityMatchesStateVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewState(3, rng)
+	d := NewDensity(3)
+	apply1 := func(u Matrix2, q int) { s.Apply1(u, q); d.Apply1(u, q) }
+	applyCZ := func(a, b int) { s.ApplyCZ(a, b); d.ApplyCZ(a, b) }
+
+	apply1(Hadamard, 0)
+	apply1(GateX90, 1)
+	applyCZ(0, 1)
+	apply1(GateYm90, 2)
+	applyCZ(1, 2)
+	apply1(TGate, 0)
+
+	for q := 0; q < 3; q++ {
+		if diff := math.Abs(s.Prob1(q) - d.Prob1(q)); diff > tol {
+			t.Fatalf("P1(q%d) differs by %v between SV and DM", q, diff)
+		}
+	}
+	// rho must equal |psi><psi|.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := s.Amplitude(i) * conj(s.Amplitude(j))
+			if cAbs(d.Rho()[i][j]-want) > tol {
+				t.Fatalf("rho[%d][%d] = %v, want %v", i, j, d.Rho()[i][j], want)
+			}
+		}
+	}
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+func cAbs(c complex128) float64    { return math.Hypot(real(c), imag(c)) }
+
+func TestDensityAmplitudeDampExact(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(PauliX, 0)
+	const gamma = 0.25
+	d.AmplitudeDamp(0, gamma)
+	if p := d.Prob1(0); math.Abs(p-(1-gamma)) > tol {
+		t.Fatalf("P1 = %v, want %v", p, 1-gamma)
+	}
+	if tr := d.Trace(); math.Abs(tr-1) > tol {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestDensityDephaseKillsCoherence(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(Hadamard, 0)
+	before := cAbs(d.Rho()[0][1])
+	d.Dephase(0, 0.5) // full dephasing: coherence factor 1-2p = 0
+	after := cAbs(d.Rho()[0][1])
+	if math.Abs(before-0.5) > tol {
+		t.Fatalf("initial coherence = %v, want 0.5", before)
+	}
+	if after > tol {
+		t.Fatalf("coherence after full dephase = %v, want 0", after)
+	}
+	if p := d.Prob1(0); math.Abs(p-0.5) > tol {
+		t.Fatalf("dephasing changed populations: %v", p)
+	}
+}
+
+func TestDensityDepolarize1FullyMixes(t *testing.T) {
+	d := NewDensity(1)
+	d.Depolarize1(0, 0.75) // p=3/4 is the fully depolarizing channel
+	for i := 0; i < 2; i++ {
+		if math.Abs(real(d.Rho()[i][i])-0.5) > tol {
+			t.Fatalf("diag[%d] = %v, want 0.5", i, real(d.Rho()[i][i]))
+		}
+	}
+}
+
+func TestDensityDepolarize2TracePreserving(t *testing.T) {
+	f := func(p float64) bool {
+		prob := math.Mod(math.Abs(p), 1)
+		d := NewDensity(2)
+		d.Apply1(Hadamard, 0)
+		d.ApplyCZ(0, 1)
+		d.Depolarize2(0, 1, prob)
+		return math.Abs(d.Trace()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensityProjectMeasure(t *testing.T) {
+	d := NewDensity(2)
+	d.Apply1(Hadamard, 0)
+	d.Apply1(Hadamard, 1)
+	d.ApplyCZ(0, 1)
+	d.Apply1(Hadamard, 1)
+	// Bell state: project q0 -> 1 must leave q1 in |1>.
+	p := d.ProjectMeasure(0, 1)
+	if math.Abs(p-0.5) > tol {
+		t.Fatalf("projection probability = %v, want 0.5", p)
+	}
+	if got := d.Prob1(1); math.Abs(got-1) > tol {
+		t.Fatalf("correlated qubit P1 = %v, want 1", got)
+	}
+	if tr := d.Trace(); math.Abs(tr-1) > tol {
+		t.Fatalf("trace after projection = %v", tr)
+	}
+}
+
+func TestDensityMeasureNonSelective(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(Hadamard, 0)
+	d.MeasureNonSelective(0)
+	if cAbs(d.Rho()[0][1]) > tol {
+		t.Fatal("non-selective measurement must kill coherences")
+	}
+	if p := d.Prob1(0); math.Abs(p-0.5) > tol {
+		t.Fatalf("non-selective measurement changed populations: %v", p)
+	}
+}
+
+func TestDensityExpectationPauli(t *testing.T) {
+	d := NewDensity(2)
+	// |0>: <Z> = +1.
+	if got := d.ExpectationPauli([]byte("ZI")); math.Abs(got-1) > tol {
+		t.Fatalf("<Z0> = %v, want 1", got)
+	}
+	d.Apply1(PauliX, 0)
+	if got := d.ExpectationPauli([]byte("ZI")); math.Abs(got+1) > tol {
+		t.Fatalf("<Z0> after X = %v, want -1", got)
+	}
+	d.Reset()
+	d.Apply1(Hadamard, 0)
+	if got := d.ExpectationPauli([]byte("XI")); math.Abs(got-1) > tol {
+		t.Fatalf("<X0> on |+> = %v, want 1", got)
+	}
+	if got := d.ExpectationPauli([]byte("YI")); math.Abs(got) > tol {
+		t.Fatalf("<Y0> on |+> = %v, want 0", got)
+	}
+	// Bell state: <ZZ> = <XX> = 1, <YY> = -1.
+	d.Reset()
+	d.Apply1(Hadamard, 0)
+	d.Apply1(Hadamard, 1)
+	d.ApplyCZ(0, 1)
+	d.Apply1(Hadamard, 1)
+	checks := map[string]float64{"ZZ": 1, "XX": 1, "YY": -1, "ZI": 0, "IZ": 0}
+	for s, want := range checks {
+		if got := d.ExpectationPauli([]byte(s)); math.Abs(got-want) > tol {
+			t.Errorf("<%s> = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestDensityFidelityPure(t *testing.T) {
+	d := NewDensity(2)
+	d.Apply1(Hadamard, 0)
+	d.Apply1(Hadamard, 1)
+	d.ApplyCZ(0, 1)
+	d.Apply1(Hadamard, 1)
+	bell := []complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	if f := d.FidelityPure(bell); math.Abs(f-1) > tol {
+		t.Fatalf("Bell fidelity = %v, want 1", f)
+	}
+	d.Depolarize2(0, 1, 0.15)
+	f := d.FidelityPure(bell)
+	// Depolarizing by p leaves F = 1 - p*16/15*(1-1/4) = 1 - 0.8p for a
+	// maximally entangled state.
+	want := 1 - 0.8*0.15
+	if math.Abs(f-want) > 1e-6 {
+		t.Fatalf("depolarized Bell fidelity = %v, want %v", f, want)
+	}
+}

@@ -1,0 +1,190 @@
+// Package quantum is the physics substrate of the eQASM reproduction: it
+// simulates the qubits that the control microarchitecture drives.
+//
+// Two simulators are provided behind the Backend interface: a state-vector
+// simulator with Monte-Carlo (trajectory) noise suitable for any qubit
+// count the experiments need, and a density-matrix simulator with exact
+// noise channels for small registers (used where the paper extracts
+// probabilities or performs tomography). Both expose the narrow interface
+// the Central Controller actually has to real hardware: apply a
+// codeword-selected operation, wait, and read back a discriminated
+// measurement bit.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix2 is a single-qubit operator in the computational basis,
+// m[row][col].
+type Matrix2 [2][2]complex128
+
+// Matrix4 is a two-qubit operator in the basis |00>,|01>,|10>,|11> where
+// the first label is the higher-indexed operand (row-major m[row][col]).
+type Matrix4 [4][4]complex128
+
+// Mul returns a*b.
+func (a Matrix2) Mul(b Matrix2) Matrix2 {
+	var c Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return c
+}
+
+// Adjoint returns the conjugate transpose of a.
+func (a Matrix2) Adjoint() Matrix2 {
+	var c Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c[i][j] = cmplx.Conj(a[j][i])
+		}
+	}
+	return c
+}
+
+// Scale returns s*a.
+func (a Matrix2) Scale(s complex128) Matrix2 {
+	var c Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c[i][j] = s * a[i][j]
+		}
+	}
+	return c
+}
+
+// ApproxEqual reports whether a and b agree entry-wise within tol.
+func (a Matrix2) ApproxEqual(b Matrix2, tol float64) bool {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApproxEqualUpToPhase reports whether a = e^{i phi} b for some global
+// phase phi, within tol. Quantum operations are physically identical up to
+// global phase, so Clifford-group bookkeeping uses this comparison.
+func (a Matrix2) ApproxEqualUpToPhase(b Matrix2, tol float64) bool {
+	// Find the largest-magnitude entry of b to fix the phase.
+	bi, bj, best := 0, 0, 0.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m := cmplx.Abs(b[i][j]); m > best {
+				best, bi, bj = m, i, j
+			}
+		}
+	}
+	if best < tol {
+		return a.ApproxEqual(b, tol)
+	}
+	if cmplx.Abs(a[bi][bj]) < tol {
+		return false
+	}
+	phase := a[bi][bj] / b[bi][bj]
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	return a.ApproxEqual(b.Scale(phase), tol)
+}
+
+// IsUnitary reports whether a†a = I within tol.
+func (a Matrix2) IsUnitary(tol float64) bool {
+	p := a.Adjoint().Mul(a)
+	return p.ApproxEqual(Identity, tol)
+}
+
+// Axis labels a Bloch-sphere rotation axis.
+type Axis int
+
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "x"
+	case AxisY:
+		return "y"
+	case AxisZ:
+		return "z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Standard single-qubit operators.
+var (
+	Identity = Matrix2{{1, 0}, {0, 1}}
+	PauliX   = Matrix2{{0, 1}, {1, 0}}
+	PauliY   = Matrix2{{0, -1i}, {1i, 0}}
+	PauliZ   = Matrix2{{1, 0}, {0, -1}}
+	Hadamard = Matrix2{{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}}
+	SGate = Matrix2{{1, 0}, {0, 1i}}
+	TGate = Matrix2{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}
+)
+
+// Rotation returns the rotation exp(-i*theta/2 * P_axis) for theta in
+// radians: the unitary implemented by a resonant microwave (x/y) or
+// flux/virtual (z) pulse.
+func Rotation(axis Axis, theta float64) Matrix2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := math.Sin(theta / 2)
+	switch axis {
+	case AxisX:
+		return Matrix2{{c, complex(0, -s)}, {complex(0, -s), c}}
+	case AxisY:
+		return Matrix2{{c, complex(-s, 0)}, {complex(s, 0), c}}
+	case AxisZ:
+		return Matrix2{{cmplx.Exp(complex(0, -theta/2)), 0}, {0, cmplx.Exp(complex(0, theta/2))}}
+	}
+	panic(fmt.Sprintf("quantum: unknown axis %v", axis))
+}
+
+// RotationDeg is Rotation with the angle in degrees, the unit used by
+// operation configuration files.
+func RotationDeg(axis Axis, deg float64) Matrix2 {
+	return Rotation(axis, deg*math.Pi/180)
+}
+
+// The paper's primitive gate set for the target transmon processor
+// (Section 4.1 and 5): x/y rotations by +-90 and 180 degrees. X90 denotes
+// a pi/2 rotation about x; Xm90 the -pi/2 rotation, and so on.
+var (
+	GateX    = Rotation(AxisX, math.Pi)
+	GateY    = Rotation(AxisY, math.Pi)
+	GateX90  = Rotation(AxisX, math.Pi/2)
+	GateY90  = Rotation(AxisY, math.Pi/2)
+	GateXm90 = Rotation(AxisX, -math.Pi/2)
+	GateYm90 = Rotation(AxisY, -math.Pi/2)
+)
+
+// CZ is the two-qubit controlled-phase gate, the native two-qubit gate of
+// the target processor. It is symmetric in its operands.
+var CZ = Matrix4{
+	{1, 0, 0, 0},
+	{0, 1, 0, 0},
+	{0, 0, 1, 0},
+	{0, 0, 0, -1},
+}
+
+// CNOT with the first (higher bit in Matrix4 basis ordering) operand as
+// control and the second as target. Used by examples and tests; the
+// superconducting instantiation decomposes it to Y90/CZ/Ym90.
+var CNOT = Matrix4{
+	{1, 0, 0, 0},
+	{0, 1, 0, 0},
+	{0, 0, 0, 1},
+	{0, 0, 1, 0},
+}

@@ -1,0 +1,112 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestStandardGatesAreUnitary(t *testing.T) {
+	gates := map[string]Matrix2{
+		"I": Identity, "X": PauliX, "Y": PauliY, "Z": PauliZ,
+		"H": Hadamard, "S": SGate, "T": TGate,
+		"X90": GateX90, "Y90": GateY90, "Xm90": GateXm90, "Ym90": GateYm90,
+	}
+	for name, g := range gates {
+		if !g.IsUnitary(tol) {
+			t.Errorf("gate %s is not unitary", name)
+		}
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Matrix2
+		want Matrix2
+	}{
+		{"X90*X90=X", GateX90.Mul(GateX90), GateX},
+		{"Y90*Y90=Y", GateY90.Mul(GateY90), GateY},
+		{"X90*Xm90=I", GateX90.Mul(GateXm90), Identity},
+		{"Y90*Ym90=I", GateY90.Mul(GateYm90), Identity},
+		{"Rz(180)=Z", Rotation(AxisZ, math.Pi), PauliZ},
+		{"H~Y90*Z", Hadamard, GateY90.Mul(PauliZ)},
+	}
+	for _, c := range cases {
+		if !c.got.ApproxEqualUpToPhase(c.want, tol) {
+			t.Errorf("%s: got %v want %v (up to phase)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRotationIsUnitaryProperty(t *testing.T) {
+	f := func(angle float64, axisSel uint8) bool {
+		theta := math.Mod(angle, 4*math.Pi)
+		ax := Axis(int(axisSel) % 3)
+		return Rotation(ax, theta).IsUnitary(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotationDegMatchesRadians(t *testing.T) {
+	if !RotationDeg(AxisX, 90).ApproxEqual(Rotation(AxisX, math.Pi/2), tol) {
+		t.Error("RotationDeg(90) != Rotation(pi/2)")
+	}
+}
+
+func TestApproxEqualUpToPhase(t *testing.T) {
+	phase := Rotation(AxisZ, 1.234) // global-phase-free comparison target
+	a := PauliX
+	b := PauliX.Scale(complexExp(0.7))
+	if !a.ApproxEqualUpToPhase(b, tol) {
+		t.Error("X should equal e^{i phi} X up to phase")
+	}
+	if PauliX.ApproxEqualUpToPhase(PauliY, tol) {
+		t.Error("X should not equal Y up to phase")
+	}
+	_ = phase
+}
+
+func complexExp(phi float64) complex128 {
+	return complex(math.Cos(phi), math.Sin(phi))
+}
+
+func TestMatrixAdjointInvolution(t *testing.T) {
+	f := func(ar, ai, br, bi, cr, ci, dr, di float64) bool {
+		m := Matrix2{
+			{complex(clampF(ar), clampF(ai)), complex(clampF(br), clampF(bi))},
+			{complex(clampF(cr), clampF(ci)), complex(clampF(dr), clampF(di))},
+		}
+		return m.Adjoint().Adjoint().ApproxEqual(m, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampF(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestCZSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s1 := NewState(2, rng)
+	s1.Apply1(Hadamard, 0)
+	s1.Apply1(Hadamard, 1)
+	s2 := s1.Clone()
+	s1.ApplyCZ(0, 1)
+	s2.ApplyCZ(1, 0)
+	for i := range 4 {
+		if s1.Amplitude(i) != s2.Amplitude(i) {
+			t.Fatalf("CZ not symmetric at amp %d", i)
+		}
+	}
+}

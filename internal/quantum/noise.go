@@ -1,0 +1,89 @@
+package quantum
+
+import "math"
+
+// NoiseModel collects the physical error parameters of the simulated
+// transmon processor. Zero values disable each mechanism, so the zero
+// NoiseModel is an ideal chip.
+//
+// The parameters map onto the error sources the paper's Section 5
+// experiments are sensitive to:
+//
+//   - T1/T2 decoherence accumulating while qubits idle between operations
+//     (the mechanism behind Fig. 12's interval-dependent RB error);
+//   - depolarizing error per executed gate (residual control error; the
+//     CZ error that limits the Grover fidelity to 85.6%);
+//   - readout assignment error (the mechanism limiting active reset to
+//     82.7%).
+type NoiseModel struct {
+	// T1Ns is the relaxation time in nanoseconds (0 = no relaxation).
+	T1Ns float64
+	// T2Ns is the total dephasing time in nanoseconds (0 = no dephasing).
+	// Must satisfy T2 <= 2*T1 when both are set; the pure-dephasing rate
+	// 1/Tphi = 1/T2 - 1/(2*T1) is derived from it.
+	T2Ns float64
+	// Gate1QError is the depolarizing probability applied with each
+	// single-qubit gate (in addition to decoherence during the pulse).
+	Gate1QError float64
+	// Gate2QError is the depolarizing probability applied with each
+	// two-qubit gate.
+	Gate2QError float64
+	// ReadoutError is the probability that measurement discrimination
+	// reports the wrong bit (symmetric assignment error).
+	ReadoutError float64
+}
+
+// Ideal returns the noiseless model.
+func Ideal() NoiseModel { return NoiseModel{} }
+
+// GammaT1 returns the amplitude-damping probability accumulated over
+// durNs nanoseconds: 1 - exp(-t/T1).
+func (m NoiseModel) GammaT1(durNs float64) float64 {
+	if m.T1Ns <= 0 || durNs <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-durNs/m.T1Ns)
+}
+
+// PhiT2 returns the phase-flip probability accumulated over durNs
+// nanoseconds from pure dephasing. With coherence decaying as
+// exp(-t/Tphi) (on top of the T1 contribution), a phase-flip channel of
+// probability p gives coherence factor (1-2p), so p = (1 - e^{-t/Tphi})/2.
+func (m NoiseModel) PhiT2(durNs float64) float64 {
+	if m.T2Ns <= 0 || durNs <= 0 {
+		return 0
+	}
+	rPhi := 1 / m.T2Ns
+	if m.T1Ns > 0 {
+		rPhi -= 1 / (2 * m.T1Ns)
+	}
+	if rPhi <= 0 {
+		return 0
+	}
+	return (1 - math.Exp(-durNs*rPhi)) / 2
+}
+
+// Validate reports whether the parameters are physical.
+func (m NoiseModel) Validate() error {
+	switch {
+	case m.T1Ns < 0 || m.T2Ns < 0:
+		return errNegativeTime
+	case m.Gate1QError < 0 || m.Gate1QError > 1,
+		m.Gate2QError < 0 || m.Gate2QError > 1,
+		m.ReadoutError < 0 || m.ReadoutError > 1:
+		return errBadProbability
+	case m.T1Ns > 0 && m.T2Ns > 2*m.T1Ns:
+		return errT2Exceeds2T1
+	}
+	return nil
+}
+
+type noiseErr string
+
+func (e noiseErr) Error() string { return string(e) }
+
+const (
+	errNegativeTime   = noiseErr("quantum: negative decoherence time")
+	errBadProbability = noiseErr("quantum: error probability outside [0,1]")
+	errT2Exceeds2T1   = noiseErr("quantum: T2 > 2*T1 is unphysical")
+)

@@ -1,0 +1,113 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoiseModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    NoiseModel
+		ok   bool
+	}{
+		{"ideal", Ideal(), true},
+		{"typical", NoiseModel{T1Ns: 35000, T2Ns: 30000, Gate1QError: 1e-4, ReadoutError: 0.05}, true},
+		{"negative T1", NoiseModel{T1Ns: -1}, false},
+		{"T2 over 2T1", NoiseModel{T1Ns: 1000, T2Ns: 2001}, false},
+		{"T2 equals 2T1", NoiseModel{T1Ns: 1000, T2Ns: 2000}, true},
+		{"bad probability", NoiseModel{ReadoutError: 1.5}, false},
+		{"negative probability", NoiseModel{Gate2QError: -0.1}, false},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestGammaT1(t *testing.T) {
+	m := NoiseModel{T1Ns: 1000}
+	if g := m.GammaT1(0); g != 0 {
+		t.Fatalf("gamma at t=0 = %v", g)
+	}
+	if g := m.GammaT1(1000); math.Abs(g-(1-math.Exp(-1))) > tol {
+		t.Fatalf("gamma at t=T1 = %v", g)
+	}
+	if g := Ideal().GammaT1(1e9); g != 0 {
+		t.Fatalf("ideal model gamma = %v", g)
+	}
+}
+
+func TestPhiT2PureDephasingRate(t *testing.T) {
+	// With T2 = 2*T1 there is no pure dephasing at all.
+	m := NoiseModel{T1Ns: 1000, T2Ns: 2000}
+	if p := m.PhiT2(500); p != 0 {
+		t.Fatalf("phi with T2=2T1 = %v, want 0", p)
+	}
+	// With T1 disabled, 1/Tphi = 1/T2.
+	m = NoiseModel{T2Ns: 1000}
+	want := (1 - math.Exp(-1)) / 2
+	if p := m.PhiT2(1000); math.Abs(p-want) > tol {
+		t.Fatalf("phi at t=T2 = %v, want %v", p, want)
+	}
+}
+
+// The coherence of a superposition must decay as exp(-t/T2) when idling.
+func TestIdleCoherenceDecay(t *testing.T) {
+	const t1, t2 = 20000.0, 15000.0
+	m := NoiseModel{T1Ns: t1, T2Ns: t2}
+	d := NewDensity(1)
+	d.Apply1(GateX90, 0)
+	c0 := cAbs(d.Rho()[0][1])
+	const dur = 5000.0
+	d.AmplitudeDamp(0, m.GammaT1(dur))
+	d.Dephase(0, m.PhiT2(dur))
+	c1 := cAbs(d.Rho()[0][1])
+	want := c0 * math.Exp(-dur/t2)
+	if math.Abs(c1-want) > 1e-6 {
+		t.Fatalf("coherence after %vns idle = %v, want %v", dur, c1, want)
+	}
+}
+
+// Population of |1> must decay as exp(-t/T1) when idling.
+func TestIdlePopulationDecay(t *testing.T) {
+	const t1 = 30000.0
+	m := NoiseModel{T1Ns: t1}
+	d := NewDensity(1)
+	d.Apply1(PauliX, 0)
+	const dur = 10000.0
+	d.AmplitudeDamp(0, m.GammaT1(dur))
+	want := math.Exp(-dur / t1)
+	if p := d.Prob1(0); math.Abs(p-want) > 1e-9 {
+		t.Fatalf("P1 after %vns idle = %v, want %v", dur, p, want)
+	}
+}
+
+// Idling in two steps must equal idling once for the combined duration
+// (channel composability), so the microarchitecture can advance qubit
+// clocks incrementally.
+func TestIdleComposability(t *testing.T) {
+	m := NoiseModel{T1Ns: 25000, T2Ns: 20000}
+	a := NewDensity(1)
+	a.Apply1(GateX90, 0)
+	b := a.Clone()
+
+	a.AmplitudeDamp(0, m.GammaT1(7000))
+	a.Dephase(0, m.PhiT2(7000))
+
+	b.AmplitudeDamp(0, m.GammaT1(3000))
+	b.Dephase(0, m.PhiT2(3000))
+	b.AmplitudeDamp(0, m.GammaT1(4000))
+	b.Dephase(0, m.PhiT2(4000))
+
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cAbs(a.Rho()[i][j]-b.Rho()[i][j]) > 1e-9 {
+				t.Fatalf("idle(7000) != idle(3000)+idle(4000) at (%d,%d): %v vs %v",
+					i, j, a.Rho()[i][j], b.Rho()[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// State is a pure-state simulator over n qubits. Amplitudes are indexed by
+// the computational basis with qubit q occupying bit q of the index (qubit
+// 0 is the least significant bit).
+//
+// Noise is applied stochastically (quantum trajectories): each noisy
+// channel samples one Kraus branch per call, so expectation values
+// converge to the density-matrix result when averaged over shots.
+type State struct {
+	n   int
+	amp []complex128
+	rng *rand.Rand
+}
+
+// NewState returns the |0...0> state on n qubits with the given RNG
+// source for measurement sampling and trajectory noise.
+func NewState(n int, rng *rand.Rand) *State {
+	if n < 1 || n > 24 {
+		panic(fmt.Sprintf("quantum: state size %d out of supported range [1,24]", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n)), rng: rng}
+	s.amp[0] = 1
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Reset returns the register to |0...0>.
+func (s *State) Reset() {
+	for i := range s.amp {
+		s.amp[i] = 0
+	}
+	s.amp[0] = 1
+}
+
+// Amplitude returns the amplitude of basis state idx (for tests).
+func (s *State) Amplitude(idx int) complex128 { return s.amp[idx] }
+
+// Norm returns the 2-norm of the state vector; 1 for any valid state.
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, s.n))
+	}
+}
+
+// Apply1 applies the single-qubit operator u to qubit q.
+func (s *State) Apply1(u Matrix2, q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for base := 0; base < len(s.amp); base++ {
+		if base&bit != 0 {
+			continue
+		}
+		a0 := s.amp[base]
+		a1 := s.amp[base|bit]
+		s.amp[base] = u[0][0]*a0 + u[0][1]*a1
+		s.amp[base|bit] = u[1][0]*a0 + u[1][1]*a1
+	}
+}
+
+// Apply2 applies the two-qubit operator u to qubits (qa, qb), with qa
+// selecting the higher-order bit of u's 2-bit basis label.
+func (s *State) Apply2(u Matrix4, qa, qb int) {
+	s.checkQubit(qa)
+	s.checkQubit(qb)
+	if qa == qb {
+		panic(fmt.Sprintf("quantum: two-qubit gate on identical qubit %d", qa))
+	}
+	ba := 1 << uint(qa)
+	bb := 1 << uint(qb)
+	for base := 0; base < len(s.amp); base++ {
+		if base&ba != 0 || base&bb != 0 {
+			continue
+		}
+		var in [4]complex128
+		in[0] = s.amp[base]
+		in[1] = s.amp[base|bb]
+		in[2] = s.amp[base|ba]
+		in[3] = s.amp[base|ba|bb]
+		var out [4]complex128
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				out[r] += u[r][c] * in[c]
+			}
+		}
+		s.amp[base] = out[0]
+		s.amp[base|bb] = out[1]
+		s.amp[base|ba] = out[2]
+		s.amp[base|ba|bb] = out[3]
+	}
+}
+
+// ApplyCZ applies the controlled-phase gate between qa and qb. CZ is
+// diagonal so this avoids the general Apply2 shuffle.
+func (s *State) ApplyCZ(qa, qb int) {
+	s.checkQubit(qa)
+	s.checkQubit(qb)
+	if qa == qb {
+		panic(fmt.Sprintf("quantum: CZ on identical qubit %d", qa))
+	}
+	mask := (1 << uint(qa)) | (1 << uint(qb))
+	for i := range s.amp {
+		if i&mask == mask {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// Prob1 returns the probability that measuring qubit q yields 1.
+func (s *State) Prob1(q int) float64 {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	var p float64
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Measure performs a projective Z-basis measurement of qubit q, collapsing
+// the state, and returns the outcome.
+func (s *State) Measure(q int) int {
+	p1 := s.Prob1(q)
+	outcome := 0
+	if s.rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.project(q, outcome, p1)
+	return outcome
+}
+
+// project collapses qubit q onto the given outcome and renormalises. p1 is
+// the pre-measurement probability of outcome 1.
+func (s *State) project(q, outcome int, p1 float64) {
+	bit := 1 << uint(q)
+	keepP := p1
+	if outcome == 0 {
+		keepP = 1 - p1
+	}
+	if keepP <= 0 {
+		// Numerically impossible branch; force the deterministic one.
+		keepP = 1
+	}
+	norm := complex(1/math.Sqrt(keepP), 0)
+	for i := range s.amp {
+		has1 := i&bit != 0
+		if (outcome == 1) == has1 {
+			s.amp[i] *= norm
+		} else {
+			s.amp[i] = 0
+		}
+	}
+}
+
+// ResetQubit projects qubit q to |0> regardless of outcome probability
+// (an idealised unconditional reset, used when initialising by waiting).
+func (s *State) ResetQubit(q int) {
+	if s.Measure(q) == 1 {
+		s.Apply1(PauliX, q)
+	}
+}
+
+// AmplitudeDamp applies the amplitude-damping channel (T1 relaxation) with
+// decay probability gamma to qubit q, as one sampled trajectory branch.
+func (s *State) AmplitudeDamp(q int, gamma float64) {
+	if gamma <= 0 {
+		return
+	}
+	s.checkQubit(q)
+	// Kraus: K0 = [[1,0],[0,sqrt(1-g)]], K1 = [[0,sqrt(g)],[0,0]].
+	// P(jump) = g * P(|1>).
+	p1 := s.Prob1(q)
+	pJump := gamma * p1
+	if s.rng.Float64() < pJump {
+		// Jump: qubit decays to |0>. Apply K1 and renormalise: this is
+		// projection onto |1> followed by lowering.
+		s.project(q, 1, p1)
+		s.Apply1(PauliX, q) // lower |1> -> |0>
+		return
+	}
+	// No-jump evolution: apply K0 and renormalise.
+	k0 := Matrix2{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	s.Apply1(k0, q)
+	s.renormalize()
+}
+
+// Dephase applies the phase-damping channel with phase-flip probability p
+// to qubit q (one trajectory branch: Z with probability p).
+func (s *State) Dephase(q int, p float64) {
+	if p <= 0 {
+		return
+	}
+	if s.rng.Float64() < p {
+		s.Apply1(PauliZ, q)
+	}
+}
+
+// Depolarize1 applies single-qubit depolarizing noise of strength p to
+// qubit q: with probability p a uniformly random Pauli (X, Y or Z) is
+// applied.
+func (s *State) Depolarize1(q int, p float64) {
+	if p <= 0 {
+		return
+	}
+	if s.rng.Float64() >= p {
+		return
+	}
+	switch s.rng.Intn(3) {
+	case 0:
+		s.Apply1(PauliX, q)
+	case 1:
+		s.Apply1(PauliY, q)
+	default:
+		s.Apply1(PauliZ, q)
+	}
+}
+
+// Depolarize2 applies two-qubit depolarizing noise of strength p: with
+// probability p one of the 15 non-identity two-qubit Paulis is applied.
+func (s *State) Depolarize2(qa, qb int, p float64) {
+	if p <= 0 {
+		return
+	}
+	if s.rng.Float64() >= p {
+		return
+	}
+	k := s.rng.Intn(15) + 1 // 1..15, skipping II
+	paulis := [4]Matrix2{Identity, PauliX, PauliY, PauliZ}
+	if pa := k >> 2; pa != 0 {
+		s.Apply1(paulis[pa], qa)
+	}
+	if pb := k & 3; pb != 0 {
+		s.Apply1(paulis[pb], qb)
+	}
+}
+
+func (s *State) renormalize() {
+	n := s.Norm()
+	if n == 0 {
+		panic("quantum: state collapsed to zero vector")
+	}
+	inv := complex(1/n, 0)
+	for i := range s.amp {
+		s.amp[i] *= inv
+	}
+}
+
+// Fidelity returns |<other|s>|^2, the overlap with another pure state of
+// the same width.
+func (s *State) Fidelity(other *State) float64 {
+	if other.n != s.n {
+		panic("quantum: fidelity between states of different width")
+	}
+	var ip complex128
+	for i := range s.amp {
+		ip += cmplx.Conj(other.amp[i]) * s.amp[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// Clone returns a deep copy sharing the RNG.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), rng: s.rng}
+	copy(c.amp, s.amp)
+	return c
+}

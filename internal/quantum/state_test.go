@@ -1,0 +1,218 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateInitialisation(t *testing.T) {
+	s := NewState(3, rand.New(rand.NewSource(1)))
+	if got := s.Amplitude(0); got != 1 {
+		t.Fatalf("amp[0] = %v, want 1", got)
+	}
+	if got := s.Norm(); math.Abs(got-1) > tol {
+		t.Fatalf("norm = %v, want 1", got)
+	}
+	if s.Prob1(0) != 0 || s.Prob1(2) != 0 {
+		t.Fatal("fresh state should have P(1)=0 everywhere")
+	}
+}
+
+func TestStateXFlip(t *testing.T) {
+	s := NewState(2, rand.New(rand.NewSource(1)))
+	s.Apply1(PauliX, 1)
+	if p := s.Prob1(1); math.Abs(p-1) > tol {
+		t.Fatalf("P1(q1) after X = %v, want 1", p)
+	}
+	if p := s.Prob1(0); p > tol {
+		t.Fatalf("P1(q0) = %v, want 0", p)
+	}
+	if m := s.Measure(1); m != 1 {
+		t.Fatalf("measurement = %d, want 1", m)
+	}
+}
+
+func TestStateBell(t *testing.T) {
+	s := NewState(2, rand.New(rand.NewSource(7)))
+	s.Apply1(Hadamard, 0)
+	s.Apply2(CNOT, 1, 0) // q0 is low bit of Matrix4 label? CNOT control=high operand
+	// Build Bell via H + CZ + H instead, the native decomposition:
+	s.Reset()
+	s.Apply1(Hadamard, 0)
+	s.Apply1(Hadamard, 1)
+	s.ApplyCZ(0, 1)
+	s.Apply1(Hadamard, 1)
+	// Now state should be (|00> + |11>)/sqrt(2).
+	if p := s.Prob1(0); math.Abs(p-0.5) > tol {
+		t.Fatalf("P1(q0) = %v, want 0.5", p)
+	}
+	a00 := s.Amplitude(0)
+	a11 := s.Amplitude(3)
+	if math.Abs(real(a00)-1/math.Sqrt2) > tol || math.Abs(real(a11)-1/math.Sqrt2) > tol {
+		t.Fatalf("not a Bell state: a00=%v a11=%v", a00, a11)
+	}
+	// Measurements must be perfectly correlated.
+	for i := 0; i < 20; i++ {
+		c := s.Clone()
+		m0 := c.Measure(0)
+		m1 := c.Measure(1)
+		if m0 != m1 {
+			t.Fatalf("Bell state measurements disagree: %d vs %d", m0, m1)
+		}
+	}
+}
+
+func TestMeasurementStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ones := 0
+	const shots = 20000
+	for i := 0; i < shots; i++ {
+		s := NewState(1, rng)
+		s.Apply1(GateX90, 0)
+		ones += s.Measure(0)
+	}
+	p := float64(ones) / shots
+	if math.Abs(p-0.5) > 0.02 {
+		t.Fatalf("P(1) after X90 = %v, want ~0.5", p)
+	}
+}
+
+func TestMeasurementCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewState(1, rng)
+	s.Apply1(GateX90, 0)
+	first := s.Measure(0)
+	for i := 0; i < 10; i++ {
+		if again := s.Measure(0); again != first {
+			t.Fatalf("repeated measurement changed: %d then %d", first, again)
+		}
+	}
+}
+
+// Property: random circuits preserve the norm.
+func TestNormPreservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, ops [12]uint8) bool {
+		s := NewState(3, rand.New(rand.NewSource(seed)))
+		gates := []Matrix2{PauliX, PauliY, PauliZ, Hadamard, GateX90, GateYm90, SGate, TGate}
+		for _, o := range ops {
+			q := int(o) % 3
+			g := gates[int(o/3)%len(gates)]
+			s.Apply1(g, q)
+			if o%5 == 0 {
+				s.ApplyCZ(q, (q+1)%3)
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trajectory noise channels preserve the norm.
+func TestNoiseNormPreservationProperty(t *testing.T) {
+	f := func(seed int64, gamma, phi, dep float64) bool {
+		g := math.Mod(math.Abs(gamma), 1)
+		p := math.Mod(math.Abs(phi), 1)
+		d := math.Mod(math.Abs(dep), 1)
+		s := NewState(2, rand.New(rand.NewSource(seed)))
+		s.Apply1(Hadamard, 0)
+		s.ApplyCZ(0, 1)
+		s.AmplitudeDamp(0, g)
+		s.Dephase(1, p)
+		s.Depolarize1(0, d)
+		s.Depolarize2(0, 1, d)
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmplitudeDampStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const shots = 30000
+	const gamma = 0.3
+	ones := 0
+	for i := 0; i < shots; i++ {
+		s := NewState(1, rng)
+		s.Apply1(PauliX, 0)
+		s.AmplitudeDamp(0, gamma)
+		ones += s.Measure(0)
+	}
+	p := float64(ones) / shots
+	if math.Abs(p-(1-gamma)) > 0.02 {
+		t.Fatalf("P(1) after damping = %v, want ~%v", p, 1-gamma)
+	}
+}
+
+func TestResetQubit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		s := NewState(2, rng)
+		s.Apply1(GateX90, 0)
+		s.Apply1(PauliX, 1)
+		s.ResetQubit(0)
+		if p := s.Prob1(0); p > tol {
+			t.Fatalf("P1 after reset = %v", p)
+		}
+		if p := s.Prob1(1); math.Abs(p-1) > tol {
+			t.Fatalf("reset disturbed other qubit: P1 = %v", p)
+		}
+	}
+}
+
+func TestApply2MatchesApply1Composition(t *testing.T) {
+	// A tensor-product two-qubit gate must equal its one-qubit parts.
+	rng := rand.New(rand.NewSource(17))
+	s1 := NewState(2, rng)
+	s1.Apply1(Hadamard, 0)
+	s1.Apply1(GateX90, 1)
+
+	var xI Matrix4 // X on high operand, I on low
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			xI[r][c] = PauliX[r>>1][c>>1] * Identity[r&1][c&1]
+		}
+	}
+	s2 := s1.Clone()
+	s1.Apply1(PauliX, 1)
+	s2.Apply2(xI, 1, 0)
+	for i := 0; i < 4; i++ {
+		if d := s1.Amplitude(i) - s2.Amplitude(i); math.Abs(real(d))+math.Abs(imag(d)) > tol {
+			t.Fatalf("Apply2 mismatch at %d: %v vs %v", i, s1.Amplitude(i), s2.Amplitude(i))
+		}
+	}
+}
+
+func TestStatePanicsOnBadQubit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range qubit")
+		}
+	}()
+	s := NewState(2, rand.New(rand.NewSource(1)))
+	s.Apply1(PauliX, 5)
+}
+
+func TestFidelityPureStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewState(1, rng)
+	b := NewState(1, rng)
+	if f := a.Fidelity(b); math.Abs(f-1) > tol {
+		t.Fatalf("identical states fidelity = %v", f)
+	}
+	b.Apply1(PauliX, 0)
+	if f := a.Fidelity(b); f > tol {
+		t.Fatalf("orthogonal states fidelity = %v", f)
+	}
+	b.Reset()
+	b.Apply1(GateX90, 0)
+	if f := a.Fidelity(b); math.Abs(f-0.5) > tol {
+		t.Fatalf("|<0|+i>|^2 = %v, want 0.5", f)
+	}
+}

@@ -1,0 +1,277 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// This file implements quantum state tomography with maximum-likelihood
+// estimation, used by the Section 5 Grover experiment ("quantum
+// tomography with maximum likelihood estimation"): linear inversion from
+// Pauli expectation values followed by projection onto the physical
+// (positive semidefinite, unit trace) state space using the fast MLE
+// algorithm of Smolin, Gambetta and Smith (2012).
+
+// PauliStrings returns all 4^n Pauli label strings over n qubits in
+// lexicographic I<X<Y<Z order, each as one label per qubit with labels[q]
+// acting on qubit q.
+func PauliStrings(n int) [][]byte {
+	labels := []byte{'I', 'X', 'Y', 'Z'}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 4
+	}
+	out := make([][]byte, total)
+	for i := 0; i < total; i++ {
+		s := make([]byte, n)
+		v := i
+		for q := 0; q < n; q++ {
+			s[q] = labels[v%4]
+			v /= 4
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// pauliMatrixEntry returns P[row][col] for the Pauli string, exploiting
+// that each column has exactly one non-zero entry.
+func pauliColumn(labels []byte, col int) (row int, phase complex128) {
+	row, phase = col, 1
+	for q := 0; q < len(labels); q++ {
+		bit := (col >> uint(q)) & 1
+		switch labels[q] {
+		case 'I':
+		case 'X':
+			row ^= 1 << uint(q)
+		case 'Y':
+			row ^= 1 << uint(q)
+			if bit == 0 {
+				phase *= 1i
+			} else {
+				phase *= -1i
+			}
+		case 'Z':
+			if bit == 1 {
+				phase *= -1
+			}
+		default:
+			panic(fmt.Sprintf("quantum: invalid Pauli label %q", labels[q]))
+		}
+	}
+	return row, phase
+}
+
+// LinearInversion reconstructs rho = (1/2^n) * sum_P <P> P from a map of
+// Pauli-string expectation values. Missing strings are treated as 0
+// except the mandatory identity term (always 1).
+func LinearInversion(n int, expect map[string]float64) [][]complex128 {
+	dim := 1 << uint(n)
+	rho := newMat(dim)
+	for _, labels := range PauliStrings(n) {
+		key := string(labels)
+		var v float64
+		if allIdentity(labels) {
+			v = 1
+		} else {
+			v = expect[key]
+			if v == 0 {
+				continue
+			}
+		}
+		w := complex(v/float64(dim), 0)
+		for col := 0; col < dim; col++ {
+			row, phase := pauliColumn(labels, col)
+			rho[row][col] += w * phase
+		}
+	}
+	return rho
+}
+
+func allIdentity(labels []byte) bool {
+	for _, l := range labels {
+		if l != 'I' {
+			return false
+		}
+	}
+	return true
+}
+
+// EigenHermitian diagonalises a Hermitian matrix with the cyclic complex
+// Jacobi method, returning eigenvalues (unsorted) and the corresponding
+// orthonormal eigenvectors as columns of vecs.
+func EigenHermitian(m [][]complex128) (vals []float64, vecs [][]complex128) {
+	dim := len(m)
+	a := cloneMat(m)
+	v := newMat(dim)
+	for i := 0; i < dim; i++ {
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	const tol = 1e-13
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < dim; p++ {
+			for q := p + 1; q < dim; q++ {
+				off += cmplx.Abs(a[p][q]) * cmplx.Abs(a[p][q])
+			}
+		}
+		if off < tol {
+			break
+		}
+		for p := 0; p < dim; p++ {
+			for q := p + 1; q < dim; q++ {
+				apq := a[p][q]
+				mag := cmplx.Abs(apq)
+				if mag < 1e-300 {
+					continue
+				}
+				// Phase factor making a[p][q] real-positive, then a real
+				// Jacobi rotation eliminating it.
+				e := apq / complex(mag, 0)
+				app := real(a[p][p])
+				aqq := real(a[q][q])
+				theta := 0.5 * math.Atan2(2*mag, app-aqq)
+				c := complex(math.Cos(theta), 0)
+				s := complex(math.Sin(theta), 0)
+				// Columns of the rotation: |p'> = c|p> + s*conj(e)|q>,
+				// |q'> = -s*e|p> + c|q>.
+				jpp, jpq := c, -s*e
+				jqp, jqq := s*cmplx.Conj(e), c
+				// A <- J† A J.
+				for i := 0; i < dim; i++ {
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = aip*jpp + aiq*jqp
+					a[i][q] = aip*jpq + aiq*jqq
+				}
+				for i := 0; i < dim; i++ {
+					api, aqi := a[p][i], a[q][i]
+					a[p][i] = cmplx.Conj(jpp)*api + cmplx.Conj(jqp)*aqi
+					a[q][i] = cmplx.Conj(jpq)*api + cmplx.Conj(jqq)*aqi
+				}
+				for i := 0; i < dim; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = vip*jpp + viq*jqp
+					v[i][q] = vip*jpq + viq*jqq
+				}
+			}
+		}
+	}
+	vals = make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		vals[i] = real(a[i][i])
+	}
+	return vals, v
+}
+
+// MLEProject projects a (possibly unphysical) Hermitian matrix with unit
+// trace onto the closest density matrix in 2-norm: the fast
+// maximum-likelihood estimate of Smolin et al. Eigenvalues are clipped at
+// zero with the removed weight redistributed over the remaining ones.
+func MLEProject(mu [][]complex128) [][]complex128 {
+	dim := len(mu)
+	vals, vecs := EigenHermitian(mu)
+	// Normalise trace to 1 before projecting.
+	var tr float64
+	for _, v := range vals {
+		tr += v
+	}
+	if math.Abs(tr) > 1e-12 {
+		for i := range vals {
+			vals[i] /= tr
+		}
+	}
+	idx := make([]int, dim)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	sorted := make([]float64, dim)
+	for r, i := range idx {
+		sorted[r] = vals[i]
+	}
+	// Walk from the smallest eigenvalue, zeroing negative mass and
+	// spreading the deficit over the remainder.
+	acc := 0.0
+	k := dim
+	for k > 0 && sorted[k-1]+acc/float64(k) < 0 {
+		acc += sorted[k-1]
+		sorted[k-1] = 0
+		k--
+	}
+	for i := 0; i < k; i++ {
+		sorted[i] += acc / float64(k)
+	}
+	// Rebuild rho = sum_k lambda_k |v_k><v_k|.
+	rho := newMat(dim)
+	for r, i := range idx {
+		l := sorted[r]
+		if l == 0 {
+			continue
+		}
+		for a := 0; a < dim; a++ {
+			for b := 0; b < dim; b++ {
+				rho[a][b] += complex(l, 0) * vecs[a][i] * cmplx.Conj(vecs[b][i])
+			}
+		}
+	}
+	return rho
+}
+
+// FidelityPureRho returns <psi|rho|psi>.
+func FidelityPureRho(rho [][]complex128, psi []complex128) float64 {
+	dim := len(rho)
+	if len(psi) != dim {
+		panic("quantum: fidelity target of wrong dimension")
+	}
+	var f complex128
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			f += cmplx.Conj(psi[i]) * rho[i][j] * psi[j]
+		}
+	}
+	return real(f)
+}
+
+// MeasurementBasisRotation returns the pre-rotation unitary U that maps
+// the given Pauli measurement axis onto Z (U†ZU = P), so that a Z-basis
+// readout after the rotation measures that Pauli: Ym90 for X, X90 for Y,
+// identity for Z.
+func MeasurementBasisRotation(label byte) (Matrix2, error) {
+	switch label {
+	case 'X':
+		return GateYm90, nil
+	case 'Y':
+		return GateX90, nil
+	case 'Z', 'I':
+		return Identity, nil
+	}
+	return Identity, fmt.Errorf("quantum: no measurement basis for label %q", label)
+}
+
+// ExpectationFromCounts converts counts of joint measurement outcomes into
+// a Pauli-string expectation value: each shot contributes the product of
+// (+1 for bit 0, -1 for bit 1) over the qubits where the string is
+// non-identity. outcomes[i] is the bitmask of qubit results for shot i
+// with qubit q at bit q.
+func ExpectationFromCounts(labels []byte, outcomes []int) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, bits := range outcomes {
+		v := 1.0
+		for q := 0; q < len(labels); q++ {
+			if labels[q] == 'I' {
+				continue
+			}
+			if bits>>uint(q)&1 == 1 {
+				v = -v
+			}
+		}
+		sum += v
+	}
+	return sum / float64(len(outcomes))
+}

@@ -1,0 +1,224 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPauliStringsCount(t *testing.T) {
+	if got := len(PauliStrings(1)); got != 4 {
+		t.Fatalf("1-qubit strings = %d, want 4", got)
+	}
+	if got := len(PauliStrings(2)); got != 16 {
+		t.Fatalf("2-qubit strings = %d, want 16", got)
+	}
+}
+
+func TestEigenHermitianDiagonal(t *testing.T) {
+	m := newMat(3)
+	m[0][0], m[1][1], m[2][2] = 3, 1, 2
+	vals, _ := EigenHermitian(m)
+	sum := vals[0] + vals[1] + vals[2]
+	if math.Abs(sum-6) > 1e-9 {
+		t.Fatalf("eigenvalue sum = %v, want 6", sum)
+	}
+	found := map[int]bool{}
+	for _, v := range vals {
+		for _, want := range []float64{1, 2, 3} {
+			if math.Abs(v-want) < 1e-9 {
+				found[int(want)] = true
+			}
+		}
+	}
+	if len(found) != 3 {
+		t.Fatalf("eigenvalues %v do not match {1,2,3}", vals)
+	}
+}
+
+func TestEigenHermitianReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const dim = 4
+	// Random Hermitian matrix.
+	m := newMat(dim)
+	for i := 0; i < dim; i++ {
+		m[i][i] = complex(rng.NormFloat64(), 0)
+		for j := i + 1; j < dim; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			m[i][j] = v
+			m[j][i] = conj(v)
+		}
+	}
+	vals, vecs := EigenHermitian(m)
+	// Rebuild and compare: m = V diag(vals) V†.
+	for a := 0; a < dim; a++ {
+		for b := 0; b < dim; b++ {
+			var sum complex128
+			for k := 0; k < dim; k++ {
+				sum += complex(vals[k], 0) * vecs[a][k] * conj(vecs[b][k])
+			}
+			if cAbs(sum-m[a][b]) > 1e-8 {
+				t.Fatalf("reconstruction mismatch at (%d,%d): %v vs %v", a, b, sum, m[a][b])
+			}
+		}
+	}
+	// Eigenvectors orthonormal.
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			var ip complex128
+			for k := 0; k < dim; k++ {
+				ip += conj(vecs[k][i]) * vecs[k][j]
+			}
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cAbs(ip-want) > 1e-8 {
+				t.Fatalf("eigenvectors not orthonormal at (%d,%d): %v", i, j, ip)
+			}
+		}
+	}
+}
+
+func TestLinearInversionRoundTrip(t *testing.T) {
+	// Build a noisy Bell state on the density simulator, extract all
+	// Pauli expectations, invert, and compare matrices.
+	d := NewDensity(2)
+	d.Apply1(Hadamard, 0)
+	d.Apply1(Hadamard, 1)
+	d.ApplyCZ(0, 1)
+	d.Apply1(Hadamard, 1)
+	d.Depolarize2(0, 1, 0.1)
+
+	expect := map[string]float64{}
+	for _, p := range PauliStrings(2) {
+		expect[string(p)] = d.ExpectationPauli(p)
+	}
+	rho := LinearInversion(2, expect)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cAbs(rho[i][j]-d.Rho()[i][j]) > 1e-9 {
+				t.Fatalf("inversion mismatch at (%d,%d): %v vs %v", i, j, rho[i][j], d.Rho()[i][j])
+			}
+		}
+	}
+}
+
+func TestMLEProjectLeavesPhysicalStatesAlone(t *testing.T) {
+	d := NewDensity(2)
+	d.Apply1(GateX90, 0)
+	d.ApplyCZ(0, 1)
+	d.Depolarize1(0, 0.05)
+	rho := MLEProject(d.Rho())
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cAbs(rho[i][j]-d.Rho()[i][j]) > 1e-7 {
+				t.Fatalf("MLE moved a physical state at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMLEProjectFixesNegativeEigenvalues(t *testing.T) {
+	// An unphysical "density matrix" from noisy linear inversion.
+	mu := newMat(2)
+	mu[0][0] = complex(1.2, 0)
+	mu[1][1] = complex(-0.2, 0)
+	rho := MLEProject(mu)
+	vals, _ := EigenHermitian(rho)
+	var tr float64
+	for _, v := range vals {
+		if v < -1e-10 {
+			t.Fatalf("MLE output still has negative eigenvalue %v", v)
+		}
+		tr += v
+	}
+	if math.Abs(tr-1) > 1e-9 {
+		t.Fatalf("MLE output trace = %v, want 1", tr)
+	}
+	// Closest physical state to diag(1.2,-0.2) is diag(1,0).
+	if math.Abs(real(rho[0][0])-1) > 1e-9 {
+		t.Fatalf("rho[0][0] = %v, want 1", rho[0][0])
+	}
+}
+
+func TestMeasurementBasisRotations(t *testing.T) {
+	// Pre-rotation U for axis P must satisfy U† Z U = P.
+	for _, c := range []struct {
+		label byte
+		want  Matrix2
+	}{{'X', PauliX}, {'Y', PauliY}, {'Z', PauliZ}} {
+		u, err := MeasurementBasisRotation(c.label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := u.Adjoint().Mul(PauliZ).Mul(u)
+		if !got.ApproxEqual(c.want, tol) {
+			t.Errorf("basis %c: U†ZU = %v, want %v", c.label, got, c.want)
+		}
+	}
+	if _, err := MeasurementBasisRotation('Q'); err == nil {
+		t.Error("expected error for invalid basis label")
+	}
+}
+
+func TestExpectationFromCounts(t *testing.T) {
+	// Shots alternating 00 and 11: <ZZ> = +1, <ZI> = 0.
+	outcomes := []int{0b00, 0b11, 0b00, 0b11}
+	if got := ExpectationFromCounts([]byte("ZZ"), outcomes); math.Abs(got-1) > tol {
+		t.Fatalf("<ZZ> = %v, want 1", got)
+	}
+	if got := ExpectationFromCounts([]byte("ZI"), outcomes); math.Abs(got) > tol {
+		t.Fatalf("<ZI> = %v, want 0", got)
+	}
+	if got := ExpectationFromCounts([]byte("II"), outcomes); math.Abs(got-1) > tol {
+		t.Fatalf("<II> = %v, want 1", got)
+	}
+	if got := ExpectationFromCounts([]byte("ZZ"), nil); got != 0 {
+		t.Fatalf("empty outcomes: %v, want 0", got)
+	}
+}
+
+// Full pipeline: sample tomography of a noisy Bell state through
+// measurement pre-rotations and recover its fidelity.
+func TestTomographyPipelineOnBellState(t *testing.T) {
+	prepare := func() *Density {
+		d := NewDensity(2)
+		d.Apply1(Hadamard, 0)
+		d.Apply1(Hadamard, 1)
+		d.ApplyCZ(0, 1)
+		d.Apply1(Hadamard, 1)
+		d.Depolarize2(0, 1, 0.12)
+		return d
+	}
+	expect := map[string]float64{}
+	for _, p := range PauliStrings(2) {
+		if allIdentity(p) {
+			continue
+		}
+		d := prepare()
+		// Apply per-qubit basis pre-rotations, then read <Z...Z> on the
+		// non-identity positions.
+		zLabels := make([]byte, 2)
+		for q := 0; q < 2; q++ {
+			zLabels[q] = 'I'
+			if p[q] == 'I' {
+				continue
+			}
+			u, err := MeasurementBasisRotation(p[q])
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Apply1(u, q)
+			zLabels[q] = 'Z'
+		}
+		expect[string(p)] = d.ExpectationPauli(zLabels)
+	}
+	rho := MLEProject(LinearInversion(2, expect))
+	bell := []complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	f := FidelityPureRho(rho, bell)
+	want := 1 - 0.8*0.12
+	if math.Abs(f-want) > 1e-6 {
+		t.Fatalf("tomography fidelity = %v, want %v", f, want)
+	}
+}

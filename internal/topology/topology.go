@@ -1,0 +1,263 @@
+// Package topology models quantum chip topologies: the available qubits,
+// the allowed (directed) qubit pairs on which two-qubit gates can act, and
+// the feedline layout used for multiplexed readout.
+//
+// The topology abstraction follows Section 3.3 of the eQASM paper: a chip
+// is a directed graph whose vertices are physical qubit addresses and
+// whose edges are "allowed qubit pairs". In the directed edge (A, B),
+// qubit A is the source and qubit B the target of the pair; (A, B) and
+// (B, A) are distinct edges because a two-qubit operation may act
+// asymmetrically on its operands.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed allowed qubit pair. ID is the edge address used by
+// two-qubit target-register masks (SMIT).
+type Edge struct {
+	ID  int
+	Src int
+	Tgt int
+}
+
+// Topology describes a quantum chip: its qubits, allowed qubit pairs and
+// readout feedlines.
+type Topology struct {
+	Name      string
+	NumQubits int
+	// Edges indexed by edge ID; len(Edges) is the SMIT mask width.
+	Edges []Edge
+	// Feedlines[i] lists the physical addresses of the qubits coupled to
+	// feedline i. Qubits on the same feedline are measured by the same
+	// measurement device (frequency multiplexed).
+	Feedlines [][]int
+
+	bySrcTgt map[[2]int]int // (src,tgt) -> edge ID
+	byQubit  map[int][]int  // qubit -> edge IDs touching it
+	feedOf   map[int]int    // qubit -> feedline index
+}
+
+// New builds a topology and its lookup indices. It validates that edge IDs
+// are dense (0..len-1), that endpoints are in range, and that no directed
+// edge is duplicated.
+func New(name string, numQubits int, edges []Edge, feedlines [][]int) (*Topology, error) {
+	t := &Topology{
+		Name:      name,
+		NumQubits: numQubits,
+		Edges:     make([]Edge, len(edges)),
+		Feedlines: feedlines,
+		bySrcTgt:  make(map[[2]int]int, len(edges)),
+		byQubit:   make(map[int][]int),
+		feedOf:    make(map[int]int),
+	}
+	seen := make([]bool, len(edges))
+	for _, e := range edges {
+		if e.ID < 0 || e.ID >= len(edges) {
+			return nil, fmt.Errorf("topology %s: edge ID %d out of range [0,%d)", name, e.ID, len(edges))
+		}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("topology %s: duplicate edge ID %d", name, e.ID)
+		}
+		seen[e.ID] = true
+		if e.Src < 0 || e.Src >= numQubits || e.Tgt < 0 || e.Tgt >= numQubits {
+			return nil, fmt.Errorf("topology %s: edge %d endpoints (%d,%d) out of range", name, e.ID, e.Src, e.Tgt)
+		}
+		if e.Src == e.Tgt {
+			return nil, fmt.Errorf("topology %s: edge %d is a self loop on qubit %d", name, e.ID, e.Src)
+		}
+		if _, dup := t.bySrcTgt[[2]int{e.Src, e.Tgt}]; dup {
+			return nil, fmt.Errorf("topology %s: duplicate directed pair (%d,%d)", name, e.Src, e.Tgt)
+		}
+		t.Edges[e.ID] = e
+		t.bySrcTgt[[2]int{e.Src, e.Tgt}] = e.ID
+		t.byQubit[e.Src] = append(t.byQubit[e.Src], e.ID)
+		t.byQubit[e.Tgt] = append(t.byQubit[e.Tgt], e.ID)
+	}
+	for i, fl := range feedlines {
+		for _, q := range fl {
+			if q < 0 || q >= numQubits {
+				return nil, fmt.Errorf("topology %s: feedline %d references qubit %d out of range", name, i, q)
+			}
+			if prev, dup := t.feedOf[q]; dup {
+				return nil, fmt.Errorf("topology %s: qubit %d on both feedline %d and %d", name, q, prev, i)
+			}
+			t.feedOf[q] = i
+		}
+	}
+	for q := range t.byQubit {
+		sort.Ints(t.byQubit[q])
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for package-level canned topologies.
+func MustNew(name string, numQubits int, edges []Edge, feedlines [][]int) *Topology {
+	t, err := New(name, numQubits, edges, feedlines)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// EdgeID returns the edge address for the directed pair (src, tgt), or
+// ok=false if the pair is not allowed on this chip.
+func (t *Topology) EdgeID(src, tgt int) (id int, ok bool) {
+	id, ok = t.bySrcTgt[[2]int{src, tgt}]
+	return id, ok
+}
+
+// EdgesOf returns the IDs of all edges (either direction) touching qubit q.
+func (t *Topology) EdgesOf(q int) []int { return t.byQubit[q] }
+
+// Feedline returns the feedline index measuring qubit q, or -1 when the
+// qubit is not coupled to any feedline (and therefore cannot be measured).
+func (t *Topology) Feedline(q int) int {
+	if f, ok := t.feedOf[q]; ok {
+		return f
+	}
+	return -1
+}
+
+// Neighbors returns the distinct qubits adjacent to q, in ascending order.
+func (t *Topology) Neighbors(q int) []int {
+	set := map[int]bool{}
+	for _, id := range t.byQubit[q] {
+		e := t.Edges[id]
+		if e.Src == q {
+			set[e.Tgt] = true
+		} else {
+			set[e.Src] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ValidatePairMask reports an error when the edge mask selects two edges
+// that share a qubit: the paper (Section 4.3) requires the assembler to
+// reject such SMIT values because both micro-operations would address the
+// same qubit at the same timing point.
+func (t *Topology) ValidatePairMask(mask uint64) error {
+	used := make(map[int]int) // qubit -> first edge that claimed it
+	for id := range t.Edges {
+		if mask&(1<<uint(id)) == 0 {
+			continue
+		}
+		e := t.Edges[id]
+		for _, q := range []int{e.Src, e.Tgt} {
+			if first, clash := used[q]; clash {
+				return fmt.Errorf("pair mask %#x: edges %d and %d both use qubit %d", mask, first, id, q)
+			}
+			used[q] = id
+		}
+	}
+	return nil
+}
+
+// MaskBits returns the number of bits needed for a two-qubit pair mask.
+func (t *Topology) MaskBits() int { return len(t.Edges) }
+
+// Surface7 returns the seven-qubit superconducting chip of Fig. 6: a
+// distance-2 surface code fragment with 8 physical couplings (16 directed
+// edges). Edge k and edge k+8 are the two directions of the same coupling.
+// Per Section 4.3, qubit 0 touches edges 0, 1, 8 and 9, with edges 0 and 9
+// targeting qubit 0 (edge 0 = (2,0)) and edges 1 and 8 sourcing it.
+// Feedline 0 measures qubits {0,2,3,5,6}; feedline 1 measures {1,4}.
+func Surface7() *Topology {
+	// Couplings (by low edge ID k, reverse is k+8):
+	//  0: 2->0   1: 0->3   2: 2->5   3: 5->3
+	//  4: 3->1   5: 3->6   6: 4->1   7: 6->4
+	edges := []Edge{
+		{0, 2, 0}, {1, 0, 3}, {2, 2, 5}, {3, 5, 3},
+		{4, 3, 1}, {5, 3, 6}, {6, 4, 1}, {7, 6, 4},
+		{8, 0, 2}, {9, 3, 0}, {10, 5, 2}, {11, 3, 5},
+		{12, 1, 3}, {13, 6, 3}, {14, 1, 4}, {15, 4, 6},
+	}
+	return MustNew("surface7", 7, edges, [][]int{{0, 2, 3, 5, 6}, {1, 4}})
+}
+
+// TwoQubit returns the two-qubit validation chip of Section 5: two
+// interconnected transmons coupled to a single feedline, renamed qubit 0
+// and qubit 2 so that the seven-qubit instantiation's register formats and
+// configuration files apply unchanged.
+func TwoQubit() *Topology {
+	edges := []Edge{{0, 2, 0}, {1, 0, 2}}
+	return MustNew("twoqubit", 3, edges, [][]int{{0, 2}})
+}
+
+// IonTrap5 returns a fully connected five-qubit trapped-ion processor
+// (Section 3.3.2): every ordered pair of distinct qubits is an allowed
+// pair, giving 20 directed edges.
+func IonTrap5() *Topology {
+	var edges []Edge
+	id := 0
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			edges = append(edges, Edge{id, a, b})
+			id++
+		}
+	}
+	return MustNew("iontrap5", 5, edges, [][]int{{0, 1, 2, 3, 4}})
+}
+
+// IBMQX2 returns the IBM QX2 five-qubit chip used in Section 3.3.2, which
+// has six allowed (directed) qubit pairs: CNOTs 1->0, 2->0, 2->1, 3->2,
+// 3->4, 4->2.
+func IBMQX2() *Topology {
+	edges := []Edge{
+		{0, 1, 0}, {1, 2, 0}, {2, 2, 1}, {3, 3, 2}, {4, 3, 4}, {5, 4, 2},
+	}
+	return MustNew("ibmqx2", 5, edges, [][]int{{0, 1, 2, 3, 4}})
+}
+
+// Surface17 returns a 17-qubit distance-3 rotated surface-code processor
+// — the paper's future-work target of instantiating eQASM for "a
+// different quantum chip topology". Data qubits 0-8 form a 3x3 grid
+// (address 3*row+col); ancillas 9-16 measure the stabilizers:
+//
+//	X ancillas: 9 {0,1,3,4}, 10 {4,5,7,8}, 11 {1,2}, 12 {6,7}
+//	Z ancillas: 13 {1,2,4,5}, 14 {3,4,6,7}, 15 {0,3}, 16 {5,8}
+//
+// for 24 couplings = 48 directed edges (edge k+24 reverses edge k, with
+// each ancilla the source of the forward direction). Nine qubits couple
+// to each of the two feedlines, the UHFQC multiplexing limit quoted in
+// Section 4.4.
+func Surface17() *Topology {
+	stabilizers := []struct {
+		ancilla int
+		data    []int
+	}{
+		{9, []int{0, 1, 3, 4}},
+		{10, []int{4, 5, 7, 8}},
+		{11, []int{1, 2}},
+		{12, []int{6, 7}},
+		{13, []int{1, 2, 4, 5}},
+		{14, []int{3, 4, 6, 7}},
+		{15, []int{0, 3}},
+		{16, []int{5, 8}},
+	}
+	var edges []Edge
+	id := 0
+	for _, s := range stabilizers {
+		for _, d := range s.data {
+			edges = append(edges, Edge{id, s.ancilla, d})
+			id++
+		}
+	}
+	n := len(edges)
+	for k := 0; k < n; k++ {
+		edges = append(edges, Edge{n + k, edges[k].Tgt, edges[k].Src})
+	}
+	return MustNew("surface17", 17, edges,
+		[][]int{{0, 1, 2, 3, 9, 11, 13, 15, 16}, {4, 5, 6, 7, 8, 10, 12, 14}})
+}

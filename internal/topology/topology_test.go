@@ -1,0 +1,237 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSurface7Shape(t *testing.T) {
+	s := Surface7()
+	if s.NumQubits != 7 {
+		t.Fatalf("NumQubits = %d, want 7", s.NumQubits)
+	}
+	if len(s.Edges) != 16 {
+		t.Fatalf("edges = %d, want 16 directed edges", len(s.Edges))
+	}
+	if s.MaskBits() != 16 {
+		t.Fatalf("mask bits = %d, want 16", s.MaskBits())
+	}
+}
+
+// Section 3.3.1: "allowed qubit pair 0 has qubit 2 as the source qubit
+// and qubit 0 as the target qubit".
+func TestSurface7Edge0(t *testing.T) {
+	s := Surface7()
+	e := s.Edges[0]
+	if e.Src != 2 || e.Tgt != 0 {
+		t.Fatalf("edge 0 = (%d,%d), want (2,0)", e.Src, e.Tgt)
+	}
+}
+
+// Section 4.3: qubit 0 is connected to edges 0, 1, 8, and 9; edges 0 and 9
+// have qubit 0 as target, edges 1 and 8 have it as source.
+func TestSurface7Qubit0Edges(t *testing.T) {
+	s := Surface7()
+	got := s.EdgesOf(0)
+	want := []int{0, 1, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("EdgesOf(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EdgesOf(0) = %v, want %v", got, want)
+		}
+	}
+	for _, id := range []int{0, 9} {
+		if s.Edges[id].Tgt != 0 {
+			t.Errorf("edge %d should target qubit 0, got (%d,%d)", id, s.Edges[id].Src, s.Edges[id].Tgt)
+		}
+	}
+	for _, id := range []int{1, 8} {
+		if s.Edges[id].Src != 0 {
+			t.Errorf("edge %d should source qubit 0, got (%d,%d)", id, s.Edges[id].Src, s.Edges[id].Tgt)
+		}
+	}
+}
+
+// Every coupling appears in both directions, with edge k+8 reversing edge k.
+func TestSurface7EdgePairing(t *testing.T) {
+	s := Surface7()
+	for k := 0; k < 8; k++ {
+		fwd, rev := s.Edges[k], s.Edges[k+8]
+		if fwd.Src != rev.Tgt || fwd.Tgt != rev.Src {
+			t.Errorf("edge %d=(%d,%d) and %d=(%d,%d) are not reverses",
+				k, fwd.Src, fwd.Tgt, k+8, rev.Src, rev.Tgt)
+		}
+	}
+}
+
+// Fig. 6: qubits 0,2,3,5,6 on feedline 0; qubits 1,4 on feedline 1.
+func TestSurface7Feedlines(t *testing.T) {
+	s := Surface7()
+	for _, q := range []int{0, 2, 3, 5, 6} {
+		if f := s.Feedline(q); f != 0 {
+			t.Errorf("qubit %d on feedline %d, want 0", q, f)
+		}
+	}
+	for _, q := range []int{1, 4} {
+		if f := s.Feedline(q); f != 1 {
+			t.Errorf("qubit %d on feedline %d, want 1", q, f)
+		}
+	}
+}
+
+func TestEdgeIDLookup(t *testing.T) {
+	s := Surface7()
+	id, ok := s.EdgeID(2, 0)
+	if !ok || id != 0 {
+		t.Fatalf("EdgeID(2,0) = %d,%v want 0,true", id, ok)
+	}
+	if _, ok := s.EdgeID(0, 1); ok {
+		t.Fatal("EdgeID(0,1) should not exist (qubits not coupled)")
+	}
+	if _, ok := s.EdgeID(0, 0); ok {
+		t.Fatal("self pair must not exist")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := Surface7()
+	got := s.Neighbors(0)
+	want := []int{2, 3}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+	// Qubit 3 is the middle ancilla with four neighbours.
+	if n := s.Neighbors(3); len(n) != 4 {
+		t.Fatalf("Neighbors(3) = %v, want 4 neighbours", n)
+	}
+}
+
+func TestValidatePairMask(t *testing.T) {
+	s := Surface7()
+	// Edges 0=(2,0) and 6=(4,1) share no qubit: valid.
+	if err := s.ValidatePairMask(1<<0 | 1<<6); err != nil {
+		t.Fatalf("disjoint mask rejected: %v", err)
+	}
+	// Edges 0=(2,0) and 1=(0,3) share qubit 0: invalid.
+	if err := s.ValidatePairMask(1<<0 | 1<<1); err == nil {
+		t.Fatal("mask with shared qubit accepted")
+	}
+	// Edge 0 and its reverse 8 share both qubits: invalid.
+	if err := s.ValidatePairMask(1<<0 | 1<<8); err == nil {
+		t.Fatal("mask selecting both directions accepted")
+	}
+	if err := s.ValidatePairMask(0); err != nil {
+		t.Fatalf("empty mask rejected: %v", err)
+	}
+}
+
+// Property: any single-edge mask is always valid.
+func TestSingleEdgeMaskAlwaysValid(t *testing.T) {
+	s := Surface7()
+	f := func(e uint8) bool {
+		id := int(e) % 16
+		return s.ValidatePairMask(1<<uint(id)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoQubitChip(t *testing.T) {
+	c := TwoQubit()
+	if c.NumQubits != 3 {
+		t.Fatalf("two-qubit chip NumQubits = %d, want 3 (addresses 0 and 2)", c.NumQubits)
+	}
+	if _, ok := c.EdgeID(2, 0); !ok {
+		t.Fatal("pair (2,0) must exist")
+	}
+	if _, ok := c.EdgeID(0, 2); !ok {
+		t.Fatal("pair (0,2) must exist")
+	}
+	if f := c.Feedline(0); f != 0 {
+		t.Fatalf("qubit 0 feedline = %d", f)
+	}
+	if f := c.Feedline(1); f != -1 {
+		t.Fatalf("absent qubit 1 feedline = %d, want -1", f)
+	}
+}
+
+// Section 3.3.2: fully connected 5-qubit ion trap has 20 directed pairs;
+// IBM QX2 has 6.
+func TestEncodingDiscussionTopologies(t *testing.T) {
+	if got := len(IonTrap5().Edges); got != 20 {
+		t.Fatalf("ion trap edges = %d, want 20", got)
+	}
+	if got := len(IBMQX2().Edges); got != 6 {
+		t.Fatalf("IBM QX2 edges = %d, want 6", got)
+	}
+}
+
+func TestSurface17Shape(t *testing.T) {
+	s := Surface17()
+	if s.NumQubits != 17 {
+		t.Fatalf("NumQubits = %d", s.NumQubits)
+	}
+	if len(s.Edges) != 48 {
+		t.Fatalf("edges = %d, want 48 (24 couplings, both directions)", len(s.Edges))
+	}
+	// Edge k+24 reverses edge k.
+	for k := 0; k < 24; k++ {
+		f, r := s.Edges[k], s.Edges[k+24]
+		if f.Src != r.Tgt || f.Tgt != r.Src {
+			t.Fatalf("edge %d and %d are not reverses", k, k+24)
+		}
+	}
+	// Every data qubit (0-8) has at least two ancilla neighbours; the
+	// centre data qubit 4 touches four stabilizers.
+	if n := s.Neighbors(4); len(n) != 4 {
+		t.Fatalf("centre qubit neighbours = %v", n)
+	}
+	// Weight-2 boundary ancillas.
+	for _, anc := range []int{11, 12, 15, 16} {
+		if n := s.Neighbors(anc); len(n) != 2 {
+			t.Fatalf("boundary ancilla %d neighbours = %v", anc, n)
+		}
+	}
+	// Weight-4 bulk ancillas.
+	for _, anc := range []int{9, 10, 13, 14} {
+		if n := s.Neighbors(anc); len(n) != 4 {
+			t.Fatalf("bulk ancilla %d neighbours = %v", anc, n)
+		}
+	}
+	// Nine or fewer qubits per feedline (the UHFQC multiplexing limit).
+	for i, fl := range s.Feedlines {
+		if len(fl) > 9 {
+			t.Fatalf("feedline %d carries %d qubits, limit is 9", i, len(fl))
+		}
+	}
+	// Every qubit is measurable.
+	for q := 0; q < 17; q++ {
+		if s.Feedline(q) < 0 {
+			t.Fatalf("qubit %d has no feedline", q)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []Edge
+		feeds [][]int
+	}{
+		{"dup edge ID", []Edge{{0, 0, 1}, {0, 1, 0}}, nil},
+		{"out of range ID", []Edge{{5, 0, 1}}, nil},
+		{"bad endpoint", []Edge{{0, 0, 9}}, nil},
+		{"self loop", []Edge{{0, 1, 1}}, nil},
+		{"dup directed pair", []Edge{{0, 0, 1}, {1, 0, 1}}, nil},
+		{"bad feedline qubit", []Edge{{0, 0, 1}}, [][]int{{7}}},
+		{"qubit on two feedlines", []Edge{{0, 0, 1}}, [][]int{{0}, {0}}},
+	}
+	for _, c := range cases {
+		if _, err := New("bad", 3, c.edges, c.feeds); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

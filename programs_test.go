@@ -1,0 +1,154 @@
+// Golden-program tests: every .eqasm file shipped under
+// testdata/programs assembles, encodes, disassembles back to the same
+// binary, and executes with its documented outcome.
+package eqasm_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/core"
+	"eqasm/internal/microarch"
+)
+
+func loadProgramFile(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "programs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// All shipped programs assemble and round-trip through the binary.
+func TestShippedProgramsRoundTrip(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("expected shipped programs, found %d", len(entries))
+	}
+	sys, err := core.NewSystem(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := asm.NewDisassembler(sys.OpConfig, sys.Topo)
+	for _, e := range entries {
+		t.Run(e.Name(), func(t *testing.T) {
+			src := loadProgramFile(t, e.Name())
+			words, err := sys.Binary(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			text, err := d.Disassemble(words)
+			if err != nil {
+				t.Fatalf("disassemble: %v", err)
+			}
+			words2, err := sys.Binary(text)
+			if err != nil {
+				t.Fatalf("reassemble: %v", err)
+			}
+			for i := range words {
+				if words[i] != words2[i] {
+					t.Fatalf("binary fixpoint broken at word %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBellProgram(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(loadProgramFile(t, "bell.eqasm")); err != nil {
+		t.Fatal(err)
+	}
+	agree, ones := 0, 0
+	const shots = 300
+	err = sys.RunShots(shots, func(_ int, m *microarch.Machine) {
+		bits := map[int]int{}
+		for _, r := range m.Measurements() {
+			bits[r.Qubit] = r.Result
+		}
+		if bits[0] == bits[2] {
+			agree++
+		}
+		ones += bits[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != shots {
+		t.Fatalf("Bell correlations broken: %d/%d agree", agree, shots)
+	}
+	if p := float64(ones) / shots; math.Abs(p-0.5) > 0.1 {
+		t.Fatalf("Bell marginal = %v, want ~0.5", p)
+	}
+}
+
+func TestActiveResetProgram(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(loadProgramFile(t, "active_reset.eqasm")); err != nil {
+		t.Fatal(err)
+	}
+	err = sys.RunShots(100, func(shot int, m *microarch.Machine) {
+		recs := m.Measurements()
+		if len(recs) != 2 || recs[1].Result != 0 {
+			t.Fatalf("shot %d: reset failed (%+v)", shot, recs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCFCProgram(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Seed: 2, RecordDeviceOps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunAssembly(loadProgramFile(t, "cfc.eqasm")); err != nil {
+		t.Fatal(err)
+	}
+	// Qubit 2 was prepared |1>: the EQ path must fire, applying Y to
+	// qubit 0, so the final measurement of qubit 0 reads 1.
+	recs := sys.Machine.Measurements()
+	if len(recs) != 2 {
+		t.Fatalf("measurements: %+v", recs)
+	}
+	if recs[1].Qubit != 0 || recs[1].Result != 1 {
+		t.Fatalf("CFC path wrong: %+v", recs)
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunAssembly(loadProgramFile(t, "loop.eqasm")); err != nil {
+		t.Fatal(err)
+	}
+	// Two X gates return the qubit to |0>.
+	recs := sys.Machine.Measurements()
+	if len(recs) != 1 || recs[0].Result != 0 {
+		t.Fatalf("double flip failed: %+v", recs)
+	}
+	// The loop count is published through the data memory.
+	v, err := sys.Machine.ReadWord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("loop count = %d, want 2", v)
+	}
+}
