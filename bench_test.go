@@ -15,6 +15,7 @@
 package eqasm_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -22,12 +23,14 @@ import (
 	"eqasm/internal/asm"
 	"eqasm/internal/benchmarks"
 	"eqasm/internal/compiler"
+	"eqasm/internal/core"
 	"eqasm/internal/dse"
 	"eqasm/internal/experiments"
 	"eqasm/internal/isa"
 	"eqasm/internal/microarch"
 	"eqasm/internal/quantum"
 	"eqasm/internal/qumis"
+	"eqasm/internal/service"
 	"eqasm/internal/topology"
 )
 
@@ -438,4 +441,102 @@ func BenchmarkTomographyMLE(b *testing.B) {
 		rho := quantum.LinearInversion(2, expect)
 		quantum.MLEProject(rho)
 	}
+}
+
+// --- Serving layer: the concurrent execution service ---
+
+// BenchmarkServiceShotsPerSec measures end-to-end shot throughput of the
+// Bell program under three regimes: the pre-service status quo (each
+// request assembles and builds its own machine, then runs shots
+// serially, as cmd/eqasm-run does), a warm single machine, and the
+// service fanning shot batches over a worker pool with its program
+// cache and machine pool. The service rows scale with cores: on a
+// multi-core box they beat both serial baselines, on a single-CPU
+// cgroup they track the warm baseline to within scheduling overhead.
+func BenchmarkServiceShotsPerSec(b *testing.B) {
+	const shots = 512
+	src := service.SmokePrograms()["bell"]
+
+	b.Run("serial_coldstart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.NewSystem(core.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Load(src); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.RunShots(shots, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*shots/b.Elapsed().Seconds(), "shots/s")
+	})
+	b.Run("serial_1machine", func(b *testing.B) {
+		sys, err := core.NewSystem(core.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.RunShots(shots, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*shots/b.Elapsed().Seconds(), "shots/s")
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("service_%dworkers", workers), func(b *testing.B) {
+			svc, err := service.New(service.Config{
+				Workers:    workers,
+				QueueDepth: 65536,
+				BatchShots: 64,
+				System:     core.Options{Seed: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := svc.Run(context.Background(), service.JobSpec{Source: src, Shots: shots})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Shots != shots {
+					b.Fatalf("ran %d shots", res.Shots)
+				}
+			}
+			b.ReportMetric(float64(b.N)*shots/b.Elapsed().Seconds(), "shots/s")
+		})
+	}
+}
+
+// BenchmarkServiceSubmitLatency measures the submit-to-result round trip
+// of a minimal single-shot job once its program is cache-resident.
+func BenchmarkServiceSubmitLatency(b *testing.B) {
+	svc, err := service.New(service.Config{
+		Workers:    2,
+		QueueDepth: 65536,
+		System:     core.Options{Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	src := service.SmokePrograms()["flip"]
+	// Warm the program cache so the loop measures queue + dispatch.
+	if _, err := svc.Run(context.Background(), service.JobSpec{Source: src}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Run(context.Background(), service.JobSpec{Source: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "us/job")
 }

@@ -1,0 +1,118 @@
+// Command eqasm-serve exposes the eQASM execution service over HTTP: the
+// classical host of Fig. 1 as a network service. Jobs carry eQASM source
+// or a circuit to compile; the service assembles once (content-hash
+// cache), fans shots over a worker pool of simulated QuMA_v2 machines,
+// and aggregates measurement histograms.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a job ({"source": ..., "shots": N, "wait": true})
+//	GET    /v1/jobs/{id} job status and, once finished, its result
+//	DELETE /v1/jobs/{id} cancel a job
+//	GET    /v1/stats     service counters (queue depth, cache hits, shots/sec inputs)
+//	GET    /healthz      liveness probe
+//
+// Usage:
+//
+//	eqasm-serve [-addr :8080] [-topo twoqubit] [-workers N] [-noise] [-seed 1]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eqasm/internal/core"
+	"eqasm/internal/experiments"
+	"eqasm/internal/service"
+	"eqasm/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	topoName := flag.String("topo", "twoqubit", "chip topology: twoqubit, surface7, surface17, iontrap5")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "max queued shot batches (0 = default)")
+	cacheSize := flag.Int("cache", 0, "assembled-program cache entries (0 = default)")
+	batchShots := flag.Int("batch", 0, "shots per worker batch (0 = default)")
+	noisy := flag.Bool("noise", false, "use the calibrated noise model instead of an ideal chip")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	topo, err := topoByName(*topoName)
+	if err != nil {
+		log.Fatalf("eqasm-serve: %v", err)
+	}
+	opts := core.Options{Topology: topo, Seed: *seed}
+	if *noisy {
+		opts.Noise = experiments.CalibratedNoise()
+	}
+	svc, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		BatchShots: *batchShots,
+		System:     opts,
+	})
+	if err != nil {
+		log.Fatalf("eqasm-serve: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(svc).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: "wait": true responses legitimately span a
+		// job's whole run.
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("eqasm-serve: listening on %s (topology %s, %d workers)",
+		*addr, topo.Name, svc.Stats().Workers)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("eqasm-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the job
+	// queue before exiting.
+	log.Print("eqasm-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("eqasm-serve: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("eqasm-serve: drain incomplete (%v), cancelling remaining jobs", err)
+		svc.Close()
+	}
+	log.Print("eqasm-serve: bye")
+}
+
+func topoByName(name string) (*topology.Topology, error) {
+	switch name {
+	case "twoqubit":
+		return topology.TwoQubit(), nil
+	case "surface7":
+		return topology.Surface7(), nil
+	case "surface17":
+		return topology.Surface17(), nil
+	case "iontrap5":
+		return topology.IonTrap5(), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

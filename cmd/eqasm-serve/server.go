@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"eqasm/internal/compiler"
+	"eqasm/internal/service"
+)
+
+// server is the HTTP/JSON front end over a service.Service.
+type server struct {
+	svc   *service.Service
+	start time.Time
+}
+
+func newServer(svc *service.Service) *server {
+	return &server{svc: svc, start: time.Now()}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// jobRequest is the POST /v1/jobs payload. Exactly one of source and
+// circuit must be set.
+type jobRequest struct {
+	// Source is eQASM assembly text.
+	Source string `json:"source,omitempty"`
+	// Circuit is a hardware-independent circuit to compile.
+	Circuit *circuitJSON `json:"circuit,omitempty"`
+	// Shots is the repetition count (default 1).
+	Shots int `json:"shots,omitempty"`
+	// Priority is "low", "normal" (default) or "high".
+	Priority string `json:"priority,omitempty"`
+	// Seed, when nonzero, fixes the job's random streams.
+	Seed int64 `json:"seed,omitempty"`
+	// Wait makes the request synchronous: the response carries the
+	// result instead of a queued-job ticket.
+	Wait bool `json:"wait,omitempty"`
+}
+
+type circuitJSON struct {
+	Name      string     `json:"name,omitempty"`
+	NumQubits int        `json:"num_qubits"`
+	Gates     []gateJSON `json:"gates"`
+}
+
+type gateJSON struct {
+	Name           string `json:"name"`
+	Qubits         []int  `json:"qubits"`
+	DurationCycles int    `json:"duration_cycles,omitempty"`
+	Measure        bool   `json:"measure,omitempty"`
+}
+
+func (c *circuitJSON) toCircuit() *compiler.Circuit {
+	out := &compiler.Circuit{Name: c.Name, NumQubits: c.NumQubits}
+	for _, g := range c.Gates {
+		out.Gates = append(out.Gates, compiler.Gate{
+			Name:           g.Name,
+			Qubits:         g.Qubits,
+			DurationCycles: g.DurationCycles,
+			Measure:        g.Measure,
+		})
+	}
+	return out
+}
+
+// jobResponse describes a job in every GET/POST response.
+type jobResponse struct {
+	ID       string          `json:"id"`
+	Status   service.State   `json:"status"`
+	Priority string          `json:"priority"`
+	Result   *service.Result `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+func describeJob(job *service.Job) jobResponse {
+	resp := jobResponse{
+		ID:       job.ID,
+		Status:   job.Status(),
+		Priority: job.Priority().String(),
+	}
+	if resp.Status.Terminal() {
+		res, err := job.Result()
+		resp.Result = res
+		if err != nil {
+			resp.Error = err.Error()
+		}
+	}
+	return resp
+}
+
+// maxRequestBytes bounds a job submission body (programs are text; 8 MiB
+// is orders of magnitude above any real payload).
+const maxRequestBytes = 8 << 20
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	prio, err := service.ParsePriority(req.Priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := service.JobSpec{
+		Source:   req.Source,
+		Shots:    req.Shots,
+		Priority: prio,
+		Seed:     req.Seed,
+	}
+	if req.Circuit != nil {
+		spec.Circuit = req.Circuit.toCircuit()
+	}
+	// A waiting client that disconnects cancels its job; an async job
+	// must outlive the request and is cancelled via DELETE instead.
+	ctx := context.Background()
+	if req.Wait {
+		ctx = r.Context()
+	}
+	job, err := s.svc.Submit(ctx, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Wait {
+		if _, err := job.Wait(r.Context()); err != nil && job.Status() == service.StateQueued {
+			// The client went away while the job was still queued.
+			httpError(w, http.StatusRequestTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, describeJob(job))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, describeJob(job))
+}
+
+func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, describeJob(job))
+}
+
+func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, describeJob(job))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type statsResponse struct {
+		service.Stats
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:         s.svc.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("eqasm-serve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eqasm/internal/core"
+	"eqasm/internal/service"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(service.Config{
+		Workers:    2,
+		BatchShots: 16,
+		System:     core.Options{Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, out
+}
+
+func field[T any](t *testing.T, m map[string]json.RawMessage, key string) T {
+	t.Helper()
+	var v T
+	raw, ok := m[key]
+	if !ok {
+		t.Fatalf("response missing %q: %v", key, m)
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("field %q: %v", key, err)
+	}
+	return v
+}
+
+// A synchronous submit returns the aggregated Bell histogram.
+func TestSubmitWait(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": service.SmokePrograms()["bell"],
+		"shots":  100,
+		"wait":   true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, body)
+	}
+	if st := field[string](t, body, "status"); st != "completed" {
+		t.Fatalf("status field = %q", st)
+	}
+	result := field[map[string]json.RawMessage](t, body, "result")
+	var hist map[string]int
+	if err := json.Unmarshal(result["histogram"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for key, n := range hist {
+		if key != "00" && key != "11" {
+			t.Fatalf("uncorrelated outcome %q", key)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("histogram sums to %d", total)
+	}
+}
+
+// An async submit returns 202 and the job becomes queryable until done.
+func TestSubmitPoll(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": service.SmokePrograms()["flip"],
+		"shots":  20,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	id := field[string](t, body, "id")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr struct {
+			Status string          `json:"status"`
+			Result *service.Result `json:"result"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&jr)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == "completed" {
+			if jr.Result == nil || jr.Result.Shots != 20 {
+				t.Fatalf("result = %+v", jr.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Circuits submit through the same endpoint.
+func TestSubmitCircuit(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"circuit": map[string]any{
+			"num_qubits": 3,
+			"gates": []map[string]any{
+				{"name": "X", "qubits": []int{0}},
+				{"name": "MEASZ", "qubits": []int{0}, "measure": true},
+			},
+		},
+		"shots": 10,
+		"wait":  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, body)
+	}
+	result := field[map[string]json.RawMessage](t, body, "result")
+	var hist map[string]int
+	if err := json.Unmarshal(result["histogram"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist["1"] != 10 {
+		t.Fatalf("X|0> histogram = %v, want all \"1\"", hist)
+	}
+}
+
+// Bad payloads are 400s, unknown jobs 404s, and stats/healthz serve.
+func TestErrorPathsAndStats(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"shots": 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty spec: status = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": "NOTANINSTRUCTION", "wait": true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("assembly error: status = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": "STOP", "priority": "urgent",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority: status = %d", resp.StatusCode)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status = %d", r.StatusCode)
+	}
+
+	// One real job so the counters move.
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": service.SmokePrograms()["flip"], "shots": 5, "wait": true,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job: status = %d", resp.StatusCode)
+	}
+
+	r, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Workers       int   `json:"workers"`
+		JobsCompleted int64 `json:"jobs_completed"`
+		ShotsExecuted int64 `json:"shots_executed"`
+	}
+	err = json.NewDecoder(r.Body).Decode(&stats)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 2 || stats.JobsCompleted != 1 || stats.ShotsExecuted != 5 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	r, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status = %d", r.StatusCode)
+	}
+}
+
+// DELETE cancels a queued job.
+func TestCancelJob(t *testing.T) {
+	svc, err := service.New(service.Config{
+		Workers:    1,
+		QueueDepth: 100000,
+		BatchShots: 8,
+		System:     core.Options{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc).handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": service.SmokePrograms()["bell"],
+		"shots":  500000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	id := field[string](t, body, "id")
+
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status = %d", r.StatusCode)
+	}
+	job, ok := svc.Job(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled job never finished")
+	}
+	if job.Status() != service.StateCancelled {
+		t.Fatalf("state = %s", job.Status())
+	}
+}

@@ -7,9 +7,18 @@
 // design-space exploration, and the full Section 5 experiment suite on a
 // simulated transmon chip.
 //
-// The implementation lives under internal/; see README.md for the map,
-// DESIGN.md for the system inventory and per-experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
-// directory regenerates every table and figure of the paper's
-// evaluation.
+// On top of the paper's stack sits a serving layer, internal/service:
+// a concurrent job-execution engine that assembles each submitted
+// program once (content-hash cache), fans a job's shots out as batches
+// over a bounded pool of workers with pooled, reseedable QuMA_v2
+// machines, and aggregates measurement histograms. cmd/eqasm-serve
+// exposes it over HTTP (POST /v1/jobs, GET /v1/jobs/{id}, GET
+// /v1/stats, GET /healthz) with priorities, cancellation and graceful
+// shutdown.
+//
+// The implementation lives under internal/; see README.md for the
+// repository map, the service architecture and the HTTP API, and the
+// command-line tools under cmd/. bench_test.go in this directory
+// regenerates every table and figure of the paper's evaluation and
+// benchmarks the serving layer's throughput and submit latency.
 package eqasm

@@ -1,0 +1,3 @@
+module eqasm
+
+go 1.24

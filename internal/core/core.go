@@ -143,6 +143,10 @@ func (s *System) RunShots(shots int, collect func(shot int, m *microarch.Machine
 	return nil
 }
 
+// SeedStride separates the random streams of sibling executions: worker
+// w (or service batch w) runs at base seed + w*SeedStride.
+const SeedStride = 1_000_003
+
 // ParallelShots distributes repeated executions of an assembly program
 // over worker goroutines, each with its own machine (machines are not
 // concurrency safe; the chips are independent anyway). Workers derive
@@ -167,7 +171,7 @@ func ParallelShots(opts Options, src string, shots, workers int,
 		go func(w int) {
 			defer wg.Done()
 			wOpts := opts
-			wOpts.Seed = opts.Seed + int64(w)*1_000_003
+			wOpts.Seed = opts.Seed + int64(w)*SeedStride
 			sys, err := NewSystem(wOpts)
 			if err == nil {
 				err = sys.Load(src)
@@ -206,6 +210,11 @@ func ParallelShots(opts Options, src string, shots, workers int,
 	wg.Wait()
 	return firstErr
 }
+
+// Reseed restarts the machine's random stream (backend permitting): the
+// next Reset+Run sequence then reproduces a system freshly built with
+// this seed. Machine pools use it to recycle simulator allocations.
+func (s *System) Reseed(seed int64) bool { return s.Machine.Reseed(seed) }
 
 // MeasuredBits returns the last run's measurement results as a bitmask
 // keyed by qubit (the most recent result per qubit) plus the full record.

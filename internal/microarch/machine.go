@@ -308,6 +308,19 @@ func (m *Machine) WriteWord(addr int, v uint32) error {
 // state probabilities from it).
 func (m *Machine) Backend() quantum.Backend { return m.backend }
 
+// Reseed restarts the chip's random stream when the backend supports it
+// (the shipped simulators do; custom backends may not), reporting
+// success. Reseed followed by Reset reproduces a machine freshly built
+// at the given seed, which is how machine pools reuse simulator
+// allocations across jobs.
+func (m *Machine) Reseed(seed int64) bool {
+	if r, ok := m.backend.(interface{ Reseed(int64) }); ok {
+		r.Reseed(seed)
+		return true
+	}
+	return false
+}
+
 // ControlStore exposes the microcode unit's Q control store.
 func (m *Machine) ControlStore() *ControlStore { return m.cstore }
 

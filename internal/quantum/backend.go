@@ -103,6 +103,15 @@ func (b *SVBackend) Measure(q int, durNs float64) int {
 // Prob1 implements Backend.
 func (b *SVBackend) Prob1(q int) float64 { return b.State.Prob1(q) }
 
+// Reseed restarts the backend's random stream as if it had been built
+// with NewSVBackend(n, noise, seed). Together with Reset this returns
+// the simulator to its power-on state, letting machine pools reuse
+// allocations across jobs without losing seeded reproducibility.
+func (b *SVBackend) Reseed(seed int64) {
+	b.rng = rand.New(rand.NewSource(seed))
+	b.State.SetRNG(b.rng)
+}
+
 // DMBackend implements Backend over the exact density-matrix simulator.
 // Measurements still sample an outcome (the microarchitecture needs a
 // definite bit for feedback), collapsing rho selectively, but Prob1 and
@@ -124,6 +133,10 @@ func NewDMBackend(n int, noise NoiseModel, seed int64) *DMBackend {
 
 // NumQubits implements Backend.
 func (b *DMBackend) NumQubits() int { return b.Density.NumQubits() }
+
+// Reseed restarts the measurement-sampling stream as if the backend had
+// been built with NewDMBackend(n, noise, seed) (see SVBackend.Reseed).
+func (b *DMBackend) Reseed(seed int64) { b.rng = rand.New(rand.NewSource(seed)) }
 
 // Reset implements Backend.
 func (b *DMBackend) Reset() { b.Density.Reset() }

@@ -34,6 +34,10 @@ func NewState(n int, rng *rand.Rand) *State {
 // NumQubits returns the register width.
 func (s *State) NumQubits() int { return s.n }
 
+// SetRNG replaces the random stream used for measurement sampling and
+// trajectory noise (backend reseeding for simulator reuse).
+func (s *State) SetRNG(rng *rand.Rand) { s.rng = rng }
+
 // Reset returns the register to |0...0>.
 func (s *State) Reset() {
 	for i := range s.amp {

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"eqasm/internal/isa"
+)
+
+// programCache is the content-addressed store of assembled programs:
+// submitting the same source (or an identical circuit) twice assembles
+// once. LRU-bounded; programs are shared read-only with every machine
+// that executes them.
+type programCache struct {
+	mu     sync.Mutex
+	max    int
+	byKey  map[string]*list.Element
+	lru    list.List // front = most recent; values are *cacheEntry
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	prog *isa.Program
+}
+
+func newProgramCache(max int) *programCache {
+	return &programCache{max: max, byKey: map[string]*list.Element{}}
+}
+
+func (c *programCache) get(key string) (*isa.Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).prog, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *programCache) put(key string, prog *isa.Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// A concurrent submitter assembled the same content; keep the
+		// resident copy.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, prog: prog})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *programCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"eqasm/internal/isa"
+)
+
+func TestProgramCacheLRUEviction(t *testing.T) {
+	c := newProgramCache(2)
+	progs := make([]*isa.Program, 3)
+	for i := range progs {
+		progs[i] = &isa.Program{}
+		c.put(fmt.Sprintf("k%d", i), progs[i])
+	}
+	// k0 is the oldest and must be gone; k1 and k2 remain.
+	if _, ok := c.get("k0"); ok {
+		t.Fatal("k0 survived past capacity")
+	}
+	for i := 1; i < 3; i++ {
+		p, ok := c.get(fmt.Sprintf("k%d", i))
+		if !ok || p != progs[i] {
+			t.Fatalf("k%d lost or replaced", i)
+		}
+	}
+	hits, misses, entries := c.stats()
+	if hits != 2 || misses != 1 || entries != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 2/1/2", hits, misses, entries)
+	}
+}
+
+func TestProgramCacheTouchRefreshes(t *testing.T) {
+	c := newProgramCache(2)
+	c.put("a", &isa.Program{})
+	c.put("b", &isa.Program{})
+	c.get("a")                 // a becomes most recent
+	c.put("c", &isa.Program{}) // evicts b, not a
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least recently used entry kept")
+	}
+}
+
+func TestProgramCacheDuplicatePutKeepsResident(t *testing.T) {
+	c := newProgramCache(2)
+	first := &isa.Program{}
+	c.put("k", first)
+	c.put("k", &isa.Program{}) // concurrent-assembly race: resident wins
+	p, ok := c.get("k")
+	if !ok || p != first {
+		t.Fatal("duplicate put replaced the resident program")
+	}
+	if _, _, entries := c.stats(); entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+}
+
+func TestCacheKeyDistinguishesContent(t *testing.T) {
+	k1, err := JobSpec{Source: "X S0\nSTOP"}.cacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := JobSpec{Source: "Y S0\nSTOP"}.cacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := JobSpec{Source: "X S0\nSTOP"}.cacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("different sources share a key")
+	}
+	if k1 != k3 {
+		t.Fatal("identical sources got different keys")
+	}
+}

@@ -1,0 +1,363 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eqasm/internal/compiler"
+	"eqasm/internal/isa"
+)
+
+// Priority orders jobs in the queue; higher runs first, FIFO within a
+// level.
+type Priority int
+
+const (
+	PriorityLow    Priority = -1
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+)
+
+// ParsePriority maps the wire names used by the HTTP API.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(s) {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	return 0, fmt.Errorf("service: unknown priority %q", s)
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	}
+	return "normal"
+}
+
+// JobSpec describes one execution request.
+type JobSpec struct {
+	// Source is eQASM assembly text. Exactly one of Source and Circuit
+	// must be set.
+	Source string
+	// Circuit is a hardware-independent circuit to schedule and emit
+	// before execution.
+	Circuit *compiler.Circuit
+	// Shots is the number of repetitions; default 1.
+	Shots int
+	// Priority orders the job against others in the queue.
+	Priority Priority
+	// Seed, when nonzero, replaces the service's base seed for this
+	// job's random streams (batch i runs at Seed + i*1e6+3).
+	Seed int64
+}
+
+// MaxJobShots bounds a single job's shot count: large enough for any
+// real tomography or RB campaign, small enough that batch arithmetic
+// cannot overflow and one job cannot monopolize the pool indefinitely.
+const MaxJobShots = 100_000_000
+
+func (spec JobSpec) validate() error {
+	if (spec.Source == "") == (spec.Circuit == nil) {
+		return errors.New("service: job needs exactly one of Source or Circuit")
+	}
+	if spec.Shots < 0 {
+		return fmt.Errorf("service: negative shot count %d", spec.Shots)
+	}
+	if spec.Shots > MaxJobShots {
+		return fmt.Errorf("service: shot count %d exceeds the per-job limit %d",
+			spec.Shots, MaxJobShots)
+	}
+	return nil
+}
+
+func (spec JobSpec) withDefaults() JobSpec {
+	if spec.Shots == 0 {
+		spec.Shots = 1
+	}
+	return spec
+}
+
+// cacheKey is the content hash under which the assembled program is
+// cached: the source text, or a canonical rendering of the circuit.
+func (spec JobSpec) cacheKey() (string, error) {
+	h := sha256.New()
+	if spec.Circuit != nil {
+		fmt.Fprintf(h, "circuit:%s:%d\n", spec.Circuit.Name, spec.Circuit.NumQubits)
+		for _, g := range spec.Circuit.Gates {
+			fmt.Fprintf(h, "%s %v %d %t\n", g.Name, g.Qubits, g.DurationCycles, g.Measure)
+		}
+	} else {
+		fmt.Fprintf(h, "source:")
+		h.Write([]byte(spec.Source))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCancelled
+}
+
+// Result is a finished job's aggregate outcome.
+type Result struct {
+	JobID string `json:"job_id"`
+	// Shots is the number of shots actually executed (less than
+	// requested when the job was cancelled mid-run).
+	Shots int `json:"shots"`
+	// Histogram counts measurement outcomes. Keys are bitstrings over
+	// the measured qubits in ascending qubit order (the last result per
+	// qubit within a shot); a program that measures nothing contributes
+	// to the "" key.
+	Histogram map[string]int `json:"histogram"`
+	// Qubits lists the measured qubits, ascending — the bit order of
+	// the histogram keys.
+	Qubits []int `json:"qubits,omitempty"`
+	// CacheHit reports that the assembled program came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// AssembleTime is the assembly/compilation cost paid by this job
+	// (zero on a cache hit).
+	AssembleTime time.Duration `json:"assemble_ns"`
+	// QueueTime spans submit to first batch start.
+	QueueTime time.Duration `json:"queue_ns"`
+	// RunTime spans first batch start to last batch end.
+	RunTime time.Duration `json:"run_ns"`
+	// StartedAt and FinishedAt bound the job's execution window.
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+}
+
+// Job is the handle of a submitted job: a future over Result.
+type Job struct {
+	ID string
+
+	spec         JobSpec
+	seq          int64
+	svc          *Service
+	program      *isa.Program
+	cacheHit     bool
+	assembleTime time.Duration
+	submitted    time.Time
+	stopWatch    func() bool
+
+	// cancelled mirrors err != nil for the workers' per-shot check; an
+	// atomic read keeps the hot shot loop off the job mutex.
+	cancelled atomic.Bool
+
+	mu        sync.Mutex
+	state     State
+	started   time.Time
+	finished  time.Time
+	remaining int
+	shotsRun  int
+	hist      map[string]int
+	qubits    []int
+	err       error
+	result    *Result
+	done      chan struct{}
+}
+
+// batch is one unit of work handed to a worker.
+type batch struct {
+	job   *Job
+	index int
+	shots int
+}
+
+// split partitions the job's shots into worker batches.
+func (j *Job) split(batchShots int) []*batch {
+	var out []*batch
+	for start, i := 0, 0; start < j.spec.Shots; start, i = start+batchShots, i+1 {
+		n := min(batchShots, j.spec.Shots-start)
+		out = append(out, &batch{job: j, index: i, shots: n})
+	}
+	return out
+}
+
+// Priority returns the job's queue priority.
+func (j *Job) Priority() Priority { return j.spec.Priority }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the job's failure or cancellation cause (nil while the
+// job is live or after success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the aggregate outcome, or ErrNotDone before the job
+// finishes, or the job's error if it failed or was cancelled.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, ErrNotDone
+	}
+	if j.err != nil {
+		return j.result, j.err
+	}
+	return j.result, nil
+}
+
+// Wait blocks until the job finishes or ctx expires. A ctx expiry does
+// not cancel the job (cancel via the Submit ctx or Cancel).
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel stops the job: queued batches are skipped and running batches
+// stop at the next shot boundary. Safe to call at any time.
+func (j *Job) Cancel() { j.cancel(context.Canceled) }
+
+func (j *Job) cancel(cause error) {
+	j.mu.Lock()
+	if j.state.Terminal() || j.err != nil {
+		j.mu.Unlock()
+		return
+	}
+	if cause == nil {
+		cause = context.Canceled
+	}
+	j.err = cause
+	j.cancelled.Store(true)
+	j.mu.Unlock()
+}
+
+// isCancelled is the workers' fast check between shots.
+func (j *Job) isCancelled() bool { return j.cancelled.Load() }
+
+// startBatch transitions the job to running on its first batch.
+func (j *Job) startBatch() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// finishBatch merges one batch's outcome; the final batch finalizes the
+// job.
+func (j *Job) finishBatch(shotsRun int, hist map[string]int, qubits []int, err error) {
+	j.mu.Lock()
+	j.shotsRun += shotsRun
+	for k, v := range hist {
+		j.hist[k] += v
+	}
+	if j.qubits == nil && len(qubits) > 0 {
+		j.qubits = qubits
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+		j.cancelled.Store(true) // sibling batches stop early
+	}
+	j.remaining--
+	last := j.remaining == 0
+	if last {
+		j.finalizeLocked()
+	}
+	j.mu.Unlock()
+	if last {
+		j.svc.retire(j)
+	}
+}
+
+// finalizeLocked computes the terminal state and result; j.mu held.
+func (j *Job) finalizeLocked() {
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	switch {
+	case j.err == nil:
+		j.state = StateCompleted
+		j.svc.metrics.jobsCompleted.Add(1)
+	case errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.svc.metrics.jobsCancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.svc.metrics.jobsFailed.Add(1)
+	}
+	j.result = &Result{
+		JobID:        j.ID,
+		Shots:        j.shotsRun,
+		Histogram:    j.hist,
+		Qubits:       j.qubits,
+		CacheHit:     j.cacheHit,
+		AssembleTime: j.assembleTime,
+		QueueTime:    j.started.Sub(j.submitted),
+		RunTime:      j.finished.Sub(j.started),
+		StartedAt:    j.started,
+		FinishedAt:   j.finished,
+	}
+	if j.stopWatch != nil {
+		j.stopWatch()
+	}
+	close(j.done)
+}
+
+// histKey renders one shot's measurements as a histogram key: the last
+// result per qubit, qubits ascending.
+func histKey(last map[int]int) (string, []int) {
+	if len(last) == 0 {
+		return "", nil
+	}
+	qubits := make([]int, 0, len(last))
+	for q := range last {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	var b strings.Builder
+	for _, q := range qubits {
+		if last[q] == 0 {
+			b.WriteByte('0')
+		} else {
+			b.WriteByte('1')
+		}
+	}
+	return b.String(), qubits
+}

@@ -1,0 +1,448 @@
+// Package service is the concurrent eQASM execution engine: the
+// classical host's serving layer of Fig. 1, grown into a job service.
+// Clients submit eQASM source (or hardware-independent circuits, which
+// are scheduled and emitted first), the service assembles each program
+// once and caches the result by content hash, and a bounded pool of
+// workers fans every job's shots out as batches over independent QuMA_v2
+// machines, aggregating the measurement outcomes into a histogram.
+//
+// Concurrency model (the shared-mutable-state audit of the stack):
+//
+//   - microarch.Machine is not concurrency safe (architectural state,
+//     event heap, chip backend), so every batch runs on its own
+//     core.System; random streams derive from the job seed plus the
+//     batch index, making results reproducible for a fixed BatchShots.
+//   - asm.Assembler and compiler.Emitter keep no per-call state (each
+//     Assemble/Emit builds a fresh parser or allocator), so single
+//     instances serve all submitters concurrently.
+//   - isa.OpConfig and topology.Topology are read-only after
+//     construction and are shared by every worker.
+//   - isa.Program values returned by the cache are treated as immutable:
+//     machines only read Instrs, so one assembled program is shared by
+//     all batches of all jobs that hash to it.
+//   - Options.MockMeasure, if set, is called from worker goroutines and
+//     must be safe for concurrent use.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/compiler"
+	"eqasm/internal/core"
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+var (
+	// ErrClosed reports a submit to a service that is shutting down.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull reports that the bounded batch queue cannot hold the
+	// job (backpressure; the client should retry or shed load).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrNotDone reports a Result call on an unfinished job.
+	ErrNotDone = errors.New("service: job not done")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued shot batches; a Submit that
+	// would overflow it fails with ErrQueueFull. Default 256.
+	QueueDepth int
+	// CacheSize bounds the assembled-program cache (LRU entries).
+	// Default 128.
+	CacheSize int
+	// BatchShots is the number of shots dispatched to a worker as one
+	// unit; a job with more shots is split over several batches (and
+	// therefore several workers). Default 32.
+	BatchShots int
+	// MaxJobBatches caps one job's batch count: bigger jobs get
+	// proportionally bigger batches instead of flooding the queue, so a
+	// single huge job still fits in QueueDepth while keeping more than
+	// enough fan-out to saturate the pool. Default 64.
+	MaxJobBatches int
+	// RetainJobs bounds how many finished jobs stay queryable by ID.
+	// Default 1024.
+	RetainJobs int
+	// InitWaitCycles idles the chip before a compiled circuit's first
+	// operation (initialisation by relaxation). Default 10000 (200 us),
+	// as in Fig. 3. Source jobs control their own QWAITs.
+	InitWaitCycles int
+	// SOMQ enables single-operation-multiple-qubit combining when
+	// emitting compiled circuits.
+	SOMQ bool
+	// System templates the per-batch machines: topology, operation
+	// configuration, instantiation, noise, instrumentation. Its Seed is
+	// the base of every derived batch seed.
+	System core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.BatchShots <= 0 {
+		c.BatchShots = 32
+	}
+	if c.MaxJobBatches <= 0 {
+		c.MaxJobBatches = 64
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	if c.InitWaitCycles <= 0 {
+		c.InitWaitCycles = 10000
+	}
+	return c
+}
+
+// Service is a running execution engine. Create with New, submit with
+// Submit, stop with Shutdown (drain) or Close (cancel).
+type Service struct {
+	cfg   Config
+	topo  *topology.Topology
+	opCfg *isa.OpConfig
+	inst  isa.Instantiation
+	asm   *asm.Assembler
+	emit  *compiler.Emitter
+	cache *programCache
+	queue *batchQueue
+
+	workersWG sync.WaitGroup
+	jobsWG    sync.WaitGroup
+	// sysPool recycles per-batch machines: a checkout reseeds the
+	// backend and the shot loop's Reset restores power-on state, so a
+	// pooled run is bit-identical to one on a fresh System.
+	sysPool sync.Pool
+
+	mu      sync.Mutex
+	closed  bool
+	jobs    map[string]*Job
+	retired []string // finished job IDs in retirement order
+
+	jobSeq  atomic.Int64
+	metrics metrics
+}
+
+// metrics are the service's atomic counters and gauges.
+type metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsRejected  atomic.Int64
+	shotsExecuted atomic.Int64
+	batchesRun    atomic.Int64
+	workersBusy   atomic.Int64
+	runNs         atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Workers       int   `json:"workers"`
+	WorkersBusy   int   `json:"workers_busy"`
+	QueueDepth    int   `json:"queue_depth"`
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsActive    int64 `json:"jobs_active"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	ShotsExecuted int64 `json:"shots_executed"`
+	BatchesRun    int64 `json:"batches_run"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEntries  int   `json:"cache_entries"`
+	// RunNs is the cumulative wall time workers spent executing batches.
+	RunNs int64 `json:"run_ns"`
+}
+
+// New builds and starts a service; the worker pool runs until Shutdown
+// or Close.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	// Resolve the system template once so every worker shares the same
+	// read-only topology and operation configuration, exactly as
+	// core.NewSystem would resolve them per machine.
+	if cfg.System.Topology == nil {
+		cfg.System.Topology = topology.TwoQubit()
+	}
+	if cfg.System.OpConfig == nil {
+		cfg.System.OpConfig = isa.DefaultConfig()
+	}
+	if cfg.System.Instantiation.VLIWWidth == 0 {
+		cfg.System.Instantiation = isa.Default
+	}
+	// A caller-supplied backend instance would be shared mutable state
+	// across the worker pool; the service builds one per machine.
+	if cfg.System.Microarch.Backend != nil {
+		return nil, errors.New("service: Config.System.Microarch.Backend must be nil (machines are per worker)")
+	}
+	// Fail fast on an unusable template instead of failing every batch.
+	if _, err := core.NewSystem(cfg.System); err != nil {
+		return nil, fmt.Errorf("service: config: %w", err)
+	}
+	a := asm.New(cfg.System.OpConfig, cfg.System.Topology)
+	a.Inst = cfg.System.Instantiation
+	e := compiler.NewEmitter(cfg.System.OpConfig, cfg.System.Topology)
+	e.Inst = cfg.System.Instantiation
+	s := &Service{
+		cfg:   cfg,
+		topo:  cfg.System.Topology,
+		opCfg: cfg.System.OpConfig,
+		inst:  cfg.System.Instantiation,
+		asm:   a,
+		emit:  e,
+		cache: newProgramCache(cfg.CacheSize),
+		queue: newBatchQueue(cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workersWG.Add(1)
+		go func() {
+			defer s.workersWG.Done()
+			s.workerLoop()
+		}()
+	}
+	return s, nil
+}
+
+// Submit validates, resolves (assembling or compiling through the
+// cache), and enqueues a job, returning immediately with its handle.
+// ctx cancellation propagates to the job for its whole lifetime: a
+// deadline that expires while the job is queued or running cancels it.
+func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		s.metrics.jobsRejected.Add(1)
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.metrics.jobsRejected.Add(1)
+		return nil, ErrClosed
+	}
+	s.mu.Unlock()
+
+	prog, cacheHit, assembleTime, err := s.resolve(spec)
+	if err != nil {
+		s.metrics.jobsRejected.Add(1)
+		return nil, err
+	}
+
+	seq := s.jobSeq.Add(1)
+	job := &Job{
+		ID:           fmt.Sprintf("job-%06d", seq),
+		spec:         spec,
+		seq:          seq,
+		svc:          s,
+		program:      prog,
+		cacheHit:     cacheHit,
+		assembleTime: assembleTime,
+		submitted:    time.Now(),
+		state:        StateQueued,
+		hist:         map[string]int{},
+		done:         make(chan struct{}),
+	}
+	// Scale the batch size up for big jobs so no job needs more than
+	// MaxJobBatches queue slots — and never more than the queue can
+	// hold at all, so every job is admissible once the queue drains.
+	maxBatches := min(s.cfg.MaxJobBatches, s.cfg.QueueDepth)
+	batchShots := max(s.cfg.BatchShots,
+		(spec.Shots+maxBatches-1)/maxBatches)
+	batches := job.split(batchShots)
+	job.remaining = len(batches)
+	// Wire ctx cancellation before any batch can run, so finalize never
+	// races the watcher's installation.
+	if ctx != nil && ctx.Done() != nil {
+		job.stopWatch = context.AfterFunc(ctx, func() { job.cancel(context.Cause(ctx)) })
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejectJob(job)
+		return nil, ErrClosed
+	}
+	// Registration and enqueue happen under one lock so Shutdown's
+	// drain cannot miss a job between the closed check and the push.
+	if !s.queue.tryPush(batches) {
+		s.mu.Unlock()
+		s.rejectJob(job)
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.jobsWG.Add(1)
+	s.mu.Unlock()
+
+	s.metrics.jobsSubmitted.Add(1)
+	return job, nil
+}
+
+// Run is the synchronous convenience wrapper: Submit then Wait.
+func (s *Service) Run(ctx context.Context, spec JobSpec) (*Result, error) {
+	job, err := s.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return job.Wait(ctx)
+}
+
+// Job returns a submitted job by ID (including recently finished ones,
+// bounded by Config.RetainJobs).
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// resolve turns a spec into an assembled program via the content cache.
+func (s *Service) resolve(spec JobSpec) (prog *isa.Program, hit bool, d time.Duration, err error) {
+	key, err := spec.cacheKey()
+	if err != nil {
+		return nil, false, 0, err
+	}
+	if p, ok := s.cache.get(key); ok {
+		return p, true, 0, nil
+	}
+	start := time.Now()
+	if spec.Circuit != nil {
+		prog, err = s.compile(spec.Circuit)
+	} else {
+		prog, err = s.asm.Assemble(spec.Source)
+	}
+	if err != nil {
+		return nil, false, 0, err
+	}
+	s.cache.put(key, prog)
+	return prog, false, time.Since(start), nil
+}
+
+// compile schedules a hardware-independent circuit and emits executable
+// eQASM for the service's chip.
+func (s *Service) compile(c *compiler.Circuit) (*isa.Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits > s.topo.NumQubits {
+		return nil, fmt.Errorf("service: circuit needs %d qubits, chip has %d",
+			c.NumQubits, s.topo.NumQubits)
+	}
+	sched, err := compiler.ASAP(c)
+	if err != nil {
+		return nil, err
+	}
+	return s.emit.Emit(sched, compiler.EmitOptions{
+		InitWaitCycles: s.cfg.InitWaitCycles,
+		SOMQ:           s.cfg.SOMQ,
+		AppendStop:     true,
+	})
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	active := int64(0)
+	for _, j := range s.jobs {
+		st := j.Status()
+		if st == StateQueued || st == StateRunning {
+			active++
+		}
+	}
+	s.mu.Unlock()
+	hits, misses, entries := s.cache.stats()
+	return Stats{
+		Workers:       s.cfg.Workers,
+		WorkersBusy:   int(s.metrics.workersBusy.Load()),
+		QueueDepth:    s.queue.depth(),
+		JobsSubmitted: s.metrics.jobsSubmitted.Load(),
+		JobsActive:    active,
+		JobsCompleted: s.metrics.jobsCompleted.Load(),
+		JobsFailed:    s.metrics.jobsFailed.Load(),
+		JobsCancelled: s.metrics.jobsCancelled.Load(),
+		JobsRejected:  s.metrics.jobsRejected.Load(),
+		ShotsExecuted: s.metrics.shotsExecuted.Load(),
+		BatchesRun:    s.metrics.batchesRun.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  entries,
+		RunNs:         s.metrics.runNs.Load(),
+	}
+}
+
+// Shutdown stops accepting jobs, drains everything already queued, and
+// stops the workers. It returns ctx.Err() if the drain outlives ctx (the
+// service keeps draining in the background; call Close to cut it short).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.queue.close()
+	s.workersWG.Wait()
+	return nil
+}
+
+// Close cancels every active job and stops the workers.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.jobsWG.Wait()
+	s.queue.close()
+	s.workersWG.Wait()
+	return nil
+}
+
+// rejectJob accounts for a job that never entered the queue.
+func (s *Service) rejectJob(j *Job) {
+	if j.stopWatch != nil {
+		j.stopWatch()
+	}
+	s.metrics.jobsRejected.Add(1)
+}
+
+// retire records a finished job and evicts the oldest finished jobs
+// beyond the retention bound.
+func (s *Service) retire(j *Job) {
+	s.mu.Lock()
+	s.retired = append(s.retired, j.ID)
+	for len(s.retired) > s.cfg.RetainJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+	s.mu.Unlock()
+	s.jobsWG.Done()
+}

@@ -1,0 +1,480 @@
+// Table-driven and concurrency tests for the execution service; all of
+// them must stay clean under `go test -race`.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eqasm/internal/compiler"
+	"eqasm/internal/core"
+	"eqasm/internal/service"
+)
+
+func newService(t *testing.T, cfg service.Config) *service.Service {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+func waitResult(t *testing.T, job *service.Job) *service.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := job.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job %s: %v", job.ID, err)
+	}
+	return res
+}
+
+// A Bell job fans out over workers and aggregates a two-outcome
+// histogram with perfect correlation.
+func TestSubmitBell(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    4,
+		BatchShots: 16,
+		System:     core.Options{Seed: 4},
+	})
+	const shots = 300
+	job, err := svc.Submit(context.Background(), service.JobSpec{
+		Source: service.SmokePrograms()["bell"],
+		Shots:  shots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, job)
+	if job.Status() != service.StateCompleted {
+		t.Fatalf("state = %s", job.Status())
+	}
+	if res.Shots != shots {
+		t.Fatalf("shots = %d, want %d", res.Shots, shots)
+	}
+	total := 0
+	for key, n := range res.Histogram {
+		if key != "00" && key != "11" {
+			t.Fatalf("uncorrelated Bell outcome %q (%d shots)", key, n)
+		}
+		total += n
+	}
+	if total != shots {
+		t.Fatalf("histogram sums to %d, want %d", total, shots)
+	}
+	if res.Histogram["00"] == 0 || res.Histogram["11"] == 0 {
+		t.Fatalf("degenerate Bell histogram: %v", res.Histogram)
+	}
+	if len(res.Qubits) != 2 || res.Qubits[0] != 0 || res.Qubits[1] != 2 {
+		t.Fatalf("qubits = %v, want [0 2]", res.Qubits)
+	}
+}
+
+// The cache assembles identical content once and accounts hits/misses.
+func TestCacheHitMissAccounting(t *testing.T) {
+	svc := newService(t, service.Config{Workers: 2, System: core.Options{Seed: 1}})
+	progs := service.SmokePrograms()
+
+	res, err := svc.Run(context.Background(), service.JobSpec{Source: progs["flip"], Shots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("first submit reported a cache hit")
+	}
+	res, err = svc.Run(context.Background(), service.JobSpec{Source: progs["flip"], Shots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("second submit of identical source missed the cache")
+	}
+	if _, err = svc.Run(context.Background(), service.JobSpec{Source: progs["bell"], Shots: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 2 || st.CacheEntries != 2 {
+		t.Fatalf("cache stats = %d hits / %d misses / %d entries, want 1/2/2",
+			st.CacheHits, st.CacheMisses, st.CacheEntries)
+	}
+}
+
+// Many goroutines submitting concurrently all complete, and the shot
+// accounting balances (run with -race).
+func TestConcurrentSubmits(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    4,
+		QueueDepth: 4096,
+		BatchShots: 4,
+		System:     core.Options{Seed: 11},
+	})
+	progs := service.SmokePrograms()
+	sources := []string{progs["flip"], progs["bell"], progs["active_reset"]}
+	const (
+		goroutines = 8
+		perG       = 5
+		shots      = 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				res, err := svc.Run(context.Background(), service.JobSpec{
+					Source: sources[(g+i)%len(sources)],
+					Shots:  shots,
+				})
+				if err == nil && res.Shots != shots {
+					err = fmt.Errorf("got %d shots, want %d", res.Shots, shots)
+				}
+				if err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := svc.Stats()
+	if st.JobsCompleted != goroutines*perG {
+		t.Fatalf("completed %d jobs, want %d", st.JobsCompleted, goroutines*perG)
+	}
+	if st.ShotsExecuted != goroutines*perG*shots {
+		t.Fatalf("executed %d shots, want %d", st.ShotsExecuted, goroutines*perG*shots)
+	}
+}
+
+// Cancelling the Submit context mid-run stops the job at a shot
+// boundary and reports the partial shot count.
+func TestCancellationMidJob(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    1,
+		QueueDepth: 20000,
+		BatchShots: 8,
+		System:     core.Options{Seed: 3},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const shots = 100000 // far more than can run before the cancel lands
+	job, err := svc.Submit(ctx, service.JobSpec{
+		Source: service.SmokePrograms()["bell"],
+		Shots:  shots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it start, then pull the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for job.Status() == service.StateQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-job.Done()
+	if job.Status() != service.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", job.Status())
+	}
+	if _, err := job.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("result error = %v, want context.Canceled", err)
+	}
+	res, _ := job.Result()
+	if res == nil || res.Shots >= shots {
+		t.Fatalf("expected a partial run, got %+v", res)
+	}
+	if svc.Stats().JobsCancelled != 1 {
+		t.Fatalf("stats: %+v", svc.Stats())
+	}
+}
+
+// When queued work fills the bounded queue, further submits are
+// rejected with ErrQueueFull, and the service recovers once it drains.
+func TestQueueSaturation(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    1,
+		QueueDepth: 4,
+		BatchShots: 100000, // one batch per job
+		System:     core.Options{Seed: 5},
+	})
+	progs := service.SmokePrograms()
+	// One job on the worker, four filling the queue.
+	jobs := make([]*service.Job, 0, 5)
+	for i := 0; i < 5; i++ {
+		job, err := svc.Submit(context.Background(), service.JobSpec{
+			Source: progs["flip"], Shots: 1000,
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		jobs = append(jobs, job)
+		if i == 0 {
+			// Make sure the worker has the first job off the queue so
+			// the next four occupy all four slots.
+			deadline := time.Now().Add(10 * time.Second)
+			for job.Status() == service.StateQueued && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	_, err := svc.Submit(context.Background(), service.JobSpec{
+		Source: progs["flip"], Shots: 1,
+	})
+	if !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := svc.Stats(); st.JobsRejected != 1 || st.JobsSubmitted != 5 {
+		t.Fatalf("stats after rejection: %+v", st)
+	}
+	// The service recovers: the backlog drains and new jobs run.
+	for _, job := range jobs {
+		waitResult(t, job)
+	}
+	res, err := svc.Run(context.Background(), service.JobSpec{
+		Source: progs["flip"], Shots: 4,
+	})
+	if err != nil || res.Shots != 4 {
+		t.Fatalf("post-saturation job: %v, %+v", err, res)
+	}
+}
+
+// Any shot count is admissible on an idle service: batch sizes scale so
+// a job never needs more queue slots than exist.
+func TestHugeJobFitsSmallQueue(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    2,
+		QueueDepth: 16,
+		BatchShots: 8,
+		System:     core.Options{Seed: 7},
+	})
+	res, err := svc.Run(context.Background(), service.JobSpec{
+		Source: service.SmokePrograms()["flip"],
+		Shots:  2000, // would be 250 eight-shot batches without scaling
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 2000 {
+		t.Fatalf("ran %d shots", res.Shots)
+	}
+}
+
+// With a single busy worker, a high-priority job overtakes an earlier
+// low-priority one.
+func TestPriorityOrdering(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    1,
+		QueueDepth: 4096,
+		BatchShots: 8192, // one batch per job: the worker pops whole jobs
+		System:     core.Options{Seed: 6},
+	})
+	progs := service.SmokePrograms()
+	// Occupy the only worker with one long batch so both queued jobs
+	// are enqueued before the next pop.
+	blocker, err := svc.Submit(context.Background(), service.JobSpec{
+		Source: progs["flip"], Shots: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := svc.Submit(context.Background(), service.JobSpec{
+		Source: progs["flip"], Shots: 50, Priority: service.PriorityLow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := svc.Submit(context.Background(), service.JobSpec{
+		Source: progs["flip"], Shots: 50, Priority: service.PriorityHigh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	highRes := waitResult(t, high)
+	lowRes := waitResult(t, low)
+	waitResult(t, blocker)
+	// The single worker must have run the whole high-priority job
+	// before starting the earlier-submitted low-priority one.
+	if !lowRes.StartedAt.After(highRes.FinishedAt) {
+		t.Fatalf("low job started %v, before high finished %v",
+			lowRes.StartedAt, highRes.FinishedAt)
+	}
+}
+
+// Circuits compile through the scheduler/emitter path and share the
+// cache like source jobs.
+func TestCircuitJob(t *testing.T) {
+	svc := newService(t, service.Config{Workers: 2, System: core.Options{Seed: 8}})
+	bell := &compiler.Circuit{
+		Name:      "bell",
+		NumQubits: 3, // the two-qubit chip names its qubits 0 and 2
+		Gates: []compiler.Gate{
+			{Name: "H", Qubits: []int{0}},
+			{Name: "CNOT", Qubits: []int{0, 2}},
+			{Name: "MEASZ", Qubits: []int{0}, Measure: true},
+			{Name: "MEASZ", Qubits: []int{2}, Measure: true},
+		},
+	}
+	res, err := svc.Run(context.Background(), service.JobSpec{Circuit: bell, Shots: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for key, n := range res.Histogram {
+		if key != "00" && key != "11" {
+			t.Fatalf("uncorrelated outcome %q", key)
+		}
+		total += n
+	}
+	if total != 120 {
+		t.Fatalf("histogram sums to %d", total)
+	}
+	res, err = svc.Run(context.Background(), service.JobSpec{Circuit: bell, Shots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("identical circuit missed the cache")
+	}
+}
+
+// A program that faults at runtime fails the job without poisoning the
+// service.
+func TestRuntimeFailure(t *testing.T) {
+	svc := newService(t, service.Config{Workers: 2, System: core.Options{Seed: 9}})
+	// LD from a negative address is a microarchitectural fault.
+	_, err := svc.Run(context.Background(), service.JobSpec{
+		Source: "LDI R1, -8\nLD R2, R1(0)\nSTOP",
+		Shots:  4,
+	})
+	if err == nil {
+		t.Fatal("expected a runtime failure")
+	}
+	if st := svc.Stats(); st.JobsFailed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Healthy jobs still run afterwards.
+	if _, err := svc.Run(context.Background(), service.JobSpec{
+		Source: service.SmokePrograms()["flip"], Shots: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Invalid specs are rejected before they reach the queue.
+func TestSubmitValidation(t *testing.T) {
+	svc := newService(t, service.Config{Workers: 1, System: core.Options{}})
+	cases := []service.JobSpec{
+		{}, // neither source nor circuit
+		{Source: "STOP", Circuit: &compiler.Circuit{NumQubits: 1}}, // both
+		{Source: "STOP", Shots: -1},                                // negative shots
+		{Source: "STOP", Shots: service.MaxJobShots + 1},           // over the per-job cap
+		{Source: "THISISNOTANOP S0\n"},                             // assembly error
+	}
+	for i, spec := range cases {
+		if _, err := svc.Submit(context.Background(), spec); err == nil {
+			t.Errorf("case %d: spec %+v accepted", i, spec)
+		}
+	}
+	if st := svc.Stats(); st.JobsRejected != int64(len(cases)) {
+		t.Fatalf("rejected = %d, want %d", st.JobsRejected, len(cases))
+	}
+}
+
+// Shutdown drains queued work, then refuses new submits.
+func TestShutdownDrains(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    2,
+		QueueDepth: 4096,
+		BatchShots: 8,
+		System:     core.Options{Seed: 10},
+	})
+	var jobs []*service.Job
+	for i := 0; i < 6; i++ {
+		job, err := svc.Submit(context.Background(), service.JobSpec{
+			Source: service.SmokePrograms()["bell"],
+			Shots:  40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		if job.Status() != service.StateCompleted {
+			t.Fatalf("job %s = %s after drain", job.ID, job.Status())
+		}
+	}
+	if _, err := svc.Submit(context.Background(), service.JobSpec{Source: "STOP"}); !errors.Is(err, service.ErrClosed) {
+		t.Fatalf("submit after shutdown: %v, want ErrClosed", err)
+	}
+}
+
+// Finished jobs stay queryable up to the retention bound.
+func TestJobRetention(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    1,
+		RetainJobs: 2,
+		System:     core.Options{Seed: 12},
+	})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job, err := svc.Submit(context.Background(), service.JobSpec{
+			Source: service.SmokePrograms()["flip"],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitResult(t, job)
+		ids = append(ids, job.ID)
+	}
+	if _, ok := svc.Job(ids[0]); ok {
+		t.Fatalf("job %s not evicted at retention 2", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, ok := svc.Job(id); !ok {
+			t.Fatalf("job %s evicted too early", id)
+		}
+	}
+}
+
+// Per-job seeds steer the random streams: the same seeded job is
+// reproducible, different seeds differ.
+func TestJobSeeding(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    2,
+		BatchShots: 16,
+		System:     core.Options{Seed: 1},
+	})
+	run := func(seed int64) map[string]int {
+		res, err := svc.Run(context.Background(), service.JobSpec{
+			Source: service.SmokePrograms()["bell"],
+			Shots:  64,
+			Seed:   seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Histogram
+	}
+	a, b, c := run(42), run(42), run(43)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds agreed exactly: %v", a)
+	}
+}

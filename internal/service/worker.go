@@ -1,0 +1,122 @@
+package service
+
+import (
+	"time"
+
+	"eqasm/internal/core"
+)
+
+// workerLoop pulls batches until the queue closes. Each batch gets a
+// fresh System (machines are not concurrency safe, and a fresh seed per
+// batch keeps results independent of which worker ran it).
+func (s *Service) workerLoop() {
+	for {
+		b, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.metrics.workersBusy.Add(1)
+		s.runBatch(b)
+		s.metrics.workersBusy.Add(-1)
+	}
+}
+
+func (s *Service) runBatch(b *batch) {
+	job := b.job
+	if job.isCancelled() {
+		job.finishBatch(0, nil, nil, nil)
+		return
+	}
+	job.startBatch()
+	start := time.Now()
+	shots, hist, qubits, err := s.executeBatch(b)
+	s.metrics.batchesRun.Add(1)
+	s.metrics.shotsExecuted.Add(int64(shots))
+	s.metrics.runNs.Add(time.Since(start).Nanoseconds())
+	job.finishBatch(shots, hist, qubits, err)
+}
+
+// acquireSystem checks a machine out of the pool, reseeding it so the
+// run is indistinguishable from a freshly built system at seed; when
+// the pool is empty (or the backend cannot reseed) it builds one.
+func (s *Service) acquireSystem(seed int64) (*core.System, error) {
+	if v := s.sysPool.Get(); v != nil {
+		sys := v.(*core.System)
+		if sys.Reseed(seed) {
+			return sys, nil
+		}
+	}
+	opts := s.cfg.System
+	opts.Seed = seed
+	return core.NewSystem(opts)
+}
+
+// executeBatch runs one batch's shots on its own machine, returning the
+// local histogram.
+func (s *Service) executeBatch(b *batch) (shots int, hist map[string]int, qubits []int, err error) {
+	base := s.cfg.System.Seed
+	if b.job.spec.Seed != 0 {
+		base = b.job.spec.Seed
+	}
+	sys, err := s.acquireSystem(base + int64(b.index)*core.SeedStride)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer s.sysPool.Put(sys)
+	sys.LoadProgram(b.job.program)
+	hist = map[string]int{}
+	for i := 0; i < b.shots; i++ {
+		if b.job.isCancelled() {
+			break
+		}
+		sys.Machine.Reset()
+		if err := sys.Machine.Run(); err != nil {
+			return shots, hist, qubits, err
+		}
+		shots++
+		key, qs := histKey(sys.MeasuredBits())
+		hist[key]++
+		if qubits == nil {
+			qubits = qs
+		}
+	}
+	return shots, hist, qubits, nil
+}
+
+// SmokePrograms returns tiny eQASM payloads exercising the main paths of
+// the stack — handy for health checks and load tests against a serving
+// instance (they are the same shapes as the shipped testdata programs).
+func SmokePrograms() map[string]string {
+	return map[string]string{
+		"bell": `
+SMIS S0, {0}
+SMIS S2, {0, 2}
+SMIT T0, {(0, 2)}
+QWAIT 10000
+H S0
+CNOT T0
+2, MEASZ S2
+QWAIT 50
+STOP
+`,
+		"active_reset": `
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+C_X S2
+MEASZ S2
+QWAIT 50
+STOP
+`,
+		"flip": `
+SMIS S0, {0}
+QWAIT 10000
+X S0
+MEASZ S0
+QWAIT 50
+STOP
+`,
+	}
+}

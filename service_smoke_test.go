@@ -1,0 +1,79 @@
+// Service smoke tests: every shipped testdata program is a valid
+// payload for the concurrent execution service, and the aggregated
+// histograms reproduce the programs' documented outcomes.
+package eqasm_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eqasm/internal/core"
+	"eqasm/internal/service"
+)
+
+func TestServiceRunsShippedPrograms(t *testing.T) {
+	svc, err := service.New(service.Config{
+		Workers:    4,
+		BatchShots: 8,
+		System:     core.Options{Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	entries, err := os.ReadDir(filepath.Join("testdata", "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped programs")
+	}
+	const shots = 40
+	for _, e := range entries {
+		t.Run(e.Name(), func(t *testing.T) {
+			src := loadProgramFile(t, e.Name())
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := svc.Run(ctx, service.JobSpec{Source: src, Shots: shots})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Shots != shots {
+				t.Fatalf("ran %d shots, want %d", res.Shots, shots)
+			}
+			total := 0
+			for _, n := range res.Histogram {
+				total += n
+			}
+			if total != shots {
+				t.Fatalf("histogram sums to %d, want %d", total, shots)
+			}
+			switch e.Name() {
+			case "bell.eqasm":
+				// Correlated outcomes only.
+				if res.Histogram["00"]+res.Histogram["11"] != shots {
+					t.Fatalf("Bell histogram: %v", res.Histogram)
+				}
+			case "active_reset.eqasm":
+				// The conditional flip always restores |0>.
+				if res.Histogram["0"] != shots {
+					t.Fatalf("reset histogram: %v", res.Histogram)
+				}
+			case "cfc.eqasm":
+				// Qubit 2 reads 1, the EQ path flips qubit 0 to 1.
+				if res.Histogram["11"] != shots {
+					t.Fatalf("CFC histogram: %v", res.Histogram)
+				}
+			case "loop.eqasm":
+				// The double flip returns qubit 0 to |0>.
+				if res.Histogram["0"] != shots {
+					t.Fatalf("loop histogram: %v", res.Histogram)
+				}
+			}
+		})
+	}
+}
