@@ -1,0 +1,359 @@
+package eqasm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"eqasm/internal/core"
+	"eqasm/internal/microarch"
+)
+
+// SeedStride separates the random streams of sibling executions: worker
+// (or batch) w runs at base seed + w*SeedStride.
+const SeedStride = core.SeedStride
+
+// RunOptions tunes one Backend execution. The zero value runs the
+// backend's configured defaults (WithShots, WithSeed, WithWorkers).
+type RunOptions struct {
+	// Shots is the repetition count; 0 uses the backend default.
+	Shots int
+	// Seed, when nonzero, overrides the backend's base seed for this
+	// run's random streams.
+	Seed int64
+	// Workers, when nonzero, overrides the backend's shot fan-out.
+	// Workers == 1 executes sequentially on one machine and is
+	// bit-identical to the classic single-machine shot loop.
+	Workers int
+}
+
+// Measurement is one completed measurement of a shot, in completion
+// order.
+type Measurement struct {
+	Qubit  int
+	Result int
+}
+
+// ExecStats are the execution counters of one shot.
+type ExecStats struct {
+	// Instructions counts retired instructions.
+	Instructions int64
+	// Bundles counts quantum bundle instructions issued.
+	Bundles int64
+	// QuantumOps counts micro-operations reaching the timing controller.
+	QuantumOps int64
+	// CancelledOps counts operations gated off by fast conditional
+	// execution.
+	CancelledOps int64
+	// FMRStallTicks counts classical ticks stalled on FMR.
+	FMRStallTicks int64
+	// DurationNs is the simulated wall-clock time at halt.
+	DurationNs int64
+}
+
+func execStats(m *microarch.Machine) ExecStats {
+	st := m.Stats()
+	return ExecStats{
+		Instructions:  st.InstructionsExecuted,
+		Bundles:       st.BundlesIssued,
+		QuantumOps:    st.QuantumOpsTriggered,
+		CancelledOps:  st.OpsCancelled,
+		FMRStallTicks: st.FMRStallTicks,
+		DurationNs:    st.FinalTimeNs,
+	}
+}
+
+// ShotResult is one shot's outcome on a result stream.
+type ShotResult struct {
+	// Shot is the repetition index (-1 on the terminal error message).
+	Shot int
+	// Key is the histogram key: the last result per measured qubit,
+	// qubits ascending ("" when the shot measures nothing).
+	Key string
+	// Measurements lists every completed measurement in completion
+	// order.
+	Measurements []Measurement
+	// Stats are the shot's execution counters.
+	Stats ExecStats
+	// Trace is the rendered device-operation trace (WithDeviceTrace).
+	Trace []string
+	// Err terminates the stream: a shot failure (*RuntimeError) or the
+	// run context's cancellation cause. No further results follow.
+	Err error
+}
+
+// Result is a finished execution's aggregate outcome.
+type Result struct {
+	// Shots is the number of shots actually executed (may be below the
+	// request when the run was cancelled or failed mid-way).
+	Shots int
+	// Histogram counts measurement outcomes; keys are bitstrings over
+	// the measured qubits in ascending qubit order (the last result per
+	// qubit within a shot). A program measuring nothing contributes to
+	// the "" key.
+	Histogram map[string]int
+	// Qubits lists the measured qubits, ascending — the bit order of
+	// the histogram keys.
+	Qubits []int
+	// Stats are the execution counters of the last completed shot.
+	Stats ExecStats
+	// Trace is the device-operation trace of the first traced shot
+	// (WithDeviceTrace).
+	Trace []string
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+}
+
+// Backend executes bound programs: the in-process Simulator and the
+// job-service Client both implement it, so callers switch between local
+// simulation and remote serving without rewiring.
+type Backend interface {
+	// Run executes the program and aggregates the outcome histogram.
+	// On failure or cancellation it returns the partial Result
+	// alongside the error.
+	Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error)
+	// RunStream executes the program and delivers each shot's outcome
+	// as it completes. The channel closes when the run finishes; a
+	// failure or cancellation delivers one final ShotResult with Err
+	// set (dropped only when the consumer has stopped receiving). The
+	// caller must drain the channel or cancel ctx.
+	RunStream(ctx context.Context, p *Program, opts RunOptions) (<-chan ShotResult, error)
+}
+
+// Simulator is the in-process Backend: it executes programs on pooled,
+// reseedable QuMA_v2 machines simulated at cycle level, fanning shots
+// over workers and checking ctx between shots. Machines are pooled per
+// instruction-set context, so mixed workloads (different chips or
+// instantiations) coexist on one Simulator. Safe for concurrent use.
+type Simulator struct {
+	cfg *config
+	// defaultStack is the simulator's own configured context; programs
+	// bound to other contexts still run (each on its own pool), but
+	// this is the chip identity the simulator advertises.
+	defaultStack stack
+
+	mu    sync.Mutex
+	pools map[stack]*core.SystemPool
+}
+
+var _ Backend = (*Simulator)(nil)
+
+// NewSimulator builds a simulator Backend from the execution options
+// (WithSeed, WithNoise, WithDensityMatrix, WithDeviceTrace, WithShots,
+// WithWorkers, ...).
+func NewSimulator(opts ...Option) (*Simulator, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Fail fast on unresolvable context options instead of failing the
+	// first Run.
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, defaultStack: st, pools: map[stack]*core.SystemPool{}}, nil
+}
+
+// Seed returns the simulator's base seed (WithSeed).
+func (s *Simulator) Seed() int64 { return s.cfg.seed }
+
+// Chip names the simulator's configured topology.
+func (s *Simulator) Chip() string { return s.defaultStack.topo.Name }
+
+// pool returns the machine pool for one instruction-set context,
+// creating it on first use.
+func (s *Simulator) pool(st stack) *core.SystemPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pools[st]; ok {
+		return p
+	}
+	p := core.NewSystemPool(core.Options{
+		Topology:         st.topo,
+		OpConfig:         st.opCfg,
+		Instantiation:    st.inst,
+		Noise:            s.cfg.noise.internal(),
+		UseDensityMatrix: s.cfg.density,
+		RecordDeviceOps:  s.cfg.trace,
+		MockMeasure:      s.cfg.mock,
+	})
+	s.pools[st] = p
+	return p
+}
+
+func (s *Simulator) plan(opts RunOptions) (shots int, seed int64, workers int, err error) {
+	shots = opts.Shots
+	if shots < 0 {
+		return 0, 0, 0, fmt.Errorf("eqasm: negative shot count %d", shots)
+	}
+	if shots == 0 {
+		shots = s.cfg.shots
+	}
+	seed = opts.Seed
+	if seed == 0 {
+		seed = s.cfg.seed
+	}
+	workers = opts.Workers
+	if workers < 0 {
+		return 0, 0, 0, fmt.Errorf("eqasm: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		workers = s.cfg.workers
+	}
+	return shots, seed, workers, nil
+}
+
+// lastResults maps each measured qubit to its last result.
+func lastResults(m *microarch.Machine) map[int]int {
+	recs := m.Measurements()
+	last := make(map[int]int, len(recs))
+	for _, r := range recs {
+		last[r.Qubit] = r.Result
+	}
+	return last
+}
+
+// renderTrace renders the machine's device-operation trace, nil when
+// tracing is off.
+func renderTrace(m *microarch.Machine) []string {
+	trace := m.DeviceTrace()
+	if len(trace) == 0 {
+		return nil
+	}
+	out := make([]string, len(trace))
+	for i, op := range trace {
+		out[i] = op.String()
+	}
+	return out
+}
+
+// shotOutcome renders one completed shot's machine state.
+func shotOutcome(shot int, m *microarch.Machine) ShotResult {
+	recs := m.Measurements()
+	sr := ShotResult{Shot: shot, Stats: execStats(m), Trace: renderTrace(m)}
+	if len(recs) > 0 {
+		sr.Measurements = make([]Measurement, len(recs))
+		for i, r := range recs {
+			sr.Measurements[i] = Measurement{Qubit: r.Qubit, Result: r.Result}
+		}
+		sr.Key = histKey(lastResults(m))
+	}
+	return sr
+}
+
+// histKey renders the last result per qubit, qubits ascending.
+func histKey(last map[int]int) string {
+	qubits := sortedQubits(last)
+	var b strings.Builder
+	for _, q := range qubits {
+		if last[q] == 0 {
+			b.WriteByte('0')
+		} else {
+			b.WriteByte('1')
+		}
+	}
+	return b.String()
+}
+
+func sortedQubits(last map[int]int) []int {
+	if len(last) == 0 {
+		return nil
+	}
+	qubits := make([]int, 0, len(last))
+	for q := range last {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	return qubits
+}
+
+// Run implements Backend. With Workers == 1 (the default) and a fixed
+// seed, the execution is bit-identical to a sequential shot loop on a
+// freshly built machine at that seed.
+func (s *Simulator) Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
+	shots, seed, workers, err := s.plan(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Histogram: map[string]int{}}
+	start := time.Now()
+	err = s.pool(p.st).FanShots(ctx, p.prog, seed, shots, workers,
+		func(shot int, m *microarch.Machine, runErr error) error {
+			if runErr != nil {
+				return wrapShotErr(shot, m, runErr)
+			}
+			res.Shots++
+			last := lastResults(m)
+			res.Histogram[histKey(last)]++
+			if res.Qubits == nil {
+				res.Qubits = sortedQubits(last)
+			}
+			res.Stats = execStats(m)
+			if res.Trace == nil {
+				res.Trace = renderTrace(m)
+			}
+			return nil
+		})
+	res.Duration = time.Since(start)
+	return res, err
+}
+
+// RunStream implements Backend, delivering shot outcomes as they
+// complete. With Workers > 1 shots may arrive out of order (each
+// carries its index).
+func (s *Simulator) RunStream(ctx context.Context, p *Program, opts RunOptions) (<-chan ShotResult, error) {
+	shots, seed, workers, err := s.plan(opts)
+	if err != nil {
+		return nil, err
+	}
+	pool := s.pool(p.st)
+	ch := make(chan ShotResult)
+	go func() {
+		defer close(ch)
+		err := pool.FanShots(ctx, p.prog, seed, shots, workers,
+			func(shot int, m *microarch.Machine, runErr error) error {
+				if runErr != nil {
+					return wrapShotErr(shot, m, runErr)
+				}
+				select {
+				case ch <- shotOutcome(shot, m):
+					return nil
+				case <-ctx.Done():
+					return context.Cause(ctx)
+				}
+			})
+		if err != nil {
+			sendTerminal(ch, ShotResult{Shot: -1, Err: err})
+		}
+	}()
+	return ch, nil
+}
+
+// terminalGrace bounds how long a stream waits to hand its final error
+// message to a consumer that is not currently at the channel. Generous,
+// because the only cost of waiting is a lingering goroutine on a
+// stream the consumer abandoned without draining.
+const terminalGrace = 30 * time.Second
+
+// sendTerminal delivers a stream's final error message. The run context
+// may already be cancelled here (cancellation is itself a terminal
+// error), so racing the send against ctx.Done would drop the message
+// nondeterministically even with an attentive consumer; instead the
+// send gets a bounded grace period, dropping the message only when the
+// consumer does not return to the channel within it.
+func sendTerminal(ch chan<- ShotResult, sr ShotResult) {
+	select {
+	case ch <- sr:
+	default:
+		t := time.NewTimer(terminalGrace)
+		defer t.Stop()
+		select {
+		case ch <- sr:
+		case <-t.C:
+		}
+	}
+}

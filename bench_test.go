@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"eqasm"
 	"eqasm/internal/asm"
 	"eqasm/internal/benchmarks"
 	"eqasm/internal/compiler"
@@ -494,7 +495,7 @@ func BenchmarkServiceShotsPerSec(b *testing.B) {
 				Workers:    workers,
 				QueueDepth: 65536,
 				BatchShots: 64,
-				System:     core.Options{Seed: 1},
+				Machine:    []eqasm.Option{eqasm.WithSeed(1)},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -521,7 +522,7 @@ func BenchmarkServiceSubmitLatency(b *testing.B) {
 	svc, err := service.New(service.Config{
 		Workers:    2,
 		QueueDepth: 65536,
-		System:     core.Options{Seed: 1},
+		Machine:    []eqasm.Option{eqasm.WithSeed(1)},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -539,4 +540,61 @@ func BenchmarkServiceSubmitLatency(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "us/job")
+}
+
+// BenchmarkPublicAPIRunShots compares the public eqasm Backend facade
+// against the raw core shot loop it wraps, shot for shot on the same
+// program and seed: the facade (pooled machines, context checks, typed
+// errors, histogram aggregation) must add no measurable per-shot
+// overhead over core.RunShots.
+func BenchmarkPublicAPIRunShots(b *testing.B) {
+	const shots = 256
+	src := service.SmokePrograms()["bell"]
+
+	b.Run("core_RunShots", func(b *testing.B) {
+		sys, err := core.NewSystem(core.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hist := map[string]int{}
+			err := sys.RunShots(shots, func(_ int, m *microarch.Machine) {
+				key := ""
+				for _, r := range m.Measurements() {
+					key += fmt.Sprint(r.Result)
+				}
+				hist[key]++
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*shots/b.Elapsed().Seconds(), "shots/s")
+	})
+	b.Run("backend_Run", func(b *testing.B) {
+		prog, err := eqasm.Assemble(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := eqasm.NewSimulator(eqasm.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(ctx, prog, eqasm.RunOptions{Shots: shots})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Shots != shots {
+				b.Fatalf("ran %d shots", res.Shots)
+			}
+		}
+		b.ReportMetric(float64(b.N)*shots/b.Elapsed().Seconds(), "shots/s")
+	})
 }

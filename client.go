@@ -1,0 +1,308 @@
+package eqasm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Client is the job-service Backend: it submits programs to a running
+// eqasm-serve instance over its HTTP API (POST /v1/jobs and friends)
+// and maps job results back onto the same Result type the in-process
+// Simulator produces. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ Backend = (*Client)(nil)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for requests
+// (timeouts, transports, instrumentation).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// NewClient builds a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// RemoteJob describes a job on the service.
+type RemoteJob struct {
+	// ID addresses the job in Job and Cancel calls.
+	ID string
+	// State is "queued", "running", "completed", "failed" or
+	// "cancelled".
+	State string
+	// Result is the aggregate outcome once the job finished.
+	Result *Result
+	// Err is the failure or cancellation message of a finished job.
+	Err string
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *RemoteJob) Done() bool {
+	return j.State == "completed" || j.State == "failed" || j.State == "cancelled"
+}
+
+// jobRequest mirrors the service's POST /v1/jobs payload.
+type jobRequest struct {
+	Source string `json:"source,omitempty"`
+	Shots  int    `json:"shots,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Chip   string `json:"chip,omitempty"`
+	Wait   bool   `json:"wait,omitempty"`
+}
+
+// jobResponse mirrors the service's job description.
+type jobResponse struct {
+	ID     string      `json:"id"`
+	Status string      `json:"status"`
+	Result *resultWire `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+type resultWire struct {
+	Shots     int            `json:"shots"`
+	Histogram map[string]int `json:"histogram"`
+	Qubits    []int          `json:"qubits,omitempty"`
+	RunNs     int64          `json:"run_ns"`
+}
+
+func (r *resultWire) toResult() *Result {
+	if r == nil {
+		return nil
+	}
+	hist := r.Histogram
+	if hist == nil {
+		hist = map[string]int{}
+	}
+	return &Result{
+		Shots:     r.Shots,
+		Histogram: hist,
+		Qubits:    r.Qubits,
+		Duration:  time.Duration(r.RunNs),
+	}
+}
+
+// wireSource renders a program for submission: the original source
+// when available, otherwise the round-trip-stable disassembly.
+func wireSource(p *Program) (string, error) {
+	if p.source != "" {
+		return p.source, nil
+	}
+	return p.Disassemble()
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("eqasm: service: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("eqasm: service: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) submit(ctx context.Context, p *Program, opts RunOptions, wait bool) (*jobResponse, error) {
+	if opts.Shots < 0 {
+		return nil, fmt.Errorf("eqasm: negative shot count %d", opts.Shots)
+	}
+	src, err := wireSource(p)
+	if err != nil {
+		return nil, err
+	}
+	shots := opts.Shots
+	if shots == 0 {
+		shots = 1
+	}
+	// The program's bound chip travels with the request, so a program
+	// assembled for one topology cannot silently execute under another
+	// chip's semantics on a mismatched service.
+	var jr jobResponse
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", jobRequest{
+		Source: src,
+		Shots:  shots,
+		Seed:   opts.Seed,
+		Chip:   p.Chip(),
+		Wait:   wait,
+	}, &jr)
+	if err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+func (jr *jobResponse) toJob() *RemoteJob {
+	return &RemoteJob{ID: jr.ID, State: jr.Status, Result: jr.Result.toResult(), Err: jr.Error}
+}
+
+// Run implements Backend: it submits the program synchronously and
+// returns the aggregated histogram. RunOptions.Workers is ignored (the
+// service owns its own fan-out).
+func (c *Client) Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
+	jr, err := c.submit(ctx, p, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	job := jr.toJob()
+	if job.State != "completed" {
+		msg := job.Err
+		if msg == "" {
+			msg = "job " + job.State
+		}
+		return job.Result, fmt.Errorf("eqasm: service job %s: %s", job.ID, msg)
+	}
+	if job.Result == nil {
+		return nil, fmt.Errorf("eqasm: service job %s: completed without a result", job.ID)
+	}
+	return job.Result, nil
+}
+
+// RunStream implements Backend. The service aggregates shots into a
+// histogram rather than streaming them, so the channel stays silent
+// while the job runs remotely and then replays the finished histogram:
+// one ShotResult per executed shot, grouped by outcome in key order
+// (per-shot completion order is not preserved). Like the Simulator's
+// stream, the call returns immediately; a failure delivers one final
+// ShotResult with Err set.
+func (c *Client) RunStream(ctx context.Context, p *Program, opts RunOptions) (<-chan ShotResult, error) {
+	if opts.Shots < 0 {
+		return nil, fmt.Errorf("eqasm: negative shot count %d", opts.Shots)
+	}
+	ch := make(chan ShotResult)
+	go func() {
+		defer close(ch)
+		res, err := c.Run(ctx, p, opts)
+		shot := 0
+		if res != nil {
+			keys := make([]string, 0, len(res.Histogram))
+			for k := range res.Histogram {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				for n := res.Histogram[key]; n > 0; n-- {
+					sr := ShotResult{Shot: shot, Key: key}
+					// Reconstruct measurement records only when the key
+					// unambiguously covers the result's qubit list; a
+					// program whose control flow measures different qubit
+					// sets per shot yields shorter keys, and fabricating
+					// zero-valued records for never-measured qubits would
+					// be indistinguishable from real outcomes.
+					if len(key) == len(res.Qubits) {
+						for i, q := range res.Qubits {
+							bit := 0
+							if key[i] == '1' {
+								bit = 1
+							}
+							sr.Measurements = append(sr.Measurements, Measurement{Qubit: q, Result: bit})
+						}
+					}
+					select {
+					case ch <- sr:
+					case <-ctx.Done():
+						sendTerminal(ch, ShotResult{Shot: -1, Err: context.Cause(ctx)})
+						return
+					}
+					shot++
+				}
+			}
+		}
+		if err != nil {
+			sendTerminal(ch, ShotResult{Shot: -1, Err: err})
+		}
+	}()
+	return ch, nil
+}
+
+// Submit enqueues the program asynchronously and returns the job
+// ticket; poll with Job or cancel with Cancel.
+func (c *Client) Submit(ctx context.Context, p *Program, opts RunOptions) (*RemoteJob, error) {
+	jr, err := c.submit(ctx, p, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	return jr.toJob(), nil
+}
+
+// Job fetches a job's current state and, once finished, its result.
+func (c *Client) Job(ctx context.Context, id string) (*RemoteJob, error) {
+	var jr jobResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &jr); err != nil {
+		return nil, err
+	}
+	return jr.toJob(), nil
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// ServiceStats is a point-in-time snapshot of the service counters.
+type ServiceStats struct {
+	Workers       int     `json:"workers"`
+	WorkersBusy   int     `json:"workers_busy"`
+	QueueDepth    int     `json:"queue_depth"`
+	JobsSubmitted int64   `json:"jobs_submitted"`
+	JobsActive    int64   `json:"jobs_active"`
+	JobsCompleted int64   `json:"jobs_completed"`
+	JobsFailed    int64   `json:"jobs_failed"`
+	JobsCancelled int64   `json:"jobs_cancelled"`
+	JobsRejected  int64   `json:"jobs_rejected"`
+	ShotsExecuted int64   `json:"shots_executed"`
+	BatchesRun    int64   `json:"batches_run"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (ServiceStats, error) {
+	var st ServiceStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}

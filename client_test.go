@@ -1,0 +1,318 @@
+// The job-service Client implements the same Backend interface as the
+// in-process Simulator: these tests run it against a real service
+// behind the real HTTP front end.
+package eqasm_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eqasm"
+	"eqasm/internal/httpapi"
+	"eqasm/internal/service"
+)
+
+func newServiceClient(t *testing.T, cfg service.Config) *eqasm.Client {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return eqasm.NewClient(ts.URL, eqasm.WithHTTPClient(ts.Client()))
+}
+
+func TestClientRunBell(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers:    2,
+		BatchShots: 16,
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	prog, err := eqasm.Assemble(shippedPrograms(t)["bell.eqasm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 100
+	res, err := client.Run(context.Background(), prog, eqasm.RunOptions{Shots: shots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != shots {
+		t.Fatalf("ran %d shots, want %d", res.Shots, shots)
+	}
+	total := 0
+	for key, n := range res.Histogram {
+		if key != "00" && key != "11" {
+			t.Fatalf("uncorrelated outcome %q", key)
+		}
+		total += n
+	}
+	if total != shots {
+		t.Fatalf("histogram sums to %d", total)
+	}
+	if len(res.Qubits) != 2 || res.Qubits[0] != 0 || res.Qubits[1] != 2 {
+		t.Fatalf("qubits = %v, want [0 2]", res.Qubits)
+	}
+	// Duration maps from the wire's run_ns — a zero here means the
+	// client's hand-mirrored wire struct drifted from the service's
+	// JSON tags.
+	if res.Duration <= 0 {
+		t.Fatalf("duration = %v, want > 0 (wire-field drift?)", res.Duration)
+	}
+	if _, err := client.Run(context.Background(), prog, eqasm.RunOptions{Shots: -1}); err == nil {
+		t.Fatal("negative shot count accepted")
+	}
+}
+
+// RunStream returns its channel immediately (the Backend contract the
+// Simulator sets); the remote job runs behind the stream, not before
+// it.
+func TestClientRunStreamReturnsImmediately(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers: 1,
+		Machine: []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	prog, err := eqasm.Assemble(shippedPrograms(t)["bell.eqasm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 100_000 // a meaningful stretch of work on the service
+	start := time.Now()
+	stream, err := client.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: shots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	callElapsed := time.Since(start)
+	n := 0
+	for sr := range stream {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		n++
+	}
+	if n != shots {
+		t.Fatalf("streamed %d shots, want %d", n, shots)
+	}
+	// The call itself does no I/O; if it blocked for a meaningful
+	// fraction of the job's total runtime, the old run-then-return
+	// behavior regressed. A ratio keeps the assertion robust under
+	// load on slow CI boxes.
+	total := time.Since(start)
+	if callElapsed > total/4 {
+		t.Fatalf("RunStream blocked %v of the job's %v before returning its channel", callElapsed, total)
+	}
+}
+
+// A compiled circuit (no source text) submits via its disassembly,
+// which the service assembles back to the same program.
+func TestClientRunCompiledProgram(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers: 2,
+		Machine: []eqasm.Option{eqasm.WithSeed(9)},
+	})
+	prog, err := eqasm.Compile(&eqasm.Circuit{
+		NumQubits: 1,
+		Gates: []eqasm.Gate{
+			{Name: "X", Qubits: []int{0}},
+			{Name: "MEASZ", Qubits: []int{0}, Measure: true},
+		},
+	}, eqasm.WithInitWaitCycles(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(context.Background(), prog, eqasm.RunOptions{Shots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram["1"] != 10 {
+		t.Fatalf("X|0> histogram = %v, want all \"1\"", res.Histogram)
+	}
+}
+
+func TestClientRunStreamReplaysHistogram(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers: 2,
+		Machine: []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	prog, err := eqasm.Assemble(shippedPrograms(t)["bell.eqasm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 40
+	stream, err := client.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: shots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for sr := range stream {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		if sr.Key != "00" && sr.Key != "11" {
+			t.Fatalf("uncorrelated outcome %q", sr.Key)
+		}
+		if len(sr.Measurements) != 2 {
+			t.Fatalf("measurements = %v", sr.Measurements)
+		}
+		n++
+	}
+	if n != shots {
+		t.Fatalf("streamed %d shots, want %d", n, shots)
+	}
+}
+
+// Cancelling mid-replay delivers the terminal error instead of a clean
+// close that would masquerade as completion.
+func TestClientRunStreamCancellationDeliversError(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers: 2,
+		Machine: []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	prog, err := eqasm.Assemble(shippedPrograms(t)["bell.eqasm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream, err := client.RunStream(ctx, prog, eqasm.RunOptions{Shots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var terminal error
+	n := 0
+	for sr := range stream {
+		if sr.Err != nil {
+			terminal = sr.Err
+			break
+		}
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	for range stream {
+	}
+	if !errors.Is(terminal, context.Canceled) {
+		t.Fatalf("terminal err = %v after %d shots, want context.Canceled", terminal, n)
+	}
+}
+
+func TestClientRejectsChipMismatch(t *testing.T) {
+	client := newServiceClient(t, service.Config{Workers: 1})
+	// Qubit 5 exists on surface7 but not on the service's twoqubit
+	// chip: rejected.
+	prog, err := eqasm.Assemble("SMIS S0, {5}\nX S0\nSTOP", eqasm.WithTopology("surface7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(context.Background(), prog, eqasm.RunOptions{Shots: 1}); err == nil {
+		t.Fatal("service accepted a program for the wrong chip")
+	}
+	// The dangerous case: the program's qubits also exist on the
+	// service's chip, so it would assemble and run there — under the
+	// wrong topology semantics. The chip binding must still reject it.
+	overlap, err := eqasm.Assemble("SMIS S0, {0}\nX S0\nMEASZ S0\nSTOP", eqasm.WithTopology("surface7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(context.Background(), overlap, eqasm.RunOptions{Shots: 1}); err == nil {
+		t.Fatal("service silently ran a program bound to a different chip")
+	}
+	// Negative seeds would break per-batch seed derivation; rejected.
+	twoq, err := eqasm.Assemble("SMIS S0, {0}\nX S0\nSTOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(context.Background(), twoq, eqasm.RunOptions{Shots: 1, Seed: -7}); err == nil {
+		t.Fatal("service accepted a negative seed")
+	}
+}
+
+func TestClientSubmitPollCancel(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers:    1,
+		QueueDepth: 100000,
+		BatchShots: 8,
+		Machine:    []eqasm.Option{eqasm.WithSeed(3)},
+	})
+	prog, err := eqasm.Assemble(shippedPrograms(t)["bell.eqasm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	job, err := client.Submit(ctx, prog, eqasm.RunOptions{Shots: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Done() {
+		t.Fatalf("submit ticket = %+v", job)
+	}
+	if err := client.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		job, err = client.Job(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Done() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job.State != "cancelled" {
+		t.Fatalf("state = %q, want cancelled", job.State)
+	}
+
+	// Stats reflect the traffic.
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsSubmitted != 1 || st.JobsCancelled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Unknown jobs are clean errors.
+	if _, err := client.Job(ctx, "job-999999"); err == nil {
+		t.Fatal("unknown job fetched")
+	}
+}
+
+// Both Backend implementations satisfy the interface and can be swapped
+// behind it.
+func TestBackendsAreInterchangeable(t *testing.T) {
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newServiceClient(t, service.Config{
+		Workers: 2,
+		Machine: []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	prog, err := eqasm.Assemble(shippedPrograms(t)["active_reset.eqasm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []eqasm.Backend{sim, client} {
+		res, err := backend.Run(context.Background(), prog, eqasm.RunOptions{Shots: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Active reset always restores |0> on the ideal chip.
+		if res.Histogram["0"] != 25 {
+			t.Fatalf("%T histogram = %v", backend, res.Histogram)
+		}
+	}
+}

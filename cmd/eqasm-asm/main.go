@@ -1,6 +1,7 @@
 // Command eqasm-asm assembles eQASM source into the 32-bit binary of the
 // seven-qubit instantiation (Fig. 8), disassembles binaries back to
-// source, and prints the instruction-set overview of Table 1.
+// source, and prints the instruction-set overview of Table 1 — all
+// through the public eqasm package.
 //
 // Usage:
 //
@@ -14,14 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"eqasm/internal/asm"
-	"eqasm/internal/isa"
-	"eqasm/internal/topology"
+	"eqasm"
 )
 
 func main() {
-	topoName := flag.String("topo", "surface7", "chip topology: surface7, twoqubit, iontrap5, ibmqx2")
+	topoName := flag.String("topo", "surface7", "chip topology: "+strings.Join(eqasm.Topologies(), ", "))
 	out := flag.String("o", "", "output file (default: stdout hex dump)")
 	disasm := flag.Bool("d", false, "disassemble a binary instead of assembling")
 	list := flag.Bool("list", false, "print the assembly listing after label resolution")
@@ -32,8 +32,7 @@ func main() {
 		printTable1()
 		return
 	}
-	topo := pickTopo(*topoName)
-	cfg := isa.DefaultConfig()
+	opts := []eqasm.Option{eqasm.WithTopology(*topoName)}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "eqasm-asm: exactly one input file required")
@@ -45,11 +44,7 @@ func main() {
 	}
 
 	if *disasm {
-		words, err := isa.BytesToWords(data)
-		if err != nil {
-			fatal(err)
-		}
-		text, err := asm.NewDisassembler(cfg, topo).Disassemble(words)
+		text, err := eqasm.Disassemble(data, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -57,45 +52,32 @@ func main() {
 		return
 	}
 
-	a := asm.New(cfg, topo)
-	if *list {
-		prog, err := a.Assemble(string(data))
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(prog.String())
-		return
-	}
-	words, err := a.AssembleToBinary(string(data))
+	prog, err := eqasm.Assemble(string(data), opts...)
 	if err != nil {
 		fatal(err)
 	}
+	if *list {
+		fmt.Print(prog.Text())
+		return
+	}
 	if *out != "" {
-		if err := os.WriteFile(*out, isa.WordsToBytes(words), 0o644); err != nil {
+		image, err := prog.Bytes()
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d instructions (%d bytes) to %s\n", len(words), 4*len(words), *out)
+		if err := os.WriteFile(*out, image, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d instructions (%d bytes) to %s\n", len(image)/4, len(image), *out)
 		return
+	}
+	words, err := prog.Words()
+	if err != nil {
+		fatal(err)
 	}
 	for i, w := range words {
 		fmt.Printf("%4d: %08x\n", i, w)
 	}
-}
-
-func pickTopo(name string) *topology.Topology {
-	switch name {
-	case "surface7":
-		return topology.Surface7()
-	case "twoqubit":
-		return topology.TwoQubit()
-	case "iontrap5":
-		return topology.IonTrap5()
-	case "ibmqx2":
-		return topology.IBMQX2()
-	}
-	fmt.Fprintf(os.Stderr, "eqasm-asm: unknown topology %q\n", name)
-	os.Exit(2)
-	return nil
 }
 
 func printTable1() {
@@ -122,11 +104,13 @@ func printTable1() {
 		fmt.Printf("  %-24s %s\n", r[0], r[1])
 	}
 	fmt.Println("\nconfigured quantum operations (compile-time, Section 3.2):")
-	cfg := isa.DefaultConfig()
-	for _, n := range cfg.Names() {
-		d, _ := cfg.ByName(n)
+	ops, err := eqasm.Operations()
+	if err != nil {
+		fatal(err)
+	}
+	for _, op := range ops {
 		fmt.Printf("  %-8s opcode %3d  %-8s %2d cycles  flag: %s\n",
-			n, d.Opcode, d.Kind, d.DurationCycles, d.CondSel)
+			op.Name, op.Opcode, op.Kind, op.DurationCycles, op.CondFlag)
 	}
 }
 

@@ -1,6 +1,9 @@
 // Command eqasm-run executes an eQASM program (source or binary) on the
 // QuMA_v2 microarchitecture simulator and reports measurement results,
-// execution statistics and, optionally, the device-operation trace.
+// execution statistics and, optionally, the device-operation trace. It
+// is a thin shell over the public eqasm package: Assemble/LoadBinary
+// bind the program to its chip context, and a Simulator Backend streams
+// the shots.
 //
 // Usage:
 //
@@ -9,22 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"eqasm/internal/core"
-	"eqasm/internal/experiments"
-	"eqasm/internal/hwconf"
-	"eqasm/internal/isa"
-	"eqasm/internal/microarch"
-	"eqasm/internal/quantum"
-	"eqasm/internal/topology"
+	"eqasm"
 )
 
 func main() {
-	topoName := flag.String("topo", "twoqubit", "chip topology: surface7, twoqubit")
+	topoName := flag.String("topo", "twoqubit", "chip topology: "+strings.Join(eqasm.Topologies(), ", "))
 	confPath := flag.String("config", "", "hardware configuration file (topology + operations); overrides -topo")
 	shots := flag.Int("shots", 1, "number of repetitions")
 	noisy := flag.Bool("noise", false, "use the calibrated noise model instead of an ideal chip")
@@ -37,96 +35,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eqasm-run: exactly one input file required")
 		os.Exit(2)
 	}
-	var topo *topology.Topology
-	var opCfg *isa.OpConfig
-	var confNoise *quantum.NoiseModel
-	if *confPath != "" {
-		f, t, c, err := hwconf.LoadFull(*confPath)
-		if err != nil {
-			fatal(err)
-		}
-		topo, opCfg = t, c
-		if f.Noise != nil {
-			m, err := f.NoiseModel()
-			if err != nil {
-				fatal(err)
-			}
-			confNoise = &m
-		}
-	} else {
-		switch *topoName {
-		case "surface7":
-			topo = topology.Surface7()
-		case "twoqubit":
-			topo = topology.TwoQubit()
-		default:
-			fmt.Fprintf(os.Stderr, "eqasm-run: unknown topology %q\n", *topoName)
-			os.Exit(2)
-		}
-	}
-	noise := quantum.Ideal()
+	opts := []eqasm.Option{eqasm.WithSeed(*seed)}
+	// Noise options are last-wins: -noise goes first so a noise model in
+	// the -config file takes precedence over it.
 	if *noisy {
-		noise = experiments.CalibratedNoise()
+		opts = append(opts, eqasm.WithCalibratedNoise())
 	}
-	if confNoise != nil {
-		noise = *confNoise
+	if *confPath != "" {
+		opts = append(opts, eqasm.WithHardwareConfig(*confPath))
+	} else {
+		opts = append(opts, eqasm.WithTopology(*topoName))
 	}
-	sys, err := core.NewSystem(core.Options{
-		Topology:        topo,
-		OpConfig:        opCfg,
-		Noise:           noise,
-		Seed:            *seed,
-		RecordDeviceOps: *trace,
-	})
-	if err != nil {
-		fatal(err)
+	if *trace {
+		opts = append(opts, eqasm.WithDeviceTrace())
 	}
+
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	var prog *eqasm.Program
 	if *bin {
-		words, err := isa.BytesToWords(data)
-		if err != nil {
-			fatal(err)
-		}
-		prog, err := isa.Default.DecodeProgram(words, sys.OpConfig)
-		if err != nil {
-			fatal(err)
-		}
-		sys.LoadProgram(prog)
-	} else if err := sys.Load(string(data)); err != nil {
+		prog, err = eqasm.LoadBinary(data, opts...)
+	} else {
+		prog, err = eqasm.Assemble(string(data), opts...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(opts...)
+	if err != nil {
 		fatal(err)
 	}
 
+	stream, err := sim.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: *shots})
+	if err != nil {
+		fatal(err)
+	}
 	counts := map[string]int{}
-	err = sys.RunShots(*shots, func(shot int, m *microarch.Machine) {
+	var stats eqasm.ExecStats
+	for sr := range stream {
+		if sr.Err != nil {
+			fatal(sr.Err)
+		}
 		var bits []string
-		for _, r := range m.Measurements() {
-			bits = append(bits, fmt.Sprintf("q%d=%d", r.Qubit, r.Result))
+		for _, m := range sr.Measurements {
+			bits = append(bits, fmt.Sprintf("q%d=%d", m.Qubit, m.Result))
 		}
 		key := strings.Join(bits, " ")
 		if key == "" {
 			key = "(no measurements)"
 		}
 		counts[key]++
-		if *trace && shot == 0 {
+		stats = sr.Stats
+		if *trace && sr.Shot == 0 {
 			fmt.Println("device trace (shot 0):")
-			for _, op := range m.DeviceTrace() {
+			for _, op := range sr.Trace {
 				fmt.Printf("  %s\n", op)
 			}
 		}
-	})
-	if err != nil {
-		fatal(err)
 	}
 	fmt.Printf("outcomes over %d shot(s):\n", *shots)
 	for k, n := range counts {
 		fmt.Printf("  %-30s %6d  (%.1f%%)\n", k, n, 100*float64(n)/float64(*shots))
 	}
-	st := sys.Machine.Stats()
 	fmt.Printf("last shot: %d instructions, %d bundles, %d quantum ops, %d cancelled, %d ns\n",
-		st.InstructionsExecuted, st.BundlesIssued, st.QuantumOpsTriggered, st.OpsCancelled, st.FinalTimeNs)
+		stats.Instructions, stats.Bundles, stats.QuantumOps, stats.CancelledOps, stats.DurationNs)
 }
 
 func fatal(err error) {

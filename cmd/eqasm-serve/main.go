@@ -2,15 +2,8 @@
 // classical host of Fig. 1 as a network service. Jobs carry eQASM source
 // or a circuit to compile; the service assembles once (content-hash
 // cache), fans shots over a worker pool of simulated QuMA_v2 machines,
-// and aggregates measurement histograms.
-//
-// Endpoints:
-//
-//	POST   /v1/jobs      submit a job ({"source": ..., "shots": N, "wait": true})
-//	GET    /v1/jobs/{id} job status and, once finished, its result
-//	DELETE /v1/jobs/{id} cancel a job
-//	GET    /v1/stats     service counters (queue depth, cache hits, shots/sec inputs)
-//	GET    /healthz      liveness probe
+// and aggregates measurement histograms. The wire protocol lives in
+// internal/httpapi and is spoken by the public eqasm.Client.
 //
 // Usage:
 //
@@ -21,7 +14,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -29,15 +21,14 @@ import (
 	"syscall"
 	"time"
 
-	"eqasm/internal/core"
-	"eqasm/internal/experiments"
+	"eqasm"
+	"eqasm/internal/httpapi"
 	"eqasm/internal/service"
-	"eqasm/internal/topology"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	topoName := flag.String("topo", "twoqubit", "chip topology: twoqubit, surface7, surface17, iontrap5")
+	topoName := flag.String("topo", "twoqubit", "chip topology: twoqubit, surface7, surface17, iontrap5, ibmqx2")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 0, "max queued shot batches (0 = default)")
 	cacheSize := flag.Int("cache", 0, "assembled-program cache entries (0 = default)")
@@ -46,20 +37,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	flag.Parse()
 
-	topo, err := topoByName(*topoName)
-	if err != nil {
-		log.Fatalf("eqasm-serve: %v", err)
+	machine := []eqasm.Option{
+		eqasm.WithTopology(*topoName),
+		eqasm.WithSeed(*seed),
 	}
-	opts := core.Options{Topology: topo, Seed: *seed}
 	if *noisy {
-		opts.Noise = experiments.CalibratedNoise()
+		machine = append(machine, eqasm.WithCalibratedNoise())
 	}
 	svc, err := service.New(service.Config{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		CacheSize:  *cacheSize,
 		BatchShots: *batchShots,
-		System:     opts,
+		Machine:    machine,
 	})
 	if err != nil {
 		log.Fatalf("eqasm-serve: %v", err)
@@ -67,7 +57,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(svc).handler(),
+		Handler:           httpapi.New(svc).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -80,7 +70,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("eqasm-serve: listening on %s (topology %s, %d workers)",
-		*addr, topo.Name, svc.Stats().Workers)
+		*addr, *topoName, svc.Stats().Workers)
 
 	select {
 	case err := <-errc:
@@ -101,18 +91,4 @@ func main() {
 		svc.Close()
 	}
 	log.Print("eqasm-serve: bye")
-}
-
-func topoByName(name string) (*topology.Topology, error) {
-	switch name {
-	case "twoqubit":
-		return topology.TwoQubit(), nil
-	case "surface7":
-		return topology.Surface7(), nil
-	case "surface17":
-		return topology.Surface17(), nil
-	case "iontrap5":
-		return topology.IonTrap5(), nil
-	}
-	return nil, fmt.Errorf("unknown topology %q", name)
 }

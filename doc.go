@@ -1,24 +1,51 @@
 // Package eqasm is a from-scratch Go reproduction of "eQASM: An
 // Executable Quantum Instruction Set Architecture" (X. Fu et al., HPCA
-// 2019): the eQASM instruction set and its 32-bit instantiation for a
-// seven-qubit superconducting processor, an assembler and disassembler,
-// the QuMA_v2 control microarchitecture that executes it, the QuMIS
-// baseline, the compiler backend and benchmarks regenerating the Fig. 7
-// design-space exploration, and the full Section 5 experiment suite on a
-// simulated transmon chip.
+// 2019) — and this package is its public front door: one coherent,
+// context-aware API over the assembler, the compiler backend, the
+// QuMA_v2 microarchitecture simulator and the job service.
 //
-// On top of the paper's stack sits a serving layer, internal/service:
-// a concurrent job-execution engine that assembles each submitted
-// program once (content-hash cache), fans a job's shots out as batches
-// over a bounded pool of workers with pooled, reseedable QuMA_v2
-// machines, and aggregates measurement histograms. cmd/eqasm-serve
-// exposes it over HTTP (POST /v1/jobs, GET /v1/jobs/{id}, GET
-// /v1/stats, GET /healthz) with priorities, cancellation and graceful
-// shutdown.
+// # Programs
 //
-// The implementation lives under internal/; see README.md for the
-// repository map, the service architecture and the HTTP API, and the
-// command-line tools under cmd/. bench_test.go in this directory
-// regenerates every table and figure of the paper's evaluation and
-// benchmarks the serving layer's throughput and submit latency.
+// Assemble parses eQASM source, Compile lowers a hardware-independent
+// Circuit, and LoadBinary decodes a 32-bit instruction image. All three
+// return a *Program bound to its instruction-set context — the chip
+// topology, operation configuration and binary instantiation selected
+// by the same functional options (WithTopology, WithHardwareConfig,
+// WithInstantiation) — so encoding (Bytes), listing (Text) and
+// Disassemble stay coherent with assembly, exactly as the paper's
+// Section 3.2 requires of the shared operation configuration.
+// Assembly faults surface as *AssembleError with per-diagnostic line
+// and column; execution faults as *RuntimeError with PC and cycle.
+//
+// # Backends
+//
+// A Backend executes bound programs:
+//
+//	Run(ctx, p, RunOptions{Shots: 1000}) → *Result (histogram, stats)
+//	RunStream(ctx, p, opts)             → <-chan ShotResult
+//
+// NewSimulator is the in-process implementation: pooled, reseedable
+// cycle-level QuMA_v2 machines, shots fanned over workers, ctx checked
+// between shots. With Workers == 1 and a fixed seed a run is
+// bit-identical to the classic sequential shot loop. NewClient is the
+// remote implementation, speaking the eqasm-serve HTTP API; both
+// satisfy the same interface, so code switches between local
+// simulation and a serving fleet without rewiring.
+//
+// Execution options (WithSeed, WithNoise, WithCalibratedNoise,
+// WithDensityMatrix, WithDeviceTrace, WithShots, WithWorkers)
+// configure backends; per-call RunOptions override shots, seed and
+// fan-out.
+//
+// # The stack underneath
+//
+// The implementation lives under internal/: the eQASM instruction set
+// and its 32-bit instantiation (isa), assembler and disassembler
+// (asm), the QuMA_v2 control microarchitecture (microarch), the
+// simulated transmon chip (quantum), the compiler backend (compiler),
+// the QuMIS baseline (qumis), the Section 5 experiment suite
+// (experiments), the concurrent job service (service) and its HTTP
+// front end (httpapi). The cmd/ tools and examples/ programs consume
+// only this package. bench_test.go regenerates every table and figure
+// of the paper's evaluation and benchmarks the serving layer.
 package eqasm

@@ -1,0 +1,102 @@
+package eqasm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/microarch"
+)
+
+// Diagnostic is one assembler finding with its 1-based source position
+// (Col 0 means the whole line).
+type Diagnostic struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", d.Line, d.Col, d.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
+}
+
+// AssembleError reports that source failed to assemble, carrying every
+// diagnostic with line and column positions. It is the error type all
+// assembly entry points (Assemble, Compile via mnemonic resolution, and
+// any Backend rejecting a program) return for malformed programs.
+type AssembleError struct {
+	Diagnostics []Diagnostic
+}
+
+func (e *AssembleError) Error() string {
+	msgs := make([]string, len(e.Diagnostics))
+	for i, d := range e.Diagnostics {
+		msgs[i] = d.String()
+	}
+	return "eqasm: assemble: " + strings.Join(msgs, "\n")
+}
+
+// wrapAssembleErr converts the assembler's ErrorList into the public
+// typed error; other errors pass through.
+func wrapAssembleErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var list asm.ErrorList
+	if !errors.As(err, &list) {
+		return err
+	}
+	out := &AssembleError{Diagnostics: make([]Diagnostic, len(list))}
+	for i, e := range list {
+		out.Diagnostics[i] = Diagnostic{Line: e.Line, Col: e.Col, Msg: e.Msg}
+	}
+	return out
+}
+
+// RuntimeError reports a microarchitectural fault during execution: the
+// quantum processor stops (Section 4.3). PC is the program counter of
+// the faulting instruction and Cycle the quantum cycle (20 ns grid) at
+// which the fault was detected; Shot is the repetition that failed.
+// Unwrap exposes the underlying microarchitecture error.
+type RuntimeError struct {
+	Shot  int
+	PC    int
+	Cycle int64
+	Err   error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("eqasm: shot %d failed at pc %d, cycle %d: %v", e.Shot, e.PC, e.Cycle, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// wrapShotErr lifts a machine-level failure into the public typed error,
+// extracting PC and cycle from whichever fault the microarchitecture
+// raised. m is the failed machine (nil if it could not even be built).
+func wrapShotErr(shot int, m *microarch.Machine, err error) error {
+	re := &RuntimeError{Shot: shot, PC: -1, Cycle: -1, Err: err}
+	var (
+		rerr *microarch.RuntimeError
+		terr *microarch.TimingViolationError
+		cerr *microarch.CollisionError
+	)
+	switch {
+	case errors.As(err, &rerr):
+		re.PC = rerr.PC
+		if m != nil {
+			re.Cycle = m.TickToCycle(rerr.Tick)
+		}
+	case errors.As(err, &terr):
+		re.PC = terr.PC
+		re.Cycle = terr.PointCycle
+	case errors.As(err, &cerr):
+		re.PC = cerr.PC
+		re.Cycle = cerr.Cycle
+	}
+	return re
+}

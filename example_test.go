@@ -1,0 +1,67 @@
+package eqasm_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"eqasm"
+)
+
+// ExampleAssemble assembles a four-instruction program for the default
+// two-qubit chip and shows its binary image.
+func ExampleAssemble() {
+	prog, err := eqasm.Assemble(`
+SMIS S0, {0}
+X S0
+MEASZ S0
+STOP
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	words, err := prog.Words()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d instructions\n", prog.NumInstructions())
+	for i, w := range words {
+		fmt.Printf("%d: %08x\n", i, w)
+	}
+	// Output:
+	// 4 instructions
+	// 0: 24000001
+	// 1: 80800001
+	// 2: 84800001
+	// 3: 02000000
+}
+
+// ExampleBackend_Run executes a program on the in-process simulator
+// Backend: an X gate always flips the qubit to |1> on the ideal chip.
+func ExampleBackend_Run() {
+	prog, err := eqasm.Assemble(`
+SMIS S0, {0}
+QWAIT 10000
+X S0
+MEASZ S0
+QWAIT 50
+STOP
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var backend eqasm.Backend
+	backend, err = eqasm.NewSimulator(eqasm.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := backend.Run(context.Background(), prog, eqasm.RunOptions{Shots: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shots: %d\n", res.Shots)
+	fmt.Printf("P(1) on qubit %d: %d/10\n", res.Qubits[0], res.Histogram["1"])
+	// Output:
+	// shots: 10
+	// P(1) on qubit 0: 10/10
+}

@@ -10,22 +10,21 @@ import (
 	"log"
 
 	"eqasm/internal/experiments"
-	"eqasm/internal/quantum"
 )
 
 func main() {
 	for _, cfg := range []struct {
 		name  string
-		noise quantum.NoiseModel
+		noisy bool
 	}{
-		{"ideal chip", quantum.Ideal()},
-		{"calibrated chip (readout-limited)", experiments.CalibratedNoise()},
+		{"ideal chip", false},
+		{"calibrated chip (readout-limited)", true},
 	} {
-		r, err := experiments.RunReset(experiments.ResetOptions{
-			Noise: cfg.noise,
-			Seed:  7,
-			Shots: 4000,
-		})
+		opts := experiments.ResetOptions{Seed: 7, Shots: 4000}
+		if cfg.noisy {
+			opts.Noise = experiments.CalibratedNoise()
+		}
+		r, err := experiments.RunReset(opts)
 		if err != nil {
 			log.Fatal(err)
 		}

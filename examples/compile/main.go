@@ -1,28 +1,26 @@
-// Compiler-backend tour (the Fig. 1 flow): a hardware-independent circuit
-// is mapped onto the surface-7 coupling graph (SWAP routing), scheduled
-// ASAP and ALAP, emitted as executable eQASM, encoded to the 32-bit
-// binary, executed on the QuMA_v2 model, and compared against the QuMIS
-// baseline encoding.
+// Compiler-backend tour (the Fig. 1 flow) through the public eqasm
+// package: a hardware-independent circuit is mapped onto the surface-7
+// coupling graph, scheduled, emitted as executable eQASM, encoded to
+// the 32-bit binary, and executed on the QuMA_v2 model — one Compile
+// call with functional options per step that used to need hand-wiring
+// of the internal compiler.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"eqasm/internal/compiler"
-	"eqasm/internal/isa"
-	"eqasm/internal/microarch"
-	"eqasm/internal/qumis"
-	"eqasm/internal/topology"
+	"eqasm"
 )
 
 func main() {
 	// A 3-qubit GHZ-style circuit with a two-qubit gate between virtual
 	// qubits that will not sit adjacent on the chip.
-	circ := &compiler.Circuit{
+	circ := &eqasm.Circuit{
 		Name:      "ghz3",
 		NumQubits: 3,
-		Gates: []compiler.Gate{
+		Gates: []eqasm.Gate{
 			{Name: "H", Qubits: []int{0}},
 			// CNOT(0->1) in the native gate set: H(1) CZ(0,1) H(1).
 			{Name: "H", Qubits: []int{1}},
@@ -37,73 +35,47 @@ func main() {
 			{Name: "MEASZ", Qubits: []int{2}, Measure: true},
 		},
 	}
-	topo := topology.Surface7()
-	cfg := isa.DefaultConfig()
 
-	// 1. Qubit mapping: virtual 0,1,2 -> physical 2,0,3 (0-1 adjacent,
-	//    1-2 adjacent on the chip; no SWAPs needed for this placement).
-	mapped, err := compiler.MapToTopology(circ, topo, []int{2, 0, 3})
+	// Qubit mapping (virtual 0,1,2 -> physical 2,0,3: both CZ pairs sit
+	// adjacent, no SWAPs needed), ASAP scheduling, SOMQ combining and a
+	// short initialisation wait, all in one compile.
+	opts := []eqasm.Option{
+		eqasm.WithTopology("surface7"),
+		eqasm.WithInitialLayout(2, 0, 3),
+		eqasm.WithSOMQ(),
+		eqasm.WithInitWaitCycles(100),
+	}
+	prog, err := eqasm.Compile(circ, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mapping: virtual->physical %v, %d swaps inserted\n\n", mapped.Final, mapped.SwapCount)
+	words, err := prog.Words()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emitted %d instructions (%d bytes):\n%s\n", len(words), 4*len(words), prog.Text())
 
-	// 2. Scheduling, both disciplines.
-	asap, err := compiler.ASAP(mapped.Circuit)
+	// The same circuit under ALAP scheduling has the same makespan with
+	// gates pushed late; compare the listings.
+	alap, err := eqasm.Compile(circ, append(opts, eqasm.WithSchedule("alap"))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	alap, err := compiler.ALAP(mapped.Circuit)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("ASAP schedule:")
-	fmt.Print(asap.Gantt(24))
-	fmt.Println("\nALAP schedule (same makespan, gates pushed late):")
-	fmt.Print(alap.Gantt(24))
+	fmt.Printf("ALAP emission: %d instructions (same makespan, gates pushed late)\n\n",
+		alap.NumInstructions())
 
-	// 3. Code generation and binary encoding.
-	em := compiler.NewEmitter(cfg, topo)
-	prog, err := em.Emit(asap, compiler.EmitOptions{SOMQ: true, AppendStop: true, InitWaitCycles: 100})
+	// Execution on the cycle-level microarchitecture through the same
+	// Backend interface a job service would use.
+	sim, err := eqasm.NewSimulator(append(opts, eqasm.WithSeed(1))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	words, err := isa.EncodeProgram(prog, cfg)
+	res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 200})
 	if err != nil {
 		log.Fatal(err)
-	}
-	fmt.Printf("\nemitted %d instructions (%d bytes):\n%s\n", len(words), 4*len(words), prog)
-
-	// 4. Execution on the cycle-level microarchitecture.
-	m, err := microarch.New(microarch.Config{Topo: topo, OpConfig: cfg})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := m.LoadBinary(words); err != nil {
-		log.Fatal(err)
-	}
-	counts := map[string]int{}
-	for shot := 0; shot < 200; shot++ {
-		m.Reset()
-		if err := m.Run(); err != nil {
-			log.Fatal(err)
-		}
-		key := ""
-		for _, r := range m.Measurements() {
-			key += fmt.Sprint(r.Result)
-		}
-		counts[key]++
 	}
 	fmt.Println("measurement statistics over 200 shots (GHZ: all agree):")
-	for k, n := range counts {
+	for k, n := range res.Histogram {
 		fmt.Printf("  %s: %d\n", k, n)
 	}
-
-	// 5. Information-density comparison against the QuMIS baseline.
-	cmp, err := qumis.CompareWithEQASM(asap)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nQuMIS baseline: %d instructions; eQASM (Config 9, w=2): %d (%.0f%% fewer)\n",
-		cmp.QuMIS, cmp.EQASM, 100*cmp.Reduction)
 }

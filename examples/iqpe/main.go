@@ -16,13 +16,12 @@ import (
 	"sort"
 
 	"eqasm/internal/experiments"
-	"eqasm/internal/quantum"
 )
 
 func main() {
-	// Estimate phi = 2*pi * 5/8 (bits 101) on an ideal chip.
+	// Estimate phi = 2*pi * 5/8 (bits 101) on an ideal chip (the zero
+	// noise model).
 	r, err := experiments.RunIQPE(experiments.IQPEOptions{
-		Noise:          quantum.Ideal(),
 		Seed:           1,
 		Bits:           3,
 		PhaseNumerator: 5,

@@ -1,14 +1,15 @@
 // Quickstart: assemble and execute the paper's Fig. 3 AllXY snippet on
 // the simulated two-qubit chip, then inspect the timing of the triggered
-// pulses — the smallest end-to-end tour of the eQASM stack.
+// pulses — the smallest end-to-end tour of the eQASM stack, written
+// entirely against the public eqasm package.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"eqasm/internal/core"
-	"eqasm/internal/microarch"
+	"eqasm"
 )
 
 // The program of Fig. 3: initialise both qubits by idling 200 us, apply a
@@ -27,13 +28,13 @@ STOP
 `
 
 func main() {
-	sys, err := core.NewSystem(core.Options{RecordDeviceOps: true})
+	prog, err := eqasm.Assemble(program)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Show the binary the assembler produces (Fig. 8 formats).
-	words, err := sys.Binary(program)
+	words, err := prog.Words()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,17 +43,24 @@ func main() {
 		fmt.Printf("  %2d: %08x\n", i, w)
 	}
 
-	if err := sys.Load(program); err != nil {
+	sim, err := eqasm.NewSimulator(eqasm.WithDeviceTrace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := sim.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: 200})
+	if err != nil {
 		log.Fatal(err)
 	}
 	counts := map[int]map[int]int{0: {}, 2: {}}
-	err = sys.RunShots(200, func(_ int, m *microarch.Machine) {
-		for _, r := range m.Measurements() {
-			counts[r.Qubit][r.Result]++
+	var lastTrace []string
+	for sr := range stream {
+		if sr.Err != nil {
+			log.Fatal(sr.Err)
 		}
-	})
-	if err != nil {
-		log.Fatal(err)
+		for _, m := range sr.Measurements {
+			counts[m.Qubit][m.Result]++
+		}
+		lastTrace = sr.Trace
 	}
 	fmt.Println("\nmeasurement statistics over 200 shots:")
 	fmt.Printf("  qubit 0 (Y then X90, ends on the equator): P(1) = %.2f\n",
@@ -61,7 +69,7 @@ func main() {
 		float64(counts[2][1])/200)
 
 	fmt.Println("\npulse timing of the last shot (20 ns cycles):")
-	for _, op := range sys.Machine.DeviceTrace() {
+	for _, op := range lastTrace {
 		fmt.Printf("  %s\n", op)
 	}
 }

@@ -1,8 +1,9 @@
 // Surface-17 error detection: eQASM instantiated for a 17-qubit
 // distance-3 surface-code processor (the paper's future-work target of
-// "a different quantum chip topology"). The instantiation swaps the SMIT
-// encoding from a 16-bit edge mask to two explicit address pairs
-// (Section 3.3.2) and widens the SMIS mask to 17 bits.
+// "a different quantum chip topology"). Selecting the surface17
+// topology through the public API also swaps the SMIT encoding from a
+// 16-bit edge mask to two explicit address pairs (Section 3.3.2) and
+// widens the SMIS mask to 17 bits.
 //
 // The program measures the Z-parity of two data qubits through a
 // stabilizer ancilla, then uses comprehensive feedback control to apply
@@ -12,23 +13,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"eqasm/internal/core"
-	"eqasm/internal/isa"
-	"eqasm/internal/topology"
+	"eqasm"
 )
 
 func main() {
 	for _, injectError := range []bool{false, true} {
-		sys, err := core.NewSystem(core.Options{
-			Topology:      topology.Surface17(),
-			Instantiation: isa.Surface17Instantiation(),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
 		inject := "I S1              # no error"
 		if injectError {
 			inject = "X S1              # inject a bit flip on data qubit 0"
@@ -62,16 +55,30 @@ MEASZ S2
 QWAIT 50
 STOP
 `
-		if err := sys.RunAssembly(src); err != nil {
+		prog, err := eqasm.Assemble(src, eqasm.WithTopology("surface17"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := eqasm.NewSimulator(eqasm.WithTopology("surface17"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream, err := sim.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: 1})
+		if err != nil {
 			log.Fatal(err)
 		}
 		syndrome := -1
 		final := map[int]int{}
-		for _, r := range sys.Machine.Measurements() {
-			if r.Qubit == 9 && syndrome == -1 {
-				syndrome = r.Result
-			} else {
-				final[r.Qubit] = r.Result
+		for sr := range stream {
+			if sr.Err != nil {
+				log.Fatal(sr.Err)
+			}
+			for _, m := range sr.Measurements {
+				if m.Qubit == 9 && syndrome == -1 {
+					syndrome = m.Result
+				} else {
+					final[m.Qubit] = m.Result
+				}
 			}
 		}
 		fmt.Printf("injected error: %-5v  syndrome: %d  data after correction: q0=%d q1=%d\n",

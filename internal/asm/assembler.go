@@ -25,13 +25,18 @@ func New(cfg *isa.OpConfig, topo *topology.Topology) *Assembler {
 	return &Assembler{Config: cfg, Topo: topo, Inst: isa.Default}
 }
 
-// Error is one assembly diagnostic.
+// Error is one assembly diagnostic. Line and Col are 1-based source
+// positions; Col 0 means the diagnostic covers the whole line.
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 func (e Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
 }
 
@@ -96,10 +101,11 @@ type fixup struct {
 	instrIdx int
 	label    string
 	line     int
+	col      int
 }
 
-func (p *parser) errorf(line int, format string, args ...any) {
-	p.errs = append(p.errs, Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+func (p *parser) errorf(line, col int, format string, args ...any) {
+	p.errs = append(p.errs, Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
 }
 
 func (p *parser) emit(ins isa.Instr, line int) {
@@ -108,20 +114,20 @@ func (p *parser) emit(ins isa.Instr, line int) {
 }
 
 func (p *parser) parseLine(line string, lineNo int) {
-	toks, err := lexLine(line, lineNo)
-	if err != nil {
-		p.errorf(lineNo, "%v", err)
+	toks, lexErr := lexLine(line, lineNo)
+	if lexErr != nil {
+		p.errs = append(p.errs, *lexErr)
 		return
 	}
 	c := &cursor{toks: toks, line: lineNo, p: p}
 	// Leading labels: IDENT ':' (possibly several, possibly alone).
 	for c.peek().kind == tokIdent && c.peekAt(1).kind == tokColon {
-		name := c.next().text
+		nameTok := c.next()
 		c.next() // colon
-		if _, dup := p.prog.Labels[name]; dup {
-			p.errorf(lineNo, "label %q redefined", name)
+		if _, dup := p.prog.Labels[nameTok.text]; dup {
+			p.errorf(lineNo, nameTok.col, "label %q redefined", nameTok.text)
 		} else {
-			p.prog.Labels[name] = len(p.prog.Instrs)
+			p.prog.Labels[nameTok.text] = len(p.prog.Instrs)
 		}
 	}
 	if c.peek().kind == tokEOL {
@@ -139,7 +145,7 @@ func (p *parser) parseLine(line string, lineNo int) {
 		}
 		p.parseBundle(c, false)
 	default:
-		p.errorf(lineNo, "unexpected %s at start of statement", c.peek().kind)
+		p.errorf(lineNo, c.peek().col, "unexpected %s at start of statement", c.peek().kind)
 	}
 }
 
@@ -173,7 +179,7 @@ func (c *cursor) expect(kind tokenKind) (token, bool) {
 	t := c.peek()
 	if t.kind != kind {
 		if !c.bad {
-			c.p.errorf(c.line, "expected %s, found %s %q", kind, t.kind, t.text)
+			c.p.errorf(c.line, t.col, "expected %s, found %s %q", kind, t.kind, t.text)
 			c.bad = true
 		}
 		return t, false
@@ -183,7 +189,7 @@ func (c *cursor) expect(kind tokenKind) (token, bool) {
 
 func (c *cursor) expectEnd() {
 	if t := c.peek(); t.kind != tokEOL && !c.bad {
-		c.p.errorf(c.line, "trailing %s %q after instruction", t.kind, t.text)
+		c.p.errorf(c.line, t.col, "trailing %s %q after instruction", t.kind, t.text)
 		c.bad = true
 	}
 }
@@ -197,18 +203,18 @@ func (c *cursor) reg(prefix byte, limit int, what string) (uint8, bool) {
 	}
 	up := strings.ToUpper(t.text)
 	if len(up) < 2 || up[0] != prefix {
-		c.p.errorf(c.line, "expected %s register %c<n>, found %q", what, prefix, t.text)
+		c.p.errorf(c.line, t.col, "expected %s register %c<n>, found %q", what, prefix, t.text)
 		c.bad = true
 		return 0, false
 	}
 	n, err := parseNumber(up[1:])
 	if err != nil || n < 0 {
-		c.p.errorf(c.line, "malformed register %q", t.text)
+		c.p.errorf(c.line, t.col, "malformed register %q", t.text)
 		c.bad = true
 		return 0, false
 	}
 	if int(n) >= limit {
-		c.p.errorf(c.line, "%s register %q out of range (max %c%d)", what, t.text, prefix, limit-1)
+		c.p.errorf(c.line, t.col, "%s register %q out of range (max %c%d)", what, t.text, prefix, limit-1)
 		c.bad = true
 		return 0, false
 	}
@@ -256,12 +262,12 @@ func (p *parser) parseClassical(c *cursor, op isa.Opcode) {
 		case tokIdent:
 			c.next()
 			ins.Label = t.text
-			p.fixups = append(p.fixups, fixup{len(p.prog.Instrs), t.text, c.line})
+			p.fixups = append(p.fixups, fixup{len(p.prog.Instrs), t.text, c.line, t.col})
 		case tokNumber:
 			c.next()
 			ins.Imm = int32(t.num)
 		default:
-			p.errorf(c.line, "expected branch target label or offset, found %s", t.kind)
+			p.errorf(c.line, t.col, "expected branch target label or offset, found %s", t.kind)
 			c.bad = true
 		}
 	case isa.OpFBR:
@@ -297,10 +303,11 @@ func (p *parser) parseClassical(c *cursor, op isa.Opcode) {
 	case isa.OpFMR:
 		ins.Rd, _ = c.gpr("destination")
 		c.comma()
+		qTok := c.peek()
 		q, ok := c.reg('Q', 32, "measurement result")
 		if ok {
 			if int(q) >= p.asm.Topo.NumQubits {
-				p.errorf(c.line, "Q%d exceeds the %d-qubit chip", q, p.asm.Topo.NumQubits)
+				p.errorf(c.line, qTok.col, "Q%d exceeds the %d-qubit chip", q, p.asm.Topo.NumQubits)
 				c.bad = true
 			}
 			ins.Qi = q
@@ -316,9 +323,10 @@ func (p *parser) parseClassical(c *cursor, op isa.Opcode) {
 		c.comma()
 		ins.Rt, _ = c.gpr("source")
 	case isa.OpQWAIT:
+		vTok := c.peek()
 		v, ok := c.number("wait time")
 		if ok && v < 0 {
-			p.errorf(c.line, "QWAIT time must be non-negative, got %d", v)
+			p.errorf(c.line, vTok.col, "QWAIT time must be non-negative, got %d", v)
 			c.bad = true
 		}
 		ins.Imm = int32(v)
@@ -333,7 +341,7 @@ func (p *parser) parseClassical(c *cursor, op isa.Opcode) {
 		c.comma()
 		ins.Mask = p.parsePairList(c)
 	default:
-		p.errorf(c.line, "internal: unhandled mnemonic %v", op)
+		p.errorf(c.line, 0, "internal: unhandled mnemonic %v", op)
 		c.bad = true
 	}
 }
@@ -345,7 +353,7 @@ func (p *parser) parseCond(c *cursor) isa.CondFlag {
 	}
 	f, ok := isa.ParseCondFlag(strings.ToUpper(t.text))
 	if !ok {
-		p.errorf(c.line, "unknown comparison flag %q", t.text)
+		p.errorf(c.line, t.col, "unknown comparison flag %q", t.text)
 		c.bad = true
 		return isa.CondAlways
 	}
@@ -359,19 +367,20 @@ func (p *parser) parseQubitList(c *cursor) uint64 {
 	}
 	var mask uint64
 	for c.peek().kind != tokRBrace && c.peek().kind != tokEOL {
+		vTok := c.peek()
 		v, ok := c.number("qubit address")
 		if !ok {
 			return mask
 		}
 		if v < 0 || int(v) >= p.asm.Inst.QubitMaskBits {
-			p.errorf(c.line, "qubit address %d outside the %d-bit mask", v, p.asm.Inst.QubitMaskBits)
+			p.errorf(c.line, vTok.col, "qubit address %d outside the %d-bit mask", v, p.asm.Inst.QubitMaskBits)
 			c.bad = true
 		} else if p.asm.Topo.Feedline(int(v)) < 0 {
-			p.errorf(c.line, "qubit %d is not available on chip %q", v, p.asm.Topo.Name)
+			p.errorf(c.line, vTok.col, "qubit %d is not available on chip %q", v, p.asm.Topo.Name)
 			c.bad = true
 		} else {
 			if mask&(1<<uint(v)) != 0 {
-				p.errorf(c.line, "qubit %d listed twice", v)
+				p.errorf(c.line, vTok.col, "qubit %d listed twice", v)
 				c.bad = true
 			}
 			mask |= 1 << uint(v)
@@ -388,11 +397,13 @@ func (p *parser) parseQubitList(c *cursor) uint64 {
 // enforcing the Section 4.3 validity rule that no two selected edges share
 // a qubit.
 func (p *parser) parsePairList(c *cursor) uint64 {
-	if _, ok := c.expect(tokLBrace); !ok {
+	lb, ok := c.expect(tokLBrace)
+	if !ok {
 		return 0
 	}
 	var mask uint64
 	for c.peek().kind != tokRBrace && c.peek().kind != tokEOL {
+		pairTok := c.peek()
 		if _, ok := c.expect(tokLParen); !ok {
 			return mask
 		}
@@ -409,14 +420,14 @@ func (p *parser) parsePairList(c *cursor) uint64 {
 		id, allowed := p.asm.Topo.EdgeID(int(src), int(tgt))
 		switch {
 		case !allowed:
-			p.errorf(c.line, "(%d, %d) is not an allowed qubit pair on chip %q", src, tgt, p.asm.Topo.Name)
+			p.errorf(c.line, pairTok.col, "(%d, %d) is not an allowed qubit pair on chip %q", src, tgt, p.asm.Topo.Name)
 			c.bad = true
 		case id >= p.asm.Inst.PairMaskBits:
-			p.errorf(c.line, "edge %d outside the %d-bit pair mask", id, p.asm.Inst.PairMaskBits)
+			p.errorf(c.line, pairTok.col, "edge %d outside the %d-bit pair mask", id, p.asm.Inst.PairMaskBits)
 			c.bad = true
 		default:
 			if mask&(1<<uint(id)) != 0 {
-				p.errorf(c.line, "pair (%d, %d) listed twice", src, tgt)
+				p.errorf(c.line, pairTok.col, "pair (%d, %d) listed twice", src, tgt)
 				c.bad = true
 			}
 			mask |= 1 << uint(id)
@@ -427,7 +438,7 @@ func (p *parser) parsePairList(c *cursor) uint64 {
 	}
 	c.expect(tokRBrace)
 	if err := p.asm.Topo.ValidatePairMask(mask); err != nil && !c.bad {
-		p.errorf(c.line, "invalid two-qubit target: %v", err)
+		p.errorf(c.line, lb.col, "invalid two-qubit target: %v", err)
 		c.bad = true
 	}
 	return mask
@@ -439,12 +450,13 @@ func (p *parser) parsePairList(c *cursor) uint64 {
 func (p *parser) parseBundle(c *cursor, explicitPI bool) {
 	pi := int64(1) // Section 3.1.2: PI defaults to 1 if not specified.
 	if explicitPI {
+		vTok := c.peek()
 		v, ok := c.number("pre-interval")
 		if !ok {
 			return
 		}
 		if v < 0 {
-			p.errorf(c.line, "pre-interval must be non-negative, got %d", v)
+			p.errorf(c.line, vTok.col, "pre-interval must be non-negative, got %d", v)
 			return
 		}
 		pi = v
@@ -504,7 +516,7 @@ func (p *parser) parseQOp(c *cursor) (isa.QOp, bool) {
 	}
 	def, ok := p.asm.Config.ByName(t.text)
 	if !ok {
-		p.errorf(c.line, "quantum operation %q is not configured (available: %s)",
+		p.errorf(c.line, t.col, "quantum operation %q is not configured (available: %s)",
 			t.text, strings.Join(p.asm.Config.Names(), ", "))
 		c.bad = true
 		return isa.QOp{}, false
@@ -527,11 +539,16 @@ func (p *parser) resolveBranches() {
 	for _, f := range p.fixups {
 		target, ok := p.prog.Labels[f.label]
 		if !ok {
-			p.errorf(f.line, "undefined label %q", f.label)
+			p.errorf(f.line, f.col, "undefined label %q", f.label)
 			continue
 		}
 		p.prog.Instrs[f.instrIdx].Imm = int32(target - f.instrIdx)
 	}
 	// Deterministic error ordering for tests and tooling.
-	sort.SliceStable(p.errs, func(i, j int) bool { return p.errs[i].Line < p.errs[j].Line })
+	sort.SliceStable(p.errs, func(i, j int) bool {
+		if p.errs[i].Line != p.errs[j].Line {
+			return p.errs[i].Line < p.errs[j].Line
+		}
+		return p.errs[i].Col < p.errs[j].Col
+	})
 }

@@ -64,8 +64,9 @@ type token struct {
 }
 
 // lexLine tokenizes one assembly line. Comments start with '#' and run to
-// the end of the line. The returned slice always ends with a tokEOL.
-func lexLine(line string, lineNo int) ([]token, error) {
+// the end of the line. The returned slice always ends with a tokEOL; a
+// lexical fault is reported as a positioned *Error.
+func lexLine(line string, lineNo int) ([]token, *Error) {
 	var toks []token
 	i := 0
 	n := len(line)
@@ -106,7 +107,7 @@ func lexLine(line string, lineNo int) ([]token, error) {
 			text := line[start:i]
 			v, err := parseNumber(text)
 			if err != nil {
-				return nil, fmt.Errorf("line %d col %d: %v", lineNo, start+1, err)
+				return nil, &Error{Line: lineNo, Col: start + 1, Msg: err.Error()}
 			}
 			toks = append(toks, token{tokNumber, text, v, start + 1})
 		case isIdentStart(c):
@@ -117,7 +118,8 @@ func lexLine(line string, lineNo int) ([]token, error) {
 			}
 			toks = append(toks, token{tokIdent, line[start:i], 0, start + 1})
 		default:
-			return nil, fmt.Errorf("line %d col %d: unexpected character %q", lineNo, i+1, string(c))
+			return nil, &Error{Line: lineNo, Col: i + 1,
+				Msg: fmt.Sprintf("unexpected character %q", string(c))}
 		}
 	}
 	toks = append(toks, token{tokEOL, "", 0, n + 1})

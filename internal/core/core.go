@@ -7,8 +7,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"eqasm/internal/asm"
 	"eqasm/internal/isa"
@@ -152,63 +152,36 @@ const SeedStride = 1_000_003
 // concurrency safe; the chips are independent anyway). Workers derive
 // their random streams from opts.Seed plus the worker index, so results
 // are reproducible for a fixed worker count. collect is called serially.
+//
+// Deprecated: ParallelShots is a thin veneer over SystemPool.FanShots,
+// the single shot fan-out code path also backing the public eqasm
+// Backend. New code should use the eqasm package (or FanShots directly
+// inside this module) and gain machine pooling and per-shot context
+// cancellation; this wrapper remains for source compatibility.
 func ParallelShots(opts Options, src string, shots, workers int,
 	collect func(shot int, m *microarch.Machine)) error {
-	if workers < 1 {
-		workers = 1
+	sys, err := NewSystem(opts)
+	if err != nil {
+		return err
 	}
-	if workers > shots {
-		workers = shots
+	prog, err := sys.Asm.Assemble(src)
+	if err != nil {
+		return fmt.Errorf("core: shot 0: %w", err)
 	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	perWorker := (shots + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wOpts := opts
-			wOpts.Seed = opts.Seed + int64(w)*SeedStride
-			sys, err := NewSystem(wOpts)
-			if err == nil {
-				err = sys.Load(src)
+	pool := NewSystemPool(opts)
+	// Seed worker 0's checkout with the probe system; Get reseeds it, so
+	// the run is indistinguishable from a fresh build.
+	pool.Put(sys)
+	return pool.FanShots(context.Background(), prog, opts.Seed, shots, workers,
+		func(shot int, m *microarch.Machine, runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("core: shot %d: %w", shot, runErr)
 			}
-			for i := 0; i < perWorker; i++ {
-				shot := w*perWorker + i
-				if shot >= shots {
-					return
-				}
-				var runErr error
-				if err != nil {
-					runErr = err
-				} else {
-					sys.Machine.Reset()
-					runErr = sys.Machine.Run()
-				}
-				// collect runs serially (shots may arrive out of order);
-				// the worker holds the lock so its machine state is
-				// stable while the callback reads it.
-				mu.Lock()
-				switch {
-				case firstErr != nil:
-				case runErr != nil:
-					firstErr = fmt.Errorf("core: shot %d: %w", shot, runErr)
-				case collect != nil:
-					collect(shot, sys.Machine)
-				}
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					return
-				}
+			if collect != nil {
+				collect(shot, m)
 			}
-		}(w)
-	}
-	wg.Wait()
-	return firstErr
+			return nil
+		})
 }
 
 // Reseed restarts the machine's random stream (backend permitting): the

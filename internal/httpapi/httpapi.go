@@ -1,4 +1,15 @@
-package main
+// Package httpapi is the HTTP/JSON front end of the eQASM execution
+// service: the wire protocol behind cmd/eqasm-serve and the public
+// eqasm.Client.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a job ({"source": ..., "shots": N, "wait": true})
+//	GET    /v1/jobs/{id} job status and, once finished, its result
+//	DELETE /v1/jobs/{id} cancel a job
+//	GET    /v1/stats     service counters (queue depth, cache hits, shots/sec inputs)
+//	GET    /healthz      liveness probe
+package httpapi
 
 import (
 	"context"
@@ -9,22 +20,23 @@ import (
 	"net/http"
 	"time"
 
-	"eqasm/internal/compiler"
+	"eqasm"
 	"eqasm/internal/service"
 )
 
-// server is the HTTP/JSON front end over a service.Service.
-type server struct {
+// Server is the HTTP/JSON front end over a service.Service.
+type Server struct {
 	svc   *service.Service
 	start time.Time
 }
 
-func newServer(svc *service.Service) *server {
-	return &server{svc: svc, start: time.Now()}
+// New builds a Server over svc.
+func New(svc *service.Service) *Server {
+	return &Server{svc: svc, start: time.Now()}
 }
 
-// handler builds the route table.
-func (s *server) handler() http.Handler {
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -45,8 +57,12 @@ type jobRequest struct {
 	Shots int `json:"shots,omitempty"`
 	// Priority is "low", "normal" (default) or "high".
 	Priority string `json:"priority,omitempty"`
-	// Seed, when nonzero, fixes the job's random streams.
+	// Seed, when nonzero, fixes the job's random streams (must be
+	// non-negative).
 	Seed int64 `json:"seed,omitempty"`
+	// Chip, when set, names the topology the program was built for;
+	// the service rejects the job if it runs a different chip.
+	Chip string `json:"chip,omitempty"`
 	// Wait makes the request synchronous: the response carries the
 	// result instead of a queued-job ticket.
 	Wait bool `json:"wait,omitempty"`
@@ -65,10 +81,10 @@ type gateJSON struct {
 	Measure        bool   `json:"measure,omitempty"`
 }
 
-func (c *circuitJSON) toCircuit() *compiler.Circuit {
-	out := &compiler.Circuit{Name: c.Name, NumQubits: c.NumQubits}
+func (c *circuitJSON) toCircuit() *eqasm.Circuit {
+	out := &eqasm.Circuit{Name: c.Name, NumQubits: c.NumQubits}
 	for _, g := range c.Gates {
-		out.Gates = append(out.Gates, compiler.Gate{
+		out.Gates = append(out.Gates, eqasm.Gate{
 			Name:           g.Name,
 			Qubits:         g.Qubits,
 			DurationCycles: g.DurationCycles,
@@ -107,7 +123,7 @@ func describeJob(job *service.Job) jobResponse {
 // is orders of magnitude above any real payload).
 const maxRequestBytes = 8 << 20
 
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -123,6 +139,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Shots:    req.Shots,
 		Priority: prio,
 		Seed:     req.Seed,
+		Chip:     req.Chip,
 	}
 	if req.Circuit != nil {
 		spec.Circuit = req.Circuit.toCircuit()
@@ -155,7 +172,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, describeJob(job))
 }
 
-func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.svc.Job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
@@ -164,7 +181,7 @@ func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, describeJob(job))
 }
 
-func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.svc.Job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
@@ -174,7 +191,7 @@ func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, describeJob(job))
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	type statsResponse struct {
 		service.Stats
 		UptimeSeconds float64 `json:"uptime_seconds"`
@@ -185,7 +202,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -193,7 +210,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("eqasm-serve: encode response: %v", err)
+		log.Printf("httpapi: encode response: %v", err)
 	}
 }
 

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -9,7 +9,7 @@ import (
 	"testing"
 	"time"
 
-	"eqasm/internal/core"
+	"eqasm"
 	"eqasm/internal/service"
 )
 
@@ -18,12 +18,12 @@ func newTestServer(t *testing.T) *httptest.Server {
 	svc, err := service.New(service.Config{
 		Workers:    2,
 		BatchShots: 16,
-		System:     core.Options{Seed: 4},
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc).handler())
+	ts := httptest.NewServer(New(svc).Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -230,12 +230,12 @@ func TestCancelJob(t *testing.T) {
 		Workers:    1,
 		QueueDepth: 100000,
 		BatchShots: 8,
-		System:     core.Options{Seed: 3},
+		Machine:    []eqasm.Option{eqasm.WithSeed(3)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc).handler())
+	ts := httptest.NewServer(New(svc).Handler())
 	defer func() {
 		ts.Close()
 		svc.Close()

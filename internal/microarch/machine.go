@@ -342,6 +342,12 @@ func (m *Machine) CycleNs() int64 {
 	return int64(m.cfg.CycleTicks) * int64(m.cfg.ClassicalTickNs)
 }
 
+// TickToCycle converts a classical-tick timestamp (as carried by
+// RuntimeError.Tick) to the quantum cycle it falls in.
+func (m *Machine) TickToCycle(tick int64) int64 {
+	return tick / int64(m.cfg.CycleTicks)
+}
+
 func (m *Machine) fail(err error) {
 	if m.err == nil {
 		m.err = err

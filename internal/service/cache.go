@@ -4,7 +4,7 @@ import (
 	"container/list"
 	"sync"
 
-	"eqasm/internal/isa"
+	"eqasm"
 )
 
 // programCache is the content-addressed store of assembled programs:
@@ -22,14 +22,14 @@ type programCache struct {
 
 type cacheEntry struct {
 	key  string
-	prog *isa.Program
+	prog *eqasm.Program
 }
 
 func newProgramCache(max int) *programCache {
 	return &programCache{max: max, byKey: map[string]*list.Element{}}
 }
 
-func (c *programCache) get(key string) (*isa.Program, bool) {
+func (c *programCache) get(key string) (*eqasm.Program, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -41,7 +41,7 @@ func (c *programCache) get(key string) (*isa.Program, bool) {
 	return nil, false
 }
 
-func (c *programCache) put(key string, prog *isa.Program) {
+func (c *programCache) put(key string, prog *eqasm.Program) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {

@@ -4,14 +4,14 @@ import (
 	"fmt"
 	"testing"
 
-	"eqasm/internal/isa"
+	"eqasm"
 )
 
 func TestProgramCacheLRUEviction(t *testing.T) {
 	c := newProgramCache(2)
-	progs := make([]*isa.Program, 3)
+	progs := make([]*eqasm.Program, 3)
 	for i := range progs {
-		progs[i] = &isa.Program{}
+		progs[i] = &eqasm.Program{}
 		c.put(fmt.Sprintf("k%d", i), progs[i])
 	}
 	// k0 is the oldest and must be gone; k1 and k2 remain.
@@ -32,10 +32,10 @@ func TestProgramCacheLRUEviction(t *testing.T) {
 
 func TestProgramCacheTouchRefreshes(t *testing.T) {
 	c := newProgramCache(2)
-	c.put("a", &isa.Program{})
-	c.put("b", &isa.Program{})
-	c.get("a")                 // a becomes most recent
-	c.put("c", &isa.Program{}) // evicts b, not a
+	c.put("a", &eqasm.Program{})
+	c.put("b", &eqasm.Program{})
+	c.get("a")                   // a becomes most recent
+	c.put("c", &eqasm.Program{}) // evicts b, not a
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("recently used entry evicted")
 	}
@@ -46,9 +46,9 @@ func TestProgramCacheTouchRefreshes(t *testing.T) {
 
 func TestProgramCacheDuplicatePutKeepsResident(t *testing.T) {
 	c := newProgramCache(2)
-	first := &isa.Program{}
+	first := &eqasm.Program{}
 	c.put("k", first)
-	c.put("k", &isa.Program{}) // concurrent-assembly race: resident wins
+	c.put("k", &eqasm.Program{}) // concurrent-assembly race: resident wins
 	p, ok := c.get("k")
 	if !ok || p != first {
 		t.Fatal("duplicate put replaced the resident program")

@@ -6,14 +6,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"eqasm/internal/compiler"
-	"eqasm/internal/isa"
+	"eqasm"
 )
 
 // Priority orders jobs in the queue; higher runs first, FIFO within a
@@ -56,14 +54,22 @@ type JobSpec struct {
 	Source string
 	// Circuit is a hardware-independent circuit to schedule and emit
 	// before execution.
-	Circuit *compiler.Circuit
+	Circuit *eqasm.Circuit
 	// Shots is the number of repetitions; default 1.
 	Shots int
 	// Priority orders the job against others in the queue.
 	Priority Priority
 	// Seed, when nonzero, replaces the service's base seed for this
-	// job's random streams (batch i runs at Seed + i*1e6+3).
+	// job's random streams (batch i runs at Seed + i*1e6+3). Must be
+	// non-negative: a negative base could derive a batch seed of
+	// exactly 0, which the execution backend reads as "use the
+	// default", breaking per-batch reproducibility.
 	Seed int64
+	// Chip, when set, names the topology the program was built for;
+	// the service rejects the job if it runs a different chip, so a
+	// program bound elsewhere cannot silently execute with different
+	// semantics.
+	Chip string
 }
 
 // MaxJobShots bounds a single job's shot count: large enough for any
@@ -81,6 +87,9 @@ func (spec JobSpec) validate() error {
 	if spec.Shots > MaxJobShots {
 		return fmt.Errorf("service: shot count %d exceeds the per-job limit %d",
 			spec.Shots, MaxJobShots)
+	}
+	if spec.Seed < 0 {
+		return fmt.Errorf("service: negative seed %d", spec.Seed)
 	}
 	return nil
 }
@@ -159,14 +168,20 @@ type Job struct {
 	spec         JobSpec
 	seq          int64
 	svc          *Service
-	program      *isa.Program
+	program      *eqasm.Program
 	cacheHit     bool
 	assembleTime time.Duration
 	submitted    time.Time
 	stopWatch    func() bool
 
-	// cancelled mirrors err != nil for the workers' per-shot check; an
-	// atomic read keeps the hot shot loop off the job mutex.
+	// runCtx is cancelled (with the job's cause) when the job stops:
+	// the execution backend checks it between shots, so running
+	// batches stop at the next shot boundary.
+	runCtx    context.Context
+	cancelRun context.CancelCauseFunc
+
+	// cancelled mirrors err != nil for the workers' queue-skip check;
+	// an atomic read keeps the dispatch path off the job mutex.
 	cancelled atomic.Bool
 
 	mu        sync.Mutex
@@ -264,9 +279,10 @@ func (j *Job) cancel(cause error) {
 	j.err = cause
 	j.cancelled.Store(true)
 	j.mu.Unlock()
+	j.cancelRun(cause)
 }
 
-// isCancelled is the workers' fast check between shots.
+// isCancelled is the workers' fast check before starting a batch.
 func (j *Job) isCancelled() bool { return j.cancelled.Load() }
 
 // startBatch transitions the job to running on its first batch.
@@ -290,9 +306,11 @@ func (j *Job) finishBatch(shotsRun int, hist map[string]int, qubits []int, err e
 	if j.qubits == nil && len(qubits) > 0 {
 		j.qubits = qubits
 	}
+	var failed error
 	if err != nil && j.err == nil {
 		j.err = err
-		j.cancelled.Store(true) // sibling batches stop early
+		j.cancelled.Store(true)
+		failed = err
 	}
 	j.remaining--
 	last := j.remaining == 0
@@ -300,6 +318,9 @@ func (j *Job) finishBatch(shotsRun int, hist map[string]int, qubits []int, err e
 		j.finalizeLocked()
 	}
 	j.mu.Unlock()
+	if failed != nil {
+		j.cancelRun(failed) // sibling batches stop early
+	}
 	if last {
 		j.svc.retire(j)
 	}
@@ -337,27 +358,6 @@ func (j *Job) finalizeLocked() {
 	if j.stopWatch != nil {
 		j.stopWatch()
 	}
+	j.cancelRun(nil) // release the run context's resources
 	close(j.done)
-}
-
-// histKey renders one shot's measurements as a histogram key: the last
-// result per qubit, qubits ascending.
-func histKey(last map[int]int) (string, []int) {
-	if len(last) == 0 {
-		return "", nil
-	}
-	qubits := make([]int, 0, len(last))
-	for q := range last {
-		qubits = append(qubits, q)
-	}
-	sort.Ints(qubits)
-	var b strings.Builder
-	for _, q := range qubits {
-		if last[q] == 0 {
-			b.WriteByte('0')
-		} else {
-			b.WriteByte('1')
-		}
-	}
-	return b.String(), qubits
 }

@@ -8,20 +8,20 @@
 //
 // Concurrency model (the shared-mutable-state audit of the stack):
 //
-//   - microarch.Machine is not concurrency safe (architectural state,
-//     event heap, chip backend), so every batch runs on its own
-//     core.System; random streams derive from the job seed plus the
-//     batch index, making results reproducible for a fixed BatchShots.
-//   - asm.Assembler and compiler.Emitter keep no per-call state (each
-//     Assemble/Emit builds a fresh parser or allocator), so single
-//     instances serve all submitters concurrently.
-//   - isa.OpConfig and topology.Topology are read-only after
-//     construction and are shared by every worker.
-//   - isa.Program values returned by the cache are treated as immutable:
-//     machines only read Instrs, so one assembled program is shared by
-//     all batches of all jobs that hash to it.
-//   - Options.MockMeasure, if set, is called from worker goroutines and
-//     must be safe for concurrent use.
+//   - machines are not concurrency safe, so every batch runs through
+//     the shared eqasm.Simulator with Workers == 1 on its own pooled
+//     machine; random streams derive from the job seed plus the batch
+//     index, making results reproducible for a fixed BatchShots.
+//   - the assembler and emitter behind eqasm.Assemble/Compile keep no
+//     per-call state, so concurrent submitters resolve freely.
+//   - the topology and operation configuration are read-only after
+//     construction and are interned by the eqasm package, so every
+//     batch of every job shares one machine pool.
+//   - eqasm.Program values returned by the cache are immutable: one
+//     assembled program is shared by all batches of all jobs that hash
+//     to it.
+//   - eqasm.WithMockMeasure functions, if configured, are called from
+//     worker goroutines and must be safe for concurrent use.
 package service
 
 import (
@@ -33,11 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"eqasm/internal/asm"
-	"eqasm/internal/compiler"
-	"eqasm/internal/core"
-	"eqasm/internal/isa"
-	"eqasm/internal/topology"
+	"eqasm"
 )
 
 var (
@@ -79,10 +75,10 @@ type Config struct {
 	// SOMQ enables single-operation-multiple-qubit combining when
 	// emitting compiled circuits.
 	SOMQ bool
-	// System templates the per-batch machines: topology, operation
-	// configuration, instantiation, noise, instrumentation. Its Seed is
-	// the base of every derived batch seed.
-	System core.Options
+	// Machine configures the execution stack shared by all jobs:
+	// topology, operation set, instantiation, noise, instrumentation
+	// and the base seed of every derived batch seed (eqasm.WithSeed).
+	Machine []eqasm.Option
 }
 
 func (c Config) withDefaults() Config {
@@ -113,21 +109,16 @@ func (c Config) withDefaults() Config {
 // Service is a running execution engine. Create with New, submit with
 // Submit, stop with Shutdown (drain) or Close (cancel).
 type Service struct {
-	cfg   Config
-	topo  *topology.Topology
-	opCfg *isa.OpConfig
-	inst  isa.Instantiation
-	asm   *asm.Assembler
-	emit  *compiler.Emitter
+	cfg Config
+	// sim is the shared execution backend: it pools reseedable
+	// machines per instruction-set context, so a batch checkout is
+	// bit-identical to a freshly built machine at the batch seed.
+	sim   *eqasm.Simulator
 	cache *programCache
 	queue *batchQueue
 
 	workersWG sync.WaitGroup
 	jobsWG    sync.WaitGroup
-	// sysPool recycles per-batch machines: a checkout reseeds the
-	// backend and the shot loop's Reset restores power-on state, so a
-	// pooled run is bit-identical to one on a fresh System.
-	sysPool sync.Pool
 
 	mu      sync.Mutex
 	closed  bool
@@ -175,38 +166,16 @@ type Stats struct {
 // or Close.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	// Resolve the system template once so every worker shares the same
-	// read-only topology and operation configuration, exactly as
-	// core.NewSystem would resolve them per machine.
-	if cfg.System.Topology == nil {
-		cfg.System.Topology = topology.TwoQubit()
+	// The simulator resolves and validates the machine options once
+	// (fail fast on an unusable template instead of failing every
+	// batch) and pools machines for all batches of all jobs.
+	sim, err := eqasm.NewSimulator(cfg.Machine...)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.System.OpConfig == nil {
-		cfg.System.OpConfig = isa.DefaultConfig()
-	}
-	if cfg.System.Instantiation.VLIWWidth == 0 {
-		cfg.System.Instantiation = isa.Default
-	}
-	// A caller-supplied backend instance would be shared mutable state
-	// across the worker pool; the service builds one per machine.
-	if cfg.System.Microarch.Backend != nil {
-		return nil, errors.New("service: Config.System.Microarch.Backend must be nil (machines are per worker)")
-	}
-	// Fail fast on an unusable template instead of failing every batch.
-	if _, err := core.NewSystem(cfg.System); err != nil {
-		return nil, fmt.Errorf("service: config: %w", err)
-	}
-	a := asm.New(cfg.System.OpConfig, cfg.System.Topology)
-	a.Inst = cfg.System.Instantiation
-	e := compiler.NewEmitter(cfg.System.OpConfig, cfg.System.Topology)
-	e.Inst = cfg.System.Instantiation
 	s := &Service{
 		cfg:   cfg,
-		topo:  cfg.System.Topology,
-		opCfg: cfg.System.OpConfig,
-		inst:  cfg.System.Instantiation,
-		asm:   a,
-		emit:  e,
+		sim:   sim,
 		cache: newProgramCache(cfg.CacheSize),
 		queue: newBatchQueue(cfg.QueueDepth),
 		jobs:  map[string]*Job{},
@@ -229,6 +198,11 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		s.metrics.jobsRejected.Add(1)
 		return nil, err
+	}
+	if spec.Chip != "" && spec.Chip != s.sim.Chip() {
+		s.metrics.jobsRejected.Add(1)
+		return nil, fmt.Errorf("service: job targets chip %q, this service runs %q",
+			spec.Chip, s.sim.Chip())
 	}
 	spec = spec.withDefaults()
 	s.mu.Lock()
@@ -259,6 +233,7 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		hist:         map[string]int{},
 		done:         make(chan struct{}),
 	}
+	job.runCtx, job.cancelRun = context.WithCancelCause(context.Background())
 	// Scale the batch size up for big jobs so no job needs more than
 	// MaxJobBatches queue slots — and never more than the queue can
 	// hold at all, so every job is admissible once the queue drains.
@@ -313,7 +288,7 @@ func (s *Service) Job(id string) (*Job, bool) {
 }
 
 // resolve turns a spec into an assembled program via the content cache.
-func (s *Service) resolve(spec JobSpec) (prog *isa.Program, hit bool, d time.Duration, err error) {
+func (s *Service) resolve(spec JobSpec) (prog *eqasm.Program, hit bool, d time.Duration, err error) {
 	key, err := spec.cacheKey()
 	if err != nil {
 		return nil, false, 0, err
@@ -325,7 +300,7 @@ func (s *Service) resolve(spec JobSpec) (prog *isa.Program, hit bool, d time.Dur
 	if spec.Circuit != nil {
 		prog, err = s.compile(spec.Circuit)
 	} else {
-		prog, err = s.asm.Assemble(spec.Source)
+		prog, err = eqasm.Assemble(spec.Source, s.cfg.Machine...)
 	}
 	if err != nil {
 		return nil, false, 0, err
@@ -336,23 +311,13 @@ func (s *Service) resolve(spec JobSpec) (prog *isa.Program, hit bool, d time.Dur
 
 // compile schedules a hardware-independent circuit and emits executable
 // eQASM for the service's chip.
-func (s *Service) compile(c *compiler.Circuit) (*isa.Program, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
+func (s *Service) compile(c *eqasm.Circuit) (*eqasm.Program, error) {
+	opts := append(append([]eqasm.Option{}, s.cfg.Machine...),
+		eqasm.WithInitWaitCycles(s.cfg.InitWaitCycles))
+	if s.cfg.SOMQ {
+		opts = append(opts, eqasm.WithSOMQ())
 	}
-	if c.NumQubits > s.topo.NumQubits {
-		return nil, fmt.Errorf("service: circuit needs %d qubits, chip has %d",
-			c.NumQubits, s.topo.NumQubits)
-	}
-	sched, err := compiler.ASAP(c)
-	if err != nil {
-		return nil, err
-	}
-	return s.emit.Emit(sched, compiler.EmitOptions{
-		InitWaitCycles: s.cfg.InitWaitCycles,
-		SOMQ:           s.cfg.SOMQ,
-		AppendStop:     true,
-	})
+	return eqasm.Compile(c, opts...)
 }
 
 // Stats snapshots the counters.

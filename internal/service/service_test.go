@@ -10,8 +10,7 @@ import (
 	"testing"
 	"time"
 
-	"eqasm/internal/compiler"
-	"eqasm/internal/core"
+	"eqasm"
 	"eqasm/internal/service"
 )
 
@@ -42,7 +41,7 @@ func TestSubmitBell(t *testing.T) {
 	svc := newService(t, service.Config{
 		Workers:    4,
 		BatchShots: 16,
-		System:     core.Options{Seed: 4},
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
 	})
 	const shots = 300
 	job, err := svc.Submit(context.Background(), service.JobSpec{
@@ -79,7 +78,7 @@ func TestSubmitBell(t *testing.T) {
 
 // The cache assembles identical content once and accounts hits/misses.
 func TestCacheHitMissAccounting(t *testing.T) {
-	svc := newService(t, service.Config{Workers: 2, System: core.Options{Seed: 1}})
+	svc := newService(t, service.Config{Workers: 2, Machine: []eqasm.Option{eqasm.WithSeed(1)}})
 	progs := service.SmokePrograms()
 
 	res, err := svc.Run(context.Background(), service.JobSpec{Source: progs["flip"], Shots: 3})
@@ -113,7 +112,7 @@ func TestConcurrentSubmits(t *testing.T) {
 		Workers:    4,
 		QueueDepth: 4096,
 		BatchShots: 4,
-		System:     core.Options{Seed: 11},
+		Machine:    []eqasm.Option{eqasm.WithSeed(11)},
 	})
 	progs := service.SmokePrograms()
 	sources := []string{progs["flip"], progs["bell"], progs["active_reset"]}
@@ -163,7 +162,7 @@ func TestCancellationMidJob(t *testing.T) {
 		Workers:    1,
 		QueueDepth: 20000,
 		BatchShots: 8,
-		System:     core.Options{Seed: 3},
+		Machine:    []eqasm.Option{eqasm.WithSeed(3)},
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -204,7 +203,7 @@ func TestQueueSaturation(t *testing.T) {
 		Workers:    1,
 		QueueDepth: 4,
 		BatchShots: 100000, // one batch per job
-		System:     core.Options{Seed: 5},
+		Machine:    []eqasm.Option{eqasm.WithSeed(5)},
 	})
 	progs := service.SmokePrograms()
 	// One job on the worker, four filling the queue.
@@ -254,7 +253,7 @@ func TestHugeJobFitsSmallQueue(t *testing.T) {
 		Workers:    2,
 		QueueDepth: 16,
 		BatchShots: 8,
-		System:     core.Options{Seed: 7},
+		Machine:    []eqasm.Option{eqasm.WithSeed(7)},
 	})
 	res, err := svc.Run(context.Background(), service.JobSpec{
 		Source: service.SmokePrograms()["flip"],
@@ -275,7 +274,7 @@ func TestPriorityOrdering(t *testing.T) {
 		Workers:    1,
 		QueueDepth: 4096,
 		BatchShots: 8192, // one batch per job: the worker pops whole jobs
-		System:     core.Options{Seed: 6},
+		Machine:    []eqasm.Option{eqasm.WithSeed(6)},
 	})
 	progs := service.SmokePrograms()
 	// Occupy the only worker with one long batch so both queued jobs
@@ -312,11 +311,11 @@ func TestPriorityOrdering(t *testing.T) {
 // Circuits compile through the scheduler/emitter path and share the
 // cache like source jobs.
 func TestCircuitJob(t *testing.T) {
-	svc := newService(t, service.Config{Workers: 2, System: core.Options{Seed: 8}})
-	bell := &compiler.Circuit{
+	svc := newService(t, service.Config{Workers: 2, Machine: []eqasm.Option{eqasm.WithSeed(8)}})
+	bell := &eqasm.Circuit{
 		Name:      "bell",
 		NumQubits: 3, // the two-qubit chip names its qubits 0 and 2
-		Gates: []compiler.Gate{
+		Gates: []eqasm.Gate{
 			{Name: "H", Qubits: []int{0}},
 			{Name: "CNOT", Qubits: []int{0, 2}},
 			{Name: "MEASZ", Qubits: []int{0}, Measure: true},
@@ -349,7 +348,7 @@ func TestCircuitJob(t *testing.T) {
 // A program that faults at runtime fails the job without poisoning the
 // service.
 func TestRuntimeFailure(t *testing.T) {
-	svc := newService(t, service.Config{Workers: 2, System: core.Options{Seed: 9}})
+	svc := newService(t, service.Config{Workers: 2, Machine: []eqasm.Option{eqasm.WithSeed(9)}})
 	// LD from a negative address is a microarchitectural fault.
 	_, err := svc.Run(context.Background(), service.JobSpec{
 		Source: "LDI R1, -8\nLD R2, R1(0)\nSTOP",
@@ -371,13 +370,13 @@ func TestRuntimeFailure(t *testing.T) {
 
 // Invalid specs are rejected before they reach the queue.
 func TestSubmitValidation(t *testing.T) {
-	svc := newService(t, service.Config{Workers: 1, System: core.Options{}})
+	svc := newService(t, service.Config{Workers: 1})
 	cases := []service.JobSpec{
 		{}, // neither source nor circuit
-		{Source: "STOP", Circuit: &compiler.Circuit{NumQubits: 1}}, // both
-		{Source: "STOP", Shots: -1},                                // negative shots
-		{Source: "STOP", Shots: service.MaxJobShots + 1},           // over the per-job cap
-		{Source: "THISISNOTANOP S0\n"},                             // assembly error
+		{Source: "STOP", Circuit: &eqasm.Circuit{NumQubits: 1}}, // both
+		{Source: "STOP", Shots: -1},                             // negative shots
+		{Source: "STOP", Shots: service.MaxJobShots + 1},        // over the per-job cap
+		{Source: "THISISNOTANOP S0\n"},                          // assembly error
 	}
 	for i, spec := range cases {
 		if _, err := svc.Submit(context.Background(), spec); err == nil {
@@ -395,7 +394,7 @@ func TestShutdownDrains(t *testing.T) {
 		Workers:    2,
 		QueueDepth: 4096,
 		BatchShots: 8,
-		System:     core.Options{Seed: 10},
+		Machine:    []eqasm.Option{eqasm.WithSeed(10)},
 	})
 	var jobs []*service.Job
 	for i := 0; i < 6; i++ {
@@ -428,7 +427,7 @@ func TestJobRetention(t *testing.T) {
 	svc := newService(t, service.Config{
 		Workers:    1,
 		RetainJobs: 2,
-		System:     core.Options{Seed: 12},
+		Machine:    []eqasm.Option{eqasm.WithSeed(12)},
 	})
 	var ids []string
 	for i := 0; i < 3; i++ {
@@ -457,7 +456,7 @@ func TestJobSeeding(t *testing.T) {
 	svc := newService(t, service.Config{
 		Workers:    2,
 		BatchShots: 16,
-		System:     core.Options{Seed: 1},
+		Machine:    []eqasm.Option{eqasm.WithSeed(1)},
 	})
 	run := func(seed int64) map[string]int {
 		res, err := svc.Run(context.Background(), service.JobSpec{

@@ -1,14 +1,19 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"time"
 
-	"eqasm/internal/core"
+	"eqasm"
 )
 
-// workerLoop pulls batches until the queue closes. Each batch gets a
-// fresh System (machines are not concurrency safe, and a fresh seed per
-// batch keeps results independent of which worker ran it).
+// workerLoop pulls batches until the queue closes. Each batch runs
+// through the shared eqasm.Simulator with Workers == 1, so it executes
+// sequentially on one pooled machine (machines are not concurrency
+// safe; pool parallelism comes from running many batches at once) with
+// a batch-index-derived seed keeping results independent of which
+// worker ran it.
 func (s *Service) workerLoop() {
 	for {
 		b, ok := s.queue.pop()
@@ -36,51 +41,27 @@ func (s *Service) runBatch(b *batch) {
 	job.finishBatch(shots, hist, qubits, err)
 }
 
-// acquireSystem checks a machine out of the pool, reseeding it so the
-// run is indistinguishable from a freshly built system at seed; when
-// the pool is empty (or the backend cannot reseed) it builds one.
-func (s *Service) acquireSystem(seed int64) (*core.System, error) {
-	if v := s.sysPool.Get(); v != nil {
-		sys := v.(*core.System)
-		if sys.Reseed(seed) {
-			return sys, nil
-		}
-	}
-	opts := s.cfg.System
-	opts.Seed = seed
-	return core.NewSystem(opts)
-}
-
-// executeBatch runs one batch's shots on its own machine, returning the
-// local histogram.
+// executeBatch runs one batch's shots on the shared backend, returning
+// the local histogram. The job's run context stops the backend at the
+// next shot boundary on cancellation; cancellation is not an error
+// here (the job records its own cause).
 func (s *Service) executeBatch(b *batch) (shots int, hist map[string]int, qubits []int, err error) {
-	base := s.cfg.System.Seed
+	base := s.sim.Seed()
 	if b.job.spec.Seed != 0 {
 		base = b.job.spec.Seed
 	}
-	sys, err := s.acquireSystem(base + int64(b.index)*core.SeedStride)
-	if err != nil {
-		return 0, nil, nil, err
+	res, err := s.sim.Run(b.job.runCtx, b.job.program, eqasm.RunOptions{
+		Shots:   b.shots,
+		Seed:    base + int64(b.index)*eqasm.SeedStride,
+		Workers: 1,
+	})
+	if res != nil {
+		shots, hist, qubits = res.Shots, res.Histogram, res.Qubits
 	}
-	defer s.sysPool.Put(sys)
-	sys.LoadProgram(b.job.program)
-	hist = map[string]int{}
-	for i := 0; i < b.shots; i++ {
-		if b.job.isCancelled() {
-			break
-		}
-		sys.Machine.Reset()
-		if err := sys.Machine.Run(); err != nil {
-			return shots, hist, qubits, err
-		}
-		shots++
-		key, qs := histKey(sys.MeasuredBits())
-		hist[key]++
-		if qubits == nil {
-			qubits = qs
-		}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		err = nil
 	}
-	return shots, hist, qubits, nil
+	return shots, hist, qubits, err
 }
 
 // SmokePrograms returns tiny eQASM payloads exercising the main paths of

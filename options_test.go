@@ -1,0 +1,86 @@
+package eqasm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testHWConf = `{
+	"name": "flipchip",
+	"topology": {"num_qubits": 1, "feedlines": [[0]]},
+	"operations": [
+		{"name": "X", "builtin": "X"},
+		{"name": "MEASZ", "kind": "measure"}
+	],
+	"noise": {"readout_error": 1}
+}`
+
+// Stacks resolved from the same named options are interned, so machine
+// pools and assembled programs share one instruction-set context.
+func TestStackInterning(t *testing.T) {
+	resolve := func(opts ...Option) stack {
+		cfg, err := newConfig(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := cfg.resolveStack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a := resolve(WithTopology("surface7"))
+	b := resolve(WithTopology("surface7"), WithSeed(99))
+	if a != b {
+		t.Fatal("named-topology stacks are not interned")
+	}
+	if a == resolve(WithTopology("twoqubit")) {
+		t.Fatal("distinct topologies share a stack")
+	}
+
+	path := filepath.Join(t.TempDir(), "chip.json")
+	if err := os.WriteFile(path, []byte(testHWConf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h1 := resolve(WithHardwareConfig(path))
+	h2 := resolve(WithHardwareConfig(path))
+	if h1 != h2 {
+		t.Fatal("hardware-config stacks are not interned by path; every program would get its own machine pool")
+	}
+	if h1 == a {
+		t.Fatal("hardware-config stack collides with a named one")
+	}
+}
+
+// Noise options are last-wins, including a noise model carried by a
+// hardware configuration file.
+func TestNoisePrecedenceIsPositional(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chip.json")
+	if err := os.WriteFile(path, []byte(testHWConf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	noise := func(opts ...Option) NoiseModel {
+		cfg, err := newConfig(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cfg.resolveStack(); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.noise
+	}
+	// The file's model overrides an earlier option (the eqasm-run
+	// `-config beats -noise` precedence)...
+	if got := noise(WithCalibratedNoise(), WithHardwareConfig(path)); got.ReadoutError != 1 {
+		t.Fatalf("file noise did not override earlier option: %+v", got)
+	}
+	// ...and a later option overrides the file.
+	if got := noise(WithHardwareConfig(path), WithNoise(NoiseModel{})); got != (NoiseModel{}) {
+		t.Fatalf("later option did not override file noise: %+v", got)
+	}
+	// Without a file, the explicit model stands.
+	if got := noise(WithCalibratedNoise()); got != CalibratedNoise() {
+		t.Fatalf("calibrated noise lost: %+v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package eqasm
+
+import (
+	"fmt"
+
+	"eqasm/internal/asm"
+	"eqasm/internal/compiler"
+	"eqasm/internal/isa"
+)
+
+// Program is an assembled eQASM program bound to the instruction-set
+// context (chip topology, operation configuration, binary
+// instantiation) it was produced under, so execution, encoding and
+// disassembly stay coherent with assembly — the Section 3.2 contract
+// made explicit. Programs are immutable and safe to share across
+// backends and goroutines.
+type Program struct {
+	prog   *isa.Program
+	st     stack
+	source string
+}
+
+// Assemble parses and validates eQASM assembly source against the
+// configured topology and operation set, returning the bound program.
+// Malformed source fails with an *AssembleError carrying per-diagnostic
+// line and column positions.
+func Assemble(src string, opts ...Option) (*Program, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	return assembleWith(st, src)
+}
+
+func assembleWith(st stack, src string) (*Program, error) {
+	a := asm.New(st.opCfg, st.topo)
+	a.Inst = st.inst
+	prog, err := a.Assemble(src)
+	if err != nil {
+		return nil, wrapAssembleErr(err)
+	}
+	return &Program{prog: prog, st: st, source: src}, nil
+}
+
+// LoadBinary decodes a binary instruction image (as produced by Bytes
+// or by cmd/eqasm-asm) into a runnable program.
+func LoadBinary(bin []byte, opts ...Option) (*Program, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	words, err := isa.BytesToWords(bin)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := st.inst.DecodeProgram(words, st.opCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog, st: st}, nil
+}
+
+// Disassemble decodes a binary instruction image and renders an
+// assembly listing that Assemble accepts back (round-trip property).
+func Disassemble(bin []byte, opts ...Option) (string, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return "", err
+	}
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return "", err
+	}
+	words, err := isa.BytesToWords(bin)
+	if err != nil {
+		return "", err
+	}
+	return disassembleWith(st, words)
+}
+
+func disassembleWith(st stack, words []uint32) (string, error) {
+	d := asm.NewDisassembler(st.opCfg, st.topo)
+	d.Inst = st.inst
+	return d.Disassemble(words)
+}
+
+// Source returns the assembly text the program was assembled from
+// (empty for compiled circuits and decoded binaries).
+func (p *Program) Source() string { return p.source }
+
+// Chip names the topology the program is bound to ("twoqubit",
+// "surface7", or a hardware configuration's name). Backends use it to
+// refuse programs bound to a different chip than they run.
+func (p *Program) Chip() string { return p.st.topo.Name }
+
+// Text renders the resolved assembly listing.
+func (p *Program) Text() string { return p.prog.String() }
+
+// NumInstructions returns the instruction count after bundle splitting
+// and label resolution.
+func (p *Program) NumInstructions() int { return len(p.prog.Instrs) }
+
+// Words encodes the program to 32-bit instruction words under its
+// instantiation.
+func (p *Program) Words() ([]uint32, error) {
+	return p.st.inst.EncodeProgram(p.prog, p.st.opCfg)
+}
+
+// Bytes encodes the program to the little-endian binary image the host
+// CPU uploads to instruction memory.
+func (p *Program) Bytes() ([]byte, error) {
+	words, err := p.Words()
+	if err != nil {
+		return nil, err
+	}
+	return isa.WordsToBytes(words), nil
+}
+
+// Disassemble encodes the program and renders it back as assembly text
+// under the program's own context.
+func (p *Program) Disassemble() (string, error) {
+	words, err := p.Words()
+	if err != nil {
+		return "", err
+	}
+	return disassembleWith(p.st, words)
+}
+
+// Gate is one circuit-level operation on explicit qubits.
+type Gate struct {
+	// Name is the operation mnemonic, resolved against the operation
+	// configuration when the circuit is compiled.
+	Name string
+	// Qubits lists the operands: one for single-qubit gates and
+	// measurements, two (source, target) for two-qubit gates.
+	Qubits []int
+	// DurationCycles of the pulse; 0 means "look up by kind" during
+	// scheduling.
+	DurationCycles int
+	// Measure marks a measurement operation.
+	Measure bool
+}
+
+// Circuit is a hardware-independent gate list over NumQubits qubits.
+// Program order defines data dependencies (gates sharing a qubit must
+// not reorder).
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []Gate
+}
+
+func (c *Circuit) internal() *compiler.Circuit {
+	out := &compiler.Circuit{Name: c.Name, NumQubits: c.NumQubits}
+	for _, g := range c.Gates {
+		out.Gates = append(out.Gates, compiler.Gate{
+			Name:           g.Name,
+			Qubits:         g.Qubits,
+			DurationCycles: g.DurationCycles,
+			Measure:        g.Measure,
+		})
+	}
+	return out
+}
+
+// Compile lowers a hardware-independent circuit to an executable eQASM
+// program for the configured chip: validation, optional qubit mapping
+// (WithInitialLayout), ASAP or ALAP scheduling (WithSchedule), and code
+// generation with target-register allocation (WithSOMQ,
+// WithInitWaitCycles). The resulting program carries the same context
+// as Assemble would bind, so it runs on any Backend for that chip.
+func Compile(c *Circuit, opts ...Option) (*Program, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	circ := c.internal()
+	if err := circ.Validate(); err != nil {
+		return nil, err
+	}
+	if circ.NumQubits > st.topo.NumQubits {
+		return nil, fmt.Errorf("eqasm: circuit needs %d qubits, chip %q has %d",
+			circ.NumQubits, st.topo.Name, st.topo.NumQubits)
+	}
+	if cfg.layout != nil {
+		mapped, err := compiler.MapToTopology(circ, st.topo, cfg.layout)
+		if err != nil {
+			return nil, err
+		}
+		circ = mapped.Circuit
+	}
+	var sched *compiler.Schedule
+	if cfg.schedule == "alap" {
+		sched, err = compiler.ALAP(circ)
+	} else {
+		sched, err = compiler.ASAP(circ)
+	}
+	if err != nil {
+		return nil, err
+	}
+	em := compiler.NewEmitter(st.opCfg, st.topo)
+	em.Inst = st.inst
+	prog, err := em.Emit(sched, compiler.EmitOptions{
+		InitWaitCycles: cfg.initWait,
+		SOMQ:           cfg.somq,
+		AppendStop:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog, st: st}, nil
+}
+
+// OperationInfo describes one configured quantum operation: the
+// compile-time operation configuration of Section 3.2 as seen through
+// the public API.
+type OperationInfo struct {
+	// Name is the assembly mnemonic.
+	Name string
+	// Opcode is the q-opcode assigned in the binary instantiation.
+	Opcode uint16
+	// Kind is "single", "two-qubit" or "measurement".
+	Kind string
+	// DurationCycles is the pulse duration in quantum cycles.
+	DurationCycles int
+	// CondFlag is the fast-conditional-execution flag gating the
+	// operation ("always" for unconditional operations).
+	CondFlag string
+}
+
+// Operations lists the configured quantum operation set for the
+// selected context, in name order.
+func Operations(opts ...Option) ([]OperationInfo, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	var out []OperationInfo
+	for _, name := range st.opCfg.Names() {
+		def, _ := st.opCfg.ByName(name)
+		out = append(out, OperationInfo{
+			Name:           def.Name,
+			Opcode:         def.Opcode,
+			Kind:           def.Kind.String(),
+			DurationCycles: def.DurationCycles,
+			CondFlag:       def.CondSel.String(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Round-trip property of the public API: every shipped eQASM program
+// assembles, encodes to binary, disassembles to text the assembler
+// accepts back, and re-encodes to the identical binary.
+package eqasm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eqasm"
+)
+
+func shippedPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped programs")
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	for name, src := range shippedPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := eqasm.Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			words, err := prog.Words()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			bin, err := prog.Bytes()
+			if err != nil {
+				t.Fatalf("encode bytes: %v", err)
+			}
+			if len(bin) != 4*len(words) {
+				t.Fatalf("binary is %d bytes for %d words", len(bin), len(words))
+			}
+
+			// Binary -> text -> binary must be a fixed point.
+			text, err := eqasm.Disassemble(bin)
+			if err != nil {
+				t.Fatalf("disassemble: %v", err)
+			}
+			prog2, err := eqasm.Assemble(text)
+			if err != nil {
+				t.Fatalf("reassemble disassembly:\n%s\nerror: %v", text, err)
+			}
+			words2, err := prog2.Words()
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if len(words2) != len(words) {
+				t.Fatalf("round trip changed length: %d -> %d words", len(words), len(words2))
+			}
+			for i := range words {
+				if words[i] != words2[i] {
+					t.Fatalf("word %d changed: %08x -> %08x", i, words[i], words2[i])
+				}
+			}
+
+			// The Program methods agree with the top-level functions.
+			progText, err := prog.Disassemble()
+			if err != nil {
+				t.Fatalf("Program.Disassemble: %v", err)
+			}
+			if progText != text {
+				t.Fatalf("Program.Disassemble differs from Disassemble(bin):\n%q\nvs\n%q", progText, text)
+			}
+
+			// And LoadBinary yields the same executable image.
+			loaded, err := eqasm.LoadBinary(bin)
+			if err != nil {
+				t.Fatalf("LoadBinary: %v", err)
+			}
+			words3, err := loaded.Words()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range words {
+				if words[i] != words3[i] {
+					t.Fatalf("LoadBinary word %d changed: %08x -> %08x", i, words[i], words3[i])
+				}
+			}
+		})
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"testing"
 	"time"
 
-	"eqasm/internal/core"
+	"eqasm"
 	"eqasm/internal/service"
 )
 
@@ -18,7 +18,7 @@ func TestServiceRunsShippedPrograms(t *testing.T) {
 	svc, err := service.New(service.Config{
 		Workers:    4,
 		BatchShots: 8,
-		System:     core.Options{Seed: 4},
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
 	})
 	if err != nil {
 		t.Fatal(err)
