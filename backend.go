@@ -271,6 +271,19 @@ func sortedQubits(last map[int]int) []int {
 	return qubits
 }
 
+// fanShots runs p's shots through the context's machine pool, replaying
+// the program's shared execution plan (lowered on first use); when the
+// plan cannot be built it falls back to the semantically identical
+// interpreter path.
+func (s *Simulator) fanShots(ctx context.Context, p *Program, seed int64, shots, workers int,
+	observe func(shot int, m *microarch.Machine, runErr error) error) error {
+	pool := s.pool(p.st)
+	if ex, _, err := p.executable(); err == nil {
+		return pool.FanPlan(ctx, ex, seed, shots, workers, observe)
+	}
+	return pool.FanShots(ctx, p.prog, seed, shots, workers, observe)
+}
+
 // Run implements Backend. With Workers == 1 (the default) and a fixed
 // seed, the execution is bit-identical to a sequential shot loop on a
 // freshly built machine at that seed.
@@ -281,7 +294,7 @@ func (s *Simulator) Run(ctx context.Context, p *Program, opts RunOptions) (*Resu
 	}
 	res := &Result{Histogram: map[string]int{}}
 	start := time.Now()
-	err = s.pool(p.st).FanShots(ctx, p.prog, seed, shots, workers,
+	err = s.fanShots(ctx, p, seed, shots, workers,
 		func(shot int, m *microarch.Machine, runErr error) error {
 			if runErr != nil {
 				return wrapShotErr(shot, m, runErr)
@@ -310,11 +323,10 @@ func (s *Simulator) RunStream(ctx context.Context, p *Program, opts RunOptions) 
 	if err != nil {
 		return nil, err
 	}
-	pool := s.pool(p.st)
 	ch := make(chan ShotResult)
 	go func() {
 		defer close(ch)
-		err := pool.FanShots(ctx, p.prog, seed, shots, workers,
+		err := s.fanShots(ctx, p, seed, shots, workers,
 			func(shot int, m *microarch.Machine, runErr error) error {
 				if runErr != nil {
 					return wrapShotErr(shot, m, runErr)

@@ -37,11 +37,26 @@
 // configure backends; per-call RunOptions override shots, seed and
 // fan-out.
 //
+// # Execution pipeline
+//
+// Execution is layered assemble → plan → fan-out. A Program is lowered
+// once into a decode-once execution plan — operands pre-resolved,
+// microcode looked up, SMIS/SMIT target masks expanded, gates
+// classified onto kernel-specialized state-vector paths, durations
+// precomputed — and every shot on every pooled machine replays the
+// shared read-only plan; the timing-critical loop performs table walks
+// only, the paper's central architectural argument. The plan is built
+// lazily on the first run (or eagerly via Program.Prepare, which
+// serving layers call at submit time so cached programs plan exactly
+// once) and is bit-identical at a fixed seed to the interpreter it
+// replaced.
+//
 // # The stack underneath
 //
 // The implementation lives under internal/: the eQASM instruction set
 // and its 32-bit instantiation (isa), assembler and disassembler
-// (asm), the QuMA_v2 control microarchitecture (microarch), the
+// (asm), the decode-once execution-plan layer (plan), the QuMA_v2
+// control microarchitecture (microarch), the
 // simulated transmon chip (quantum), the compiler backend (compiler),
 // the QuMIS baseline (qumis), the Section 5 experiment suite
 // (experiments), the concurrent job service (service) and its HTTP

@@ -13,6 +13,7 @@ import (
 	"eqasm/internal/asm"
 	"eqasm/internal/isa"
 	"eqasm/internal/microarch"
+	"eqasm/internal/plan"
 	"eqasm/internal/quantum"
 	"eqasm/internal/topology"
 )
@@ -57,17 +58,25 @@ type System struct {
 	program *isa.Program
 }
 
+// withDefaults resolves the nil/zero context fields to the shared
+// defaults, so Systems and plans built from the same Options share one
+// instruction-set context.
+func (o Options) withDefaults() Options {
+	if o.Topology == nil {
+		o.Topology = topology.TwoQubit()
+	}
+	if o.OpConfig == nil {
+		o.OpConfig = isa.DefaultConfig()
+	}
+	if o.Instantiation.VLIWWidth == 0 {
+		o.Instantiation = isa.Default
+	}
+	return o
+}
+
 // NewSystem builds a System.
 func NewSystem(opts Options) (*System, error) {
-	if opts.Topology == nil {
-		opts.Topology = topology.TwoQubit()
-	}
-	if opts.OpConfig == nil {
-		opts.OpConfig = isa.DefaultConfig()
-	}
-	if opts.Instantiation.VLIWWidth == 0 {
-		opts.Instantiation = isa.Default
-	}
+	opts = opts.withDefaults()
 	mcfg := opts.Microarch
 	mcfg.Topo = opts.Topology
 	mcfg.OpConfig = opts.OpConfig
@@ -97,13 +106,39 @@ func (s *System) Load(src string) error {
 	if err != nil {
 		return err
 	}
-	s.program = p
-	s.Machine.LoadProgram(p)
+	s.LoadProgram(p)
 	return nil
 }
 
-// LoadProgram uploads an already-assembled program.
+// LoadProgram uploads an already-assembled program, lowering it once
+// into a decode-once execution plan: repeated runs (shot loops) replay
+// the pre-resolved plan instead of re-interpreting isa.Instr. When the
+// plan cannot be built or loaded the machine falls back to the
+// interpreter, which has identical semantics.
 func (s *System) LoadProgram(p *isa.Program) {
+	s.program = p
+	ex, err := plan.Build(p, s.Topo, s.OpConfig)
+	if err == nil {
+		err = s.Machine.LoadPlan(ex)
+	}
+	if err != nil {
+		s.Machine.LoadProgram(p)
+	}
+}
+
+// LoadPlan uploads a pre-lowered execution plan (built once, shared
+// read-only across machines).
+func (s *System) LoadPlan(ex *plan.Executable) error {
+	s.program = ex.Program()
+	return s.Machine.LoadPlan(ex)
+}
+
+// LoadInterpreted uploads an already-assembled program for interpreted
+// execution, bypassing the plan layer. The interpreter re-resolves
+// operations and masks on every run; it exists as the semantic
+// reference the plan path is tested against (and for tooling that
+// inspects raw instruction execution).
+func (s *System) LoadInterpreted(p *isa.Program) {
 	s.program = p
 	s.Machine.LoadProgram(p)
 }
@@ -160,6 +195,9 @@ const SeedStride = 1_000_003
 // cancellation; this wrapper remains for source compatibility.
 func ParallelShots(opts Options, src string, shots, workers int,
 	collect func(shot int, m *microarch.Machine)) error {
+	// Resolve context defaults once, so the probe system, the pool and
+	// every plan lowered through it share one topology/configuration.
+	opts = opts.withDefaults()
 	sys, err := NewSystem(opts)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 
 	"eqasm/internal/isa"
 	"eqasm/internal/microarch"
+	"eqasm/internal/plan"
 )
 
 // SystemPool recycles Systems built from one Options template. A
@@ -21,12 +22,22 @@ type SystemPool struct {
 }
 
 // NewSystemPool builds a pool; opts.Seed is overridden per checkout.
+// Context defaults resolve once here, so every pooled System — and
+// every execution plan lowered through the pool — shares one topology
+// and operation configuration.
 func NewSystemPool(opts Options) *SystemPool {
-	return &SystemPool{opts: opts}
+	return &SystemPool{opts: opts.withDefaults()}
 }
 
 // Options returns the pool's system template.
 func (p *SystemPool) Options() Options { return p.opts }
+
+// Plan lowers prog into an execution plan under the pool's
+// instruction-set context — the context every pooled machine runs, and
+// therefore the one FanPlan requires plans to be built under.
+func (p *SystemPool) Plan(prog *isa.Program) (*plan.Executable, error) {
+	return plan.Build(prog, p.opts.Topology, p.opts.OpConfig)
+}
 
 // Get checks a System out of the pool, reseeded to seed; when the pool
 // is empty (or the backend cannot reseed) it builds a fresh one.
@@ -63,11 +74,39 @@ func (p *SystemPool) Put(sys *System) { p.pool.Put(sys) }
 //
 // ctx is checked between shots; cancellation stops the fan-out and
 // returns context.Cause(ctx) without observing the remaining shots.
+//
+// The program is lowered once into a decode-once execution plan that
+// every worker's machine shares read-only; use FanPlan to reuse an
+// already-built plan across calls.
 func (p *SystemPool) FanShots(ctx context.Context, prog *isa.Program, baseSeed int64,
 	shots, workers int, observe func(shot int, m *microarch.Machine, runErr error) error) error {
 	if shots <= 0 {
 		return nil
 	}
+	if ex, err := p.Plan(prog); err == nil {
+		return p.FanPlan(ctx, ex, baseSeed, shots, workers, observe)
+	}
+	return p.fan(ctx, baseSeed, shots, workers, observe,
+		func(sys *System) error { sys.LoadInterpreted(prog); return nil })
+}
+
+// FanPlan is FanShots over a pre-lowered execution plan: the plan is
+// built once (typically cached alongside the program) and shared
+// read-only by every pooled machine.
+func (p *SystemPool) FanPlan(ctx context.Context, ex *plan.Executable, baseSeed int64,
+	shots, workers int, observe func(shot int, m *microarch.Machine, runErr error) error) error {
+	if shots <= 0 {
+		return nil
+	}
+	return p.fan(ctx, baseSeed, shots, workers, observe,
+		func(sys *System) error { return sys.LoadPlan(ex) })
+}
+
+// fan distributes the shot ranges over workers, loading each checked
+// out System through load.
+func (p *SystemPool) fan(ctx context.Context, baseSeed int64, shots, workers int,
+	observe func(shot int, m *microarch.Machine, runErr error) error,
+	load func(*System) error) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -87,7 +126,7 @@ func (p *SystemPool) FanShots(ctx context.Context, prog *isa.Program, baseSeed i
 			sys, buildErr := p.Get(baseSeed + int64(w)*SeedStride)
 			if buildErr == nil {
 				defer p.Put(sys)
-				sys.LoadProgram(prog)
+				buildErr = load(sys)
 			}
 			for i := 0; i < perWorker; i++ {
 				shot := w*perWorker + i

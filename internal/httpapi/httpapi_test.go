@@ -201,9 +201,11 @@ func TestErrorPathsAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats struct {
-		Workers       int   `json:"workers"`
-		JobsCompleted int64 `json:"jobs_completed"`
-		ShotsExecuted int64 `json:"shots_executed"`
+		Workers         int   `json:"workers"`
+		JobsCompleted   int64 `json:"jobs_completed"`
+		ShotsExecuted   int64 `json:"shots_executed"`
+		PlanCacheHits   int64 `json:"plan_cache_hits"`
+		PlanCacheMisses int64 `json:"plan_cache_misses"`
 	}
 	err = json.NewDecoder(r.Body).Decode(&stats)
 	r.Body.Close()
@@ -212,6 +214,10 @@ func TestErrorPathsAndStats(t *testing.T) {
 	}
 	if stats.Workers != 2 || stats.JobsCompleted != 1 || stats.ShotsExecuted != 5 {
 		t.Fatalf("stats = %+v", stats)
+	}
+	// The single job assembled and lowered its execution plan once.
+	if stats.PlanCacheHits != 0 || stats.PlanCacheMisses != 1 {
+		t.Fatalf("plan cache counters = %d hits / %d misses, want 0/1", stats.PlanCacheHits, stats.PlanCacheMisses)
 	}
 
 	r, err = http.Get(ts.URL + "/healthz")

@@ -9,8 +9,13 @@ import (
 // execute retires one instruction in the classical pipeline. Quantum
 // instructions are forwarded to the quantum pipeline (Section 4.3); both
 // happen within the issuing tick, with the quantum front-end latency
-// modelled when events are timestamped.
+// modelled when events are timestamped. When an execution plan is
+// loaded the pre-resolved path runs instead.
 func (m *Machine) execute() {
+	if m.exec != nil {
+		m.executePlanned()
+		return
+	}
 	if m.pc < 0 || m.pc >= len(m.program) {
 		m.fail(&RuntimeError{PC: m.pc, Tick: m.tick, Msg: "program counter ran off the instruction memory"})
 		return
@@ -55,6 +60,7 @@ func (m *Machine) execute() {
 				Msg: "store address out of data memory"})
 			return
 		}
+		m.markMemWritten(addr + 4)
 		binary.LittleEndian.PutUint32(m.mem[addr:], m.gpr[ins.Rs])
 	case isa.OpFMR:
 		if int(ins.Qi) >= len(m.measCounters) {

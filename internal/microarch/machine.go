@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"eqasm/internal/isa"
+	"eqasm/internal/plan"
 	"eqasm/internal/quantum"
 )
 
@@ -13,15 +14,38 @@ import (
 type Machine struct {
 	cfg     Config
 	backend quantum.Backend
-	cstore  *ControlStore
+	// specBE is the backend's kernel-specialized gate path, nil when
+	// the backend has none (planned execution then falls back to the
+	// generic Apply1/Apply2 calls).
+	specBE quantum.SpecBackend
+	cstore *ControlStore
 
 	program []isa.Instr
+	// exec and the planned target-register files are set by LoadPlan:
+	// when exec is non-nil the machine executes the decode-once plan
+	// instead of interpreting program.
+	exec  *plan.Executable
+	pinst []plan.Instr
+	sSets []*plan.TargetSet
+	tSets []*plan.TargetSet
+	// sSetDirty/tSetDirty list the planned target-register slots that
+	// held a non-empty set since the last reset, so per-shot resets
+	// restore exactly those instead of sweeping both register files;
+	// the listed bitmaps keep each slot on its list at most once.
+	sSetDirty  []uint8
+	tSetDirty  []uint8
+	sSetListed []bool
+	tSetListed []bool
 
 	// Classical pipeline state.
-	pc         int
-	gpr        []uint32
-	cmpFlags   isa.ComparisonFlags
-	mem        []byte
+	pc       int
+	gpr      []uint32
+	cmpFlags isa.ComparisonFlags
+	mem      []byte
+	// memDirtyHi is the high-water mark of data-memory writes since the
+	// last Reset: only mem[:memDirtyHi] can be non-zero, so Reset clears
+	// exactly that prefix instead of the whole image every shot.
+	memDirtyHi int
 	halted     bool
 	stallTicks int
 	fmrStalled bool
@@ -33,8 +57,17 @@ type Machine struct {
 	timelineLive   bool
 	events         eventHeap
 	eventSeq       int64
-	claims         map[claimKey]string
-	results        []pendingResult
+	// claimCycle/claimOp implement the operation-combination collision
+	// check: timing points are monotone within a run (PI and QWAIT
+	// intervals are non-negative), so only the most recent claim per
+	// qubit can collide — a (cycle, qubit) map degenerates to two
+	// per-qubit arrays.
+	claimCycle []int64
+	claimOp    []string
+	results    []pendingResult
+	// nextResultTick caches the earliest pending measurement
+	// write-back (noResultPending when none), gating deliverResults.
+	nextResultTick int64
 
 	// Measurement-result architecture (CFC protocol).
 	measCounters []int   // Ci per qubit
@@ -58,11 +91,6 @@ type Machine struct {
 	trace   []DeviceOp
 	measRec []MeasurementRecord
 	err     error
-}
-
-type claimKey struct {
-	cycle int64
-	qubit int
 }
 
 // New builds a machine. Topo and OpConfig are mandatory.
@@ -101,17 +129,75 @@ func New(cfg Config) (*Machine, error) {
 	m.havePrev = make([]bool, n)
 	m.qubitLocalNs = make([]float64, n)
 	m.busyUntil = make([]int64, n)
-	m.claims = make(map[claimKey]string)
-	m.cstore = BuildControlStore(cfg.OpConfig)
+	m.claimCycle = make([]int64, n)
+	m.claimOp = make([]string, n)
+	m.sSets = make([]*plan.TargetSet, cfg.Inst.NumSReg)
+	m.tSets = make([]*plan.TargetSet, cfg.Inst.NumTReg)
+	for i := range m.sSets {
+		m.sSets[i] = plan.EmptyTargets
+	}
+	for i := range m.tSets {
+		m.tSets[i] = plan.EmptyTargets
+	}
+	m.sSetListed = make([]bool, cfg.Inst.NumSReg)
+	m.tSetListed = make([]bool, cfg.Inst.NumTReg)
+	m.specBE, _ = m.backend.(quantum.SpecBackend)
+	// The microcode table is shared with every other machine (and every
+	// execution plan) built from this operation configuration.
+	m.cstore = plan.InternControlStore(cfg.OpConfig)
 	return m, nil
 }
 
-// LoadProgram installs an assembled program and resets execution state
-// (the quantum state and data memory are preserved, as when the host CPU
-// uploads new quantum code).
+// LoadProgram installs an assembled program for interpreted execution
+// and resets execution state (the quantum state and data memory are
+// preserved, as when the host CPU uploads new quantum code). Hot shot
+// loops should lower the program once with plan.Build and use LoadPlan;
+// the interpreter path re-resolves operation names, control-store
+// entries and target masks on every execution.
 func (m *Machine) LoadProgram(p *isa.Program) {
 	m.program = p.Instrs
+	m.exec = nil
+	m.pinst = nil
 	m.resetExecState()
+}
+
+// LoadPlan installs a decode-once execution plan. The plan is shared
+// read-only: any number of machines may execute the same Executable
+// concurrently. The plan must have been lowered under exactly this
+// machine's instruction-set context — the same topology and operation
+// configuration objects (the Section 3.2 consistency requirement;
+// pre-expanded pairs, durations and kernels are only valid under the
+// context they were resolved against). Contexts are shared/interned by
+// the layers above, so in-tree callers satisfy this by construction.
+func (m *Machine) LoadPlan(ex *plan.Executable) error {
+	if ex == nil {
+		return fmt.Errorf("microarch: nil execution plan")
+	}
+	if ex.Topology() != m.cfg.Topo || ex.OpConfig() != m.cfg.OpConfig {
+		return fmt.Errorf("microarch: plan lowered for chip %q with a different instruction-set context than the machine's %q",
+			ex.Topology().Name, m.cfg.Topo.Name)
+	}
+	m.program = ex.Program().Instrs
+	m.exec = ex
+	m.pinst = ex.Instrs()
+	m.resetExecState()
+	// Architectural S/T registers survive program uploads; re-derive
+	// the pre-expanded views for any live register state so a plan
+	// loaded over a previous program's registers behaves exactly like
+	// the interpreter reading the raw masks.
+	for i, v := range m.sRegs {
+		if v != 0 {
+			m.sSets[i] = plan.ExpandTargets(v, m.cfg.Topo)
+			m.markSSetDirty(uint8(i))
+		}
+	}
+	for i, v := range m.tRegs {
+		if v != 0 {
+			m.tSets[i] = plan.ExpandTargets(v, m.cfg.Topo)
+			m.markTSetDirty(uint8(i))
+		}
+	}
+	return nil
 }
 
 // LoadBinary decodes an instruction-word image and installs it.
@@ -133,7 +219,7 @@ func (m *Machine) resetExecState() {
 	m.lastPointCycle = 0
 	m.events = m.events[:0]
 	m.results = m.results[:0]
-	m.claims = make(map[claimKey]string)
+	m.nextResultTick = noResultPending
 	m.tick = 0
 	m.stats = Stats{}
 	m.trace = m.trace[:0]
@@ -149,6 +235,34 @@ func (m *Machine) resetExecState() {
 		m.havePrev[i] = false
 		m.qubitLocalNs[i] = 0
 		m.busyUntil[i] = 0
+		m.claimCycle[i] = -1
+		m.claimOp[i] = ""
+	}
+	for _, a := range m.sSetDirty {
+		m.sSets[a] = plan.EmptyTargets
+		m.sSetListed[a] = false
+	}
+	m.sSetDirty = m.sSetDirty[:0]
+	for _, a := range m.tSetDirty {
+		m.tSets[a] = plan.EmptyTargets
+		m.tSetListed[a] = false
+	}
+	m.tSetDirty = m.tSetDirty[:0]
+}
+
+// markSSetDirty/markTSetDirty put a planned target-register slot on
+// the reset list, at most once per reset interval.
+func (m *Machine) markSSetDirty(a uint8) {
+	if !m.sSetListed[a] {
+		m.sSetListed[a] = true
+		m.sSetDirty = append(m.sSetDirty, a)
+	}
+}
+
+func (m *Machine) markTSetDirty(a uint8) {
+	if !m.tSetListed[a] {
+		m.tSetListed[a] = true
+		m.tSetDirty = append(m.tSetDirty, a)
 	}
 }
 
@@ -165,8 +279,12 @@ func (m *Machine) Reset() {
 	for i := range m.tRegs {
 		m.tRegs[i] = 0
 	}
-	for i := range m.mem {
-		m.mem[i] = 0
+	// Data memory is only written by ST and the host's WriteWord, below
+	// the recorded high-water mark; Reset clears just that prefix, so
+	// shot loops stop paying a 64 KiB memset per shot.
+	if m.memDirtyHi > 0 {
+		clear(m.mem[:m.memDirtyHi])
+		m.memDirtyHi = 0
 	}
 	m.backend.Reset()
 	m.cmpFlags = 0
@@ -208,13 +326,19 @@ func (m *Machine) current() isa.Instr {
 	return isa.Instr{}
 }
 
+// noResultPending is the nextResultTick sentinel when no measurement
+// write-back is in flight.
+const noResultPending = int64(^uint64(0) >> 1)
+
 // step advances one classical tick (possibly fast-forwarding through idle
 // time when the pipeline cannot do anything).
 func (m *Machine) step() {
 	// Timing controller: trigger everything whose timing point has been
 	// reached (the controller works on the 50 MHz cycle grid; event
 	// timestamps are cycle-aligned by construction).
-	m.triggerCycle(m.tick / int64(m.cfg.CycleTicks))
+	if len(m.events) > 0 {
+		m.triggerCycle(m.tick / int64(m.cfg.CycleTicks))
+	}
 	m.deliverResults()
 	switch {
 	case m.stallTicks > 0:
@@ -300,8 +424,16 @@ func (m *Machine) WriteWord(addr int, v uint32) error {
 	if addr < 0 || addr+4 > len(m.mem) {
 		return fmt.Errorf("microarch: data address %d out of range", addr)
 	}
+	m.markMemWritten(addr + 4)
 	binary.LittleEndian.PutUint32(m.mem[addr:], v)
 	return nil
+}
+
+// markMemWritten records a data-memory write reaching byte offset hi.
+func (m *Machine) markMemWritten(hi int) {
+	if hi > m.memDirtyHi {
+		m.memDirtyHi = hi
+	}
 }
 
 // Backend exposes the simulated chip (tests and experiments read exact

@@ -152,14 +152,15 @@ func (m *Machine) issueBundle(ins isa.Instr) {
 // claim registers a qubit as busy at a timing point, failing on
 // collisions: "if two different quantum bundle instructions specify a
 // quantum operation on the same qubit, an error is raised, and the
-// quantum processor stops" (Section 4.3).
+// quantum processor stops" (Section 4.3). Timing points are monotone
+// within a run, so only the qubit's most recent claim can collide.
 func (m *Machine) claim(qubit int, cycle int64, opName string) bool {
-	key := claimKey{cycle, qubit}
-	if prev, busy := m.claims[key]; busy {
-		m.fail(&CollisionError{PC: m.pc, Qubit: qubit, Cycle: cycle, Ops: [2]string{prev, opName}})
+	if m.claimCycle[qubit] == cycle {
+		m.fail(&CollisionError{PC: m.pc, Qubit: qubit, Cycle: cycle, Ops: [2]string{m.claimOp[qubit], opName}})
 		return false
 	}
-	m.claims[key] = opName
+	m.claimCycle[qubit] = cycle
+	m.claimOp[qubit] = opName
 	return true
 }
 
@@ -182,15 +183,21 @@ func (m *Machine) issueSingleOp(def *isa.OpDef, micro []MicroOp, mask uint64, po
 			kind = evMeasure
 			if m.cfg.Topo.Feedline(q) < 0 {
 				m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
-					Msg: fmt.Sprintf("qubit %d has no feedline to measure through", q)})
+					Msg: noFeedlineMsg(q)})
 				return
 			}
 			// Section 3.6 step 1: Qi is invalidated the moment the
 			// measurement instruction is issued.
 			m.measCounters[q]++
 		}
-		m.pushEvent(gateEvent{cycle: point, kind: kind, def: def, micro: micro, qubit: q, pc: m.pc})
+		m.pushEvent(gateEvent{cycle: point, kind: kind, def: def, micro: micro, qubit: int32(q), pc: int32(m.pc)})
 	}
+}
+
+// noFeedlineMsg is the fault message both execution paths raise when a
+// measurement addresses a qubit with no feedline.
+func noFeedlineMsg(q int) string {
+	return fmt.Sprintf("qubit %d has no feedline to measure through", q)
 }
 
 func (m *Machine) issuePairOp(def *isa.OpDef, micro []MicroOp, mask uint64, point int64) {
@@ -211,6 +218,6 @@ func (m *Machine) issuePairOp(def *isa.OpDef, micro []MicroOp, mask uint64, poin
 		if !m.claim(e.Src, point, def.Name) || !m.claim(e.Tgt, point, def.Name) {
 			return
 		}
-		m.pushEvent(gateEvent{cycle: point, kind: evGate2, def: def, micro: micro, qubit: e.Src, tgt: e.Tgt, pc: m.pc})
+		m.pushEvent(gateEvent{cycle: point, kind: evGate2, def: def, micro: micro, qubit: int32(e.Src), tgt: int32(e.Tgt), pc: int32(m.pc)})
 	}
 }

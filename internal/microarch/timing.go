@@ -1,27 +1,43 @@
 package microarch
 
 import (
-	"container/heap"
 	"fmt"
 
 	"eqasm/internal/isa"
+	"eqasm/internal/plan"
 	"eqasm/internal/quantum"
 )
 
 // gateEvent is a device operation queued in the timing control unit,
-// awaiting its timing point.
+// awaiting its timing point. The struct is kept compact (it is copied
+// through the event heap on every push and pop): the planned path sets
+// only op, from which dispatch reads the operation definition,
+// microinstructions, precomputed duration and classified kernel; the
+// interpreter path sets def and micro instead.
 type gateEvent struct {
 	cycle int64
-	kind  eventKind
-	def   *isa.OpDef
+	seq   int64 // insertion order for stable triggering
+	// op is the pre-resolved plan operation (nil on the interpreter
+	// path).
+	op  *plan.BundleOp
+	def *isa.OpDef // interpreter path only; use resolve()
 	// micro holds the Q-control-store microinstructions: one entry for
 	// single-qubit operations and measurements, (µ-op_src, µ-op_tgt) for
-	// two-qubit operations.
+	// two-qubit operations. Interpreter path only; use resolve().
 	micro []MicroOp
-	qubit int // acting qubit (source qubit for two-qubit operations)
-	tgt   int // target qubit for two-qubit operations
-	pc    int
-	seq   int64 // insertion order for stable triggering
+	qubit int32 // acting qubit (source qubit for two-qubit operations)
+	tgt   int32 // target qubit for two-qubit operations
+	pc    int32
+	kind  eventKind
+}
+
+// resolve returns the event's operation definition and
+// microinstructions, from the plan on the planned path.
+func (e *gateEvent) resolve() (*isa.OpDef, []MicroOp) {
+	if e.op != nil {
+		return e.op.Def, e.op.Micro
+	}
+	return e.def, e.micro
 }
 
 type eventKind uint8
@@ -32,23 +48,64 @@ const (
 	evMeasure
 )
 
-// eventHeap orders events by trigger cycle, then insertion order.
+// eventHeap is a binary min-heap ordering events by trigger cycle,
+// then insertion order. It is hand-rolled rather than built on
+// container/heap: the interface-based API boxes every gateEvent into
+// an allocation on push, which dominated the per-shot profile.
 type eventHeap []gateEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(gateEvent)) }
-func (h *eventHeap) Pop() any {
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// push adds an event, keeping the heap order.
+func (h *eventHeap) push(e gateEvent) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() gateEvent {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	e := old[0]
+	old[0] = old[n]
+	old[n] = gateEvent{}
+	*h = old[:n]
+	(*h).siftDown(0)
 	return e
 }
 
@@ -60,7 +117,7 @@ func (m *Machine) pushEvent(e gateEvent) {
 	}
 	e.seq = m.eventSeq
 	m.eventSeq++
-	heap.Push(&m.events, e)
+	m.events.push(e)
 }
 
 // pendingResult is a measurement result in flight from the discrimination
@@ -82,88 +139,108 @@ type pendingResult struct {
 // analog-digital interface (the simulated chip).
 func (m *Machine) triggerCycle(cycle int64) {
 	for len(m.events) > 0 && m.events[0].cycle <= cycle {
-		e := heap.Pop(&m.events).(gateEvent)
+		e := m.events.pop()
 		m.stats.QuantumOpsTriggered++
-		m.dispatch(e)
+		m.dispatch(&e)
 		if m.err != nil {
 			return
 		}
 	}
 }
 
-func (m *Machine) dispatch(e gateEvent) {
+func (m *Machine) dispatch(e *gateEvent) {
 	tNs := e.cycle * m.CycleNs()
-	durNs := m.cfg.OpConfig.DurationNs(e.def)
+	def, micro := e.resolve()
+	var durNs float64
+	if e.op != nil {
+		durNs = e.op.DurNs
+	} else {
+		durNs = m.cfg.OpConfig.DurationNs(def)
+	}
 	outNs := tNs + int64(m.cfg.OutputDelayNs)
+	qubit, tgt := int(e.qubit), int(e.tgt)
 	switch e.kind {
 	case evGate1:
-		mo := e.micro[0]
+		mo := micro[0]
 		// Fast conditional execution: the selected execution flag of the
 		// target qubit decides go/no-go after triggering (Section 3.5).
-		if !m.execFlag(e.qubit, mo.CondSel) {
+		if !m.execFlag(qubit, mo.CondSel) {
 			m.stats.OpsCancelled++
 			m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: mo.Channel,
-				Device: e.qubit, Codeword: mo.Codeword, OpName: e.def.Name,
-				Qubit: e.qubit, Cancelled: true})
+				Device: qubit, Codeword: mo.Codeword, OpName: def.Name,
+				Qubit: qubit, Cancelled: true})
 			return
 		}
-		if !m.markBusy(e, e.qubit) {
+		if !m.markBusy(e, def, qubit) {
 			return
 		}
-		m.idleUpTo(e.qubit, tNs)
-		m.backend.Apply1(e.def.Unitary1, e.qubit, durNs)
-		m.qubitLocalNs[e.qubit] = float64(tNs) + durNs
-		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: mo.Channel,
-			Device: e.qubit, Codeword: mo.Codeword, OpName: e.def.Name, Qubit: e.qubit})
-	case evGate2:
-		if !m.markBusy(e, e.qubit) || !m.markBusy(e, e.tgt) {
-			return
-		}
-		m.idleUpTo(e.qubit, tNs)
-		m.idleUpTo(e.tgt, tNs)
-		if e.def.Unitary2 == quantum.CZ {
-			m.backend.ApplyCZ(e.qubit, e.tgt, durNs)
+		m.idleUpTo(qubit, tNs)
+		if e.op != nil && m.specBE != nil {
+			m.specBE.Apply1Spec(e.op.Spec1, qubit, durNs)
 		} else {
-			m.backend.Apply2(e.def.Unitary2, e.qubit, e.tgt, durNs)
+			m.backend.Apply1(def.Unitary1, qubit, durNs)
 		}
-		m.qubitLocalNs[e.qubit] = float64(tNs) + durNs
-		m.qubitLocalNs[e.tgt] = float64(tNs) + durNs
+		m.qubitLocalNs[qubit] = float64(tNs) + durNs
+		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: mo.Channel,
+			Device: qubit, Codeword: mo.Codeword, OpName: def.Name, Qubit: qubit})
+	case evGate2:
+		if !m.markBusy(e, def, qubit) || !m.markBusy(e, def, tgt) {
+			return
+		}
+		m.idleUpTo(qubit, tNs)
+		m.idleUpTo(tgt, tNs)
+		if e.op != nil && m.specBE != nil {
+			m.specBE.Apply2Spec(e.op.Spec2, qubit, tgt, durNs)
+		} else if def.Unitary2 == quantum.CZ {
+			m.backend.ApplyCZ(qubit, tgt, durNs)
+		} else {
+			m.backend.Apply2(def.Unitary2, qubit, tgt, durNs)
+		}
+		m.qubitLocalNs[qubit] = float64(tNs) + durNs
+		m.qubitLocalNs[tgt] = float64(tNs) + durNs
 		// Two flux pulses, one per qubit of the pair (µ-op_src, µ-op_tgt),
 		// with distinct control-store codewords.
-		src, tgt := e.micro[0], e.micro[1]
+		src, dst := micro[0], micro[1]
 		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: src.Channel,
-			Device: e.qubit, Codeword: src.Codeword, OpName: e.def.Name, Qubit: e.qubit})
-		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: tgt.Channel,
-			Device: e.tgt, Codeword: tgt.Codeword, OpName: e.def.Name, Qubit: e.tgt})
+			Device: qubit, Codeword: src.Codeword, OpName: def.Name, Qubit: qubit})
+		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: dst.Channel,
+			Device: tgt, Codeword: dst.Codeword, OpName: def.Name, Qubit: tgt})
 	case evMeasure:
-		if !m.markBusy(e, e.qubit) {
+		if !m.markBusy(e, def, qubit) {
 			return
 		}
-		idx := m.measIssued[e.qubit]
-		m.measIssued[e.qubit]++
+		idx := m.measIssued[qubit]
+		m.measIssued[qubit]++
 		var bit int
 		if m.cfg.MockMeasure != nil {
 			// Mock discrimination (paper: UHFQC programmed to generate
 			// mock results, no qubits attached).
-			bit = m.cfg.MockMeasure(e.qubit, idx) & 1
+			bit = m.cfg.MockMeasure(qubit, idx) & 1
 		} else {
-			m.idleUpTo(e.qubit, tNs)
-			bit = m.backend.Measure(e.qubit, durNs)
-			m.qubitLocalNs[e.qubit] = float64(tNs) + durNs
+			m.idleUpTo(qubit, tNs)
+			bit = m.backend.Measure(qubit, durNs)
+			m.qubitLocalNs[qubit] = float64(tNs) + durNs
 		}
-		resultTick := (e.cycle + int64(e.def.DurationCycles)) * int64(m.cfg.CycleTicks)
+		resultTick := (e.cycle + int64(def.DurationCycles)) * int64(m.cfg.CycleTicks)
 		resultNs := resultTick * int64(m.cfg.ClassicalTickNs)
-		m.results = append(m.results, pendingResult{
-			qubit:     e.qubit,
+		r := pendingResult{
+			qubit:     qubit,
 			bit:       bit,
 			flagTick:  resultTick + int64(m.cfg.ResultToFlagTicks),
 			qiTick:    resultTick + int64(m.cfg.ResultToQiTicks),
 			resultNs:  resultNs,
 			triggerNs: tNs,
-		})
+		}
+		if r.flagTick < m.nextResultTick {
+			m.nextResultTick = r.flagTick
+		}
+		if r.qiTick < m.nextResultTick {
+			m.nextResultTick = r.qiTick
+		}
+		m.results = append(m.results, r)
 		m.record(DeviceOp{TimeNs: outNs, Cycle: e.cycle, Channel: isa.ChanMeasure,
-			Device: m.cfg.Topo.Feedline(e.qubit), Codeword: e.micro[0].Codeword,
-			OpName: e.def.Name, Qubit: e.qubit})
+			Device: m.cfg.Topo.Feedline(qubit), Codeword: micro[0].Codeword,
+			OpName: def.Name, Qubit: qubit})
 	}
 }
 
@@ -172,6 +249,13 @@ func (m *Machine) dispatch(e gateEvent) {
 // registers, the slow path writes Qi and decrements Ci (releasing any
 // stalled FMR).
 func (m *Machine) deliverResults() {
+	// nextResultTick is the earliest pending write-back: until the
+	// clock reaches it the scan below cannot deliver anything, so the
+	// per-tick cost is two compares.
+	if len(m.results) == 0 || m.tick < m.nextResultTick {
+		return
+	}
+	next := int64(noResultPending)
 	out := m.results[:0]
 	for _, r := range m.results {
 		if !r.flagDone && r.flagTick <= m.tick {
@@ -191,22 +275,29 @@ func (m *Machine) deliverResults() {
 			})
 		}
 		if !r.flagDone || !r.qiDone {
+			if !r.flagDone && r.flagTick < next {
+				next = r.flagTick
+			}
+			if !r.qiDone && r.qiTick < next {
+				next = r.qiTick
+			}
 			out = append(out, r)
 		}
 	}
 	m.results = out
+	m.nextResultTick = next
 }
 
 // markBusy checks that qubit q is not still executing an earlier pulse
 // when e triggers, and reserves it for e's duration. Overlapping pulses
 // on one qubit are a control error that stops the processor.
-func (m *Machine) markBusy(e gateEvent, q int) bool {
+func (m *Machine) markBusy(e *gateEvent, def *isa.OpDef, q int) bool {
 	if e.cycle < m.busyUntil[q] {
-		m.fail(&CollisionError{PC: e.pc, Qubit: q, Cycle: e.cycle,
-			Ops: [2]string{"<pulse in progress>", e.def.Name}})
+		m.fail(&CollisionError{PC: int(e.pc), Qubit: q, Cycle: e.cycle,
+			Ops: [2]string{"<pulse in progress>", def.Name}})
 		return false
 	}
-	m.busyUntil[q] = e.cycle + int64(e.def.DurationCycles)
+	m.busyUntil[q] = e.cycle + int64(def.DurationCycles)
 	return true
 }
 

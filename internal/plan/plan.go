@@ -1,0 +1,375 @@
+// Package plan is the decode-once lowering layer of the execution
+// stack: it turns an assembled isa.Program plus its instruction-set
+// context (operation configuration, chip topology) into an immutable
+// Executable whose instructions carry pre-resolved operands,
+// pre-looked-up Q-control-store microinstructions, pre-expanded S/T
+// target-register masks, pre-classified device-operation kinds and
+// kernels, and precomputed per-operation durations.
+//
+// The eQASM paper's central architectural argument is that translation
+// cost is paid ahead of the timing-critical pipeline: the binary is
+// decoded, the microcode unit is configured, and target registers
+// resolve masks set up in advance, so triggering a quantum operation is
+// a table walk, not a decode. The interpreter in internal/microarch
+// re-resolved operation names, control-store entries and target masks
+// on every shot; Build performs that resolution exactly once, and every
+// pooled machine replaying the program shares the read-only result.
+//
+// Semantics are preserved exactly, including failure behaviour:
+// configuration errors the interpreter would raise at issue time
+// (an unconfigured operation, a mask addressing qubits beyond the
+// chip, a pair mask selecting edges that share a qubit) are not build
+// failures — they are recorded on the lowered operation or target set
+// and surface with the interpreter's message if and when that
+// instruction actually executes.
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"weak"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/quantum"
+	"eqasm/internal/topology"
+)
+
+// DeviceKind pre-classifies what a bundle operation does to the chip.
+type DeviceKind uint8
+
+const (
+	// KindGate1 is a single-qubit gate.
+	KindGate1 DeviceKind = iota
+	// KindGate2 is a two-qubit gate.
+	KindGate2
+	// KindMeasure starts readout.
+	KindMeasure
+)
+
+// Pair is one selected allowed pair of a two-qubit target set.
+type Pair struct {
+	Src, Tgt int
+}
+
+// TargetSet is one pre-expanded S/T target-register value: the mask a
+// SMIS/SMIT instruction installs, already expanded to the qubit or
+// pair list the quantum pipeline iterates, with mask-validity errors
+// resolved ahead of time. The zero-mask set is shared (EmptyTargets).
+type TargetSet struct {
+	// Mask is the raw register value (the architectural S/T register
+	// contents).
+	Mask uint64
+	// Qubits is the ascending qubit list of a SMIS mask.
+	Qubits []int
+	// Pairs is the edge list of a SMIT mask, in edge-ID order.
+	Pairs []Pair
+	// SingleErr/PairErr carry the issue-time error the interpreter
+	// would raise when a bundle reads this register for a single- or
+	// two-qubit operation ("" = valid). Deferred rather than raised at
+	// build time: a register holding an invalid mask is only a fault
+	// when a bundle actually uses it.
+	SingleErr string
+	PairErr   string
+}
+
+// EmptyTargets is the power-on target-register value: mask 0, no
+// targets.
+var EmptyTargets = &TargetSet{}
+
+// BundleOp is one pre-resolved quantum operation of a bundle: operation
+// definition, control-store microinstructions, device kind, duration
+// and kernel classification, all looked up at build time.
+type BundleOp struct {
+	// Def is the configured operation (nil when ErrMsg is set).
+	Def *isa.OpDef
+	// Micro are the Q-control-store microinstructions.
+	Micro []MicroOp
+	// Kind classifies the device operation.
+	Kind DeviceKind
+	// Target is the S/T register index the operation reads.
+	Target uint8
+	// DurNs is the precomputed pulse duration in nanoseconds.
+	DurNs float64
+	// DurCycles is the pulse duration in quantum cycles.
+	DurCycles int64
+	// Spec1/Spec2 are the kernel classifications of the unitary.
+	Spec1 quantum.Gate1Spec
+	Spec2 quantum.Gate2Spec
+	// ErrMsg defers a configuration error (unknown operation name) to
+	// the moment the bundle issues, matching interpreter semantics.
+	ErrMsg string
+}
+
+// Bundle is a pre-resolved quantum bundle.
+type Bundle struct {
+	// PI is the pre-interval in cycles, pre-widened.
+	PI int64
+	// Ops are the bundle's operations in issue order.
+	Ops []BundleOp
+}
+
+// Instr is one lowered instruction: the scalar operands of the
+// assembly-level isa.Instr, compacted, plus pointers to the
+// pre-resolved quantum structures.
+type Instr struct {
+	Op         isa.Opcode
+	Rd, Rs, Rt uint8
+	Qi, Addr   uint8
+	Cond       isa.CondFlag
+	Imm        int32
+	Mask       uint64
+	// Targets is the pre-expanded target set a SMIS/SMIT installs.
+	Targets *TargetSet
+	// Bundle is the pre-resolved quantum bundle of an OpBundle.
+	Bundle *Bundle
+}
+
+// Executable is an immutable execution plan: build once, execute many.
+// It is safe to share read-only across pooled machines and goroutines.
+type Executable struct {
+	prog   *isa.Program
+	topo   *topology.Topology
+	opCfg  *isa.OpConfig
+	instrs []Instr
+}
+
+// Program returns the source program the plan lowers (error reporting
+// and listings still render assembly-level instructions).
+func (e *Executable) Program() *isa.Program { return e.prog }
+
+// Topology returns the chip topology the plan was lowered for.
+func (e *Executable) Topology() *topology.Topology { return e.topo }
+
+// OpConfig returns the operation configuration the plan was lowered
+// under.
+func (e *Executable) OpConfig() *isa.OpConfig { return e.opCfg }
+
+// Instrs returns the lowered instruction sequence (read-only).
+func (e *Executable) Instrs() []Instr { return e.instrs }
+
+// Len returns the instruction count.
+func (e *Executable) Len() int { return len(e.instrs) }
+
+// controlStores interns one Q control store per live operation
+// configuration, so every plan lowered under the same configuration —
+// and every machine interpreting under it — shares one pre-built
+// microcode table. Keys are weak: when a configuration becomes
+// unreachable its entry is removed, so callers that build throwaway
+// configurations (every defaulted NewSystem allocates one) do not grow
+// the cache without bound.
+var (
+	controlStoresMu sync.Mutex
+	controlStores   = map[weak.Pointer[isa.OpConfig]]*ControlStore{}
+)
+
+// InternControlStore returns the shared control store of cfg, building
+// it on first use.
+func InternControlStore(cfg *isa.OpConfig) *ControlStore {
+	key := weak.Make(cfg)
+	controlStoresMu.Lock()
+	defer controlStoresMu.Unlock()
+	if cs, ok := controlStores[key]; ok {
+		return cs
+	}
+	cs := BuildControlStore(cfg)
+	controlStores[key] = cs
+	runtime.AddCleanup(cfg, func(k weak.Pointer[isa.OpConfig]) {
+		controlStoresMu.Lock()
+		delete(controlStores, k)
+		controlStoresMu.Unlock()
+	}, key)
+	return cs
+}
+
+// Build lowers prog into an Executable for the given chip topology and
+// operation configuration. It fails only on missing inputs; program
+// content that the interpreter would fault on at run time (unknown
+// operations, invalid masks) lowers to deferred errors that reproduce
+// the interpreter's behaviour when executed.
+func Build(prog *isa.Program, topo *topology.Topology, opCfg *isa.OpConfig) (*Executable, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("plan: nil program")
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("plan: nil topology")
+	}
+	if opCfg == nil {
+		return nil, fmt.Errorf("plan: nil operation configuration")
+	}
+	b := &builder{
+		topo:    topo,
+		opCfg:   opCfg,
+		cstore:  InternControlStore(opCfg),
+		targets: map[targetKey]*TargetSet{},
+	}
+	ex := &Executable{
+		prog:   prog,
+		topo:   topo,
+		opCfg:  opCfg,
+		instrs: make([]Instr, len(prog.Instrs)),
+	}
+	for i, ins := range prog.Instrs {
+		ex.instrs[i] = b.lower(ins)
+	}
+	return ex, nil
+}
+
+type targetKey struct {
+	mask uint64
+	pair bool
+}
+
+type builder struct {
+	topo   *topology.Topology
+	opCfg  *isa.OpConfig
+	cstore *ControlStore
+	// targets dedupes expanded masks: programs re-install the same
+	// few masks from many sites (and loops re-execute one site).
+	targets map[targetKey]*TargetSet
+}
+
+func (b *builder) lower(ins isa.Instr) Instr {
+	out := Instr{
+		Op:   ins.Op,
+		Rd:   ins.Rd,
+		Rs:   ins.Rs,
+		Rt:   ins.Rt,
+		Qi:   ins.Qi,
+		Addr: ins.Addr,
+		Cond: ins.Cond,
+		Imm:  ins.Imm,
+		Mask: ins.Mask,
+	}
+	switch ins.Op {
+	case isa.OpSMIS:
+		out.Targets = b.expand(ins.Mask, false)
+	case isa.OpSMIT:
+		out.Targets = b.expand(ins.Mask, true)
+	case isa.OpBundle:
+		out.Bundle = b.lowerBundle(ins)
+	}
+	return out
+}
+
+// expand pre-resolves one mask value into its target set, reusing
+// previously expanded identical masks.
+func (b *builder) expand(mask uint64, pair bool) *TargetSet {
+	if mask == 0 {
+		return EmptyTargets
+	}
+	key := targetKey{mask, pair}
+	if ts, ok := b.targets[key]; ok {
+		return ts
+	}
+	ts := ExpandTargets(mask, b.topo)
+	b.targets[key] = ts
+	return ts
+}
+
+// ExpandTargets expands one raw S/T register mask under a chip
+// topology, exactly as the plan builder does for SMIS/SMIT sites. The
+// microarchitecture uses it when a plan is loaded over live register
+// state (registers survive program uploads).
+func ExpandTargets(mask uint64, topo *topology.Topology) *TargetSet {
+	if mask == 0 {
+		return EmptyTargets
+	}
+	ts := &TargetSet{Mask: mask}
+	expandSingle(ts, topo)
+	expandPair(ts, topo)
+	return ts
+}
+
+// expandSingle resolves the mask as a single-qubit (S register) target
+// list, recording the interpreter's issue-time error for out-of-range
+// masks.
+func expandSingle(ts *TargetSet, topo *topology.Topology) {
+	n := topo.NumQubits
+	if high := ts.Mask &^ (1<<uint(n) - 1); high != 0 {
+		ts.SingleErr = fmt.Sprintf("target mask %#x addresses qubits beyond the %d-qubit chip",
+			ts.Mask, n)
+		return
+	}
+	for q := 0; q < n; q++ {
+		if ts.Mask&(1<<uint(q)) != 0 {
+			ts.Qubits = append(ts.Qubits, q)
+		}
+	}
+}
+
+// expandPair resolves the mask as a two-qubit (T register) edge list,
+// recording the interpreter's issue-time errors for out-of-range masks
+// and for pair selections sharing a qubit. Checks run in the
+// interpreter's order: range first, then qubit sharing.
+func expandPair(ts *TargetSet, topo *topology.Topology) {
+	edges := topo.Edges
+	if high := ts.Mask &^ (1<<uint(len(edges)) - 1); high != 0 {
+		ts.PairErr = fmt.Sprintf("pair mask %#x addresses edges beyond the chip's %d allowed pairs",
+			ts.Mask, len(edges))
+		return
+	}
+	used := make(map[int]bool, 2*len(edges))
+	for id, e := range edges {
+		if ts.Mask&(1<<uint(id)) == 0 {
+			continue
+		}
+		for _, q := range [2]int{e.Src, e.Tgt} {
+			if used[q] {
+				ts.PairErr = fmt.Sprintf("pair mask %#x selects two edges sharing qubit %d", ts.Mask, q)
+				return
+			}
+			used[q] = true
+		}
+		ts.Pairs = append(ts.Pairs, Pair{Src: e.Src, Tgt: e.Tgt})
+	}
+}
+
+// lowerBundle resolves every operation of a bundle against the
+// operation configuration and control store once.
+func (b *builder) lowerBundle(ins isa.Instr) *Bundle {
+	bu := &Bundle{PI: int64(ins.PI)}
+	if len(ins.QOps) == 0 {
+		return bu
+	}
+	bu.Ops = make([]BundleOp, 0, len(ins.QOps))
+	for _, q := range ins.QOps {
+		bu.Ops = append(bu.Ops, b.lowerOp(q))
+	}
+	return bu
+}
+
+func (b *builder) lowerOp(q isa.QOp) BundleOp {
+	def, ok := b.opCfg.ByName(q.Name)
+	if !ok {
+		return BundleOp{
+			Target: q.Target,
+			ErrMsg: fmt.Sprintf("operation %q is not configured", q.Name),
+		}
+	}
+	micro, ok := b.cstore.Lookup(def.Opcode)
+	if !ok {
+		return BundleOp{
+			Target: q.Target,
+			ErrMsg: fmt.Sprintf("q-opcode %d (%s) missing from the Q control store", def.Opcode, q.Name),
+		}
+	}
+	op := BundleOp{
+		Def:       def,
+		Micro:     micro,
+		Target:    q.Target,
+		DurNs:     b.opCfg.DurationNs(def),
+		DurCycles: int64(def.DurationCycles),
+	}
+	switch def.Kind {
+	case isa.OpKindTwo:
+		op.Kind = KindGate2
+		op.Spec2 = quantum.ClassifyGate2(def.Unitary2)
+	case isa.OpKindMeasure:
+		op.Kind = KindMeasure
+	default:
+		op.Kind = KindGate1
+		op.Spec1 = quantum.ClassifyGate1(def.Unitary1)
+	}
+	return op
+}

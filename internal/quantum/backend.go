@@ -59,8 +59,13 @@ func (b *SVBackend) NumQubits() int { return b.State.NumQubits() }
 // Reset implements Backend.
 func (b *SVBackend) Reset() { b.State.Reset() }
 
-// Idle implements Backend: decoherence only.
+// Idle implements Backend: decoherence only. The noiseless fast path
+// mirrors AmplitudeDamp/Dephase's zero-probability early returns (no
+// random numbers are drawn either way).
 func (b *SVBackend) Idle(q int, durNs float64) {
+	if b.Noise.T1Ns <= 0 && b.Noise.T2Ns <= 0 {
+		return
+	}
 	b.State.AmplitudeDamp(q, b.Noise.GammaT1(durNs))
 	b.State.Dephase(q, b.Noise.PhiT2(durNs))
 }

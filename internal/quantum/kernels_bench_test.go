@@ -1,0 +1,114 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-kernel benchmarks: each specialized state-vector path against
+// the dense matrix multiply it replaces, on a register large enough
+// for the loop structure to matter.
+const benchQubits = 12
+
+func benchState() *State {
+	s := NewState(benchQubits, rand.New(rand.NewSource(1)))
+	s.Apply1(Hadamard, 0) // leave |+> ⊗ |0...0> so amplitudes are non-trivial
+	return s
+}
+
+func BenchmarkKernelGeneric1(b *testing.B) {
+	s := benchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply1(GateX90, i%benchQubits)
+	}
+}
+
+func BenchmarkKernelDiag(b *testing.B) {
+	s := benchState()
+	sp := ClassifyGate1(TGate)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplySpec1(sp, i%benchQubits)
+	}
+}
+
+func BenchmarkKernelDiagDense(b *testing.B) {
+	s := benchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply1(TGate, i%benchQubits)
+	}
+}
+
+func BenchmarkKernelAntiDiag(b *testing.B) {
+	s := benchState()
+	sp := ClassifyGate1(PauliX)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplySpec1(sp, i%benchQubits)
+	}
+}
+
+func BenchmarkKernelHadamard(b *testing.B) {
+	s := benchState()
+	sp := ClassifyGate1(Hadamard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplySpec1(sp, i%benchQubits)
+	}
+}
+
+func BenchmarkKernelCPhase(b *testing.B) {
+	s := benchState()
+	sp := ClassifyGate2(CZ)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplySpec2(sp, i%(benchQubits-1), benchQubits-1)
+	}
+}
+
+func BenchmarkKernelCPhaseDense(b *testing.B) {
+	s := benchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply2(CZ, i%(benchQubits-1), benchQubits-1)
+	}
+}
+
+func BenchmarkKernelPerm(b *testing.B) {
+	s := benchState()
+	sp := ClassifyGate2(CNOT)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplySpec2(sp, i%(benchQubits-1), benchQubits-1)
+	}
+}
+
+func BenchmarkKernelPermDense(b *testing.B) {
+	s := benchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply2(CNOT, i%(benchQubits-1), benchQubits-1)
+	}
+}
+
+func BenchmarkKernelMeasure(b *testing.B) {
+	s := benchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := i % benchQubits
+		s.Apply1(Hadamard, q)
+		s.Measure(q)
+	}
+}
+
+func BenchmarkKernelResetQubit(b *testing.B) {
+	s := benchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := i % benchQubits
+		s.Apply1(Hadamard, q)
+		s.ResetQubit(q)
+	}
+}

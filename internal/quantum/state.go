@@ -64,14 +64,15 @@ func (s *State) checkQubit(q int) {
 	}
 }
 
-// Apply1 applies the single-qubit operator u to qubit q.
+// Apply1 applies the single-qubit operator u to qubit q. The loop
+// enumerates the 2^(n-1) base indices with bit q clear directly rather
+// than scanning the full array and skipping half of it.
 func (s *State) Apply1(u Matrix2, q int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	for base := 0; base < len(s.amp); base++ {
-		if base&bit != 0 {
-			continue
-		}
+	half := len(s.amp) >> 1
+	for k := 0; k < half; k++ {
+		base := base1(k, q)
 		a0 := s.amp[base]
 		a1 := s.amp[base|bit]
 		s.amp[base] = u[0][0]*a0 + u[0][1]*a1
@@ -89,10 +90,13 @@ func (s *State) Apply2(u Matrix4, qa, qb int) {
 	}
 	ba := 1 << uint(qa)
 	bb := 1 << uint(qb)
-	for base := 0; base < len(s.amp); base++ {
-		if base&ba != 0 || base&bb != 0 {
-			continue
-		}
+	lo, hi := qa, qb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	quarter := len(s.amp) >> 2
+	for k := 0; k < quarter; k++ {
+		base := base2(k, lo, hi)
 		var in [4]complex128
 		in[0] = s.amp[base]
 		in[1] = s.amp[base|bb]
@@ -120,28 +124,36 @@ func (s *State) ApplyCZ(qa, qb int) {
 		panic(fmt.Sprintf("quantum: CZ on identical qubit %d", qa))
 	}
 	mask := (1 << uint(qa)) | (1 << uint(qb))
-	for i := range s.amp {
-		if i&mask == mask {
-			s.amp[i] = -s.amp[i]
-		}
+	lo, hi := qa, qb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	quarter := len(s.amp) >> 2
+	for k := 0; k < quarter; k++ {
+		i := base2(k, lo, hi) | mask
+		s.amp[i] = -s.amp[i]
 	}
 }
 
-// Prob1 returns the probability that measuring qubit q yields 1.
+// Prob1 returns the probability that measuring qubit q yields 1. The
+// sum runs over the 2^(n-1) set-bit indices directly, in ascending
+// index order (the summation order measurement reproducibility depends
+// on).
 func (s *State) Prob1(q int) float64 {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
 	var p float64
-	for i, a := range s.amp {
-		if i&bit != 0 {
-			p += real(a)*real(a) + imag(a)*imag(a)
-		}
+	for k := 0; k < half; k++ {
+		a := s.amp[base1(k, q)|bit]
+		p += real(a)*real(a) + imag(a)*imag(a)
 	}
 	return p
 }
 
 // Measure performs a projective Z-basis measurement of qubit q, collapsing
-// the state, and returns the outcome.
+// the state, and returns the outcome. The probability scan and the
+// collapse each touch only the 2^(n-1) indices they need.
 func (s *State) Measure(q int) int {
 	p1 := s.Prob1(q)
 	outcome := 0
@@ -152,34 +164,66 @@ func (s *State) Measure(q int) int {
 	return outcome
 }
 
-// project collapses qubit q onto the given outcome and renormalises. p1 is
-// the pre-measurement probability of outcome 1.
+// projectNorm is the renormalisation factor for collapsing onto a
+// branch of probability keepP (deterministically forced when the other
+// branch is numerically impossible).
+func projectNorm(keepP float64) complex128 {
+	if keepP <= 0 {
+		keepP = 1
+	}
+	return complex(1/math.Sqrt(keepP), 0)
+}
+
+// project collapses qubit q onto the given outcome and renormalises in
+// one pass over the 2^(n-1) base indices. p1 is the pre-measurement
+// probability of outcome 1.
 func (s *State) project(q, outcome int, p1 float64) {
 	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
 	keepP := p1
 	if outcome == 0 {
 		keepP = 1 - p1
 	}
-	if keepP <= 0 {
-		// Numerically impossible branch; force the deterministic one.
-		keepP = 1
-	}
-	norm := complex(1/math.Sqrt(keepP), 0)
-	for i := range s.amp {
-		has1 := i&bit != 0
-		if (outcome == 1) == has1 {
-			s.amp[i] *= norm
-		} else {
-			s.amp[i] = 0
+	norm := projectNorm(keepP)
+	if outcome == 1 {
+		for k := 0; k < half; k++ {
+			base := base1(k, q)
+			s.amp[base] = 0
+			s.amp[base|bit] *= norm
 		}
+		return
+	}
+	for k := 0; k < half; k++ {
+		base := base1(k, q)
+		s.amp[base] *= norm
+		s.amp[base|bit] = 0
 	}
 }
 
 // ResetQubit projects qubit q to |0> regardless of outcome probability
-// (an idealised unconditional reset, used when initialising by waiting).
+// (an idealised unconditional reset, used when initialising by
+// waiting). The collapse projects straight onto |0>: when the sampled
+// outcome is 1, the kept branch is lowered in the same pass instead of
+// measuring first and applying X afterwards. The random stream and the
+// resulting state are identical to the measure-then-X formulation.
 func (s *State) ResetQubit(q int) {
-	if s.Measure(q) == 1 {
-		s.Apply1(PauliX, q)
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	p1 := s.Prob1(q)
+	if s.rng.Float64() < p1 {
+		norm := projectNorm(p1)
+		for k := 0; k < half; k++ {
+			base := base1(k, q)
+			s.amp[base] = s.amp[base|bit] * norm
+			s.amp[base|bit] = 0
+		}
+		return
+	}
+	norm := projectNorm(1 - p1)
+	for k := 0; k < half; k++ {
+		base := base1(k, q)
+		s.amp[base] *= norm
+		s.amp[base|bit] = 0
 	}
 }
 

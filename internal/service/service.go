@@ -140,6 +140,8 @@ type metrics struct {
 	batchesRun    atomic.Int64
 	workersBusy   atomic.Int64
 	runNs         atomic.Int64
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -158,6 +160,12 @@ type Stats struct {
 	CacheHits     int64 `json:"cache_hits"`
 	CacheMisses   int64 `json:"cache_misses"`
 	CacheEntries  int   `json:"cache_entries"`
+	// PlanCacheHits/Misses count execution-plan reuse: a job whose
+	// program already carried its lowered decode-once plan (built once
+	// per cached program, shared by every batch and pooled machine)
+	// versus one that had to lower it at submit time.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
 	// RunNs is the cumulative wall time workers spent executing batches.
 	RunNs int64 `json:"run_ns"`
 }
@@ -288,12 +296,19 @@ func (s *Service) Job(id string) (*Job, bool) {
 }
 
 // resolve turns a spec into an assembled program via the content cache.
+// The program's decode-once execution plan is built here too — at
+// submit time, never on the shot hot path — and cached alongside the
+// source on the program object itself, so a cache-resident program
+// plans exactly once for all jobs and batches that hash to it.
 func (s *Service) resolve(spec JobSpec) (prog *eqasm.Program, hit bool, d time.Duration, err error) {
 	key, err := spec.cacheKey()
 	if err != nil {
 		return nil, false, 0, err
 	}
 	if p, ok := s.cache.get(key); ok {
+		if err := s.preparePlan(p); err != nil {
+			return nil, false, 0, err
+		}
 		return p, true, 0, nil
 	}
 	start := time.Now()
@@ -305,8 +320,26 @@ func (s *Service) resolve(spec JobSpec) (prog *eqasm.Program, hit bool, d time.D
 	if err != nil {
 		return nil, false, 0, err
 	}
+	if err := s.preparePlan(prog); err != nil {
+		return nil, false, 0, err
+	}
 	s.cache.put(key, prog)
 	return prog, false, time.Since(start), nil
+}
+
+// preparePlan forces the program's execution plan and accounts the
+// reuse counters.
+func (s *Service) preparePlan(p *eqasm.Program) error {
+	cached, err := p.Prepare()
+	if err != nil {
+		return err
+	}
+	if cached {
+		s.metrics.planHits.Add(1)
+	} else {
+		s.metrics.planMisses.Add(1)
+	}
+	return nil
 }
 
 // compile schedules a hardware-independent circuit and emits executable
@@ -333,21 +366,23 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	hits, misses, entries := s.cache.stats()
 	return Stats{
-		Workers:       s.cfg.Workers,
-		WorkersBusy:   int(s.metrics.workersBusy.Load()),
-		QueueDepth:    s.queue.depth(),
-		JobsSubmitted: s.metrics.jobsSubmitted.Load(),
-		JobsActive:    active,
-		JobsCompleted: s.metrics.jobsCompleted.Load(),
-		JobsFailed:    s.metrics.jobsFailed.Load(),
-		JobsCancelled: s.metrics.jobsCancelled.Load(),
-		JobsRejected:  s.metrics.jobsRejected.Load(),
-		ShotsExecuted: s.metrics.shotsExecuted.Load(),
-		BatchesRun:    s.metrics.batchesRun.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  entries,
-		RunNs:         s.metrics.runNs.Load(),
+		Workers:         s.cfg.Workers,
+		WorkersBusy:     int(s.metrics.workersBusy.Load()),
+		QueueDepth:      s.queue.depth(),
+		JobsSubmitted:   s.metrics.jobsSubmitted.Load(),
+		JobsActive:      active,
+		JobsCompleted:   s.metrics.jobsCompleted.Load(),
+		JobsFailed:      s.metrics.jobsFailed.Load(),
+		JobsCancelled:   s.metrics.jobsCancelled.Load(),
+		JobsRejected:    s.metrics.jobsRejected.Load(),
+		ShotsExecuted:   s.metrics.shotsExecuted.Load(),
+		BatchesRun:      s.metrics.batchesRun.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    entries,
+		PlanCacheHits:   s.metrics.planHits.Load(),
+		PlanCacheMisses: s.metrics.planMisses.Load(),
+		RunNs:           s.metrics.runNs.Load(),
 	}
 }
 

@@ -103,6 +103,13 @@ func TestCacheHitMissAccounting(t *testing.T) {
 		t.Fatalf("cache stats = %d hits / %d misses / %d entries, want 1/2/2",
 			st.CacheHits, st.CacheMisses, st.CacheEntries)
 	}
+	// Execution plans ride on the cached programs: the two distinct
+	// programs lowered once each; the cache-resident resubmit reused
+	// flip's plan.
+	if st.PlanCacheHits != 1 || st.PlanCacheMisses != 2 {
+		t.Fatalf("plan cache stats = %d hits / %d misses, want 1/2",
+			st.PlanCacheHits, st.PlanCacheMisses)
+	}
 }
 
 // Many goroutines submitting concurrently all complete, and the shot

@@ -1,0 +1,235 @@
+// Plan/interpreter parity: the decode-once execution plan must be
+// bit-identical to the interpreter it replaced. Every shipped fixture
+// runs through both paths at fixed seeds — ideal and noisy, state
+// vector and density matrix — and per-shot measurement records,
+// execution stats and the aggregate histograms must match exactly.
+package eqasm_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eqasm/internal/core"
+	"eqasm/internal/microarch"
+	"eqasm/internal/plan"
+	"eqasm/internal/quantum"
+)
+
+// shotRecord is everything observable about one shot.
+type shotRecord struct {
+	Meas  []microarch.MeasurementRecord
+	Stats microarch.Stats
+	Key   string
+}
+
+func recordShot(m *microarch.Machine) shotRecord {
+	recs := m.Measurements()
+	r := shotRecord{
+		Meas:  append([]microarch.MeasurementRecord(nil), recs...),
+		Stats: m.Stats(),
+	}
+	last := map[int]int{}
+	qubits := []int{}
+	for _, rec := range recs {
+		if _, seen := last[rec.Qubit]; !seen {
+			qubits = append(qubits, rec.Qubit)
+		}
+		last[rec.Qubit] = rec.Result
+	}
+	var b strings.Builder
+	for _, q := range qubits {
+		b.WriteByte(byte('0' + last[q]))
+	}
+	r.Key = b.String()
+	return r
+}
+
+// runShots executes shots repetitions on a fresh system, loading the
+// program through load, and returns the per-shot records plus the
+// outcome histogram.
+func runShots(t *testing.T, opts core.Options, src string, shots int,
+	load func(*core.System, string) error) ([]shotRecord, map[string]int) {
+	t.Helper()
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load(sys, src); err != nil {
+		t.Fatal(err)
+	}
+	var records []shotRecord
+	hist := map[string]int{}
+	err = sys.RunShots(shots, func(_ int, m *microarch.Machine) {
+		r := recordShot(m)
+		records = append(records, r)
+		hist[r.Key]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records, hist
+}
+
+func loadInterpreted(sys *core.System, src string) error {
+	p, err := sys.Asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	sys.LoadInterpreted(p)
+	return nil
+}
+
+func loadPlanned(sys *core.System, src string) error {
+	p, err := sys.Asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	ex, err := plan.Build(p, sys.Topo, sys.OpConfig)
+	if err != nil {
+		return err
+	}
+	return sys.LoadPlan(ex)
+}
+
+func fixtureSources(t *testing.T) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", "programs", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[strings.TrimSuffix(e.Name(), ".eqasm")] = string(data)
+	}
+	if len(out) == 0 {
+		t.Fatal("no fixtures shipped")
+	}
+	return out
+}
+
+// TestPlanInterpreterParity holds the plan path bit-identical to the
+// interpreter on every shipped fixture: identical per-shot measurement
+// records (values and timestamps), identical execution stats, and
+// therefore identical histograms, for several seeds, with and without
+// the calibrated noise model, on both chip simulators.
+func TestPlanInterpreterParity(t *testing.T) {
+	const shots = 40
+	noisy := quantum.NoiseModel{
+		T1Ns: 30_000, T2Ns: 22_000,
+		Gate1QError: 0.0008, Gate2QError: 0.07, ReadoutError: 0.09,
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"ideal", core.Options{}},
+		{"noisy", core.Options{Noise: noisy}},
+		{"density", core.Options{UseDensityMatrix: true}},
+		{"noisy_density", core.Options{Noise: noisy, UseDensityMatrix: true}},
+	}
+	for name, src := range fixtureSources(t) {
+		for _, cfg := range configs {
+			for _, seed := range []int64{1, 7, 12345} {
+				t.Run(name+"/"+cfg.name, func(t *testing.T) {
+					opts := cfg.opts
+					opts.Seed = seed
+					ref, refHist := runShots(t, opts, src, shots, loadInterpreted)
+					got, gotHist := runShots(t, opts, src, shots, loadPlanned)
+					if len(got) != len(ref) {
+						t.Fatalf("seed %d: plan ran %d shots, interpreter %d", seed, len(got), len(ref))
+					}
+					for i := range ref {
+						if !reflect.DeepEqual(got[i].Meas, ref[i].Meas) {
+							t.Fatalf("seed %d shot %d: measurement records diverge:\nplan: %+v\ninterp: %+v",
+								seed, i, got[i].Meas, ref[i].Meas)
+						}
+						if got[i].Stats != ref[i].Stats {
+							t.Fatalf("seed %d shot %d: stats diverge:\nplan: %+v\ninterp: %+v",
+								seed, i, got[i].Stats, ref[i].Stats)
+						}
+					}
+					if !reflect.DeepEqual(gotHist, refHist) {
+						t.Fatalf("seed %d: histograms diverge:\nplan: %v\ninterp: %v", seed, gotHist, refHist)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFanPlanParity holds the pooled fan-out (the path behind the
+// public Backend) bit-identical to the sequential interpreter at
+// Workers == 1, and self-consistent when the plan is shared by
+// concurrent workers.
+func TestFanPlanParity(t *testing.T) {
+	const shots = 30
+	for name, src := range fixtureSources(t) {
+		t.Run(name, func(t *testing.T) {
+			opts := core.Options{Seed: 3}
+			ref, _ := runShots(t, opts, src, shots, loadInterpreted)
+
+			sys, err := core.NewSystem(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := sys.Asm.Assemble(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Plans are context-bound: lower under the pool's template
+			// (FanPlan rejects plans built under another context).
+			pool := core.NewSystemPool(opts)
+			ex, err := pool.Plan(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]shotRecord, shots)
+			err = pool.FanPlan(context.Background(), ex, opts.Seed, shots, 1,
+				func(shot int, m *microarch.Machine, runErr error) error {
+					if runErr != nil {
+						return runErr
+					}
+					got[shot] = recordShot(m)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if !reflect.DeepEqual(got[i].Meas, ref[i].Meas) || got[i].Stats != ref[i].Stats {
+					t.Fatalf("shot %d diverges from sequential interpreter:\nfan: %+v\nref: %+v",
+						i, got[i], ref[i])
+				}
+			}
+
+			// Concurrent workers share one plan; worker 0's shot range
+			// stays bit-identical to its sequential stream.
+			perWorker := (shots + 3) / 4
+			conc := make([]shotRecord, shots)
+			err = pool.FanPlan(context.Background(), ex, opts.Seed, shots, 4,
+				func(shot int, m *microarch.Machine, runErr error) error {
+					if runErr != nil {
+						return runErr
+					}
+					conc[shot] = recordShot(m)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < perWorker; i++ {
+				if !reflect.DeepEqual(conc[i].Meas, ref[i].Meas) {
+					t.Fatalf("worker 0 shot %d diverges under fan-out", i)
+				}
+			}
+		})
+	}
+}

@@ -2,10 +2,12 @@ package eqasm
 
 import (
 	"fmt"
+	"sync"
 
 	"eqasm/internal/asm"
 	"eqasm/internal/compiler"
 	"eqasm/internal/isa"
+	"eqasm/internal/plan"
 )
 
 // Program is an assembled eQASM program bound to the instruction-set
@@ -14,10 +16,22 @@ import (
 // disassembly stay coherent with assembly — the Section 3.2 contract
 // made explicit. Programs are immutable and safe to share across
 // backends and goroutines.
+//
+// A Program lazily carries its decode-once execution plan: the first
+// execution (or an explicit Prepare call) lowers the instruction
+// sequence against the bound context — operands resolved, microcode
+// looked up, target masks expanded, gates kernel-classified — and
+// every subsequent shot on every pooled machine replays the shared
+// read-only plan.
 type Program struct {
 	prog   *isa.Program
 	st     stack
 	source string
+
+	planMu   sync.Mutex
+	planned  *plan.Executable
+	planErr  error
+	planDone bool
 }
 
 // Assemble parses and validates eQASM assembly source against the
@@ -90,6 +104,29 @@ func disassembleWith(st stack, words []uint32) (string, error) {
 	d := asm.NewDisassembler(st.opCfg, st.topo)
 	d.Inst = st.inst
 	return d.Disassemble(words)
+}
+
+// executable returns the program's execution plan, lowering it on
+// first use; cached reports whether the plan had already been built.
+func (p *Program) executable() (ex *plan.Executable, cached bool, err error) {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	if p.planDone {
+		return p.planned, true, p.planErr
+	}
+	p.planned, p.planErr = plan.Build(p.prog, p.st.topo, p.st.opCfg)
+	p.planDone = true
+	return p.planned, false, p.planErr
+}
+
+// Prepare lowers the program into its decode-once execution plan ahead
+// of the first run (backends otherwise build it lazily), returning
+// whether the plan was already cached. Serving layers call it at
+// submit time so the cost of planning is paid once per cached program,
+// never on the shot hot path.
+func (p *Program) Prepare() (cached bool, err error) {
+	_, cached, err = p.executable()
+	return cached, err
 }
 
 // Source returns the assembly text the program was assembled from
