@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"eqasm"
@@ -543,6 +544,63 @@ func BenchmarkServiceSubmitLatency(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "us/job")
+}
+
+// cqasmSource renders a compiler circuit as cQASM subset text (the
+// inverse of the front end, for benchmark inputs).
+func cqasmSource(b *testing.B, c *compiler.Circuit) string {
+	b.Helper()
+	names := map[string]string{
+		"I": "i", "X": "x", "Y": "y", "Z": "z", "H": "h", "S": "s", "T": "t",
+		"X90": "x90", "Y90": "y90", "Xm90": "mx90", "Ym90": "my90",
+		"CZ": "cz", "CNOT": "cnot", "MEASZ": "measure",
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "version 1.0\nqubits %d\n", c.NumQubits)
+	for _, g := range c.Gates {
+		name, ok := names[g.Name]
+		if !ok {
+			b.Fatalf("gate %q has no cQASM spelling", g.Name)
+		}
+		if g.IsTwoQubit() {
+			fmt.Fprintf(&sb, "%s q[%d], q[%d]\n", name, g.Qubits[0], g.Qubits[1])
+		} else {
+			fmt.Fprintf(&sb, "%s q[%d]\n", name, g.Qubits[0])
+		}
+	}
+	return sb.String()
+}
+
+// BenchmarkCompileCircuit measures the compile-side serving cost the
+// cQASM front end adds: parsing alone, and the full parse + pass
+// pipeline (validate, schedule, SOMQ packing, register allocation, ts3
+// timing lowering, emit) on a surface-17-sized syndrome-extraction
+// workload. Gates/s is the capacity figure for sizing a service that
+// accepts format "cqasm" jobs (recorded baselines: see cmd/README.md).
+func BenchmarkCompileCircuit(b *testing.B) {
+	qec := benchmarks.QEC(10)
+	src := cqasmSource(b, qec)
+	gates := float64(len(qec.Gates))
+	opts := []eqasm.Option{eqasm.WithTopology("surface17"), eqasm.WithSOMQ()}
+	if _, err := eqasm.CompileCircuit(src, opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eqasm.ParseCircuit(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*gates/b.Elapsed().Seconds(), "gates/s")
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eqasm.CompileCircuit(src, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*gates/b.Elapsed().Seconds(), "gates/s")
+	})
 }
 
 // BenchmarkPublicAPIRunShots compares the public eqasm Backend facade

@@ -1,19 +1,24 @@
 // Command eqasm-dse regenerates the Fig. 7 design-space exploration:
 // instruction counts for the RB, IM and SR benchmarks across the ten
-// architecture configurations and VLIW widths 1-4.
+// architecture configurations and VLIW widths 1-4. With -circuit it
+// also sweeps a user-provided cQASM circuit through the same grid —
+// bring-your-own-benchmark over the identical counting pipeline.
 //
 // Usage:
 //
 //	eqasm-dse [-cliffords N] [-headline]
+//	eqasm-dse -circuit workload.cq
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"eqasm/internal/benchmarks"
 	"eqasm/internal/compiler"
+	"eqasm/internal/cqasm"
 	"eqasm/internal/dse"
 )
 
@@ -22,7 +27,32 @@ func main() {
 	headline := flag.Bool("headline", false, "also print the paper's quoted comparisons")
 	profile := flag.Bool("profile", false, "also print benchmark parallelism and interval profiles")
 	qec := flag.Bool("qec", false, "also print the QEC syndrome-extraction SOMQ benefit (Section 4.2 prediction)")
+	circuitPath := flag.String("circuit", "", "sweep a cQASM circuit file through the configuration grid")
 	flag.Parse()
+
+	if *circuitPath != "" {
+		data, err := os.ReadFile(*circuitPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
+			os.Exit(1)
+		}
+		p, err := cqasm.Parse(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
+			os.Exit(1)
+		}
+		name := filepath.Base(*circuitPath)
+		table, err := dse.ForCircuit(name, compiler.FromIR(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Render())
+		s := table.Schedules[name]
+		fmt.Printf("%s: %d gates, gates/point=%.2f, length=%d cycles\n",
+			name, len(s.Gates), s.ParallelismProfile(), s.LengthCycles)
+		return
+	}
 
 	if *qec {
 		s, err := compiler.ASAP(benchmarks.QEC(20))

@@ -1,13 +1,16 @@
-// Command eqasm-run executes an eQASM program (source or binary) on the
-// QuMA_v2 microarchitecture simulator and reports measurement results,
-// execution statistics and, optionally, the device-operation trace. It
-// is a thin shell over the public eqasm package: Assemble/LoadBinary
-// bind the program to its chip context, and a Simulator Backend streams
-// the shots.
+// Command eqasm-run executes an eQASM program (source or binary) or a
+// cQASM circuit on the QuMA_v2 microarchitecture simulator and reports
+// measurement results, execution statistics and, optionally, the
+// device-operation trace. It is a thin shell over the public eqasm
+// package: Assemble/LoadBinary/CompileCircuit bind the program to its
+// chip context, and a Simulator Backend streams the shots. Files ending
+// in .cq or .cqasm are compiled through the pass pipeline (override
+// detection with -cqasm); -emit prints the compiled assembly.
 //
 // Usage:
 //
 //	eqasm-run [-topo twoqubit] [-shots N] [-noise] [-trace] prog.eqasm
+//	eqasm-run [-somq] [-schedule alap] [-emit] circuit.cq
 //	eqasm-run -bin prog.bin
 package main
 
@@ -28,6 +31,10 @@ func main() {
 	noisy := flag.Bool("noise", false, "use the calibrated noise model instead of an ideal chip")
 	trace := flag.Bool("trace", false, "print the device-operation trace")
 	bin := flag.Bool("bin", false, "input is a binary instruction image")
+	cq := flag.Bool("cqasm", false, "input is cQASM circuit text (implied by a .cq/.cqasm extension)")
+	somq := flag.Bool("somq", false, "combine same-name gates per timing point when compiling cQASM")
+	schedName := flag.String("schedule", "asap", "cQASM compile scheduling: asap or alap")
+	emit := flag.Bool("emit", false, "print the compiled eQASM assembly before running (cQASM input)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -54,14 +61,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	isCQASM := *cq || strings.HasSuffix(flag.Arg(0), ".cq") || strings.HasSuffix(flag.Arg(0), ".cqasm")
 	var prog *eqasm.Program
-	if *bin {
+	switch {
+	case *bin:
 		prog, err = eqasm.LoadBinary(data, opts...)
-	} else {
+	case isCQASM:
+		copts := append(append([]eqasm.Option{}, opts...), eqasm.WithSchedule(*schedName))
+		if *somq {
+			copts = append(copts, eqasm.WithSOMQ())
+		}
+		prog, err = eqasm.CompileCircuit(string(data), copts...)
+	default:
 		prog, err = eqasm.Assemble(string(data), opts...)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *emit {
+		fmt.Println(prog.Text())
 	}
 	sim, err := eqasm.NewSimulator(opts...)
 	if err != nil {

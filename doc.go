@@ -7,15 +7,39 @@
 // # Programs
 //
 // Assemble parses eQASM source, Compile lowers a hardware-independent
-// Circuit, and LoadBinary decodes a 32-bit instruction image. All three
-// return a *Program bound to its instruction-set context — the chip
-// topology, operation configuration and binary instantiation selected
-// by the same functional options (WithTopology, WithHardwareConfig,
-// WithInstantiation) — so encoding (Bytes), listing (Text) and
-// Disassemble stay coherent with assembly, exactly as the paper's
-// Section 3.2 requires of the shared operation configuration.
-// Assembly faults surface as *AssembleError with per-diagnostic line
-// and column; execution faults as *RuntimeError with PC and cycle.
+// Circuit, CompileCircuit parses and compiles cQASM circuit text
+// (ParseCircuit stops after parsing), and LoadBinary decodes a 32-bit
+// instruction image. All of them return a *Program bound to its
+// instruction-set context — the chip topology, operation configuration
+// and binary instantiation selected by the same functional options
+// (WithTopology, WithHardwareConfig, WithInstantiation) — so encoding
+// (Bytes), listing (Text) and Disassemble stay coherent with assembly,
+// exactly as the paper's Section 3.2 requires of the shared operation
+// configuration. Assembly and circuit-parse faults surface as
+// *AssembleError with per-diagnostic line and column; execution faults
+// as *RuntimeError with PC and cycle.
+//
+// # Compilation pipeline
+//
+// Compile and CompileCircuit drive the paper's Fig. 1 backend as a
+// staged pass pipeline over a typed circuit IR:
+//
+//	parse (cQASM) / lift → map → schedule → pack → regalloc → timing → emit
+//
+// The cQASM front end reads a v1.0 subset — qubit declarations,
+// single- and two-qubit gates, measurements, index lists/ranges
+// (x q[0,2], y q[0:3], measure_all) and parallel { g | g } bundles —
+// and every later stage is a functional option: WithInitialLayout
+// enables the topology-aware mapping pass (SWAP insertion along
+// coupling-graph shortest paths), WithSchedule picks ASAP or ALAP,
+// WithSOMQ turns on single-operation-multiple-qubit packing, and the
+// Section 4.2 design knobs are first class — WithTimingSpec chooses
+// how the schedule's timing is made explicit ("ts3", the adopted
+// method, hides short intervals in the bundle's PI field; "ts1"
+// spends a QWAIT per timing point), WithWPI narrows the PI width, and
+// WithVLIWWidth bounds operations per bundle word. The design-space
+// instruction-counting mode of Fig. 7 observes the same pipeline
+// instead of running a parallel code path.
 //
 // # Backends
 //
@@ -55,12 +79,13 @@
 //
 // The implementation lives under internal/: the eQASM instruction set
 // and its 32-bit instantiation (isa), assembler and disassembler
-// (asm), the decode-once execution-plan layer (plan), the QuMA_v2
-// control microarchitecture (microarch), the
-// simulated transmon chip (quantum), the compiler backend (compiler),
-// the QuMIS baseline (qumis), the Section 5 experiment suite
-// (experiments), the concurrent job service (service) and its HTTP
-// front end (httpapi). The cmd/ tools and examples/ programs consume
-// only this package. bench_test.go regenerates every table and figure
-// of the paper's evaluation and benchmarks the serving layer.
+// (asm), the cQASM circuit front end (cqasm), the typed circuit IR the
+// compiler passes transform (ir), the pass-pipeline compiler backend
+// (compiler), the decode-once execution-plan layer (plan), the QuMA_v2
+// control microarchitecture (microarch), the simulated transmon chip
+// (quantum), the QuMIS baseline (qumis), the Section 5 experiment
+// suite (experiments), the concurrent job service (service) and its
+// HTTP front end (httpapi). The cmd/ tools and examples/ programs
+// consume only this package. bench_test.go regenerates every table and
+// figure of the paper's evaluation and benchmarks the serving layer.
 package eqasm

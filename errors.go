@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"eqasm/internal/asm"
+	"eqasm/internal/cqasm"
 	"eqasm/internal/microarch"
 )
 
@@ -24,10 +25,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
 }
 
-// AssembleError reports that source failed to assemble, carrying every
-// diagnostic with line and column positions. It is the error type all
-// assembly entry points (Assemble, Compile via mnemonic resolution, and
-// any Backend rejecting a program) return for malformed programs.
+// AssembleError reports that source failed to assemble or parse,
+// carrying every diagnostic with line and column positions. It is the
+// error type all textual entry points — Assemble for eQASM assembly,
+// ParseCircuit/CompileCircuit for cQASM circuits, and any Backend
+// rejecting a program — return for malformed source.
 type AssembleError struct {
 	Diagnostics []Diagnostic
 }
@@ -47,6 +49,24 @@ func wrapAssembleErr(err error) error {
 		return nil
 	}
 	var list asm.ErrorList
+	if !errors.As(err, &list) {
+		return err
+	}
+	out := &AssembleError{Diagnostics: make([]Diagnostic, len(list))}
+	for i, e := range list {
+		out.Diagnostics[i] = Diagnostic{Line: e.Line, Col: e.Col, Msg: e.Msg}
+	}
+	return out
+}
+
+// wrapParseErr converts the cQASM parser's ErrorList into the same
+// public typed error the assembler produces, so callers handle circuit
+// and assembly diagnostics uniformly.
+func wrapParseErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var list cqasm.ErrorList
 	if !errors.As(err, &list) {
 		return err
 	}

@@ -1,7 +1,5 @@
 package compiler
 
-import "sort"
-
 // ALAP schedules the circuit as-late-as-possible within the minimal
 // makespan: every gate is pushed toward the end of the program, so qubits
 // stay in their freshly initialised state as long as possible before
@@ -10,35 +8,9 @@ import "sort"
 // depends on when gates happen, and Section 5 concludes that explicit
 // QISA-level timing lets "especially scheduling by the compiler" exploit
 // it. See experiments.RunSchedulingComparison for the fidelity effect.
+// ALAP delegates to the pipeline's schedule-alap pass
+// (PassScheduleALAP), kept as an entry point so pre-pipeline callers
+// compile unchanged.
 func ALAP(c *Circuit) (*Schedule, error) {
-	asap, err := ASAP(c)
-	if err != nil {
-		return nil, err
-	}
-	length := asap.LengthCycles
-	deadline := make([]int64, c.NumQubits)
-	for q := range deadline {
-		deadline[q] = length
-	}
-	starts := make([]int64, len(c.Gates))
-	for i := len(c.Gates) - 1; i >= 0; i-- {
-		g := c.Gates[i]
-		end := length
-		for _, q := range g.Qubits {
-			if deadline[q] < end {
-				end = deadline[q]
-			}
-		}
-		start := end - g.duration()
-		starts[i] = start
-		for _, q := range g.Qubits {
-			deadline[q] = start
-		}
-	}
-	s := &Schedule{NumQubits: c.NumQubits, LengthCycles: length}
-	for i, g := range c.Gates {
-		s.Gates = append(s.Gates, ScheduledGate{Gate: g, Start: starts[i]})
-	}
-	sort.SliceStable(s.Gates, func(i, j int) bool { return s.Gates[i].Start < s.Gates[j].Start })
-	return s, nil
+	return schedule(c, PassScheduleALAP())
 }

@@ -1,16 +1,20 @@
 // Package compiler is the quantum compiler backend of the eQASM stack
-// (the second compilation step of Fig. 1): it takes hardware-independent
-// circuits, schedules them with gate durations, and generates eQASM under
-// a configurable architecture — timing-specification method (ts1/ts2/ts3
-// of Section 4.2), PI field width, SOMQ, and VLIW width — both in
-// instruction-counting mode (the Fig. 7 design-space exploration) and in
-// executable mode (emitting runnable assembly with target-register
-// allocation).
+// (the second compilation step of Fig. 1), structured as a pass
+// pipeline over the typed circuit IR of internal/ir: hardware-
+// independent circuits are validated, optionally mapped onto the chip
+// topology, scheduled (ASAP or ALAP) with gate durations, packed into
+// SOMQ groups and VLIW bundles, given mask registers, lowered to
+// explicit timing (ts1/ts3 with a configurable PI width, Section 4.2)
+// and emitted as executable eQASM. Every stage is an inspectable
+// Pass; the Fig. 7 instruction-counting mode (design-space
+// exploration) is a Counter observer over the same pipeline rather
+// than a parallel code path.
 package compiler
 
 import (
-	"fmt"
 	"sort"
+
+	"eqasm/internal/ir"
 )
 
 // Gate is one circuit-level operation on explicit qubits.
@@ -31,6 +35,18 @@ type Gate struct {
 // IsTwoQubit reports whether the gate has two operands.
 func (g Gate) IsTwoQubit() bool { return len(g.Qubits) == 2 }
 
+// ir lowers the gate into the pipeline IR.
+func (g Gate) ir() ir.Gate {
+	return ir.Gate{Name: g.Name, Qubits: g.Qubits,
+		DurationCycles: g.DurationCycles, Measure: g.Measure}
+}
+
+// gateOf lifts an IR gate back into the legacy circuit type.
+func gateOf(g ir.Gate) Gate {
+	return Gate{Name: g.Name, Qubits: g.Qubits,
+		DurationCycles: g.DurationCycles, Measure: g.Measure}
+}
+
 // Circuit is a hardware-independent gate list over NumQubits qubits.
 // Program order defines data dependencies (gates sharing a qubit must not
 // reorder).
@@ -40,23 +56,28 @@ type Circuit struct {
 	Gates     []Gate
 }
 
-// Validate checks operand ranges.
-func (c *Circuit) Validate() error {
+// IR lowers the circuit into the typed IR the pass pipeline transforms.
+func (c *Circuit) IR() *ir.Program {
+	p := &ir.Program{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]ir.Gate, len(c.Gates))}
 	for i, g := range c.Gates {
-		if len(g.Qubits) < 1 || len(g.Qubits) > 2 {
-			return fmt.Errorf("compiler: gate %d (%s) has %d operands", i, g.Name, len(g.Qubits))
-		}
-		for _, q := range g.Qubits {
-			if q < 0 || q >= c.NumQubits {
-				return fmt.Errorf("compiler: gate %d (%s) targets qubit %d outside [0,%d)",
-					i, g.Name, q, c.NumQubits)
-			}
-		}
-		if len(g.Qubits) == 2 && g.Qubits[0] == g.Qubits[1] {
-			return fmt.Errorf("compiler: gate %d (%s) uses qubit %d twice", i, g.Name, g.Qubits[0])
-		}
+		p.Gates[i] = g.ir()
 	}
-	return nil
+	return p
+}
+
+// FromIR lifts the circuit half of an IR program (as produced by the
+// cQASM front end or the Lift pass) into a Circuit.
+func FromIR(p *ir.Program) *Circuit {
+	c := &Circuit{Name: p.Name, NumQubits: p.NumQubits, Gates: make([]Gate, len(p.Gates))}
+	for i, g := range p.Gates {
+		c.Gates[i] = gateOf(g)
+	}
+	return c
+}
+
+// Validate checks operand ranges (the pipeline's validate pass).
+func (c *Circuit) Validate() error {
+	return validateProgram(c.IR())
 }
 
 // Stats summarises a circuit's gate mix.
@@ -94,24 +115,12 @@ func (c *Circuit) Stats() Stats {
 // Default durations by gate kind (Section 4.2: single-qubit 1 cycle,
 // two-qubit 2 cycles, measurement 15 cycles).
 const (
-	DefaultSingleCycles  = 1
-	DefaultTwoCycles     = 2
-	DefaultMeasureCycles = 15
+	DefaultSingleCycles  = ir.DefaultSingleCycles
+	DefaultTwoCycles     = ir.DefaultTwoCycles
+	DefaultMeasureCycles = ir.DefaultMeasureCycles
 )
 
-func (g Gate) duration() int64 {
-	if g.DurationCycles > 0 {
-		return int64(g.DurationCycles)
-	}
-	switch {
-	case g.Measure:
-		return DefaultMeasureCycles
-	case g.IsTwoQubit():
-		return DefaultTwoCycles
-	default:
-		return DefaultSingleCycles
-	}
-}
+func (g Gate) duration() int64 { return g.ir().Duration() }
 
 // ScheduledGate is a gate bound to a start cycle.
 type ScheduledGate struct {
@@ -127,35 +136,48 @@ type Schedule struct {
 	LengthCycles int64
 }
 
-// ASAP schedules the circuit as-soon-as-possible under qubit-resource
-// dependencies: a gate starts when all its operands are free; operands
-// stay busy for the gate's duration. This is the compiler scheduling pass
-// the paper assigns to the backend (Fig. 1, "qubit mapping and
-// scheduling").
-func ASAP(c *Circuit) (*Schedule, error) {
-	if err := c.Validate(); err != nil {
+// ir converts the schedule into a scheduled IR program (gates already in
+// schedule order, so Order is the identity) for the downstream passes.
+func (s *Schedule) ir() *ir.Program {
+	p := &ir.Program{NumQubits: s.NumQubits, Length: s.LengthCycles}
+	p.Gates = make([]ir.Gate, len(s.Gates))
+	p.Starts = make([]int64, len(s.Gates))
+	p.Order = make([]int, len(s.Gates))
+	for i, g := range s.Gates {
+		p.Gates[i] = g.Gate.ir()
+		p.Starts[i] = g.Start
+		p.Order[i] = i
+	}
+	return p
+}
+
+// scheduleOf converts a scheduled IR program into the legacy Schedule
+// (gates in schedule order).
+func scheduleOf(p *ir.Program) *Schedule {
+	s := &Schedule{NumQubits: p.NumQubits, LengthCycles: p.Length,
+		Gates: make([]ScheduledGate, 0, len(p.Gates))}
+	for _, idx := range p.Order {
+		s.Gates = append(s.Gates, ScheduledGate{Gate: gateOf(p.Gates[idx]), Start: p.Starts[idx]})
+	}
+	return s
+}
+
+// schedule runs validate + the selected scheduling pass over the
+// circuit and lifts the result.
+func schedule(c *Circuit, pass Pass) (*Schedule, error) {
+	p := c.IR()
+	if err := (&Pipeline{}).Append(PassValidate(), pass).Run(p); err != nil {
 		return nil, err
 	}
-	free := make([]int64, c.NumQubits)
-	s := &Schedule{NumQubits: c.NumQubits, Gates: make([]ScheduledGate, 0, len(c.Gates))}
-	for _, g := range c.Gates {
-		start := int64(0)
-		for _, q := range g.Qubits {
-			if free[q] > start {
-				start = free[q]
-			}
-		}
-		end := start + g.duration()
-		for _, q := range g.Qubits {
-			free[q] = end
-		}
-		s.Gates = append(s.Gates, ScheduledGate{Gate: g, Start: start})
-		if end > s.LengthCycles {
-			s.LengthCycles = end
-		}
-	}
-	sort.SliceStable(s.Gates, func(i, j int) bool { return s.Gates[i].Start < s.Gates[j].Start })
-	return s, nil
+	return scheduleOf(p), nil
+}
+
+// ASAP schedules the circuit as-soon-as-possible under qubit-resource
+// dependencies. It delegates to the pipeline's validate and
+// schedule-asap passes (PassScheduleASAP), kept as an entry point so
+// pre-pipeline callers compile unchanged.
+func ASAP(c *Circuit) (*Schedule, error) {
+	return schedule(c, PassScheduleASAP())
 }
 
 // TimingPoint is one distinct start time with its parallel gate set.
@@ -185,4 +207,41 @@ func (s *Schedule) ParallelismProfile() float64 {
 		return 0
 	}
 	return float64(len(s.Gates)) / float64(len(pts))
+}
+
+// SortedKeys returns the histogram keys in ascending order (helper for
+// deterministic reports).
+func SortedKeys[K int | int64](h map[K]int) []K {
+	keys := make([]K, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// PointSizeHistogram reports how many timing points carry each gate
+// count, a diagnostic for benchmark parallelism.
+func PointSizeHistogram(s *Schedule) map[int]int {
+	h := map[int]int{}
+	for _, pt := range s.Points() {
+		h[len(pt.Gates)]++
+	}
+	return h
+}
+
+// IntervalHistogram reports the distribution of inter-point intervals,
+// the quantity that determines which PI width suffices (Section 4.2:
+// "most of the waiting time is short and can be encoded in a 3-bit PI
+// field").
+func IntervalHistogram(s *Schedule) map[int64]int {
+	h := map[int64]int{}
+	prev := int64(0)
+	for i, pt := range s.Points() {
+		if i > 0 {
+			h[pt.Cycle-prev]++
+		}
+		prev = pt.Cycle
+	}
+	return h
 }

@@ -2,7 +2,8 @@ package compiler
 
 import (
 	"fmt"
-	"sort"
+
+	"eqasm/internal/ir"
 )
 
 // TimingSpec selects one of the three timing-specification methods
@@ -34,7 +35,22 @@ func (t TimingSpec) String() string {
 	return fmt.Sprintf("TimingSpec(%d)", int(t))
 }
 
-// Options parameterises the architecture being explored.
+// ParseTimingSpec maps the names used by CLI flags and public options.
+func ParseTimingSpec(name string) (TimingSpec, error) {
+	switch name {
+	case "ts1":
+		return TS1, nil
+	case "ts2":
+		return TS2, nil
+	case "ts3":
+		return TS3, nil
+	}
+	return 0, fmt.Errorf("compiler: unknown timing specification %q (valid: ts1, ts2, ts3)", name)
+}
+
+// Options parameterises the architecture being explored — the Section
+// 4.2 design knobs, consumed by the pack, timing-lowering and emit
+// passes and by the Counter observer.
 type Options struct {
 	Spec TimingSpec
 	// WPI is the PI field width in bits (TS3 only).
@@ -122,35 +138,55 @@ func (r CountResult) OpsPerBundle() float64 {
 	return float64(r.EffectiveOps) / float64(r.BundleWords)
 }
 
-// Count sizes the eQASM program a schedule compiles to under the given
-// architecture options, following the paper's analysis assumptions: the
-// quantum operation target registers always provide the required qubit
-// (pair) lists, so SMIS/SMIT instructions are not counted.
-func Count(s *Schedule, opt Options) (CountResult, error) {
-	if err := opt.Validate(); err != nil {
-		return CountResult{}, err
+// Counter is the Fig. 7 instruction-count observer: attached after the
+// pack pass, it sizes the eQASM program a packed schedule compiles to
+// under one architecture configuration, following the paper's analysis
+// assumptions (the quantum operation target registers always provide
+// the required qubit-pair lists, so SMIS/SMIT instructions are not
+// counted). It is the design-space-exploration counting mode expressed
+// as an observer over the same pipeline the executable path runs,
+// instead of a parallel code path.
+type Counter struct {
+	Opt    Options
+	Result CountResult
+}
+
+// Observer returns the pipeline observer form, firing after the pack
+// pass.
+func (c *Counter) Observer() Observer {
+	return func(pass string, p *ir.Program) error {
+		if pass != "pack" {
+			return nil
+		}
+		return c.Observe(p)
+	}
+}
+
+// Observe sizes a packed program. The program must have been packed
+// with the same SOMQ setting as c.Opt (each point's groups already
+// reflect the combining).
+func (c *Counter) Observe(p *ir.Program) error {
+	if err := c.Opt.Validate(); err != nil {
+		return err
 	}
 	var res CountResult
 	prev := int64(0)
 	maxPI := int64(0)
-	if opt.Spec == TS3 {
-		maxPI = int64(1)<<uint(opt.WPI) - 1
+	if c.Opt.Spec == TS3 {
+		maxPI = int64(1)<<uint(c.Opt.WPI) - 1
 	}
-	w := int64(opt.VLIWWidth)
-	for _, pt := range s.Points() {
+	w := int64(c.Opt.VLIWWidth)
+	for _, pt := range p.Points {
 		interval := pt.Cycle - prev
 		prev = pt.Cycle
-		ops := int64(len(pt.Gates))
-		res.RawGates += ops
-		if opt.SOMQ {
-			ops = combinedOps(pt.Gates)
-		}
+		ops := int64(len(pt.Groups))
+		res.RawGates += int64(len(pt.Gates))
 		res.EffectiveOps += ops
 		res.Points++
 		needsWait := interval > 0 || res.Points > 1
 		// A point at cycle 0 opening the program needs no interval
 		// specification under any method.
-		switch opt.Spec {
+		switch c.Opt.Spec {
 		case TS1:
 			if needsWait {
 				res.QWaits++
@@ -170,24 +206,24 @@ func Count(s *Schedule, opt Options) (CountResult, error) {
 		}
 	}
 	res.Instructions = res.BundleWords + res.QWaits
-	return res, nil
+	c.Result = res
+	return nil
 }
 
-// combinedOps counts the operations remaining after SOMQ combining: one
-// per distinct operation name among the point's single-qubit gates and
-// measurements, one per distinct name among its two-qubit gates (a
-// two-qubit target register holds multiple disjoint pairs).
-func combinedOps(gates []ScheduledGate) int64 {
-	single := map[string]bool{}
-	double := map[string]bool{}
-	for _, g := range gates {
-		if g.IsTwoQubit() {
-			double[g.Name] = true
-		} else {
-			single[g.Name] = true
-		}
+// Count sizes the eQASM program a schedule compiles to under the given
+// architecture options. It delegates to the pipeline's pack pass with a
+// Counter observer, kept as an entry point so pre-pipeline callers (the
+// dse package, benchmarks) compile unchanged.
+func Count(s *Schedule, opt Options) (CountResult, error) {
+	if err := opt.Validate(); err != nil {
+		return CountResult{}, err
 	}
-	return int64(len(single) + len(double))
+	ctr := &Counter{Opt: opt}
+	pl := (&Pipeline{}).Append(PassPack(nil, nil, opt.SOMQ)).Observe(ctr.Observer())
+	if err := pl.Run(s.ir()); err != nil {
+		return CountResult{}, err
+	}
+	return ctr.Result, nil
 }
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
@@ -206,41 +242,4 @@ func SweepWidths(s *Schedule, base Options, widths []int) (map[int]CountResult, 
 		out[w] = r
 	}
 	return out, nil
-}
-
-// PointSizeHistogram reports how many timing points carry each gate
-// count, a diagnostic for benchmark parallelism.
-func PointSizeHistogram(s *Schedule) map[int]int {
-	h := map[int]int{}
-	for _, pt := range s.Points() {
-		h[len(pt.Gates)]++
-	}
-	return h
-}
-
-// IntervalHistogram reports the distribution of inter-point intervals,
-// the quantity that determines which PI width suffices (Section 4.2:
-// "most of the waiting time is short and can be encoded in a 3-bit PI
-// field").
-func IntervalHistogram(s *Schedule) map[int64]int {
-	h := map[int64]int{}
-	prev := int64(0)
-	for i, pt := range s.Points() {
-		if i > 0 {
-			h[pt.Cycle-prev]++
-		}
-		prev = pt.Cycle
-	}
-	return h
-}
-
-// SortedKeys returns the histogram keys in ascending order (helper for
-// deterministic reports).
-func SortedKeys[K int | int64](h map[K]int) []K {
-	keys := make([]K, 0, len(h))
-	for k := range h {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }

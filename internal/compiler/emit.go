@@ -1,18 +1,17 @@
 package compiler
 
 import (
-	"fmt"
-	"sort"
-
 	"eqasm/internal/isa"
 	"eqasm/internal/topology"
 )
 
-// Emitter generates executable eQASM from a schedule: it allocates
-// quantum operation target registers, emits SMIS/SMIT updates, packs
-// operations into VLIW bundles, and applies the instantiation's ts3
-// timing rule. It is the executable counterpart of the counting model in
-// Count, and the last stage of the Fig. 1 compilation flow.
+// Emitter generates executable eQASM from a schedule. It survives from
+// the pre-pipeline compiler as a thin delegating wrapper (mirroring the
+// core.ParallelShots → FanShots precedent): Emit drives the pack,
+// mask-register allocation, timing-lowering and emit passes over the
+// schedule's IR, so pre-pipeline callers (experiments, benchmarks,
+// retargeting) compile unchanged while new code composes the passes
+// directly or goes through NewPipeline.
 type Emitter struct {
 	Config *isa.OpConfig
 	Topo   *topology.Topology
@@ -34,6 +33,38 @@ type EmitOptions struct {
 	// AppendStop terminates the program with STOP (default behaviour when
 	// true).
 	AppendStop bool
+}
+
+// Emit compiles a schedule into an executable eQASM program under the
+// instantiation's adopted architecture (ts3 timing with its PI width
+// and VLIW width).
+func (e *Emitter) Emit(s *Schedule, opts EmitOptions) (*isa.Program, error) {
+	arch := DefaultArch(e.Inst)
+	arch.SOMQ = opts.SOMQ
+	return e.EmitArch(s, arch, opts)
+}
+
+// EmitArch compiles a schedule under an explicit architecture: the
+// timing-specification method, PI width, SOMQ and VLIW width become
+// first-class knobs of the executable path (a zero WPI or VLIWWidth is
+// filled from the instantiation; arch.SOMQ overrides opts.SOMQ).
+func (e *Emitter) EmitArch(s *Schedule, arch Options, opts EmitOptions) (*isa.Program, error) {
+	cfg := PipelineConfig{Config: e.Config, Topo: e.Topo, Inst: e.Inst, Arch: arch}
+	narch, err := cfg.normalizeArch()
+	if err != nil {
+		return nil, err
+	}
+	p := s.ir()
+	pl := (&Pipeline{}).Append(
+		PassPack(e.Config, e.Topo, narch.SOMQ),
+		PassAllocRegs(e.Inst),
+		PassLowerTiming(narch, opts.InitWaitCycles),
+		PassEmit(narch, opts.AppendStop),
+	)
+	if err := pl.Run(p); err != nil {
+		return nil, err
+	}
+	return p.Code, nil
 }
 
 // regAlloc allocates target registers for mask values with LRU eviction.
@@ -78,122 +109,6 @@ func (a *regAlloc) get(mask uint64) (reg int, fresh bool) {
 	a.byMask[mask] = victim
 	a.lastUse[victim] = a.clock
 	return victim, true
-}
-
-// Emit compiles a schedule into an executable eQASM program.
-func (e *Emitter) Emit(s *Schedule, opts EmitOptions) (*isa.Program, error) {
-	prog := &isa.Program{Labels: map[string]int{}}
-	sAlloc := newRegAlloc(e.Inst.NumSReg)
-	tAlloc := newRegAlloc(e.Inst.NumTReg)
-	maxPI := int64(e.Inst.MaxPI())
-
-	prev := int64(0)
-	pending := int64(opts.InitWaitCycles)
-	for _, pt := range s.Points() {
-		interval := pt.Cycle - prev + pending
-		pending = 0
-		prev = pt.Cycle
-
-		ops, err := e.pointOps(pt, opts.SOMQ, prog, sAlloc, tAlloc)
-		if err != nil {
-			return nil, err
-		}
-		// ts3 timing: short interval in PI, long interval via QWAIT.
-		pi := interval
-		if pi > maxPI {
-			prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpQWAIT, Imm: int32(interval)})
-			pi = 0
-		}
-		w := e.Inst.VLIWWidth
-		for start := 0; start < len(ops); start += w {
-			end := min(start+w, len(ops))
-			bundlePI := uint8(0)
-			if start == 0 {
-				bundlePI = uint8(pi)
-			}
-			prog.Instrs = append(prog.Instrs, isa.NewBundle(bundlePI, ops[start:end]...))
-		}
-	}
-	if opts.AppendStop {
-		prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpSTOP})
-	}
-	return prog, nil
-}
-
-// pointOps converts one timing point's gates into bundle operations,
-// emitting the SMIS/SMIT register updates they need.
-func (e *Emitter) pointOps(pt TimingPoint, somq bool, prog *isa.Program,
-	sAlloc, tAlloc *regAlloc) ([]isa.QOp, error) {
-
-	type group struct {
-		name  string
-		two   bool
-		sMask uint64
-		tMask uint64
-	}
-	var groups []group
-	index := map[string]int{}
-	for _, g := range pt.Gates {
-		def, ok := e.Config.ByName(g.Name)
-		if !ok {
-			return nil, fmt.Errorf("compiler: operation %q is not configured", g.Name)
-		}
-		key := g.Name
-		if !somq {
-			key = fmt.Sprintf("%s#%d", g.Name, len(groups))
-		}
-		gi, ok := index[key]
-		if !ok {
-			gi = len(groups)
-			index[key] = gi
-			groups = append(groups, group{name: g.Name, two: def.Kind == isa.OpKindTwo})
-		}
-		if def.Kind == isa.OpKindTwo {
-			id, allowed := e.Topo.EdgeID(g.Qubits[0], g.Qubits[1])
-			if !allowed {
-				return nil, fmt.Errorf("compiler: (%d,%d) is not an allowed pair on chip %q (mapping pass required)",
-					g.Qubits[0], g.Qubits[1], e.Topo.Name)
-			}
-			groups[gi].tMask |= 1 << uint(id)
-		} else {
-			if e.Topo.Feedline(g.Qubits[0]) < 0 {
-				return nil, fmt.Errorf("compiler: qubit %d is not available on chip %q", g.Qubits[0], e.Topo.Name)
-			}
-			groups[gi].sMask |= 1 << uint(g.Qubits[0])
-		}
-	}
-	// Deterministic operation order within the point.
-	sort.SliceStable(groups, func(i, j int) bool {
-		if groups[i].two != groups[j].two {
-			return !groups[i].two
-		}
-		return groups[i].name < groups[j].name
-	})
-	ops := make([]isa.QOp, 0, len(groups))
-	for _, g := range groups {
-		if g.two {
-			if err := e.Topo.ValidatePairMask(g.tMask); err != nil {
-				return nil, fmt.Errorf("compiler: %v", err)
-			}
-			// The instantiation's SMIT encoding caps how many pairs one
-			// target register can address (Section 3.3.2: pair-list
-			// formats trade SOMQ width for density); split wide groups.
-			for _, chunk := range splitMask(g.tMask, e.Inst.MaxPairsPerOp()) {
-				reg, fresh := tAlloc.get(chunk)
-				if fresh {
-					prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpSMIT, Addr: uint8(reg), Mask: chunk})
-				}
-				ops = append(ops, isa.QOp{Name: g.name, Target: uint8(reg)})
-			}
-		} else {
-			reg, fresh := sAlloc.get(g.sMask)
-			if fresh {
-				prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpSMIS, Addr: uint8(reg), Mask: g.sMask})
-			}
-			ops = append(ops, isa.QOp{Name: g.name, Target: uint8(reg)})
-		}
-	}
-	return ops, nil
 }
 
 // splitMask chunks a bit mask into masks of at most maxBits set bits.

@@ -1,0 +1,86 @@
+package compiler
+
+import (
+	"fmt"
+
+	"eqasm/internal/ir"
+	"eqasm/internal/isa"
+)
+
+// PassLowerTiming is the timing-lowering pass: it turns the schedule's
+// inter-point intervals into the explicit timing the executable program
+// carries, under the chosen timing-specification method of Section 4.2.
+// ts3 (the adopted method) encodes short intervals in the bundle's PI
+// field — at most 2^wPI-1 cycles — and falls back to a standalone QWAIT
+// for longer ones; ts1 spends a QWAIT on every interval, QuMIS-fashion.
+// ts2 places QWAITs in bundle slots, which the binary bundle format
+// cannot encode: it exists for the counting model only and is rejected
+// here.
+func PassLowerTiming(arch Options, initWaitCycles int) Pass {
+	maxPI := int64(0)
+	if arch.Spec == TS3 {
+		maxPI = int64(1)<<uint(arch.WPI) - 1
+	}
+	return Pass{Name: "timing", Run: func(p *ir.Program) error {
+		prev := int64(0)
+		pending := int64(initWaitCycles)
+		for i := range p.Points {
+			pt := &p.Points[i]
+			interval := pt.Cycle - prev + pending
+			pending = 0
+			prev = pt.Cycle
+			pt.QWait = -1
+			pt.PI = 0
+			switch arch.Spec {
+			case TS1:
+				if interval > 0 {
+					pt.QWait = interval
+				}
+			case TS3:
+				if interval > maxPI {
+					pt.QWait = interval
+				} else {
+					pt.PI = interval
+				}
+			default:
+				return fmt.Errorf("compiler: timing specification %s cannot be lowered to executable code", arch.Spec)
+			}
+		}
+		return nil
+	}}
+}
+
+// PassEmit is the final pass: it assembles the executable instruction
+// sequence from the annotated points — per point, the SMIS/SMIT
+// prelude, the standalone QWAIT (if the timing pass decided one), and
+// the operation bundles of at most VLIWWidth slots with the
+// pre-interval on the first word — and attaches it as Program.Code.
+func PassEmit(arch Options, appendStop bool) Pass {
+	return Pass{Name: "emit", Run: func(p *ir.Program) error {
+		w := arch.VLIWWidth
+		if w < 1 {
+			return fmt.Errorf("compiler: VLIW width %d < 1", w)
+		}
+		prog := &isa.Program{Labels: map[string]int{}}
+		for i := range p.Points {
+			pt := &p.Points[i]
+			prog.Instrs = append(prog.Instrs, pt.Prelude...)
+			if pt.QWait >= 0 {
+				prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpQWAIT, Imm: int32(pt.QWait)})
+			}
+			for start := 0; start < len(pt.Ops); start += w {
+				end := min(start+w, len(pt.Ops))
+				bundlePI := uint8(0)
+				if start == 0 {
+					bundlePI = uint8(pt.PI)
+				}
+				prog.Instrs = append(prog.Instrs, isa.NewBundle(bundlePI, pt.Ops[start:end]...))
+			}
+		}
+		if appendStop {
+			prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpSTOP})
+		}
+		p.Code = prog
+		return nil
+	}}
+}

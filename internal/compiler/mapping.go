@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 
+	"eqasm/internal/ir"
 	"eqasm/internal/topology"
 )
 
@@ -13,84 +14,75 @@ import (
 // chains (each SWAP decomposed into three CNOTs) along shortest paths of
 // the coupling graph.
 
-// MapResult is the outcome of MapToTopology.
-type MapResult struct {
-	// Circuit is the routed physical circuit.
-	Circuit *Circuit
-	// Initial and Final give the virtual->physical placement before and
-	// after routing (SWAPs move logical qubits).
-	Initial, Final []int
-	// SwapCount is the number of SWAPs inserted.
-	SwapCount int
+// PassMap is the topology-aware mapping pass. initial maps each virtual
+// qubit to a distinct physical qubit; nil assigns virtual i to physical
+// i. The pass rewrites the program's gates onto physical qubits,
+// growing NumQubits to the chip size, and records the placement in
+// Program.Layout.
+func PassMap(topo *topology.Topology, initial []int) Pass {
+	return Pass{Name: "map", Run: func(p *ir.Program) error {
+		return mapProgram(p, topo, initial)
+	}}
 }
 
-// MapToTopology places and routes a circuit onto a chip. initial maps
-// each virtual qubit to a distinct physical qubit; nil assigns virtual i
-// to physical i. Two-qubit gates are emitted on allowed pairs, using the
-// reverse edge for the symmetric CZ when only that direction exists.
-func MapToTopology(c *Circuit, topo *topology.Topology, initial []int) (*MapResult, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
+func mapProgram(p *ir.Program, topo *topology.Topology, initial []int) error {
 	if initial == nil {
-		initial = make([]int, c.NumQubits)
+		initial = make([]int, p.NumQubits)
 		for i := range initial {
 			initial[i] = i
 		}
 	}
-	if len(initial) != c.NumQubits {
-		return nil, fmt.Errorf("compiler: placement covers %d of %d virtual qubits", len(initial), c.NumQubits)
+	if len(initial) != p.NumQubits {
+		return fmt.Errorf("compiler: placement covers %d of %d virtual qubits", len(initial), p.NumQubits)
 	}
-	place := make([]int, c.NumQubits) // virtual -> physical
+	place := make([]int, p.NumQubits) // virtual -> physical
 	used := map[int]bool{}
-	for v, p := range initial {
-		if p < 0 || p >= topo.NumQubits {
-			return nil, fmt.Errorf("compiler: virtual %d placed on physical %d outside the chip", v, p)
+	for v, ph := range initial {
+		if ph < 0 || ph >= topo.NumQubits {
+			return fmt.Errorf("compiler: virtual %d placed on physical %d outside the chip", v, ph)
 		}
-		if used[p] {
-			return nil, fmt.Errorf("compiler: physical qubit %d used twice in the placement", p)
+		if used[ph] {
+			return fmt.Errorf("compiler: physical qubit %d used twice in the placement", ph)
 		}
-		used[p] = true
-		place[v] = p
+		used[ph] = true
+		place[v] = ph
 	}
 	dist, next, err := shortestPaths(topo)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	res := &MapResult{
-		Circuit: &Circuit{Name: c.Name + "-mapped", NumQubits: topo.NumQubits},
-		Initial: append([]int(nil), initial...),
-	}
-	emit := func(g Gate) { res.Circuit.Gates = append(res.Circuit.Gates, g) }
-	emitCNOT := func(a, b int) error {
+	layout := &ir.Layout{Initial: append([]int(nil), initial...)}
+	var mapped []ir.Gate
+	emit := func(g ir.Gate) { mapped = append(mapped, g) }
+	emitCNOT := func(a, b int, pos ir.Pos) error {
 		if _, ok := topo.EdgeID(a, b); !ok {
 			return fmt.Errorf("compiler: no directed pair (%d,%d) for CNOT", a, b)
 		}
-		emit(Gate{Name: "CNOT", Qubits: []int{a, b}})
+		emit(ir.Gate{Name: "CNOT", Qubits: []int{a, b}, Pos: pos})
 		return nil
 	}
-	swap := func(a, b int) error {
+	swap := func(a, b int, pos ir.Pos) error {
 		// SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b); both directions exist on
 		// every symmetric coupling map in this repository.
-		if err := emitCNOT(a, b); err != nil {
+		if err := emitCNOT(a, b, pos); err != nil {
 			return err
 		}
-		if err := emitCNOT(b, a); err != nil {
+		if err := emitCNOT(b, a, pos); err != nil {
 			return err
 		}
-		if err := emitCNOT(a, b); err != nil {
+		if err := emitCNOT(a, b, pos); err != nil {
 			return err
 		}
-		res.SwapCount++
+		layout.SwapCount++
 		return nil
 	}
 	phys2virt := map[int]int{}
-	for v, p := range place {
-		phys2virt[p] = v
+	for v, ph := range place {
+		phys2virt[ph] = v
 	}
 
-	for _, g := range c.Gates {
+	for _, g := range p.Gates {
 		if !g.IsTwoQubit() {
 			ng := g
 			ng.Qubits = []int{place[g.Qubits[0]]}
@@ -103,10 +95,10 @@ func MapToTopology(c *Circuit, topo *topology.Topology, initial []int) (*MapResu
 			pa := place[va]
 			step := next[pa][place[vb]]
 			if step < 0 {
-				return nil, fmt.Errorf("compiler: physical qubits %d and %d are disconnected", pa, place[vb])
+				return fmt.Errorf("compiler: physical qubits %d and %d are disconnected", pa, place[vb])
 			}
-			if err := swap(pa, step); err != nil {
-				return nil, err
+			if err := swap(pa, step, g.Pos); err != nil {
+				return err
 			}
 			// Update placements: whatever logical qubit sat on `step`
 			// moves to `pa`.
@@ -127,12 +119,45 @@ func MapToTopology(c *Circuit, topo *topology.Topology, initial []int) (*MapResu
 		case hasEdge(topo, pb, pa) && symmetricGate(g.Name):
 			ng.Qubits = []int{pb, pa}
 		default:
-			return nil, fmt.Errorf("compiler: adjacent pair (%d,%d) lacks a usable directed edge for %s", pa, pb, g.Name)
+			return gateErr(g, "compiler: adjacent pair (%d,%d) lacks a usable directed edge for %s", pa, pb, g.Name)
 		}
 		emit(ng)
 	}
-	res.Final = append([]int(nil), place...)
-	return res, nil
+	layout.Final = append([]int(nil), place...)
+	p.Name = p.Name + "-mapped"
+	p.NumQubits = topo.NumQubits
+	p.Gates = mapped
+	p.Layout = layout
+	return nil
+}
+
+// MapResult is the outcome of MapToTopology.
+type MapResult struct {
+	// Circuit is the routed physical circuit.
+	Circuit *Circuit
+	// Initial and Final give the virtual->physical placement before and
+	// after routing (SWAPs move logical qubits).
+	Initial, Final []int
+	// SwapCount is the number of SWAPs inserted.
+	SwapCount int
+}
+
+// MapToTopology places and routes a circuit onto a chip. It delegates
+// to the pipeline's validate and map passes (PassMap), kept as an entry
+// point so pre-pipeline callers compile unchanged. Two-qubit gates are
+// emitted on allowed pairs, using the reverse edge for the symmetric CZ
+// when only that direction exists.
+func MapToTopology(c *Circuit, topo *topology.Topology, initial []int) (*MapResult, error) {
+	p := c.IR()
+	if err := (&Pipeline{}).Append(PassValidate(), PassMap(topo, initial)).Run(p); err != nil {
+		return nil, err
+	}
+	return &MapResult{
+		Circuit:   FromIR(p),
+		Initial:   p.Layout.Initial,
+		Final:     p.Layout.Final,
+		SwapCount: p.Layout.SwapCount,
+	}, nil
 }
 
 func hasEdge(t *topology.Topology, a, b int) bool {

@@ -1,0 +1,153 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"eqasm/internal/ir"
+	"eqasm/internal/isa"
+	"eqasm/internal/topology"
+)
+
+// PassPack is the SOMQ/bundle-packing pass: it groups each timing
+// point's gates into combined quantum operations. With somq, gates
+// sharing a mnemonic at one point merge into a single operation over a
+// qubit (or pair) mask — the paper's single-operation-multiple-qubit
+// addressing (Section 3.4.1); without it every gate stays its own
+// group. In executable mode (cfg and topo non-nil) mnemonics are
+// resolved against the operation configuration and operands validated
+// against the chip; counting mode (nil cfg/topo) groups free-form gate
+// names without masks, which is all the Fig. 7 Counter observer needs.
+func PassPack(cfg *isa.OpConfig, topo *topology.Topology, somq bool) Pass {
+	return Pass{Name: "pack", Run: func(p *ir.Program) error {
+		return packProgram(p, cfg, topo, somq)
+	}}
+}
+
+func packProgram(p *ir.Program, cfg *isa.OpConfig, topo *topology.Topology, somq bool) error {
+	if !p.Scheduled() {
+		return fmt.Errorf("compiler: the pack pass needs a scheduled program (run a scheduling pass first)")
+	}
+	p.Points = nil
+	for _, idx := range p.Order {
+		start := p.Starts[idx]
+		if n := len(p.Points); n == 0 || p.Points[n-1].Cycle != start {
+			p.Points = append(p.Points, ir.Point{Cycle: start})
+		}
+		pt := &p.Points[len(p.Points)-1]
+		pt.Gates = append(pt.Gates, idx)
+	}
+	for i := range p.Points {
+		if err := packPoint(p, &p.Points[i], cfg, topo, somq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// packPoint converts one timing point's gates into combined operation
+// groups, accumulating target masks and validating against the chip in
+// executable mode.
+func packPoint(p *ir.Program, pt *ir.Point, cfg *isa.OpConfig, topo *topology.Topology, somq bool) error {
+	var groups []ir.Group
+	index := map[string]int{}
+	for _, gi := range pt.Gates {
+		g := p.Gates[gi]
+		two := g.IsTwoQubit()
+		if cfg != nil {
+			def, ok := cfg.ByName(g.Name)
+			if !ok {
+				return gateErr(g, "compiler: operation %q is not configured", g.Name)
+			}
+			two = def.Kind == isa.OpKindTwo
+		}
+		key := g.Name
+		if !somq {
+			key = fmt.Sprintf("%s#%d", g.Name, len(groups))
+		}
+		idx, ok := index[key]
+		if !ok {
+			idx = len(groups)
+			index[key] = idx
+			groups = append(groups, ir.Group{Name: g.Name, Two: two})
+		}
+		gr := &groups[idx]
+		gr.Gates++
+		if topo == nil {
+			continue
+		}
+		if two {
+			id, allowed := topo.EdgeID(g.Qubits[0], g.Qubits[1])
+			if !allowed {
+				return gateErr(g, "compiler: (%d,%d) is not an allowed pair on chip %q (mapping pass required)",
+					g.Qubits[0], g.Qubits[1], topo.Name)
+			}
+			gr.TMask |= 1 << uint(id)
+		} else {
+			if topo.Feedline(g.Qubits[0]) < 0 {
+				return gateErr(g, "compiler: qubit %d is not available on chip %q", g.Qubits[0], topo.Name)
+			}
+			gr.SMask |= 1 << uint(g.Qubits[0])
+		}
+	}
+	// Deterministic operation order within the point: single-qubit
+	// groups first, then by name.
+	sort.SliceStable(groups, func(i, j int) bool {
+		if groups[i].Two != groups[j].Two {
+			return !groups[i].Two
+		}
+		return groups[i].Name < groups[j].Name
+	})
+	// Simultaneous pairs must not share a qubit (the chip plays one
+	// flux dance per point).
+	if topo != nil {
+		for _, gr := range groups {
+			if gr.Two {
+				if err := topo.ValidatePairMask(gr.TMask); err != nil {
+					return fmt.Errorf("compiler: %v", err)
+				}
+			}
+		}
+	}
+	pt.Groups = groups
+	return nil
+}
+
+// PassAllocRegs is the mask-register allocation pass: it assigns each
+// group's qubit (or pair) mask to an S (or T) target register with LRU
+// eviction, splitting two-qubit groups that exceed the instantiation's
+// pairs-per-SMIT capacity, and records the SMIS/SMIT update sequence
+// each point needs before its bundles issue.
+func PassAllocRegs(inst isa.Instantiation) Pass {
+	return Pass{Name: "regalloc", Run: func(p *ir.Program) error {
+		sAlloc := newRegAlloc(inst.NumSReg)
+		tAlloc := newRegAlloc(inst.NumTReg)
+		maxPairs := inst.MaxPairsPerOp()
+		for i := range p.Points {
+			pt := &p.Points[i]
+			pt.Prelude = nil
+			pt.Ops = make([]isa.QOp, 0, len(pt.Groups))
+			for _, gr := range pt.Groups {
+				if gr.Two {
+					// The instantiation's SMIT encoding caps how many
+					// pairs one target register can address (Section
+					// 3.3.2); split wide groups.
+					for _, chunk := range splitMask(gr.TMask, maxPairs) {
+						reg, fresh := tAlloc.get(chunk)
+						if fresh {
+							pt.Prelude = append(pt.Prelude, isa.Instr{Op: isa.OpSMIT, Addr: uint8(reg), Mask: chunk})
+						}
+						pt.Ops = append(pt.Ops, isa.QOp{Name: gr.Name, Target: uint8(reg)})
+					}
+				} else {
+					reg, fresh := sAlloc.get(gr.SMask)
+					if fresh {
+						pt.Prelude = append(pt.Prelude, isa.Instr{Op: isa.OpSMIS, Addr: uint8(reg), Mask: gr.SMask})
+					}
+					pt.Ops = append(pt.Ops, isa.QOp{Name: gr.Name, Target: uint8(reg)})
+				}
+			}
+		}
+		return nil
+	}}
+}

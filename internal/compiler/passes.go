@@ -1,0 +1,122 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"eqasm/internal/ir"
+)
+
+// This file holds the front half of the pass pipeline: validation and
+// the ASAP/ALAP scheduling passes (the mapping pass lives in mapping.go,
+// packing and lowering in pack.go and lower.go).
+
+// gateErr formats a pass diagnostic, appending the gate's source
+// position when the circuit came from a textual front end (cQASM).
+func gateErr(g ir.Gate, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	if !g.Pos.IsZero() {
+		return fmt.Errorf("%v (source line %s)", err, g.Pos)
+	}
+	return err
+}
+
+// PassValidate checks operand counts and ranges — the entry gate of
+// every pipeline.
+func PassValidate() Pass { return Pass{Name: "validate", Run: validateProgram} }
+
+func validateProgram(p *ir.Program) error {
+	for i, g := range p.Gates {
+		if len(g.Qubits) < 1 || len(g.Qubits) > 2 {
+			return gateErr(g, "compiler: gate %d (%s) has %d operands", i, g.Name, len(g.Qubits))
+		}
+		for _, q := range g.Qubits {
+			if q < 0 || q >= p.NumQubits {
+				return gateErr(g, "compiler: gate %d (%s) targets qubit %d outside [0,%d)",
+					i, g.Name, q, p.NumQubits)
+			}
+		}
+		if len(g.Qubits) == 2 && g.Qubits[0] == g.Qubits[1] {
+			return gateErr(g, "compiler: gate %d (%s) uses qubit %d twice", i, g.Name, g.Qubits[0])
+		}
+	}
+	return nil
+}
+
+// PassScheduleASAP schedules as-soon-as-possible under qubit-resource
+// dependencies: a gate starts when all its operands are free; operands
+// stay busy for the gate's duration (Fig. 1, "qubit mapping and
+// scheduling").
+func PassScheduleASAP() Pass { return Pass{Name: "schedule-asap", Run: scheduleASAP} }
+
+func scheduleASAP(p *ir.Program) error {
+	free := make([]int64, p.NumQubits)
+	p.Starts = make([]int64, len(p.Gates))
+	p.Length = 0
+	for i, g := range p.Gates {
+		start := int64(0)
+		for _, q := range g.Qubits {
+			if free[q] > start {
+				start = free[q]
+			}
+		}
+		end := start + g.Duration()
+		for _, q := range g.Qubits {
+			free[q] = end
+		}
+		p.Starts[i] = start
+		if end > p.Length {
+			p.Length = end
+		}
+	}
+	p.Order = scheduleOrder(p.Starts)
+	return nil
+}
+
+// PassScheduleALAP schedules as-late-as-possible within the minimal
+// makespan: every gate is pushed toward the end of the program, so
+// qubits stay in their freshly initialised state as long as possible
+// before their first gate — the compiler-based timing optimisation the
+// paper's explicit QISA-level timing exists to enable (Fig. 12,
+// Section 5; see experiments.RunSchedulingComparison for the fidelity
+// effect).
+func PassScheduleALAP() Pass { return Pass{Name: "schedule-alap", Run: scheduleALAP} }
+
+func scheduleALAP(p *ir.Program) error {
+	// ASAP first for the minimal makespan.
+	if err := scheduleASAP(p); err != nil {
+		return err
+	}
+	length := p.Length
+	deadline := make([]int64, p.NumQubits)
+	for q := range deadline {
+		deadline[q] = length
+	}
+	for i := len(p.Gates) - 1; i >= 0; i-- {
+		g := p.Gates[i]
+		end := length
+		for _, q := range g.Qubits {
+			if deadline[q] < end {
+				end = deadline[q]
+			}
+		}
+		start := end - g.Duration()
+		p.Starts[i] = start
+		for _, q := range g.Qubits {
+			deadline[q] = start
+		}
+	}
+	p.Order = scheduleOrder(p.Starts)
+	return nil
+}
+
+// scheduleOrder returns gate indices stably sorted by start cycle — the
+// iteration order of every pass downstream of scheduling.
+func scheduleOrder(starts []int64) []int {
+	order := make([]int, len(starts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return starts[order[a]] < starts[order[b]] })
+	return order
+}

@@ -1,0 +1,203 @@
+// Package cqasm is the textual circuit front end of the compiler: a
+// lexer and parser for a subset of cQASM v1.0 (Khammassi et al. 2018),
+// the hardware-independent common QASM the paper's Fig. 1 flow feeds
+// into the eQASM backend. Parse produces the typed circuit IR
+// (internal/ir) the pass pipeline compiles, with every gate carrying
+// its source position so downstream diagnostics point back at the
+// circuit text.
+//
+// The accepted subset:
+//
+//	version 1.0              # optional, must be 1.0 when present
+//	qubits 5                 # required before the first gate
+//	h q[0]                   # single-qubit gates
+//	x q[0,2]                 # index lists fan out: one gate per qubit
+//	y q[0:2]                 # index ranges too (inclusive)
+//	cnot q[0], q[1]          # two-qubit gates (single indices only)
+//	swap q[0], q[1]          # expands to three CNOTs
+//	measure q[0]             # measurement (also: measure_z)
+//	measure_all              # measure every declared qubit
+//	{ x q[0] | y q[1] }      # parallel bundle: members must touch
+//	                         # disjoint qubits; the scheduler resolves
+//	                         # start cycles
+//	# comments run to end of line
+//
+// Gate names are case-insensitive and map onto the default operation
+// configuration: i x y z h s t x90 y90 mx90 my90 cnot cz swap measure
+// measure_z measure_all. Rotations with free angles, prep statements,
+// classical registers and sub-circuits are outside the subset and are
+// rejected with positioned diagnostics.
+package cqasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is one parse diagnostic. Line and Col are 1-based source
+// positions; Col 0 means the diagnostic covers the whole line. The
+// shape mirrors the assembler's diagnostics so the public API wraps
+// both into the same *AssembleError.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// ErrorList collects parse diagnostics.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokComma
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokPipe
+	tokColon
+	tokEOL
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokPipe:
+		return "'|'"
+	case tokColon:
+		return "':'"
+	case tokEOL:
+		return "end of line"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexeme with its source column (1-based). Numbers keep
+// their text so "1.0" survives for the version check.
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	col  int
+}
+
+// lexLine tokenizes one source line. Comments start with '#' (or the
+// cQASM-style "//") and run to the end of the line; the returned slice
+// always ends with tokEOL.
+func lexLine(line string, lineNo int) ([]token, *Error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == '#':
+			i = n
+		case c == '/' && i+1 < n && line[i+1] == '/':
+			i = n
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", 0, i + 1})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", 0, i + 1})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", 0, i + 1})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", 0, i + 1})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", 0, i + 1})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", 0, i + 1})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", 0, i + 1})
+			i++
+		case c >= '0' && c <= '9':
+			start := i
+			dots := 0
+			for i < n && (line[i] >= '0' && line[i] <= '9' || line[i] == '.') {
+				if line[i] == '.' {
+					dots++
+				}
+				i++
+			}
+			text := line[start:i]
+			if dots > 1 || strings.HasSuffix(text, ".") {
+				return nil, &Error{Line: lineNo, Col: start + 1,
+					Msg: fmt.Sprintf("malformed number %q", text)}
+			}
+			var v int64
+			if dots == 0 {
+				for _, d := range text {
+					v = v*10 + int64(d-'0')
+					if v > 1<<31 {
+						return nil, &Error{Line: lineNo, Col: start + 1,
+							Msg: fmt.Sprintf("number %q out of range", text)}
+					}
+				}
+			}
+			toks = append(toks, token{tokNumber, text, v, start + 1})
+		case isIdentStart(c):
+			start := i
+			i++
+			for i < n && isIdentChar(line[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, line[start:i], 0, start + 1})
+		default:
+			return nil, &Error{Line: lineNo, Col: i + 1,
+				Msg: fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, token{tokEOL, "", 0, n + 1})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,210 @@
+package cqasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"eqasm/internal/ir"
+)
+
+func parseOK(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestParseBell(t *testing.T) {
+	p := parseOK(t, `
+version 1.0
+# Bell pair
+qubits 3
+h q[0]
+cnot q[0], q[2]
+measure q[0]
+measure q[2]
+`)
+	if p.NumQubits != 3 {
+		t.Fatalf("qubits = %d", p.NumQubits)
+	}
+	want := []struct {
+		name    string
+		qubits  []int
+		measure bool
+	}{
+		{"H", []int{0}, false},
+		{"CNOT", []int{0, 2}, false},
+		{"MEASZ", []int{0}, true},
+		{"MEASZ", []int{2}, true},
+	}
+	if len(p.Gates) != len(want) {
+		t.Fatalf("gates: %+v", p.Gates)
+	}
+	for i, w := range want {
+		g := p.Gates[i]
+		if g.Name != w.name || g.Measure != w.measure || len(g.Qubits) != len(w.qubits) {
+			t.Errorf("gate %d = %+v, want %+v", i, g, w)
+		}
+		for k, q := range w.qubits {
+			if g.Qubits[k] != q {
+				t.Errorf("gate %d qubits = %v, want %v", i, g.Qubits, w.qubits)
+			}
+		}
+		if g.Pos.Line == 0 || g.Pos.Col == 0 {
+			t.Errorf("gate %d lost its source position: %+v", i, g.Pos)
+		}
+	}
+}
+
+func TestParseFanOutAndRanges(t *testing.T) {
+	p := parseOK(t, "qubits 5\nx q[0,2]\ny q[1:3]\nmeasure_all\n")
+	var names []string
+	for _, g := range p.Gates {
+		names = append(names, g.Name)
+	}
+	// x fans out to 2 gates, y to 3, measure_all to 5.
+	if len(p.Gates) != 10 {
+		t.Fatalf("gates (%d): %v", len(p.Gates), names)
+	}
+	if p.Gates[2].Name != "Y" || p.Gates[2].Qubits[0] != 1 || p.Gates[4].Qubits[0] != 3 {
+		t.Fatalf("range expansion wrong: %+v", p.Gates[2:5])
+	}
+	for _, g := range p.Gates[5:] {
+		if !g.Measure {
+			t.Fatalf("measure_all produced non-measurement %+v", g)
+		}
+	}
+}
+
+func TestParseBundle(t *testing.T) {
+	p := parseOK(t, "qubits 3\n{ x q[0] | y q[1] | h q[2] }\n")
+	if len(p.Gates) != 3 {
+		t.Fatalf("gates: %+v", p.Gates)
+	}
+}
+
+func TestParseSwapExpansion(t *testing.T) {
+	p := parseOK(t, "qubits 2\nswap q[0], q[1]\n")
+	if len(p.Gates) != 3 {
+		t.Fatalf("swap should expand to 3 CNOTs: %+v", p.Gates)
+	}
+	if p.Gates[0].Qubits[0] != 0 || p.Gates[1].Qubits[0] != 1 || p.Gates[2].Qubits[0] != 0 {
+		t.Fatalf("swap directions: %+v", p.Gates)
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	p := parseOK(t, "QUBITS 2\nH q[0]\nCNOT q[0], Q[1]\nMEASURE q[1]\n")
+	if len(p.Gates) != 3 || p.Gates[0].Name != "H" {
+		t.Fatalf("gates: %+v", p.Gates)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the first diagnostic
+	}{
+		{"", "missing qubits"},
+		{"qubits 0\n", "outside [1,64]"},
+		{"qubits 65\n", "outside [1,64]"},
+		{"qubits 2\nqubits 3\n", "duplicate qubits"},
+		{"x q[0]\n", "before qubits declaration"},
+		{"qubits 2\nx q[5]\n", "outside [0,2)"},
+		{"qubits 2\nfrobnicate q[0]\n", "unknown operation"},
+		{"qubits 2\nrx q[0], 1.57\n", "outside the cQASM subset"},
+		{"qubits 2\nprep_z q[0]\n", "outside the cQASM subset"},
+		{"qubits 2\ncnot q[0]\n", "two qubit operands"},
+		{"qubits 2\ncnot q[0], q[0]\n", "twice"},
+		{"qubits 2\ncnot q[0,1], q[1]\n", "single qubit index"},
+		{"qubits 2\n{ x q[0] | y q[0] }\n", "disjoint"},
+		{"qubits 2\n{ x q[0] | y q[1]\n", "unterminated bundle"},
+		{"qubits 2\nx q[1:0]\n", "empty qubit range"},
+		{"qubits 2\nx q[0] q[1]\n", "unexpected"},
+		{"qubits 2\nx p[0]\n", "qubit operand like q[0]"},
+		{"version 2.0\nqubits 2\n", "unsupported cQASM version"},
+		{"qubits 2\nversion 1.0\n", "version must precede"},
+		{"qubits 2\nx q[0$\n", "unexpected character"},
+		{"qubits 2\nmeasure q[1..2]\n", "malformed number"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%q: accepted", tc.src)
+			continue
+		}
+		var list ErrorList
+		if !errors.As(err, &list) || len(list) == 0 {
+			t.Errorf("%q: error is not an ErrorList: %v", tc.src, err)
+			continue
+		}
+		if !strings.Contains(list[0].Msg, tc.want) {
+			t.Errorf("%q: diagnostic %q does not mention %q", tc.src, list[0].Msg, tc.want)
+		}
+		if list[0].Line <= 0 {
+			t.Errorf("%q: diagnostic lost its line: %+v", tc.src, list[0])
+		}
+	}
+}
+
+func TestParseReportsEveryDiagnostic(t *testing.T) {
+	_, err := Parse("qubits 2\nbogus1 q[0]\nbogus2 q[1]\nx q[9]\n")
+	var list ErrorList
+	if !errors.As(err, &list) {
+		t.Fatalf("error: %v", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("want 3 diagnostics, got %d: %v", len(list), err)
+	}
+	if list[0].Line != 2 || list[1].Line != 3 || list[2].Line != 4 {
+		t.Fatalf("diagnostic lines: %v", err)
+	}
+}
+
+// FuzzParse asserts the core contracts under arbitrary input: no
+// panics, and every rejection is an ErrorList whose diagnostics all
+// carry a positive line number.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"version 1.0\nqubits 3\nh q[0]\ncnot q[0], q[2]\nmeasure_all\n",
+		"qubits 5\n{ x q[0] | y q[1] }\nswap q[0], q[4]\n",
+		"qubits 2\nx q[0:1]\nmeasure q[0,1]\n",
+		"qubits 64\nx q[63]\n",
+		"version 2.0\n",
+		"x q[0]\n# comment\n",
+		"qubits 2\nrx q[0], 3.14\n",
+		"{|}\n",
+		"qubits 2\nx q[",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err == nil {
+			if p == nil || p.NumQubits < 1 || p.NumQubits > MaxQubits {
+				t.Fatalf("accepted program with bad qubit count: %+v", p)
+			}
+			for i, g := range p.Gates {
+				for _, q := range g.Qubits {
+					if q < 0 || q >= p.NumQubits {
+						t.Fatalf("gate %d targets out-of-range qubit %d", i, q)
+					}
+				}
+			}
+			return
+		}
+		var list ErrorList
+		if !errors.As(err, &list) || len(list) == 0 {
+			t.Fatalf("rejection is not an ErrorList: %v", err)
+		}
+		for _, d := range list {
+			if d.Line <= 0 {
+				t.Fatalf("diagnostic without a line: %+v in %v", d, err)
+			}
+		}
+	})
+}

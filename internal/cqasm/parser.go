@@ -1,0 +1,387 @@
+package cqasm
+
+import (
+	"fmt"
+	"strings"
+
+	"eqasm/internal/ir"
+)
+
+// MaxQubits bounds a circuit's qubit declaration: SMIS/SMIT addressing
+// masks are 64-bit throughout the stack.
+const MaxQubits = 64
+
+// gateSpec describes one subset gate: the operation-configuration
+// mnemonic it maps to and its shape.
+type gateSpec struct {
+	// name is the eQASM mnemonic (empty for expansions handled
+	// specially, like swap).
+	name string
+	// two marks a two-qubit gate.
+	two bool
+	// measure marks a measurement.
+	measure bool
+}
+
+// gates maps lower-case cQASM names onto the default operation
+// configuration (Section 3.2).
+var gates = map[string]gateSpec{
+	"i":         {name: "I"},
+	"x":         {name: "X"},
+	"y":         {name: "Y"},
+	"z":         {name: "Z"},
+	"h":         {name: "H"},
+	"s":         {name: "S"},
+	"t":         {name: "T"},
+	"x90":       {name: "X90"},
+	"y90":       {name: "Y90"},
+	"mx90":      {name: "Xm90"},
+	"my90":      {name: "Ym90"},
+	"cnot":      {name: "CNOT", two: true},
+	"cz":        {name: "CZ", two: true},
+	"swap":      {two: true}, // expands to three CNOTs
+	"measure":   {name: "MEASZ", measure: true},
+	"measure_z": {name: "MEASZ", measure: true},
+}
+
+// unsupported names common in full cQASM, called out with a specific
+// diagnostic instead of "unknown operation".
+var unsupported = map[string]string{
+	"rx":      "free-angle rotations are outside the cQASM subset (configure a fixed rotation operation instead)",
+	"ry":      "free-angle rotations are outside the cQASM subset (configure a fixed rotation operation instead)",
+	"rz":      "free-angle rotations are outside the cQASM subset (configure a fixed rotation operation instead)",
+	"prep":    "state preparation is outside the cQASM subset (qubits start in |0>)",
+	"prep_z":  "state preparation is outside the cQASM subset (qubits start in |0>)",
+	"prep_x":  "state preparation is outside the cQASM subset (qubits start in |0>)",
+	"prep_y":  "state preparation is outside the cQASM subset (qubits start in |0>)",
+	"toffoli": "three-qubit gates are outside the cQASM subset (decompose to CNOT/CZ first)",
+	"display": "display statements are outside the cQASM subset",
+	"c-x":     "binary-controlled gates are outside the cQASM subset (use the configured fast-conditional operations)",
+	"c-z":     "binary-controlled gates are outside the cQASM subset (use the configured fast-conditional operations)",
+}
+
+// Parse parses cQASM source into the circuit IR. Parsing continues past
+// statement-level faults so one run reports every diagnostic; the
+// returned error is an ErrorList with 1-based line/column positions.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{prog: &ir.Program{NumQubits: -1}}
+	for lineNo, line := range strings.Split(src, "\n") {
+		p.parseLine(line, lineNo+1)
+	}
+	if p.prog.NumQubits < 0 {
+		if len(p.errs) == 0 {
+			p.errs = append(p.errs, Error{Line: 1, Msg: "missing qubits declaration (e.g. \"qubits 5\")"})
+		}
+		p.prog.NumQubits = 0
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return p.prog, nil
+}
+
+// parser holds per-run state.
+type parser struct {
+	prog     *ir.Program
+	errs     ErrorList
+	sawGate  bool
+	sawQubit bool
+}
+
+func (p *parser) errorf(line, col int, format string, args ...any) {
+	p.errs = append(p.errs, Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) parseLine(line string, lineNo int) {
+	toks, lexErr := lexLine(line, lineNo)
+	if lexErr != nil {
+		p.errs = append(p.errs, *lexErr)
+		return
+	}
+	if toks[0].kind == tokEOL {
+		return
+	}
+	t := toks[0]
+	switch {
+	case t.kind == tokIdent && strings.EqualFold(t.text, "version"):
+		p.parseVersion(toks, lineNo)
+	case t.kind == tokIdent && strings.EqualFold(t.text, "qubits"):
+		p.parseQubits(toks, lineNo)
+	case t.kind == tokLBrace:
+		p.parseBundle(toks, lineNo)
+	case t.kind == tokIdent:
+		// A failed gate already produced its diagnostic; complaining
+		// about the leftover tokens too would double-report the line.
+		if rest, ok := p.parseGate(toks, lineNo, nil); ok {
+			p.expectEOL(rest, lineNo)
+		}
+	default:
+		p.errorf(lineNo, t.col, "expected a statement, got %s", t.kind)
+	}
+}
+
+func (p *parser) expectEOL(toks []token, lineNo int) {
+	if len(toks) > 0 && toks[0].kind != tokEOL {
+		p.errorf(lineNo, toks[0].col, "unexpected %s after statement", toks[0].kind)
+	}
+}
+
+func (p *parser) parseVersion(toks []token, lineNo int) {
+	if p.sawGate || p.sawQubit {
+		p.errorf(lineNo, toks[0].col, "version must precede the qubits declaration")
+		return
+	}
+	if len(toks) < 2 || toks[1].kind != tokNumber {
+		p.errorf(lineNo, toks[0].col, "version needs a number (version 1.0)")
+		return
+	}
+	if v := toks[1].text; v != "1.0" && v != "1" {
+		p.errorf(lineNo, toks[1].col, "unsupported cQASM version %q (this front end reads the 1.0 subset)", v)
+		return
+	}
+	p.expectEOL(toks[2:], lineNo)
+}
+
+func (p *parser) parseQubits(toks []token, lineNo int) {
+	if p.sawQubit {
+		p.errorf(lineNo, toks[0].col, "duplicate qubits declaration")
+		return
+	}
+	if p.sawGate {
+		p.errorf(lineNo, toks[0].col, "qubits declaration must precede the first gate")
+		return
+	}
+	if len(toks) < 2 || toks[1].kind != tokNumber || strings.Contains(toks[1].text, ".") {
+		p.errorf(lineNo, toks[0].col, "qubits needs an integer count")
+		return
+	}
+	n := toks[1].num
+	if n < 1 || n > MaxQubits {
+		p.errorf(lineNo, toks[1].col, "qubit count %d outside [1,%d]", n, MaxQubits)
+		return
+	}
+	p.sawQubit = true
+	p.prog.NumQubits = int(n)
+	p.expectEOL(toks[2:], lineNo)
+}
+
+// parseBundle parses { gate | gate | ... }: members must address
+// disjoint qubits (the cQASM promise that they run simultaneously; the
+// scheduler resolves the actual start cycle).
+func (p *parser) parseBundle(toks []token, lineNo int) {
+	toks = toks[1:] // consume '{'
+	used := map[int]int{}
+	for {
+		if len(toks) == 0 || toks[0].kind == tokEOL {
+			p.errorf(lineNo, lineEndCol(toks), "unterminated bundle (missing '}')")
+			return
+		}
+		if toks[0].kind != tokIdent {
+			p.errorf(lineNo, toks[0].col, "expected a gate in bundle, got %s", toks[0].kind)
+			return
+		}
+		rest, ok := p.parseGate(toks, lineNo, used)
+		if !ok {
+			return
+		}
+		toks = rest
+		if len(toks) > 0 && toks[0].kind == tokPipe {
+			toks = toks[1:]
+			continue
+		}
+		break
+	}
+	if len(toks) == 0 || toks[0].kind == tokEOL {
+		p.errorf(lineNo, lineEndCol(toks), "unterminated bundle (missing '}')")
+		return
+	}
+	if toks[0].kind != tokRBrace {
+		p.errorf(lineNo, toks[0].col, "expected '|' or '}' in bundle")
+		return
+	}
+	p.expectEOL(toks[1:], lineNo)
+}
+
+func lineEndCol(toks []token) int {
+	if len(toks) > 0 {
+		return toks[0].col
+	}
+	return 0
+}
+
+// parseGate parses one gate statement starting at toks[0] (an
+// identifier), appends the resulting IR gates, and returns the
+// remaining tokens. used, when non-nil, tracks qubits claimed by the
+// surrounding bundle (value = claiming line column) to enforce
+// disjointness.
+func (p *parser) parseGate(toks []token, lineNo int, used map[int]int) ([]token, bool) {
+	name := toks[0]
+	lower := strings.ToLower(name.text)
+	pos := ir.Pos{Line: lineNo, Col: name.col}
+	rest := toks[1:]
+
+	if lower == "measure_all" {
+		if !p.declared(lineNo, name.col) {
+			return rest, false
+		}
+		p.sawGate = true
+		for q := 0; q < p.prog.NumQubits; q++ {
+			p.claim(q, lineNo, name.col, used)
+			p.prog.Gates = append(p.prog.Gates, ir.Gate{Name: "MEASZ", Qubits: []int{q}, Measure: true, Pos: pos})
+		}
+		return rest, true
+	}
+
+	spec, ok := gates[lower]
+	if !ok {
+		if msg, known := unsupported[lower]; known {
+			p.errorf(lineNo, name.col, "%s: %s", name.text, msg)
+		} else {
+			p.errorf(lineNo, name.col, "unknown operation %q", name.text)
+		}
+		return rest, false
+	}
+	if !p.declared(lineNo, name.col) {
+		return rest, false
+	}
+
+	if spec.two {
+		a, rest2, ok := p.parseSingleQubitRef(rest, lineNo, name.text)
+		if !ok {
+			return rest2, false
+		}
+		if len(rest2) == 0 || rest2[0].kind != tokComma {
+			p.errorf(lineNo, lineEndCol(rest2), "%s needs two qubit operands", name.text)
+			return rest2, false
+		}
+		b, rest3, ok := p.parseSingleQubitRef(rest2[1:], lineNo, name.text)
+		if !ok {
+			return rest3, false
+		}
+		if a == b {
+			p.errorf(lineNo, name.col, "%s uses qubit %d twice", name.text, a)
+			return rest3, false
+		}
+		p.sawGate = true
+		p.claim(a, lineNo, name.col, used)
+		p.claim(b, lineNo, name.col, used)
+		if lower == "swap" {
+			// SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b).
+			p.prog.Gates = append(p.prog.Gates,
+				ir.Gate{Name: "CNOT", Qubits: []int{a, b}, Pos: pos},
+				ir.Gate{Name: "CNOT", Qubits: []int{b, a}, Pos: pos},
+				ir.Gate{Name: "CNOT", Qubits: []int{a, b}, Pos: pos})
+		} else {
+			p.prog.Gates = append(p.prog.Gates, ir.Gate{Name: spec.name, Qubits: []int{a, b}, Pos: pos})
+		}
+		return rest3, true
+	}
+
+	qubits, rest2, ok := p.parseQubitRef(rest, lineNo, name.text)
+	if !ok {
+		return rest2, false
+	}
+	p.sawGate = true
+	for _, q := range qubits {
+		p.claim(q, lineNo, name.col, used)
+		p.prog.Gates = append(p.prog.Gates, ir.Gate{Name: spec.name, Qubits: []int{q},
+			Measure: spec.measure, Pos: pos})
+	}
+	return rest2, true
+}
+
+func (p *parser) declared(lineNo, col int) bool {
+	if p.prog.NumQubits < 0 {
+		p.errorf(lineNo, col, "gate before qubits declaration")
+		return false
+	}
+	return true
+}
+
+// claim enforces bundle disjointness and counts a qubit as touched.
+func (p *parser) claim(q, lineNo, col int, used map[int]int) {
+	if used == nil {
+		return
+	}
+	if prev, taken := used[q]; taken {
+		p.errorf(lineNo, col, "bundle reuses qubit %d (first claimed at column %d); bundle members must be disjoint", q, prev)
+		return
+	}
+	used[q] = col
+}
+
+// parseSingleQubitRef parses q[i] with exactly one index.
+func (p *parser) parseSingleQubitRef(toks []token, lineNo int, gate string) (int, []token, bool) {
+	qs, rest, ok := p.parseQubitRef(toks, lineNo, gate)
+	if !ok {
+		return 0, rest, false
+	}
+	if len(qs) != 1 {
+		p.errorf(lineNo, toks[0].col, "%s operands take a single qubit index", gate)
+		return 0, rest, false
+	}
+	return qs[0], rest, true
+}
+
+// parseQubitRef parses q[list] where list is indices and inclusive
+// ranges: q[0], q[0,2], q[0:3], q[0:2,4]. Returns the expanded qubit
+// list.
+func (p *parser) parseQubitRef(toks []token, lineNo int, gate string) ([]int, []token, bool) {
+	if len(toks) == 0 || toks[0].kind != tokIdent || !strings.EqualFold(toks[0].text, "q") {
+		p.errorf(lineNo, lineEndCol(toks), "%s needs a qubit operand like q[0]", gate)
+		return nil, toks, false
+	}
+	if len(toks) < 2 || toks[1].kind != tokLBracket {
+		p.errorf(lineNo, lineEndCol(toks[1:]), "expected '[' after q")
+		return nil, toks, false
+	}
+	toks = toks[2:]
+	var qubits []int
+	for {
+		lo, rest, ok := p.parseIndex(toks, lineNo)
+		if !ok {
+			return nil, rest, false
+		}
+		toks = rest
+		hi := lo
+		if len(toks) > 0 && toks[0].kind == tokColon {
+			hi, rest, ok = p.parseIndex(toks[1:], lineNo)
+			if !ok {
+				return nil, rest, false
+			}
+			toks = rest
+			if hi < lo {
+				p.errorf(lineNo, lineEndCol(toks), "empty qubit range %d:%d", lo, hi)
+				return nil, toks, false
+			}
+		}
+		for q := lo; q <= hi; q++ {
+			qubits = append(qubits, q)
+		}
+		if len(toks) > 0 && toks[0].kind == tokComma {
+			toks = toks[1:]
+			continue
+		}
+		break
+	}
+	if len(toks) == 0 || toks[0].kind != tokRBracket {
+		p.errorf(lineNo, lineEndCol(toks), "expected ']' closing the qubit list")
+		return nil, toks, false
+	}
+	return qubits, toks[1:], true
+}
+
+// parseIndex parses one integer qubit index, range-checked against the
+// declaration.
+func (p *parser) parseIndex(toks []token, lineNo int) (int, []token, bool) {
+	if len(toks) == 0 || toks[0].kind != tokNumber || strings.Contains(toks[0].text, ".") {
+		p.errorf(lineNo, lineEndCol(toks), "expected a qubit index")
+		return 0, toks, false
+	}
+	q := toks[0].num
+	if q < 0 || q >= int64(p.prog.NumQubits) {
+		p.errorf(lineNo, toks[0].col, "qubit index %d outside [0,%d)", q, p.prog.NumQubits)
+		return 0, toks[1:], false
+	}
+	return int(q), toks[1:], true
+}

@@ -47,6 +47,8 @@ type Cell struct {
 // Table is a full Fig. 7 dataset.
 type Table struct {
 	Cells []Cell
+	// Order lists the benchmark names in presentation order.
+	Order []string
 	// Baseline maps benchmark name to its Config1 w=1 instruction count.
 	Baseline map[string]int64
 	// Schedules keeps the benchmark schedules for follow-up statistics.
@@ -68,8 +70,8 @@ func BenchmarkSet(rbCliffords int) (map[string]*compiler.Circuit, []string) {
 	return set, []string{"RB", "IM", "SR"}
 }
 
-// Run evaluates the full design space. rbCliffords <= 0 selects the
-// paper's 4096.
+// Run evaluates the full design space over the paper's three
+// benchmarks. rbCliffords <= 0 selects the paper's 4096.
 func Run(rbCliffords int) (*Table, error) {
 	circuits, order := BenchmarkSet(rbCliffords)
 	t := &Table{Baseline: map[string]int64{}, Schedules: map[string]*compiler.Schedule{}}
@@ -78,32 +80,57 @@ func Run(rbCliffords int) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dse: scheduling %s: %w", name, err)
 		}
-		t.Schedules[name] = sched
-		base, err := compiler.Count(sched, compiler.Config1.WithWidth(1))
-		if err != nil {
+		if err := t.addBenchmark(name, sched); err != nil {
 			return nil, err
-		}
-		t.Baseline[name] = base.Instructions
-		for _, cfg := range ConfigSet {
-			for _, w := range Widths {
-				if cfg.Opts.Spec == compiler.TS2 && w < 2 {
-					continue
-				}
-				r, err := compiler.Count(sched, cfg.Opts.WithWidth(w))
-				if err != nil {
-					return nil, fmt.Errorf("dse: %s %s w=%d: %w", name, cfg.Name, w, err)
-				}
-				t.Cells = append(t.Cells, Cell{
-					Benchmark: name,
-					Config:    cfg.Name,
-					Width:     w,
-					Result:    r,
-					Relative:  float64(r.Instructions) / float64(base.Instructions),
-				})
-			}
 		}
 	}
 	return t, nil
+}
+
+// ForCircuit evaluates the full Fig. 7 configuration grid for one
+// user-provided circuit (e.g. a cQASM workload), the "bring your own
+// benchmark" mode of the design-space exploration.
+func ForCircuit(name string, c *compiler.Circuit) (*Table, error) {
+	sched, err := compiler.ASAP(c)
+	if err != nil {
+		return nil, fmt.Errorf("dse: scheduling %s: %w", name, err)
+	}
+	t := &Table{Baseline: map[string]int64{}, Schedules: map[string]*compiler.Schedule{}}
+	if err := t.addBenchmark(name, sched); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// addBenchmark counts one scheduled workload across the whole
+// configuration grid and appends its cells.
+func (t *Table) addBenchmark(name string, sched *compiler.Schedule) error {
+	t.Order = append(t.Order, name)
+	t.Schedules[name] = sched
+	base, err := compiler.Count(sched, compiler.Config1.WithWidth(1))
+	if err != nil {
+		return err
+	}
+	t.Baseline[name] = base.Instructions
+	for _, cfg := range ConfigSet {
+		for _, w := range Widths {
+			if cfg.Opts.Spec == compiler.TS2 && w < 2 {
+				continue
+			}
+			r, err := compiler.Count(sched, cfg.Opts.WithWidth(w))
+			if err != nil {
+				return fmt.Errorf("dse: %s %s w=%d: %w", name, cfg.Name, w, err)
+			}
+			t.Cells = append(t.Cells, Cell{
+				Benchmark: name,
+				Config:    cfg.Name,
+				Width:     w,
+				Result:    r,
+				Relative:  float64(r.Instructions) / float64(base.Instructions),
+			})
+		}
+	}
+	return nil
 }
 
 // Lookup returns the cell for (benchmark, config, width).
@@ -135,7 +162,10 @@ func (t *Table) Reduction(bench, refConfig string, refWidth int, config string, 
 // Config1 w=1 baseline.
 func (t *Table) Render() string {
 	var b strings.Builder
-	benchOrder := []string{"RB", "IM", "SR"}
+	benchOrder := t.Order
+	if len(benchOrder) == 0 {
+		benchOrder = []string{"RB", "IM", "SR"}
+	}
 	for _, bench := range benchOrder {
 		fmt.Fprintf(&b, "== %s (baseline Config1 w=1: %d instructions) ==\n", bench, t.Baseline[bench])
 		fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s   %s\n", "config", "w=1", "w=2", "w=3", "w=4", "relative to baseline")

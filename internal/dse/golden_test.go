@@ -1,0 +1,49 @@
+package dse
+
+// Fig. 7 grid parity guard: the refactored pass pipeline must produce
+// instruction counts identical to the pre-refactor compiler across the
+// full benchmark × configuration × width grid. The golden file was
+// generated from the monolithic counting path immediately before the
+// pipeline refactor (RB reduced to 512 Cliffords per qubit; the grid
+// shape is identical to the paper's 4096 and every cell is pinned).
+// Regenerate deliberately with go test -run TestGoldenGrid -update.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden grid from the current compiler")
+
+func TestGoldenGrid(t *testing.T) {
+	table, err := Run(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, c := range table.Cells {
+		got += fmt.Sprintf("%s %s w=%d: instr=%d bundles=%d qwaits=%d ops=%d\n",
+			c.Benchmark, c.Config, c.Width,
+			c.Result.Instructions, c.Result.BundleWords, c.Result.QWaits, c.Result.EffectiveOps)
+	}
+	path := filepath.Join("testdata", "golden_grid.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden grid (generate with -update before refactoring): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Fig. 7 grid diverges from the pre-refactor compiler\n--- got ---\n%s", got)
+	}
+}

@@ -4,7 +4,8 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs      submit a job ({"source": ..., "shots": N, "wait": true})
+//	POST   /v1/jobs      submit a job ({"source": ..., "shots": N, "wait": true};
+//	                     {"format": "cqasm"} submits circuit text compiled server-side)
 //	GET    /v1/jobs/{id} job status and, once finished, its result
 //	DELETE /v1/jobs/{id} cancel a job
 //	GET    /v1/stats     service counters (queue depth, cache hits, shots/sec inputs)
@@ -49,8 +50,11 @@ func (s *Server) Handler() http.Handler {
 // jobRequest is the POST /v1/jobs payload. Exactly one of source and
 // circuit must be set.
 type jobRequest struct {
-	// Source is eQASM assembly text.
+	// Source is program text in the language named by Format.
 	Source string `json:"source,omitempty"`
+	// Format is the source language: "eqasm" (default) or "cqasm"
+	// (hardware-independent circuit text, compiled server-side).
+	Format string `json:"format,omitempty"`
 	// Circuit is a hardware-independent circuit to compile.
 	Circuit *circuitJSON `json:"circuit,omitempty"`
 	// Shots is the repetition count (default 1).
@@ -136,6 +140,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec := service.JobSpec{
 		Source:   req.Source,
+		Format:   req.Format,
 		Shots:    req.Shots,
 		Priority: prio,
 		Seed:     req.Seed,

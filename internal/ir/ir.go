@@ -1,0 +1,158 @@
+// Package ir is the typed circuit intermediate representation the
+// compiler's pass pipeline transforms: a hardware-independent gate list
+// that passes progressively annotate with a qubit layout, start cycles,
+// timing points, packed operation groups, allocated target registers and
+// lowered timing, until the final pass attaches the executable eQASM
+// instruction sequence. Every pass is a func(*ir.Program) error, so any
+// stage of the Fig. 1 compilation flow can be inspected, observed (the
+// design-space counting mode is an observer over the packed program) or
+// replaced without touching the others.
+package ir
+
+import (
+	"fmt"
+
+	"eqasm/internal/isa"
+)
+
+// Pos is a 1-based source position; the zero Pos marks a gate with no
+// source text (built programmatically or synthesized by a pass).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsZero reports whether the position carries no source information.
+func (p Pos) IsZero() bool { return p.Line == 0 }
+
+func (p Pos) String() string {
+	if p.Col > 0 {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%d", p.Line)
+}
+
+// Default durations by gate kind (Section 4.2: single-qubit 1 cycle,
+// two-qubit 2 cycles, measurement 15 cycles).
+const (
+	DefaultSingleCycles  = 1
+	DefaultTwoCycles     = 2
+	DefaultMeasureCycles = 15
+)
+
+// Gate is one circuit-level operation on explicit qubits.
+type Gate struct {
+	// Name is the operation mnemonic (resolved against an isa.OpConfig
+	// by the pack pass when emitting executable code; free-form in
+	// counting mode).
+	Name string
+	// Qubits lists the operands: one for single-qubit gates and
+	// measurements, two (source, target) for two-qubit gates.
+	Qubits []int
+	// DurationCycles of the pulse; 0 means "look up by kind" during
+	// scheduling.
+	DurationCycles int
+	// Measure marks a measurement operation.
+	Measure bool
+	// Pos is the gate's source position when the circuit came from a
+	// textual front end (cQASM); passes thread it through so diagnostics
+	// can point back at the offending source line.
+	Pos Pos
+}
+
+// IsTwoQubit reports whether the gate has two operands.
+func (g Gate) IsTwoQubit() bool { return len(g.Qubits) == 2 }
+
+// Duration returns the gate duration in cycles, falling back to the
+// kind's default when DurationCycles is zero.
+func (g Gate) Duration() int64 {
+	if g.DurationCycles > 0 {
+		return int64(g.DurationCycles)
+	}
+	switch {
+	case g.Measure:
+		return DefaultMeasureCycles
+	case g.IsTwoQubit():
+		return DefaultTwoCycles
+	default:
+		return DefaultSingleCycles
+	}
+}
+
+// Layout records the outcome of the qubit-mapping pass.
+type Layout struct {
+	// Initial and Final give the virtual->physical placement before and
+	// after routing (inserted SWAPs move logical qubits).
+	Initial, Final []int
+	// SwapCount is the number of SWAPs inserted by routing.
+	SwapCount int
+}
+
+// Group is one combined quantum operation at a timing point: the unit
+// the SOMQ pass produces and the bundle packer schedules into VLIW
+// slots. Without SOMQ every gate is its own group.
+type Group struct {
+	// Name is the operation mnemonic shared by the combined gates.
+	Name string
+	// Two marks a two-qubit operation (T-register addressing).
+	Two bool
+	// SMask is the single-qubit target mask (bit per qubit).
+	SMask uint64
+	// TMask is the two-qubit target mask (bit per directed edge ID).
+	TMask uint64
+	// Gates counts the circuit gates combined into this group.
+	Gates int
+}
+
+// Point is one distinct start cycle of the schedule with everything the
+// later passes attach to it.
+type Point struct {
+	// Cycle is the start cycle shared by the point's gates.
+	Cycle int64
+	// Gates are indices into Program.Gates, in schedule order.
+	Gates []int
+	// Groups are the packed operations (pack pass), in emission order.
+	Groups []Group
+	// Prelude is the SMIS/SMIT register-update sequence the point needs
+	// (mask-register allocation pass).
+	Prelude []isa.Instr
+	// Ops are the bundle operations with allocated target registers
+	// (mask-register allocation pass).
+	Ops []isa.QOp
+	// QWait is the standalone QWAIT interval preceding the point's
+	// bundles; -1 means no QWAIT (timing-lowering pass).
+	QWait int64
+	// PI is the pre-interval carried by the point's first bundle word
+	// (timing-lowering pass; always 0 under ts1).
+	PI int64
+}
+
+// Program is the unit of compilation flowing through the pass pipeline.
+// The front half (Name, NumQubits, Gates) is the hardware-independent
+// circuit; the rest is filled in, pass by pass, on the way down to
+// executable eQASM.
+type Program struct {
+	Name      string
+	NumQubits int
+	Gates     []Gate
+
+	// Layout is set by the mapping pass (nil when no mapping ran).
+	Layout *Layout
+
+	// Starts[i] is gate i's start cycle; set by a scheduling pass.
+	Starts []int64
+	// Length is the makespan in cycles; set by a scheduling pass.
+	Length int64
+	// Order lists gate indices sorted by start cycle (stable); set by a
+	// scheduling pass. Points and emission iterate in this order.
+	Order []int
+
+	// Points are the distinct timing points; set by the pack pass.
+	Points []Point
+
+	// Code is the emitted executable program; set by the emit pass.
+	Code *isa.Program
+}
+
+// Scheduled reports whether a scheduling pass has run.
+func (p *Program) Scheduled() bool { return len(p.Starts) == len(p.Gates) && p.Order != nil }

@@ -47,11 +47,23 @@ func (p Priority) String() string {
 	return "normal"
 }
 
+// Format names the language of a JobSpec's Source text.
+const (
+	// FormatEQASM is eQASM assembly (the default; "" means the same).
+	FormatEQASM = "eqasm"
+	// FormatCQASM is hardware-independent cQASM circuit text, compiled
+	// server-side through the pass pipeline before execution.
+	FormatCQASM = "cqasm"
+)
+
 // JobSpec describes one execution request.
 type JobSpec struct {
-	// Source is eQASM assembly text. Exactly one of Source and Circuit
-	// must be set.
+	// Source is program text in the language named by Format. Exactly
+	// one of Source and Circuit must be set.
 	Source string
+	// Format is the Source language: FormatEQASM (default) or
+	// FormatCQASM.
+	Format string
 	// Circuit is a hardware-independent circuit to schedule and emit
 	// before execution.
 	Circuit *eqasm.Circuit
@@ -81,6 +93,16 @@ func (spec JobSpec) validate() error {
 	if (spec.Source == "") == (spec.Circuit == nil) {
 		return errors.New("service: job needs exactly one of Source or Circuit")
 	}
+	switch spec.Format {
+	case "", FormatEQASM:
+	case FormatCQASM:
+		if spec.Circuit != nil {
+			return errors.New("service: format applies to Source text, not Circuit jobs")
+		}
+	default:
+		return fmt.Errorf("service: unknown format %q (valid: %s, %s)",
+			spec.Format, FormatEQASM, FormatCQASM)
+	}
 	if spec.Shots < 0 {
 		return fmt.Errorf("service: negative shot count %d", spec.Shots)
 	}
@@ -101,16 +123,23 @@ func (spec JobSpec) withDefaults() JobSpec {
 	return spec
 }
 
-// cacheKey is the content hash under which the assembled program is
-// cached: the source text, or a canonical rendering of the circuit.
+// cacheKey is the content hash under which the compiled program is
+// cached: the source text prefixed by its format, or a canonical
+// rendering of the circuit. cQASM and eQASM sources hash into disjoint
+// keys, so compiled circuits are cached alongside assembled programs
+// without collisions.
 func (spec JobSpec) cacheKey() (string, error) {
 	h := sha256.New()
-	if spec.Circuit != nil {
+	switch {
+	case spec.Circuit != nil:
 		fmt.Fprintf(h, "circuit:%s:%d\n", spec.Circuit.Name, spec.Circuit.NumQubits)
 		for _, g := range spec.Circuit.Gates {
 			fmt.Fprintf(h, "%s %v %d %t\n", g.Name, g.Qubits, g.DurationCycles, g.Measure)
 		}
-	} else {
+	case spec.Format == FormatCQASM:
+		fmt.Fprintf(h, "cqasm:")
+		h.Write([]byte(spec.Source))
+	default:
 		fmt.Fprintf(h, "source:")
 		h.Write([]byte(spec.Source))
 	}

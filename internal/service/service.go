@@ -1,10 +1,12 @@
 // Package service is the concurrent eQASM execution engine: the
 // classical host's serving layer of Fig. 1, grown into a job service.
-// Clients submit eQASM source (or hardware-independent circuits, which
-// are scheduled and emitted first), the service assembles each program
-// once and caches the result by content hash, and a bounded pool of
-// workers fans every job's shots out as batches over independent QuMA_v2
-// machines, aggregating the measurement outcomes into a histogram.
+// Clients submit eQASM source, cQASM circuit text (Format "cqasm",
+// compiled server-side through the pass pipeline) or hardware-
+// independent circuit structures; the service assembles or compiles
+// each program once and caches the result by content hash, and a
+// bounded pool of workers fans every job's shots out as batches over
+// independent QuMA_v2 machines, aggregating the measurement outcomes
+// into a histogram.
 //
 // Concurrency model (the shared-mutable-state audit of the stack):
 //
@@ -312,9 +314,12 @@ func (s *Service) resolve(spec JobSpec) (prog *eqasm.Program, hit bool, d time.D
 		return p, true, 0, nil
 	}
 	start := time.Now()
-	if spec.Circuit != nil {
+	switch {
+	case spec.Circuit != nil:
 		prog, err = s.compile(spec.Circuit)
-	} else {
+	case spec.Format == FormatCQASM:
+		prog, err = eqasm.CompileCircuit(spec.Source, s.compileOpts()...)
+	default:
 		prog, err = eqasm.Assemble(spec.Source, s.cfg.Machine...)
 	}
 	if err != nil {
@@ -342,15 +347,21 @@ func (s *Service) preparePlan(p *eqasm.Program) error {
 	return nil
 }
 
-// compile schedules a hardware-independent circuit and emits executable
-// eQASM for the service's chip.
-func (s *Service) compile(c *eqasm.Circuit) (*eqasm.Program, error) {
+// compileOpts is the option set for server-side circuit compilation:
+// the machine context plus the service's scheduling policy.
+func (s *Service) compileOpts() []eqasm.Option {
 	opts := append(append([]eqasm.Option{}, s.cfg.Machine...),
 		eqasm.WithInitWaitCycles(s.cfg.InitWaitCycles))
 	if s.cfg.SOMQ {
 		opts = append(opts, eqasm.WithSOMQ())
 	}
-	return eqasm.Compile(c, opts...)
+	return opts
+}
+
+// compile schedules a hardware-independent circuit and emits executable
+// eQASM for the service's chip.
+func (s *Service) compile(c *eqasm.Circuit) (*eqasm.Program, error) {
+	return eqasm.Compile(c, s.compileOpts()...)
 }
 
 // Stats snapshots the counters.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"eqasm/internal/compiler"
 	"eqasm/internal/hwconf"
 	"eqasm/internal/isa"
 	"eqasm/internal/quantum"
@@ -38,10 +39,14 @@ type config struct {
 	shots   int
 	workers int
 
-	schedule string
-	initWait int
-	somq     bool
-	layout   []int
+	schedule  string
+	initWait  int
+	somq      bool
+	layout    []int
+	spec      compiler.TimingSpec
+	specSet   bool
+	wpi       int
+	vliwWidth int
 
 	err error
 }
@@ -206,6 +211,53 @@ func WithSOMQ() Option {
 // gates span non-adjacent placements.
 func WithInitialLayout(physical ...int) Option {
 	return func(c *config) { c.layout = physical }
+}
+
+// WithTimingSpec selects the timing-specification method the compiler
+// lowers schedules with (Section 4.2): "ts3" (the default — short
+// intervals in the bundle's PI field, long ones via QWAIT) or "ts1"
+// (a standalone QWAIT per timing point, QuMIS-fashion). "ts2" places
+// QWAITs in bundle slots, which the binary bundle format cannot encode;
+// Compile rejects it with an explanatory error.
+func WithTimingSpec(name string) Option {
+	return func(c *config) {
+		spec, err := compiler.ParseTimingSpec(name)
+		if err != nil {
+			c.fail("eqasm: %v", err)
+			return
+		}
+		c.spec = spec
+		c.specSet = true
+	}
+}
+
+// WithWPI sets the PI field width in bits the ts3 timing lowering may
+// use (default: the instantiation's width, 3 bits). Narrower widths
+// force more standalone QWAITs (for no PI field at all, use
+// WithTimingSpec("ts1")); widths beyond the instantiation's PI field
+// are rejected at compile time.
+func WithWPI(bits int) Option {
+	return func(c *config) {
+		if bits < 1 {
+			c.fail("eqasm: PI width %d < 1 (use WithTimingSpec(\"ts1\") for QWAIT-only timing)", bits)
+			return
+		}
+		c.wpi = bits
+	}
+}
+
+// WithVLIWWidth sets how many quantum operations the compiler packs per
+// bundle word (default: the instantiation's VLIW width, 2). Width 1
+// serialises operations one per word; widths beyond the instantiation's
+// are rejected at compile time.
+func WithVLIWWidth(w int) Option {
+	return func(c *config) {
+		if w < 1 {
+			c.fail("eqasm: VLIW width %d < 1", w)
+			return
+		}
+		c.vliwWidth = w
+	}
 }
 
 // NoiseModel collects the physical error parameters of the simulated

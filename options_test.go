@@ -3,6 +3,7 @@ package eqasm
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -82,5 +83,72 @@ func TestNoisePrecedenceIsPositional(t *testing.T) {
 	// Without a file, the explicit model stands.
 	if got := noise(WithCalibratedNoise()); got != CalibratedNoise() {
 		t.Fatalf("calibrated noise lost: %+v", got)
+	}
+}
+
+// The pipeline knobs surface through functional options: the timing
+// spec, PI width and VLIW width change the emitted code, and knobs the
+// binary instantiation cannot encode are rejected.
+func TestCompilePipelineOptions(t *testing.T) {
+	src := "qubits 3\nh q[0]\nh q[2]\ncz q[2], q[0]\nmeasure q[0]\nmeasure q[2]\n"
+
+	count := func(p *Program, what string) (n int) {
+		for _, line := range strings.Split(p.Text(), "\n") {
+			if what == "qwait" && strings.Contains(line, "QWAIT") {
+				n++
+			}
+		}
+		return n
+	}
+	ts3, err := CompileCircuit(src, WithSOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1, err := CompileCircuit(src, WithSOMQ(), WithTimingSpec("ts1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ts3 hides the short intervals in PI fields; ts1 spends QWAITs.
+	if count(ts1, "qwait") <= count(ts3, "qwait") {
+		t.Fatalf("ts1 emitted %d QWAITs, ts3 %d:\n--- ts1 ---\n%s--- ts3 ---\n%s",
+			count(ts1, "qwait"), count(ts3, "qwait"), ts1.Text(), ts3.Text())
+	}
+	// A 1-bit PI cannot hold the 2-cycle CZ wait: more QWAITs than the
+	// default 3-bit field.
+	narrow, err := CompileCircuit(src, WithSOMQ(), WithWPI(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count(narrow, "qwait") <= count(ts3, "qwait") {
+		t.Fatalf("wPI=1 emitted %d QWAITs, wPI=3 %d", count(narrow, "qwait"), count(ts3, "qwait"))
+	}
+	// Width 1 serialises the two parallel Hs into two bundle words
+	// (without SOMQ, which would merge them into one op regardless).
+	wide, err := CompileCircuit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := CompileCircuit(src, WithVLIWWidth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumInstructions() <= wide.NumInstructions() {
+		t.Fatalf("w=1 program has %d instructions, w=2 has %d",
+			serial.NumInstructions(), wide.NumInstructions())
+	}
+
+	for _, bad := range [][]Option{
+		{WithTimingSpec("ts2")},
+		{WithTimingSpec("ts9")},
+		{WithWPI(7)},
+		{WithVLIWWidth(5)},
+		{WithWPI(-1)},
+		{WithWPI(0)},
+		{WithVLIWWidth(-2)},
+		{WithVLIWWidth(0)},
+	} {
+		if _, err := CompileCircuit(src, bad...); err == nil {
+			t.Errorf("options %v accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,55 @@
+package eqasm_test
+
+import (
+	"errors"
+	"testing"
+
+	"eqasm"
+)
+
+// FuzzParseCircuit drives the public cQASM entry point with arbitrary
+// input: parsing must never panic, every rejection must be an
+// *AssembleError whose diagnostics all carry a line (and the compile
+// path over accepted circuits must not panic either). CI runs this as
+// a fuzz smoke step (go test -fuzz=FuzzParseCircuit -fuzztime=20s .).
+func FuzzParseCircuit(f *testing.F) {
+	seeds := []string{
+		"version 1.0\nqubits 3\nh q[0]\ncnot q[0], q[2]\nmeasure q[0]\nmeasure q[2]\n",
+		"qubits 5\n{ x q[0] | y q[1] }\nswap q[0], q[4]\nmeasure_all\n",
+		"qubits 2\nx q[0:1]\nmeasure q[0,1]\n",
+		"qubits 64\nx q[63]\n",
+		"version 2.0\nqubits 1\n",
+		"x q[0]\n",
+		"qubits 2\nrx q[0], 3.14\n",
+		"qubits 2\ncnot q[0], q[0]\n",
+		"{|}\n",
+		"qubits 2\nx q[",
+		"qubits 2\n# just a comment\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := eqasm.ParseCircuit(src)
+		if err != nil {
+			var ae *eqasm.AssembleError
+			if !errors.As(err, &ae) || len(ae.Diagnostics) == 0 {
+				t.Fatalf("rejection is not an *AssembleError with diagnostics: %v", err)
+			}
+			for _, d := range ae.Diagnostics {
+				if d.Line <= 0 {
+					t.Fatalf("diagnostic without a line number: %+v in %v", d, err)
+				}
+			}
+			return
+		}
+		if c == nil || c.NumQubits < 1 {
+			t.Fatalf("accepted a circuit with no qubits: %+v", c)
+		}
+		// Accepted circuits must also compile without panicking; chip
+		// constraints may legally reject them (too many qubits, pairs
+		// the coupling graph lacks), so only the absence of a crash is
+		// asserted.
+		_, _ = eqasm.CompileCircuit(src, eqasm.WithSOMQ())
+	})
+}

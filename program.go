@@ -6,6 +6,8 @@ import (
 
 	"eqasm/internal/asm"
 	"eqasm/internal/compiler"
+	"eqasm/internal/cqasm"
+	"eqasm/internal/ir"
 	"eqasm/internal/isa"
 	"eqasm/internal/plan"
 )
@@ -208,12 +210,28 @@ func (c *Circuit) internal() *compiler.Circuit {
 	return out
 }
 
+// circuitFromInternal lifts a compiler circuit into the public type.
+func circuitFromInternal(c *compiler.Circuit) *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits}
+	for _, g := range c.Gates {
+		out.Gates = append(out.Gates, Gate{
+			Name:           g.Name,
+			Qubits:         g.Qubits,
+			DurationCycles: g.DurationCycles,
+			Measure:        g.Measure,
+		})
+	}
+	return out
+}
+
 // Compile lowers a hardware-independent circuit to an executable eQASM
-// program for the configured chip: validation, optional qubit mapping
-// (WithInitialLayout), ASAP or ALAP scheduling (WithSchedule), and code
-// generation with target-register allocation (WithSOMQ,
-// WithInitWaitCycles). The resulting program carries the same context
-// as Assemble would bind, so it runs on any Backend for that chip.
+// program for the configured chip through the compiler's pass pipeline:
+// validation, optional topology-aware qubit mapping (WithInitialLayout),
+// ASAP or ALAP scheduling (WithSchedule), SOMQ/bundle packing
+// (WithSOMQ), mask-register allocation, timing lowering (WithTimingSpec,
+// WithWPI, WithInitWaitCycles) and emission (WithVLIWWidth). The
+// resulting program carries the same context as Assemble would bind, so
+// it runs on any Backend for that chip.
 func Compile(c *Circuit, opts ...Option) (*Program, error) {
 	cfg, err := newConfig(opts)
 	if err != nil {
@@ -223,41 +241,80 @@ func Compile(c *Circuit, opts ...Option) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	circ := c.internal()
-	if err := circ.Validate(); err != nil {
-		return nil, err
+	return compileIR(cfg, st, c.internal().IR())
+}
+
+// ParseCircuit parses cQASM source (the v1.0 subset: qubit
+// declarations, single- and two-qubit gates, measurements and parallel
+// { } bundles; see the package documentation for the grammar) into a
+// hardware-independent Circuit. Malformed source fails with an
+// *AssembleError carrying per-diagnostic line and column positions,
+// exactly like Assemble.
+func ParseCircuit(src string) (*Circuit, error) {
+	p, err := cqasm.Parse(src)
+	if err != nil {
+		return nil, wrapParseErr(err)
 	}
-	if circ.NumQubits > st.topo.NumQubits {
-		return nil, fmt.Errorf("eqasm: circuit needs %d qubits, chip %q has %d",
-			circ.NumQubits, st.topo.Name, st.topo.NumQubits)
-	}
-	if cfg.layout != nil {
-		mapped, err := compiler.MapToTopology(circ, st.topo, cfg.layout)
-		if err != nil {
-			return nil, err
-		}
-		circ = mapped.Circuit
-	}
-	var sched *compiler.Schedule
-	if cfg.schedule == "alap" {
-		sched, err = compiler.ALAP(circ)
-	} else {
-		sched, err = compiler.ASAP(circ)
-	}
+	return circuitFromInternal(compiler.FromIR(p)), nil
+}
+
+// CompileCircuit parses cQASM source and compiles it down to an
+// executable eQASM program for the configured chip — the paper's full
+// Fig. 1 flow (common QASM in, executable QASM out) in one call. It
+// accepts the same functional options as Compile; gate-level compile
+// faults point back at the cQASM source line.
+func CompileCircuit(src string, opts ...Option) (*Program, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	em := compiler.NewEmitter(st.opCfg, st.topo)
-	em.Inst = st.inst
-	prog, err := em.Emit(sched, compiler.EmitOptions{
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	p, err := cqasm.Parse(src)
+	if err != nil {
+		return nil, wrapParseErr(err)
+	}
+	return compileIR(cfg, st, p)
+}
+
+// compileIR drives the circuit IR through the compiler's pass pipeline
+// under the resolved options and binds the emitted code to the stack.
+func compileIR(cfg *config, st stack, p *ir.Program) (*Program, error) {
+	if p.NumQubits > st.topo.NumQubits {
+		return nil, fmt.Errorf("eqasm: circuit needs %d qubits, chip %q has %d",
+			p.NumQubits, st.topo.Name, st.topo.NumQubits)
+	}
+	arch := compiler.DefaultArch(st.inst)
+	arch.SOMQ = cfg.somq
+	if cfg.specSet {
+		arch.Spec = cfg.spec
+	}
+	if cfg.wpi != 0 {
+		arch.WPI = cfg.wpi
+	}
+	if cfg.vliwWidth != 0 {
+		arch.VLIWWidth = cfg.vliwWidth
+	}
+	pl, err := compiler.NewPipeline(compiler.PipelineConfig{
+		Config:         st.opCfg,
+		Topo:           st.topo,
+		Inst:           st.inst,
+		Map:            cfg.layout != nil,
+		Layout:         cfg.layout,
+		ALAP:           cfg.schedule == "alap",
+		Arch:           arch,
 		InitWaitCycles: cfg.initWait,
-		SOMQ:           cfg.somq,
 		AppendStop:     true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Program{prog: prog, st: st}, nil
+	if err := pl.Run(p); err != nil {
+		return nil, err
+	}
+	return &Program{prog: p.Code, st: st}, nil
 }
 
 // OperationInfo describes one configured quantum operation: the
