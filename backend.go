@@ -37,21 +37,35 @@ type Measurement struct {
 	Result int
 }
 
-// ExecStats are the execution counters of one shot.
+// ExecStats are execution counters: of one shot (ShotResult.Stats,
+// Result.Stats) or summed over many (Result.TotalStats). The JSON tags
+// are the service wire format.
 type ExecStats struct {
 	// Instructions counts retired instructions.
-	Instructions int64
+	Instructions int64 `json:"instructions"`
 	// Bundles counts quantum bundle instructions issued.
-	Bundles int64
+	Bundles int64 `json:"bundles"`
 	// QuantumOps counts micro-operations reaching the timing controller.
-	QuantumOps int64
+	QuantumOps int64 `json:"quantum_ops"`
 	// CancelledOps counts operations gated off by fast conditional
 	// execution.
-	CancelledOps int64
+	CancelledOps int64 `json:"cancelled_ops"`
 	// FMRStallTicks counts classical ticks stalled on FMR.
-	FMRStallTicks int64
-	// DurationNs is the simulated wall-clock time at halt.
-	DurationNs int64
+	FMRStallTicks int64 `json:"fmr_stall_ticks"`
+	// DurationNs is the simulated wall-clock time at halt (summed across
+	// shots in an aggregate, it is total simulated chip time).
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// Add accumulates o's counters into s (used to aggregate per-shot stats
+// into Result.TotalStats).
+func (s *ExecStats) Add(o ExecStats) {
+	s.Instructions += o.Instructions
+	s.Bundles += o.Bundles
+	s.QuantumOps += o.QuantumOps
+	s.CancelledOps += o.CancelledOps
+	s.FMRStallTicks += o.FMRStallTicks
+	s.DurationNs += o.DurationNs
 }
 
 func execStats(m *microarch.Machine) ExecStats {
@@ -68,8 +82,12 @@ func execStats(m *microarch.Machine) ExecStats {
 
 // ShotResult is one shot's outcome on a result stream.
 type ShotResult struct {
-	// Shot is the repetition index (-1 on the terminal error message).
+	// Shot is the repetition index within its request (-1 on a terminal
+	// error message).
 	Shot int
+	// Request is the index of the originating RunRequest within the
+	// job's batch (0 for single-program runs).
+	Request int
 	// Key is the histogram key: the last result per measured qubit,
 	// qubits ascending ("" when the shot measures nothing).
 	Key string
@@ -80,37 +98,56 @@ type ShotResult struct {
 	Stats ExecStats
 	// Trace is the rendered device-operation trace (WithDeviceTrace).
 	Trace []string
-	// Err terminates the stream: a shot failure (*RuntimeError) or the
-	// run context's cancellation cause. No further results follow.
+	// Err reports a failure: a shot fault (*RuntimeError) or a
+	// cancellation cause. On a single-program stream it is terminal —
+	// no further results follow; on a batch stream it ends only the
+	// request named by Request, and later requests still deliver.
 	Err error
 }
 
-// Result is a finished execution's aggregate outcome.
+// Result is a finished execution's aggregate outcome. The JSON tags
+// are the machine-readable rendering used by cmd/eqasm-run -json.
 type Result struct {
 	// Shots is the number of shots actually executed (may be below the
 	// request when the run was cancelled or failed mid-way).
-	Shots int
+	Shots int `json:"shots"`
 	// Histogram counts measurement outcomes; keys are bitstrings over
 	// the measured qubits in ascending qubit order (the last result per
 	// qubit within a shot). A program measuring nothing contributes to
 	// the "" key.
-	Histogram map[string]int
+	Histogram map[string]int `json:"histogram"`
 	// Qubits lists the measured qubits, ascending — the bit order of
 	// the histogram keys.
-	Qubits []int
-	// Stats are the execution counters of the last completed shot.
-	Stats ExecStats
+	Qubits []int `json:"qubits,omitempty"`
+	// Stats are the execution counters of the last completed shot only
+	// — a sample, useful because identical shots of one program retire
+	// near-identical instruction streams. For aggregates over the whole
+	// run use TotalStats.
+	Stats ExecStats `json:"stats"`
+	// TotalStats sums every executed shot's counters.
+	TotalStats ExecStats `json:"total_stats"`
 	// Trace is the device-operation trace of the first traced shot
 	// (WithDeviceTrace).
-	Trace []string
+	Trace []string `json:"trace,omitempty"`
 	// Duration is the wall-clock execution time.
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Backend executes bound programs: the in-process Simulator and the
 // job-service Client both implement it, so callers switch between local
-// simulation and remote serving without rewiring.
+// simulation and remote serving without rewiring. Submit is the
+// primitive — Run and RunStream are sugar over a one-request batch —
+// so single runs, sweeps and multi-circuit workloads all flow through
+// one job code path per backend.
 type Backend interface {
+	// Submit enqueues a batch of requests for asynchronous execution
+	// and returns immediately with the job handle. Requests execute in
+	// order; each honors its own RunOptions (shots, seed, workers)
+	// exactly as an individual Run would, so a batch of N requests is
+	// bit-identical per request to N sequential Run calls at the same
+	// seeds. The batch's lifetime is bound to ctx: a ctx that expires
+	// while the job is queued or running cancels it.
+	Submit(ctx context.Context, reqs ...RunRequest) (*Job, error)
 	// Run executes the program and aggregates the outcome histogram.
 	// On failure or cancellation it returns the partial Result
 	// alongside the error.
@@ -284,30 +321,112 @@ func (s *Simulator) fanShots(ctx context.Context, p *Program, seed int64, shots,
 	return pool.FanShots(ctx, p.prog, seed, shots, workers, observe)
 }
 
-// Run implements Backend. With Workers == 1 (the default) and a fixed
-// seed, the execution is bit-identical to a sequential shot loop on a
-// freshly built machine at that seed.
-func (s *Simulator) Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
-	shots, seed, workers, err := s.plan(opts)
+// runPlan is one request's resolved execution parameters.
+type runPlan struct {
+	shots   int
+	seed    int64
+	workers int
+}
+
+// Submit implements Backend: it validates every request up front,
+// returns the job handle immediately, and executes the batch on a
+// driver goroutine — the async job layer over the machine-pool shot
+// fan-out. Requests execute in submit order, each on its own resolved
+// options (shots, seed, workers — worker w of request r runs at the
+// request's seed + w*SeedStride), so per-request results are
+// bit-identical to individual Run calls at the same seeds. A request
+// failure fails that request only; sibling requests still run. The
+// job is bound to ctx for its whole lifetime.
+func (s *Simulator) Submit(ctx context.Context, reqs ...RunRequest) (*Job, error) {
+	return s.submitJob(ctx, false, reqs)
+}
+
+func (s *Simulator) submitJob(ctx context.Context, streaming bool, reqs []RunRequest) (*Job, error) {
+	ctx, err := normalizeBatch(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
+	plans := make([]runPlan, len(reqs))
+	for i, r := range reqs {
+		shots, seed, workers, err := s.plan(r.Options)
+		if err != nil {
+			if len(reqs) > 1 {
+				err = fmt.Errorf("request %d: %w", i, err)
+			}
+			return nil, err
+		}
+		plans[i] = runPlan{shots: shots, seed: seed, workers: workers}
+	}
+	job := newJob(localJobID(), reqs)
+	if streaming {
+		job.streaming.Store(true)
+	}
+	jctx, cancel := context.WithCancelCause(ctx)
+	job.cancelHook = func() { cancel(context.Canceled) }
+	go s.runJob(jctx, cancel, job, reqs, plans)
+	return job, nil
+}
+
+// runJob is the job driver: requests in order, finalize at the end.
+// A cancellation (Cancel or the submit ctx) stops the batch; any other
+// request failure is recorded and the next request still runs.
+func (s *Simulator) runJob(ctx context.Context, cancel context.CancelCauseFunc,
+	j *Job, reqs []RunRequest, plans []runPlan) {
+	defer cancel(nil)
+	for i := range reqs {
+		if ctx.Err() != nil {
+			cause := context.Cause(ctx)
+			j.emitTerminal(i, cause, terminalGrace)
+			j.stopRemaining(i, cause)
+			break
+		}
+		j.markRunning(i)
+		res, err := s.executeRequest(ctx, j, i, reqs[i].Program, plans[i])
+		j.finishRequest(i, res, err)
+		if err != nil {
+			if isCancellation(err) {
+				j.emitTerminal(i, err, terminalGrace)
+				j.stopRemaining(i+1, err)
+				break
+			}
+			grace := siblingGrace
+			if i == len(reqs)-1 {
+				grace = terminalGrace // nothing queued behind the message
+			}
+			j.emitTerminal(i, err, grace)
+		}
+	}
+	j.finalize()
+}
+
+// executeRequest runs one request's shots through the machine pool,
+// aggregating the histogram and stats and feeding an attached stream
+// consumer.
+func (s *Simulator) executeRequest(ctx context.Context, j *Job, req int,
+	p *Program, pl runPlan) (*Result, error) {
 	res := &Result{Histogram: map[string]int{}}
 	start := time.Now()
-	err = s.fanShots(ctx, p, seed, shots, workers,
+	err := s.fanShots(ctx, p, pl.seed, pl.shots, pl.workers,
 		func(shot int, m *microarch.Machine, runErr error) error {
 			if runErr != nil {
 				return wrapShotErr(shot, m, runErr)
 			}
+			st := execStats(m)
 			res.Shots++
 			last := lastResults(m)
 			res.Histogram[histKey(last)]++
 			if res.Qubits == nil {
 				res.Qubits = sortedQubits(last)
 			}
-			res.Stats = execStats(m)
+			res.Stats = st
+			res.TotalStats.Add(st)
 			if res.Trace == nil {
 				res.Trace = renderTrace(m)
+			}
+			if j.streaming.Load() {
+				sr := shotOutcome(shot, m)
+				sr.Request = req
+				return j.emit(ctx, sr)
 			}
 			return nil
 		})
@@ -315,53 +434,49 @@ func (s *Simulator) Run(ctx context.Context, p *Program, opts RunOptions) (*Resu
 	return res, err
 }
 
-// RunStream implements Backend, delivering shot outcomes as they
-// complete. With Workers > 1 shots may arrive out of order (each
-// carries its index).
+// Run implements Backend as sugar over Submit: a one-request batch,
+// awaited. With Workers == 1 (the default) and a fixed seed, the
+// execution is bit-identical to a sequential shot loop on a freshly
+// built machine at that seed.
+func (s *Simulator) Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
+	return runViaSubmit(ctx, s, p, opts)
+}
+
+// RunStream implements Backend as sugar over Submit: a one-request
+// batch with the stream attached before execution starts, so every
+// shot is delivered. With Workers > 1 shots may arrive out of order
+// (each carries its index).
 func (s *Simulator) RunStream(ctx context.Context, p *Program, opts RunOptions) (<-chan ShotResult, error) {
-	shots, seed, workers, err := s.plan(opts)
+	job, err := s.submitJob(ctx, true, []RunRequest{{Program: p, Options: opts}})
 	if err != nil {
 		return nil, err
 	}
-	ch := make(chan ShotResult)
-	go func() {
-		defer close(ch)
-		err := s.fanShots(ctx, p, seed, shots, workers,
-			func(shot int, m *microarch.Machine, runErr error) error {
-				if runErr != nil {
-					return wrapShotErr(shot, m, runErr)
-				}
-				select {
-				case ch <- shotOutcome(shot, m):
-					return nil
-				case <-ctx.Done():
-					return context.Cause(ctx)
-				}
-			})
-		if err != nil {
-			sendTerminal(ch, ShotResult{Shot: -1, Err: err})
-		}
-	}()
-	return ch, nil
+	return job.Stream(), nil
 }
 
 // terminalGrace bounds how long a stream waits to hand its final error
 // message to a consumer that is not currently at the channel. Generous,
-// because the only cost of waiting is a lingering goroutine on a
-// stream the consumer abandoned without draining.
+// because nothing else is stalled by waiting on a job-ending message —
+// only a lingering goroutine on a stream the consumer abandoned
+// without draining.
 const terminalGrace = 30 * time.Second
 
-// sendTerminal delivers a stream's final error message. The run context
-// may already be cancelled here (cancellation is itself a terminal
-// error), so racing the send against ctx.Done would drop the message
+// siblingGrace bounds the same wait for a mid-batch failure message:
+// the batch driver delivers it inline, so waiting here stalls the
+// sibling requests still queued behind it.
+const siblingGrace = time.Second
+
+// sendTerminal delivers a stream's error message. The run context may
+// already be cancelled here (cancellation is itself a terminal error),
+// so racing the send against ctx.Done would drop the message
 // nondeterministically even with an attentive consumer; instead the
 // send gets a bounded grace period, dropping the message only when the
 // consumer does not return to the channel within it.
-func sendTerminal(ch chan<- ShotResult, sr ShotResult) {
+func sendTerminal(ch chan<- ShotResult, sr ShotResult, grace time.Duration) {
 	select {
 	case ch <- sr:
 	default:
-		t := time.NewTimer(terminalGrace)
+		t := time.NewTimer(grace)
 		defer t.Stop()
 		select {
 		case ch <- sr:

@@ -708,3 +708,65 @@ func BenchmarkPlanVsInterpreter(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchSubmit measures the job layer's batch amortization:
+// K programs submitted as one Submit batch versus K sequential Run
+// calls, in requests/s. Locally the batch saves per-call job plumbing
+// (one driver goroutine and one handle for K requests); against the
+// HTTP service it additionally collapses K round-trips and K queue
+// admissions into one, which is the Fig. 4 operator pattern.
+func BenchmarkBatchSubmit(b *testing.B) {
+	const (
+		kRequests = 8
+		shots     = 64
+	)
+	progs := service.SmokePrograms()
+	names := []string{"bell", "flip", "active_reset"}
+	reqs := make([]eqasm.RunRequest, kRequests)
+	for i := range reqs {
+		prog, err := eqasm.Assemble(progs[names[i%len(names)]])
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = eqasm.RunRequest{
+			Program: prog,
+			Options: eqasm.RunOptions{Shots: shots, Seed: int64(i + 1)},
+		}
+	}
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("batch_Submit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			job, err := sim.Submit(ctx, reqs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results, err := job.Wait(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != kRequests || results[0].Shots != shots {
+				b.Fatalf("batch results = %d", len(results))
+			}
+		}
+		b.ReportMetric(float64(b.N)*kRequests/b.Elapsed().Seconds(), "requests/s")
+	})
+	b.Run("sequential_Run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				res, err := sim.Run(ctx, req.Program, req.Options)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Shots != shots {
+					b.Fatalf("ran %d shots", res.Shots)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*kRequests/b.Elapsed().Seconds(), "requests/s")
+	})
+}

@@ -12,16 +12,27 @@ import (
 	"time"
 )
 
-// Client is the job-service Backend: it submits programs to a running
-// eqasm-serve instance over its HTTP API (POST /v1/jobs and friends)
-// and maps job results back onto the same Result type the in-process
-// Simulator produces. Safe for concurrent use.
+// Client is the job-service Backend: it submits batches of programs to
+// a running eqasm-serve instance over its HTTP API (POST /v1/batches
+// and friends) and maps the per-request results back onto the same
+// Result and Job types the in-process Simulator produces. Safe for
+// concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
+	poll time.Duration
 }
 
 var _ Backend = (*Client)(nil)
+
+// defaultPollInterval paces the job poll loop when WithPollInterval is
+// not given.
+const defaultPollInterval = 25 * time.Millisecond
+
+// maxPollFailures bounds consecutive poll errors before a job is
+// declared failed (a dead or unreachable server must not hang Wait
+// forever).
+const maxPollFailures = 10
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -32,71 +43,86 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithPollInterval sets the pacing of the remote-job poll loop behind
+// Job.Wait and the streams (default 25ms). Shorten it for fast tests,
+// stretch it for slow servers or long-running sweeps; values <= 0 keep
+// the default.
+func WithPollInterval(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.poll = d
+		}
+	}
+}
+
 // NewClient builds a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func NewClient(baseURL string, opts ...ClientOption) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   http.DefaultClient,
+		poll: defaultPollInterval,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
-// RemoteJob describes a job on the service.
-type RemoteJob struct {
-	// ID addresses the job in Job and Cancel calls.
-	ID string
-	// State is "queued", "running", "completed", "failed" or
-	// "cancelled".
-	State string
-	// Result is the aggregate outcome once the job finished.
-	Result *Result
-	// Err is the failure or cancellation message of a finished job.
-	Err string
-}
-
-// Done reports whether the job reached a terminal state.
-func (j *RemoteJob) Done() bool {
-	return j.State == "completed" || j.State == "failed" || j.State == "cancelled"
-}
-
-// jobRequest mirrors the service's POST /v1/jobs payload.
-type jobRequest struct {
+// requestWire mirrors one request of the service's POST /v1/batches
+// payload.
+type requestWire struct {
 	Source string `json:"source,omitempty"`
 	Shots  int    `json:"shots,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
+	Tag    string `json:"tag,omitempty"`
 	Chip   string `json:"chip,omitempty"`
-	Wait   bool   `json:"wait,omitempty"`
 }
 
-// jobResponse mirrors the service's job description.
-type jobResponse struct {
-	ID     string      `json:"id"`
-	Status string      `json:"status"`
-	Result *resultWire `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+// batchRequestWire mirrors the service's POST /v1/batches payload.
+type batchRequestWire struct {
+	Requests []requestWire `json:"requests"`
+	// Wait makes the POST synchronous: the response carries the
+	// terminal batch description, so no status polls are needed (the
+	// Run fast path).
+	Wait bool `json:"wait,omitempty"`
 }
 
-type resultWire struct {
-	Shots     int            `json:"shots"`
-	Histogram map[string]int `json:"histogram"`
-	Qubits    []int          `json:"qubits,omitempty"`
-	RunNs     int64          `json:"run_ns"`
+// batchResponseWire mirrors the service's batch description.
+type batchResponseWire struct {
+	ID       string              `json:"id"`
+	Status   string              `json:"status"`
+	Error    string              `json:"error,omitempty"`
+	Requests []requestStatusWire `json:"requests"`
 }
 
-func (r *resultWire) toResult() *Result {
-	if r == nil {
-		return nil
-	}
+// requestStatusWire mirrors one request's status and (once finished)
+// outcome on the wire: the flat service.RequestResult JSON shape.
+type requestStatusWire struct {
+	Index      int            `json:"index"`
+	Tag        string         `json:"tag,omitempty"`
+	Status     string         `json:"status"`
+	Error      string         `json:"error,omitempty"`
+	Shots      int            `json:"shots"`
+	Histogram  map[string]int `json:"histogram,omitempty"`
+	Qubits     []int          `json:"qubits,omitempty"`
+	Stats      ExecStats      `json:"stats"`
+	TotalStats ExecStats      `json:"total_stats"`
+	RunNs      int64          `json:"run_ns"`
+}
+
+func (r *requestStatusWire) toResult() *Result {
 	hist := r.Histogram
 	if hist == nil {
 		hist = map[string]int{}
 	}
 	return &Result{
-		Shots:     r.Shots,
-		Histogram: hist,
-		Qubits:    r.Qubits,
-		Duration:  time.Duration(r.RunNs),
+		Shots:      r.Shots,
+		Histogram:  hist,
+		Qubits:     r.Qubits,
+		Stats:      r.Stats,
+		TotalStats: r.TotalStats,
+		Duration:   time.Duration(r.RunNs),
 	}
 }
 
@@ -145,159 +171,308 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-func (c *Client) submit(ctx context.Context, p *Program, opts RunOptions, wait bool) (*jobResponse, error) {
-	if opts.Shots < 0 {
-		return nil, fmt.Errorf("eqasm: negative shot count %d", opts.Shots)
-	}
-	src, err := wireSource(p)
-	if err != nil {
-		return nil, err
-	}
-	shots := opts.Shots
-	if shots == 0 {
-		shots = 1
-	}
-	// The program's bound chip travels with the request, so a program
-	// assembled for one topology cannot silently execute under another
-	// chip's semantics on a mismatched service.
-	var jr jobResponse
-	err = c.do(ctx, http.MethodPost, "/v1/jobs", jobRequest{
-		Source: src,
-		Shots:  shots,
-		Seed:   opts.Seed,
-		Chip:   p.Chip(),
-		Wait:   wait,
-	}, &jr)
-	if err != nil {
-		return nil, err
-	}
-	return &jr, nil
+// Submit implements Backend: it posts the whole batch as one
+// /v1/batches job — one queue admission, one program-cache pass and one
+// HTTP round-trip for N programs — and returns a Job handle driven by a
+// poll loop (pace it with WithPollInterval). Each request honors its
+// own shots and seed exactly as an individual Run would;
+// RunOptions.Workers is ignored (the service owns its fan-out). The
+// job is bound to ctx: a ctx that expires while the batch is queued or
+// running cancels it remotely.
+func (c *Client) Submit(ctx context.Context, reqs ...RunRequest) (*Job, error) {
+	return c.submitJob(ctx, false, false, reqs)
 }
 
-func (jr *jobResponse) toJob() *RemoteJob {
-	return &RemoteJob{ID: jr.ID, State: jr.Status, Result: jr.Result.toResult(), Err: jr.Error}
-}
-
-// Run implements Backend: it submits the program synchronously and
-// returns the aggregated histogram. RunOptions.Workers is ignored (the
-// service owns its own fan-out).
-func (c *Client) Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
-	jr, err := c.submit(ctx, p, opts, true)
+// submitJob posts the batch and starts the handle's driver. With wait
+// set the POST itself blocks until the batch finishes and its response
+// settles the job without a single status poll.
+func (c *Client) submitJob(ctx context.Context, streaming, wait bool, reqs []RunRequest) (*Job, error) {
+	ctx, err := normalizeBatch(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
-	job := jr.toJob()
-	if job.State != "completed" {
-		msg := job.Err
-		if msg == "" {
-			msg = "job " + job.State
+	wire := batchRequestWire{Requests: make([]requestWire, len(reqs)), Wait: wait}
+	for i, r := range reqs {
+		if r.Options.Shots < 0 {
+			return nil, fmt.Errorf("eqasm: negative shot count %d", r.Options.Shots)
 		}
-		return job.Result, fmt.Errorf("eqasm: service job %s: %s", job.ID, msg)
+		src, err := wireSource(r.Program)
+		if err != nil {
+			return nil, err
+		}
+		// The program's bound chip travels with each request, so a
+		// program assembled for one topology cannot silently execute
+		// under another chip's semantics on a mismatched service.
+		wire.Requests[i] = requestWire{
+			Source: src,
+			Shots:  r.Options.Shots,
+			Seed:   r.Options.Seed,
+			Tag:    r.Tag,
+			Chip:   r.Program.Chip(),
+		}
 	}
-	if job.Result == nil {
-		return nil, fmt.Errorf("eqasm: service job %s: completed without a result", job.ID)
+	var br batchResponseWire
+	if err = c.do(ctx, http.MethodPost, "/v1/batches", wire, &br); err != nil {
+		return nil, err
 	}
-	return job.Result, nil
+	job := newJob(br.ID, reqs)
+	if streaming {
+		job.streaming.Store(true)
+	}
+	pctx, cancel := context.WithCancelCause(ctx)
+	// Cancel delivers the cancellation to the service; the poll loop
+	// (and its ctx) stays live so the confirming poll can observe the
+	// terminal state the server settles on.
+	job.cancelHook = func() { go c.cancelBatch(br.ID) }
+	go c.pollJob(pctx, cancel, job, br.ID, br)
+	return job, nil
 }
 
-// RunStream implements Backend. The service aggregates shots into a
-// histogram rather than streaming them, so the channel stays silent
-// while the job runs remotely and then replays the finished histogram:
-// one ShotResult per executed shot, grouped by outcome in key order
-// (per-shot completion order is not preserved). Like the Simulator's
-// stream, the call returns immediately; a failure delivers one final
+// cancelBatch best-effort-cancels a remote batch.
+func (c *Client) cancelBatch(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = c.do(ctx, http.MethodDelete, "/v1/batches/"+id, nil, nil)
+}
+
+// pollJob drives a remote job to completion: it polls the batch
+// endpoint, mirrors per-request states onto the handle, replays each
+// request's histogram to an attached stream as the request completes,
+// and finalizes when the server reports a terminal state (or after
+// maxPollFailures consecutive errors, or when ctx is cancelled — which
+// also cancels the batch remotely). The submit response seeds the loop:
+// a synchronous (wait) submit settles the whole job from it, with no
+// polls at all.
+func (c *Client) pollJob(ctx context.Context, cancel context.CancelCauseFunc, job *Job, id string,
+	submitted batchResponseWire) {
+	defer cancel(nil)
+	seen := make([]bool, len(job.reqs))
+	if c.applyPoll(ctx, job, submitted, seen) {
+		job.finalize()
+		return
+	}
+	fails := 0
+	t := time.NewTimer(c.poll) // the submit response just told us the state; wait one beat
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			cause := context.Cause(ctx)
+			job.Cancel() // delivers the cancellation remotely (once)
+			job.emitTerminal(c.firstUnseen(seen), cause, terminalGrace)
+			job.stopRemaining(0, cause)
+			job.finalize()
+			return
+		}
+		var br batchResponseWire
+		err := c.do(ctx, http.MethodGet, "/v1/batches/"+id, nil, &br)
+		if err != nil {
+			if ctx.Err() != nil {
+				continue // the ctx branch above handles it on the next spin
+			}
+			if fails++; fails >= maxPollFailures {
+				err = fmt.Errorf("eqasm: service job %s unreachable: %w", id, err)
+				job.emitTerminal(c.firstUnseen(seen), err, terminalGrace)
+				job.stopRemaining(0, err)
+				job.finalize()
+				return
+			}
+			t.Reset(c.poll)
+			continue
+		}
+		fails = 0
+		terminal := c.applyPoll(ctx, job, br, seen)
+		if terminal {
+			job.finalize()
+			return
+		}
+		t.Reset(c.poll)
+	}
+}
+
+// firstUnseen picks the request index a batch-level terminal message is
+// attributed to.
+func (c *Client) firstUnseen(seen []bool) int {
+	for i, s := range seen {
+		if !s {
+			return i
+		}
+	}
+	return 0
+}
+
+// applyPoll mirrors one poll's batch description onto the job handle
+// and reports whether the batch reached a terminal state with every
+// request accounted for.
+func (c *Client) applyPoll(ctx context.Context, job *Job, br batchResponseWire, seen []bool) bool {
+	done := true
+	for _, rw := range br.Requests {
+		if rw.Index < 0 || rw.Index >= len(seen) || seen[rw.Index] {
+			continue
+		}
+		switch JobState(rw.Status) {
+		case JobRunning:
+			job.markRunning(rw.Index)
+			done = false
+		case JobCompleted, JobFailed, JobCancelled:
+			seen[rw.Index] = true
+			res := rw.toResult()
+			var reqErr error
+			switch {
+			case JobState(rw.Status) == JobCancelled:
+				reqErr = context.Canceled
+			case JobState(rw.Status) == JobFailed:
+				msg := rw.Error
+				if msg == "" {
+					msg = "request failed"
+				}
+				reqErr = fmt.Errorf("eqasm: service job %s request %d: %s", job.id, rw.Index, msg)
+			}
+			if reqErr == nil {
+				if err := c.replay(ctx, job, rw.Index, res); err != nil {
+					// ctx cancelled mid-replay: the remote data is
+					// complete, but the caller abandoned the job — end
+					// it as cancelled with a terminal stream message.
+					job.finishRequest(rw.Index, res, err)
+					job.Cancel() // the remote batch must not keep running
+					job.emitTerminal(rw.Index, err, terminalGrace)
+					job.stopRemaining(0, err)
+					return true
+				}
+			} else {
+				job.emitTerminal(rw.Index, reqErr, siblingGrace)
+			}
+			job.finishRequest(rw.Index, res, reqErr)
+		default: // queued
+			done = false
+		}
+	}
+	if !done {
+		return false
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// replay fabricates one ShotResult per executed shot from a completed
+// request's histogram, grouped by outcome in key order (the service
+// aggregates shots rather than streaming them, so per-shot completion
+// order is not preserved). It returns the cancellation cause when ctx
+// expires before the replay drains.
+func (c *Client) replay(ctx context.Context, job *Job, req int, res *Result) error {
+	if !job.streaming.Load() || res == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(res.Histogram))
+	for k := range res.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	shot := 0
+	for _, key := range keys {
+		for n := res.Histogram[key]; n > 0; n-- {
+			sr := ShotResult{Shot: shot, Request: req, Key: key}
+			// Reconstruct measurement records only when the key
+			// unambiguously covers the result's qubit list; a program
+			// whose control flow measures different qubit sets per shot
+			// yields shorter keys, and fabricating zero-valued records
+			// for never-measured qubits would be indistinguishable from
+			// real outcomes.
+			if len(key) == len(res.Qubits) {
+				for i, q := range res.Qubits {
+					bit := 0
+					if key[i] == '1' {
+						bit = 1
+					}
+					sr.Measurements = append(sr.Measurements, Measurement{Qubit: q, Result: bit})
+				}
+			}
+			if err := job.emit(ctx, sr); err != nil {
+				return err
+			}
+			shot++
+		}
+	}
+	return nil
+}
+
+// Run implements Backend as sugar over Submit: a one-request batch,
+// awaited — submitted synchronously (the wire's wait flag), so a run
+// is a single HTTP round-trip with no poll latency. RunOptions.Workers
+// is ignored (the service owns its own fan-out).
+func (c *Client) Run(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
+	job, err := c.submitJob(ctx, false, true, []RunRequest{{Program: p, Options: opts}})
+	if err != nil {
+		return nil, err
+	}
+	return awaitFirst(job)
+}
+
+// RunStream implements Backend as sugar over Submit with the stream
+// attached up front. The service aggregates shots into a histogram
+// rather than streaming them, so the channel stays silent while the
+// job runs remotely and then replays the finished histogram: one
+// ShotResult per executed shot, grouped by outcome in key order. Like
+// the Simulator's stream, the call returns immediately (the submit
+// round-trip happens behind the stream); a failure delivers one final
 // ShotResult with Err set.
 func (c *Client) RunStream(ctx context.Context, p *Program, opts RunOptions) (<-chan ShotResult, error) {
 	if opts.Shots < 0 {
 		return nil, fmt.Errorf("eqasm: negative shot count %d", opts.Shots)
 	}
+	if p == nil {
+		return nil, fmt.Errorf("eqasm: request 0 has no program")
+	}
 	ch := make(chan ShotResult)
 	go func() {
 		defer close(ch)
-		res, err := c.Run(ctx, p, opts)
-		shot := 0
-		if res != nil {
-			keys := make([]string, 0, len(res.Histogram))
-			for k := range res.Histogram {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, key := range keys {
-				for n := res.Histogram[key]; n > 0; n-- {
-					sr := ShotResult{Shot: shot, Key: key}
-					// Reconstruct measurement records only when the key
-					// unambiguously covers the result's qubit list; a
-					// program whose control flow measures different qubit
-					// sets per shot yields shorter keys, and fabricating
-					// zero-valued records for never-measured qubits would
-					// be indistinguishable from real outcomes.
-					if len(key) == len(res.Qubits) {
-						for i, q := range res.Qubits {
-							bit := 0
-							if key[i] == '1' {
-								bit = 1
-							}
-							sr.Measurements = append(sr.Measurements, Measurement{Qubit: q, Result: bit})
-						}
-					}
-					select {
-					case ch <- sr:
-					case <-ctx.Done():
-						sendTerminal(ch, ShotResult{Shot: -1, Err: context.Cause(ctx)})
-						return
-					}
-					shot++
-				}
-			}
-		}
+		// Synchronous submit here too: the terminal response feeds the
+		// replay directly, with no poll round-trips behind the stream.
+		job, err := c.submitJob(ctx, true, true, []RunRequest{{Program: p, Options: opts}})
 		if err != nil {
-			sendTerminal(ch, ShotResult{Shot: -1, Err: err})
+			sendTerminal(ch, ShotResult{Shot: -1, Err: err}, terminalGrace)
+			return
+		}
+		for sr := range job.Stream() {
+			select {
+			case ch <- sr:
+			case <-ctx.Done():
+				// Consumer-side cancellation: stop the remote job and
+				// hand over the terminal message; the poll loop drains
+				// the job channel on its own ctx.
+				job.Cancel()
+				sendTerminal(ch, ShotResult{Shot: -1, Err: context.Cause(ctx)}, terminalGrace)
+				return
+			}
 		}
 	}()
 	return ch, nil
 }
 
-// Submit enqueues the program asynchronously and returns the job
-// ticket; poll with Job or cancel with Cancel.
-func (c *Client) Submit(ctx context.Context, p *Program, opts RunOptions) (*RemoteJob, error) {
-	jr, err := c.submit(ctx, p, opts, false)
-	if err != nil {
-		return nil, err
-	}
-	return jr.toJob(), nil
-}
-
-// Job fetches a job's current state and, once finished, its result.
-func (c *Client) Job(ctx context.Context, id string) (*RemoteJob, error) {
-	var jr jobResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &jr); err != nil {
-		return nil, err
-	}
-	return jr.toJob(), nil
-}
-
-// Cancel stops a queued or running job.
-func (c *Client) Cancel(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
-}
-
 // ServiceStats is a point-in-time snapshot of the service counters.
 type ServiceStats struct {
-	Workers       int     `json:"workers"`
-	WorkersBusy   int     `json:"workers_busy"`
-	QueueDepth    int     `json:"queue_depth"`
-	JobsSubmitted int64   `json:"jobs_submitted"`
-	JobsActive    int64   `json:"jobs_active"`
-	JobsCompleted int64   `json:"jobs_completed"`
-	JobsFailed    int64   `json:"jobs_failed"`
-	JobsCancelled int64   `json:"jobs_cancelled"`
-	JobsRejected  int64   `json:"jobs_rejected"`
-	ShotsExecuted int64   `json:"shots_executed"`
-	BatchesRun    int64   `json:"batches_run"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheEntries  int     `json:"cache_entries"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers           int     `json:"workers"`
+	WorkersBusy       int     `json:"workers_busy"`
+	QueueDepth        int     `json:"queue_depth"`
+	JobsSubmitted     int64   `json:"jobs_submitted"`
+	JobsActive        int64   `json:"jobs_active"`
+	JobsCompleted     int64   `json:"jobs_completed"`
+	JobsFailed        int64   `json:"jobs_failed"`
+	JobsCancelled     int64   `json:"jobs_cancelled"`
+	JobsRejected      int64   `json:"jobs_rejected"`
+	RequestsSubmitted int64   `json:"requests_submitted"`
+	BatchJobs         int64   `json:"batch_jobs"`
+	ShotsExecuted     int64   `json:"shots_executed"`
+	BatchesRun        int64   `json:"batches_run"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheEntries      int     `json:"cache_entries"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
 }
 
 // Stats fetches the service counters.

@@ -15,7 +15,7 @@ import (
 	"eqasm/internal/service"
 )
 
-func newServiceClient(t *testing.T, cfg service.Config) *eqasm.Client {
+func newServiceClient(t *testing.T, cfg service.Config, copts ...eqasm.ClientOption) *eqasm.Client {
 	t.Helper()
 	svc, err := service.New(cfg)
 	if err != nil {
@@ -26,7 +26,12 @@ func newServiceClient(t *testing.T, cfg service.Config) *eqasm.Client {
 		ts.Close()
 		svc.Close()
 	})
-	return eqasm.NewClient(ts.URL, eqasm.WithHTTPClient(ts.Client()))
+	copts = append([]eqasm.ClientOption{
+		eqasm.WithHTTPClient(ts.Client()),
+		// Fast polling keeps the Run/Wait round trips snappy in tests.
+		eqasm.WithPollInterval(2 * time.Millisecond),
+	}, copts...)
+	return eqasm.NewClient(ts.URL, copts...)
 }
 
 func TestClientRunBell(t *testing.T) {
@@ -241,38 +246,43 @@ func TestClientSubmitPollCancel(t *testing.T) {
 		QueueDepth: 100000,
 		BatchShots: 8,
 		Machine:    []eqasm.Option{eqasm.WithSeed(3)},
-	})
+	}, eqasm.WithPollInterval(5*time.Millisecond))
 	prog, err := eqasm.Assemble(shippedPrograms(t)["bell.eqasm"])
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	job, err := client.Submit(ctx, prog, eqasm.RunOptions{Shots: 500000})
+	job, err := client.Submit(ctx, eqasm.RunRequest{
+		Program: prog,
+		Options: eqasm.RunOptions{Shots: 500000},
+		Tag:     "long",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if job.ID == "" || job.Done() {
-		t.Fatalf("submit ticket = %+v", job)
+	if job.ID() == "" {
+		t.Fatal("submitted job has no ID")
 	}
-	if err := client.Cancel(ctx, job.ID); err != nil {
-		t.Fatal(err)
+	select {
+	case <-job.Done():
+		t.Fatal("500k-shot job done at submit time")
+	default:
 	}
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		job, err = client.Job(ctx, job.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if job.Done() {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in %q", job.State)
-		}
-		time.Sleep(5 * time.Millisecond)
+	if _, err := job.Results(); err != eqasm.ErrJobNotDone {
+		t.Fatalf("Results before completion: %v, want ErrJobNotDone", err)
 	}
-	if job.State != "cancelled" {
-		t.Fatalf("state = %q, want cancelled", job.State)
+	job.Cancel()
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if _, err = job.Wait(waitCtx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after Cancel: %v, want context.Canceled", err)
+	}
+	if st := job.Status(); st != eqasm.JobCancelled {
+		t.Fatalf("status = %q, want cancelled", st)
+	}
+	reqs := job.Requests()
+	if len(reqs) != 1 || reqs[0].Tag != "long" || reqs[0].State != eqasm.JobCancelled {
+		t.Fatalf("request statuses = %+v", reqs)
 	}
 
 	// Stats reflect the traffic.
@@ -280,13 +290,8 @@ func TestClientSubmitPollCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.JobsSubmitted != 1 || st.JobsCancelled != 1 {
+	if st.JobsSubmitted != 1 || st.JobsCancelled != 1 || st.RequestsSubmitted != 1 {
 		t.Fatalf("stats = %+v", st)
-	}
-
-	// Unknown jobs are clean errors.
-	if _, err := client.Job(ctx, "job-999999"); err == nil {
-		t.Fatal("unknown job fetched")
 	}
 }
 

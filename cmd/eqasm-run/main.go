@@ -11,11 +11,17 @@
 //
 //	eqasm-run [-topo twoqubit] [-shots N] [-noise] [-trace] prog.eqasm
 //	eqasm-run [-somq] [-schedule alap] [-emit] circuit.cq
+//	eqasm-run -json prog.eqasm
 //	eqasm-run -bin prog.bin
+//
+// -json prints the full eqasm.Result machine-readably (histogram,
+// measured qubits, last-shot stats, summed totals, optional trace)
+// instead of the human-oriented report.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +42,7 @@ func main() {
 	schedName := flag.String("schedule", "asap", "cQASM compile scheduling: asap or alap")
 	emit := flag.Bool("emit", false, "print the compiled eQASM assembly before running (cQASM input)")
 	seed := flag.Int64("seed", 1, "random seed")
+	asJSON := flag.Bool("json", false, "print the full result as JSON (histogram, qubits, stats, totals)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -84,6 +91,19 @@ func main() {
 	sim, err := eqasm.NewSimulator(opts...)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *asJSON {
+		res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: *shots})
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	stream, err := sim.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: *shots})

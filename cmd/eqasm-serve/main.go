@@ -1,9 +1,11 @@
 // Command eqasm-serve exposes the eQASM execution service over HTTP: the
 // classical host of Fig. 1 as a network service. Jobs carry eQASM source
-// or a circuit to compile; the service assembles once (content-hash
-// cache), fans shots over a worker pool of simulated QuMA_v2 machines,
-// and aggregates measurement histograms. The wire protocol lives in
-// internal/httpapi and is spoken by the public eqasm.Client.
+// or a circuit to compile; batches (/v1/batches) carry N programs as one
+// queued unit with per-request histograms. The service assembles once
+// (content-hash cache), fans shots over a worker pool of simulated
+// QuMA_v2 machines, and aggregates measurement histograms. The wire
+// protocol lives in internal/httpapi and is spoken by the public
+// eqasm.Client (Submit/Run/RunStream).
 //
 // Usage:
 //

@@ -43,9 +43,11 @@
 //
 // # Backends
 //
-// A Backend executes bound programs:
+// A Backend executes bound programs; Submit is the primitive and Run /
+// RunStream are sugar over a one-request batch:
 //
-//	Run(ctx, p, RunOptions{Shots: 1000}) → *Result (histogram, stats)
+//	Submit(ctx, RunRequest{...}, ...)   → *Job (Wait/Results/Status/Cancel/Stream)
+//	Run(ctx, p, RunOptions{Shots: 1e3}) → *Result (histogram, stats, totals)
 //	RunStream(ctx, p, opts)             → <-chan ShotResult
 //
 // NewSimulator is the in-process implementation: pooled, reseedable
@@ -58,8 +60,33 @@
 //
 // Execution options (WithSeed, WithNoise, WithCalibratedNoise,
 // WithDensityMatrix, WithDeviceTrace, WithShots, WithWorkers)
-// configure backends; per-call RunOptions override shots, seed and
+// configure backends; per-request RunOptions override shots, seed and
 // fan-out.
+//
+// # Jobs and batches
+//
+// Submit takes any number of RunRequests — program, per-request
+// RunOptions, optional caller tag — and returns immediately with a
+// *Job: a future over one Result per request with live per-request
+// status (Requests), blocking collection (Wait, or Done + Results),
+// cancellation (Cancel, and the Submit ctx governs the whole batch)
+// and a live result feed (Stream; attach before the results you care
+// about complete). Every request executes exactly as an individual Run
+// would — its own shots, seed and worker fan-out, with worker w of a
+// request running at the request's seed + w*SeedStride — so a batch
+// of N requests is bit-identical per request to N individual Run
+// calls; a failing request fails alone and its siblings still run.
+// That makes batches the natural unit for sweeps: seed grids, design
+// knob grids, multi-circuit workloads.
+//
+// On the Simulator the batch runs on an in-process driver goroutine
+// over the machine pool. On the Client the batch travels as one POST
+// /v1/batches round-trip and the service admits, queues and retires it
+// as one unit, returning per-request histograms, per-shot stats and
+// summed TotalStats over the wire; the Job handle polls at the
+// WithPollInterval cadence. Result.Stats holds the last shot's
+// counters (a representative sample), Result.TotalStats the sum over
+// every executed shot.
 //
 // # Execution pipeline
 //

@@ -4,12 +4,20 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs      submit a job ({"source": ..., "shots": N, "wait": true};
-//	                     {"format": "cqasm"} submits circuit text compiled server-side)
-//	GET    /v1/jobs/{id} job status and, once finished, its result
-//	DELETE /v1/jobs/{id} cancel a job
-//	GET    /v1/stats     service counters (queue depth, cache hits, shots/sec inputs)
-//	GET    /healthz      liveness probe
+//	POST   /v1/jobs         submit a job ({"source": ..., "shots": N, "wait": true};
+//	                        {"format": "cqasm"} submits circuit text compiled server-side)
+//	GET    /v1/jobs/{id}    job status and, once finished, its result
+//	DELETE /v1/jobs/{id}    cancel a job
+//	POST   /v1/batches      submit N programs as one queued unit
+//	                        ({"requests": [{"source": ..., "shots": N, "seed": S, "tag": ...}, ...]})
+//	GET    /v1/batches/{id} batch status with per-request statuses, histograms and stats
+//	DELETE /v1/batches/{id} cancel a batch
+//	GET    /v1/stats        service counters (queue depth, cache hits, batch stats)
+//	GET    /healthz         liveness probe
+//
+// Jobs and batches share one ID space: a batch is a job with N
+// requests, and /v1/jobs/{id} describes it too (with per-request
+// results inside "result" once finished).
 package httpapi
 
 import (
@@ -42,6 +50,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleCancelBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -123,6 +134,61 @@ func describeJob(job *service.Job) jobResponse {
 	return resp
 }
 
+// batchRequest is the POST /v1/batches payload: N program requests
+// admitted, queued and retired as one job.
+type batchRequest struct {
+	// Requests are the programs to execute, each with its own shots,
+	// seed and tag.
+	Requests []batchRequestItem `json:"requests"`
+	// Priority orders the whole batch: "low", "normal" (default) or
+	// "high".
+	Priority string `json:"priority,omitempty"`
+	// Wait makes the request synchronous: the response carries every
+	// request's result instead of a queued-batch ticket.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// batchRequestItem is one request of a batch, mirroring the
+// single-job payload minus priority/wait (those are batch-level).
+type batchRequestItem struct {
+	Source  string       `json:"source,omitempty"`
+	Format  string       `json:"format,omitempty"`
+	Circuit *circuitJSON `json:"circuit,omitempty"`
+	Shots   int          `json:"shots,omitempty"`
+	Seed    int64        `json:"seed,omitempty"`
+	Tag     string       `json:"tag,omitempty"`
+	Chip    string       `json:"chip,omitempty"`
+}
+
+// batchResponse describes a batch in every GET/POST response: job
+// identity plus live per-request statuses (histograms and counters
+// included once a request finished).
+type batchResponse struct {
+	ID       string                  `json:"id"`
+	Status   service.State           `json:"status"`
+	Priority string                  `json:"priority"`
+	Requests []service.RequestResult `json:"requests"`
+	Result   *service.Result         `json:"result,omitempty"`
+	Error    string                  `json:"error,omitempty"`
+}
+
+func describeBatch(job *service.Job) batchResponse {
+	resp := batchResponse{
+		ID:       job.ID,
+		Status:   job.Status(),
+		Priority: job.Priority().String(),
+		Requests: job.Requests(),
+	}
+	if resp.Status.Terminal() {
+		res, err := job.Result()
+		resp.Result = res
+		if err != nil {
+			resp.Error = err.Error()
+		}
+	}
+	return resp
+}
+
 // maxRequestBytes bounds a job submission body (programs are text; 8 MiB
 // is orders of magnitude above any real payload).
 const maxRequestBytes = 8 << 20
@@ -175,6 +241,80 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, describeJob(job))
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	prio, err := service.ParsePriority(req.Priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := service.BatchSpec{Priority: prio}
+	for _, item := range req.Requests {
+		rs := service.RequestSpec{
+			Source: item.Source,
+			Format: item.Format,
+			Shots:  item.Shots,
+			Seed:   item.Seed,
+			Tag:    item.Tag,
+			Chip:   item.Chip,
+		}
+		if item.Circuit != nil {
+			rs.Circuit = item.Circuit.toCircuit()
+		}
+		spec.Requests = append(spec.Requests, rs)
+	}
+	// A waiting client that disconnects cancels its batch; an async
+	// batch must outlive the request and is cancelled via DELETE
+	// instead.
+	ctx := context.Background()
+	if req.Wait {
+		ctx = r.Context()
+	}
+	job, err := s.svc.SubmitBatch(ctx, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Wait {
+		if _, err := job.Wait(r.Context()); err != nil && job.Status() == service.StateQueued {
+			// The client went away while the batch was still queued.
+			httpError(w, http.StatusRequestTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, describeBatch(job))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, describeBatch(job))
+}
+
+func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown batch %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, describeBatch(job))
+}
+
+func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown batch %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, describeBatch(job))
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {

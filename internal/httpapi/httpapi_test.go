@@ -280,3 +280,139 @@ func TestCancelJob(t *testing.T) {
 		t.Fatalf("state = %s", job.Status())
 	}
 }
+
+// A /v1/batches submit queues N programs as one job with per-request
+// statuses; polling surfaces per-request histograms and stats, and the
+// wire results match individual /v1/jobs submissions at the same seeds.
+func TestSubmitBatch(t *testing.T) {
+	ts := newTestServer(t)
+	requests := []map[string]any{
+		{"source": service.SmokePrograms()["bell"], "shots": 24, "seed": 7, "tag": "bell"},
+		{"source": service.SmokePrograms()["flip"], "shots": 10, "seed": 3, "tag": "flip"},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batches", map[string]any{"requests": requests})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d: %v", resp.StatusCode, body)
+	}
+	id := field[string](t, body, "id")
+	if n := len(field[[]json.RawMessage](t, body, "requests")); n != 2 {
+		t.Fatalf("submit echoed %d request statuses, want 2", n)
+	}
+
+	// Poll the batch endpoint until terminal.
+	var reqs []service.RequestResult
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/batches/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var br struct {
+			Status   service.State           `json:"status"`
+			Requests []service.RequestResult `json:"requests"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if br.Status.Terminal() {
+			reqs = br.Requests
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch stuck in %q", br.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Each request's wire histogram matches the same program submitted
+	// alone through /v1/jobs (fixed seeds).
+	for i, req := range requests {
+		_, solo := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+			"source": req["source"], "shots": req["shots"], "seed": req["seed"], "wait": true,
+		})
+		var soloRes struct {
+			Histogram map[string]int  `json:"histogram"`
+			Total     eqasm.ExecStats `json:"total_stats"`
+		}
+		if err := json.Unmarshal(solo["result"], &soloRes); err != nil {
+			t.Fatal(err)
+		}
+		rr := reqs[i]
+		if rr.Tag != req["tag"] || rr.Status != service.StateCompleted {
+			t.Fatalf("request %d = %+v", i, rr)
+		}
+		if fmt.Sprint(rr.Histogram) != fmt.Sprint(soloRes.Histogram) {
+			t.Fatalf("request %d: batch %v, solo %v", i, rr.Histogram, soloRes.Histogram)
+		}
+		if rr.TotalStats != soloRes.Total || rr.TotalStats.Instructions == 0 {
+			t.Fatalf("request %d: total stats %+v, solo %+v", i, rr.TotalStats, soloRes.Total)
+		}
+	}
+
+	// Batch traffic shows in the service counters.
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats struct {
+		BatchJobs         int64 `json:"batch_jobs"`
+		RequestsSubmitted int64 `json:"requests_submitted"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BatchJobs != 1 || stats.RequestsSubmitted != 4 {
+		t.Fatalf("stats = %+v, want 1 batch / 4 requests", stats)
+	}
+}
+
+// DELETE /v1/batches/{id} cancels a queued batch; bad batches are
+// positioned 400s.
+func TestBatchCancelAndErrors(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/batches", map[string]any{
+		"requests": []map[string]any{
+			{"source": service.SmokePrograms()["bell"], "shots": 5_000_000},
+		},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d: %v", resp.StatusCode, body)
+	}
+	id := field[string](t, body, "id")
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/batches/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", r.StatusCode)
+	}
+
+	// Malformed batches are 400s with an error body.
+	for _, bad := range []map[string]any{
+		{},                                 // no requests
+		{"requests": []map[string]any{{}}}, // empty request
+		{"requests": []map[string]any{{"source": "STOP"}}, "priority": "urgent"}, // bad priority
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/batches", bad)
+		if resp.StatusCode != http.StatusBadRequest || field[string](t, body, "error") == "" {
+			t.Fatalf("bad batch %v: status %d body %v", bad, resp.StatusCode, body)
+		}
+	}
+
+	// Unknown batch IDs are 404s.
+	r2, err := http.Get(ts.URL + "/v1/batches/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown batch status = %d", r2.StatusCode)
+	}
+}

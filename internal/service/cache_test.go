@@ -59,15 +59,15 @@ func TestProgramCacheDuplicatePutKeepsResident(t *testing.T) {
 }
 
 func TestCacheKeyDistinguishesContent(t *testing.T) {
-	k1, err := JobSpec{Source: "X S0\nSTOP"}.cacheKey()
+	k1, err := RequestSpec{Source: "X S0\nSTOP"}.cacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, err := JobSpec{Source: "Y S0\nSTOP"}.cacheKey()
+	k2, err := RequestSpec{Source: "Y S0\nSTOP"}.cacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
-	k3, err := JobSpec{Source: "X S0\nSTOP"}.cacheKey()
+	k3, err := RequestSpec{Source: "X S0\nSTOP"}.cacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}

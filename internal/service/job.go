@@ -47,7 +47,7 @@ func (p Priority) String() string {
 	return "normal"
 }
 
-// Format names the language of a JobSpec's Source text.
+// Format names the language of a request's Source text.
 const (
 	// FormatEQASM is eQASM assembly (the default; "" means the same).
 	FormatEQASM = "eqasm"
@@ -56,8 +56,8 @@ const (
 	FormatCQASM = "cqasm"
 )
 
-// JobSpec describes one execution request.
-type JobSpec struct {
+// RequestSpec describes one program execution within a batch job.
+type RequestSpec struct {
 	// Source is program text in the language named by Format. Exactly
 	// one of Source and Circuit must be set.
 	Source string
@@ -69,57 +69,127 @@ type JobSpec struct {
 	Circuit *eqasm.Circuit
 	// Shots is the number of repetitions; default 1.
 	Shots int
-	// Priority orders the job against others in the queue.
-	Priority Priority
 	// Seed, when nonzero, replaces the service's base seed for this
-	// job's random streams (batch i runs at Seed + i*1e6+3). Must be
-	// non-negative: a negative base could derive a batch seed of
-	// exactly 0, which the execution backend reads as "use the
-	// default", breaking per-batch reproducibility.
+	// request's random streams (shot batch i runs at Seed +
+	// i*eqasm.SeedStride). Must be non-negative: a negative base could
+	// derive a batch seed of exactly 0, which the execution backend
+	// reads as "use the default", breaking reproducibility. Because a
+	// request splits into shot batches exactly as a single-request job
+	// with the same shot count would, its results are bit-identical
+	// whether it is submitted alone or inside a batch.
 	Seed int64
+	// Tag is an opaque caller label echoed back in statuses and
+	// results.
+	Tag string
 	// Chip, when set, names the topology the program was built for;
-	// the service rejects the job if it runs a different chip, so a
+	// the service rejects the batch if it runs a different chip, so a
 	// program bound elsewhere cannot silently execute with different
 	// semantics.
 	Chip string
 }
 
-// MaxJobShots bounds a single job's shot count: large enough for any
-// real tomography or RB campaign, small enough that batch arithmetic
-// cannot overflow and one job cannot monopolize the pool indefinitely.
+// BatchSpec describes a batch job: N program requests admitted,
+// queued and retired as one unit, with per-request histograms.
+type BatchSpec struct {
+	// Requests are the programs to execute; 1..MaxBatchRequests.
+	Requests []RequestSpec
+	// Priority orders the whole batch against other jobs in the queue.
+	Priority Priority
+}
+
+// JobSpec describes a single-program job — the classic surface, now
+// sugar over a one-request BatchSpec.
+type JobSpec struct {
+	Source   string
+	Format   string
+	Circuit  *eqasm.Circuit
+	Shots    int
+	Priority Priority
+	Seed     int64
+	Chip     string
+}
+
+// batch lifts the single-program spec into the batch shape every job
+// uses internally.
+func (spec JobSpec) batch() BatchSpec {
+	return BatchSpec{
+		Priority: spec.Priority,
+		Requests: []RequestSpec{{
+			Source:  spec.Source,
+			Format:  spec.Format,
+			Circuit: spec.Circuit,
+			Shots:   spec.Shots,
+			Seed:    spec.Seed,
+			Chip:    spec.Chip,
+		}},
+	}
+}
+
+// MaxJobShots bounds a single request's shot count: large enough for
+// any real tomography or RB campaign, small enough that batch
+// arithmetic cannot overflow and one request cannot monopolize the
+// pool indefinitely.
 const MaxJobShots = 100_000_000
 
-func (spec JobSpec) validate() error {
+// MaxBatchRequests bounds one batch's request count (sweep grids are
+// hundreds of points; the queue is the real limiter beyond that).
+const MaxBatchRequests = 1024
+
+func (spec RequestSpec) validate(i int) error {
+	fail := func(err error) error {
+		return fmt.Errorf("service: request %d: %w", i, err)
+	}
 	if (spec.Source == "") == (spec.Circuit == nil) {
-		return errors.New("service: job needs exactly one of Source or Circuit")
+		return fail(errors.New("needs exactly one of Source or Circuit"))
 	}
 	switch spec.Format {
 	case "", FormatEQASM:
 	case FormatCQASM:
 		if spec.Circuit != nil {
-			return errors.New("service: format applies to Source text, not Circuit jobs")
+			return fail(errors.New("format applies to Source text, not Circuit jobs"))
 		}
 	default:
-		return fmt.Errorf("service: unknown format %q (valid: %s, %s)",
-			spec.Format, FormatEQASM, FormatCQASM)
+		return fail(fmt.Errorf("unknown format %q (valid: %s, %s)",
+			spec.Format, FormatEQASM, FormatCQASM))
 	}
 	if spec.Shots < 0 {
-		return fmt.Errorf("service: negative shot count %d", spec.Shots)
+		return fail(fmt.Errorf("negative shot count %d", spec.Shots))
 	}
 	if spec.Shots > MaxJobShots {
-		return fmt.Errorf("service: shot count %d exceeds the per-job limit %d",
-			spec.Shots, MaxJobShots)
+		return fail(fmt.Errorf("shot count %d exceeds the per-request limit %d",
+			spec.Shots, MaxJobShots))
 	}
 	if spec.Seed < 0 {
-		return fmt.Errorf("service: negative seed %d", spec.Seed)
+		return fail(fmt.Errorf("negative seed %d", spec.Seed))
 	}
 	return nil
 }
 
-func (spec JobSpec) withDefaults() JobSpec {
-	if spec.Shots == 0 {
-		spec.Shots = 1
+func (spec BatchSpec) validate() error {
+	if len(spec.Requests) == 0 {
+		return errors.New("service: empty batch")
 	}
+	if len(spec.Requests) > MaxBatchRequests {
+		return fmt.Errorf("service: batch of %d requests exceeds the limit %d",
+			len(spec.Requests), MaxBatchRequests)
+	}
+	for i, r := range spec.Requests {
+		if err := r.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (spec BatchSpec) withDefaults() BatchSpec {
+	reqs := make([]RequestSpec, len(spec.Requests))
+	copy(reqs, spec.Requests)
+	for i := range reqs {
+		if reqs[i].Shots == 0 {
+			reqs[i].Shots = 1
+		}
+	}
+	spec.Requests = reqs
 	return spec
 }
 
@@ -127,8 +197,9 @@ func (spec JobSpec) withDefaults() JobSpec {
 // cached: the source text prefixed by its format, or a canonical
 // rendering of the circuit. cQASM and eQASM sources hash into disjoint
 // keys, so compiled circuits are cached alongside assembled programs
-// without collisions.
-func (spec JobSpec) cacheKey() (string, error) {
+// without collisions. Requests of one batch that hash alike share one
+// program (and one execution plan).
+func (spec RequestSpec) cacheKey() (string, error) {
 	h := sha256.New()
 	switch {
 	case spec.Circuit != nil:
@@ -146,7 +217,7 @@ func (spec JobSpec) cacheKey() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// State is a job's lifecycle phase.
+// State is a job's (or one request's) lifecycle phase.
 type State string
 
 const (
@@ -162,24 +233,67 @@ func (s State) Terminal() bool {
 	return s == StateCompleted || s == StateFailed || s == StateCancelled
 }
 
-// Result is a finished job's aggregate outcome.
+// RequestResult is one request's status and, once finished, outcome
+// inside a batch job. It doubles as the live per-request status
+// snapshot (Job.Requests) and the wire format of /v1/batches.
+type RequestResult struct {
+	// Index is the request's position in the batch.
+	Index int `json:"index"`
+	// Tag echoes RequestSpec.Tag.
+	Tag string `json:"tag,omitempty"`
+	// Status is the request's lifecycle phase.
+	Status State `json:"status"`
+	// Shots counts this request's executed shots so far.
+	Shots int `json:"shots"`
+	// Histogram counts this request's measurement outcomes (same key
+	// scheme as Result.Histogram).
+	Histogram map[string]int `json:"histogram,omitempty"`
+	// Qubits lists the request's measured qubits, ascending.
+	Qubits []int `json:"qubits,omitempty"`
+	// Stats are the counters of the request's last executed shot.
+	Stats eqasm.ExecStats `json:"stats"`
+	// TotalStats sums the counters of every executed shot.
+	TotalStats eqasm.ExecStats `json:"total_stats"`
+	// CacheHit reports that the request's program came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// RunTime spans the request's first batch start to its last batch
+	// end (still growing while the request runs).
+	RunTime time.Duration `json:"run_ns"`
+	// Error is the request's failure or cancellation message.
+	Error string `json:"error,omitempty"`
+}
+
+// Result is a finished job's aggregate outcome. Requests always carries
+// the per-request results; the top-level Histogram/Qubits/Stats mirror
+// request 0 for single-request jobs (the classic surface) and are empty
+// for multi-request batches, whose outcomes are per request.
 type Result struct {
 	JobID string `json:"job_id"`
-	// Shots is the number of shots actually executed (less than
-	// requested when the job was cancelled mid-run).
+	// Shots is the number of shots actually executed, summed across
+	// requests (less than requested when the job was cancelled
+	// mid-run).
 	Shots int `json:"shots"`
-	// Histogram counts measurement outcomes. Keys are bitstrings over
-	// the measured qubits in ascending qubit order (the last result per
-	// qubit within a shot); a program that measures nothing contributes
-	// to the "" key.
+	// Histogram counts measurement outcomes of a single-request job.
+	// Keys are bitstrings over the measured qubits in ascending qubit
+	// order (the last result per qubit within a shot); a program that
+	// measures nothing contributes to the "" key.
 	Histogram map[string]int `json:"histogram"`
 	// Qubits lists the measured qubits, ascending — the bit order of
-	// the histogram keys.
+	// the histogram keys (single-request jobs).
 	Qubits []int `json:"qubits,omitempty"`
-	// CacheHit reports that the assembled program came from the cache.
+	// Stats are the counters of the last executed shot (single-request
+	// jobs; see Requests for batches).
+	Stats eqasm.ExecStats `json:"stats"`
+	// TotalStats sums every executed shot's counters across all
+	// requests.
+	TotalStats eqasm.ExecStats `json:"total_stats"`
+	// Requests are the per-request outcomes, in batch order.
+	Requests []RequestResult `json:"requests"`
+	// CacheHit reports that every request's program came from the
+	// cache.
 	CacheHit bool `json:"cache_hit"`
 	// AssembleTime is the assembly/compilation cost paid by this job
-	// (zero on a cache hit).
+	// (zero on cache hits), summed across requests.
 	AssembleTime time.Duration `json:"assemble_ns"`
 	// QueueTime spans submit to first batch start.
 	QueueTime time.Duration `json:"queue_ns"`
@@ -190,18 +304,48 @@ type Result struct {
 	FinishedAt time.Time `json:"finished_at"`
 }
 
-// Job is the handle of a submitted job: a future over Result.
-type Job struct {
-	ID string
-
-	spec         JobSpec
-	seq          int64
-	svc          *Service
+// requestRun is the mutable execution state of one request (guarded by
+// the job mutex, except the skip flag the workers read lock-free).
+type requestRun struct {
+	spec         RequestSpec
 	program      *eqasm.Program
 	cacheHit     bool
 	assembleTime time.Duration
-	submitted    time.Time
-	stopWatch    func() bool
+
+	// skip makes workers drop this request's queued batches after a
+	// failure without touching the job mutex.
+	skip atomic.Bool
+
+	// runCtx is this request's slice of the job run context: cancelled
+	// when the request fails, so its own in-flight batches stop at the
+	// next shot boundary while sibling requests keep running (a
+	// job-level cancel propagates through the parent context).
+	runCtx    context.Context
+	cancelRun context.CancelCauseFunc
+
+	state     State
+	remaining int // outstanding shot batches
+	started   time.Time
+	finished  time.Time
+	shotsRun  int
+	hist      map[string]int
+	qubits    []int
+	stats     eqasm.ExecStats
+	statsIdx  int // highest batch index that contributed stats
+	total     eqasm.ExecStats
+	err       error
+}
+
+// Job is the handle of a submitted job: a future over Result with
+// per-request state.
+type Job struct {
+	ID string
+
+	priority  Priority
+	seq       int64
+	svc       *Service
+	submitted time.Time
+	stopWatch func() bool
 
 	// runCtx is cancelled (with the job's cause) when the job stops:
 	// the execution backend checks it between shots, so running
@@ -209,48 +353,111 @@ type Job struct {
 	runCtx    context.Context
 	cancelRun context.CancelCauseFunc
 
-	// cancelled mirrors err != nil for the workers' queue-skip check;
-	// an atomic read keeps the dispatch path off the job mutex.
+	// cancelled mirrors the job-level cancellation for the workers'
+	// queue-skip check; an atomic read keeps the dispatch path off the
+	// job mutex.
 	cancelled atomic.Bool
 
 	mu        sync.Mutex
 	state     State
 	started   time.Time
 	finished  time.Time
-	remaining int
-	shotsRun  int
-	hist      map[string]int
-	qubits    []int
-	err       error
-	result    *Result
-	done      chan struct{}
+	remaining int // outstanding shot batches across all requests
+	reqs      []*requestRun
+	// err is the job's first failure (a request error or the
+	// cancellation cause); cancelCause is set only by a job-level
+	// cancel, so curtailed sibling requests report why they stopped
+	// rather than inheriting another request's fault.
+	err         error
+	cancelCause error
+	result      *Result
+	done        chan struct{}
 }
 
-// batch is one unit of work handed to a worker.
+// batch is one unit of work handed to a worker: a shot range of one
+// request.
 type batch struct {
 	job   *Job
+	req   int
 	index int
 	shots int
 }
 
-// split partitions the job's shots into worker batches.
-func (j *Job) split(batchShots int) []*batch {
+// split partitions every request's shots into worker batches. Each
+// request is split independently — batch size scales with the
+// request's own shot count exactly as a single-request job's would —
+// so per-request seed derivation (and therefore results) are
+// bit-identical whether the request is submitted alone or in a batch.
+func (j *Job) split(cfg Config) []*batch {
+	maxBatches := min(cfg.MaxJobBatches, cfg.QueueDepth)
 	var out []*batch
-	for start, i := 0, 0; start < j.spec.Shots; start, i = start+batchShots, i+1 {
-		n := min(batchShots, j.spec.Shots-start)
-		out = append(out, &batch{job: j, index: i, shots: n})
+	for r, req := range j.reqs {
+		batchShots := max(cfg.BatchShots,
+			(req.spec.Shots+maxBatches-1)/maxBatches)
+		n := 0
+		for start, i := 0, 0; start < req.spec.Shots; start, i = start+batchShots, i+1 {
+			out = append(out, &batch{job: j, req: r, index: i,
+				shots: min(batchShots, req.spec.Shots-start)})
+			n++
+		}
+		req.remaining = n
 	}
 	return out
 }
 
 // Priority returns the job's queue priority.
-func (j *Job) Priority() Priority { return j.spec.Priority }
+func (j *Job) Priority() Priority { return j.priority }
 
 // Status returns the job's current lifecycle state.
 func (j *Job) Status() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// NumRequests returns the batch width.
+func (j *Job) NumRequests() int { return len(j.reqs) }
+
+// Requests snapshots the live per-request statuses (histograms and
+// counters included, partial while the request runs).
+func (j *Job) Requests() []RequestResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]RequestResult, len(j.reqs))
+	for i, r := range j.reqs {
+		out[i] = r.snapshot(i)
+	}
+	return out
+}
+
+// snapshot renders one request's state; j.mu held.
+func (r *requestRun) snapshot(i int) RequestResult {
+	rr := RequestResult{
+		Index:      i,
+		Tag:        r.spec.Tag,
+		Status:     r.state,
+		Shots:      r.shotsRun,
+		Qubits:     r.qubits,
+		Stats:      r.stats,
+		TotalStats: r.total,
+		CacheHit:   r.cacheHit,
+	}
+	switch {
+	case !r.finished.IsZero():
+		rr.RunTime = r.finished.Sub(r.started)
+	case !r.started.IsZero():
+		rr.RunTime = time.Since(r.started)
+	}
+	if len(r.hist) > 0 {
+		rr.Histogram = make(map[string]int, len(r.hist))
+		for k, v := range r.hist {
+			rr.Histogram[k] = v
+		}
+	}
+	if r.err != nil {
+		rr.Error = r.err.Error()
+	}
+	return rr
 }
 
 // Done is closed when the job reaches a terminal state.
@@ -272,10 +479,7 @@ func (j *Job) Result() (*Result, error) {
 	if !j.state.Terminal() {
 		return nil, ErrNotDone
 	}
-	if j.err != nil {
-		return j.result, j.err
-	}
-	return j.result, nil
+	return j.result, j.err
 }
 
 // Wait blocks until the job finishes or ctx expires. A ctx expiry does
@@ -292,54 +496,85 @@ func (j *Job) Wait(ctx context.Context) (*Result, error) {
 	}
 }
 
-// Cancel stops the job: queued batches are skipped and running batches
-// stop at the next shot boundary. Safe to call at any time.
+// Cancel stops the whole job: queued batches are skipped and running
+// batches stop at the next shot boundary. Safe to call at any time.
 func (j *Job) Cancel() { j.cancel(context.Canceled) }
 
 func (j *Job) cancel(cause error) {
 	j.mu.Lock()
-	if j.state.Terminal() || j.err != nil {
+	// Guard on the cancelled flag, not on j.err: a request failure sets
+	// j.err while its siblings deliberately keep running, and a later
+	// Cancel must still be able to stop them.
+	if j.state.Terminal() || j.cancelled.Load() {
 		j.mu.Unlock()
 		return
 	}
 	if cause == nil {
 		cause = context.Canceled
 	}
-	j.err = cause
+	j.cancelCause = cause
+	if j.err == nil {
+		j.err = cause
+	}
 	j.cancelled.Store(true)
 	j.mu.Unlock()
 	j.cancelRun(cause)
 }
 
-// isCancelled is the workers' fast check before starting a batch.
+// isCancelled is the workers' fast job-level check before starting a
+// batch.
 func (j *Job) isCancelled() bool { return j.cancelled.Load() }
 
-// startBatch transitions the job to running on its first batch.
-func (j *Job) startBatch() {
+// startBatch transitions the job (and the batch's request) to running.
+func (j *Job) startBatch(b *batch) {
 	j.mu.Lock()
 	if j.state == StateQueued {
 		j.state = StateRunning
 		j.started = time.Now()
 	}
+	if r := j.reqs[b.req]; r.state == StateQueued {
+		r.state = StateRunning
+		r.started = time.Now()
+	}
 	j.mu.Unlock()
 }
 
-// finishBatch merges one batch's outcome; the final batch finalizes the
-// job.
-func (j *Job) finishBatch(shotsRun int, hist map[string]int, qubits []int, err error) {
+// finishBatch merges one shot batch's outcome into its request; the
+// final batch of a request settles the request, the final batch of the
+// job finalizes it. A request failure skips that request's remaining
+// batches but leaves sibling requests running.
+func (j *Job) finishBatch(b *batch, res *eqasm.Result, err error) {
 	j.mu.Lock()
-	j.shotsRun += shotsRun
-	for k, v := range hist {
-		j.hist[k] += v
-	}
-	if j.qubits == nil && len(qubits) > 0 {
-		j.qubits = qubits
+	r := j.reqs[b.req]
+	if res != nil {
+		r.shotsRun += res.Shots
+		for k, v := range res.Histogram {
+			if r.hist == nil {
+				r.hist = make(map[string]int, len(res.Histogram))
+			}
+			r.hist[k] += v
+		}
+		if r.qubits == nil && len(res.Qubits) > 0 {
+			r.qubits = res.Qubits
+		}
+		if res.Shots > 0 && b.index >= r.statsIdx {
+			r.stats = res.Stats
+			r.statsIdx = b.index
+		}
+		r.total.Add(res.TotalStats)
 	}
 	var failed error
+	if err != nil && r.err == nil {
+		r.err = err
+		r.skip.Store(true)
+		failed = err
+	}
 	if err != nil && j.err == nil {
 		j.err = err
-		j.cancelled.Store(true)
-		failed = err
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		r.settleLocked(j)
 	}
 	j.remaining--
 	last := j.remaining == 0
@@ -348,11 +583,38 @@ func (j *Job) finishBatch(shotsRun int, hist map[string]int, qubits []int, err e
 	}
 	j.mu.Unlock()
 	if failed != nil {
-		j.cancelRun(failed) // sibling batches stop early
+		r.cancelRun(failed) // the request's in-flight batches stop early
 	}
 	if last {
 		j.svc.retire(j)
 	}
+}
+
+// settleLocked computes a request's terminal state; j.mu held.
+func (r *requestRun) settleLocked(j *Job) {
+	r.finished = time.Now()
+	if r.started.IsZero() {
+		r.started = r.finished
+	}
+	switch {
+	case r.err != nil && isCancellation(r.err):
+		r.state = StateCancelled
+	case r.err != nil:
+		r.state = StateFailed
+	case j.isCancelled() && r.shotsRun < r.spec.Shots:
+		// The job was cancelled before this request ran out its shots.
+		r.state = StateCancelled
+		r.err = j.cancelCause
+		if r.err == nil {
+			r.err = j.err
+		}
+	default:
+		r.state = StateCompleted
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // finalizeLocked computes the terminal state and result; j.mu held.
@@ -365,28 +627,44 @@ func (j *Job) finalizeLocked() {
 	case j.err == nil:
 		j.state = StateCompleted
 		j.svc.metrics.jobsCompleted.Add(1)
-	case errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded):
+	case isCancellation(j.err):
 		j.state = StateCancelled
 		j.svc.metrics.jobsCancelled.Add(1)
 	default:
 		j.state = StateFailed
 		j.svc.metrics.jobsFailed.Add(1)
 	}
-	j.result = &Result{
-		JobID:        j.ID,
-		Shots:        j.shotsRun,
-		Histogram:    j.hist,
-		Qubits:       j.qubits,
-		CacheHit:     j.cacheHit,
-		AssembleTime: j.assembleTime,
-		QueueTime:    j.started.Sub(j.submitted),
-		RunTime:      j.finished.Sub(j.started),
-		StartedAt:    j.started,
-		FinishedAt:   j.finished,
+	res := &Result{
+		JobID:     j.ID,
+		CacheHit:  true,
+		QueueTime: j.started.Sub(j.submitted),
+		RunTime:   j.finished.Sub(j.started),
+		StartedAt: j.started, FinishedAt: j.finished,
+		Requests: make([]RequestResult, len(j.reqs)),
 	}
+	for i, r := range j.reqs {
+		res.Requests[i] = r.snapshot(i)
+		res.Shots += r.shotsRun
+		res.TotalStats.Add(r.total)
+		res.CacheHit = res.CacheHit && r.cacheHit
+		res.AssembleTime += r.assembleTime
+	}
+	if len(j.reqs) == 1 {
+		r := j.reqs[0]
+		res.Histogram = res.Requests[0].Histogram
+		res.Qubits = r.qubits
+		res.Stats = r.stats
+	}
+	if res.Histogram == nil {
+		res.Histogram = map[string]int{}
+	}
+	j.result = res
 	if j.stopWatch != nil {
 		j.stopWatch()
 	}
-	j.cancelRun(nil) // release the run context's resources
+	for _, r := range j.reqs {
+		r.cancelRun(nil)
+	}
+	j.cancelRun(nil) // release the run contexts' resources
 	close(j.done)
 }

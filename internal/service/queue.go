@@ -76,11 +76,14 @@ func (h batchHeap) Len() int { return len(h) }
 
 func (h batchHeap) Less(i, j int) bool {
 	a, b := h[i], h[j]
-	if a.job.spec.Priority != b.job.spec.Priority {
-		return a.job.spec.Priority > b.job.spec.Priority
+	if a.job.priority != b.job.priority {
+		return a.job.priority > b.job.priority
 	}
 	if a.job.seq != b.job.seq {
 		return a.job.seq < b.job.seq
+	}
+	if a.req != b.req {
+		return a.req < b.req
 	}
 	return a.index < b.index
 }

@@ -3,7 +3,7 @@ package service
 import "testing"
 
 func testJob(seq int64, prio Priority) *Job {
-	return &Job{seq: seq, spec: JobSpec{Priority: prio}}
+	return &Job{seq: seq, priority: prio}
 }
 
 func TestQueueOrdering(t *testing.T) {

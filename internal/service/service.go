@@ -2,11 +2,15 @@
 // classical host's serving layer of Fig. 1, grown into a job service.
 // Clients submit eQASM source, cQASM circuit text (Format "cqasm",
 // compiled server-side through the pass pipeline) or hardware-
-// independent circuit structures; the service assembles or compiles
-// each program once and caches the result by content hash, and a
-// bounded pool of workers fans every job's shots out as batches over
-// independent QuMA_v2 machines, aggregating the measurement outcomes
-// into a histogram.
+// independent circuit structures — one program per job (Submit) or N
+// programs as one batch job (SubmitBatch) with per-request histograms
+// and statuses. The service assembles or compiles each program once
+// and caches the result by content hash, and a bounded pool of workers
+// fans every request's shots out as batches over independent QuMA_v2
+// machines, aggregating the measurement outcomes into per-request
+// histograms. Each request splits and derives its seeds independently
+// of its batch position, so results are bit-identical whether a
+// program is submitted alone or inside a batch.
 //
 // Concurrency model (the shared-mutable-state audit of the stack):
 //
@@ -133,17 +137,19 @@ type Service struct {
 
 // metrics are the service's atomic counters and gauges.
 type metrics struct {
-	jobsSubmitted atomic.Int64
-	jobsCompleted atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCancelled atomic.Int64
-	jobsRejected  atomic.Int64
-	shotsExecuted atomic.Int64
-	batchesRun    atomic.Int64
-	workersBusy   atomic.Int64
-	runNs         atomic.Int64
-	planHits      atomic.Int64
-	planMisses    atomic.Int64
+	jobsSubmitted     atomic.Int64
+	jobsCompleted     atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsCancelled     atomic.Int64
+	jobsRejected      atomic.Int64
+	requestsSubmitted atomic.Int64
+	batchJobs         atomic.Int64
+	shotsExecuted     atomic.Int64
+	batchesRun        atomic.Int64
+	workersBusy       atomic.Int64
+	runNs             atomic.Int64
+	planHits          atomic.Int64
+	planMisses        atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -157,11 +163,16 @@ type Stats struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
 	JobsRejected  int64 `json:"jobs_rejected"`
-	ShotsExecuted int64 `json:"shots_executed"`
-	BatchesRun    int64 `json:"batches_run"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	CacheEntries  int   `json:"cache_entries"`
+	// RequestsSubmitted counts program requests across all jobs (a
+	// batch of N adds N); BatchJobs counts jobs submitted with more
+	// than one request.
+	RequestsSubmitted int64 `json:"requests_submitted"`
+	BatchJobs         int64 `json:"batch_jobs"`
+	ShotsExecuted     int64 `json:"shots_executed"`
+	BatchesRun        int64 `json:"batches_run"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEntries      int   `json:"cache_entries"`
 	// PlanCacheHits/Misses count execution-plan reuse: a job whose
 	// program already carried its lowered decode-once plan (built once
 	// per cached program, shared by every batch and pooled machine)
@@ -201,18 +212,31 @@ func New(cfg Config) (*Service, error) {
 }
 
 // Submit validates, resolves (assembling or compiling through the
-// cache), and enqueues a job, returning immediately with its handle.
-// ctx cancellation propagates to the job for its whole lifetime: a
-// deadline that expires while the job is queued or running cancels it.
+// cache), and enqueues a single-program job, returning immediately with
+// its handle — sugar over a one-request SubmitBatch. ctx cancellation
+// propagates to the job for its whole lifetime: a deadline that expires
+// while the job is queued or running cancels it.
 func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	return s.SubmitBatch(ctx, spec.batch())
+}
+
+// SubmitBatch validates, resolves and enqueues a batch of requests as
+// one job: one queue admission, one retirement, per-request histograms
+// and statuses. Every request splits into shot batches exactly as a
+// single-request job with the same shot count would, so per-request
+// results are bit-identical to submitting each request on its own (at
+// the same seeds). ctx cancellation propagates to the whole batch.
+func (s *Service) SubmitBatch(ctx context.Context, spec BatchSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		s.metrics.jobsRejected.Add(1)
 		return nil, err
 	}
-	if spec.Chip != "" && spec.Chip != s.sim.Chip() {
-		s.metrics.jobsRejected.Add(1)
-		return nil, fmt.Errorf("service: job targets chip %q, this service runs %q",
-			spec.Chip, s.sim.Chip())
+	for i, r := range spec.Requests {
+		if r.Chip != "" && r.Chip != s.sim.Chip() {
+			s.metrics.jobsRejected.Add(1)
+			return nil, fmt.Errorf("service: request %d targets chip %q, this service runs %q",
+				i, r.Chip, s.sim.Chip())
+		}
 	}
 	spec = spec.withDefaults()
 	s.mu.Lock()
@@ -223,34 +247,55 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	}
 	s.mu.Unlock()
 
-	prog, cacheHit, assembleTime, err := s.resolve(spec)
-	if err != nil {
-		s.metrics.jobsRejected.Add(1)
-		return nil, err
+	reqs := make([]*requestRun, len(spec.Requests))
+	for i, rs := range spec.Requests {
+		prog, cacheHit, assembleTime, err := s.resolve(rs)
+		if err != nil {
+			s.metrics.jobsRejected.Add(1)
+			if len(spec.Requests) > 1 {
+				err = fmt.Errorf("request %d: %w", i, err)
+			}
+			return nil, err
+		}
+		reqs[i] = &requestRun{
+			spec:         rs,
+			program:      prog,
+			cacheHit:     cacheHit,
+			assembleTime: assembleTime,
+			state:        StateQueued,
+		}
 	}
 
 	seq := s.jobSeq.Add(1)
 	job := &Job{
-		ID:           fmt.Sprintf("job-%06d", seq),
-		spec:         spec,
-		seq:          seq,
-		svc:          s,
-		program:      prog,
-		cacheHit:     cacheHit,
-		assembleTime: assembleTime,
-		submitted:    time.Now(),
-		state:        StateQueued,
-		hist:         map[string]int{},
-		done:         make(chan struct{}),
+		ID:        fmt.Sprintf("job-%06d", seq),
+		priority:  spec.Priority,
+		seq:       seq,
+		svc:       s,
+		submitted: time.Now(),
+		state:     StateQueued,
+		reqs:      reqs,
+		done:      make(chan struct{}),
 	}
 	job.runCtx, job.cancelRun = context.WithCancelCause(context.Background())
-	// Scale the batch size up for big jobs so no job needs more than
-	// MaxJobBatches queue slots — and never more than the queue can
-	// hold at all, so every job is admissible once the queue drains.
-	maxBatches := min(s.cfg.MaxJobBatches, s.cfg.QueueDepth)
-	batchShots := max(s.cfg.BatchShots,
-		(spec.Shots+maxBatches-1)/maxBatches)
-	batches := job.split(batchShots)
+	for _, r := range reqs {
+		r.runCtx, r.cancelRun = context.WithCancelCause(job.runCtx)
+	}
+	batches := job.split(s.cfg)
+	// Each request's split is position-independent (that is what makes
+	// batch results bit-identical to solo submissions), so a batch of
+	// many huge requests can legitimately need more slots than the
+	// queue holds — reject it explicitly rather than letting the
+	// all-or-nothing push fail forever on an idle service.
+	if len(batches) > s.cfg.QueueDepth {
+		job.cancelRun(nil)
+		for _, r := range reqs {
+			r.cancelRun(nil)
+		}
+		s.metrics.jobsRejected.Add(1)
+		return nil, fmt.Errorf("%w: batch of %d requests needs %d queue slots, queue holds %d (split the batch or raise QueueDepth)",
+			ErrQueueFull, len(reqs), len(batches), s.cfg.QueueDepth)
+	}
 	job.remaining = len(batches)
 	// Wire ctx cancellation before any batch can run, so finalize never
 	// races the watcher's installation.
@@ -276,6 +321,10 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	s.mu.Unlock()
 
 	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.requestsSubmitted.Add(int64(len(reqs)))
+	if len(reqs) > 1 {
+		s.metrics.batchJobs.Add(1)
+	}
 	return job, nil
 }
 
@@ -297,12 +346,13 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// resolve turns a spec into an assembled program via the content cache.
-// The program's decode-once execution plan is built here too — at
-// submit time, never on the shot hot path — and cached alongside the
-// source on the program object itself, so a cache-resident program
-// plans exactly once for all jobs and batches that hash to it.
-func (s *Service) resolve(spec JobSpec) (prog *eqasm.Program, hit bool, d time.Duration, err error) {
+// resolve turns a request spec into an assembled program via the
+// content cache. The program's decode-once execution plan is built here
+// too — at submit time, never on the shot hot path — and cached
+// alongside the source on the program object itself, so a
+// cache-resident program plans exactly once for all jobs and batches
+// that hash to it.
+func (s *Service) resolve(spec RequestSpec) (prog *eqasm.Program, hit bool, d time.Duration, err error) {
 	key, err := spec.cacheKey()
 	if err != nil {
 		return nil, false, 0, err
@@ -377,23 +427,25 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	hits, misses, entries := s.cache.stats()
 	return Stats{
-		Workers:         s.cfg.Workers,
-		WorkersBusy:     int(s.metrics.workersBusy.Load()),
-		QueueDepth:      s.queue.depth(),
-		JobsSubmitted:   s.metrics.jobsSubmitted.Load(),
-		JobsActive:      active,
-		JobsCompleted:   s.metrics.jobsCompleted.Load(),
-		JobsFailed:      s.metrics.jobsFailed.Load(),
-		JobsCancelled:   s.metrics.jobsCancelled.Load(),
-		JobsRejected:    s.metrics.jobsRejected.Load(),
-		ShotsExecuted:   s.metrics.shotsExecuted.Load(),
-		BatchesRun:      s.metrics.batchesRun.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEntries:    entries,
-		PlanCacheHits:   s.metrics.planHits.Load(),
-		PlanCacheMisses: s.metrics.planMisses.Load(),
-		RunNs:           s.metrics.runNs.Load(),
+		Workers:           s.cfg.Workers,
+		WorkersBusy:       int(s.metrics.workersBusy.Load()),
+		QueueDepth:        s.queue.depth(),
+		JobsSubmitted:     s.metrics.jobsSubmitted.Load(),
+		JobsActive:        active,
+		JobsCompleted:     s.metrics.jobsCompleted.Load(),
+		JobsFailed:        s.metrics.jobsFailed.Load(),
+		JobsCancelled:     s.metrics.jobsCancelled.Load(),
+		JobsRejected:      s.metrics.jobsRejected.Load(),
+		RequestsSubmitted: s.metrics.requestsSubmitted.Load(),
+		BatchJobs:         s.metrics.batchJobs.Load(),
+		ShotsExecuted:     s.metrics.shotsExecuted.Load(),
+		BatchesRun:        s.metrics.batchesRun.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      entries,
+		PlanCacheHits:     s.metrics.planHits.Load(),
+		PlanCacheMisses:   s.metrics.planMisses.Load(),
+		RunNs:             s.metrics.runNs.Load(),
 	}
 }
 

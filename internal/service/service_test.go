@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -482,5 +483,189 @@ func TestJobSeeding(t *testing.T) {
 	}
 	if fmt.Sprint(a) == fmt.Sprint(c) {
 		t.Fatalf("different seeds agreed exactly: %v", a)
+	}
+}
+
+// A batch of N requests is one queued unit with per-request
+// histograms, each bit-identical to the same request submitted alone
+// (the per-request split and seed derivation are position-independent).
+func TestSubmitBatchPerRequestParity(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    4,
+		BatchShots: 8,
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	progs := service.SmokePrograms()
+	spec := service.BatchSpec{Requests: []service.RequestSpec{
+		{Source: progs["bell"], Shots: 40, Seed: 7, Tag: "bell"},
+		{Source: progs["flip"], Shots: 25, Seed: 9, Tag: "flip"},
+		{Source: progs["active_reset"], Shots: 30, Tag: "reset"},
+	}}
+	job, err := svc.SubmitBatch(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.NumRequests() != 3 {
+		t.Fatalf("NumRequests = %d", job.NumRequests())
+	}
+	res := waitResult(t, job)
+	if len(res.Requests) != 3 {
+		t.Fatalf("requests = %d", len(res.Requests))
+	}
+	wantShots := 0
+	for i, rs := range spec.Requests {
+		solo, err := svc.Run(context.Background(), service.JobSpec{
+			Source: rs.Source, Shots: rs.Shots, Seed: rs.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := res.Requests[i]
+		if rr.Index != i || rr.Tag != rs.Tag || rr.Status != service.StateCompleted {
+			t.Fatalf("request %d header = %+v", i, rr)
+		}
+		if rr.Shots != rs.Shots {
+			t.Fatalf("request %d ran %d shots, want %d", i, rr.Shots, rs.Shots)
+		}
+		if fmt.Sprint(rr.Histogram) != fmt.Sprint(solo.Histogram) {
+			t.Fatalf("request %d: batch %v, solo %v", i, rr.Histogram, solo.Histogram)
+		}
+		if rr.TotalStats != solo.TotalStats {
+			t.Fatalf("request %d: total stats %+v, solo %+v", i, rr.TotalStats, solo.TotalStats)
+		}
+		wantShots += rs.Shots
+	}
+	if res.Shots != wantShots {
+		t.Fatalf("aggregate shots = %d, want %d", res.Shots, wantShots)
+	}
+	st := svc.Stats()
+	if st.BatchJobs != 1 || st.RequestsSubmitted != 6 {
+		t.Fatalf("batch stats = %+v", st)
+	}
+}
+
+// A faulting request fails alone; its batch siblings still complete.
+func TestBatchRequestFailureIsolated(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    2,
+		BatchShots: 4,
+		Machine:    []eqasm.Option{eqasm.WithSeed(2)},
+	})
+	job, err := svc.SubmitBatch(context.Background(), service.BatchSpec{
+		Requests: []service.RequestSpec{
+			{Source: "LDI R1, -8\nLD R2, R1(0)\nSTOP", Shots: 8, Tag: "bad"},
+			{Source: service.SmokePrograms()["flip"], Shots: 12, Tag: "good"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := job.Wait(ctx)
+	if err == nil {
+		t.Fatal("batch with a faulting request completed clean")
+	}
+	if job.Status() != service.StateFailed {
+		t.Fatalf("job state = %s", job.Status())
+	}
+	if res.Requests[0].Status != service.StateFailed || res.Requests[0].Error == "" {
+		t.Fatalf("bad request = %+v", res.Requests[0])
+	}
+	good := res.Requests[1]
+	if good.Status != service.StateCompleted || good.Shots != 12 || good.Histogram["1"] != 12 {
+		t.Fatalf("good request = %+v", good)
+	}
+}
+
+// Batch validation rejects malformed requests with a positioned error.
+func TestBatchValidation(t *testing.T) {
+	svc := newService(t, service.Config{Workers: 1})
+	cases := []service.BatchSpec{
+		{}, // empty
+		{Requests: []service.RequestSpec{{Source: "STOP"}, {}}},                                 // request 1 empty
+		{Requests: []service.RequestSpec{{Source: "STOP", Shots: -1}}},                          // negative shots
+		{Requests: []service.RequestSpec{{Source: "STOP"}, {Source: "STOP", Seed: -4}}},         // negative seed
+		{Requests: []service.RequestSpec{{Source: "STOP", Format: "qasm3"}}},                    // unknown format
+		{Requests: []service.RequestSpec{{Source: "STOP"}, {Source: "FROBNICATE S0"}}},          // request 1 unassemblable
+		{Requests: []service.RequestSpec{{Source: "STOP", Chip: "surface7"}, {Source: "STOP"}}}, // chip mismatch
+	}
+	for i, spec := range cases {
+		if _, err := svc.SubmitBatch(context.Background(), spec); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, spec)
+		}
+	}
+	if st := svc.Stats(); st.JobsRejected != int64(len(cases)) {
+		t.Fatalf("rejected = %d, want %d", st.JobsRejected, len(cases))
+	}
+}
+
+// A batch whose position-independent split needs more queue slots than
+// the queue can ever hold is rejected up front with an explicit
+// ErrQueueFull (not retried into a permanent silent failure).
+func TestBatchExceedingQueueCapacityRejected(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    1,
+		QueueDepth: 4,
+		BatchShots: 1,
+	})
+	reqs := make([]service.RequestSpec, 6) // 6 one-shot requests > 4 slots
+	for i := range reqs {
+		reqs[i] = service.RequestSpec{Source: service.SmokePrograms()["flip"]}
+	}
+	_, err := svc.SubmitBatch(context.Background(), service.BatchSpec{Requests: reqs})
+	if !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if !strings.Contains(err.Error(), "queue holds 4") {
+		t.Fatalf("error lacks capacity guidance: %v", err)
+	}
+	// A batch that fits still runs.
+	if _, err := svc.SubmitBatch(context.Background(),
+		service.BatchSpec{Requests: reqs[:4]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: a request failure must not disarm job-level
+// cancellation — Cancel after one request failed still stops the
+// surviving siblings at a shot boundary.
+func TestCancelAfterRequestFailure(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    2,
+		QueueDepth: 10000,
+		BatchShots: 8,
+		Machine:    []eqasm.Option{eqasm.WithSeed(6)},
+	})
+	job, err := svc.SubmitBatch(context.Background(), service.BatchSpec{
+		Requests: []service.RequestSpec{
+			{Source: "LDI R1, -8\nLD R2, R1(0)\nSTOP", Shots: 1, Tag: "bad"},
+			{Source: service.SmokePrograms()["bell"], Shots: 50_000_000, Tag: "long"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the failure to land, then cancel the rest of the batch.
+	deadline := time.Now().Add(10 * time.Second)
+	for job.Requests()[0].Status != service.StateFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("bad request stuck in %q", job.Requests()[0].Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	job.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, _ := job.Wait(ctx)
+	if res == nil {
+		t.Fatal("cancelled batch never finished")
+	}
+	long := res.Requests[1]
+	if long.Status != service.StateCancelled {
+		t.Fatalf("long request = %q, want cancelled", long.Status)
+	}
+	if long.Shots >= 50_000_000 {
+		t.Fatal("long request ran to completion despite Cancel")
 	}
 }

@@ -28,40 +28,52 @@ func (s *Service) workerLoop() {
 
 func (s *Service) runBatch(b *batch) {
 	job := b.job
-	if job.isCancelled() {
-		job.finishBatch(0, nil, nil, nil)
+	// Skip the batch when the whole job was cancelled, or when its own
+	// request already failed (sibling requests of the batch keep
+	// running).
+	if job.isCancelled() || job.reqs[b.req].skip.Load() {
+		job.finishBatch(b, nil, nil)
 		return
 	}
-	job.startBatch()
+	job.startBatch(b)
 	start := time.Now()
-	shots, hist, qubits, err := s.executeBatch(b)
+	res, err := s.executeBatch(b)
 	s.metrics.batchesRun.Add(1)
-	s.metrics.shotsExecuted.Add(int64(shots))
+	if res != nil {
+		s.metrics.shotsExecuted.Add(int64(res.Shots))
+	}
 	s.metrics.runNs.Add(time.Since(start).Nanoseconds())
-	job.finishBatch(shots, hist, qubits, err)
+	job.finishBatch(b, res, err)
 }
 
-// executeBatch runs one batch's shots on the shared backend, returning
-// the local histogram. The job's run context stops the backend at the
-// next shot boundary on cancellation; cancellation is not an error
-// here (the job records its own cause).
-func (s *Service) executeBatch(b *batch) (shots int, hist map[string]int, qubits []int, err error) {
+// executeBatch runs one shot batch of one request on the shared
+// backend, returning the local result (histogram plus per-shot and
+// summed counters). Seeds derive from the request's own base seed and
+// the batch index within the request, so a request's random streams
+// are independent of which worker runs it and of its position in the
+// batch. The job's run context stops the backend at the next shot
+// boundary on cancellation; cancellation is not an error here (the job
+// records its own cause).
+func (s *Service) executeBatch(b *batch) (*eqasm.Result, error) {
+	r := b.job.reqs[b.req]
 	base := s.sim.Seed()
-	if b.job.spec.Seed != 0 {
-		base = b.job.spec.Seed
+	if r.spec.Seed != 0 {
+		base = r.spec.Seed
 	}
-	res, err := s.sim.Run(b.job.runCtx, b.job.program, eqasm.RunOptions{
+	res, err := s.sim.Run(r.runCtx, r.program, eqasm.RunOptions{
 		Shots:   b.shots,
 		Seed:    base + int64(b.index)*eqasm.SeedStride,
 		Workers: 1,
 	})
-	if res != nil {
-		shots, hist, qubits = res.Shots, res.Histogram, res.Qubits
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	// Cancellation is not an error (the job records its own cause), and
+	// neither is a stop triggered by the request's own earlier failure
+	// (the cancellation cause is that failure; the request already
+	// recorded it).
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		(err != nil && err == context.Cause(r.runCtx)) {
 		err = nil
 	}
-	return shots, hist, qubits, err
+	return res, err
 }
 
 // SmokePrograms returns tiny eQASM payloads exercising the main paths of
