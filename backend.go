@@ -28,6 +28,11 @@ type RunOptions struct {
 	// Workers == 1 executes sequentially on one machine and is
 	// bit-identical to the classic single-machine shot loop.
 	Workers int
+	// Backend, when non-empty, overrides the chip-simulation backend
+	// for this run: "auto", "statevector", "densitymatrix" or
+	// "stabilizer" (see WithBackend). The empty string uses the
+	// backend's configured selection.
+	Backend string
 }
 
 // Measurement is one completed measurement of a shot, in completion
@@ -129,6 +134,15 @@ type Result struct {
 	// Trace is the device-operation trace of the first traced shot
 	// (WithDeviceTrace).
 	Trace []string `json:"trace,omitempty"`
+	// Backend names the chip simulator the run executed on:
+	// "statevector", "densitymatrix" or "stabilizer" (empty on remote
+	// results from servers predating backend selection).
+	Backend string `json:"backend,omitempty"`
+	// GateProfile counts the program's static instruction sites per
+	// execution-kernel kind (e.g. "gate1.hadamard", "gate2.cphase",
+	// "measure") as classified by the decode-once plan; nil when the
+	// plan was not built.
+	GateProfile map[string]int `json:"gate_profile,omitempty"`
 	// Duration is the wall-clock execution time.
 	Duration time.Duration `json:"duration_ns"`
 }
@@ -173,7 +187,14 @@ type Simulator struct {
 	defaultStack stack
 
 	mu    sync.Mutex
-	pools map[stack]*core.SystemPool
+	pools map[poolKey]*core.SystemPool
+}
+
+// poolKey identifies one machine pool: the instruction-set context plus
+// the chip-simulation backend its machines are built with.
+type poolKey struct {
+	st   stack
+	kind string
 }
 
 var _ Backend = (*Simulator)(nil)
@@ -192,7 +213,7 @@ func NewSimulator(opts ...Option) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, defaultStack: st, pools: map[stack]*core.SystemPool{}}, nil
+	return &Simulator{cfg: cfg, defaultStack: st, pools: map[poolKey]*core.SystemPool{}}, nil
 }
 
 // Seed returns the simulator's base seed (WithSeed).
@@ -201,12 +222,13 @@ func (s *Simulator) Seed() int64 { return s.cfg.seed }
 // Chip names the simulator's configured topology.
 func (s *Simulator) Chip() string { return s.defaultStack.topo.Name }
 
-// pool returns the machine pool for one instruction-set context,
-// creating it on first use.
-func (s *Simulator) pool(st stack) *core.SystemPool {
+// pool returns the machine pool for one instruction-set context and
+// backend kind, creating it on first use.
+func (s *Simulator) pool(st stack, kind string) *core.SystemPool {
+	key := poolKey{st: st, kind: kind}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if p, ok := s.pools[st]; ok {
+	if p, ok := s.pools[key]; ok {
 		return p
 	}
 	p := core.NewSystemPool(core.Options{
@@ -214,34 +236,71 @@ func (s *Simulator) pool(st stack) *core.SystemPool {
 		OpConfig:         st.opCfg,
 		Instantiation:    st.inst,
 		Noise:            s.cfg.noise.internal(),
-		UseDensityMatrix: s.cfg.density,
+		UseDensityMatrix: kind == BackendDensityMatrix,
+		UseStabilizer:    kind == BackendStabilizer,
 		RecordDeviceOps:  s.cfg.trace,
 		MockMeasure:      s.cfg.mock,
 	})
-	s.pools[st] = p
+	s.pools[key] = p
 	return p
 }
 
-func (s *Simulator) plan(opts RunOptions) (shots int, seed int64, workers int, err error) {
-	shots = opts.Shots
-	if shots < 0 {
-		return 0, 0, 0, fmt.Errorf("eqasm: negative shot count %d", shots)
+// resolveBackend turns a requested backend name ("" for the
+// simulator's configured choice) into the concrete simulator kind for
+// one program, applying the auto-selection rule: density matrix when
+// configured, state vector under noise, the stabilizer tableau for
+// noiseless Clifford-only plans, state vector otherwise.
+func (s *Simulator) resolveBackend(p *Program, requested string) (string, error) {
+	name := requested
+	if name == "" {
+		name = s.cfg.backendName
 	}
-	if shots == 0 {
-		shots = s.cfg.shots
+	switch name {
+	case "", BackendAuto:
+		if s.cfg.density {
+			return BackendDensityMatrix, nil
+		}
+		if s.cfg.noise != (NoiseModel{}) {
+			return BackendStateVector, nil
+		}
+		if ex, _, err := p.executable(); err == nil && ex.CliffordOnly() {
+			return BackendStabilizer, nil
+		}
+		return BackendStateVector, nil
+	case BackendStabilizer:
+		if s.cfg.noise != (NoiseModel{}) {
+			return "", fmt.Errorf("eqasm: the stabilizer backend cannot simulate noise; drop the noise model or choose %q", BackendStateVector)
+		}
+		return BackendStabilizer, nil
+	default:
+		return name, nil
 	}
-	seed = opts.Seed
-	if seed == 0 {
-		seed = s.cfg.seed
+}
+
+func (s *Simulator) plan(opts RunOptions) (pl runPlan, err error) {
+	pl.shots = opts.Shots
+	if pl.shots < 0 {
+		return runPlan{}, fmt.Errorf("eqasm: negative shot count %d", pl.shots)
 	}
-	workers = opts.Workers
-	if workers < 0 {
-		return 0, 0, 0, fmt.Errorf("eqasm: negative worker count %d", workers)
+	if pl.shots == 0 {
+		pl.shots = s.cfg.shots
 	}
-	if workers == 0 {
-		workers = s.cfg.workers
+	pl.seed = opts.Seed
+	if pl.seed == 0 {
+		pl.seed = s.cfg.seed
 	}
-	return shots, seed, workers, nil
+	pl.workers = opts.Workers
+	if pl.workers < 0 {
+		return runPlan{}, fmt.Errorf("eqasm: negative worker count %d", pl.workers)
+	}
+	if pl.workers == 0 {
+		pl.workers = s.cfg.workers
+	}
+	if !validBackendName(opts.Backend) {
+		return runPlan{}, fmt.Errorf("eqasm: unknown backend %q (valid: auto, statevector, densitymatrix, stabilizer)", opts.Backend)
+	}
+	pl.backend = opts.Backend
+	return pl, nil
 }
 
 // lastResults maps each measured qubit to its last result.
@@ -308,13 +367,13 @@ func sortedQubits(last map[int]int) []int {
 	return qubits
 }
 
-// fanShots runs p's shots through the context's machine pool, replaying
-// the program's shared execution plan (lowered on first use); when the
-// plan cannot be built it falls back to the semantically identical
-// interpreter path.
-func (s *Simulator) fanShots(ctx context.Context, p *Program, seed int64, shots, workers int,
+// fanShots runs p's shots through the machine pool of its context and
+// backend kind, replaying the program's shared execution plan (lowered
+// on first use); when the plan cannot be built it falls back to the
+// semantically identical interpreter path.
+func (s *Simulator) fanShots(ctx context.Context, p *Program, kind string, seed int64, shots, workers int,
 	observe func(shot int, m *microarch.Machine, runErr error) error) error {
-	pool := s.pool(p.st)
+	pool := s.pool(p.st, kind)
 	if ex, _, err := p.executable(); err == nil {
 		return pool.FanPlan(ctx, ex, seed, shots, workers, observe)
 	}
@@ -326,6 +385,7 @@ type runPlan struct {
 	shots   int
 	seed    int64
 	workers int
+	backend string
 }
 
 // Submit implements Backend: it validates every request up front,
@@ -348,14 +408,14 @@ func (s *Simulator) submitJob(ctx context.Context, streaming bool, reqs []RunReq
 	}
 	plans := make([]runPlan, len(reqs))
 	for i, r := range reqs {
-		shots, seed, workers, err := s.plan(r.Options)
+		pl, err := s.plan(r.Options)
 		if err != nil {
 			if len(reqs) > 1 {
 				err = fmt.Errorf("request %d: %w", i, err)
 			}
 			return nil, err
 		}
-		plans[i] = runPlan{shots: shots, seed: seed, workers: workers}
+		plans[i] = pl
 	}
 	job := newJob(localJobID(), reqs)
 	if streaming {
@@ -405,8 +465,16 @@ func (s *Simulator) runJob(ctx context.Context, cancel context.CancelCauseFunc,
 func (s *Simulator) executeRequest(ctx context.Context, j *Job, req int,
 	p *Program, pl runPlan) (*Result, error) {
 	res := &Result{Histogram: map[string]int{}}
+	kind, err := s.resolveBackend(p, pl.backend)
+	if err != nil {
+		return res, err
+	}
+	res.Backend = kind
+	if ex, _, planErr := p.executable(); planErr == nil {
+		res.GateProfile = ex.GateProfile()
+	}
 	start := time.Now()
-	err := s.fanShots(ctx, p, pl.seed, pl.shots, pl.workers,
+	err = s.fanShots(ctx, p, kind, pl.seed, pl.shots, pl.workers,
 		func(shot int, m *microarch.Machine, runErr error) error {
 			if runErr != nil {
 				return wrapShotErr(shot, m, runErr)

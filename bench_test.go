@@ -770,3 +770,86 @@ func BenchmarkBatchSubmit(b *testing.B) {
 		b.ReportMetric(float64(b.N)*kRequests/b.Elapsed().Seconds(), "requests/s")
 	})
 }
+
+// --- Backend comparison: state vector vs stabilizer tableau ---
+
+// BenchmarkBackendShotsPerSec measures end-to-end shot throughput of
+// every shipped smoke fixture on both forced chip-simulation backends
+// through the public Simulator (Workers 1, so rows compare kernel
+// cost, not fan-out). The fixtures are Clifford-only, so the rows are
+// directly comparable; the tableau also scales to chips the state
+// vector cannot represent (see BenchmarkTableauGates in
+// internal/stabilizer).
+func BenchmarkBackendShotsPerSec(b *testing.B) {
+	const shots = 512
+	ctx := context.Background()
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := service.SmokePrograms()
+	for _, name := range []string{"bell", "active_reset", "flip"} {
+		prog, err := eqasm.Assemble(progs[name])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, backend := range []string{eqasm.BackendStateVector, eqasm.BackendStabilizer} {
+			b.Run(name+"/"+backend, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(ctx, prog, eqasm.RunOptions{
+						Shots: shots, Workers: 1, Backend: backend,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Shots != shots || res.Backend != backend {
+						b.Fatalf("ran %d shots on %q", res.Shots, res.Backend)
+					}
+				}
+				b.ReportMetric(float64(b.N)*shots/b.Elapsed().Seconds(), "shots/s")
+			})
+		}
+	}
+}
+
+// BenchmarkGHZ1024Shot measures one full shot of the 1024-qubit GHZ
+// demo (examples/ghz1024) through the Simulator: 1023 tableau CNOTs
+// plus a 1024-qubit measurement sweep per shot, far beyond any
+// state-vector size.
+func BenchmarkGHZ1024Shot(b *testing.B) {
+	const n = 1024
+	opts := []eqasm.Option{eqasm.WithTopology("chain1024"), eqasm.WithSeed(7)}
+	var src strings.Builder
+	src.WriteString("SMIS S0, {0}\nSMIS S1, {")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			src.WriteString(", ")
+		}
+		fmt.Fprintf(&src, "%d", i)
+	}
+	src.WriteString("}\nQWAIT 100\nH S0\n")
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&src, "SMIT T0, {(%d, %d)}\n2, CNOT T0\n", i, i+1)
+	}
+	src.WriteString("2, MEASZ S1\nQWAIT 50\nSTOP\n")
+	prog, err := eqasm.Assemble(src.String(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(ctx, prog, eqasm.RunOptions{Shots: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Backend != eqasm.BackendStabilizer {
+			b.Fatalf("backend %q", res.Backend)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}

@@ -72,11 +72,12 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 // requestWire mirrors one request of the service's POST /v1/batches
 // payload.
 type requestWire struct {
-	Source string `json:"source,omitempty"`
-	Shots  int    `json:"shots,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
-	Tag    string `json:"tag,omitempty"`
-	Chip   string `json:"chip,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Shots   int    `json:"shots,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Tag     string `json:"tag,omitempty"`
+	Chip    string `json:"chip,omitempty"`
+	Backend string `json:"backend,omitempty"`
 }
 
 // batchRequestWire mirrors the service's POST /v1/batches payload.
@@ -108,6 +109,7 @@ type requestStatusWire struct {
 	Qubits     []int          `json:"qubits,omitempty"`
 	Stats      ExecStats      `json:"stats"`
 	TotalStats ExecStats      `json:"total_stats"`
+	Backend    string         `json:"backend,omitempty"`
 	RunNs      int64          `json:"run_ns"`
 }
 
@@ -122,6 +124,7 @@ func (r *requestStatusWire) toResult() *Result {
 		Qubits:     r.Qubits,
 		Stats:      r.Stats,
 		TotalStats: r.TotalStats,
+		Backend:    r.Backend,
 		Duration:   time.Duration(r.RunNs),
 	}
 }
@@ -204,11 +207,12 @@ func (c *Client) submitJob(ctx context.Context, streaming, wait bool, reqs []Run
 		// program assembled for one topology cannot silently execute
 		// under another chip's semantics on a mismatched service.
 		wire.Requests[i] = requestWire{
-			Source: src,
-			Shots:  r.Options.Shots,
-			Seed:   r.Options.Seed,
-			Tag:    r.Tag,
-			Chip:   r.Program.Chip(),
+			Source:  src,
+			Shots:   r.Options.Shots,
+			Seed:    r.Options.Seed,
+			Tag:     r.Tag,
+			Chip:    r.Program.Chip(),
+			Backend: r.Options.Backend,
 		}
 	}
 	var br batchResponseWire
@@ -456,23 +460,27 @@ func (c *Client) RunStream(ctx context.Context, p *Program, opts RunOptions) (<-
 
 // ServiceStats is a point-in-time snapshot of the service counters.
 type ServiceStats struct {
-	Workers           int     `json:"workers"`
-	WorkersBusy       int     `json:"workers_busy"`
-	QueueDepth        int     `json:"queue_depth"`
-	JobsSubmitted     int64   `json:"jobs_submitted"`
-	JobsActive        int64   `json:"jobs_active"`
-	JobsCompleted     int64   `json:"jobs_completed"`
-	JobsFailed        int64   `json:"jobs_failed"`
-	JobsCancelled     int64   `json:"jobs_cancelled"`
-	JobsRejected      int64   `json:"jobs_rejected"`
-	RequestsSubmitted int64   `json:"requests_submitted"`
-	BatchJobs         int64   `json:"batch_jobs"`
-	ShotsExecuted     int64   `json:"shots_executed"`
-	BatchesRun        int64   `json:"batches_run"`
-	CacheHits         int64   `json:"cache_hits"`
-	CacheMisses       int64   `json:"cache_misses"`
-	CacheEntries      int     `json:"cache_entries"`
-	UptimeSeconds     float64 `json:"uptime_seconds"`
+	Workers           int   `json:"workers"`
+	WorkersBusy       int   `json:"workers_busy"`
+	QueueDepth        int   `json:"queue_depth"`
+	JobsSubmitted     int64 `json:"jobs_submitted"`
+	JobsActive        int64 `json:"jobs_active"`
+	JobsCompleted     int64 `json:"jobs_completed"`
+	JobsFailed        int64 `json:"jobs_failed"`
+	JobsCancelled     int64 `json:"jobs_cancelled"`
+	JobsRejected      int64 `json:"jobs_rejected"`
+	RequestsSubmitted int64 `json:"requests_submitted"`
+	BatchJobs         int64 `json:"batch_jobs"`
+	ShotsExecuted     int64 `json:"shots_executed"`
+	StabilizerShots   int64 `json:"stabilizer_shots"`
+	BatchesRun        int64 `json:"batches_run"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEntries      int   `json:"cache_entries"`
+	// GateProfile aggregates executed kernel work across all batches:
+	// static instruction sites per kernel kind, weighted by shots.
+	GateProfile   map[string]int64 `json:"gate_profile,omitempty"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
 }
 
 // Stats fetches the service counters.

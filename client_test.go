@@ -71,6 +71,21 @@ func TestClientRunBell(t *testing.T) {
 	if res.Duration <= 0 {
 		t.Fatalf("duration = %v, want > 0 (wire-field drift?)", res.Duration)
 	}
+	// The noiseless Clifford Bell program auto-routes to the tableau
+	// remotely too, and the resolved backend travels back on the wire.
+	if res.Backend != eqasm.BackendStabilizer {
+		t.Fatalf("backend = %q, want %q (wire-field drift?)", res.Backend, eqasm.BackendStabilizer)
+	}
+	// A forced backend travels outward on the wire as well.
+	res, err = client.Run(context.Background(), prog, eqasm.RunOptions{
+		Shots: 1, Backend: eqasm.BackendStateVector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != eqasm.BackendStateVector {
+		t.Fatalf("forced backend = %q, want %q", res.Backend, eqasm.BackendStateVector)
+	}
 	if _, err := client.Run(context.Background(), prog, eqasm.RunOptions{Shots: -1}); err == nil {
 		t.Fatal("negative shot count accepted")
 	}

@@ -42,14 +42,15 @@ func main() {
 	schedName := flag.String("schedule", "asap", "cQASM compile scheduling: asap or alap")
 	emit := flag.Bool("emit", false, "print the compiled eQASM assembly before running (cQASM input)")
 	seed := flag.Int64("seed", 1, "random seed")
-	asJSON := flag.Bool("json", false, "print the full result as JSON (histogram, qubits, stats, totals)")
+	backend := flag.String("backend", "auto", "chip simulation backend: auto, statevector, densitymatrix or stabilizer")
+	asJSON := flag.Bool("json", false, "print the full result as JSON (histogram, qubits, stats, totals, backend, gate profile)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "eqasm-run: exactly one input file required")
 		os.Exit(2)
 	}
-	opts := []eqasm.Option{eqasm.WithSeed(*seed)}
+	opts := []eqasm.Option{eqasm.WithSeed(*seed), eqasm.WithBackend(*backend)}
 	// Noise options are last-wins: -noise goes first so a noise model in
 	// the -config file takes precedence over it.
 	if *noisy {

@@ -58,6 +58,29 @@
 // satisfy the same interface, so code switches between local
 // simulation and a serving fleet without rewiring.
 //
+// Three chip simulators sit under the Simulator, selected by
+// WithBackend or per run by RunOptions.Backend ("auto",
+// "statevector", "densitymatrix", "stabilizer"):
+//
+//   - the state vector (default) simulates arbitrary gates up to the
+//     26-qubit memory wall;
+//   - the density matrix (WithDensityMatrix) adds exact open-system
+//     noise at half the qubit reach;
+//   - the stabilizer tableau runs Clifford circuits (H, Paulis, ±90°
+//     rotations, S, CZ, CNOT, Z measurements) at thousands of qubits
+//     via Gottesman–Knill — the chain<N> topology family (WithTopology
+//     ("chain1024")) pairs with it.
+//
+// Under "auto" a noiseless program whose execution plan is
+// Clifford-only routes to the tableau; anything else falls back to
+// the state vector (or density matrix when configured). Both
+// measurement-sampling paths draw one uniform variate per
+// measurement, so a seeded run produces bit-identical outcomes on
+// either backend. Result.Backend names the simulator that ran, and
+// Result.GateProfile counts the plan's instruction sites per kernel
+// kind. Forcing "stabilizer" onto a non-Clifford program fails with a
+// *RuntimeError at the offending gate.
+//
 // Execution options (WithSeed, WithNoise, WithCalibratedNoise,
 // WithDensityMatrix, WithDeviceTrace, WithShots, WithWorkers)
 // configure backends; per-request RunOptions override shots, seed and

@@ -1,0 +1,81 @@
+// GHZ-1024: a Greenberger–Horne–Zeilinger state over 1024 qubits,
+// executed end to end through the public Simulator. A 1024-qubit state
+// vector would need 2^1024 amplitudes, but the circuit is pure Clifford
+// (H + a CNOT chain + Z measurements), so backend auto-selection routes
+// it to the Gottesman–Knill stabilizer tableau, which runs it in
+// milliseconds. Every shot collapses all 1024 qubits to the same random
+// bit: the histogram holds only the all-zeros and all-ones keys.
+//
+// The chain1024 topology is one of the built-in chain<N> families
+// (linear nearest-neighbour couplings); its instantiation widens the
+// SMIS/SMIT mask registers far beyond the 32-bit encodable range, so
+// the program runs through the assembler/plan path rather than the
+// binary encoding.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"eqasm"
+)
+
+const numQubits = 1024
+
+// source renders the GHZ circuit as eQASM assembly: H on qubit 0, a
+// CNOT chain spreading the superposition down the line (each CNOT two
+// cycles after the previous one, matching the two-qubit gate
+// duration), and one wide MEASZ over every qubit.
+func source() string {
+	var b strings.Builder
+	b.WriteString("SMIS S0, {0}\n")
+	b.WriteString("SMIS S1, {")
+	for i := 0; i < numQubits; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("QWAIT 100\n")
+	b.WriteString("H S0\n")
+	for i := 0; i < numQubits-1; i++ {
+		fmt.Fprintf(&b, "SMIT T0, {(%d, %d)}\n", i, i+1)
+		b.WriteString("2, CNOT T0\n")
+	}
+	b.WriteString("2, MEASZ S1\n")
+	b.WriteString("QWAIT 50\n")
+	b.WriteString("STOP\n")
+	return b.String()
+}
+
+func main() {
+	opts := []eqasm.Option{eqasm.WithTopology("chain1024"), eqasm.WithSeed(7)}
+	prog, err := eqasm.Assemble(source(), opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("GHZ over %d qubits: %d instructions, %d shots in %v (backend: %s)\n",
+		numQubits, prog.NumInstructions(), res.Shots, elapsed.Round(time.Millisecond), res.Backend)
+	for key, count := range res.Histogram {
+		fmt.Printf("  %s…%s  ×%d\n", key[:4], key[len(key)-4:], count)
+	}
+	fmt.Printf("gate profile: %d CNOT sites, %d measure sites\n",
+		res.GateProfile["gate2.perm"], res.GateProfile["measure"])
+	fmt.Println("\nall qubits agree within every shot — the entangled state")
+	fmt.Println("collapses as one, whichever of its 1024 qubits is read first")
+}

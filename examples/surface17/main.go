@@ -81,8 +81,15 @@ STOP
 				}
 			}
 		}
-		fmt.Printf("injected error: %-5v  syndrome: %d  data after correction: q0=%d q1=%d\n",
-			injectError, syndrome, final[0], final[1])
+		// The same run through the Result surface reports which chip
+		// simulator executed it: the program is Clifford-only and
+		// noiseless, so auto-selection picks the stabilizer tableau.
+		res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("injected error: %-5v  syndrome: %d  data after correction: q0=%d q1=%d  (backend: %s)\n",
+			injectError, syndrome, final[0], final[1], res.Backend)
 	}
 	fmt.Println("\nthe syndrome fires exactly when an error was injected, and the")
 	fmt.Println("CFC branch restores the data qubit before verification")

@@ -335,11 +335,11 @@ func (p *parser) parseClassical(c *cursor, op isa.Opcode) {
 	case isa.OpSMIS:
 		ins.Addr, _ = c.reg('S', p.asm.Inst.NumSReg, "single-qubit target")
 		c.comma()
-		ins.Mask = p.parseQubitList(c)
+		ins.Mask, ins.MaskHi = p.parseQubitList(c)
 	case isa.OpSMIT:
 		ins.Addr, _ = c.reg('T', p.asm.Inst.NumTReg, "two-qubit target")
 		c.comma()
-		ins.Mask = p.parsePairList(c)
+		ins.Mask, ins.MaskHi = p.parsePairList(c)
 	default:
 		p.errorf(c.line, 0, "internal: unhandled mnemonic %v", op)
 		c.bad = true
@@ -360,17 +360,19 @@ func (p *parser) parseCond(c *cursor) isa.CondFlag {
 	return f
 }
 
-// parseQubitList parses {q0, q1, ...} and returns the SMIS mask.
-func (p *parser) parseQubitList(c *cursor) uint64 {
-	if _, ok := c.expect(tokLBrace); !ok {
-		return 0
-	}
+// parseQubitList parses {q0, q1, ...} and returns the SMIS mask. Qubit
+// addresses past bit 63 land in the wide-mask extension words.
+func (p *parser) parseQubitList(c *cursor) (uint64, []uint64) {
 	var mask uint64
+	var maskHi []uint64
+	if _, ok := c.expect(tokLBrace); !ok {
+		return 0, nil
+	}
 	for c.peek().kind != tokRBrace && c.peek().kind != tokEOL {
 		vTok := c.peek()
 		v, ok := c.number("qubit address")
 		if !ok {
-			return mask
+			return mask, maskHi
 		}
 		if v < 0 || int(v) >= p.asm.Inst.QubitMaskBits {
 			p.errorf(c.line, vTok.col, "qubit address %d outside the %d-bit mask", v, p.asm.Inst.QubitMaskBits)
@@ -378,43 +380,41 @@ func (p *parser) parseQubitList(c *cursor) uint64 {
 		} else if p.asm.Topo.Feedline(int(v)) < 0 {
 			p.errorf(c.line, vTok.col, "qubit %d is not available on chip %q", v, p.asm.Topo.Name)
 			c.bad = true
-		} else {
-			if mask&(1<<uint(v)) != 0 {
-				p.errorf(c.line, vTok.col, "qubit %d listed twice", v)
-				c.bad = true
-			}
-			mask |= 1 << uint(v)
+		} else if isa.SetMaskBit(&mask, &maskHi, int(v)) {
+			p.errorf(c.line, vTok.col, "qubit %d listed twice", v)
+			c.bad = true
 		}
 		if c.peek().kind == tokComma {
 			c.next()
 		}
 	}
 	c.expect(tokRBrace)
-	return mask
+	return mask, maskHi
 }
 
 // parsePairList parses {(s, t), ...} and returns the SMIT edge mask,
 // enforcing the Section 4.3 validity rule that no two selected edges share
 // a qubit.
-func (p *parser) parsePairList(c *cursor) uint64 {
+func (p *parser) parsePairList(c *cursor) (uint64, []uint64) {
+	var mask uint64
+	var maskHi []uint64
 	lb, ok := c.expect(tokLBrace)
 	if !ok {
-		return 0
+		return 0, nil
 	}
-	var mask uint64
 	for c.peek().kind != tokRBrace && c.peek().kind != tokEOL {
 		pairTok := c.peek()
 		if _, ok := c.expect(tokLParen); !ok {
-			return mask
+			return mask, maskHi
 		}
 		src, ok := c.number("source qubit")
 		if !ok {
-			return mask
+			return mask, maskHi
 		}
 		c.comma()
 		tgt, ok := c.number("target qubit")
 		if !ok {
-			return mask
+			return mask, maskHi
 		}
 		c.expect(tokRParen)
 		id, allowed := p.asm.Topo.EdgeID(int(src), int(tgt))
@@ -426,22 +426,21 @@ func (p *parser) parsePairList(c *cursor) uint64 {
 			p.errorf(c.line, pairTok.col, "edge %d outside the %d-bit pair mask", id, p.asm.Inst.PairMaskBits)
 			c.bad = true
 		default:
-			if mask&(1<<uint(id)) != 0 {
+			if isa.SetMaskBit(&mask, &maskHi, id) {
 				p.errorf(c.line, pairTok.col, "pair (%d, %d) listed twice", src, tgt)
 				c.bad = true
 			}
-			mask |= 1 << uint(id)
 		}
 		if c.peek().kind == tokComma {
 			c.next()
 		}
 	}
 	c.expect(tokRBrace)
-	if err := p.asm.Topo.ValidatePairMask(mask); err != nil && !c.bad {
+	if err := p.asm.Topo.ValidatePairMaskWide(mask, maskHi); err != nil && !c.bad {
 		p.errorf(c.line, lb.col, "invalid two-qubit target: %v", err)
 		c.bad = true
 	}
-	return mask
+	return mask, maskHi
 }
 
 // parseBundle parses "[PI,] op [| op]*", applies the ts3 timing rule

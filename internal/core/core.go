@@ -37,6 +37,9 @@ type Options struct {
 	Seed int64
 	// UseDensityMatrix selects the exact density-matrix chip simulator.
 	UseDensityMatrix bool
+	// UseStabilizer selects the Gottesman–Knill tableau simulator:
+	// Clifford-only circuits at thousands of qubits, noiseless chips only.
+	UseStabilizer bool
 	// RecordDeviceOps enables the device-operation trace.
 	RecordDeviceOps bool
 	// MockMeasure substitutes scripted measurement results (CFC
@@ -84,6 +87,7 @@ func NewSystem(opts Options) (*System, error) {
 	mcfg.Noise = opts.Noise
 	mcfg.Seed = opts.Seed
 	mcfg.UseDensityMatrix = opts.UseDensityMatrix
+	mcfg.UseStabilizer = opts.UseStabilizer
 	mcfg.RecordDeviceOps = opts.RecordDeviceOps
 	mcfg.MockMeasure = opts.MockMeasure
 	m, err := microarch.New(mcfg)

@@ -78,6 +78,9 @@ type jobRequest struct {
 	// Chip, when set, names the topology the program was built for;
 	// the service rejects the job if it runs a different chip.
 	Chip string `json:"chip,omitempty"`
+	// Backend overrides the chip-simulation backend for this job:
+	// "auto", "statevector", "densitymatrix" or "stabilizer".
+	Backend string `json:"backend,omitempty"`
 	// Wait makes the request synchronous: the response carries the
 	// result instead of a queued-job ticket.
 	Wait bool `json:"wait,omitempty"`
@@ -158,6 +161,7 @@ type batchRequestItem struct {
 	Seed    int64        `json:"seed,omitempty"`
 	Tag     string       `json:"tag,omitempty"`
 	Chip    string       `json:"chip,omitempty"`
+	Backend string       `json:"backend,omitempty"`
 }
 
 // batchResponse describes a batch in every GET/POST response: job
@@ -211,6 +215,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Priority: prio,
 		Seed:     req.Seed,
 		Chip:     req.Chip,
+		Backend:  req.Backend,
 	}
 	if req.Circuit != nil {
 		spec.Circuit = req.Circuit.toCircuit()
@@ -257,12 +262,13 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	spec := service.BatchSpec{Priority: prio}
 	for _, item := range req.Requests {
 		rs := service.RequestSpec{
-			Source: item.Source,
-			Format: item.Format,
-			Shots:  item.Shots,
-			Seed:   item.Seed,
-			Tag:    item.Tag,
-			Chip:   item.Chip,
+			Source:  item.Source,
+			Format:  item.Format,
+			Shots:   item.Shots,
+			Seed:    item.Seed,
+			Tag:     item.Tag,
+			Chip:    item.Chip,
+			Backend: item.Backend,
 		}
 		if item.Circuit != nil {
 			rs.Circuit = item.Circuit.toCircuit()

@@ -99,6 +99,19 @@ func Surface17Instantiation() Instantiation {
 	return n
 }
 
+// ChainInstantiation instantiates eQASM for an n-qubit nearest-neighbour
+// chain — the register sizes only the stabilizer backend can simulate.
+// The mask registers widen past the 32-bit instruction word, so programs
+// for this instantiation assemble and execute but have no binary
+// encoding (EncodeProgram reports an error for wide masks).
+func ChainInstantiation(n int) Instantiation {
+	inst := Default
+	inst.QubitMaskBits = n
+	inst.PairMaskBits = 2 * (n - 1)
+	inst.PairTopology = topology.Chain(n)
+	return inst
+}
+
 // MaxPairsPerOp returns how many simultaneous pairs one SMIT word can
 // address: the full edge mask under the mask format, or the pair-slot
 // count under the pair-list format. This is the architectural trade-off

@@ -230,13 +230,22 @@ func (n Instantiation) Encode(i Instr, cfg *OpConfig) (uint32, error) {
 		if int(i.Addr) >= n.NumSReg {
 			return 0, encErr(i, "S%d exceeds %d S registers", i.Addr, n.NumSReg)
 		}
-		if i.Mask >= 1<<uint(n.QubitMaskBits) {
+		if len(i.MaskHi) > 0 {
+			return 0, encErr(i, "wide qubit mask has no 32-bit encoding (mask extends past bit 63)")
+		}
+		if n.QubitMaskBits < 64 && i.Mask >= 1<<uint(n.QubitMaskBits) {
 			return 0, encErr(i, "qubit mask %#x exceeds %d bits", i.Mask, n.QubitMaskBits)
+		}
+		if i.Mask > 0xFFFFF {
+			return 0, encErr(i, "qubit mask %#x exceeds the 20-bit SMIS field", i.Mask)
 		}
 		return single(uint32(i.Addr)<<20 | uint32(i.Mask)), nil
 	case OpSMIT:
 		if int(i.Addr) >= n.NumTReg {
 			return 0, encErr(i, "T%d exceeds %d T registers", i.Addr, n.NumTReg)
+		}
+		if len(i.MaskHi) > 0 {
+			return 0, encErr(i, "wide pair mask has no 32-bit encoding (mask extends past bit 63)")
 		}
 		if n.PairMaskBits < 64 && i.Mask >= 1<<uint(n.PairMaskBits) {
 			return 0, encErr(i, "pair mask %#x exceeds %d bits", i.Mask, n.PairMaskBits)

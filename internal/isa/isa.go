@@ -198,8 +198,13 @@ type Instr struct {
 	// Addr is the destination target-register index for SMIS/SMIT.
 	Addr uint8
 	// Mask is the resolved qubit mask (SMIS, one bit per qubit) or qubit
-	// pair mask (SMIT, one bit per allowed-pair edge ID).
+	// pair mask (SMIT, one bit per allowed-pair edge ID): bits 0..63.
 	Mask uint64
+	// MaskHi extends the mask beyond 64 targets on wide instantiations
+	// (chain chips past 64 qubits / 64 allowed pairs): word i holds bits
+	// 64(i+1)..64(i+2)-1. Wide masks have no 32-bit binary encoding —
+	// EncodeProgram rejects them — but assemble, plan and execute fully.
+	MaskHi []uint64
 
 	// PI is the bundle pre-interval in cycles.
 	PI uint8
@@ -251,8 +256,11 @@ func (i Instr) String() string {
 	case OpQWAITR:
 		return fmt.Sprintf("QWAITR R%d", i.Rs)
 	case OpSMIS:
-		return fmt.Sprintf("SMIS S%d, %s", i.Addr, FormatQubitMask(i.Mask))
+		return fmt.Sprintf("SMIS S%d, %s", i.Addr, FormatQubitMaskWide(i.Mask, i.MaskHi))
 	case OpSMIT:
+		if len(i.MaskHi) > 0 {
+			return fmt.Sprintf("SMIT T%d, %s", i.Addr, FormatQubitMaskWide(i.Mask, i.MaskHi))
+		}
 		return fmt.Sprintf("SMIT T%d, %d", i.Addr, i.Mask)
 	case OpBundle:
 		parts := make([]string, len(i.QOps))
@@ -319,6 +327,56 @@ func MaskQubits(mask uint64) []int {
 		mask >>= 1
 	}
 	return out
+}
+
+// FormatQubitMaskWide is FormatQubitMask for (lo, hi) wide register
+// values: hi word i holds bits 64(i+1)..64(i+2)-1.
+func FormatQubitMaskWide(mask uint64, hi []uint64) string {
+	if len(hi) == 0 {
+		return FormatQubitMask(mask)
+	}
+	var qs []string
+	for _, q := range MaskQubitsWide(mask, hi) {
+		qs = append(qs, fmt.Sprint(q))
+	}
+	return "{" + strings.Join(qs, ", ") + "}"
+}
+
+// MaskQubitsWide expands a (lo, hi) wide mask into the ascending qubit
+// (or edge) list.
+func MaskQubitsWide(mask uint64, hi []uint64) []int {
+	out := MaskQubits(mask)
+	for w, word := range hi {
+		base := 64 * (w + 1)
+		for ; word != 0; base++ {
+			if word&1 != 0 {
+				out = append(out, base)
+			}
+			word >>= 1
+		}
+	}
+	return out
+}
+
+// SetMaskBit sets target bit v of a (lo, hi) wide register value,
+// growing hi as needed; it reports whether the bit was already set.
+func SetMaskBit(lo *uint64, hi *[]uint64, v int) (dup bool) {
+	if v < 64 {
+		if *lo>>uint(v)&1 == 1 {
+			return true
+		}
+		*lo |= 1 << uint(v)
+		return false
+	}
+	w := v/64 - 1
+	for len(*hi) <= w {
+		*hi = append(*hi, 0)
+	}
+	if (*hi)[w]>>uint(v&63)&1 == 1 {
+		return true
+	}
+	(*hi)[w] |= 1 << uint(v&63)
+	return false
 }
 
 // Program is an assembled eQASM program: a flat instruction sequence with

@@ -39,6 +39,10 @@ type Config struct {
 	// UseDensityMatrix selects the exact density-matrix backend instead
 	// of the trajectory state-vector backend (small registers only).
 	UseDensityMatrix bool
+	// UseStabilizer selects the Gottesman–Knill tableau backend: Clifford
+	// circuits at thousands of qubits, but any non-Clifford operation is a
+	// runtime fault and Noise must be the zero model.
+	UseStabilizer bool
 	// Backend overrides the constructed backend entirely when non-nil.
 	Backend quantum.Backend
 

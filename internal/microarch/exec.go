@@ -96,8 +96,10 @@ func (m *Machine) execute() {
 		m.reserveWait(int64(m.gpr[ins.Rs] & 0xFFFFF))
 	case isa.OpSMIS:
 		m.sRegs[ins.Addr] = ins.Mask
+		m.sRegsHi[ins.Addr] = ins.MaskHi
 	case isa.OpSMIT:
 		m.tRegs[ins.Addr] = ins.Mask
+		m.tRegsHi[ins.Addr] = ins.MaskHi
 	case isa.OpBundle:
 		m.issueBundle(ins)
 	default:

@@ -7,7 +7,13 @@ import (
 	"eqasm/internal/isa"
 	"eqasm/internal/plan"
 	"eqasm/internal/quantum"
+	"eqasm/internal/stabilizer"
 )
+
+// MaxSVQubits is the largest register the state-vector backend will
+// allocate (2^26 amplitudes = 1 GiB); larger chips must run Clifford
+// programs on the stabilizer backend.
+const MaxSVQubits = 26
 
 // Machine is one QuMA_v2 quantum processor instance: architectural state
 // (Fig. 2), microarchitectural state (Fig. 9) and the simulated chip.
@@ -50,9 +56,13 @@ type Machine struct {
 	stallTicks int
 	fmrStalled bool
 
-	// Quantum pipeline and timing state.
+	// Quantum pipeline and timing state. The Hi files hold the wide-mask
+	// extension words of chain chips past 64 qubits/pairs (nil on narrow
+	// chips and for narrow register values).
 	sRegs          []uint64
 	tRegs          []uint64
+	sRegsHi        [][]uint64
+	tRegsHi        [][]uint64
 	lastPointCycle int64
 	timelineLive   bool
 	events         eventHeap
@@ -105,9 +115,19 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{cfg: cfg}
 	m.backend = cfg.Backend
 	if m.backend == nil {
-		if cfg.UseDensityMatrix {
+		switch {
+		case cfg.UseStabilizer:
+			if cfg.Noise != (quantum.NoiseModel{}) {
+				return nil, fmt.Errorf("microarch: the stabilizer backend cannot simulate noise; use the state-vector backend")
+			}
+			m.backend = stabilizer.New(cfg.Topo.NumQubits, cfg.Seed)
+		case cfg.UseDensityMatrix:
 			m.backend = quantum.NewDMBackend(cfg.Topo.NumQubits, cfg.Noise, cfg.Seed)
-		} else {
+		default:
+			if cfg.Topo.NumQubits > MaxSVQubits {
+				return nil, fmt.Errorf("microarch: %d qubits exceed the %d-qubit state-vector limit; only the stabilizer backend reaches this size (Clifford circuits only)",
+					cfg.Topo.NumQubits, MaxSVQubits)
+			}
 			m.backend = quantum.NewSVBackend(cfg.Topo.NumQubits, cfg.Noise, cfg.Seed)
 		}
 	}
@@ -119,6 +139,8 @@ func New(cfg Config) (*Machine, error) {
 	m.mem = make([]byte, cfg.MemoryBytes)
 	m.sRegs = make([]uint64, cfg.Inst.NumSReg)
 	m.tRegs = make([]uint64, cfg.Inst.NumTReg)
+	m.sRegsHi = make([][]uint64, cfg.Inst.NumSReg)
+	m.tRegsHi = make([][]uint64, cfg.Inst.NumTReg)
 	n := cfg.Topo.NumQubits
 	m.measCounters = make([]int, n)
 	m.qResults = make([]uint8, n)
@@ -186,18 +208,28 @@ func (m *Machine) LoadPlan(ex *plan.Executable) error {
 	// loaded over a previous program's registers behaves exactly like
 	// the interpreter reading the raw masks.
 	for i, v := range m.sRegs {
-		if v != 0 {
-			m.sSets[i] = plan.ExpandTargets(v, m.cfg.Topo)
+		if v != 0 || anyMaskWords(m.sRegsHi[i]) {
+			m.sSets[i] = plan.ExpandTargetsWide(v, m.sRegsHi[i], m.cfg.Topo)
 			m.markSSetDirty(uint8(i))
 		}
 	}
 	for i, v := range m.tRegs {
-		if v != 0 {
-			m.tSets[i] = plan.ExpandTargets(v, m.cfg.Topo)
+		if v != 0 || anyMaskWords(m.tRegsHi[i]) {
+			m.tSets[i] = plan.ExpandTargetsWide(v, m.tRegsHi[i], m.cfg.Topo)
 			m.markTSetDirty(uint8(i))
 		}
 	}
 	return nil
+}
+
+// anyMaskWords reports whether any wide-mask extension word is non-zero.
+func anyMaskWords(hi []uint64) bool {
+	for _, w := range hi {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // LoadBinary decodes an instruction-word image and installs it.
@@ -275,9 +307,11 @@ func (m *Machine) Reset() {
 	}
 	for i := range m.sRegs {
 		m.sRegs[i] = 0
+		m.sRegsHi[i] = nil
 	}
 	for i := range m.tRegs {
 		m.tRegs[i] = 0
+		m.tRegsHi[i] = nil
 	}
 	// Data memory is only written by ST and the host's WriteWord, below
 	// the recorded high-water mark; Reset clears just that prefix, so
@@ -292,10 +326,28 @@ func (m *Machine) Reset() {
 
 // Run executes the loaded program until STOP (draining in-flight quantum
 // activity), a microarchitectural fault, or the watchdog limit.
-func (m *Machine) Run() error {
+func (m *Machine) Run() (runErr error) {
 	if m.program == nil {
 		return fmt.Errorf("microarch: no program loaded")
 	}
+	// The stabilizer backend refuses non-Clifford unitaries by panicking
+	// with a typed error; surface that as an ordinary machine fault so a
+	// forced (or mis-detected) backend choice fails cleanly mid-shot.
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		nc, ok := p.(*quantum.NonCliffordError)
+		if !ok {
+			panic(p)
+		}
+		err := &RuntimeError{PC: m.pc, Tick: m.tick, Instr: m.current(), Msg: nc.Error()}
+		m.fail(err)
+		m.stats.TicksRun = m.tick
+		m.stats.FinalTimeNs = m.tick * int64(m.cfg.ClassicalTickNs)
+		runErr = err
+	}()
 	for {
 		if m.err != nil {
 			m.stats.TicksRun = m.tick

@@ -102,12 +102,14 @@ func (m *Machine) executePlanned() {
 		// Slots taking a non-empty set join the dirty list the next
 		// reset restores.
 		m.sRegs[ins.Addr] = ins.Mask
+		m.sRegsHi[ins.Addr] = ins.MaskHi
 		if ins.Targets != plan.EmptyTargets {
 			m.markSSetDirty(ins.Addr)
 		}
 		m.sSets[ins.Addr] = ins.Targets
 	case isa.OpSMIT:
 		m.tRegs[ins.Addr] = ins.Mask
+		m.tRegsHi[ins.Addr] = ins.MaskHi
 		if ins.Targets != plan.EmptyTargets {
 			m.markTSetDirty(ins.Addr)
 		}

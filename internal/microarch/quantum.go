@@ -139,9 +139,9 @@ func (m *Machine) issueBundle(ins isa.Instr) {
 		}
 		switch def.Kind {
 		case isa.OpKindTwo:
-			m.issuePairOp(def, micro, m.tRegs[q.Target], point)
+			m.issuePairOp(def, micro, m.tRegs[q.Target], m.tRegsHi[q.Target], point)
 		default:
-			m.issueSingleOp(def, micro, m.sRegs[q.Target], point)
+			m.issueSingleOp(def, micro, m.sRegs[q.Target], m.sRegsHi[q.Target], point)
 		}
 		if m.err != nil {
 			return
@@ -164,17 +164,17 @@ func (m *Machine) claim(qubit int, cycle int64, opName string) bool {
 	return true
 }
 
-func (m *Machine) issueSingleOp(def *isa.OpDef, micro []MicroOp, mask uint64, point int64) {
-	if high := mask &^ (1<<uint(m.cfg.Topo.NumQubits) - 1); high != 0 {
-		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
-			Msg: fmt.Sprintf("target mask %#x addresses qubits beyond the %d-qubit chip",
-				mask, m.cfg.Topo.NumQubits)})
-		return
-	}
-	for q, sel := range m.ResolveOpSelSingle(mask) {
-		if sel != SelSingle {
-			continue
+func (m *Machine) issueSingleOp(def *isa.OpDef, micro []MicroOp, mask uint64, hi []uint64, point int64) {
+	qubits := isa.MaskQubitsWide(mask, hi)
+	for _, q := range qubits {
+		if q >= m.cfg.Topo.NumQubits {
+			m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+				Msg: fmt.Sprintf("target mask %#x addresses qubits beyond the %d-qubit chip",
+					mask, m.cfg.Topo.NumQubits)})
+			return
 		}
+	}
+	for _, q := range qubits {
 		if !m.claim(q, point, def.Name) {
 			return
 		}
@@ -200,21 +200,33 @@ func noFeedlineMsg(q int) string {
 	return fmt.Sprintf("qubit %d has no feedline to measure through", q)
 }
 
-func (m *Machine) issuePairOp(def *isa.OpDef, micro []MicroOp, mask uint64, point int64) {
-	if high := mask &^ (1<<uint(len(m.cfg.Topo.Edges)) - 1); high != 0 {
-		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
-			Msg: fmt.Sprintf("pair mask %#x addresses edges beyond the chip's %d allowed pairs",
-				mask, len(m.cfg.Topo.Edges))})
-		return
-	}
-	if _, err := m.ResolveOpSelPair(mask); err != nil {
-		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick, Msg: err.Error()})
-		return
-	}
-	for id, e := range m.cfg.Topo.Edges {
-		if mask&(1<<uint(id)) == 0 {
-			continue
+func (m *Machine) issuePairOp(def *isa.OpDef, micro []MicroOp, mask uint64, hi []uint64, point int64) {
+	edges := isa.MaskQubitsWide(mask, hi)
+	for _, id := range edges {
+		if id >= len(m.cfg.Topo.Edges) {
+			m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+				Msg: fmt.Sprintf("pair mask %#x addresses edges beyond the chip's %d allowed pairs",
+					mask, len(m.cfg.Topo.Edges))})
+			return
 		}
+	}
+	sel := make([]OpSel, m.cfg.Topo.NumQubits)
+	for _, id := range edges {
+		e := m.cfg.Topo.Edges[id]
+		for _, role := range []struct {
+			q int
+			s OpSel
+		}{{e.Src, SelSrc}, {e.Tgt, SelTgt}} {
+			if sel[role.q] != SelNone {
+				m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick,
+					Msg: fmt.Sprintf("pair mask %#x selects two edges sharing qubit %d", mask, role.q)})
+				return
+			}
+			sel[role.q] = role.s
+		}
+	}
+	for _, id := range edges {
+		e := m.cfg.Topo.Edges[id]
 		if !m.claim(e.Src, point, def.Name) || !m.claim(e.Tgt, point, def.Name) {
 			return
 		}

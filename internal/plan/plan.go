@@ -58,8 +58,12 @@ type Pair struct {
 // resolved ahead of time. The zero-mask set is shared (EmptyTargets).
 type TargetSet struct {
 	// Mask is the raw register value (the architectural S/T register
-	// contents).
+	// contents): bits 0..63.
 	Mask uint64
+	// MaskHi extends the register beyond 64 targets for wide
+	// instantiations (chain chips): word i holds bits 64(i+1)..64(i+2)-1.
+	// Nil for the 32-bit encodable instantiations.
+	MaskHi []uint64
 	// Qubits is the ascending qubit list of a SMIS mask.
 	Qubits []int
 	// Pairs is the edge list of a SMIT mask, in edge-ID order.
@@ -119,6 +123,8 @@ type Instr struct {
 	Cond       isa.CondFlag
 	Imm        int32
 	Mask       uint64
+	// MaskHi extends Mask past 64 targets on wide instantiations.
+	MaskHi []uint64
 	// Targets is the pre-expanded target set a SMIS/SMIT installs.
 	Targets *TargetSet
 	// Bundle is the pre-resolved quantum bundle of an OpBundle.
@@ -132,6 +138,9 @@ type Executable struct {
 	topo   *topology.Topology
 	opCfg  *isa.OpConfig
 	instrs []Instr
+
+	cliffordOnly bool
+	profile      map[string]int
 }
 
 // Program returns the source program the plan lowers (error reporting
@@ -150,6 +159,55 @@ func (e *Executable) Instrs() []Instr { return e.instrs }
 
 // Len returns the instruction count.
 func (e *Executable) Len() int { return len(e.instrs) }
+
+// CliffordOnly reports whether every gate site of the plan carries a
+// Clifford-group unitary (measurements included; they are stabilizer
+// operations). Clifford-only noiseless plans are eligible for the
+// stabilizer-tableau backend. Deferred-error sites (unconfigured
+// operations, missing microcode) count as non-Clifford so the selection
+// stays conservative.
+func (e *Executable) CliffordOnly() bool { return e.cliffordOnly }
+
+// GateProfile returns the plan's static instruction-site counts per
+// kernel kind ("gate1.hadamard", "gate2.cphase", "measure", ...), the
+// aggregate that ClassifyGate1/2 computes and execution otherwise
+// discards. The returned map is a copy; nil when the plan has no gate
+// sites.
+func (e *Executable) GateProfile() map[string]int {
+	if len(e.profile) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(e.profile))
+	for k, v := range e.profile {
+		out[k] = v
+	}
+	return out
+}
+
+// gate1KindName names a kernel classification for GateProfile keys.
+func gate1KindName(k quantum.Gate1Kind) string {
+	switch k {
+	case quantum.Gate1Diag:
+		return "gate1.diag"
+	case quantum.Gate1AntiDiag:
+		return "gate1.antidiag"
+	case quantum.Gate1Hadamard:
+		return "gate1.hadamard"
+	}
+	return "gate1.generic"
+}
+
+func gate2KindName(k quantum.Gate2Kind) string {
+	switch k {
+	case quantum.Gate2CPhase:
+		return "gate2.cphase"
+	case quantum.Gate2Diag:
+		return "gate2.diag"
+	case quantum.Gate2Perm:
+		return "gate2.perm"
+	}
+	return "gate2.generic"
+}
 
 // controlStores interns one Q control store per live operation
 // configuration, so every plan lowered under the same configuration —
@@ -202,6 +260,8 @@ func Build(prog *isa.Program, topo *topology.Topology, opCfg *isa.OpConfig) (*Ex
 		opCfg:   opCfg,
 		cstore:  InternControlStore(opCfg),
 		targets: map[targetKey]*TargetSet{},
+		cliff:   true,
+		profile: map[string]int{},
 	}
 	ex := &Executable{
 		prog:   prog,
@@ -212,6 +272,8 @@ func Build(prog *isa.Program, topo *topology.Topology, opCfg *isa.OpConfig) (*Ex
 	for i, ins := range prog.Instrs {
 		ex.instrs[i] = b.lower(ins)
 	}
+	ex.cliffordOnly = b.cliff
+	ex.profile = b.profile
 	return ex, nil
 }
 
@@ -227,6 +289,10 @@ type builder struct {
 	// targets dedupes expanded masks: programs re-install the same
 	// few masks from many sites (and loops re-execute one site).
 	targets map[targetKey]*TargetSet
+	// cliff accumulates the CliffordOnly stamp; profile the per-kernel
+	// gate-site counts.
+	cliff   bool
+	profile map[string]int
 }
 
 func (b *builder) lower(ins isa.Instr) Instr {
@@ -241,11 +307,12 @@ func (b *builder) lower(ins isa.Instr) Instr {
 		Imm:  ins.Imm,
 		Mask: ins.Mask,
 	}
+	out.MaskHi = ins.MaskHi
 	switch ins.Op {
 	case isa.OpSMIS:
-		out.Targets = b.expand(ins.Mask, false)
+		out.Targets = b.expand(ins.Mask, ins.MaskHi, false)
 	case isa.OpSMIT:
-		out.Targets = b.expand(ins.Mask, true)
+		out.Targets = b.expand(ins.Mask, ins.MaskHi, true)
 	case isa.OpBundle:
 		out.Bundle = b.lowerBundle(ins)
 	}
@@ -253,10 +320,15 @@ func (b *builder) lower(ins isa.Instr) Instr {
 }
 
 // expand pre-resolves one mask value into its target set, reusing
-// previously expanded identical masks.
-func (b *builder) expand(mask uint64, pair bool) *TargetSet {
-	if mask == 0 {
+// previously expanded identical masks. Wide masks skip the dedup map
+// (its key is the low word) and expand per site; they are rare and
+// programs do not re-install identical wide values from many sites.
+func (b *builder) expand(mask uint64, maskHi []uint64, pair bool) *TargetSet {
+	if mask == 0 && !anyBits(maskHi) {
 		return EmptyTargets
+	}
+	if anyBits(maskHi) {
+		return ExpandTargetsWide(mask, maskHi, b.topo)
 	}
 	key := targetKey{mask, pair}
 	if ts, ok := b.targets[key]; ok {
@@ -267,18 +339,70 @@ func (b *builder) expand(mask uint64, pair bool) *TargetSet {
 	return ts
 }
 
+func anyBits(hi []uint64) bool {
+	for _, w := range hi {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // ExpandTargets expands one raw S/T register mask under a chip
 // topology, exactly as the plan builder does for SMIS/SMIT sites. The
 // microarchitecture uses it when a plan is loaded over live register
 // state (registers survive program uploads).
 func ExpandTargets(mask uint64, topo *topology.Topology) *TargetSet {
-	if mask == 0 {
+	return ExpandTargetsWide(mask, nil, topo)
+}
+
+// ExpandTargetsWide is ExpandTargets for register values wider than 64
+// bits (wide-instantiation chips): maskHi word i holds target bits
+// 64(i+1)..64(i+2)-1.
+func ExpandTargetsWide(mask uint64, maskHi []uint64, topo *topology.Topology) *TargetSet {
+	if mask == 0 && !anyBits(maskHi) {
 		return EmptyTargets
 	}
-	ts := &TargetSet{Mask: mask}
+	ts := &TargetSet{Mask: mask, MaskHi: maskHi}
 	expandSingle(ts, topo)
 	expandPair(ts, topo)
 	return ts
+}
+
+// maskBit reads target bit i of a (lo, hi) register value.
+func maskBit(lo uint64, hi []uint64, i int) bool {
+	if i < 64 {
+		return lo>>uint(i)&1 == 1
+	}
+	w := i/64 - 1
+	if w >= len(hi) {
+		return false
+	}
+	return hi[w]>>uint(i&63)&1 == 1
+}
+
+// maskHighBits reports whether any bit at index >= n is set.
+func maskHighBits(lo uint64, hi []uint64, n int) bool {
+	if n < 64 && lo&^(1<<uint(n)-1) != 0 {
+		return true
+	}
+	for w, word := range hi {
+		if word == 0 {
+			continue
+		}
+		base := 64 * (w + 1)
+		switch {
+		case base >= n:
+			return true
+		case base+64 <= n:
+			// whole word in range
+		default:
+			if word&^(1<<uint(n-base)-1) != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // expandSingle resolves the mask as a single-qubit (S register) target
@@ -286,13 +410,13 @@ func ExpandTargets(mask uint64, topo *topology.Topology) *TargetSet {
 // masks.
 func expandSingle(ts *TargetSet, topo *topology.Topology) {
 	n := topo.NumQubits
-	if high := ts.Mask &^ (1<<uint(n) - 1); high != 0 {
+	if maskHighBits(ts.Mask, ts.MaskHi, n) {
 		ts.SingleErr = fmt.Sprintf("target mask %#x addresses qubits beyond the %d-qubit chip",
 			ts.Mask, n)
 		return
 	}
 	for q := 0; q < n; q++ {
-		if ts.Mask&(1<<uint(q)) != 0 {
+		if maskBit(ts.Mask, ts.MaskHi, q) {
 			ts.Qubits = append(ts.Qubits, q)
 		}
 	}
@@ -304,14 +428,14 @@ func expandSingle(ts *TargetSet, topo *topology.Topology) {
 // interpreter's order: range first, then qubit sharing.
 func expandPair(ts *TargetSet, topo *topology.Topology) {
 	edges := topo.Edges
-	if high := ts.Mask &^ (1<<uint(len(edges)) - 1); high != 0 {
+	if maskHighBits(ts.Mask, ts.MaskHi, len(edges)) {
 		ts.PairErr = fmt.Sprintf("pair mask %#x addresses edges beyond the chip's %d allowed pairs",
 			ts.Mask, len(edges))
 		return
 	}
-	used := make(map[int]bool, 2*len(edges))
+	used := make(map[int]bool, 8)
 	for id, e := range edges {
-		if ts.Mask&(1<<uint(id)) == 0 {
+		if !maskBit(ts.Mask, ts.MaskHi, id) {
 			continue
 		}
 		for _, q := range [2]int{e.Src, e.Tgt} {
@@ -342,6 +466,7 @@ func (b *builder) lowerBundle(ins isa.Instr) *Bundle {
 func (b *builder) lowerOp(q isa.QOp) BundleOp {
 	def, ok := b.opCfg.ByName(q.Name)
 	if !ok {
+		b.cliff = false
 		return BundleOp{
 			Target: q.Target,
 			ErrMsg: fmt.Sprintf("operation %q is not configured", q.Name),
@@ -349,6 +474,7 @@ func (b *builder) lowerOp(q isa.QOp) BundleOp {
 	}
 	micro, ok := b.cstore.Lookup(def.Opcode)
 	if !ok {
+		b.cliff = false
 		return BundleOp{
 			Target: q.Target,
 			ErrMsg: fmt.Sprintf("q-opcode %d (%s) missing from the Q control store", def.Opcode, q.Name),
@@ -365,11 +491,20 @@ func (b *builder) lowerOp(q isa.QOp) BundleOp {
 	case isa.OpKindTwo:
 		op.Kind = KindGate2
 		op.Spec2 = quantum.ClassifyGate2(def.Unitary2)
+		b.profile[gate2KindName(op.Spec2.Kind)]++
+		if !quantum.IsClifford2(def.Unitary2) {
+			b.cliff = false
+		}
 	case isa.OpKindMeasure:
 		op.Kind = KindMeasure
+		b.profile["measure"]++
 	default:
 		op.Kind = KindGate1
 		op.Spec1 = quantum.ClassifyGate1(def.Unitary1)
+		b.profile[gate1KindName(op.Spec1.Kind)]++
+		if !quantum.IsClifford1(def.Unitary1) {
+			b.cliff = false
+		}
 	}
 	return op
 }

@@ -86,6 +86,12 @@ type RequestSpec struct {
 	// program bound elsewhere cannot silently execute with different
 	// semantics.
 	Chip string
+	// Backend, when set, overrides the chip-simulation backend for this
+	// request: "auto", "statevector", "densitymatrix" or "stabilizer"
+	// (eqasm.WithBackend). The default is the service's configured
+	// selection. Backend choice does not affect program caching — the
+	// same assembled program serves every backend.
+	Backend string
 }
 
 // BatchSpec describes a batch job: N program requests admitted,
@@ -107,6 +113,7 @@ type JobSpec struct {
 	Priority Priority
 	Seed     int64
 	Chip     string
+	Backend  string
 }
 
 // batch lifts the single-program spec into the batch shape every job
@@ -121,6 +128,7 @@ func (spec JobSpec) batch() BatchSpec {
 			Shots:   spec.Shots,
 			Seed:    spec.Seed,
 			Chip:    spec.Chip,
+			Backend: spec.Backend,
 		}},
 	}
 }
@@ -161,6 +169,12 @@ func (spec RequestSpec) validate(i int) error {
 	}
 	if spec.Seed < 0 {
 		return fail(fmt.Errorf("negative seed %d", spec.Seed))
+	}
+	switch spec.Backend {
+	case "", eqasm.BackendAuto, eqasm.BackendStateVector, eqasm.BackendDensityMatrix, eqasm.BackendStabilizer:
+	default:
+		return fail(fmt.Errorf("unknown backend %q (valid: %s, %s, %s, %s)", spec.Backend,
+			eqasm.BackendAuto, eqasm.BackendStateVector, eqasm.BackendDensityMatrix, eqasm.BackendStabilizer))
 	}
 	return nil
 }
@@ -256,6 +270,10 @@ type RequestResult struct {
 	TotalStats eqasm.ExecStats `json:"total_stats"`
 	// CacheHit reports that the request's program came from the cache.
 	CacheHit bool `json:"cache_hit"`
+	// Backend names the chip-simulation backend that executed the
+	// request's shots ("statevector", "densitymatrix" or "stabilizer"),
+	// resolved from the request's Backend field or auto-selection.
+	Backend string `json:"backend,omitempty"`
 	// RunTime spans the request's first batch start to its last batch
 	// end (still growing while the request runs).
 	RunTime time.Duration `json:"run_ns"`
@@ -328,6 +346,7 @@ type requestRun struct {
 	started   time.Time
 	finished  time.Time
 	shotsRun  int
+	backend   string
 	hist      map[string]int
 	qubits    []int
 	stats     eqasm.ExecStats
@@ -441,6 +460,7 @@ func (r *requestRun) snapshot(i int) RequestResult {
 		Stats:      r.stats,
 		TotalStats: r.total,
 		CacheHit:   r.cacheHit,
+		Backend:    r.backend,
 	}
 	switch {
 	case !r.finished.IsZero():
@@ -556,6 +576,9 @@ func (j *Job) finishBatch(b *batch, res *eqasm.Result, err error) {
 		}
 		if r.qubits == nil && len(res.Qubits) > 0 {
 			r.qubits = res.Qubits
+		}
+		if r.backend == "" {
+			r.backend = res.Backend
 		}
 		if res.Shots > 0 && b.index >= r.statsIdx {
 			r.stats = res.Stats

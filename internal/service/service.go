@@ -133,6 +133,12 @@ type Service struct {
 
 	jobSeq  atomic.Int64
 	metrics metrics
+
+	// profMu guards gateProfile, the service-wide kernel execution
+	// profile: static instruction sites per kernel kind weighted by the
+	// shots that replayed them.
+	profMu      sync.Mutex
+	gateProfile map[string]int64
 }
 
 // metrics are the service's atomic counters and gauges.
@@ -145,6 +151,7 @@ type metrics struct {
 	requestsSubmitted atomic.Int64
 	batchJobs         atomic.Int64
 	shotsExecuted     atomic.Int64
+	stabilizerShots   atomic.Int64
 	batchesRun        atomic.Int64
 	workersBusy       atomic.Int64
 	runNs             atomic.Int64
@@ -169,10 +176,14 @@ type Stats struct {
 	RequestsSubmitted int64 `json:"requests_submitted"`
 	BatchJobs         int64 `json:"batch_jobs"`
 	ShotsExecuted     int64 `json:"shots_executed"`
-	BatchesRun        int64 `json:"batches_run"`
-	CacheHits         int64 `json:"cache_hits"`
-	CacheMisses       int64 `json:"cache_misses"`
-	CacheEntries      int   `json:"cache_entries"`
+	// StabilizerShots counts the subset of ShotsExecuted that ran on the
+	// Gottesman–Knill stabilizer-tableau backend (selected explicitly or
+	// by auto-detection of noiseless Clifford-only plans).
+	StabilizerShots int64 `json:"stabilizer_shots"`
+	BatchesRun      int64 `json:"batches_run"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheEntries    int   `json:"cache_entries"`
 	// PlanCacheHits/Misses count execution-plan reuse: a job whose
 	// program already carried its lowered decode-once plan (built once
 	// per cached program, shared by every batch and pooled machine)
@@ -181,6 +192,11 @@ type Stats struct {
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
 	// RunNs is the cumulative wall time workers spent executing batches.
 	RunNs int64 `json:"run_ns"`
+	// GateProfile aggregates executed kernel work across all batches:
+	// for each kernel kind ("gate1.hadamard", "gate2.cnot", "measure",
+	// ...), the number of static instruction sites of that kind in the
+	// program, weighted by the shots that replayed them.
+	GateProfile map[string]int64 `json:"gate_profile,omitempty"`
 }
 
 // New builds and starts a service; the worker pool runs until Shutdown
@@ -426,6 +442,15 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.Unlock()
 	hits, misses, entries := s.cache.stats()
+	var profile map[string]int64
+	s.profMu.Lock()
+	if len(s.gateProfile) > 0 {
+		profile = make(map[string]int64, len(s.gateProfile))
+		for k, v := range s.gateProfile {
+			profile[k] = v
+		}
+	}
+	s.profMu.Unlock()
 	return Stats{
 		Workers:           s.cfg.Workers,
 		WorkersBusy:       int(s.metrics.workersBusy.Load()),
@@ -439,6 +464,7 @@ func (s *Service) Stats() Stats {
 		RequestsSubmitted: s.metrics.requestsSubmitted.Load(),
 		BatchJobs:         s.metrics.batchJobs.Load(),
 		ShotsExecuted:     s.metrics.shotsExecuted.Load(),
+		StabilizerShots:   s.metrics.stabilizerShots.Load(),
 		BatchesRun:        s.metrics.batchesRun.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
@@ -446,6 +472,7 @@ func (s *Service) Stats() Stats {
 		PlanCacheHits:     s.metrics.planHits.Load(),
 		PlanCacheMisses:   s.metrics.planMisses.Load(),
 		RunNs:             s.metrics.runNs.Load(),
+		GateProfile:       profile,
 	}
 }
 

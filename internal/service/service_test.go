@@ -669,3 +669,66 @@ func TestCancelAfterRequestFailure(t *testing.T) {
 		t.Fatal("long request ran to completion despite Cancel")
 	}
 }
+
+// The backend field plumbs through to execution (per-request result
+// names the simulator that ran), the stabilizer-shot counter tracks
+// tableau-path work, and the service-wide gate profile aggregates
+// kernel sites weighted by shots. An unknown backend name is rejected
+// at validation.
+func TestBackendSelectionAndStats(t *testing.T) {
+	svc := newService(t, service.Config{
+		Workers:    2,
+		BatchShots: 16,
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	const shots = 64
+	bell := service.SmokePrograms()["bell"]
+
+	// Forced state vector first: no stabilizer shots yet.
+	res := waitResult(t, mustSubmit(t, svc, service.JobSpec{
+		Source: bell, Shots: shots, Backend: eqasm.BackendStateVector,
+	}))
+	if got := res.Requests[0].Backend; got != eqasm.BackendStateVector {
+		t.Fatalf("request backend = %q, want %q", got, eqasm.BackendStateVector)
+	}
+	if st := svc.Stats(); st.StabilizerShots != 0 {
+		t.Fatalf("stabilizer shots = %d before any tableau run", st.StabilizerShots)
+	}
+
+	// Auto-selection routes the noiseless Clifford-only Bell program to
+	// the tableau and the counter follows.
+	res = waitResult(t, mustSubmit(t, svc, service.JobSpec{Source: bell, Shots: shots}))
+	if got := res.Requests[0].Backend; got != eqasm.BackendStabilizer {
+		t.Fatalf("auto request backend = %q, want %q", got, eqasm.BackendStabilizer)
+	}
+	st := svc.Stats()
+	if st.StabilizerShots != shots {
+		t.Fatalf("stabilizer shots = %d, want %d", st.StabilizerShots, shots)
+	}
+	if st.ShotsExecuted != 2*shots {
+		t.Fatalf("shots executed = %d, want %d", st.ShotsExecuted, 2*shots)
+	}
+	// The Bell program has 1 H site, 1 CNOT site and 1 measure site;
+	// both jobs ran shots times each, so every kind aggregates to
+	// sites × 2·shots.
+	for _, kind := range []string{"gate1.hadamard", "gate2.perm", "measure"} {
+		if got := st.GateProfile[kind]; got != 2*shots {
+			t.Fatalf("gate profile %q = %d, want %d (profile: %v)", kind, got, 2*shots, st.GateProfile)
+		}
+	}
+
+	if _, err := svc.Submit(context.Background(), service.JobSpec{
+		Source: bell, Shots: 1, Backend: "tensor-network",
+	}); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("unknown backend error = %v", err)
+	}
+}
+
+func mustSubmit(t *testing.T, svc *service.Service, spec service.JobSpec) *service.Job {
+	t.Helper()
+	job, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}

@@ -41,6 +41,19 @@ func (s *Service) runBatch(b *batch) {
 	s.metrics.batchesRun.Add(1)
 	if res != nil {
 		s.metrics.shotsExecuted.Add(int64(res.Shots))
+		if res.Backend == eqasm.BackendStabilizer {
+			s.metrics.stabilizerShots.Add(int64(res.Shots))
+		}
+		if len(res.GateProfile) > 0 && res.Shots > 0 {
+			s.profMu.Lock()
+			if s.gateProfile == nil {
+				s.gateProfile = make(map[string]int64, len(res.GateProfile))
+			}
+			for k, v := range res.GateProfile {
+				s.gateProfile[k] += int64(v) * int64(res.Shots)
+			}
+			s.profMu.Unlock()
+		}
 	}
 	s.metrics.runNs.Add(time.Since(start).Nanoseconds())
 	job.finishBatch(b, res, err)
@@ -64,6 +77,7 @@ func (s *Service) executeBatch(b *batch) (*eqasm.Result, error) {
 		Shots:   b.shots,
 		Seed:    base + int64(b.index)*eqasm.SeedStride,
 		Workers: 1,
+		Backend: r.spec.Backend,
 	})
 	// Cancellation is not an error (the job records its own cause), and
 	// neither is a stop triggered by the request's own earlier failure

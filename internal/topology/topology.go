@@ -145,9 +145,22 @@ func (t *Topology) Neighbors(q int) []int {
 // reject such SMIT values because both micro-operations would address the
 // same qubit at the same timing point.
 func (t *Topology) ValidatePairMask(mask uint64) error {
+	return t.ValidatePairMaskWide(mask, nil)
+}
+
+// ValidatePairMaskWide is ValidatePairMask for wide register values
+// (chips with more than 64 allowed pairs): hi word i holds edge bits
+// 64(i+1)..64(i+2)-1.
+func (t *Topology) ValidatePairMaskWide(mask uint64, hi []uint64) error {
 	used := make(map[int]int) // qubit -> first edge that claimed it
 	for id := range t.Edges {
-		if mask&(1<<uint(id)) == 0 {
+		var set bool
+		if id < 64 {
+			set = mask>>uint(id)&1 == 1
+		} else if w := id/64 - 1; w < len(hi) {
+			set = hi[w]>>uint(id&63)&1 == 1
+		}
+		if !set {
 			continue
 		}
 		e := t.Edges[id]
@@ -260,4 +273,37 @@ func Surface17() *Topology {
 	}
 	return MustNew("surface17", 17, edges,
 		[][]int{{0, 1, 2, 3, 9, 11, 13, 15, 16}, {4, 5, 6, 7, 8, 10, 12, 14}})
+}
+
+// Chain returns a 1-D nearest-neighbour chain of n qubits — the natural
+// layout for GHZ and repetition-code demonstrations at register sizes
+// only the stabilizer backend can simulate. Forward edge i is (i, i+1)
+// for i in 0..n-2; edge (n-1)+i reverses it. Qubits are grouped onto
+// feedlines nine at a time, the UHFQC multiplexing limit of Section 4.4,
+// so every qubit is measurable.
+func Chain(n int) *Topology {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: chain needs at least 2 qubits, got %d", n))
+	}
+	edges := make([]Edge, 0, 2*(n-1))
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{i, i, i + 1})
+	}
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{n - 1 + i, i + 1, i})
+	}
+	const perFeedline = 9
+	var feedlines [][]int
+	for q := 0; q < n; q += perFeedline {
+		end := q + perFeedline
+		if end > n {
+			end = n
+		}
+		fl := make([]int, 0, end-q)
+		for i := q; i < end; i++ {
+			fl = append(fl, i)
+		}
+		feedlines = append(feedlines, fl)
+	}
+	return MustNew(fmt.Sprintf("chain%d", n), n, edges, feedlines)
 }

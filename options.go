@@ -3,6 +3,8 @@ package eqasm
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"eqasm/internal/compiler"
@@ -30,11 +32,12 @@ type config struct {
 	hwTopo  *topology.Topology
 	hwOpCfg *isa.OpConfig
 
-	noise   NoiseModel
-	seed    int64
-	density bool
-	trace   bool
-	mock    func(qubit, index int) int
+	noise       NoiseModel
+	seed        int64
+	density     bool
+	backendName string
+	trace       bool
+	mock        func(qubit, index int) int
 
 	shots   int
 	workers int
@@ -75,9 +78,16 @@ func newConfig(opts []Option) (*config, error) {
 }
 
 // WithTopology selects a named chip topology. Topologies lists the
-// valid names; the default is "twoqubit", the paper's Section 5
+// built-in names; the default is "twoqubit", the paper's Section 5
 // validation chip. Selecting "surface17" also switches to the
 // pair-list SMIT instantiation unless WithInstantiation overrides it.
+//
+// The parameterized family "chain<N>" (e.g. "chain1024", 2 <= N <=
+// 4096) is a nearest-neighbour chain of N qubits with a matching
+// wide-mask instantiation: registers this size exceed the state-vector
+// simulator, so chain chips pair with the stabilizer backend for
+// Clifford workloads, and programs for chains past 64 qubits have no
+// 32-bit binary encoding (they assemble and execute directly).
 func WithTopology(name string) Option {
 	return func(c *config) { c.topoName = name }
 }
@@ -136,8 +146,57 @@ func WithCalibratedNoise() Option {
 
 // WithDensityMatrix selects the exact density-matrix chip simulator
 // instead of the trajectory state-vector backend (small registers only).
+// It is shorthand for WithBackend("densitymatrix") at auto-selection
+// time.
 func WithDensityMatrix() Option {
 	return func(c *config) { c.density = true }
+}
+
+// Backend names accepted by WithBackend and RunOptions.Backend. A
+// Result reports which one a run actually executed on.
+const (
+	// BackendAuto picks per program: the density matrix when
+	// WithDensityMatrix is set, the state vector when noise is
+	// configured, the stabilizer tableau for noiseless Clifford-only
+	// programs, and the state vector otherwise. This is the default.
+	BackendAuto = "auto"
+	// BackendStateVector is the trajectory state-vector simulator
+	// (any gate set, registers up to 26 qubits).
+	BackendStateVector = "statevector"
+	// BackendDensityMatrix is the exact density-matrix simulator
+	// (any gate set, small registers only).
+	BackendDensityMatrix = "densitymatrix"
+	// BackendStabilizer is the Gottesman–Knill tableau simulator:
+	// Clifford circuits at thousands of qubits, noiseless chips only.
+	// A non-Clifford operation is a runtime fault.
+	BackendStabilizer = "stabilizer"
+)
+
+// validBackendName reports whether name is accepted by WithBackend or
+// RunOptions.Backend ("" means auto).
+func validBackendName(name string) bool {
+	switch name {
+	case "", BackendAuto, BackendStateVector, BackendDensityMatrix, BackendStabilizer:
+		return true
+	}
+	return false
+}
+
+// WithBackend selects the chip-simulation backend by name: "auto" (the
+// default), "statevector", "densitymatrix" or "stabilizer". Auto
+// selection routes noiseless Clifford-only programs to the stabilizer
+// tableau — which simulates 1000+-qubit Clifford circuits in polynomial
+// time — and everything else to the state vector, preserving the exact
+// seeded measurement streams either way. RunOptions.Backend overrides
+// this per run.
+func WithBackend(name string) Option {
+	return func(c *config) {
+		if !validBackendName(name) {
+			c.fail("eqasm: unknown backend %q (valid: auto, statevector, densitymatrix, stabilizer)", name)
+			return
+		}
+		c.backendName = name
+	}
 }
 
 // WithDeviceTrace records the device-operation trace (the simulated
@@ -383,7 +442,12 @@ func Topologies() []string {
 func internTopology(name string) (*topology.Topology, error) {
 	build, ok := topoByName[name]
 	if !ok {
-		return nil, fmt.Errorf("eqasm: unknown topology %q (valid: %v)", name, Topologies())
+		n, isChain := parseChainName(name)
+		if !isChain {
+			return nil, fmt.Errorf("eqasm: unknown topology %q (valid: %v or chain<N>, 2 <= N <= %d)",
+				name, Topologies(), maxChainQubits)
+		}
+		build = func() *topology.Topology { return topology.Chain(n) }
 	}
 	topoCacheMu.Lock()
 	defer topoCacheMu.Unlock()
@@ -393,6 +457,47 @@ func internTopology(name string) (*topology.Topology, error) {
 	t := build()
 	topoCache[name] = t
 	return t, nil
+}
+
+// maxChainQubits bounds the "chain<N>" topology family (the tableau
+// needs ~(2N)^2/8 bytes; 4096 qubits is 8 MiB per machine).
+const maxChainQubits = 4096
+
+// parseChainName recognises the "chain<N>" topology family.
+func parseChainName(name string) (int, bool) {
+	digits, ok := strings.CutPrefix(name, "chain")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 2 || n > maxChainQubits || strconv.Itoa(n) != digits {
+		return 0, false
+	}
+	return n, true
+}
+
+var (
+	chainInstMu    sync.Mutex
+	chainInstCache = map[int]isa.Instantiation{}
+)
+
+// chainInstantiation interns the wide-mask instantiation of a chain
+// chip, sharing the interned topology so stacks resolved from the same
+// name compare equal (one machine pool, shareable plans).
+func chainInstantiation(n int) (isa.Instantiation, error) {
+	topo, err := internTopology(fmt.Sprintf("chain%d", n))
+	if err != nil {
+		return isa.Instantiation{}, err
+	}
+	chainInstMu.Lock()
+	defer chainInstMu.Unlock()
+	if inst, ok := chainInstCache[n]; ok {
+		return inst, nil
+	}
+	inst := isa.ChainInstantiation(n)
+	inst.PairTopology = topo
+	chainInstCache[n] = inst
+	return inst, nil
 }
 
 // resolveStack turns the named context options into the shared
@@ -417,6 +522,12 @@ func (c *config) resolveStack() (stack, error) {
 	case "", "auto":
 		if c.topoName == "surface17" && c.hwTopo == nil {
 			st.inst = surface17Inst()
+		} else if n, isChain := parseChainName(c.topoName); isChain && c.hwTopo == nil {
+			inst, err := chainInstantiation(n)
+			if err != nil {
+				return stack{}, err
+			}
+			st.inst = inst
 		} else {
 			st.inst = isa.Default
 		}

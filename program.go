@@ -286,6 +286,10 @@ func compileIR(cfg *config, st stack, p *ir.Program) (*Program, error) {
 		return nil, fmt.Errorf("eqasm: circuit needs %d qubits, chip %q has %d",
 			p.NumQubits, st.topo.Name, st.topo.NumQubits)
 	}
+	if st.topo.NumQubits > 64 {
+		return nil, fmt.Errorf("eqasm: the compiler's register allocator targets chips up to 64 qubits (%q has %d); assemble wide-register programs directly",
+			st.topo.Name, st.topo.NumQubits)
+	}
 	arch := compiler.DefaultArch(st.inst)
 	arch.SOMQ = cfg.somq
 	if cfg.specSet {

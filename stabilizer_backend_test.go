@@ -1,0 +1,248 @@
+// Stabilizer-backend contract through the public API: backend
+// auto-selection routes noiseless Clifford-only plans to the tableau
+// simulator, forced backends agree bit-for-bit with the state vector
+// at overlapping sizes (the two backends draw one uniform variate per
+// measurement, so their seeded random streams coincide), a 1000+-qubit
+// GHZ executes through the Simulator in ordinary test time, and a
+// non-Clifford gate never reaches the tableau.
+package eqasm_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"eqasm"
+	"eqasm/internal/service"
+)
+
+// ghzSource renders an n-qubit GHZ circuit for a chain<n> topology:
+// H on qubit 0, a CNOT chain, and one wide measurement of every qubit.
+func ghzSource(n int) string {
+	var b strings.Builder
+	b.WriteString("SMIS S0, {0}\n")
+	b.WriteString("SMIS S1, {")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("QWAIT 100\n")
+	b.WriteString("H S0\n")
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&b, "SMIT T0, {(%d, %d)}\n", i, i+1)
+		b.WriteString("2, CNOT T0\n")
+	}
+	b.WriteString("2, MEASZ S1\n")
+	b.WriteString("QWAIT 50\n")
+	b.WriteString("STOP\n")
+	return b.String()
+}
+
+// TestGHZ1024 is the tentpole acceptance check: a 1024-qubit GHZ state
+// prepared and measured end to end through Simulator.Run. The state
+// vector could never represent it (2^1024 amplitudes); auto-selection
+// must route the Clifford-only plan to the stabilizer tableau, and
+// every shot must collapse all 1024 qubits to one shared bit.
+func TestGHZ1024(t *testing.T) {
+	const n = 1024
+	opts := []eqasm.Option{eqasm.WithTopology("chain1024"), eqasm.WithSeed(7)}
+	prog, err := eqasm.Assemble(ghzSource(n), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != eqasm.BackendStabilizer {
+		t.Fatalf("backend = %q, want %q (auto-selection over a Clifford-only plan)",
+			res.Backend, eqasm.BackendStabilizer)
+	}
+	if res.Shots != 3 {
+		t.Fatalf("shots = %d, want 3", res.Shots)
+	}
+	if len(res.Qubits) != n {
+		t.Fatalf("measured %d qubits, want %d", len(res.Qubits), n)
+	}
+	for key, count := range res.Histogram {
+		if len(key) != n {
+			t.Fatalf("histogram key of length %d, want %d", len(key), n)
+		}
+		if key != strings.Repeat("0", n) && key != strings.Repeat("1", n) {
+			t.Errorf("non-GHZ outcome ×%d: %s…%s", count, key[:8], key[n-8:])
+		}
+	}
+	if got := res.GateProfile["gate2.perm"]; got != n-1 {
+		t.Errorf("gate profile CNOT sites = %d, want %d", got, n-1)
+	}
+}
+
+// runForced executes prog on one forced backend and returns the
+// histogram.
+func runForced(t *testing.T, sim *eqasm.Simulator, prog *eqasm.Program, backend string, seed int64) map[string]int {
+	t.Helper()
+	res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{
+		Shots: 256, Seed: seed, Workers: 1, Backend: backend,
+	})
+	if err != nil {
+		t.Fatalf("backend %s: %v", backend, err)
+	}
+	if res.Backend != backend {
+		t.Fatalf("forced backend %q resolved to %q", backend, res.Backend)
+	}
+	return res.Histogram
+}
+
+// TestStabilizerStateVectorParity runs every shipped Clifford fixture
+// through both backends at several seeds: the histograms must be
+// exactly equal, not merely statistically close, because both backends
+// consume identical random streams (one uniform draw per measurement).
+func TestStabilizerStateVectorParity(t *testing.T) {
+	sim, err := eqasm.NewSimulator(eqasm.WithTopology("twoqubit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range service.SmokePrograms() {
+		prog, err := eqasm.Assemble(src, eqasm.WithTopology("twoqubit"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, seed := range []int64{1, 42, 9001} {
+			sv := runForced(t, sim, prog, eqasm.BackendStateVector, seed)
+			tab := runForced(t, sim, prog, eqasm.BackendStabilizer, seed)
+			if len(sv) != len(tab) {
+				t.Fatalf("%s seed %d: histogram sizes differ: sv %v, stabilizer %v", name, seed, sv, tab)
+			}
+			for k, v := range sv {
+				if tab[k] != v {
+					t.Errorf("%s seed %d key %q: sv %d, stabilizer %d", name, seed, k, v, tab[k])
+				}
+			}
+			// These fixtures are noiseless and Clifford-only, so auto
+			// must pick the tableau for them too.
+			res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 1, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Backend != eqasm.BackendStabilizer {
+				t.Errorf("%s: auto backend = %q, want %q", name, res.Backend, eqasm.BackendStabilizer)
+			}
+		}
+	}
+}
+
+// tGateSource is a minimal program whose plan is not Clifford-only.
+const tGateSource = `
+SMIS S0, {0}
+QWAIT 100
+H S0
+T S0
+MEASZ S0
+QWAIT 50
+STOP
+`
+
+// TestTGateNeverRoutesToStabilizer is the guard the CI workflow pins:
+// a plan containing a T gate must auto-select the state vector, and
+// forcing the tableau onto it must fail as a clean machine fault, not
+// silently corrupt the distribution.
+func TestTGateNeverRoutesToStabilizer(t *testing.T) {
+	prog, err := eqasm.Assemble(tGateSource, eqasm.WithTopology("twoqubit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(eqasm.WithTopology("twoqubit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != eqasm.BackendStateVector {
+		t.Fatalf("auto backend = %q for a T-gate plan, want %q", res.Backend, eqasm.BackendStateVector)
+	}
+	_, err = sim.Run(context.Background(), prog, eqasm.RunOptions{
+		Shots: 1, Backend: eqasm.BackendStabilizer,
+	})
+	if err == nil {
+		t.Fatal("forced stabilizer run of a T-gate program succeeded, want a non-Clifford fault")
+	}
+	if !strings.Contains(err.Error(), "not a Clifford operation") {
+		t.Fatalf("forced stabilizer error = %v, want a non-Clifford fault", err)
+	}
+}
+
+// cliffordGates1 are the default-config single-qubit operations inside
+// the Clifford group; cliffordGates2 the two-qubit ones.
+var cliffordGates1 = []string{"I", "X", "Y", "Z", "S", "H", "X90", "Y90", "Xm90", "Ym90"}
+var cliffordGates2 = []string{"CZ", "CNOT"}
+
+// FuzzCliffordParity turns arbitrary bytes into a random Clifford
+// circuit on the two-qubit chip and runs it through both forced
+// backends: the seeded histograms must agree exactly. CI runs this as
+// a fuzz smoke step (go test -fuzz=FuzzCliffordParity -fuzztime=20s .).
+func FuzzCliffordParity(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 21, 13, 4, 9, 200, 33})
+	f.Add([]byte(strings.Repeat("\x05\x0b", 16)))
+	progs := map[string]*eqasm.Program{}
+	sim, err := eqasm.NewSimulator(eqasm.WithTopology("twoqubit"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		var b strings.Builder
+		// The twoqubit chip has qubits {0, 1, 2} and directed edges
+		// (0,2) and (0,2) reversed; gate everything with a 15-cycle
+		// spacing so no pulse overlaps the measurement duration.
+		b.WriteString("SMIS S0, {0}\nSMIS S1, {2}\nSMIS S2, {0, 2}\nSMIT T0, {(0, 2)}\nQWAIT 100\n")
+		for _, c := range data {
+			switch c % 4 {
+			case 0, 1:
+				gate := cliffordGates1[int(c/4)%len(cliffordGates1)]
+				reg := "S0"
+				if c&0x40 != 0 {
+					reg = "S1"
+				}
+				fmt.Fprintf(&b, "15, %s %s\n", gate, reg)
+			case 2:
+				fmt.Fprintf(&b, "15, %s T0\n", cliffordGates2[int(c/4)%len(cliffordGates2)])
+			case 3:
+				b.WriteString("15, MEASZ S2\n")
+			}
+		}
+		b.WriteString("15, MEASZ S2\nQWAIT 50\nSTOP\n")
+		src := b.String()
+		prog, ok := progs[src]
+		if !ok {
+			var err error
+			prog, err = eqasm.Assemble(src, eqasm.WithTopology("twoqubit"))
+			if err != nil {
+				t.Fatalf("generated source failed to assemble: %v\n%s", err, src)
+			}
+			progs[src] = prog
+		}
+		sv := runForced(t, sim, prog, eqasm.BackendStateVector, 11)
+		tab := runForced(t, sim, prog, eqasm.BackendStabilizer, 11)
+		if len(sv) != len(tab) {
+			t.Fatalf("histogram sizes differ: sv %v, stabilizer %v\n%s", sv, tab, src)
+		}
+		for k, v := range sv {
+			if tab[k] != v {
+				t.Errorf("key %q: sv %d, stabilizer %d\n%s", k, v, tab[k], src)
+			}
+		}
+	})
+}
