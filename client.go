@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
-	"sort"
 	"strings"
 	"time"
 )
@@ -18,9 +20,11 @@ import (
 // Result and Job types the in-process Simulator produces. Safe for
 // concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
-	poll time.Duration
+	base    string
+	hc      *http.Client
+	poll    time.Duration
+	retries int
+	backoff time.Duration
 }
 
 var _ Backend = (*Client)(nil)
@@ -55,13 +59,39 @@ func WithPollInterval(d time.Duration) ClientOption {
 	}
 }
 
+// defaultRetryBackoff is the first retry delay when WithRetry is given
+// without one.
+const defaultRetryBackoff = 50 * time.Millisecond
+
+// WithRetry makes every request retry transient connection failures —
+// errors raised before the request reached the server, such as a
+// refused or unreachable connection — up to retries additional
+// attempts, with exponential backoff starting at base (default 50ms;
+// values <= 0 keep the defaults) and ±50% jitter so a fleet of clients
+// does not reconnect in lockstep. Only never-sent requests are retried,
+// so a submit cannot be duplicated; a server that accepted the request
+// and then failed surfaces its error unretried. This is what lets a
+// routing tier ride out a worker restart, and what lets a CLI outlive
+// a briefly unreachable service.
+func WithRetry(retries int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if retries > 0 {
+			c.retries = retries
+		}
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
 // NewClient builds a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func NewClient(baseURL string, opts ...ClientOption) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   http.DefaultClient,
-		poll: defaultPollInterval,
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		poll:    defaultPollInterval,
+		backoff: defaultRetryBackoff,
 	}
 	for _, o := range opts {
 		o(c)
@@ -138,14 +168,68 @@ func wireSource(p *Program) (string, error) {
 	return p.Disassemble()
 }
 
+// ServiceError is a non-2xx HTTP response from the service, carrying
+// the status code alongside the service's error message so callers can
+// distinguish backpressure (503: queue full, draining) from rejection
+// (400) without parsing strings.
+type ServiceError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Message is the service's error message, if it sent one.
+	Message string
+}
+
+func (e *ServiceError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("eqasm: service: %s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("eqasm: service: HTTP %d", e.StatusCode)
+}
+
+// retryableError reports whether err happened before the request
+// reached the server — the only failures safe to retry blind, since
+// nothing was submitted. In practice that is a failed dial (refused,
+// unreachable, no route); an error on an established connection could
+// mean the server acted on the request before dying.
+func retryableError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, out)
+		if err == nil || attempt >= c.retries || !retryableError(err) {
+			return err
+		}
+		// Exponential backoff with ±50% jitter; bail out early when the
+		// caller's ctx expires mid-wait.
+		d := c.backoff << attempt
+		d = d/2 + rand.N(d)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+	}
+}
+
+// doOnce performs a single attempt; the body bytes are marshaled once
+// by do and a fresh reader is built per attempt, so retries never send
+// a drained body.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -160,13 +244,14 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		se := &ServiceError{StatusCode: resp.StatusCode}
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("eqasm: service: %s (HTTP %d)", e.Error, resp.StatusCode)
+		if json.NewDecoder(resp.Body).Decode(&e) == nil {
+			se.Message = e.Error
 		}
-		return fmt.Errorf("eqasm: service: HTTP %d", resp.StatusCode)
+		return se
 	}
 	if out == nil {
 		return nil
@@ -363,46 +448,11 @@ func (c *Client) applyPoll(ctx context.Context, job *Job, br batchResponseWire, 
 	return true
 }
 
-// replay fabricates one ShotResult per executed shot from a completed
-// request's histogram, grouped by outcome in key order (the service
-// aggregates shots rather than streaming them, so per-shot completion
-// order is not preserved). It returns the cancellation cause when ctx
-// expires before the replay drains.
+// replay delivers a completed request's histogram to an attached
+// stream consumer (see replayHistogram in controller.go, shared with
+// externally driven jobs).
 func (c *Client) replay(ctx context.Context, job *Job, req int, res *Result) error {
-	if !job.streaming.Load() || res == nil {
-		return nil
-	}
-	keys := make([]string, 0, len(res.Histogram))
-	for k := range res.Histogram {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	shot := 0
-	for _, key := range keys {
-		for n := res.Histogram[key]; n > 0; n-- {
-			sr := ShotResult{Shot: shot, Request: req, Key: key}
-			// Reconstruct measurement records only when the key
-			// unambiguously covers the result's qubit list; a program
-			// whose control flow measures different qubit sets per shot
-			// yields shorter keys, and fabricating zero-valued records
-			// for never-measured qubits would be indistinguishable from
-			// real outcomes.
-			if len(key) == len(res.Qubits) {
-				for i, q := range res.Qubits {
-					bit := 0
-					if key[i] == '1' {
-						bit = 1
-					}
-					sr.Measurements = append(sr.Measurements, Measurement{Qubit: q, Result: bit})
-				}
-			}
-			if err := job.emit(ctx, sr); err != nil {
-				return err
-			}
-			shot++
-		}
-	}
-	return nil
+	return replayHistogram(ctx, job, req, res)
 }
 
 // Run implements Backend as sugar over Submit: a one-request batch,
@@ -460,9 +510,18 @@ func (c *Client) RunStream(ctx context.Context, p *Program, opts RunOptions) (<-
 
 // ServiceStats is a point-in-time snapshot of the service counters.
 type ServiceStats struct {
-	Workers           int   `json:"workers"`
-	WorkersBusy       int   `json:"workers_busy"`
-	QueueDepth        int   `json:"queue_depth"`
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+	QueueDepth  int `json:"queue_depth"`
+	// QueueCapacity is the queue's slot bound — with QueueDepth, the
+	// load signal a routing tier uses to spill work elsewhere before
+	// submits start bouncing off the full queue.
+	QueueCapacity int `json:"queue_capacity"`
+	// InflightShots counts shots currently executing on the workers.
+	InflightShots int64 `json:"inflight_shots"`
+	// Draining reports the service has stopped accepting new work and
+	// is finishing what it admitted (rolling-restart drain).
+	Draining          bool  `json:"draining,omitempty"`
 	JobsSubmitted     int64 `json:"jobs_submitted"`
 	JobsActive        int64 `json:"jobs_active"`
 	JobsCompleted     int64 `json:"jobs_completed"`
@@ -477,6 +536,11 @@ type ServiceStats struct {
 	CacheHits         int64 `json:"cache_hits"`
 	CacheMisses       int64 `json:"cache_misses"`
 	CacheEntries      int   `json:"cache_entries"`
+	// PlanCacheHits/Misses count decode-once execution-plan reuse —
+	// the warmth signal content-hash affinity routing is designed to
+	// maximize on each worker.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
 	// GateProfile aggregates executed kernel work across all batches:
 	// static instruction sites per kernel kind, weighted by shots.
 	GateProfile   map[string]int64 `json:"gate_profile,omitempty"`

@@ -37,6 +37,8 @@ func main() {
 	batchShots := flag.Int("batch", 0, "shots per worker batch (0 = default)")
 	noisy := flag.Bool("noise", false, "use the calibrated noise model instead of an ideal chip")
 	seed := flag.Int64("seed", 1, "base random seed")
+	drain := flag.Bool("drain", false, "on the first signal, drain before exiting: refuse new submits (healthz turns 503) but keep serving polls until admitted jobs finish")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for admitted jobs while draining (with -drain); a second signal cuts the wait short")
 	flag.Parse()
 
 	machine := []eqasm.Option{
@@ -78,6 +80,23 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("eqasm-serve: %v", err)
 	case <-ctx.Done():
+	}
+	stop()
+
+	// Rolling-restart drain: flip the service to draining while the
+	// listener stays up, so routing tiers see the 503 healthz and
+	// clients polling admitted jobs still get their results. Only then
+	// tear the HTTP server down.
+	if *drain {
+		log.Print("eqasm-serve: draining (refusing new work, finishing admitted jobs)")
+		svc.Drain()
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		sigCtx, sigStop := signal.NotifyContext(dctx, os.Interrupt, syscall.SIGTERM)
+		if err := svc.DrainWait(sigCtx); err != nil {
+			log.Printf("eqasm-serve: drain cut short: %v", err)
+		}
+		sigStop()
+		dcancel()
 	}
 
 	// Graceful shutdown: stop accepting connections, then drain the job

@@ -1,0 +1,132 @@
+package eqasm
+
+import (
+	"context"
+	"sort"
+)
+
+// NewControlledJob builds a Job whose lifecycle is driven by the
+// caller through the returned JobController, rather than by one of the
+// built-in backends. It is the extension point for Backend
+// implementations outside this package — a routing tier that dispatches
+// requests to remote workers, a test double — letting them hand callers
+// the same Job handle (Wait/Results/Status/Cancel/Stream) the Simulator
+// and Client produce.
+//
+// The batch is validated exactly as Submit validates it: non-empty,
+// with a program on every request. onCancel, when non-nil, is invoked
+// (once) by Job.Cancel; it is the driver's hook to stop the underlying
+// work. The driver must eventually call JobController.Finalize exactly
+// once, after every request reached a terminal state, or the job's
+// Wait blocks forever.
+func NewControlledJob(id string, reqs []RunRequest, onCancel func()) (*Job, *JobController, error) {
+	if _, err := normalizeBatch(context.Background(), reqs); err != nil {
+		return nil, nil, err
+	}
+	j := newJob(id, reqs)
+	j.cancelHook = onCancel
+	return j, &JobController{j: j}, nil
+}
+
+// JobController is the driving side of a controlled Job: the state
+// transitions the built-in backends perform internally, exposed to
+// external drivers. All methods are safe for concurrent use across
+// distinct request indices; Finalize must be called exactly once, after
+// every request is terminal.
+type JobController struct {
+	j *Job
+}
+
+// Job returns the controlled job handle.
+func (c *JobController) Job() *Job { return c.j }
+
+// MarkRunning transitions request i (and the job, on its first running
+// request) from queued to running. A no-op once the request is
+// terminal.
+func (c *JobController) MarkRunning(i int) { c.j.markRunning(i) }
+
+// Finish records request i's terminal outcome: completed on a nil err,
+// cancelled on a cancellation cause, failed otherwise. The first
+// non-nil err of the batch becomes the job error. res may be nil or
+// partial for failed and cancelled requests.
+func (c *JobController) Finish(i int, res *Result, err error) {
+	c.j.finishRequest(i, res, err)
+}
+
+// Replay fabricates one ShotResult per executed shot of res onto the
+// job's stream — the histogram replay the Client performs for remotely
+// completed requests — blocking until an attached consumer drains them
+// or ctx is cancelled. Without an attached stream consumer it is a
+// no-op. Call it before Finish so stream order matches status order.
+func (c *JobController) Replay(ctx context.Context, i int, res *Result) error {
+	return replayHistogram(ctx, c.j, i, res)
+}
+
+// EmitError delivers request i's failure to an attached stream
+// consumer (a no-op without one). final marks the job's terminal
+// message, which may wait longer for a slow consumer; non-final errors
+// use a short grace so sibling requests are not stalled behind an
+// absent consumer.
+func (c *JobController) EmitError(i int, err error, final bool) {
+	grace := siblingGrace
+	if final {
+		grace = terminalGrace
+	}
+	c.j.emitTerminal(i, err, grace)
+}
+
+// StopRemaining marks every request that has not finished as stopped
+// with the given cause — cancelled for a cancellation cause, failed
+// otherwise — giving each a zero-shot Result if it never produced one.
+func (c *JobController) StopRemaining(cause error) {
+	c.j.stopRemaining(0, cause)
+}
+
+// Finalize computes the job's terminal state from its requests, closes
+// the stream and the Done channel. Call exactly once, after every
+// request reached a terminal state (StopRemaining force-settles
+// stragglers first if needed).
+func (c *JobController) Finalize() { c.j.finalize() }
+
+// replayHistogram fabricates one ShotResult per executed shot from a
+// completed request's histogram, grouped by outcome in key order (a
+// remote service aggregates shots rather than streaming them, so
+// per-shot completion order is not preserved). It returns the
+// cancellation cause when ctx expires before the replay drains, and is
+// a no-op without an attached stream consumer.
+func replayHistogram(ctx context.Context, job *Job, req int, res *Result) error {
+	if !job.streaming.Load() || res == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(res.Histogram))
+	for k := range res.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	shot := 0
+	for _, key := range keys {
+		for n := res.Histogram[key]; n > 0; n-- {
+			sr := ShotResult{Shot: shot, Request: req, Key: key}
+			// Reconstruct measurement records only when the key
+			// unambiguously covers the result's qubit list; a program
+			// whose control flow measures different qubit sets per shot
+			// yields shorter keys, and fabricating zero-valued records
+			// for never-measured qubits would be indistinguishable from
+			// real outcomes.
+			if len(key) == len(res.Qubits) {
+				for i, q := range res.Qubits {
+					bit := 0
+					if key[i] == '1' {
+						bit = 1
+					}
+					sr.Measurements = append(sr.Measurements, Measurement{Qubit: q, Result: bit})
+				}
+			}
+			if err := job.emit(ctx, sr); err != nil {
+				return err
+			}
+			shot++
+		}
+	}
+	return nil
+}

@@ -56,7 +56,12 @@
 // bit-identical to the classic sequential shot loop. NewClient is the
 // remote implementation, speaking the eqasm-serve HTTP API; both
 // satisfy the same interface, so code switches between local
-// simulation and a serving fleet without rewiring.
+// simulation and a serving fleet without rewiring. NewControlledJob
+// is the extension point for Backend implementations outside this
+// package: it hands an external driver the same Job handle with its
+// lifecycle exposed (the sharded serving tier in internal/coordinator
+// — cmd/eqasm-coord — is built on it, routing batches across worker
+// pools by content-hash affinity with a durable write-ahead log).
 //
 // Three chip simulators sit under the Simulator, selected by
 // WithBackend or per run by RunOptions.Backend ("auto",
@@ -134,8 +139,10 @@
 // (compiler), the decode-once execution-plan layer (plan), the QuMA_v2
 // control microarchitecture (microarch), the simulated transmon chip
 // (quantum), the QuMIS baseline (qumis), the Section 5 experiment
-// suite (experiments), the concurrent job service (service) and its
-// HTTP front end (httpapi). The cmd/ tools and examples/ programs
+// suite (experiments), the concurrent job service (service), its
+// HTTP front end (httpapi), the sharded serving coordinator
+// (coordinator) and its write-ahead batch journal (wal). The cmd/
+// tools and examples/ programs
 // consume only this package. bench_test.go regenerates every table and
 // figure of the paper's evaluation and benchmarks the serving layer.
 package eqasm

@@ -229,7 +229,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.svc.Submit(ctx, spec)
 	switch {
 	case err == nil:
-	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	default:
@@ -285,7 +285,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	job, err := s.svc.SubmitBatch(ctx, spec)
 	switch {
 	case err == nil:
-	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	default:
@@ -354,6 +354,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A draining worker is alive but out of rotation: 503 tells load
+	// balancers and the coordinator to stop steering work here while
+	// in-flight jobs finish.
+	if s.svc.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

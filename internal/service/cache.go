@@ -7,11 +7,13 @@ import (
 	"eqasm"
 )
 
-// programCache is the content-addressed store of assembled programs:
+// ProgramCache is the content-addressed store of assembled programs:
 // submitting the same source (or an identical circuit) twice assembles
 // once. LRU-bounded; programs are shared read-only with every machine
-// that executes them.
-type programCache struct {
+// that executes them. Exported because the coordinator tier keeps the
+// same cache in front of its routing (same keys, via
+// RequestSpec.CacheKey).
+type ProgramCache struct {
 	mu     sync.Mutex
 	max    int
 	byKey  map[string]*list.Element
@@ -25,11 +27,13 @@ type cacheEntry struct {
 	prog *eqasm.Program
 }
 
-func newProgramCache(max int) *programCache {
-	return &programCache{max: max, byKey: map[string]*list.Element{}}
+// NewProgramCache builds a cache bounded to max entries.
+func NewProgramCache(max int) *ProgramCache {
+	return &ProgramCache{max: max, byKey: map[string]*list.Element{}}
 }
 
-func (c *programCache) get(key string) (*eqasm.Program, bool) {
+// Get returns the cached program for key, if resident.
+func (c *ProgramCache) Get(key string) (*eqasm.Program, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -41,7 +45,9 @@ func (c *programCache) get(key string) (*eqasm.Program, bool) {
 	return nil, false
 }
 
-func (c *programCache) put(key string, prog *eqasm.Program) {
+// Put inserts a program under key, evicting the least recently used
+// entries beyond the bound.
+func (c *ProgramCache) Put(key string, prog *eqasm.Program) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -58,7 +64,8 @@ func (c *programCache) put(key string, prog *eqasm.Program) {
 	}
 }
 
-func (c *programCache) stats() (hits, misses int64, entries int) {
+// Stats returns the hit/miss counters and the resident entry count.
+func (c *ProgramCache) Stats() (hits, misses int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.lru.Len()

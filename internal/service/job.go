@@ -207,13 +207,16 @@ func (spec BatchSpec) withDefaults() BatchSpec {
 	return spec
 }
 
-// cacheKey is the content hash under which the compiled program is
+// CacheKey is the content hash under which the compiled program is
 // cached: the source text prefixed by its format, or a canonical
 // rendering of the circuit. cQASM and eQASM sources hash into disjoint
 // keys, so compiled circuits are cached alongside assembled programs
 // without collisions. Requests of one batch that hash alike share one
-// program (and one execution plan).
-func (spec RequestSpec) cacheKey() (string, error) {
+// program (and one execution plan). The coordinator tier keys both its
+// own cache and its content-affinity routing on the same hash, so the
+// requests it steers to one worker are exactly the ones that hit that
+// worker's caches.
+func (spec RequestSpec) CacheKey() (string, error) {
 	h := sha256.New()
 	switch {
 	case spec.Circuit != nil:

@@ -45,12 +45,24 @@ import (
 var (
 	// ErrClosed reports a submit to a service that is shutting down.
 	ErrClosed = errors.New("service: closed")
+	// ErrDraining reports a submit to a service that is draining: it is
+	// finishing admitted work but accepts nothing new (rolling-restart
+	// drain; the client should resubmit elsewhere). It matches ErrClosed
+	// under errors.Is — draining is a closing service — so pre-drain
+	// callers keep working.
+	ErrDraining error = drainingError{}
 	// ErrQueueFull reports that the bounded batch queue cannot hold the
 	// job (backpressure; the client should retry or shed load).
 	ErrQueueFull = errors.New("service: queue full")
 	// ErrNotDone reports a Result call on an unfinished job.
 	ErrNotDone = errors.New("service: job not done")
 )
+
+// drainingError lets ErrDraining also match ErrClosed under errors.Is.
+type drainingError struct{}
+
+func (drainingError) Error() string        { return "service: draining" }
+func (drainingError) Is(target error) bool { return target == ErrClosed }
 
 // Config sizes the service.
 type Config struct {
@@ -120,11 +132,16 @@ type Service struct {
 	// machines per instruction-set context, so a batch checkout is
 	// bit-identical to a freshly built machine at the batch seed.
 	sim   *eqasm.Simulator
-	cache *programCache
+	cache *ProgramCache
 	queue *batchQueue
 
 	workersWG sync.WaitGroup
 	jobsWG    sync.WaitGroup
+
+	// draining mirrors "closed but still finishing admitted work" for
+	// the stats and health endpoints, so a routing tier can stop
+	// steering new work here before submits start bouncing.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	closed  bool
@@ -153,6 +170,7 @@ type metrics struct {
 	shotsExecuted     atomic.Int64
 	stabilizerShots   atomic.Int64
 	batchesRun        atomic.Int64
+	inflightShots     atomic.Int64
 	workersBusy       atomic.Int64
 	runNs             atomic.Int64
 	planHits          atomic.Int64
@@ -161,9 +179,20 @@ type metrics struct {
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	Workers       int   `json:"workers"`
-	WorkersBusy   int   `json:"workers_busy"`
-	QueueDepth    int   `json:"queue_depth"`
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+	QueueDepth  int `json:"queue_depth"`
+	// QueueCapacity is the queue's slot bound (Config.QueueDepth) —
+	// with QueueDepth, the load signal the coordinator's backpressure
+	// spill reads, so capacity pressure is visible before a submit
+	// bounces with ErrQueueFull.
+	QueueCapacity int `json:"queue_capacity"`
+	// InflightShots counts shots currently executing on the workers.
+	InflightShots int64 `json:"inflight_shots"`
+	// Draining reports the service has stopped accepting new work and
+	// is finishing what it admitted (Drain); a routing tier takes this
+	// worker out of rotation without failing its in-flight jobs.
+	Draining      bool  `json:"draining,omitempty"`
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsActive    int64 `json:"jobs_active"`
 	JobsCompleted int64 `json:"jobs_completed"`
@@ -213,7 +242,7 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:   cfg,
 		sim:   sim,
-		cache: newProgramCache(cfg.CacheSize),
+		cache: NewProgramCache(cfg.CacheSize),
 		queue: newBatchQueue(cfg.QueueDepth),
 		jobs:  map[string]*Job{},
 	}
@@ -259,7 +288,7 @@ func (s *Service) SubmitBatch(ctx context.Context, spec BatchSpec) (*Job, error)
 	if s.closed {
 		s.mu.Unlock()
 		s.metrics.jobsRejected.Add(1)
-		return nil, ErrClosed
+		return nil, s.closedErr()
 	}
 	s.mu.Unlock()
 
@@ -323,7 +352,7 @@ func (s *Service) SubmitBatch(ctx context.Context, spec BatchSpec) (*Job, error)
 	if s.closed {
 		s.mu.Unlock()
 		s.rejectJob(job)
-		return nil, ErrClosed
+		return nil, s.closedErr()
 	}
 	// Registration and enqueue happen under one lock so Shutdown's
 	// drain cannot miss a job between the closed check and the push.
@@ -369,11 +398,11 @@ func (s *Service) Job(id string) (*Job, bool) {
 // cache-resident program plans exactly once for all jobs and batches
 // that hash to it.
 func (s *Service) resolve(spec RequestSpec) (prog *eqasm.Program, hit bool, d time.Duration, err error) {
-	key, err := spec.cacheKey()
+	key, err := spec.CacheKey()
 	if err != nil {
 		return nil, false, 0, err
 	}
-	if p, ok := s.cache.get(key); ok {
+	if p, ok := s.cache.Get(key); ok {
 		if err := s.preparePlan(p); err != nil {
 			return nil, false, 0, err
 		}
@@ -394,7 +423,7 @@ func (s *Service) resolve(spec RequestSpec) (prog *eqasm.Program, hit bool, d ti
 	if err := s.preparePlan(prog); err != nil {
 		return nil, false, 0, err
 	}
-	s.cache.put(key, prog)
+	s.cache.Put(key, prog)
 	return prog, false, time.Since(start), nil
 }
 
@@ -441,7 +470,7 @@ func (s *Service) Stats() Stats {
 		}
 	}
 	s.mu.Unlock()
-	hits, misses, entries := s.cache.stats()
+	hits, misses, entries := s.cache.Stats()
 	var profile map[string]int64
 	s.profMu.Lock()
 	if len(s.gateProfile) > 0 {
@@ -455,6 +484,9 @@ func (s *Service) Stats() Stats {
 		Workers:           s.cfg.Workers,
 		WorkersBusy:       int(s.metrics.workersBusy.Load()),
 		QueueDepth:        s.queue.depth(),
+		QueueCapacity:     s.cfg.QueueDepth,
+		InflightShots:     s.metrics.inflightShots.Load(),
+		Draining:          s.draining.Load(),
 		JobsSubmitted:     s.metrics.jobsSubmitted.Load(),
 		JobsActive:        active,
 		JobsCompleted:     s.metrics.jobsCompleted.Load(),
@@ -476,13 +508,31 @@ func (s *Service) Stats() Stats {
 	}
 }
 
-// Shutdown stops accepting jobs, drains everything already queued, and
-// stops the workers. It returns ctx.Err() if the drain outlives ctx (the
-// service keeps draining in the background; call Close to cut it short).
-func (s *Service) Shutdown(ctx context.Context) error {
+// closedErr picks the rejection error for a closed service: draining
+// distinguishes "finishing admitted work, resubmit elsewhere" from a
+// hard close.
+func (s *Service) closedErr() error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	return ErrClosed
+}
+
+// Drain stops accepting new jobs while everything already admitted
+// runs to completion. Unlike Shutdown it neither blocks nor stops the
+// workers, so the HTTP front end stays up and clients polling their
+// jobs still see results land — the loss-free half of a rolling
+// restart. Follow with DrainWait, then Shutdown or Close.
+func (s *Service) Drain() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+}
+
+// DrainWait blocks until every admitted job finished or ctx expires
+// (in which case the jobs keep running; Close cuts them short).
+func (s *Service) DrainWait(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		s.jobsWG.Wait()
@@ -490,8 +540,23 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Draining reports whether the service has stopped accepting new work
+// (Drain, Shutdown or Close was called).
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Shutdown stops accepting jobs, drains everything already queued, and
+// stops the workers. It returns ctx.Err() if the drain outlives ctx (the
+// service keeps draining in the background; call Close to cut it short).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.Drain()
+	if err := s.DrainWait(ctx); err != nil {
+		return err
 	}
 	s.queue.close()
 	s.workersWG.Wait()
@@ -500,6 +565,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 
 // Close cancels every active job and stops the workers.
 func (s *Service) Close() error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	jobs := make([]*Job, 0, len(s.jobs))

@@ -37,7 +37,9 @@ func (s *Service) runBatch(b *batch) {
 	}
 	job.startBatch(b)
 	start := time.Now()
+	s.metrics.inflightShots.Add(int64(b.shots))
 	res, err := s.executeBatch(b)
+	s.metrics.inflightShots.Add(-int64(b.shots))
 	s.metrics.batchesRun.Add(1)
 	if res != nil {
 		s.metrics.shotsExecuted.Add(int64(res.Shots))

@@ -1,0 +1,278 @@
+// Package wal is the durable job log of the serving tier: an
+// append-only file of checksummed records that survives process death
+// and replays on the next start. The coordinator writes one record when
+// it accepts a batch, one per terminal request result, and one when the
+// batch retires; recovery replays the file, drops retired batches, and
+// re-dispatches whatever was accepted but never finished.
+//
+// The format is one record per line: an 8-hex-digit CRC-32 of the JSON
+// payload, a space, the payload. Replay verifies each checksum and
+// stops cleanly at the first corrupt or truncated line, so a torn tail
+// (the process died mid-append) costs at most the record being written,
+// never the log behind it. Checkpoint rewrites the file to just the
+// live records through an atomic rename, bounding growth.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record kinds written by the serving tier.
+const (
+	// KindAccepted records an admitted batch: its identity and the full
+	// request payloads needed to re-dispatch it after a restart.
+	KindAccepted = "accepted"
+	// KindResult records one request's terminal outcome (success,
+	// failure or cancellation), so recovery does not re-execute it.
+	KindResult = "result"
+	// KindDone records a batch whose every request reached a terminal
+	// state; recovery drops the batch entirely.
+	KindDone = "done"
+)
+
+// Entry is one logged event. Data carries the kind-specific payload
+// opaque to this package (the coordinator's request and result
+// records).
+type Entry struct {
+	// Kind is one of KindAccepted, KindResult, KindDone.
+	Kind string `json:"kind"`
+	// Batch identifies the batch the entry belongs to.
+	Batch string `json:"batch"`
+	// Index is the request index for per-request kinds (KindResult);
+	// -1 for batch-level entries.
+	Index int `json:"index"`
+	// Data is the kind-specific payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Log is the pluggable durable job log. The file-backed implementation
+// is Open; Nop disables durability without branching at call sites.
+type Log interface {
+	// Append durably records one entry.
+	Append(e Entry) error
+	// Replay invokes fn for every intact entry in append order. Call it
+	// before the first Append of a session; fn returning an error stops
+	// the replay and surfaces that error.
+	Replay(fn func(Entry) error) error
+	// Checkpoint atomically rewrites the log to exactly keep, dropping
+	// everything else (retired batches).
+	Checkpoint(keep []Entry) error
+	// Close releases the log; further appends fail.
+	Close() error
+}
+
+// FileLog is the file-backed Log.
+type FileLog struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	fsync  bool
+	closed bool
+}
+
+// Option configures Open.
+type Option func(*FileLog)
+
+// WithFsync controls whether every append is fsynced before returning
+// (default true: an accepted batch survives power loss, not just
+// process death). Disable it to trade durability against the OS page
+// cache for append throughput.
+func WithFsync(on bool) Option {
+	return func(l *FileLog) { l.fsync = on }
+}
+
+// Open opens (creating if absent) the log file at path.
+func Open(path string, opts ...Option) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &FileLog{path: path, f: f, fsync: true}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
+}
+
+// Path returns the log's file path.
+func (l *FileLog) Path() string { return l.path }
+
+// Append implements Log.
+func (l *FileLog) Append(e Entry) error {
+	line, err := encode(e)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay implements Log: it reads the file from the start, verifying
+// each line's checksum, and stops cleanly at the first corrupt or
+// truncated line (a torn tail from a mid-append crash is expected, not
+// an error).
+func (l *FileLog) Replay(fn func(Entry) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	sc := bufio.NewScanner(l.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		e, ok := decode(sc.Bytes())
+		if !ok {
+			break // torn or corrupt tail: the log behind it is intact
+		}
+		if err := fn(e); err != nil {
+			l.seekEnd()
+			return err
+		}
+	}
+	return l.seekEnd()
+}
+
+func (l *FileLog) seekEnd() error {
+	if _, err := l.f.Seek(0, 2); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint implements Log: it writes keep to a temporary file,
+// fsyncs, and atomically renames it over the log.
+func (l *FileLog) Checkpoint(keep []Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, e := range keep {
+		line, err := encode(e)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	old := l.f
+	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint reopen: %w", err)
+	}
+	l.f = nf
+	old.Close()
+	// Make the rename itself durable.
+	if l.fsync {
+		if dir, err := os.Open(filepath.Dir(l.path)); err == nil {
+			dir.Sync()
+			dir.Close()
+		}
+	}
+	return nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+func encode(e Entry) ([]byte, error) {
+	js, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode: %w", err)
+	}
+	if bytes.ContainsRune(js, '\n') {
+		return nil, fmt.Errorf("wal: encode: payload contains newline")
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(js), js)), nil
+}
+
+// decode parses one line, reporting ok=false on any corruption.
+func decode(line []byte) (Entry, bool) {
+	var e Entry
+	if len(line) < 9 || line[8] != ' ' {
+		return e, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return e, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return e, false
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, false
+	}
+	return e, true
+}
+
+// nopLog is the durability-off Log.
+type nopLog struct{}
+
+// Nop returns a Log that records nothing and replays nothing, so
+// callers need not branch on "durability configured".
+func Nop() Log { return nopLog{} }
+
+func (nopLog) Append(Entry) error             { return nil }
+func (nopLog) Replay(func(Entry) error) error { return nil }
+func (nopLog) Checkpoint([]Entry) error       { return nil }
+func (nopLog) Close() error                   { return nil }

@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string, opts ...Option) *FileLog {
+	t.Helper()
+	// Tests exercise format and recovery, not disk durability; skipping
+	// fsync keeps them fast.
+	l, err := Open(path, append([]Option{WithFsync(false)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func entries(t *testing.T, l Log) []Entry {
+	t.Helper()
+	var got []Entry
+	if err := l.Replay(func(e Entry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	l := openT(t, path)
+	want := []Entry{
+		{Kind: KindAccepted, Batch: "b1", Index: -1, Data: json.RawMessage(`{"requests":[{"shots":32}]}`)},
+		{Kind: KindResult, Batch: "b1", Index: 0, Data: json.RawMessage(`{"histogram":{"00":17,"11":15}}`)},
+		{Kind: KindDone, Batch: "b1", Index: -1},
+	}
+	for _, e := range want {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := entries(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Batch != want[i].Batch || got[i].Index != want[i].Index {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if string(got[i].Data) != string(want[i].Data) {
+			t.Fatalf("entry %d data = %s, want %s", i, got[i].Data, want[i].Data)
+		}
+	}
+	// Append after replay continues the log.
+	if err := l.Append(Entry{Kind: KindAccepted, Batch: "b2", Index: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries(t, l); len(got) != 4 || got[3].Batch != "b2" {
+		t.Fatalf("after post-replay append: %+v", got)
+	}
+}
+
+// Reopening the file sees everything a previous session appended.
+func TestReopenReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	l := openT(t, path)
+	if err := l.Append(Entry{Kind: KindAccepted, Batch: "b1", Index: -1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2 := openT(t, path)
+	got := entries(t, l2)
+	if len(got) != 1 || got[0].Batch != "b1" {
+		t.Fatalf("reopened log replayed %+v", got)
+	}
+}
+
+// A torn tail — the process died mid-append — must not poison the
+// intact records before it.
+func TestReplayToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	l := openT(t, path)
+	for _, b := range []string{"b1", "b2"} {
+		if err := l.Append(Entry{Kind: KindAccepted, Batch: b, Index: -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	tear := func(t *testing.T, mutate func([]byte) []byte) []Entry {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(torn, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return entries(t, openT(t, torn))
+	}
+
+	// Truncated final record.
+	got := tear(t, func(raw []byte) []byte { return raw[:len(raw)-10] })
+	if len(got) != 1 || got[0].Batch != "b1" {
+		t.Fatalf("truncated tail: replayed %+v, want just b1", got)
+	}
+	// Bit-flipped final record (checksum catches it).
+	got = tear(t, func(raw []byte) []byte {
+		raw[len(raw)-5] ^= 0x40
+		return raw
+	})
+	if len(got) != 1 || got[0].Batch != "b1" {
+		t.Fatalf("corrupt tail: replayed %+v, want just b1", got)
+	}
+	// Garbage appended after valid records.
+	got = tear(t, func(raw []byte) []byte { return append(raw, "not a record\n"...) })
+	if len(got) != 2 {
+		t.Fatalf("garbage tail: replayed %d entries, want 2", len(got))
+	}
+}
+
+func TestCheckpointDropsRetired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	l := openT(t, path)
+	for _, e := range []Entry{
+		{Kind: KindAccepted, Batch: "done", Index: -1},
+		{Kind: KindDone, Batch: "done", Index: -1},
+		{Kind: KindAccepted, Batch: "live", Index: -1},
+	} {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint([]Entry{{Kind: KindAccepted, Batch: "live", Index: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := entries(t, l)
+	if len(got) != 1 || got[0].Batch != "live" {
+		t.Fatalf("after checkpoint: %+v, want just live", got)
+	}
+	// The log still appends after the rename swapped the file out.
+	if err := l.Append(Entry{Kind: KindResult, Batch: "live", Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries(t, l); len(got) != 2 {
+		t.Fatalf("append after checkpoint: %+v", got)
+	}
+	// Survives reopen.
+	l.Close()
+	if got := entries(t, openT(t, path)); len(got) != 2 {
+		t.Fatalf("reopen after checkpoint: %+v", got)
+	}
+}
+
+func TestNopLog(t *testing.T) {
+	l := Nop()
+	if err := l.Append(Entry{Kind: KindAccepted, Batch: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(func(Entry) error { t.Fatal("nop replayed an entry"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedLogRejectsAppend(t *testing.T) {
+	l := openT(t, filepath.Join(t.TempDir(), "jobs.wal"))
+	l.Close()
+	if err := l.Append(Entry{Kind: KindAccepted, Batch: "b"}); err == nil {
+		t.Fatal("append on closed log succeeded")
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	data := json.RawMessage(`{"requests":[{"source":"SMIS S0, {0, 2}\nH S0\nMEASZ S0\nSTOP","shots":1024,"seed":7}]}`)
+	for _, mode := range []struct {
+		name  string
+		fsync bool
+	}{{"fsync", true}, {"nofsync", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			l, err := Open(filepath.Join(b.TempDir(), "bench.wal"), WithFsync(mode.fsync))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(Entry{Kind: KindAccepted, Batch: "b", Index: -1, Data: data}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
