@@ -10,6 +10,7 @@ import (
 
 	"eqasm/internal/core"
 	"eqasm/internal/microarch"
+	"eqasm/internal/plan"
 )
 
 // SeedStride separates the random streams of sibling executions: worker
@@ -33,6 +34,10 @@ type RunOptions struct {
 	// "stabilizer" (see WithBackend). The empty string uses the
 	// backend's configured selection.
 	Backend string
+	// Params binds the program's symbolic rotation parameters (name →
+	// angle in radians) with the same semantics as RunRequest.Params,
+	// which takes precedence when both are set.
+	Params map[string]float64
 }
 
 // Measurement is one completed measurement of a shot, in completion
@@ -249,8 +254,10 @@ func (s *Simulator) pool(st stack, kind string) *core.SystemPool {
 // simulator's configured choice) into the concrete simulator kind for
 // one program, applying the auto-selection rule: density matrix when
 // configured, state vector under noise, the stabilizer tableau for
-// noiseless Clifford-only plans, state vector otherwise.
-func (s *Simulator) resolveBackend(p *Program, requested string) (string, error) {
+// noiseless Clifford-only plans, state vector otherwise. A parametric
+// plan classifies per bound point: the request's binding (when
+// non-nil) decides whether every bound rotation is Clifford.
+func (s *Simulator) resolveBackend(p *Program, b *plan.Binding, requested string) (string, error) {
 	name := requested
 	if name == "" {
 		name = s.cfg.backendName
@@ -261,6 +268,12 @@ func (s *Simulator) resolveBackend(p *Program, requested string) (string, error)
 			return BackendDensityMatrix, nil
 		}
 		if s.cfg.noise != (NoiseModel{}) {
+			return BackendStateVector, nil
+		}
+		if b != nil {
+			if b.CliffordOnly() {
+				return BackendStabilizer, nil
+			}
 			return BackendStateVector, nil
 		}
 		if ex, _, err := p.executable(); err == nil && ex.CliffordOnly() {
@@ -370,10 +383,14 @@ func sortedQubits(last map[int]int) []int {
 // fanShots runs p's shots through the machine pool of its context and
 // backend kind, replaying the program's shared execution plan (lowered
 // on first use); when the plan cannot be built it falls back to the
-// semantically identical interpreter path.
-func (s *Simulator) fanShots(ctx context.Context, p *Program, kind string, seed int64, shots, workers int,
+// semantically identical interpreter path. A non-nil binding routes
+// through the bound-plan loader, patching the plan's parameter slots.
+func (s *Simulator) fanShots(ctx context.Context, p *Program, b *plan.Binding, kind string, seed int64, shots, workers int,
 	observe func(shot int, m *microarch.Machine, runErr error) error) error {
 	pool := s.pool(p.st, kind)
+	if b != nil {
+		return pool.FanPlanBound(ctx, b, seed, shots, workers, observe)
+	}
 	if ex, _, err := p.executable(); err == nil {
 		return pool.FanPlan(ctx, ex, seed, shots, workers, observe)
 	}
@@ -386,6 +403,9 @@ type runPlan struct {
 	seed    int64
 	workers int
 	backend string
+	// params is the request's effective parameter point
+	// (RunRequest.Params, falling back to RunOptions.Params).
+	params map[string]float64
 }
 
 // Submit implements Backend: it validates every request up front,
@@ -415,6 +435,7 @@ func (s *Simulator) submitJob(ctx context.Context, streaming bool, reqs []RunReq
 			}
 			return nil, err
 		}
+		pl.params = r.params()
 		plans[i] = pl
 	}
 	job := newJob(localJobID(), reqs)
@@ -465,16 +486,30 @@ func (s *Simulator) runJob(ctx context.Context, cancel context.CancelCauseFunc,
 func (s *Simulator) executeRequest(ctx context.Context, j *Job, req int,
 	p *Program, pl runPlan) (*Result, error) {
 	res := &Result{Histogram: map[string]int{}}
-	kind, err := s.resolveBackend(p, pl.backend)
+	// Bind the parameter point once per request: the shared plan is
+	// patched with a handful of per-slot gate matrices, never rebuilt.
+	var binding *plan.Binding
+	ex, _, planErr := p.executable()
+	switch {
+	case planErr == nil && (ex.Parametric() || len(pl.params) > 0):
+		b, err := ex.Bind(pl.params)
+		if err != nil {
+			return res, err
+		}
+		binding = b
+	case planErr != nil && len(pl.params) > 0:
+		return res, fmt.Errorf("eqasm: cannot bind parameters without an execution plan: %w", planErr)
+	}
+	kind, err := s.resolveBackend(p, binding, pl.backend)
 	if err != nil {
 		return res, err
 	}
 	res.Backend = kind
-	if ex, _, planErr := p.executable(); planErr == nil {
+	if planErr == nil {
 		res.GateProfile = ex.GateProfile()
 	}
 	start := time.Now()
-	err = s.fanShots(ctx, p, kind, pl.seed, pl.shots, pl.workers,
+	err = s.fanShots(ctx, p, binding, kind, pl.seed, pl.shots, pl.workers,
 		func(shot int, m *microarch.Machine, runErr error) error {
 			if runErr != nil {
 				return wrapShotErr(shot, m, runErr)

@@ -17,6 +17,7 @@ package eqasm_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -852,4 +853,122 @@ func BenchmarkGHZ1024Shot(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+// sweepAnsatz renders a layered VQE-style trial circuit on the
+// twoqubit chip's (0, 2) pair: the shape of a real sweep workload.
+// With theta set, the rx angle is baked in as a literal; with it
+// empty, the circuit is parametric in %theta.
+func sweepAnsatz(layers int, theta string) string {
+	var src strings.Builder
+	src.WriteString("qubits 3\n")
+	angle := "%theta"
+	if theta != "" {
+		angle = theta
+	}
+	for i := 0; i < layers; i++ {
+		fmt.Fprintf(&src, "rx q[0], %s\nry q[2], %s\ncnot q[0], q[2]\n", angle, angle)
+	}
+	src.WriteString("measure q[0,2]\n")
+	return src.String()
+}
+
+// BenchmarkParamSweep measures the parametric-sweep win of plan-level
+// parameter binding: a 1000-point rx sweep submitted as one batch of
+// Params bindings over a single compiled plan (each point patches the
+// plan's rotation slots — a handful of 2x2 matrix builds) versus the
+// old workflow of recompiling the circuit per point with the angle
+// baked in as a literal. Reported in points/s.
+func BenchmarkParamSweep(b *testing.B) {
+	const points = 1000
+	const shots = 1
+	const layers = 48
+	grid := make([]float64, points)
+	for i := range grid {
+		grid[i] = 2 * math.Pi * float64(i) / points
+	}
+	ctx := context.Background()
+
+	b.Run("patched", func(b *testing.B) {
+		sim, err := eqasm.NewSimulator(eqasm.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := eqasm.CompileCircuit(sweepAnsatz(layers, ""))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reqs := make([]eqasm.RunRequest, points)
+			for j, theta := range grid {
+				reqs[j] = eqasm.RunRequest{
+					Program: prog,
+					Options: eqasm.RunOptions{Shots: shots, Seed: 1},
+					Params:  map[string]float64{"theta": theta},
+				}
+			}
+			job, err := sim.Submit(ctx, reqs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := job.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*points/b.Elapsed().Seconds(), "points/s")
+	})
+
+	b.Run("recompiled", func(b *testing.B) {
+		sim, err := eqasm.NewSimulator(eqasm.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, theta := range grid {
+				prog, err := eqasm.CompileCircuit(sweepAnsatz(layers, fmt.Sprintf("%v", theta)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(ctx, prog, eqasm.RunOptions{Shots: shots, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*points/b.Elapsed().Seconds(), "points/s")
+	})
+}
+
+// BenchmarkPlanBind isolates the per-point bind cost: resolving a
+// parameter map against a compiled plan's patch table (validation plus
+// one rotation-matrix build and Clifford classification per slot).
+func BenchmarkPlanBind(b *testing.B) {
+	sys, err := core.NewSystem(core.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := sys.Asm.Assemble(`
+SMIS S0, {0}
+QWAIT 100
+RX(%theta) S0
+RY(%phi) S0
+MEASZ S0
+QWAIT 50
+STOP
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := plan.Build(prog, sys.Topo, sys.OpConfig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]float64{"theta": 1.1, "phi": 2.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Bind(params); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

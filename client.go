@@ -102,12 +102,13 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 // requestWire mirrors one request of the service's POST /v1/batches
 // payload.
 type requestWire struct {
-	Source  string `json:"source,omitempty"`
-	Shots   int    `json:"shots,omitempty"`
-	Seed    int64  `json:"seed,omitempty"`
-	Tag     string `json:"tag,omitempty"`
-	Chip    string `json:"chip,omitempty"`
-	Backend string `json:"backend,omitempty"`
+	Source  string             `json:"source,omitempty"`
+	Shots   int                `json:"shots,omitempty"`
+	Seed    int64              `json:"seed,omitempty"`
+	Tag     string             `json:"tag,omitempty"`
+	Chip    string             `json:"chip,omitempty"`
+	Backend string             `json:"backend,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
 }
 
 // batchRequestWire mirrors the service's POST /v1/batches payload.
@@ -161,11 +162,17 @@ func (r *requestStatusWire) toResult() *Result {
 
 // wireSource renders a program for submission: the original source
 // when available, otherwise the round-trip-stable disassembly.
+// Parametric programs have no 32-bit encoding to disassemble from, so
+// they ship as the assembly rendering instead (which round-trips
+// their %name angle operands through the assembler).
 func wireSource(p *Program) (string, error) {
 	if p.source != "" {
 		return p.source, nil
 	}
-	return p.Disassemble()
+	if s, err := p.Disassemble(); err == nil {
+		return s, nil
+	}
+	return p.renderSource()
 }
 
 // ServiceError is a non-2xx HTTP response from the service, carrying
@@ -298,6 +305,7 @@ func (c *Client) submitJob(ctx context.Context, streaming, wait bool, reqs []Run
 			Tag:     r.Tag,
 			Chip:    r.Program.Chip(),
 			Backend: r.Options.Backend,
+			Params:  r.params(),
 		}
 	}
 	var br batchResponseWire

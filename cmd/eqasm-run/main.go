@@ -11,12 +11,20 @@
 //
 //	eqasm-run [-topo twoqubit] [-shots N] [-noise] [-trace] prog.eqasm
 //	eqasm-run [-somq] [-schedule alap] [-emit] circuit.cq
+//	eqasm-run -param theta=1.5708 circuit.cq
+//	eqasm-run -sweep theta=0:6.2832:64 -shots 100 circuit.cq
 //	eqasm-run -json prog.eqasm
 //	eqasm-run -bin prog.bin
 //
 // -json prints the full eqasm.Result machine-readably (histogram,
 // measured qubits, last-shot stats, summed totals, optional trace)
 // instead of the human-oriented report.
+//
+// Parametric programs (rx/ry/rz with %name angles) bind their
+// parameters per run: -param name=value (repeatable) fixes a value,
+// and -sweep name=start:stop:steps runs an inclusive linear grid of
+// points as one batch over a single compiled plan — the program is
+// compiled once and each point patches the plan's rotation slots.
 package main
 
 import (
@@ -25,10 +33,87 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"eqasm"
 )
+
+// paramFlags collects repeated -param name=value bindings.
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad value for %s: %v", name, err)
+	}
+	p[name] = v
+	return nil
+}
+
+// sweepFlag is a -sweep name=start:stop:steps grid specification.
+type sweepFlag struct {
+	name        string
+	start, stop float64
+	steps       int
+}
+
+func (s *sweepFlag) String() string {
+	if s == nil || s.name == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s=%g:%g:%d", s.name, s.start, s.stop, s.steps)
+}
+
+func (s *sweepFlag) Set(v string) error {
+	name, grid, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=start:stop:steps, got %q", v)
+	}
+	parts := strings.Split(grid, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name=start:stop:steps, got %q", v)
+	}
+	var err error
+	if s.start, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return fmt.Errorf("bad start: %v", err)
+	}
+	if s.stop, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return fmt.Errorf("bad stop: %v", err)
+	}
+	if s.steps, err = strconv.Atoi(parts[2]); err != nil || s.steps < 1 {
+		return fmt.Errorf("steps must be a positive integer, got %q", parts[2])
+	}
+	s.name = name
+	return nil
+}
+
+// points renders the inclusive linear grid.
+func (s *sweepFlag) points() []float64 {
+	out := make([]float64, s.steps)
+	for i := range out {
+		if s.steps == 1 {
+			out[i] = s.start
+			continue
+		}
+		out[i] = s.start + float64(i)*(s.stop-s.start)/float64(s.steps-1)
+	}
+	return out
+}
 
 func main() {
 	topoName := flag.String("topo", "twoqubit", "chip topology: "+strings.Join(eqasm.Topologies(), ", "))
@@ -44,6 +129,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	backend := flag.String("backend", "auto", "chip simulation backend: auto, statevector, densitymatrix or stabilizer")
 	asJSON := flag.Bool("json", false, "print the full result as JSON (histogram, qubits, stats, totals, backend, gate profile)")
+	params := paramFlags{}
+	flag.Var(params, "param", "bind a rotation parameter, name=value in radians (repeatable)")
+	var sweep sweepFlag
+	flag.Var(&sweep, "sweep", "sweep a parameter over an inclusive linear grid, name=start:stop:steps (one batch, one compiled plan)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -94,8 +183,15 @@ func main() {
 		fatal(err)
 	}
 
+	if sweep.name != "" {
+		runSweep(sim, prog, params, &sweep, *shots, *asJSON)
+		return
+	}
+
+	ropts := eqasm.RunOptions{Shots: *shots, Params: params.values()}
+
 	if *asJSON {
-		res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: *shots})
+		res, err := sim.Run(context.Background(), prog, ropts)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,7 +203,7 @@ func main() {
 		return
 	}
 
-	stream, err := sim.RunStream(context.Background(), prog, eqasm.RunOptions{Shots: *shots})
+	stream, err := sim.RunStream(context.Background(), prog, ropts)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,6 +236,77 @@ func main() {
 	}
 	fmt.Printf("last shot: %d instructions, %d bundles, %d quantum ops, %d cancelled, %d ns\n",
 		stats.Instructions, stats.Bundles, stats.QuantumOps, stats.CancelledOps, stats.DurationNs)
+}
+
+// values returns the bindings as a plain map, nil when empty (so a
+// non-parametric program run without -param skips binding entirely).
+func (p paramFlags) values() map[string]float64 {
+	if len(p) == 0 {
+		return nil
+	}
+	return map[string]float64(p)
+}
+
+// runSweep executes one batch over the -sweep grid: every point is one
+// RunRequest of the same compiled program with a different parameter
+// binding, so the whole grid shares a single execution plan.
+func runSweep(sim *eqasm.Simulator, prog *eqasm.Program, base paramFlags, sweep *sweepFlag, shots int, asJSON bool) {
+	points := sweep.points()
+	reqs := make([]eqasm.RunRequest, len(points))
+	for i, v := range points {
+		p := make(map[string]float64, len(base)+1)
+		for k, bv := range base {
+			p[k] = bv
+		}
+		p[sweep.name] = v
+		reqs[i] = eqasm.RunRequest{
+			Program: prog,
+			Options: eqasm.RunOptions{Shots: shots},
+			Params:  p,
+			Tag:     fmt.Sprintf("%s=%g", sweep.name, v),
+		}
+	}
+	job, err := sim.Submit(context.Background(), reqs...)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := job.Wait(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("sweep %s over %d point(s), %d shot(s) each:\n", sweep, len(points), shots)
+	for i, res := range results {
+		fmt.Printf("  %-24s %s\n", reqs[i].Tag, histLine(res.Histogram, shots))
+	}
+}
+
+// histLine renders a histogram as "key:count" pairs, keys ascending.
+func histLine(hist map[string]int, shots int) string {
+	keys := make([]string, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		label := k
+		if label == "" {
+			label = "(none)"
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", label, hist[k]))
+	}
+	if len(parts) == 0 {
+		return "(no shots)"
+	}
+	return strings.Join(parts, " ")
 }
 
 func fatal(err error) {

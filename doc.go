@@ -107,6 +107,26 @@
 // That makes batches the natural unit for sweeps: seed grids, design
 // knob grids, multi-circuit workloads.
 //
+// # Parametric circuits
+//
+// cQASM rotations (rx, ry, rz) take a literal angle in radians or a
+// named symbolic parameter (rx q[0], %theta). A parametric circuit
+// compiles once into a plan whose symbolic sites are parameter slots;
+// Program.Params lists the names. Each request then supplies a bind
+// point via RunRequest.Params (or RunOptions.Params — the request map
+// wins when both are set): binding builds the handful of concrete gate
+// matrices for that point and shares everything else in the plan
+// immutably, so a 1000-point sweep pays one compile and 1000 cheap
+// binds instead of 1000 compiles. A bound run is bit-identical to
+// compiling the same circuit with the literal baked in. Missing,
+// unknown and non-finite (NaN/±Inf) values are rejected before any
+// shot runs, and under Backend "auto" the Clifford check happens per
+// bound point (theta = π routes to the stabilizer tableau, π/4 to the
+// state vector). Over the Client the bind point travels as a
+// per-request params field and the service's program cache keys on
+// circuit structure only — every sweep point shares one cache entry
+// and one plan.
+//
 // On the Simulator the batch runs on an in-process driver goroutine
 // over the machine pool. On the Client the batch travels as one POST
 // /v1/batches round-trip and the service admits, queues and retires it

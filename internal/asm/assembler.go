@@ -505,6 +505,9 @@ func (p *parser) parseBundle(c *cursor, explicitPI bool) {
 }
 
 // parseQOp parses one quantum operation: NAME [S<k>|T<k>] or QNOP.
+// Parametric rotations take an optional angle operand between name and
+// register — "RX(1.5708) S0" or "RX(%theta) S0"; without one the angle
+// is the zero-rotation literal.
 func (p *parser) parseQOp(c *cursor) (isa.QOp, bool) {
 	t, ok := c.expect(tokIdent)
 	if !ok {
@@ -520,6 +523,31 @@ func (p *parser) parseQOp(c *cursor) (isa.QOp, bool) {
 		c.bad = true
 		return isa.QOp{}, false
 	}
+	var angle float64
+	var param string
+	if c.peek().kind == tokLParen {
+		lp := c.next()
+		if !def.Parametric {
+			p.errorf(c.line, lp.col, "operation %q takes no angle operand", def.Name)
+			c.bad = true
+			return isa.QOp{}, false
+		}
+		switch a := c.next(); a.kind {
+		case tokParam:
+			param = a.text
+		case tokFloat:
+			angle = a.fval
+		case tokNumber:
+			angle = float64(a.num)
+		default:
+			p.errorf(c.line, a.col, "expected an angle (radians or %%name), got %s", a.kind)
+			c.bad = true
+			return isa.QOp{}, false
+		}
+		if _, ok := c.expect(tokRParen); !ok {
+			return isa.QOp{}, false
+		}
+	}
 	var reg uint8
 	if def.Kind == isa.OpKindTwo {
 		reg, ok = c.reg('T', p.asm.Inst.NumTReg, "two-qubit target")
@@ -529,7 +557,7 @@ func (p *parser) parseQOp(c *cursor) (isa.QOp, bool) {
 	if !ok {
 		return isa.QOp{}, false
 	}
-	return isa.QOp{Name: def.Name, Target: reg}, true
+	return isa.QOp{Name: def.Name, Target: reg, Angle: angle, Param: param}, true
 }
 
 // resolveBranches patches label references into PC-relative offsets

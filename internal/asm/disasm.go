@@ -29,6 +29,14 @@ func (d *Disassembler) Disassemble(words []uint32) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return d.RenderProgram(prog)
+}
+
+// RenderProgram renders an in-memory program as an assembly listing
+// the Assembler accepts back, without a round trip through the binary
+// encoding — the only rendering available to parametric programs,
+// whose symbolic-angle operations have no 32-bit encoding.
+func (d *Disassembler) RenderProgram(prog *isa.Program) (string, error) {
 	// Synthesize labels at branch targets.
 	labelAt := map[int]string{}
 	for idx, ins := range prog.Instrs {

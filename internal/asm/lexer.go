@@ -8,6 +8,7 @@ package asm
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
@@ -19,6 +20,8 @@ type tokenKind uint8
 const (
 	tokIdent tokenKind = iota
 	tokNumber
+	tokFloat
+	tokParam
 	tokComma
 	tokLBrace
 	tokRBrace
@@ -35,6 +38,10 @@ func (k tokenKind) String() string {
 		return "identifier"
 	case tokNumber:
 		return "number"
+	case tokFloat:
+		return "number"
+	case tokParam:
+		return "parameter"
 	case tokComma:
 		return "','"
 	case tokLBrace:
@@ -55,11 +62,13 @@ func (k tokenKind) String() string {
 	return fmt.Sprintf("token(%d)", uint8(k))
 }
 
-// token is one lexeme with its source column (1-based).
+// token is one lexeme with its source column (1-based). fval carries
+// the value of a tokFloat.
 type token struct {
 	kind tokenKind
 	text string
 	num  int64
+	fval float64
 	col  int
 }
 
@@ -78,51 +87,88 @@ func lexLine(line string, lineNo int) ([]token, *Error) {
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == ',':
-			toks = append(toks, token{tokComma, ",", 0, i + 1})
+			toks = append(toks, token{kind: tokComma, text: ",", col: i + 1})
 			i++
 		case c == '{':
-			toks = append(toks, token{tokLBrace, "{", 0, i + 1})
+			toks = append(toks, token{kind: tokLBrace, text: "{", col: i + 1})
 			i++
 		case c == '}':
-			toks = append(toks, token{tokRBrace, "}", 0, i + 1})
+			toks = append(toks, token{kind: tokRBrace, text: "}", col: i + 1})
 			i++
 		case c == '(':
-			toks = append(toks, token{tokLParen, "(", 0, i + 1})
+			toks = append(toks, token{kind: tokLParen, text: "(", col: i + 1})
 			i++
 		case c == ')':
-			toks = append(toks, token{tokRParen, ")", 0, i + 1})
+			toks = append(toks, token{kind: tokRParen, text: ")", col: i + 1})
 			i++
 		case c == '|':
-			toks = append(toks, token{tokPipe, "|", 0, i + 1})
+			toks = append(toks, token{kind: tokPipe, text: "|", col: i + 1})
 			i++
 		case c == ':':
-			toks = append(toks, token{tokColon, ":", 0, i + 1})
+			toks = append(toks, token{kind: tokColon, text: ":", col: i + 1})
 			i++
+		case c == '%':
+			start := i
+			i++
+			if i >= n || !isIdentStart(line[i]) {
+				return nil, &Error{Line: lineNo, Col: start + 1,
+					Msg: "expected a parameter name after '%' (e.g. %theta)"}
+			}
+			nameStart := i
+			for i < n && isIdentChar(line[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tokParam, text: line[nameStart:i], col: start + 1})
 		case c == '-' || c >= '0' && c <= '9':
 			start := i
 			i++
-			for i < n && (isAlnum(line[i])) {
+			float := false
+			for i < n && (isAlnum(line[i]) || line[i] == '.') {
+				if line[i] == '.' {
+					float = true
+				}
 				i++
 			}
+			// Exponent continuation of a decimal float ("1.5e-3", "1e-08"):
+			// a sign directly after 'e'/'E' extends the number. Hex and
+			// binary literals never take one.
 			text := line[start:i]
+			if !isBasePrefixed(text) && i < n && (line[i] == '+' || line[i] == '-') &&
+				(line[i-1] == 'e' || line[i-1] == 'E') {
+				float = true
+				i++
+				for i < n && line[i] >= '0' && line[i] <= '9' {
+					i++
+				}
+				text = line[start:i]
+			}
+			if float {
+				v, err := strconv.ParseFloat(text, 64)
+				if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+					return nil, &Error{Line: lineNo, Col: start + 1,
+						Msg: fmt.Sprintf("malformed number %q", text)}
+				}
+				toks = append(toks, token{kind: tokFloat, text: text, fval: v, col: start + 1})
+				break
+			}
 			v, err := parseNumber(text)
 			if err != nil {
 				return nil, &Error{Line: lineNo, Col: start + 1, Msg: err.Error()}
 			}
-			toks = append(toks, token{tokNumber, text, v, start + 1})
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, col: start + 1})
 		case isIdentStart(c):
 			start := i
 			i++
 			for i < n && isIdentChar(line[i]) {
 				i++
 			}
-			toks = append(toks, token{tokIdent, line[start:i], 0, start + 1})
+			toks = append(toks, token{kind: tokIdent, text: line[start:i], col: start + 1})
 		default:
 			return nil, &Error{Line: lineNo, Col: i + 1,
 				Msg: fmt.Sprintf("unexpected character %q", string(c))}
 		}
 	}
-	toks = append(toks, token{tokEOL, "", 0, n + 1})
+	toks = append(toks, token{kind: tokEOL, col: n + 1})
 	return toks, nil
 }
 
@@ -152,6 +198,14 @@ func parseNumber(s string) (int64, error) {
 		v = -v
 	}
 	return v, nil
+}
+
+// isBasePrefixed reports a hex or binary integer literal (optionally
+// signed), which never takes a float exponent.
+func isBasePrefixed(s string) bool {
+	s = strings.TrimPrefix(s, "-")
+	return strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") ||
+		strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B")
 }
 
 func isIdentStart(c byte) bool {

@@ -30,6 +30,12 @@ type Gate struct {
 	DurationCycles int
 	// Measure marks a measurement operation.
 	Measure bool
+	// Angle is a parametric rotation's literal angle in radians; ignored
+	// when Param is set and must be zero for non-rotation gates.
+	Angle float64
+	// Param names a symbolic rotation parameter bound at plan-bind time;
+	// "" for literal-angle and non-rotation gates.
+	Param string
 }
 
 // IsTwoQubit reports whether the gate has two operands.
@@ -38,13 +44,15 @@ func (g Gate) IsTwoQubit() bool { return len(g.Qubits) == 2 }
 // ir lowers the gate into the pipeline IR.
 func (g Gate) ir() ir.Gate {
 	return ir.Gate{Name: g.Name, Qubits: g.Qubits,
-		DurationCycles: g.DurationCycles, Measure: g.Measure}
+		DurationCycles: g.DurationCycles, Measure: g.Measure,
+		Angle: g.Angle, Param: g.Param}
 }
 
 // gateOf lifts an IR gate back into the legacy circuit type.
 func gateOf(g ir.Gate) Gate {
 	return Gate{Name: g.Name, Qubits: g.Qubits,
-		DurationCycles: g.DurationCycles, Measure: g.Measure}
+		DurationCycles: g.DurationCycles, Measure: g.Measure,
+		Angle: g.Angle, Param: g.Param}
 }
 
 // Circuit is a hardware-independent gate list over NumQubits qubits.

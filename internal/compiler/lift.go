@@ -60,6 +60,8 @@ func Lift(p *isa.Program, cfg *isa.OpConfig, topo *topology.Topology) (*Circuit,
 						Qubits:         []int{qubit},
 						DurationCycles: def.DurationCycles,
 						Measure:        def.Kind == isa.OpKindMeasure,
+						Angle:          q.Angle,
+						Param:          q.Param,
 					})
 				}
 			}

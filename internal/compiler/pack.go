@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"eqasm/internal/ir"
 	"eqasm/internal/isa"
@@ -61,7 +62,10 @@ func packPoint(p *ir.Program, pt *ir.Point, cfg *isa.OpConfig, topo *topology.To
 			}
 			two = def.Kind == isa.OpKindTwo
 		}
-		key := g.Name
+		// Parametric rotations only combine when the angle operand
+		// matches exactly (same literal bits, or same parameter name):
+		// a group must stay a single configured operation.
+		key := g.Name + "\x00" + g.Param + "\x00" + strconv.FormatFloat(g.Angle, 'b', -1, 64)
 		if !somq {
 			key = fmt.Sprintf("%s#%d", g.Name, len(groups))
 		}
@@ -69,7 +73,7 @@ func packPoint(p *ir.Program, pt *ir.Point, cfg *isa.OpConfig, topo *topology.To
 		if !ok {
 			idx = len(groups)
 			index[key] = idx
-			groups = append(groups, ir.Group{Name: g.Name, Two: two})
+			groups = append(groups, ir.Group{Name: g.Name, Two: two, Angle: g.Angle, Param: g.Param})
 		}
 		gr := &groups[idx]
 		gr.Gates++
@@ -96,7 +100,13 @@ func packPoint(p *ir.Program, pt *ir.Point, cfg *isa.OpConfig, topo *topology.To
 		if groups[i].Two != groups[j].Two {
 			return !groups[i].Two
 		}
-		return groups[i].Name < groups[j].Name
+		if groups[i].Name != groups[j].Name {
+			return groups[i].Name < groups[j].Name
+		}
+		if groups[i].Param != groups[j].Param {
+			return groups[i].Param < groups[j].Param
+		}
+		return groups[i].Angle < groups[j].Angle
 	})
 	// Simultaneous pairs must not share a qubit (the chip plays one
 	// flux dance per point).
@@ -137,14 +147,14 @@ func PassAllocRegs(inst isa.Instantiation) Pass {
 						if fresh {
 							pt.Prelude = append(pt.Prelude, isa.Instr{Op: isa.OpSMIT, Addr: uint8(reg), Mask: chunk})
 						}
-						pt.Ops = append(pt.Ops, isa.QOp{Name: gr.Name, Target: uint8(reg)})
+						pt.Ops = append(pt.Ops, isa.QOp{Name: gr.Name, Target: uint8(reg), Angle: gr.Angle, Param: gr.Param})
 					}
 				} else {
 					reg, fresh := sAlloc.get(gr.SMask)
 					if fresh {
 						pt.Prelude = append(pt.Prelude, isa.Instr{Op: isa.OpSMIS, Addr: uint8(reg), Mask: gr.SMask})
 					}
-					pt.Ops = append(pt.Ops, isa.QOp{Name: gr.Name, Target: uint8(reg)})
+					pt.Ops = append(pt.Ops, isa.QOp{Name: gr.Name, Target: uint8(reg), Angle: gr.Angle, Param: gr.Param})
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"eqasm/internal/ir"
@@ -38,6 +39,13 @@ func validateProgram(p *ir.Program) error {
 		}
 		if len(g.Qubits) == 2 && g.Qubits[0] == g.Qubits[1] {
 			return gateErr(g, "compiler: gate %d (%s) uses qubit %d twice", i, g.Name, g.Qubits[0])
+		}
+		if math.IsNaN(g.Angle) || math.IsInf(g.Angle, 0) {
+			return gateErr(g, "compiler: gate %d (%s) has a non-finite angle", i, g.Name)
+		}
+		if g.Param != "" && g.Angle != 0 {
+			return gateErr(g, "compiler: gate %d (%s) carries both a literal angle and parameter %q",
+				i, g.Name, g.Param)
 		}
 	}
 	return nil

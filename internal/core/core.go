@@ -137,6 +137,14 @@ func (s *System) LoadPlan(ex *plan.Executable) error {
 	return s.Machine.LoadPlan(ex)
 }
 
+// LoadBoundPlan uploads a parametric plan together with the binding
+// that patches its parameter slots; the underlying Executable stays
+// shared read-only across every binding of a sweep.
+func (s *System) LoadBoundPlan(b *plan.Binding) error {
+	s.program = b.Plan().Program()
+	return s.Machine.LoadBoundPlan(b)
+}
+
 // LoadInterpreted uploads an already-assembled program for interpreted
 // execution, bypassing the plan layer. The interpreter re-resolves
 // operations and masks on every run; it exists as the semantic

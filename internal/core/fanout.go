@@ -102,6 +102,18 @@ func (p *SystemPool) FanPlan(ctx context.Context, ex *plan.Executable, baseSeed 
 		func(sys *System) error { return sys.LoadPlan(ex) })
 }
 
+// FanPlanBound is FanPlan over a bound parametric plan: every worker's
+// machine shares the immutable Executable and the binding's patch
+// table, so a sweep point costs a binding, not a recompile.
+func (p *SystemPool) FanPlanBound(ctx context.Context, b *plan.Binding, baseSeed int64,
+	shots, workers int, observe func(shot int, m *microarch.Machine, runErr error) error) error {
+	if shots <= 0 {
+		return nil
+	}
+	return p.fan(ctx, baseSeed, shots, workers, observe,
+		func(sys *System) error { return sys.LoadBoundPlan(b) })
+}
+
 // fan distributes the shot ranges over workers, loading each checked
 // out System through load.
 func (p *SystemPool) fan(ctx context.Context, baseSeed int64, shots, workers int,

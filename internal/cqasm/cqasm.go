@@ -15,6 +15,9 @@
 //	y q[0:2]                 # index ranges too (inclusive)
 //	cnot q[0], q[1]          # two-qubit gates (single indices only)
 //	swap q[0], q[1]          # expands to three CNOTs
+//	rx q[0], 1.5708          # axis rotations with a literal angle
+//	ry q[1], -0.25           # (radians; also rz)
+//	rz q[0], %theta          # or a named parameter, bound per run
 //	measure q[0]             # measurement (also: measure_z)
 //	measure_all              # measure every declared qubit
 //	{ x q[0] | y q[1] }      # parallel bundle: members must touch
@@ -23,10 +26,14 @@
 //	# comments run to end of line
 //
 // Gate names are case-insensitive and map onto the default operation
-// configuration: i x y z h s t x90 y90 mx90 my90 cnot cz swap measure
-// measure_z measure_all. Rotations with free angles, prep statements,
-// classical registers and sub-circuits are outside the subset and are
-// rejected with positioned diagnostics.
+// configuration: i x y z h s t x90 y90 mx90 my90 rx ry rz cnot cz swap
+// measure measure_z measure_all. The rx/ry/rz rotations take a free
+// angle — a signed decimal literal in radians, or a %name parameter
+// whose value is supplied at run time (parametric compilation: the
+// circuit compiles once, each parameter point binds into the shared
+// execution plan). Prep statements, classical registers and
+// sub-circuits are outside the subset and are rejected with positioned
+// diagnostics.
 package cqasm
 
 import (
@@ -78,6 +85,8 @@ const (
 	tokRBrace
 	tokPipe
 	tokColon
+	tokMinus
+	tokParam
 	tokEOL
 )
 
@@ -101,6 +110,10 @@ func (k tokenKind) String() string {
 		return "'|'"
 	case tokColon:
 		return "':'"
+	case tokMinus:
+		return "'-'"
+	case tokParam:
+		return "parameter"
 	case tokEOL:
 		return "end of line"
 	}
@@ -153,6 +166,21 @@ func lexLine(line string, lineNo int) ([]token, *Error) {
 		case c == ':':
 			toks = append(toks, token{tokColon, ":", 0, i + 1})
 			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", 0, i + 1})
+			i++
+		case c == '%':
+			start := i
+			i++
+			if i >= n || !isIdentStart(line[i]) {
+				return nil, &Error{Line: lineNo, Col: start + 1,
+					Msg: "expected a parameter name after '%' (e.g. %theta)"}
+			}
+			nameStart := i
+			for i < n && isIdentChar(line[i]) {
+				i++
+			}
+			toks = append(toks, token{tokParam, line[nameStart:i], 0, start + 1})
 		case c >= '0' && c <= '9':
 			start := i
 			dots := 0

@@ -115,8 +115,12 @@ func TestParseErrors(t *testing.T) {
 		{"x q[0]\n", "before qubits declaration"},
 		{"qubits 2\nx q[5]\n", "outside [0,2)"},
 		{"qubits 2\nfrobnicate q[0]\n", "unknown operation"},
-		{"qubits 2\nrx q[0], 1.57\n", "outside the cQASM subset"},
 		{"qubits 2\nprep_z q[0]\n", "outside the cQASM subset"},
+		{"qubits 2\nrx q[0]\n", "needs an angle operand"},
+		{"qubits 2\nry q[0], q[1]\n", "needs an angle"},
+		{"qubits 2\nrz q[0], %\n", "expected a parameter name after '%'"},
+		{"qubits 2\nrx q[0], 1.5.7\n", "malformed number"},
+		{"qubits 2\nrx q[0], --1\n", "needs an angle"},
 		{"qubits 2\ncnot q[0]\n", "two qubit operands"},
 		{"qubits 2\ncnot q[0], q[0]\n", "twice"},
 		{"qubits 2\ncnot q[0,1], q[1]\n", "single qubit index"},
@@ -176,6 +180,10 @@ func FuzzParse(f *testing.F) {
 		"version 2.0\n",
 		"x q[0]\n# comment\n",
 		"qubits 2\nrx q[0], 3.14\n",
+		"qubits 2\nrx q[0], -0.25\nry q[1], 1.5708\nrz q[0], %theta\n",
+		"qubits 2\nrz q[0], %\n",
+		"qubits 2\nrx q[0], %theta\nrx q[1], %phi\nmeasure_all\n",
+		"qubits 2\nrx q[0], 1.5e-3\n",
 		"{|}\n",
 		"qubits 2\nx q[",
 	}

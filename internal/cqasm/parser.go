@@ -2,6 +2,8 @@ package cqasm
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
 	"eqasm/internal/ir"
@@ -21,6 +23,9 @@ type gateSpec struct {
 	two bool
 	// measure marks a measurement.
 	measure bool
+	// rot marks a parametric axis rotation taking an angle operand: a
+	// signed decimal literal (radians) or a %name parameter.
+	rot bool
 }
 
 // gates maps lower-case cQASM names onto the default operation
@@ -37,6 +42,9 @@ var gates = map[string]gateSpec{
 	"y90":       {name: "Y90"},
 	"mx90":      {name: "Xm90"},
 	"my90":      {name: "Ym90"},
+	"rx":        {name: "RX", rot: true},
+	"ry":        {name: "RY", rot: true},
+	"rz":        {name: "RZ", rot: true},
 	"cnot":      {name: "CNOT", two: true},
 	"cz":        {name: "CZ", two: true},
 	"swap":      {two: true}, // expands to three CNOTs
@@ -47,9 +55,6 @@ var gates = map[string]gateSpec{
 // unsupported names common in full cQASM, called out with a specific
 // diagnostic instead of "unknown operation".
 var unsupported = map[string]string{
-	"rx":      "free-angle rotations are outside the cQASM subset (configure a fixed rotation operation instead)",
-	"ry":      "free-angle rotations are outside the cQASM subset (configure a fixed rotation operation instead)",
-	"rz":      "free-angle rotations are outside the cQASM subset (configure a fixed rotation operation instead)",
 	"prep":    "state preparation is outside the cQASM subset (qubits start in |0>)",
 	"prep_z":  "state preparation is outside the cQASM subset (qubits start in |0>)",
 	"prep_x":  "state preparation is outside the cQASM subset (qubits start in |0>)",
@@ -281,13 +286,51 @@ func (p *parser) parseGate(toks []token, lineNo int, used map[int]int) ([]token,
 	if !ok {
 		return rest2, false
 	}
+	var angle float64
+	var param string
+	if spec.rot {
+		if len(rest2) == 0 || rest2[0].kind != tokComma {
+			p.errorf(lineNo, lineEndCol(rest2), "%s needs an angle operand (radians or %%name)", name.text)
+			return rest2, false
+		}
+		angle, param, rest2, ok = p.parseAngle(rest2[1:], lineNo, name.text)
+		if !ok {
+			return rest2, false
+		}
+	}
 	p.sawGate = true
 	for _, q := range qubits {
 		p.claim(q, lineNo, name.col, used)
 		p.prog.Gates = append(p.prog.Gates, ir.Gate{Name: spec.name, Qubits: []int{q},
-			Measure: spec.measure, Pos: pos})
+			Measure: spec.measure, Angle: angle, Param: param, Pos: pos})
 	}
 	return rest2, true
+}
+
+// parseAngle parses a rotation's angle operand: an optionally negated
+// decimal literal in radians, or a %name parameter reference.
+func (p *parser) parseAngle(toks []token, lineNo int, gate string) (float64, string, []token, bool) {
+	if len(toks) > 0 && toks[0].kind == tokParam {
+		return 0, toks[0].text, toks[1:], true
+	}
+	neg := false
+	if len(toks) > 0 && toks[0].kind == tokMinus {
+		neg = true
+		toks = toks[1:]
+	}
+	if len(toks) == 0 || toks[0].kind != tokNumber {
+		p.errorf(lineNo, lineEndCol(toks), "%s needs an angle: a decimal literal in radians or a %%name parameter", gate)
+		return 0, "", toks, false
+	}
+	v, err := strconv.ParseFloat(toks[0].text, 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		p.errorf(lineNo, toks[0].col, "malformed angle %q", toks[0].text)
+		return 0, "", toks, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, "", toks[1:], true
 }
 
 func (p *parser) declared(lineNo, col int) bool {

@@ -81,6 +81,10 @@ type jobRequest struct {
 	// Backend overrides the chip-simulation backend for this job:
 	// "auto", "statevector", "densitymatrix" or "stabilizer".
 	Backend string `json:"backend,omitempty"`
+	// Params binds the program's symbolic rotation parameters (name →
+	// angle in radians). Params are a bind point, not program content:
+	// they stay out of the program cache key.
+	Params map[string]float64 `json:"params,omitempty"`
 	// Wait makes the request synchronous: the response carries the
 	// result instead of a queued-job ticket.
 	Wait bool `json:"wait,omitempty"`
@@ -93,10 +97,12 @@ type circuitJSON struct {
 }
 
 type gateJSON struct {
-	Name           string `json:"name"`
-	Qubits         []int  `json:"qubits"`
-	DurationCycles int    `json:"duration_cycles,omitempty"`
-	Measure        bool   `json:"measure,omitempty"`
+	Name           string  `json:"name"`
+	Qubits         []int   `json:"qubits"`
+	DurationCycles int     `json:"duration_cycles,omitempty"`
+	Measure        bool    `json:"measure,omitempty"`
+	Angle          float64 `json:"angle,omitempty"`
+	Param          string  `json:"param,omitempty"`
 }
 
 func (c *circuitJSON) toCircuit() *eqasm.Circuit {
@@ -107,6 +113,8 @@ func (c *circuitJSON) toCircuit() *eqasm.Circuit {
 			Qubits:         g.Qubits,
 			DurationCycles: g.DurationCycles,
 			Measure:        g.Measure,
+			Angle:          g.Angle,
+			Param:          g.Param,
 		})
 	}
 	return out
@@ -154,14 +162,15 @@ type batchRequest struct {
 // batchRequestItem is one request of a batch, mirroring the
 // single-job payload minus priority/wait (those are batch-level).
 type batchRequestItem struct {
-	Source  string       `json:"source,omitempty"`
-	Format  string       `json:"format,omitempty"`
-	Circuit *circuitJSON `json:"circuit,omitempty"`
-	Shots   int          `json:"shots,omitempty"`
-	Seed    int64        `json:"seed,omitempty"`
-	Tag     string       `json:"tag,omitempty"`
-	Chip    string       `json:"chip,omitempty"`
-	Backend string       `json:"backend,omitempty"`
+	Source  string             `json:"source,omitempty"`
+	Format  string             `json:"format,omitempty"`
+	Circuit *circuitJSON       `json:"circuit,omitempty"`
+	Shots   int                `json:"shots,omitempty"`
+	Seed    int64              `json:"seed,omitempty"`
+	Tag     string             `json:"tag,omitempty"`
+	Chip    string             `json:"chip,omitempty"`
+	Backend string             `json:"backend,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
 }
 
 // batchResponse describes a batch in every GET/POST response: job
@@ -216,6 +225,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Seed:     req.Seed,
 		Chip:     req.Chip,
 		Backend:  req.Backend,
+		Params:   req.Params,
 	}
 	if req.Circuit != nil {
 		spec.Circuit = req.Circuit.toCircuit()
@@ -269,6 +279,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			Tag:     item.Tag,
 			Chip:    item.Chip,
 			Backend: item.Backend,
+			Params:  item.Params,
 		}
 		if item.Circuit != nil {
 			rs.Circuit = item.Circuit.toCircuit()

@@ -54,6 +54,14 @@ type Gate struct {
 	DurationCycles int
 	// Measure marks a measurement operation.
 	Measure bool
+	// Angle is the rotation angle in radians of a parametric rotation
+	// gate (rx/ry/rz) with a literal angle. Ignored when Param is set;
+	// must be zero for non-rotation gates.
+	Angle float64
+	// Param names the symbolic rotation parameter ("%name" in cQASM,
+	// without the sigil) whose value is bound at plan-bind time; ""
+	// for literal-angle and non-rotation gates.
+	Param string
 	// Pos is the gate's source position when the circuit came from a
 	// textual front end (cQASM); passes thread it through so diagnostics
 	// can point back at the offending source line.
@@ -100,6 +108,11 @@ type Group struct {
 	SMask uint64
 	// TMask is the two-qubit target mask (bit per directed edge ID).
 	TMask uint64
+	// Angle and Param carry a parametric rotation's angle operand;
+	// gates only combine into one group when these match exactly, so a
+	// group is still a single configured operation.
+	Angle float64
+	Param string
 	// Gates counts the circuit gates combined into this group.
 	Gates int
 }

@@ -289,6 +289,9 @@ func (n Instantiation) encodeBundle(i Instr, cfg *OpConfig) (uint32, error) {
 				if !ok {
 					return 0, encErr(i, "operation %q is not configured", q.Name)
 				}
+				if def.Parametric {
+					return 0, encErr(i, "parametric operation %q has no 32-bit encoding (the microcode instantiation binds fixed rotations only)", q.Name)
+				}
 				opcode = def.Opcode
 				target = q.Target
 				limit := n.NumSReg

@@ -14,6 +14,7 @@ package isa
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -175,6 +176,13 @@ type QOp struct {
 	Name string
 	// Target is the S/T register index.
 	Target uint8
+	// Angle is the rotation angle in radians of a parametric operation
+	// site with a literal angle (ignored for non-parametric operations,
+	// and when Param names a symbolic parameter).
+	Angle float64
+	// Param names the symbolic parameter of a parametric operation site
+	// ("" for a literal angle); the value is supplied at plan-bind time.
+	Param string
 }
 
 // Instr is one eQASM instruction in assembly-level form. A single struct
@@ -279,7 +287,7 @@ func (q QOp) String() string {
 	if q.Name == QNOPName {
 		return QNOPName
 	}
-	return fmt.Sprintf("%s %d", q.Name, q.Target)
+	return fmt.Sprintf("%s%s %d", q.Name, q.angleSuffix(), q.Target)
 }
 
 // StringWithConfig renders a bundle operation with the correct register
@@ -292,7 +300,21 @@ func (q QOp) StringWithConfig(cfg *OpConfig) string {
 	if ok && def.Kind == OpKindTwo {
 		return fmt.Sprintf("%s T%d", q.Name, q.Target)
 	}
-	return fmt.Sprintf("%s S%d", q.Name, q.Target)
+	return fmt.Sprintf("%s%s S%d", q.Name, q.angleSuffix(), q.Target)
+}
+
+// angleSuffix renders a parametric site's angle operand: "(%name)" for
+// a symbolic parameter, "(<radians>)" for a non-zero literal, and ""
+// otherwise (the assembler reads a parametric operation without an
+// angle operand as a zero-angle literal, so the rendering round-trips).
+func (q QOp) angleSuffix() string {
+	switch {
+	case q.Param != "":
+		return "(%" + q.Param + ")"
+	case q.Angle != 0:
+		return "(" + strconv.FormatFloat(q.Angle, 'g', -1, 64) + ")"
+	}
+	return ""
 }
 
 // FormatQubitMask renders a SMIS qubit mask as the assembly qubit list,

@@ -121,11 +121,22 @@ type OpDef struct {
 	// Channel carries the pulse for single-qubit operations (two-qubit
 	// operations always use flux, measurements always the feedline).
 	Channel Channel
-	// Unitary1 is the single-qubit unitary (OpKindSingle).
+	// Unitary1 is the single-qubit unitary (OpKindSingle). For
+	// parametric rotations it is advisory only: the executed unitary is
+	// quantum.Rotation(Axis, angle) with the angle carried per
+	// instruction site (QOp.Angle or a bound parameter).
 	Unitary1 quantum.Matrix2
 	// Unitary2 is the two-qubit unitary (OpKindTwo), with the pair's
 	// source qubit as the high-order basis label.
 	Unitary2 quantum.Matrix4
+	// Parametric marks a free-angle axis rotation (Section 3.2 taken to
+	// its limit: the operation's unitary is fixed per instruction site,
+	// not per configuration entry). Parametric operations assemble,
+	// plan and execute fully but have no 32-bit binary encoding — the
+	// microcode instantiation only binds fixed rotations to codewords.
+	Parametric bool
+	// Axis is the rotation axis of a parametric operation.
+	Axis quantum.Axis
 }
 
 // OpConfig is the compile-time quantum operation configuration shared by
@@ -278,6 +289,17 @@ func DefaultConfig() *OpConfig {
 	// Measurement.
 	c.MustDefine(OpDef{Name: "MEASZ", Kind: OpKindMeasure,
 		DurationCycles: DefaultMeasureCycles})
+
+	// Free-angle rotations (defined last so the fixed set above keeps
+	// its historical opcode assignment). The angle travels on each
+	// instruction site — a literal, or a named parameter resolved at
+	// plan-bind time — so Unitary1 here is a placeholder.
+	c.MustDefine(OpDef{Name: "RX", Kind: OpKindSingle, Parametric: true, Axis: quantum.AxisX,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.Identity})
+	c.MustDefine(OpDef{Name: "RY", Kind: OpKindSingle, Parametric: true, Axis: quantum.AxisY,
+		DurationCycles: DefaultGate1QCycles, Unitary1: quantum.Identity})
+	c.MustDefine(OpDef{Name: "RZ", Kind: OpKindSingle, Parametric: true, Axis: quantum.AxisZ,
+		Channel: ChanFlux, DurationCycles: DefaultGate1QCycles, Unitary1: quantum.Identity})
 	return c
 }
 

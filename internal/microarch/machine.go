@@ -30,10 +30,13 @@ type Machine struct {
 	// exec and the planned target-register files are set by LoadPlan:
 	// when exec is non-nil the machine executes the decode-once plan
 	// instead of interpreting program.
-	exec  *plan.Executable
-	pinst []plan.Instr
-	sSets []*plan.TargetSet
-	tSets []*plan.TargetSet
+	exec *plan.Executable
+	// binding patches the plan's symbolic parameter slots with bound
+	// kernels; nil for non-parametric plans and interpreted execution.
+	binding *plan.Binding
+	pinst   []plan.Instr
+	sSets   []*plan.TargetSet
+	tSets   []*plan.TargetSet
 	// sSetDirty/tSetDirty list the planned target-register slots that
 	// held a non-empty set since the last reset, so per-shot resets
 	// restore exactly those instead of sweeping both register files;
@@ -179,6 +182,7 @@ func New(cfg Config) (*Machine, error) {
 func (m *Machine) LoadProgram(p *isa.Program) {
 	m.program = p.Instrs
 	m.exec = nil
+	m.binding = nil
 	m.pinst = nil
 	m.resetExecState()
 }
@@ -192,6 +196,20 @@ func (m *Machine) LoadProgram(p *isa.Program) {
 // context they were resolved against). Contexts are shared/interned by
 // the layers above, so in-tree callers satisfy this by construction.
 func (m *Machine) LoadPlan(ex *plan.Executable) error {
+	return m.loadPlan(ex, nil)
+}
+
+// LoadBoundPlan installs a parametric plan together with the binding
+// that patches its parameter slots. The same immutable Executable backs
+// every binding of a sweep; only the per-slot kernels differ.
+func (m *Machine) LoadBoundPlan(b *plan.Binding) error {
+	if b == nil {
+		return fmt.Errorf("microarch: nil plan binding")
+	}
+	return m.loadPlan(b.Plan(), b)
+}
+
+func (m *Machine) loadPlan(ex *plan.Executable, b *plan.Binding) error {
 	if ex == nil {
 		return fmt.Errorf("microarch: nil execution plan")
 	}
@@ -199,8 +217,13 @@ func (m *Machine) LoadPlan(ex *plan.Executable) error {
 		return fmt.Errorf("microarch: plan lowered for chip %q with a different instruction-set context than the machine's %q",
 			ex.Topology().Name, m.cfg.Topo.Name)
 	}
+	if ex.Parametric() && b == nil {
+		return fmt.Errorf("microarch: plan has unbound parameters (%v); bind them and use LoadBoundPlan",
+			ex.ParamNames())
+	}
 	m.program = ex.Program().Instrs
 	m.exec = ex
+	m.binding = b
 	m.pinst = ex.Instrs()
 	m.resetExecState()
 	// Architectural S/T registers survive program uploads; re-derive

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eqasm/internal/isa"
+	"eqasm/internal/quantum"
 )
 
 // OpSel is the two-bit micro-operation selection signal of Table 2,
@@ -126,6 +127,24 @@ func (m *Machine) issueBundle(ins isa.Instr) {
 		if !ok {
 			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
 				Msg: fmt.Sprintf("operation %q is not configured", q.Name)})
+			return
+		}
+		switch {
+		case def.Parametric && q.Param != "":
+			// Symbolic angles only resolve through a plan binding's patch
+			// table; the interpreter has no parameter values.
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: fmt.Sprintf("operation %q has unbound parameter %q; parametric programs require planned execution with a bound plan", q.Name, q.Param)})
+			return
+		case def.Parametric:
+			// Literal angle: instantiate the rotation for this site (the
+			// configured def's Unitary1 is an advisory placeholder).
+			d2 := *def
+			d2.Unitary1 = quantum.Rotation(def.Axis, q.Angle)
+			def = &d2
+		case q.Angle != 0 || q.Param != "":
+			m.fail(&RuntimeError{PC: m.pc, Instr: ins, Tick: m.tick,
+				Msg: fmt.Sprintf("operation %q takes no angle operand", q.Name)})
 			return
 		}
 		// Microcode unit: the q-opcode selects the microinstruction(s)

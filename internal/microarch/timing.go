@@ -175,8 +175,20 @@ func (m *Machine) dispatch(e *gateEvent) {
 			return
 		}
 		m.idleUpTo(qubit, tNs)
-		if e.op != nil && m.specBE != nil {
-			m.specBE.Apply1Spec(e.op.Spec1, qubit, durNs)
+		if e.op != nil {
+			// Parametric sites resolve their kernel through the loaded
+			// binding's patch table; everything else was classified at
+			// plan-build time. The spec's matrix feeds the generic path
+			// too: a parametric def's Unitary1 is a placeholder.
+			sp := e.op.Spec1
+			if e.op.Param != nil {
+				sp = m.binding.Spec(e.op.Param.Slot)
+			}
+			if m.specBE != nil {
+				m.specBE.Apply1Spec(sp, qubit, durNs)
+			} else {
+				m.backend.Apply1(sp.U, qubit, durNs)
+			}
 		} else {
 			m.backend.Apply1(def.Unitary1, qubit, durNs)
 		}

@@ -26,7 +26,10 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"weak"
 
@@ -81,6 +84,19 @@ type TargetSet struct {
 // targets.
 var EmptyTargets = &TargetSet{}
 
+// ParamRef marks a bundle operation whose rotation angle is a symbolic
+// parameter: the site's unitary is unresolved at build time and comes
+// from a Binding's patch table at execution time.
+type ParamRef struct {
+	// Name is the parameter name (cQASM "%name" without the sigil).
+	Name string
+	// Axis is the rotation axis of the parametric operation.
+	Axis quantum.Axis
+	// Slot indexes the plan's patch table: Binding.Spec(Slot) is the
+	// bound kernel. Sites sharing (Name, Axis) share one slot.
+	Slot int
+}
+
 // BundleOp is one pre-resolved quantum operation of a bundle: operation
 // definition, control-store microinstructions, device kind, duration
 // and kernel classification, all looked up at build time.
@@ -97,9 +113,15 @@ type BundleOp struct {
 	DurNs float64
 	// DurCycles is the pulse duration in quantum cycles.
 	DurCycles int64
-	// Spec1/Spec2 are the kernel classifications of the unitary.
+	// Spec1/Spec2 are the kernel classifications of the unitary. For a
+	// parametric site with a literal angle, Spec1 is the classified
+	// rotation matrix (the OpDef's Unitary1 is advisory only); for a
+	// symbolic site Spec1 is zero and Param locates the bound kernel.
 	Spec1 quantum.Gate1Spec
 	Spec2 quantum.Gate2Spec
+	// Param is non-nil for a symbolic parametric site: the angle is
+	// resolved through a Binding's patch table, not baked into the plan.
+	Param *ParamRef
 	// ErrMsg defers a configuration error (unknown operation name) to
 	// the moment the bundle issues, matching interpreter semantics.
 	ErrMsg string
@@ -140,7 +162,22 @@ type Executable struct {
 	instrs []Instr
 
 	cliffordOnly bool
-	profile      map[string]int
+	// cliffordStatic is the Clifford-ness of the non-symbolic sites
+	// alone; a Binding combines it with the bound angles per point.
+	cliffordStatic bool
+	profile        map[string]int
+
+	// slots is the patch table layout: one entry per distinct
+	// (parameter name, axis) pair; paramNames the sorted unique names.
+	slots      []paramSlot
+	paramNames []string
+}
+
+// paramSlot is one patch-table entry: all sites naming this parameter
+// on this axis share the bound 2x2 matrix built for the slot.
+type paramSlot struct {
+	name string
+	axis quantum.Axis
 }
 
 // Program returns the source program the plan lowers (error reporting
@@ -167,6 +204,91 @@ func (e *Executable) Len() int { return len(e.instrs) }
 // operations, missing microcode) count as non-Clifford so the selection
 // stays conservative.
 func (e *Executable) CliffordOnly() bool { return e.cliffordOnly }
+
+// Parametric reports whether the plan has symbolic rotation sites that
+// need a Binding before it can execute. Parametric plans always report
+// CliffordOnly false; classify per bound point with Binding.CliffordOnly.
+func (e *Executable) Parametric() bool { return len(e.slots) > 0 }
+
+// ParamNames returns the sorted distinct parameter names the plan
+// binds; nil for non-parametric plans.
+func (e *Executable) ParamNames() []string {
+	if len(e.paramNames) == 0 {
+		return nil
+	}
+	return append([]string(nil), e.paramNames...)
+}
+
+// Binding is a bound view of a parametric plan: the shared immutable
+// Executable plus a patch table of 2x2 kernels, one per parameter slot.
+// Binding a parameter point is a handful of matrix builds — no
+// re-assembly, no re-lowering — so a sweep reuses one plan for every
+// point. A Binding is immutable and safe to share across machines.
+type Binding struct {
+	ex    *Executable
+	specs []quantum.Gate1Spec
+	cliff bool
+}
+
+// Bind resolves every parameter slot against params and returns the
+// bound view. Every plan parameter must be given exactly once: unknown
+// names, missing names and non-finite values are errors.
+func (e *Executable) Bind(params map[string]float64) (*Binding, error) {
+	for name := range params {
+		if !e.hasParam(name) {
+			return nil, fmt.Errorf("plan: no parameter %q in the program (parameters: %s)",
+				name, nameList(e.paramNames))
+		}
+	}
+	for _, name := range e.paramNames {
+		v, ok := params[name]
+		if !ok {
+			return nil, fmt.Errorf("plan: missing value for parameter %q", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("plan: parameter %q is not a finite angle (%v)", name, v)
+		}
+	}
+	b := &Binding{ex: e, cliff: e.cliffordStatic}
+	if len(e.slots) > 0 {
+		b.specs = make([]quantum.Gate1Spec, len(e.slots))
+		for i, s := range e.slots {
+			u := quantum.Rotation(s.axis, params[s.name])
+			b.specs[i] = quantum.ClassifyGate1(u)
+			if b.cliff && !quantum.IsClifford1(u) {
+				b.cliff = false
+			}
+		}
+	}
+	return b, nil
+}
+
+func (e *Executable) hasParam(name string) bool {
+	for _, n := range e.paramNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func nameList(names []string) string {
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}
+
+// Plan returns the shared executable the binding patches.
+func (b *Binding) Plan() *Executable { return b.ex }
+
+// Spec returns the bound kernel of one patch-table slot.
+func (b *Binding) Spec(slot int) quantum.Gate1Spec { return b.specs[slot] }
+
+// CliffordOnly reports whether the plan under this specific binding is
+// Clifford throughout: the static sites are Clifford and every bound
+// angle lands on a Clifford rotation.
+func (b *Binding) CliffordOnly() bool { return b.cliff }
 
 // GateProfile returns the plan's static instruction-site counts per
 // kernel kind ("gate1.hadamard", "gate2.cphase", "measure", ...), the
@@ -260,6 +382,7 @@ func Build(prog *isa.Program, topo *topology.Topology, opCfg *isa.OpConfig) (*Ex
 		opCfg:   opCfg,
 		cstore:  InternControlStore(opCfg),
 		targets: map[targetKey]*TargetSet{},
+		slotIdx: map[paramSlot]int{},
 		cliff:   true,
 		profile: map[string]int{},
 	}
@@ -272,8 +395,20 @@ func Build(prog *isa.Program, topo *topology.Topology, opCfg *isa.OpConfig) (*Ex
 	for i, ins := range prog.Instrs {
 		ex.instrs[i] = b.lower(ins)
 	}
-	ex.cliffordOnly = b.cliff
+	ex.cliffordStatic = b.cliff
+	ex.cliffordOnly = b.cliff && len(b.slots) == 0
 	ex.profile = b.profile
+	ex.slots = b.slots
+	if len(b.slots) > 0 {
+		seen := map[string]bool{}
+		for _, s := range b.slots {
+			if !seen[s.name] {
+				seen[s.name] = true
+				ex.paramNames = append(ex.paramNames, s.name)
+			}
+		}
+		sort.Strings(ex.paramNames)
+	}
 	return ex, nil
 }
 
@@ -289,8 +424,12 @@ type builder struct {
 	// targets dedupes expanded masks: programs re-install the same
 	// few masks from many sites (and loops re-execute one site).
 	targets map[targetKey]*TargetSet
-	// cliff accumulates the CliffordOnly stamp; profile the per-kernel
-	// gate-site counts.
+	// slots/slotIdx accumulate the patch-table layout for symbolic
+	// parametric sites.
+	slots   []paramSlot
+	slotIdx map[paramSlot]int
+	// cliff accumulates the CliffordOnly stamp of non-symbolic sites;
+	// profile the per-kernel gate-site counts.
 	cliff   bool
 	profile map[string]int
 }
@@ -487,6 +626,13 @@ func (b *builder) lowerOp(q isa.QOp) BundleOp {
 		DurNs:     b.opCfg.DurationNs(def),
 		DurCycles: int64(def.DurationCycles),
 	}
+	if !def.Parametric && (q.Angle != 0 || q.Param != "") {
+		b.cliff = false
+		return BundleOp{
+			Target: q.Target,
+			ErrMsg: fmt.Sprintf("operation %q takes no angle operand", q.Name),
+		}
+	}
 	switch def.Kind {
 	case isa.OpKindTwo:
 		op.Kind = KindGate2
@@ -500,10 +646,34 @@ func (b *builder) lowerOp(q isa.QOp) BundleOp {
 		b.profile["measure"]++
 	default:
 		op.Kind = KindGate1
-		op.Spec1 = quantum.ClassifyGate1(def.Unitary1)
-		b.profile[gate1KindName(op.Spec1.Kind)]++
-		if !quantum.IsClifford1(def.Unitary1) {
-			b.cliff = false
+		switch {
+		case def.Parametric && q.Param != "":
+			// Symbolic site: allocate (or reuse) the patch-table slot;
+			// the kernel arrives with the Binding.
+			key := paramSlot{name: q.Param, axis: def.Axis}
+			slot, ok := b.slotIdx[key]
+			if !ok {
+				slot = len(b.slots)
+				b.slotIdx[key] = slot
+				b.slots = append(b.slots, key)
+			}
+			op.Param = &ParamRef{Name: q.Param, Axis: def.Axis, Slot: slot}
+			b.profile["gate1.parametric"]++
+		case def.Parametric:
+			// Literal angle: bake the rotation into the site's kernel
+			// (the def's Unitary1 is an advisory placeholder).
+			u := quantum.Rotation(def.Axis, q.Angle)
+			op.Spec1 = quantum.ClassifyGate1(u)
+			b.profile[gate1KindName(op.Spec1.Kind)]++
+			if !quantum.IsClifford1(u) {
+				b.cliff = false
+			}
+		default:
+			op.Spec1 = quantum.ClassifyGate1(def.Unitary1)
+			b.profile[gate1KindName(op.Spec1.Kind)]++
+			if !quantum.IsClifford1(def.Unitary1) {
+				b.cliff = false
+			}
 		}
 	}
 	return op

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,14 @@ type RequestSpec struct {
 	// selection. Backend choice does not affect program caching — the
 	// same assembled program serves every backend.
 	Backend string
+	// Params binds the program's symbolic rotation parameters for this
+	// request (name → angle in radians), with eqasm.RunRequest.Params
+	// semantics: missing, unknown and non-finite values fail the
+	// request. Params are a bind point, not program content — they stay
+	// out of the cache key, so every point of a sweep batch shares one
+	// cached program, one execution plan and (via content-affinity
+	// routing) one worker's caches.
+	Params map[string]float64
 }
 
 // BatchSpec describes a batch job: N program requests admitted,
@@ -114,6 +123,7 @@ type JobSpec struct {
 	Seed     int64
 	Chip     string
 	Backend  string
+	Params   map[string]float64
 }
 
 // batch lifts the single-program spec into the batch shape every job
@@ -129,6 +139,7 @@ func (spec JobSpec) batch() BatchSpec {
 			Seed:    spec.Seed,
 			Chip:    spec.Chip,
 			Backend: spec.Backend,
+			Params:  spec.Params,
 		}},
 	}
 }
@@ -176,6 +187,14 @@ func (spec RequestSpec) validate(i int) error {
 		return fail(fmt.Errorf("unknown backend %q (valid: %s, %s, %s, %s)", spec.Backend,
 			eqasm.BackendAuto, eqasm.BackendStateVector, eqasm.BackendDensityMatrix, eqasm.BackendStabilizer))
 	}
+	for name, v := range spec.Params {
+		if name == "" {
+			return fail(errors.New("empty parameter name"))
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fail(fmt.Errorf("parameter %q is not a finite angle (%v)", name, v))
+		}
+	}
 	return nil
 }
 
@@ -215,14 +234,17 @@ func (spec BatchSpec) withDefaults() BatchSpec {
 // program (and one execution plan). The coordinator tier keys both its
 // own cache and its content-affinity routing on the same hash, so the
 // requests it steers to one worker are exactly the ones that hit that
-// worker's caches.
+// worker's caches. A gate's structural angle operand (literal value or
+// parameter name) is program content and hashes; the Params bind map
+// deliberately does not — a sweep's points differ only in Params, so
+// all of them share one cache entry and one plan.
 func (spec RequestSpec) CacheKey() (string, error) {
 	h := sha256.New()
 	switch {
 	case spec.Circuit != nil:
 		fmt.Fprintf(h, "circuit:%s:%d\n", spec.Circuit.Name, spec.Circuit.NumQubits)
 		for _, g := range spec.Circuit.Gates {
-			fmt.Fprintf(h, "%s %v %d %t\n", g.Name, g.Qubits, g.DurationCycles, g.Measure)
+			fmt.Fprintf(h, "%s %v %d %t %v %s\n", g.Name, g.Qubits, g.DurationCycles, g.Measure, g.Angle, g.Param)
 		}
 	case spec.Format == FormatCQASM:
 		fmt.Fprintf(h, "cqasm:")

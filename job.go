@@ -19,8 +19,24 @@ type RunRequest struct {
 	// Options are this request's run options; the zero value uses the
 	// backend defaults, exactly as in Run.
 	Options RunOptions
+	// Params binds the program's symbolic rotation parameters for this
+	// request (name → angle in radians). A parametric program binds its
+	// compiled plan once per request — a handful of 2x2 matrix builds,
+	// not a recompile — so a sweep submits one cached program with a
+	// different Params point per request. Every parameter must be given
+	// exactly once; missing, unknown and non-finite values fail the
+	// request. Takes precedence over Options.Params when both are set.
+	Params map[string]float64
 	// Tag is an opaque caller label echoed back in RequestStatus.
 	Tag string
+}
+
+// params returns the request's effective parameter point.
+func (r RunRequest) params() map[string]float64 {
+	if r.Params != nil {
+		return r.Params
+	}
+	return r.Options.Params
 }
 
 // JobState is a job's (or a single request's) lifecycle phase.

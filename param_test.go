@@ -1,0 +1,350 @@
+// Parametric circuits: plan-level parameter binding. These tests pin
+// the contract that a bound parametric plan is bit-identical to the
+// same circuit with the literal angle baked in — locally on both
+// simulation backends and through the HTTP service — and that a sweep
+// batch of one program shares exactly one cached program and one
+// execution plan.
+package eqasm_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eqasm"
+	"eqasm/internal/service"
+)
+
+// paramAnsatz is the parametric test circuit: two symbolic rotations
+// around an entangler on the twoqubit chip's (0, 2) pair.
+const paramAnsatz = `
+qubits 3
+rx q[0], %theta
+ry q[2], %theta
+cnot q[0], q[2]
+measure q[0,2]
+`
+
+// bakedAnsatz is the same circuit with the angle baked in as a literal.
+func bakedAnsatz(theta float64) string {
+	return fmt.Sprintf(`
+qubits 3
+rx q[0], %[1]v
+ry q[2], %[1]v
+cnot q[0], q[2]
+measure q[0,2]
+`, theta)
+}
+
+func TestProgramParams(t *testing.T) {
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := prog.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "theta" {
+		t.Fatalf("Params() = %v, want [theta]", names)
+	}
+	lit, err := eqasm.CompileCircuit(bakedAnsatz(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err = lit.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("literal circuit Params() = %v, want none", names)
+	}
+}
+
+// TestParamBindParity: binding %theta at run time is bit-identical to
+// baking the same literal angle into the circuit, at the same seed, on
+// both the state-vector and density-matrix backends.
+func TestParamBindParity(t *testing.T) {
+	const theta = 1.234567
+	const shots = 64
+	pp, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := eqasm.CompileCircuit(bakedAnsatz(theta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{eqasm.BackendStateVector, eqasm.BackendDensityMatrix} {
+		t.Run(backend, func(t *testing.T) {
+			opts := eqasm.RunOptions{Shots: shots, Seed: 5, Backend: backend}
+			bound := opts
+			bound.Params = map[string]float64{"theta": theta}
+			bres, err := sim.Run(context.Background(), pp, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lres, err := sim.Run(context.Background(), lp, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bres.Shots != shots || lres.Shots != shots {
+				t.Fatalf("shots: bound %d, literal %d", bres.Shots, lres.Shots)
+			}
+			if !reflect.DeepEqual(bres.Histogram, lres.Histogram) {
+				t.Fatalf("bound %v != literal %v", bres.Histogram, lres.Histogram)
+			}
+		})
+	}
+}
+
+// TestParamBindErrors: missing, unknown and non-finite parameter values
+// fail the request with a diagnostic naming the parameter.
+func TestParamBindErrors(t *testing.T) {
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		params map[string]float64
+		want   string
+	}{
+		{"missing", nil, `missing value for parameter "theta"`},
+		{"missing-empty", map[string]float64{}, `missing value for parameter "theta"`},
+		{"unknown", map[string]float64{"theta": 1, "phi": 2}, `no parameter "phi"`},
+		{"nan", map[string]float64{"theta": math.NaN()}, "not a finite angle"},
+		{"inf", map[string]float64{"theta": math.Inf(1)}, "not a finite angle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sim.Run(context.Background(), prog,
+				eqasm.RunOptions{Shots: 1, Params: tc.params})
+			if err == nil {
+				t.Fatalf("run with params %v succeeded", tc.params)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Binding parameters onto a program that has none is an unknown-
+	// parameter error, not a silent no-op.
+	lit, err := eqasm.CompileCircuit(bakedAnsatz(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(context.Background(), lit,
+		eqasm.RunOptions{Shots: 1, Params: map[string]float64{"theta": 1}})
+	if err == nil || !strings.Contains(err.Error(), `no parameter "theta"`) {
+		t.Fatalf("binding onto a non-parametric program: %v", err)
+	}
+}
+
+// TestParamRequestPrecedence: RunRequest.Params takes precedence over
+// Options.Params.
+func TestParamRequestPrecedence(t *testing.T) {
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := eqasm.CompileCircuit(bakedAnsatz(math.Pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eqasm.RunOptions{Shots: 32, Seed: 3}
+	job, err := sim.Submit(context.Background(), eqasm.RunRequest{
+		Program: prog,
+		Options: eqasm.RunOptions{Shots: 32, Seed: 3, Params: map[string]float64{"theta": 0}},
+		Params:  map[string]float64{"theta": math.Pi},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(context.Background(), lp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0].Histogram, want.Histogram) {
+		t.Fatalf("request Params did not win: %v != %v", results[0].Histogram, want.Histogram)
+	}
+}
+
+// TestParamCliffordRouting: the auto backend classifies a parametric
+// plan per bound point — Clifford angles route to the stabilizer
+// tableau, generic angles to the state vector.
+func TestParamCliffordRouting(t *testing.T) {
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		theta float64
+		want  string
+	}{
+		{math.Pi, eqasm.BackendStabilizer},      // X/Y flips are Clifford
+		{math.Pi / 2, eqasm.BackendStabilizer},  // quarter turns too
+		{math.Pi / 4, eqasm.BackendStateVector}, // T-like angles are not
+		{1.234567, eqasm.BackendStateVector},
+	}
+	for _, tc := range cases {
+		res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{
+			Shots: 4, Params: map[string]float64{"theta": tc.theta}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Backend != tc.want {
+			t.Fatalf("theta=%v routed to %q, want %q", tc.theta, res.Backend, tc.want)
+		}
+	}
+}
+
+// TestParamSweepOverHTTP drives a parameter sweep through the real
+// service behind the real HTTP front end: per-point results must be
+// bit-identical to local runs with the literal angle baked in, and the
+// whole sweep must share exactly one cached program and one execution
+// plan (the /v1/stats plan-cache counters).
+func TestParamSweepOverHTTP(t *testing.T) {
+	const points = 8
+	const shots = 16
+	cfg := service.Config{
+		Workers:    2,
+		BatchShots: 32, // one batch per request: local Run comparison is exact
+		Machine:    []eqasm.Option{eqasm.WithSeed(3)},
+	}
+	client := newServiceClient(t, cfg)
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]eqasm.RunRequest, points)
+	grid := make([]float64, points)
+	for i := range reqs {
+		grid[i] = 2 * math.Pi * float64(i) / points
+		reqs[i] = eqasm.RunRequest{
+			Program: prog,
+			Options: eqasm.RunOptions{Shots: shots, Seed: 9},
+			Params:  map[string]float64{"theta": grid[i]},
+			Tag:     fmt.Sprintf("p%d", i),
+		}
+	}
+	job, err := client.Submit(context.Background(), reqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local reference: the literal-angle circuit at the same seed.
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, theta := range grid {
+		lp, err := eqasm.CompileCircuit(bakedAnsatz(theta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run(context.Background(), lp, eqasm.RunOptions{Shots: shots, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i].Histogram, want.Histogram) {
+			t.Fatalf("point %d (theta=%v): remote %v != local literal %v",
+				i, theta, results[i].Histogram, want.Histogram)
+		}
+	}
+
+	// One program, one plan for the whole sweep: the parameter point is
+	// a bind value, not program content, so it stays out of the cache
+	// key.
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheMisses != 1 || st.CacheEntries != 1 {
+		t.Fatalf("program cache: %d misses, %d entries, want 1 and 1", st.CacheMisses, st.CacheEntries)
+	}
+	if st.CacheHits != points-1 {
+		t.Fatalf("program cache hits = %d, want %d", st.CacheHits, points-1)
+	}
+	if st.PlanCacheMisses != 1 {
+		t.Fatalf("plan cache misses = %d, want 1 (one plan for the whole sweep)", st.PlanCacheMisses)
+	}
+	if st.PlanCacheHits != points-1 {
+		t.Fatalf("plan cache hits = %d, want %d", st.PlanCacheHits, points-1)
+	}
+}
+
+// TestParamErrorsOverHTTP: parameter faults surface as request errors
+// through the service wire, naming the parameter.
+func TestParamErrorsOverHTTP(t *testing.T) {
+	client := newServiceClient(t, service.Config{
+		Workers: 1,
+		Machine: []eqasm.Option{eqasm.WithSeed(3)},
+	})
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN params bounce at admission (they are not even representable
+	// as JSON numbers, and the service validates before queueing).
+	_, err = client.Submit(context.Background(), eqasm.RunRequest{
+		Program: prog,
+		Options: eqasm.RunOptions{Shots: 1},
+		Params:  map[string]float64{"theta": math.NaN()},
+	})
+	if err == nil {
+		t.Fatal("NaN param accepted")
+	}
+	// Missing and unknown params fail the request at execution.
+	for _, tc := range []struct {
+		name   string
+		params map[string]float64
+		want   string
+	}{
+		{"missing", nil, `missing value for parameter "theta"`},
+		{"unknown", map[string]float64{"theta": 1, "phi": 2}, `no parameter "phi"`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			job, err := client.Submit(context.Background(), eqasm.RunRequest{
+				Program: prog,
+				Options: eqasm.RunOptions{Shots: 1},
+				Params:  tc.params,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err = job.Wait(context.Background()); err == nil {
+				t.Fatalf("run with params %v succeeded", tc.params)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -21,6 +21,10 @@ func FuzzParseCircuit(f *testing.F) {
 		"version 2.0\nqubits 1\n",
 		"x q[0]\n",
 		"qubits 2\nrx q[0], 3.14\n",
+		"qubits 3\nrx q[0], %theta\nry q[2], %theta\ncnot q[0], q[2]\nmeasure q[0,2]\n",
+		"qubits 2\nrz q[0], -0.5\nrx q[1], 1.5e-3\n",
+		"qubits 2\nrx q[0], %\n",
+		"qubits 2\nrx q[0], 1.5.7\n",
 		"qubits 2\ncnot q[0], q[0]\n",
 		"{|}\n",
 		"qubits 2\nx q[",

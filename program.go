@@ -108,6 +108,17 @@ func disassembleWith(st stack, words []uint32) (string, error) {
 	return d.Disassemble(words)
 }
 
+// renderSource renders the program as assembler-parseable source
+// directly from the in-memory instruction list, without a round trip
+// through the binary encoding — the only rendering available to
+// parametric programs, whose symbolic-angle operations have no 32-bit
+// encoding.
+func (p *Program) renderSource() (string, error) {
+	d := asm.NewDisassembler(p.st.opCfg, p.st.topo)
+	d.Inst = p.st.inst
+	return d.RenderProgram(p.prog)
+}
+
 // executable returns the program's execution plan, lowering it on
 // first use; cached reports whether the plan had already been built.
 func (p *Program) executable() (ex *plan.Executable, cached bool, err error) {
@@ -129,6 +140,17 @@ func (p *Program) executable() (ex *plan.Executable, cached bool, err error) {
 func (p *Program) Prepare() (cached bool, err error) {
 	_, cached, err = p.executable()
 	return cached, err
+}
+
+// Params returns the sorted distinct symbolic parameter names of the
+// program (nil when the program is not parametric). Lowers the
+// execution plan on first use.
+func (p *Program) Params() ([]string, error) {
+	ex, _, err := p.executable()
+	if err != nil {
+		return nil, err
+	}
+	return ex.ParamNames(), nil
 }
 
 // Source returns the assembly text the program was assembled from
@@ -186,6 +208,15 @@ type Gate struct {
 	DurationCycles int
 	// Measure marks a measurement operation.
 	Measure bool
+	// Angle is the rotation angle in radians of a parametric rotation
+	// gate (RX/RY/RZ) with a literal angle. Ignored when Param is set;
+	// must be zero for non-rotation gates.
+	Angle float64
+	// Param names a symbolic rotation parameter (cQASM "%name" without
+	// the sigil) whose value is supplied per run through
+	// RunOptions.Params / RunRequest.Params; "" for literal-angle and
+	// non-rotation gates.
+	Param string
 }
 
 // Circuit is a hardware-independent gate list over NumQubits qubits.
@@ -205,6 +236,8 @@ func (c *Circuit) internal() *compiler.Circuit {
 			Qubits:         g.Qubits,
 			DurationCycles: g.DurationCycles,
 			Measure:        g.Measure,
+			Angle:          g.Angle,
+			Param:          g.Param,
 		})
 	}
 	return out
@@ -219,6 +252,8 @@ func circuitFromInternal(c *compiler.Circuit) *Circuit {
 			Qubits:         g.Qubits,
 			DurationCycles: g.DurationCycles,
 			Measure:        g.Measure,
+			Angle:          g.Angle,
+			Param:          g.Param,
 		})
 	}
 	return out
