@@ -38,6 +38,12 @@ type RunOptions struct {
 	// angle in radians) with the same semantics as RunRequest.Params,
 	// which takes precedence when both are set.
 	Params map[string]float64
+	// Fusion, when non-empty, overrides plan-time gate fusion for this
+	// run: FusionOn ("on") or FusionOff ("off"). The empty string uses
+	// the backend's WithFusion setting (default on). Fusion never
+	// changes results — fixed-seed runs are identical either way — so
+	// "off" exists for A/B benchmarking and per-gate profiling.
+	Fusion string
 }
 
 // Measurement is one completed measurement of a shot, in completion
@@ -143,10 +149,13 @@ type Result struct {
 	// "statevector", "densitymatrix" or "stabilizer" (empty on remote
 	// results from servers predating backend selection).
 	Backend string `json:"backend,omitempty"`
-	// GateProfile counts the program's static instruction sites per
-	// execution-kernel kind (e.g. "gate1.hadamard", "gate2.cphase",
-	// "measure") as classified by the decode-once plan; nil when the
-	// plan was not built.
+	// GateProfile counts the kernels the run actually executed per
+	// shot, as classified by the decode-once plan: per-site kinds
+	// (e.g. "gate1.hadamard", "gate2.cphase", "measure") and, when the
+	// run used plan-time gate fusion, fused-kernel kinds
+	// ("fused.gate1.generic", ...) plus the fusion counters
+	// "fusion.sites.total" / "fusion.sites.fused" / "fusion.elided"
+	// (the fused/unfused site ratio). Nil when the plan was not built.
 	GateProfile map[string]int `json:"gate_profile,omitempty"`
 	// Duration is the wall-clock execution time.
 	Duration time.Duration `json:"duration_ns"`
@@ -195,11 +204,13 @@ type Simulator struct {
 	pools map[poolKey]*core.SystemPool
 }
 
-// poolKey identifies one machine pool: the instruction-set context plus
-// the chip-simulation backend its machines are built with.
+// poolKey identifies one machine pool: the instruction-set context,
+// the chip-simulation backend its machines are built with, and whether
+// fusion is disabled on them.
 type poolKey struct {
-	st   stack
-	kind string
+	st       stack
+	kind     string
+	noFusion bool
 }
 
 var _ Backend = (*Simulator)(nil)
@@ -227,10 +238,10 @@ func (s *Simulator) Seed() int64 { return s.cfg.seed }
 // Chip names the simulator's configured topology.
 func (s *Simulator) Chip() string { return s.defaultStack.topo.Name }
 
-// pool returns the machine pool for one instruction-set context and
-// backend kind, creating it on first use.
-func (s *Simulator) pool(st stack, kind string) *core.SystemPool {
-	key := poolKey{st: st, kind: kind}
+// pool returns the machine pool for one instruction-set context,
+// backend kind and fusion setting, creating it on first use.
+func (s *Simulator) pool(st stack, kind string, noFusion bool) *core.SystemPool {
+	key := poolKey{st: st, kind: kind, noFusion: noFusion}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if p, ok := s.pools[key]; ok {
@@ -245,6 +256,7 @@ func (s *Simulator) pool(st stack, kind string) *core.SystemPool {
 		UseStabilizer:    kind == BackendStabilizer,
 		RecordDeviceOps:  s.cfg.trace,
 		MockMeasure:      s.cfg.mock,
+		Microarch:        microarch.Config{DisableFusion: noFusion},
 	})
 	s.pools[key] = p
 	return p
@@ -313,6 +325,15 @@ func (s *Simulator) plan(opts RunOptions) (pl runPlan, err error) {
 		return runPlan{}, fmt.Errorf("eqasm: unknown backend %q (valid: auto, statevector, densitymatrix, stabilizer)", opts.Backend)
 	}
 	pl.backend = opts.Backend
+	switch opts.Fusion {
+	case "":
+		pl.noFusion = s.cfg.fusionOff
+	case FusionOn:
+	case FusionOff:
+		pl.noFusion = true
+	default:
+		return runPlan{}, fmt.Errorf("eqasm: unknown fusion setting %q (valid: %q, %q)", opts.Fusion, FusionOn, FusionOff)
+	}
 	return pl, nil
 }
 
@@ -385,9 +406,9 @@ func sortedQubits(last map[int]int) []int {
 // on first use); when the plan cannot be built it falls back to the
 // semantically identical interpreter path. A non-nil binding routes
 // through the bound-plan loader, patching the plan's parameter slots.
-func (s *Simulator) fanShots(ctx context.Context, p *Program, b *plan.Binding, kind string, seed int64, shots, workers int,
+func (s *Simulator) fanShots(ctx context.Context, p *Program, b *plan.Binding, kind string, noFusion bool, seed int64, shots, workers int,
 	observe func(shot int, m *microarch.Machine, runErr error) error) error {
-	pool := s.pool(p.st, kind)
+	pool := s.pool(p.st, kind, noFusion)
 	if b != nil {
 		return pool.FanPlanBound(ctx, b, seed, shots, workers, observe)
 	}
@@ -403,6 +424,9 @@ type runPlan struct {
 	seed    int64
 	workers int
 	backend string
+	// noFusion disables plan-time gate fusion for the request
+	// (RunOptions.Fusion, falling back to WithFusion).
+	noFusion bool
 	// params is the request's effective parameter point
 	// (RunRequest.Params, falling back to RunOptions.Params).
 	params map[string]float64
@@ -508,11 +532,22 @@ func (s *Simulator) executeRequest(ctx context.Context, j *Job, req int,
 	if planErr == nil {
 		res.GateProfile = ex.GateProfile()
 	}
+	profiled := false
 	start := time.Now()
-	err = s.fanShots(ctx, p, binding, kind, pl.seed, pl.shots, pl.workers,
+	err = s.fanShots(ctx, p, binding, kind, pl.noFusion, pl.seed, pl.shots, pl.workers,
 		func(shot int, m *microarch.Machine, runErr error) error {
 			if runErr != nil {
 				return wrapShotErr(shot, m, runErr)
+			}
+			if !profiled {
+				// The static plan profile above is a fallback for runs
+				// that fault before any shot completes; a completed
+				// shot's machine reports the kernels it actually
+				// executed (fused kinds under fusion).
+				profiled = true
+				if gp := m.ExecutedGateProfile(); gp != nil {
+					res.GateProfile = gp
+				}
 			}
 			st := execStats(m)
 			res.Shots++

@@ -108,6 +108,7 @@ type requestWire struct {
 	Tag     string             `json:"tag,omitempty"`
 	Chip    string             `json:"chip,omitempty"`
 	Backend string             `json:"backend,omitempty"`
+	Fusion  string             `json:"fusion,omitempty"`
 	Params  map[string]float64 `json:"params,omitempty"`
 }
 
@@ -305,6 +306,7 @@ func (c *Client) submitJob(ctx context.Context, streaming, wait bool, reqs []Run
 			Tag:     r.Tag,
 			Chip:    r.Program.Chip(),
 			Backend: r.Options.Backend,
+			Fusion:  r.Options.Fusion,
 			Params:  r.params(),
 		}
 	}
@@ -550,7 +552,9 @@ type ServiceStats struct {
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
 	// GateProfile aggregates executed kernel work across all batches:
-	// static instruction sites per kernel kind, weighted by shots.
+	// per-shot kernel applications per kind — including fused.* kernel
+	// kinds and fusion.* site counters on fused runs — weighted by
+	// shots.
 	GateProfile   map[string]int64 `json:"gate_profile,omitempty"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 }

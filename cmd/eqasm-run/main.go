@@ -128,6 +128,7 @@ func main() {
 	emit := flag.Bool("emit", false, "print the compiled eQASM assembly before running (cQASM input)")
 	seed := flag.Int64("seed", 1, "random seed")
 	backend := flag.String("backend", "auto", "chip simulation backend: auto, statevector, densitymatrix or stabilizer")
+	fusion := flag.String("fusion", "", "plan-time gate fusion: on or off (default: backend setting, on); -fusion=off for A/B runs")
 	asJSON := flag.Bool("json", false, "print the full result as JSON (histogram, qubits, stats, totals, backend, gate profile)")
 	params := paramFlags{}
 	flag.Var(params, "param", "bind a rotation parameter, name=value in radians (repeatable)")
@@ -184,11 +185,11 @@ func main() {
 	}
 
 	if sweep.name != "" {
-		runSweep(sim, prog, params, &sweep, *shots, *asJSON)
+		runSweep(sim, prog, params, &sweep, *shots, *fusion, *asJSON)
 		return
 	}
 
-	ropts := eqasm.RunOptions{Shots: *shots, Params: params.values()}
+	ropts := eqasm.RunOptions{Shots: *shots, Params: params.values(), Fusion: *fusion}
 
 	if *asJSON {
 		res, err := sim.Run(context.Background(), prog, ropts)
@@ -250,7 +251,7 @@ func (p paramFlags) values() map[string]float64 {
 // runSweep executes one batch over the -sweep grid: every point is one
 // RunRequest of the same compiled program with a different parameter
 // binding, so the whole grid shares a single execution plan.
-func runSweep(sim *eqasm.Simulator, prog *eqasm.Program, base paramFlags, sweep *sweepFlag, shots int, asJSON bool) {
+func runSweep(sim *eqasm.Simulator, prog *eqasm.Program, base paramFlags, sweep *sweepFlag, shots int, fusion string, asJSON bool) {
 	points := sweep.points()
 	reqs := make([]eqasm.RunRequest, len(points))
 	for i, v := range points {
@@ -261,7 +262,7 @@ func runSweep(sim *eqasm.Simulator, prog *eqasm.Program, base paramFlags, sweep 
 		p[sweep.name] = v
 		reqs[i] = eqasm.RunRequest{
 			Program: prog,
-			Options: eqasm.RunOptions{Shots: shots},
+			Options: eqasm.RunOptions{Shots: shots, Fusion: fusion},
 			Params:  p,
 			Tag:     fmt.Sprintf("%s=%g", sweep.name, v),
 		}

@@ -150,6 +150,23 @@
 // once) and is bit-identical at a fixed seed to the interpreter it
 // replaced.
 //
+// Plan building also runs gate fusion over the lowered stream (default
+// on; WithFusion and RunOptions.Fusion switch it): runs of adjacent
+// single-qubit gates on one qubit coalesce into one precomposed 2×2
+// kernel, single-qubit gates flanking a two-qubit gate on the same
+// pair fold into its 4×4, and the products are re-classified so they
+// still land on the specialized diagonal/antidiagonal/permutation/
+// controlled-phase kernels. The state-vector hot loop then pays one
+// amplitude pass per fused kernel instead of per gate. Fusion stops at
+// measurements, feedback-conditional gates, symbolic parameter slots
+// (static runs around a slot still fuse), control-flow joins and
+// unknown target registers, and the machine applies the annotations
+// only where they are exact — built-in state-vector or density-matrix
+// backend under a zero noise model — so fixed-seed results are
+// identical with fusion on or off. Result.GateProfile reports the
+// kernels actually executed, including the fused kinds and the
+// ProfileFusionFused / ProfileFusionTotal site ratio.
+//
 // # The stack underneath
 //
 // The implementation lives under internal/: the eQASM instruction set

@@ -1,0 +1,279 @@
+// Plan-time gate fusion must be invisible in results: a fused run is
+// bit-identical to the same run with fusion disabled at the same seed,
+// on every shipped fixture, on both exact backends, and per bound point
+// of a parametric sweep. Only the gate profile may differ — it reports
+// the kernels that actually executed, so a fused run shows fused.*
+// kernel kinds and the fusion.* site counters.
+package eqasm_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eqasm"
+	"eqasm/internal/httpapi"
+	"eqasm/internal/service"
+)
+
+// fixtureSimOptions returns the public-API options a fixture's leading
+// "# topo: <name>" directive demands (nil for the default chip).
+func fixtureSimOptions(src string) []eqasm.Option {
+	if name := fixtureTopo(src); name != "" {
+		return []eqasm.Option{eqasm.WithTopology(name)}
+	}
+	return nil
+}
+
+// TestFusionHistogramParity forces each exact backend and compares a
+// fused run against the identical run with fusion off: fixed seeds must
+// give identical histograms on every shipped fixture.
+func TestFusionHistogramParity(t *testing.T) {
+	for name, src := range fixtureSources(t) {
+		topoOpts := fixtureSimOptions(src)
+		backends := []string{eqasm.BackendStateVector, eqasm.BackendDensityMatrix}
+		shots := 48
+		if topoOpts != nil {
+			// The chain16 register has no density matrix (4^16 entries),
+			// and its unfused reference pushes 2^16 amplitudes per gate.
+			backends = backends[:1]
+			shots = 10
+		}
+		for _, backend := range backends {
+			for _, seed := range []int64{5, 19} {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, backend, seed), func(t *testing.T) {
+					sim, err := eqasm.NewSimulator(topoOpts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					prog, err := eqasm.Assemble(src, topoOpts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					base := eqasm.RunOptions{Shots: shots, Seed: seed, Backend: backend}
+					fusedOpts := base
+					fusedOpts.Fusion = eqasm.FusionOn
+					plainOpts := base
+					plainOpts.Fusion = eqasm.FusionOff
+					fused, err := sim.Run(context.Background(), prog, fusedOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					plain, err := sim.Run(context.Background(), prog, plainOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fused.Backend != backend || plain.Backend != backend {
+						t.Fatalf("backends: fused %q, unfused %q, want %q", fused.Backend, plain.Backend, backend)
+					}
+					if !reflect.DeepEqual(fused.Histogram, plain.Histogram) {
+						t.Fatalf("histograms diverge:\nfused:   %v\nunfused: %v", fused.Histogram, plain.Histogram)
+					}
+					if !reflect.DeepEqual(fused.Qubits, plain.Qubits) {
+						t.Fatalf("measured qubits diverge: fused %v, unfused %v", fused.Qubits, plain.Qubits)
+					}
+					for k := range plain.GateProfile {
+						if strings.HasPrefix(k, "fused.") || strings.HasPrefix(k, "fusion.") {
+							t.Fatalf("fusion-off profile reports fused work: %v", plain.GateProfile)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFusionProfileCounters pins the executed-kernel profile of a fused
+// non-Clifford run: fused.* kernel kinds appear, the fusion site
+// counters are consistent, and the elided count is the gap between
+// total fused sites and emitted kernels.
+func TestFusionProfileCounters(t *testing.T) {
+	src := fixtureSources(t)["t_ladder"]
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := eqasm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background(), prog, eqasm.RunOptions{Shots: 4, Backend: eqasm.BackendStateVector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.GateProfile
+	if p == nil {
+		t.Fatal("fused run has no gate profile")
+	}
+	total, fusedSites, elided := p[eqasm.ProfileFusionTotal], p[eqasm.ProfileFusionFused], p[eqasm.ProfileFusionElided]
+	if total <= 0 || fusedSites <= 0 {
+		t.Fatalf("no fusion sites recorded: %v", p)
+	}
+	if fusedSites > total {
+		t.Fatalf("fused sites %d exceed total %d: %v", fusedSites, total, p)
+	}
+	kernels := 0
+	for k, n := range p {
+		if strings.HasPrefix(k, "fused.") {
+			kernels += n
+		}
+	}
+	if kernels == 0 {
+		t.Fatalf("no fused kernels in profile: %v", p)
+	}
+	if kernels+elided != fusedSites {
+		t.Fatalf("kernels %d + elided %d != fused sites %d: %v", kernels, elided, fusedSites, p)
+	}
+}
+
+// TestWithFusionOption holds the backend-level switch equivalent to the
+// per-run override: a simulator built WithFusion(false) reproduces the
+// default fused histograms, and a per-run FusionOn overrides it back.
+func TestWithFusionOption(t *testing.T) {
+	src := fixtureSources(t)["rz_ladder"]
+	prog, err := eqasm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedSim, err := eqasm.NewSimulator(eqasm.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSim, err := eqasm.NewSimulator(eqasm.WithSeed(9), eqasm.WithFusion(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eqasm.RunOptions{Shots: 64, Backend: eqasm.BackendStateVector}
+	fused, err := fusedSim.Run(context.Background(), prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := plainSim.Run(context.Background(), prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fused.Histogram, plain.Histogram) {
+		t.Fatalf("WithFusion(false) changed outcomes:\nfused:   %v\nunfused: %v", fused.Histogram, plain.Histogram)
+	}
+	if plain.GateProfile[eqasm.ProfileFusionTotal] != 0 {
+		t.Fatalf("WithFusion(false) still profiled fusion: %v", plain.GateProfile)
+	}
+	// Per-run override wins over the backend setting.
+	ovr := opts
+	ovr.Fusion = eqasm.FusionOn
+	forced, err := plainSim.Run(context.Background(), prog, ovr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.GateProfile[eqasm.ProfileFusionTotal] == 0 {
+		t.Fatalf("RunOptions.Fusion=on did not override WithFusion(false): %v", forced.GateProfile)
+	}
+	if !reflect.DeepEqual(forced.Histogram, fused.Histogram) {
+		t.Fatalf("per-run fusion override changed outcomes: %v vs %v", forced.Histogram, fused.Histogram)
+	}
+}
+
+// TestParamSweepFusionParity binds a parametric program over a sweep
+// grid twice — fusion on and fusion off — as two batches over one
+// compiled plan each, and requires bit-identical histograms per bound
+// point. Static runs around the parametric slots fuse; the slots
+// themselves stay patchable.
+func TestParamSweepFusionParity(t *testing.T) {
+	prog, err := eqasm.CompileCircuit(paramAnsatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []float64{0, 0.4, 0.8, 1.2, 1.6, 2.0}
+	run := func(fusion string) []*eqasm.Result {
+		t.Helper()
+		reqs := make([]eqasm.RunRequest, len(points))
+		for i, theta := range points {
+			reqs[i] = eqasm.RunRequest{
+				Program: prog,
+				Options: eqasm.RunOptions{Shots: 32, Seed: 17, Fusion: fusion, Backend: eqasm.BackendStateVector},
+				Params:  map[string]float64{"theta": theta},
+			}
+		}
+		job, err := sim.Submit(context.Background(), reqs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	fused := run(eqasm.FusionOn)
+	plain := run(eqasm.FusionOff)
+	for i := range points {
+		if !reflect.DeepEqual(fused[i].Histogram, plain[i].Histogram) {
+			t.Fatalf("theta=%g: histograms diverge:\nfused:   %v\nunfused: %v",
+				points[i], fused[i].Histogram, plain[i].Histogram)
+		}
+	}
+}
+
+// TestGateProfileWireLocalAgreement holds the service's aggregated
+// /v1/stats gate_profile to the local Result.GateProfile view: for a
+// deterministic program the wire counters are exactly the local
+// per-shot profile weighted by the shots executed — including the
+// fused.* kernel kinds and fusion.* site counters.
+func TestGateProfileWireLocalAgreement(t *testing.T) {
+	src := fixtureSources(t)["t_ladder"]
+	const shots = 40
+
+	sim, err := eqasm.NewSimulator(eqasm.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := eqasm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := eqasm.RunOptions{Shots: shots, Backend: eqasm.BackendStateVector}
+	local, err := sim.Run(context.Background(), prog, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.GateProfile) == 0 {
+		t.Fatal("local run has no gate profile")
+	}
+
+	svc, err := service.New(service.Config{
+		Workers:    2,
+		BatchShots: 8,
+		Machine:    []eqasm.Option{eqasm.WithSeed(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(svc).Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	client := eqasm.NewClient(ts.URL, eqasm.WithHTTPClient(ts.Client()))
+	if _, err := client.Run(context.Background(), prog, ropts); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int64, len(local.GateProfile))
+	for k, v := range local.GateProfile {
+		want[k] = int64(v) * shots
+	}
+	if !reflect.DeepEqual(stats.GateProfile, want) {
+		t.Fatalf("wire gate profile disagrees with local view:\nwire:  %v\nlocal × %d shots: %v",
+			stats.GateProfile, shots, want)
+	}
+}

@@ -81,6 +81,9 @@ type jobRequest struct {
 	// Backend overrides the chip-simulation backend for this job:
 	// "auto", "statevector", "densitymatrix" or "stabilizer".
 	Backend string `json:"backend,omitempty"`
+	// Fusion overrides plan-time gate fusion for this job: "on" or
+	// "off" (default: the execution backend's setting, fusion on).
+	Fusion string `json:"fusion,omitempty"`
 	// Params binds the program's symbolic rotation parameters (name →
 	// angle in radians). Params are a bind point, not program content:
 	// they stay out of the program cache key.
@@ -170,6 +173,7 @@ type batchRequestItem struct {
 	Tag     string             `json:"tag,omitempty"`
 	Chip    string             `json:"chip,omitempty"`
 	Backend string             `json:"backend,omitempty"`
+	Fusion  string             `json:"fusion,omitempty"`
 	Params  map[string]float64 `json:"params,omitempty"`
 }
 
@@ -225,6 +229,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Seed:     req.Seed,
 		Chip:     req.Chip,
 		Backend:  req.Backend,
+		Fusion:   req.Fusion,
 		Params:   req.Params,
 	}
 	if req.Circuit != nil {
@@ -279,6 +284,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			Tag:     item.Tag,
 			Chip:    item.Chip,
 			Backend: item.Backend,
+			Fusion:  item.Fusion,
 			Params:  item.Params,
 		}
 		if item.Circuit != nil {

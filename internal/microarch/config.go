@@ -45,6 +45,13 @@ type Config struct {
 	UseStabilizer bool
 	// Backend overrides the constructed backend entirely when non-nil.
 	Backend quantum.Backend
+	// DisableFusion turns off plan-time gate fusion for this machine's
+	// planned executions. Fusion is otherwise applied automatically when
+	// it is exact: built-in state-vector or density-matrix backend and
+	// the zero noise model (per-gate timing is then unobservable).
+	// Custom backends, stabilizer runs and noisy runs never use fusion
+	// regardless of this flag.
+	DisableFusion bool
 
 	// MockMeasure, when non-nil, replaces measurement discrimination with
 	// scripted results: it receives the qubit and the per-qubit

@@ -34,9 +34,15 @@ type Machine struct {
 	// binding patches the plan's symbolic parameter slots with bound
 	// kernels; nil for non-parametric plans and interpreted execution.
 	binding *plan.Binding
-	pinst   []plan.Instr
-	sSets   []*plan.TargetSet
-	tSets   []*plan.TargetSet
+	// fusionOK records whether this machine's configuration admits
+	// fused execution (built-in SV/DM backend, zero noise, fusion not
+	// disabled); fused is set per loaded plan: fusionOK and the plan
+	// actually has fused runs.
+	fusionOK bool
+	fused    bool
+	pinst    []plan.Instr
+	sSets    []*plan.TargetSet
+	tSets    []*plan.TargetSet
 	// sSetDirty/tSetDirty list the planned target-register slots that
 	// held a non-empty set since the last reset, so per-shot resets
 	// restore exactly those instead of sweeping both register files;
@@ -167,6 +173,13 @@ func New(cfg Config) (*Machine, error) {
 	m.sSetListed = make([]bool, cfg.Inst.NumSReg)
 	m.tSetListed = make([]bool, cfg.Inst.NumTReg)
 	m.specBE, _ = m.backend.(quantum.SpecBackend)
+	// Fusion changes where between two measurements a gate's unitary is
+	// applied, which is only unobservable when nothing happens between
+	// gates: the built-in backends with the zero noise model. Noise
+	// channels, custom backends and the stabilizer tableau (which wants
+	// per-gate Clifford routing) always execute per-site kernels.
+	m.fusionOK = cfg.Backend == nil && !cfg.UseStabilizer && !cfg.DisableFusion &&
+		cfg.Noise == (quantum.NoiseModel{})
 	// The microcode table is shared with every other machine (and every
 	// execution plan) built from this operation configuration.
 	m.cstore = plan.InternControlStore(cfg.OpConfig)
@@ -183,6 +196,7 @@ func (m *Machine) LoadProgram(p *isa.Program) {
 	m.program = p.Instrs
 	m.exec = nil
 	m.binding = nil
+	m.fused = false
 	m.pinst = nil
 	m.resetExecState()
 }
@@ -224,6 +238,7 @@ func (m *Machine) loadPlan(ex *plan.Executable, b *plan.Binding) error {
 	m.program = ex.Program().Instrs
 	m.exec = ex
 	m.binding = b
+	m.fused = m.fusionOK && ex.HasFusion()
 	m.pinst = ex.Instrs()
 	m.resetExecState()
 	// Architectural S/T registers survive program uploads; re-derive
@@ -533,6 +548,20 @@ func (m *Machine) ControlStore() *ControlStore { return m.cstore }
 
 // Stats returns execution counters for the last Run.
 func (m *Machine) Stats() Stats { return m.stats }
+
+// ExecutedGateProfile returns the kernel profile of the loaded plan as
+// this machine executes it: the fused per-application profile when the
+// machine runs the plan with fusion, the static per-site profile
+// otherwise (interpreted execution has no plan and returns nil).
+func (m *Machine) ExecutedGateProfile() map[string]int {
+	if m.exec == nil {
+		return nil
+	}
+	if m.fused {
+		return m.exec.GateProfileFused()
+	}
+	return m.exec.GateProfile()
+}
 
 // DeviceTrace returns the recorded device operations (requires
 // Config.RecordDeviceOps).

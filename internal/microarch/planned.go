@@ -163,7 +163,12 @@ func (m *Machine) issuePlannedSingle(op *plan.BundleOp, ts *plan.TargetSet, poin
 		return
 	}
 	measure := op.Kind == plan.KindMeasure
-	for _, q := range ts.Qubits {
+	// Fusion annotations apply only when the machine runs fused and the
+	// live register still matches the width the pass assumed (registers
+	// survive program uploads; a mismatched set falls back to per-site
+	// kernels).
+	fused := m.fused && op.Fused != nil && len(op.Fused) == len(ts.Qubits)
+	for i, q := range ts.Qubits {
 		if !m.claim(q, point, op.Def.Name) {
 			return
 		}
@@ -179,7 +184,11 @@ func (m *Machine) issuePlannedSingle(op *plan.BundleOp, ts *plan.TargetSet, poin
 			// measurement instruction is issued.
 			m.measCounters[q]++
 		}
-		m.pushEvent(gateEvent{cycle: point, kind: kind, op: op, qubit: int32(q), pc: int32(m.pc)})
+		ev := gateEvent{cycle: point, kind: kind, op: op, qubit: int32(q), pc: int32(m.pc)}
+		if fused {
+			ev.fuse = op.Fused[i]
+		}
+		m.pushEvent(ev)
 	}
 }
 
@@ -188,10 +197,15 @@ func (m *Machine) issuePlannedPair(op *plan.BundleOp, ts *plan.TargetSet, point 
 		m.fail(&RuntimeError{PC: m.pc, Instr: m.current(), Tick: m.tick, Msg: ts.PairErr})
 		return
 	}
-	for _, pr := range ts.Pairs {
+	fused := m.fused && op.Fused != nil && len(op.Fused) == len(ts.Pairs)
+	for i, pr := range ts.Pairs {
 		if !m.claim(pr.Src, point, op.Def.Name) || !m.claim(pr.Tgt, point, op.Def.Name) {
 			return
 		}
-		m.pushEvent(gateEvent{cycle: point, kind: evGate2, op: op, qubit: int32(pr.Src), tgt: int32(pr.Tgt), pc: int32(m.pc)})
+		ev := gateEvent{cycle: point, kind: evGate2, op: op, qubit: int32(pr.Src), tgt: int32(pr.Tgt), pc: int32(m.pc)}
+		if fused {
+			ev.fuse = op.Fused[i]
+		}
+		m.pushEvent(ev)
 	}
 }

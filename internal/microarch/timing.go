@@ -29,6 +29,12 @@ type gateEvent struct {
 	tgt   int32 // target qubit for two-qubit operations
 	pc    int32
 	kind  eventKind
+	// fuse is the site's fusion annotation when the machine executes
+	// the plan with fusion (nil otherwise): an elided constituent skips
+	// the backend application, an anchor applies the precomposed
+	// kernel. All other dispatch semantics — triggering, collision
+	// checks, timing, device trace, stats — are unchanged either way.
+	fuse *plan.FusedKernel
 }
 
 // resolve returns the event's operation definition and
@@ -175,7 +181,18 @@ func (m *Machine) dispatch(e *gateEvent) {
 			return
 		}
 		m.idleUpTo(qubit, tNs)
-		if e.op != nil {
+		if e.fuse != nil {
+			// Fused site: an anchor applies the whole run's precomposed
+			// kernel; an elided constituent applies nothing (its unitary
+			// is folded into the run's anchor).
+			if !e.fuse.Skip {
+				if m.specBE != nil {
+					m.specBE.Apply1Spec(e.fuse.Spec1, qubit, durNs)
+				} else {
+					m.backend.Apply1(e.fuse.Spec1.U, qubit, durNs)
+				}
+			}
+		} else if e.op != nil {
 			// Parametric sites resolve their kernel through the loaded
 			// binding's patch table; everything else was classified at
 			// plan-build time. The spec's matrix feeds the generic path
@@ -201,7 +218,17 @@ func (m *Machine) dispatch(e *gateEvent) {
 		}
 		m.idleUpTo(qubit, tNs)
 		m.idleUpTo(tgt, tNs)
-		if e.op != nil && m.specBE != nil {
+		if e.fuse != nil {
+			// Fused pair site: never the CZ shortcut — the precomposed
+			// product is whatever the run multiplied out to.
+			if !e.fuse.Skip {
+				if m.specBE != nil {
+					m.specBE.Apply2Spec(e.fuse.Spec2, qubit, tgt, durNs)
+				} else {
+					m.backend.Apply2(e.fuse.Spec2.U, qubit, tgt, durNs)
+				}
+			}
+		} else if e.op != nil && m.specBE != nil {
 			m.specBE.Apply2Spec(e.op.Spec2, qubit, tgt, durNs)
 		} else if def.Unitary2 == quantum.CZ {
 			m.backend.ApplyCZ(qubit, tgt, durNs)

@@ -1,0 +1,382 @@
+// Fusion-pass unit tests: fused products are amplitude-exact against
+// sequential application, barriers end runs where the pass must not
+// reason across (measurements, feedback, parameters, control flow,
+// unknown registers), and the anchor's provenance lists every
+// constituent site in program order.
+package plan
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"eqasm/internal/isa"
+	"eqasm/internal/quantum"
+	"eqasm/internal/topology"
+)
+
+// smis/smit/g1/g2/meas build the lowered-program vocabulary of these
+// tests on the twoqubit chip (qubits 0 and 2, edge 0 = pair (2, 0)).
+func smis(addr uint8, qubits ...int) isa.Instr {
+	return isa.Instr{Op: isa.OpSMIS, Addr: addr, Mask: isa.QubitMask(qubits...)}
+}
+
+func smit(addr uint8) isa.Instr {
+	return isa.Instr{Op: isa.OpSMIT, Addr: addr, Mask: 1}
+}
+
+func g1(name string, reg uint8) isa.Instr {
+	return isa.NewBundle(1, isa.QOp{Name: name, Target: reg})
+}
+
+func g2(name string, reg uint8) isa.Instr {
+	return isa.NewBundle(2, isa.QOp{Name: name, Target: reg})
+}
+
+// fusedOf collects the fusion annotation of the single op of the
+// bundle at pc (nil when the site is unannotated).
+func fusedOf(ex *Executable, pc int) *FusedKernel {
+	op := &ex.Instrs()[pc].Bundle.Ops[0]
+	if op.Fused == nil {
+		return nil
+	}
+	return op.Fused[0]
+}
+
+// approxEq4 compares 4×4 matrices entrywise.
+func approxEq4(a, b quantum.Matrix4, tol float64) bool {
+	for i := range a {
+		for j := range a[i] {
+			if cmplx.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFuseSingleQubitRun(t *testing.T) {
+	ex := buildFor(t,
+		smis(0, 0),
+		g1("H", 0), // pc 1
+		g1("T", 0), // pc 2
+		g1("H", 0), // pc 3
+		isa.Instr{Op: isa.OpSTOP},
+	)
+	if !ex.HasFusion() {
+		t.Fatal("H·T·H run did not fuse")
+	}
+	if fk := fusedOf(ex, 1); fk == nil || !fk.Skip {
+		t.Fatalf("first H not elided: %+v", fk)
+	}
+	if fk := fusedOf(ex, 2); fk == nil || !fk.Skip {
+		t.Fatalf("T not elided: %+v", fk)
+	}
+	fk := fusedOf(ex, 3)
+	if fk == nil || fk.Skip || fk.Two {
+		t.Fatalf("last H is not the 2×2 anchor: %+v", fk)
+	}
+	want := quantum.Hadamard.Mul(quantum.TGate.Mul(quantum.Hadamard))
+	if !fk.Spec1.U.ApproxEqual(want, 1e-12) {
+		t.Fatalf("fused product = %v, want H·T·H = %v", fk.Spec1.U, want)
+	}
+	wantSites := []FusedSite{{PC: 1, Op: 0}, {PC: 2, Op: 0}, {PC: 3, Op: 0}}
+	if len(fk.Sites) != len(wantSites) {
+		t.Fatalf("provenance %v, want %v", fk.Sites, wantSites)
+	}
+	for i, s := range wantSites {
+		if fk.Sites[i] != s {
+			t.Fatalf("provenance %v, want %v", fk.Sites, wantSites)
+		}
+	}
+	p := ex.GateProfileFused()
+	if p[ProfileFusionTotal] != 3 || p[ProfileFusionFused] != 3 || p[ProfileFusionElided] != 2 {
+		t.Fatalf("fusion counters wrong: %v", p)
+	}
+}
+
+func TestFusePairAbsorbsFlankingGates(t *testing.T) {
+	// H on each qubit, the entangler, then a trailing T on qubit 0: one
+	// pair run anchored at the CZ, with the T folded backwards into it.
+	ex := buildFor(t,
+		smis(0, 0),
+		smis(1, 2),
+		smit(0),
+		g1("H", 0),  // pc 3
+		g1("H", 1),  // pc 4
+		g2("CZ", 0), // pc 5
+		g1("T", 0),  // pc 6
+		isa.Instr{Op: isa.OpSTOP},
+	)
+	fk := fusedOf(ex, 5)
+	if fk == nil || fk.Skip || !fk.Two {
+		t.Fatalf("CZ is not the 4×4 anchor: %+v", fk)
+	}
+	for _, pc := range []int{3, 4, 6} {
+		if sk := fusedOf(ex, pc); sk == nil || !sk.Skip {
+			t.Fatalf("pc %d not elided: %+v", pc, sk)
+		}
+	}
+	// Twoqubit edge 0 is Pair{Src: 2, Tgt: 0}: qubit 2 rides the high
+	// basis label, so H(q2) is the hi factor and the gates on qubit 0
+	// the lo factors.
+	want := quantum.Kron(quantum.Identity, quantum.TGate).
+		Mul(quantum.CZ.Mul(quantum.Kron(quantum.Hadamard, quantum.Hadamard)))
+	if !approxEq4(fk.Spec2.U, want, 1e-12) {
+		t.Fatalf("fused 4×4 = %v, want (I⊗T)·CZ·(H⊗H) = %v", fk.Spec2.U, want)
+	}
+	wantSites := []FusedSite{{PC: 3, Op: 0}, {PC: 4, Op: 0}, {PC: 5, Op: 0}, {PC: 6, Op: 0}}
+	for i, s := range wantSites {
+		if fk.Sites[i] != s {
+			t.Fatalf("provenance %v, want %v", fk.Sites, wantSites)
+		}
+	}
+}
+
+func TestFuseBarriers(t *testing.T) {
+	t.Run("measurement", func(t *testing.T) {
+		// The measure bundle is a global barrier: the preceding run
+		// fuses, the H sharing the measurement's bundle does not.
+		ex := buildFor(t,
+			smis(0, 0),
+			smis(1, 2),
+			g1("H", 0), // pc 2
+			g1("T", 0), // pc 3
+			isa.NewBundle(15, isa.QOp{Name: "H", Target: 1}, isa.QOp{Name: "MEASZ", Target: 0}), // pc 4
+			isa.Instr{Op: isa.OpSTOP},
+		)
+		if fk := fusedOf(ex, 3); fk == nil || fk.Skip {
+			t.Fatalf("run before the measurement did not fuse: %+v", fk)
+		}
+		if ex.Instrs()[4].Bundle.Ops[0].Fused != nil {
+			t.Fatal("gate inside the measurement bundle fused")
+		}
+	})
+	t.Run("feedback", func(t *testing.T) {
+		// A fast-conditional gate is decided per shot: runs end on both
+		// sides and the conditional site itself stays per-site.
+		ex := buildFor(t,
+			smis(0, 0),
+			g1("H", 0), g1("T", 0), // pcs 1, 2
+			g1("C_X", 0),           // pc 3
+			g1("T", 0), g1("H", 0), // pcs 4, 5
+			isa.Instr{Op: isa.OpSTOP},
+		)
+		if fk := fusedOf(ex, 2); fk == nil || fk.Skip {
+			t.Fatal("run before the conditional did not fuse")
+		}
+		if fusedOf(ex, 3) != nil {
+			t.Fatal("conditional site fused")
+		}
+		if fk := fusedOf(ex, 5); fk == nil || fk.Skip {
+			t.Fatal("run after the conditional did not fuse")
+		}
+	})
+	t.Run("parametric", func(t *testing.T) {
+		// A symbolic slot is patched at bind time: static runs around it
+		// fuse, the slot never joins.
+		ex := buildFor(t,
+			smis(0, 0),
+			g1("H", 0), g1("T", 0), // pcs 1, 2
+			isa.NewBundle(1, isa.QOp{Name: "RZ", Target: 0, Param: "theta"}), // pc 3
+			g1("T", 0), g1("H", 0), // pcs 4, 5
+			isa.Instr{Op: isa.OpSTOP},
+		)
+		if fk := fusedOf(ex, 2); fk == nil || fk.Skip {
+			t.Fatal("run before the parametric slot did not fuse")
+		}
+		if fusedOf(ex, 3) != nil {
+			t.Fatal("parametric slot fused")
+		}
+		if fk := fusedOf(ex, 5); fk == nil || fk.Skip {
+			t.Fatal("run after the parametric slot did not fuse")
+		}
+	})
+	t.Run("branch-target", func(t *testing.T) {
+		// The backward branch makes pc 2 a join point: the run cannot
+		// span pcs 1–2, so both H sites stay per-site kernels.
+		ex := buildFor(t,
+			smis(0, 0),
+			g1("H", 0), // pc 1
+			g1("H", 0), // pc 2: branch target
+			isa.Instr{Op: isa.OpBR, Cond: isa.CondAlways, Imm: -1},
+			isa.Instr{Op: isa.OpSTOP},
+		)
+		if ex.HasFusion() {
+			t.Fatalf("runs fused across a branch target: %v", ex.GateProfileFused())
+		}
+	})
+	t.Run("unknown-register", func(t *testing.T) {
+		// Register 5 is never set here: its contents are live machine
+		// state, so its bundle is a barrier and nothing around it fuses
+		// into it.
+		ex := buildFor(t,
+			smis(0, 0),
+			g1("H", 0),
+			g1("H", 5),
+			g1("H", 0),
+			isa.Instr{Op: isa.OpSTOP},
+		)
+		if ex.HasFusion() {
+			t.Fatalf("fused around an unknown register: %v", ex.GateProfileFused())
+		}
+	})
+}
+
+// applyProgram runs the lowered gates of ex on a fresh 3-qubit state:
+// sequentially site by site (fused == false), or through the fusion
+// annotations — anchors apply their precomposed kernel, elided sites
+// nothing (fused == true). Measurements are rejected (states must stay
+// deterministic).
+func applyProgram(t *testing.T, ex *Executable, fused bool) *quantum.State {
+	t.Helper()
+	st := quantum.NewState(3, rand.New(rand.NewSource(1)))
+	for _, ins := range ex.Instrs() {
+		if ins.Bundle == nil {
+			continue
+		}
+		for i := range ins.Bundle.Ops {
+			op := &ins.Bundle.Ops[i]
+			switch op.Kind {
+			case KindGate1:
+				ts := lookupTargets(t, ex, op)
+				for slot, q := range ts.Qubits {
+					if fused && op.Fused != nil {
+						if fk := op.Fused[slot]; fk != nil {
+							if !fk.Skip {
+								st.Apply1(fk.Spec1.U, q)
+							}
+							continue
+						}
+					}
+					st.Apply1(op.Spec1.U, q)
+				}
+			case KindGate2:
+				ts := lookupTargets(t, ex, op)
+				for slot, pr := range ts.Pairs {
+					if fused && op.Fused != nil {
+						if fk := op.Fused[slot]; fk != nil {
+							if !fk.Skip {
+								st.Apply2(fk.Spec2.U, pr.Src, pr.Tgt)
+							}
+							continue
+						}
+					}
+					st.Apply2(op.Spec2.U, pr.Src, pr.Tgt)
+				}
+			default:
+				t.Fatal("measurement in an amplitude-parity program")
+			}
+		}
+	}
+	return st
+}
+
+// lookupTargets resolves op's register from the lowered SMIS/SMIT
+// stream (the programs under test set each register exactly once).
+func lookupTargets(t *testing.T, ex *Executable, op *BundleOp) *TargetSet {
+	t.Helper()
+	want := isa.OpSMIS
+	if op.Kind == KindGate2 {
+		want = isa.OpSMIT
+	}
+	for _, ins := range ex.Instrs() {
+		if ins.Op == want && ins.Addr == op.Target {
+			return ins.Targets
+		}
+	}
+	t.Fatalf("register %d never set", op.Target)
+	return nil
+}
+
+// maxAmpDiff is the largest amplitude deviation between two states.
+func maxAmpDiff(a, b *quantum.State) float64 {
+	d := 0.0
+	for i := 0; i < 1<<a.NumQubits(); i++ {
+		if e := cmplx.Abs(a.Amplitude(i) - b.Amplitude(i)); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// TestFuseAmplitudeParity: the fused kernels reproduce the sequential
+// amplitudes to near machine precision on a dense mixed program.
+func TestFuseAmplitudeParity(t *testing.T) {
+	ex := buildFor(t,
+		smis(0, 0),
+		smis(1, 2),
+		smis(2, 0, 2),
+		smit(0),
+		g1("H", 2),
+		isa.NewBundle(1, isa.QOp{Name: "RZ", Target: 2, Angle: 0.785398}),
+		g1("T", 0),
+		g1("X90", 1),
+		g2("CZ", 0),
+		g1("Ym90", 0),
+		g2("CZ", 0),
+		g2("CNOT", 0),
+		isa.NewBundle(1, isa.QOp{Name: "RX", Target: 0, Angle: 1.234}),
+		g1("H", 1),
+		g1("S", 2),
+		isa.Instr{Op: isa.OpSTOP},
+	)
+	if !ex.HasFusion() {
+		t.Fatal("program did not fuse")
+	}
+	seq := applyProgram(t, ex, false)
+	fus := applyProgram(t, ex, true)
+	if d := maxAmpDiff(seq, fus); d > 1e-12 {
+		t.Fatalf("fused amplitudes deviate by %g (> 1e-12)", d)
+	}
+}
+
+// FuzzFusedSequence drives random gate sequences over the pair and
+// checks the fused execution against the sequential one amplitude by
+// amplitude. Every byte picks a gate; every run must stay within 1e-9
+// of the unfused state regardless of how runs and barriers interleave.
+func FuzzFusedSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 7, 2, 7, 3})
+	f.Add([]byte{7, 7, 7, 0, 4, 8, 5})
+	f.Add([]byte{6, 0, 6, 1, 6, 2, 6})
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		if len(seq) > 64 {
+			seq = seq[:64]
+		}
+		instrs := []isa.Instr{smis(0, 0), smis(1, 2), smit(0)}
+		for _, b := range seq {
+			switch b % 9 {
+			case 0:
+				instrs = append(instrs, g1("H", 0))
+			case 1:
+				instrs = append(instrs, g1("T", 0))
+			case 2:
+				instrs = append(instrs, g1("X90", 0))
+			case 3:
+				instrs = append(instrs, g1("H", 1))
+			case 4:
+				instrs = append(instrs, g1("S", 1))
+			case 5:
+				instrs = append(instrs, g1("Ym90", 1))
+			case 6:
+				instrs = append(instrs, g2("CZ", 0))
+			case 7:
+				instrs = append(instrs, g2("CNOT", 0))
+			case 8:
+				angle := float64(b) * math.Pi / 128
+				instrs = append(instrs, isa.NewBundle(1, isa.QOp{Name: "RZ", Target: 0, Angle: angle}))
+			}
+		}
+		instrs = append(instrs, isa.Instr{Op: isa.OpSTOP})
+		ex, err := Build(&isa.Program{Instrs: instrs}, topology.TwoQubit(), isa.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqSt := applyProgram(t, ex, false)
+		fusSt := applyProgram(t, ex, true)
+		if d := maxAmpDiff(seqSt, fusSt); d > 1e-9 {
+			t.Fatalf("fused amplitudes deviate by %g for %v", d, seq)
+		}
+	})
+}

@@ -125,6 +125,14 @@ type BundleOp struct {
 	// ErrMsg defers a configuration error (unknown operation name) to
 	// the moment the bundle issues, matching interpreter semantics.
 	ErrMsg string
+	// Fused holds the fusion annotations of this site's targets, one
+	// entry per target-set slot (qubit for 1q sites, pair for 2q sites),
+	// parallel to the TargetSet the fusion pass proved the site reads.
+	// Nil when no target of the site participates in a fused run; a nil
+	// entry leaves that target on the per-site kernel. Execution uses
+	// the annotations only when the live target set still has the
+	// assumed width and fusion is enabled on the machine.
+	Fused []*FusedKernel
 }
 
 // Bundle is a pre-resolved quantum bundle.
@@ -166,6 +174,12 @@ type Executable struct {
 	// alone; a Binding combines it with the bound angles per point.
 	cliffordStatic bool
 	profile        map[string]int
+
+	// fusedKernels counts the fused runs the fusion pass materialized;
+	// fusedProfile is the per-application execution profile under
+	// fusion (see GateProfileFused).
+	fusedKernels int
+	fusedProfile map[string]int
 
 	// slots is the patch table layout: one entry per distinct
 	// (parameter name, axis) pair; paramNames the sorted unique names.
@@ -306,6 +320,30 @@ func (e *Executable) GateProfile() map[string]int {
 	return out
 }
 
+// HasFusion reports whether the fusion pass materialized at least one
+// fused run in this plan.
+func (e *Executable) HasFusion() bool { return e.fusedKernels > 0 }
+
+// GateProfileFused returns the per-application kernel profile of a
+// fused execution of the plan: unfused applications under their static
+// kinds ("gate1.diag", "gate2.generic", "measure", ...), fused anchors
+// under the re-classified product kind ("fused.gate1.generic",
+// "fused.gate2.cphase", ...), plus the fusion counters
+// ProfileFusionElided / ProfileFusionTotal / ProfileFusionFused. Sites
+// whose target registers are not statically known count once under
+// their static kind. The returned map is a copy; nil when the plan has
+// no gate sites.
+func (e *Executable) GateProfileFused() map[string]int {
+	if len(e.fusedProfile) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(e.fusedProfile))
+	for k, v := range e.fusedProfile {
+		out[k] = v
+	}
+	return out
+}
+
 // gate1KindName names a kernel classification for GateProfile keys.
 func gate1KindName(k quantum.Gate1Kind) string {
 	switch k {
@@ -409,6 +447,7 @@ func Build(prog *isa.Program, topo *topology.Topology, opCfg *isa.OpConfig) (*Ex
 		}
 		sort.Strings(ex.paramNames)
 	}
+	ex.fuse()
 	return ex, nil
 }
 

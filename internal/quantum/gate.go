@@ -102,6 +102,41 @@ func (a Matrix2) IsUnitary(tol float64) bool {
 	return p.ApproxEqual(Identity, tol)
 }
 
+// Mul returns a*b.
+func (a Matrix4) Mul(b Matrix4) Matrix4 {
+	var c Matrix4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s complex128
+			for k := 0; k < 4; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			c[i][j] = s
+		}
+	}
+	return c
+}
+
+// Kron returns the two-qubit operator hi ⊗ lo in the Matrix4 basis
+// convention (the first label is the higher-indexed operand): hi acts
+// on the high basis label, lo on the low one. Kron(u, Identity) embeds
+// a single-qubit gate on the high-label qubit, Kron(Identity, u) on the
+// low-label one — the compositions the plan-time gate-fusion pass uses
+// to absorb single-qubit gates into a two-qubit kernel.
+func Kron(hi, lo Matrix2) Matrix4 {
+	var c Matrix4
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				for l := 0; l < 2; l++ {
+					c[2*i+k][2*j+l] = hi[i][j] * lo[k][l]
+				}
+			}
+		}
+	}
+	return c
+}
+
 // Axis labels a Bloch-sphere rotation axis.
 type Axis int
 

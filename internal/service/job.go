@@ -93,6 +93,11 @@ type RequestSpec struct {
 	// selection. Backend choice does not affect program caching — the
 	// same assembled program serves every backend.
 	Backend string
+	// Fusion, when set, overrides plan-time gate fusion for this
+	// request: eqasm.FusionOn or eqasm.FusionOff. The default uses the
+	// execution backend's setting (fusion on). Like Backend, it does
+	// not affect program caching.
+	Fusion string
 	// Params binds the program's symbolic rotation parameters for this
 	// request (name → angle in radians), with eqasm.RunRequest.Params
 	// semantics: missing, unknown and non-finite values fail the
@@ -123,6 +128,7 @@ type JobSpec struct {
 	Seed     int64
 	Chip     string
 	Backend  string
+	Fusion   string
 	Params   map[string]float64
 }
 
@@ -139,6 +145,7 @@ func (spec JobSpec) batch() BatchSpec {
 			Seed:    spec.Seed,
 			Chip:    spec.Chip,
 			Backend: spec.Backend,
+			Fusion:  spec.Fusion,
 			Params:  spec.Params,
 		}},
 	}
@@ -186,6 +193,12 @@ func (spec RequestSpec) validate(i int) error {
 	default:
 		return fail(fmt.Errorf("unknown backend %q (valid: %s, %s, %s, %s)", spec.Backend,
 			eqasm.BackendAuto, eqasm.BackendStateVector, eqasm.BackendDensityMatrix, eqasm.BackendStabilizer))
+	}
+	switch spec.Fusion {
+	case "", eqasm.FusionOn, eqasm.FusionOff:
+	default:
+		return fail(fmt.Errorf("unknown fusion setting %q (valid: %s, %s)", spec.Fusion,
+			eqasm.FusionOn, eqasm.FusionOff))
 	}
 	for name, v := range spec.Params {
 		if name == "" {

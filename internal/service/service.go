@@ -222,9 +222,10 @@ type Stats struct {
 	// RunNs is the cumulative wall time workers spent executing batches.
 	RunNs int64 `json:"run_ns"`
 	// GateProfile aggregates executed kernel work across all batches:
-	// for each kernel kind ("gate1.hadamard", "gate2.cnot", "measure",
-	// ...), the number of static instruction sites of that kind in the
-	// program, weighted by the shots that replayed them.
+	// for each kernel kind the plan actually executed ("gate1.hadamard",
+	// "gate2.cnot", "measure", ..., and on fused runs the fused.*
+	// kernel kinds plus the fusion.* site counters), the per-shot
+	// application count weighted by the shots that replayed it.
 	GateProfile map[string]int64 `json:"gate_profile,omitempty"`
 }
 

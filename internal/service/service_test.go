@@ -708,12 +708,25 @@ func TestBackendSelectionAndStats(t *testing.T) {
 	if st.ShotsExecuted != 2*shots {
 		t.Fatalf("shots executed = %d, want %d", st.ShotsExecuted, 2*shots)
 	}
-	// The Bell program has 1 H site, 1 CNOT site and 1 measure site;
-	// both jobs ran shots times each, so every kind aggregates to
-	// sites × 2·shots.
-	for _, kind := range []string{"gate1.hadamard", "gate2.perm", "measure"} {
-		if got := st.GateProfile[kind]; got != 2*shots {
-			t.Fatalf("gate profile %q = %d, want %d (profile: %v)", kind, got, 2*shots, st.GateProfile)
+	// The profile aggregates the kernels each job actually executed,
+	// weighted by shots. The state-vector job ran fused: the H folds
+	// into the CNOT, so its 2 gate applications per shot surface as one
+	// fused 4×4 kernel plus one elided site, and its measurement reads
+	// both qubits of S2 (2 applications). The stabilizer job executes
+	// per-site kernels and reports the static site counts (1 H site,
+	// 1 CNOT site, 1 measure site).
+	want := map[string]int{
+		"fused.gate2.generic": shots,     // SV: fused H·CNOT kernel
+		"fusion.elided":       shots,     // SV: the folded H application
+		"fusion.sites.total":  2 * shots, // SV: all gate applications
+		"fusion.sites.fused":  2 * shots, // SV: ... all participated
+		"gate1.hadamard":      shots,     // stabilizer: static H site
+		"gate2.perm":          shots,     // stabilizer: static CNOT site
+		"measure":             3 * shots, // SV 2 applications + stabilizer 1 site
+	}
+	for kind, n := range want {
+		if got := st.GateProfile[kind]; got != int64(n) {
+			t.Fatalf("gate profile %q = %d, want %d (profile: %v)", kind, got, n, st.GateProfile)
 		}
 	}
 

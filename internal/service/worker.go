@@ -80,6 +80,7 @@ func (s *Service) executeBatch(b *batch) (*eqasm.Result, error) {
 		Seed:    base + int64(b.index)*eqasm.SeedStride,
 		Workers: 1,
 		Backend: r.spec.Backend,
+		Fusion:  r.spec.Fusion,
 		Params:  r.spec.Params,
 	})
 	// Cancellation is not an error (the job records its own cause), and

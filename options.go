@@ -10,6 +10,7 @@ import (
 	"eqasm/internal/compiler"
 	"eqasm/internal/hwconf"
 	"eqasm/internal/isa"
+	"eqasm/internal/plan"
 	"eqasm/internal/quantum"
 	"eqasm/internal/topology"
 )
@@ -36,6 +37,7 @@ type config struct {
 	seed        int64
 	density     bool
 	backendName string
+	fusionOff   bool
 	trace       bool
 	mock        func(qubit, index int) int
 
@@ -198,6 +200,43 @@ func WithBackend(name string) Option {
 		c.backendName = name
 	}
 }
+
+// WithFusion enables or disables plan-time gate fusion (default on).
+// Fusion coalesces runs of adjacent single-qubit gates — and
+// single-qubit gates flanking a two-qubit gate on the same pair — into
+// one precomposed kernel at plan-build time, so the state-vector hot
+// loop pays per fused kernel instead of per gate. It is applied only
+// where it is exact (built-in state-vector or density-matrix backend,
+// zero noise model) and never changes results: fixed-seed runs are
+// identical with fusion on or off. Disable it for A/B comparisons and
+// per-gate profiling; RunOptions.Fusion overrides this per run.
+func WithFusion(enabled bool) Option {
+	return func(c *config) { c.fusionOff = !enabled }
+}
+
+// Fusion settings accepted by RunOptions.Fusion ("" uses the
+// Simulator's WithFusion setting, which defaults to on).
+const (
+	// FusionOn enables plan-time gate fusion for the run.
+	FusionOn = "on"
+	// FusionOff disables plan-time gate fusion for the run.
+	FusionOff = "off"
+)
+
+// Gate-profile counter keys reported by fused runs (Result.GateProfile,
+// alongside the per-kernel "fused.gate1.*" / "fused.gate2.*" kinds).
+// ProfileFusionFused / ProfileFusionTotal is the fused/unfused site
+// ratio of the plan's gate sites.
+const (
+	// ProfileFusionTotal counts the gate sites fusion considered.
+	ProfileFusionTotal = plan.ProfileFusionTotal
+	// ProfileFusionFused counts the sites that joined a fused kernel.
+	ProfileFusionFused = plan.ProfileFusionFused
+	// ProfileFusionElided counts the sites whose standalone kernel
+	// application was absorbed into a fused kernel (fused sites minus
+	// emitted kernels).
+	ProfileFusionElided = plan.ProfileFusionElided
+)
 
 // WithDeviceTrace records the device-operation trace (the simulated
 // oscilloscope of the paper's CFC verification); Results and

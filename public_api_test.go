@@ -21,7 +21,8 @@ import (
 // order.
 func coreShotKeys(t *testing.T, seed int64, src string, shots int) []string {
 	t.Helper()
-	sys, err := core.NewSystem(core.Options{Seed: seed})
+	opts := applyFixtureTopo(t, core.Options{Seed: seed}, fixtureTopo(src))
+	sys, err := core.NewSystem(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,9 +65,23 @@ func TestBackendRunMatchesCoreRunShots(t *testing.T) {
 	}
 	for name, src := range shippedPrograms(t) {
 		t.Run(name, func(t *testing.T) {
+			shots, sim := shots, sim
+			copts := fixtureSimOptions(src)
+			if copts != nil {
+				// Chip-directive fixtures (the chain16 fusion workload)
+				// need their own stack, and the interpreted reference
+				// pushes 2^16 amplitudes per gate — a few shots suffice
+				// for bit-equality.
+				shots = 6
+				var err error
+				sim, err = eqasm.NewSimulator(append([]eqasm.Option{eqasm.WithSeed(seed)}, copts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
 			want := coreShotKeys(t, seed, src, shots)
 
-			prog, err := eqasm.Assemble(src)
+			prog, err := eqasm.Assemble(src, copts...)
 			if err != nil {
 				t.Fatal(err)
 			}

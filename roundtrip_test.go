@@ -6,6 +6,7 @@ package eqasm_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"eqasm"
@@ -35,12 +36,19 @@ func shippedPrograms(t *testing.T) map[string]string {
 func TestPublicAPIRoundTrip(t *testing.T) {
 	for name, src := range shippedPrograms(t) {
 		t.Run(name, func(t *testing.T) {
-			prog, err := eqasm.Assemble(src)
+			opts := fixtureSimOptions(src)
+			prog, err := eqasm.Assemble(src, opts...)
 			if err != nil {
 				t.Fatalf("assemble: %v", err)
 			}
 			words, err := prog.Words()
 			if err != nil {
+				if strings.Contains(err.Error(), "no 32-bit encoding") {
+					// Literal-angle rotations bind through the microcode
+					// instantiation and have no binary image (see
+					// TestShippedProgramsRoundTrip).
+					t.Skip("fixture uses literal-angle rotations (assembly-only)")
+				}
 				t.Fatalf("encode: %v", err)
 			}
 			bin, err := prog.Bytes()
@@ -52,11 +60,11 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 			}
 
 			// Binary -> text -> binary must be a fixed point.
-			text, err := eqasm.Disassemble(bin)
+			text, err := eqasm.Disassemble(bin, opts...)
 			if err != nil {
 				t.Fatalf("disassemble: %v", err)
 			}
-			prog2, err := eqasm.Assemble(text)
+			prog2, err := eqasm.Assemble(text, opts...)
 			if err != nil {
 				t.Fatalf("reassemble disassembly:\n%s\nerror: %v", text, err)
 			}
@@ -83,7 +91,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 			}
 
 			// And LoadBinary yields the same executable image.
-			loaded, err := eqasm.LoadBinary(bin)
+			loaded, err := eqasm.LoadBinary(bin, opts...)
 			if err != nil {
 				t.Fatalf("LoadBinary: %v", err)
 			}

@@ -36,6 +36,21 @@ func TestServiceRunsShippedPrograms(t *testing.T) {
 	for _, e := range entries {
 		t.Run(e.Name(), func(t *testing.T) {
 			src := loadProgramFile(t, e.Name())
+			svc := svc
+			if topoOpts := fixtureSimOptions(src); topoOpts != nil {
+				// Chip-directive fixtures need a service whose machines
+				// are built on their chip.
+				tsvc, err := service.New(service.Config{
+					Workers:    2,
+					BatchShots: 8,
+					Machine:    append([]eqasm.Option{eqasm.WithSeed(4)}, topoOpts...),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer tsvc.Close()
+				svc = tsvc
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 			defer cancel()
 			res, err := svc.Run(ctx, service.JobSpec{Source: src, Shots: shots})
