@@ -604,6 +604,78 @@ func BenchmarkCompileCircuit(b *testing.B) {
 	})
 }
 
+// openqasmSource renders a compiler circuit as OpenQASM 2.0 text, the
+// same workload cqasmSource spells in the other front-end syntax.
+func openqasmSource(b *testing.B, c *compiler.Circuit) string {
+	b.Helper()
+	names := map[string]string{
+		"I": "id", "X": "x", "Y": "y", "Z": "z", "H": "h", "S": "s", "T": "t",
+		"CZ": "cz", "CNOT": "cx",
+	}
+	measures := 0
+	for _, g := range c.Gates {
+		if g.Measure {
+			measures++
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OPENQASM 2.0;\nqreg q[%d];\ncreg c[%d];\n", c.NumQubits, measures)
+	bit := 0
+	for _, g := range c.Gates {
+		switch {
+		case g.Measure:
+			fmt.Fprintf(&sb, "measure q[%d] -> c[%d];\n", g.Qubits[0], bit)
+			bit++
+		case g.IsTwoQubit():
+			name, ok := names[g.Name]
+			if !ok {
+				b.Fatalf("gate %q has no OpenQASM spelling", g.Name)
+			}
+			fmt.Fprintf(&sb, "%s q[%d], q[%d];\n", name, g.Qubits[0], g.Qubits[1])
+		default:
+			name, ok := names[g.Name]
+			if !ok {
+				b.Fatalf("gate %q has no OpenQASM spelling", g.Name)
+			}
+			fmt.Fprintf(&sb, "%s q[%d];\n", name, g.Qubits[0])
+		}
+	}
+	return sb.String()
+}
+
+// BenchmarkParseOpenQASM measures the compile-side serving cost the
+// OpenQASM front end adds, on the same surface-17-sized
+// syndrome-extraction workload as BenchmarkCompileCircuit: parsing
+// alone, and the full parse + pass pipeline. Gates/s is the capacity
+// figure for sizing a service that accepts format "openqasm" jobs,
+// directly comparable against the cqasm baseline (recorded baselines:
+// see cmd/README.md).
+func BenchmarkParseOpenQASM(b *testing.B) {
+	qec := benchmarks.QEC(10)
+	src := openqasmSource(b, qec)
+	gates := float64(len(qec.Gates))
+	opts := []eqasm.Option{eqasm.WithTopology("surface17"), eqasm.WithSOMQ()}
+	if _, err := eqasm.CompileOpenQASM(src, opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eqasm.ParseOpenQASM(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*gates/b.Elapsed().Seconds(), "gates/s")
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eqasm.CompileOpenQASM(src, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*gates/b.Elapsed().Seconds(), "gates/s")
+	})
+}
+
 // BenchmarkPublicAPIRunShots compares the public eqasm Backend facade
 // against the raw core shot loop it wraps, shot for shot on the same
 // program and seed: the facade (pooled machines, context checks, typed

@@ -1,13 +1,16 @@
 // Command eqasm-dse regenerates the Fig. 7 design-space exploration:
 // instruction counts for the RB, IM and SR benchmarks across the ten
 // architecture configurations and VLIW widths 1-4. With -circuit it
-// also sweeps a user-provided cQASM circuit through the same grid —
-// bring-your-own-benchmark over the identical counting pipeline.
+// also sweeps a user-provided circuit through the same grid —
+// bring-your-own-benchmark over the identical counting pipeline. The
+// circuit file is cQASM (.cq/.cqasm) or OpenQASM 2.0 (.qasm), chosen
+// by extension.
 //
 // Usage:
 //
 //	eqasm-dse [-cliffords N] [-headline]
 //	eqasm-dse -circuit workload.cq
+//	eqasm-dse -circuit workload.qasm
 package main
 
 import (
@@ -16,10 +19,14 @@ import (
 	"os"
 	"path/filepath"
 
+	"strings"
+
 	"eqasm/internal/benchmarks"
 	"eqasm/internal/compiler"
 	"eqasm/internal/cqasm"
 	"eqasm/internal/dse"
+	"eqasm/internal/ir"
+	"eqasm/internal/openqasm"
 )
 
 func main() {
@@ -27,7 +34,7 @@ func main() {
 	headline := flag.Bool("headline", false, "also print the paper's quoted comparisons")
 	profile := flag.Bool("profile", false, "also print benchmark parallelism and interval profiles")
 	qec := flag.Bool("qec", false, "also print the QEC syndrome-extraction SOMQ benefit (Section 4.2 prediction)")
-	circuitPath := flag.String("circuit", "", "sweep a cQASM circuit file through the configuration grid")
+	circuitPath := flag.String("circuit", "", "sweep a circuit file (.cq/.cqasm cQASM or .qasm OpenQASM) through the configuration grid")
 	flag.Parse()
 
 	if *circuitPath != "" {
@@ -36,7 +43,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
 			os.Exit(1)
 		}
-		p, err := cqasm.Parse(string(data))
+		// ".cqasm" also ends in ".qasm": check the cQASM extensions first.
+		var p *ir.Program
+		if !strings.HasSuffix(*circuitPath, ".cq") && !strings.HasSuffix(*circuitPath, ".cqasm") &&
+			strings.HasSuffix(*circuitPath, ".qasm") {
+			p, err = openqasm.Parse(string(data))
+		} else {
+			p, err = cqasm.Parse(string(data))
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eqasm-dse:", err)
 			os.Exit(1)

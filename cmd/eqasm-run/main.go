@@ -1,18 +1,22 @@
-// Command eqasm-run executes an eQASM program (source or binary) or a
-// cQASM circuit on the QuMA_v2 microarchitecture simulator and reports
-// measurement results, execution statistics and, optionally, the
-// device-operation trace. It is a thin shell over the public eqasm
-// package: Assemble/LoadBinary/CompileCircuit bind the program to its
-// chip context, and a Simulator Backend streams the shots. Files ending
-// in .cq or .cqasm are compiled through the pass pipeline (override
-// detection with -cqasm); -emit prints the compiled assembly.
+// Command eqasm-run executes an eQASM program (source or binary), a
+// cQASM circuit or an OpenQASM 2.0 circuit on the QuMA_v2
+// microarchitecture simulator and reports measurement results,
+// execution statistics and, optionally, the device-operation trace. It
+// is a thin shell over the public eqasm package:
+// Assemble/LoadBinary/CompileCircuit/CompileOpenQASM bind the program
+// to its chip context, and a Simulator Backend streams the shots.
+// Files ending in .cq or .cqasm are compiled as cQASM and files ending
+// in .qasm as OpenQASM (override detection with -cqasm/-openqasm, or
+// rely on eqasm.DetectFormat for other extensions); -emit prints the
+// compiled assembly.
 //
 // Usage:
 //
 //	eqasm-run [-topo twoqubit] [-shots N] [-noise] [-trace] prog.eqasm
 //	eqasm-run [-somq] [-schedule alap] [-emit] circuit.cq
+//	eqasm-run [-emit] circuit.qasm
 //	eqasm-run -param theta=1.5708 circuit.cq
-//	eqasm-run -sweep theta=0:6.2832:64 -shots 100 circuit.cq
+//	eqasm-run -sweep theta=0:6.2832:64 -shots 100 circuit.qasm
 //	eqasm-run -json prog.eqasm
 //	eqasm-run -bin prog.bin
 //
@@ -123,9 +127,10 @@ func main() {
 	trace := flag.Bool("trace", false, "print the device-operation trace")
 	bin := flag.Bool("bin", false, "input is a binary instruction image")
 	cq := flag.Bool("cqasm", false, "input is cQASM circuit text (implied by a .cq/.cqasm extension)")
-	somq := flag.Bool("somq", false, "combine same-name gates per timing point when compiling cQASM")
-	schedName := flag.String("schedule", "asap", "cQASM compile scheduling: asap or alap")
-	emit := flag.Bool("emit", false, "print the compiled eQASM assembly before running (cQASM input)")
+	oq := flag.Bool("openqasm", false, "input is OpenQASM 2.0 circuit text (implied by a .qasm extension)")
+	somq := flag.Bool("somq", false, "combine same-name gates per timing point when compiling a circuit")
+	schedName := flag.String("schedule", "asap", "circuit compile scheduling: asap or alap")
+	emit := flag.Bool("emit", false, "print the compiled eQASM assembly before running (circuit input)")
 	seed := flag.Int64("seed", 1, "random seed")
 	backend := flag.String("backend", "auto", "chip simulation backend: auto, statevector, densitymatrix or stabilizer")
 	fusion := flag.String("fusion", "", "plan-time gate fusion: on or off (default: backend setting, on); -fusion=off for A/B runs")
@@ -159,17 +164,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	isCQASM := *cq || strings.HasSuffix(flag.Arg(0), ".cq") || strings.HasSuffix(flag.Arg(0), ".cqasm")
+	// Extension first (".cqasm" also ends in ".qasm", so the cQASM
+	// extensions are checked before the OpenQASM one), explicit flags
+	// win, and unrecognized extensions fall back to header sniffing.
+	format := eqasm.FormatEQASM
+	switch name := flag.Arg(0); {
+	case *cq:
+		format = eqasm.FormatCQASM
+	case *oq:
+		format = eqasm.FormatOpenQASM
+	case strings.HasSuffix(name, ".cq") || strings.HasSuffix(name, ".cqasm"):
+		format = eqasm.FormatCQASM
+	case strings.HasSuffix(name, ".qasm"):
+		format = eqasm.FormatOpenQASM
+	case strings.HasSuffix(name, ".eqasm"):
+	default:
+		format = eqasm.DetectFormat(string(data))
+	}
 	var prog *eqasm.Program
 	switch {
 	case *bin:
 		prog, err = eqasm.LoadBinary(data, opts...)
-	case isCQASM:
+	case format == eqasm.FormatCQASM || format == eqasm.FormatOpenQASM:
 		copts := append(append([]eqasm.Option{}, opts...), eqasm.WithSchedule(*schedName))
 		if *somq {
 			copts = append(copts, eqasm.WithSOMQ())
 		}
-		prog, err = eqasm.CompileCircuit(string(data), copts...)
+		if format == eqasm.FormatOpenQASM {
+			prog, err = eqasm.CompileOpenQASM(string(data), copts...)
+		} else {
+			prog, err = eqasm.CompileCircuit(string(data), copts...)
+		}
 	default:
 		prog, err = eqasm.Assemble(string(data), opts...)
 	}

@@ -137,7 +137,7 @@ func TestCQASMJobViaHTTPService(t *testing.T) {
 
 	// Unknown formats are rejected with a client error.
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
-		bytes.NewReader([]byte(`{"source": "qubits 1", "format": "openqasm"}`)))
+		bytes.NewReader([]byte(`{"source": "qubits 1", "format": "quil"}`)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,8 +7,10 @@
 // # Programs
 //
 // Assemble parses eQASM source, Compile lowers a hardware-independent
-// Circuit, CompileCircuit parses and compiles cQASM circuit text
-// (ParseCircuit stops after parsing), and LoadBinary decodes a 32-bit
+// Circuit, CompileCircuit parses and compiles cQASM circuit text,
+// CompileOpenQASM does the same for OpenQASM 2.0 (ParseCircuit and
+// ParseOpenQASM stop after parsing; DetectFormat sniffs which language
+// a source text is), and LoadBinary decodes a 32-bit
 // instruction image. All of them return a *Program bound to its
 // instruction-set context — the chip topology, operation configuration
 // and binary instantiation selected by the same functional options
@@ -21,15 +23,23 @@
 //
 // # Compilation pipeline
 //
-// Compile and CompileCircuit drive the paper's Fig. 1 backend as a
-// staged pass pipeline over a typed circuit IR:
+// Compile, CompileCircuit and CompileOpenQASM drive the paper's Fig. 1
+// backend as a staged pass pipeline over a typed circuit IR:
 //
-//	parse (cQASM) / lift → map → schedule → pack → regalloc → timing → emit
+//	parse (cQASM / OpenQASM) / lift → map → schedule → pack → regalloc → timing → emit
 //
 // The cQASM front end reads a v1.0 subset — qubit declarations,
 // single- and two-qubit gates, measurements, index lists/ranges
-// (x q[0,2], y q[0:3], measure_all) and parallel { g | g } bundles —
-// and every later stage is a functional option: WithInitialLayout
+// (x q[0,2], y q[0:3], measure_all) and parallel { g | g } bundles.
+// The OpenQASM front end reads a 2.0 subset — the OPENQASM 2.0;
+// header, qreg/creg declarations, the primitive U(θ,φ,λ)/CX gates plus
+// the qelib1.inc sugar (h x y z s sdg t tdg rx ry rz cx cz swap id u1
+// u2 u3, lowered at parse time), single and whole-register measure,
+// and barrier (validated, but lowering to no IR: the pipeline never
+// reorders gates that share a qubit, so the fence already holds).
+// Both lower to the same IR, so the same circuit in either syntax
+// compiles to byte-identical eQASM, and
+// every later stage is a functional option: WithInitialLayout
 // enables the topology-aware mapping pass (SWAP insertion along
 // coupling-graph shortest paths), WithSchedule picks ASAP or ALAP,
 // WithSOMQ turns on single-operation-multiple-qubit packing, and the
@@ -109,8 +119,9 @@
 //
 // # Parametric circuits
 //
-// cQASM rotations (rx, ry, rz) take a literal angle in radians or a
-// named symbolic parameter (rx q[0], %theta). A parametric circuit
+// Rotations (rx, ry, rz) take a literal angle in radians or a named
+// symbolic parameter — rx q[0], %theta in cQASM, rx(%theta) q[0] in
+// OpenQASM. A parametric circuit
 // compiles once into a plan whose symbolic sites are parameter slots;
 // Program.Params lists the names. Each request then supplies a bind
 // point via RunRequest.Params (or RunOptions.Params — the request map
@@ -171,8 +182,9 @@
 //
 // The implementation lives under internal/: the eQASM instruction set
 // and its 32-bit instantiation (isa), assembler and disassembler
-// (asm), the cQASM circuit front end (cqasm), the typed circuit IR the
-// compiler passes transform (ir), the pass-pipeline compiler backend
+// (asm), the cQASM and OpenQASM 2.0 circuit front ends (cqasm,
+// openqasm, sharing the srcerr diagnostic shape), the typed circuit IR
+// the compiler passes transform (ir), the pass-pipeline compiler backend
 // (compiler), the decode-once execution-plan layer (plan), the QuMA_v2
 // control microarchitecture (microarch), the simulated transmon chip
 // (quantum), the QuMIS baseline (qumis), the Section 5 experiment

@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"eqasm/internal/asm"
-	"eqasm/internal/cqasm"
 	"eqasm/internal/microarch"
+	"eqasm/internal/srcerr"
 )
 
 // Diagnostic is one assembler finding with its 1-based source position
@@ -59,14 +59,15 @@ func wrapAssembleErr(err error) error {
 	return out
 }
 
-// wrapParseErr converts the cQASM parser's ErrorList into the same
-// public typed error the assembler produces, so callers handle circuit
-// and assembly diagnostics uniformly.
+// wrapParseErr converts a circuit front end's diagnostic list (the
+// shared srcerr.List behind both the cQASM and OpenQASM parsers) into
+// the same public typed error the assembler produces, so callers handle
+// circuit and assembly diagnostics uniformly.
 func wrapParseErr(err error) error {
 	if err == nil {
 		return nil
 	}
-	var list cqasm.ErrorList
+	var list srcerr.List
 	if !errors.As(err, &list) {
 		return err
 	}

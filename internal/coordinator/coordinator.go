@@ -346,8 +346,9 @@ func (c *Coordinator) Job(id string) (*eqasm.Job, bool) {
 }
 
 // Resolve turns wire source text into a bound program — assembling
-// eQASM or compiling cQASM against the coordinator's stack — through
-// the coordinator's own content-hash cache. It serves the HTTP tier's
+// eQASM or compiling cQASM/OpenQASM circuit text against the
+// coordinator's stack — through the coordinator's own content-hash
+// cache. It serves the HTTP tier's
 // submission path; the cache key is the same hash the workers use, so
 // a cached resolve here predicts a warm worker downstream.
 func (c *Coordinator) Resolve(source, format, chip string) (*eqasm.Program, bool, error) {
@@ -355,10 +356,10 @@ func (c *Coordinator) Resolve(source, format, chip string) (*eqasm.Program, bool
 		return nil, false, fmt.Errorf("coordinator: program chip %q does not match pool chip %q", chip, c.chip)
 	}
 	switch format {
-	case "", service.FormatEQASM, service.FormatCQASM:
+	case "", service.FormatEQASM, service.FormatCQASM, service.FormatOpenQASM:
 	default:
-		return nil, false, fmt.Errorf("coordinator: unknown format %q (valid: %s, %s)",
-			format, service.FormatEQASM, service.FormatCQASM)
+		return nil, false, fmt.Errorf("coordinator: unknown format %q (valid: %s, %s, %s)",
+			format, service.FormatEQASM, service.FormatCQASM, service.FormatOpenQASM)
 	}
 	if source == "" {
 		return nil, false, errors.New("coordinator: empty source")
@@ -371,9 +372,12 @@ func (c *Coordinator) Resolve(source, format, chip string) (*eqasm.Program, bool
 		return prog, true, nil
 	}
 	var prog *eqasm.Program
-	if format == service.FormatCQASM {
+	switch format {
+	case service.FormatCQASM:
 		prog, err = eqasm.CompileCircuit(source, c.cfg.Machine...)
-	} else {
+	case service.FormatOpenQASM:
+		prog, err = eqasm.CompileOpenQASM(source, c.cfg.Machine...)
+	default:
 		prog, err = eqasm.Assemble(source, c.cfg.Machine...)
 	}
 	if err != nil {

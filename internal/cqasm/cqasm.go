@@ -39,38 +39,17 @@ package cqasm
 import (
 	"fmt"
 	"strings"
+
+	"eqasm/internal/srcerr"
 )
 
-// Error is one parse diagnostic. Line and Col are 1-based source
-// positions; Col 0 means the diagnostic covers the whole line. The
-// shape mirrors the assembler's diagnostics so the public API wraps
-// both into the same *AssembleError.
-type Error struct {
-	Line int
-	Col  int
-	Msg  string
-}
-
-func (e Error) Error() string {
-	if e.Col > 0 {
-		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
-	}
-	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
-}
+// Error is one parse diagnostic: the shared front-end diagnostic of
+// internal/srcerr, so cQASM and OpenQASM faults print, wrap and test
+// identically.
+type Error = srcerr.Error
 
 // ErrorList collects parse diagnostics.
-type ErrorList []Error
-
-func (l ErrorList) Error() string {
-	if len(l) == 0 {
-		return "no errors"
-	}
-	msgs := make([]string, len(l))
-	for i, e := range l {
-		msgs[i] = e.Error()
-	}
-	return strings.Join(msgs, "\n")
-}
+type ErrorList = srcerr.List
 
 // tokenKind classifies lexer tokens.
 type tokenKind uint8

@@ -5,7 +5,8 @@
 // Endpoints:
 //
 //	POST   /v1/jobs         submit a job ({"source": ..., "shots": N, "wait": true};
-//	                        {"format": "cqasm"} submits circuit text compiled server-side)
+//	                        {"format": "cqasm"} or {"format": "openqasm"} submits
+//	                        circuit text compiled server-side)
 //	GET    /v1/jobs/{id}    job status and, once finished, its result
 //	DELETE /v1/jobs/{id}    cancel a job
 //	POST   /v1/batches      submit N programs as one queued unit
@@ -63,8 +64,9 @@ func (s *Server) Handler() http.Handler {
 type jobRequest struct {
 	// Source is program text in the language named by Format.
 	Source string `json:"source,omitempty"`
-	// Format is the source language: "eqasm" (default) or "cqasm"
-	// (hardware-independent circuit text, compiled server-side).
+	// Format is the source language: "eqasm" (default), "cqasm" or
+	// "openqasm" (hardware-independent circuit text in either syntax,
+	// compiled server-side).
 	Format string `json:"format,omitempty"`
 	// Circuit is a hardware-independent circuit to compile.
 	Circuit *circuitJSON `json:"circuit,omitempty"`

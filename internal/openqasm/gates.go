@@ -1,0 +1,359 @@
+package openqasm
+
+import (
+	"math"
+	"strconv"
+
+	"eqasm/internal/ir"
+)
+
+// gateSpec describes one subset gate: its angle-parameter and
+// qubit-argument counts and the lowering that appends IR gates. The
+// standard-header (qelib1.inc) sugar is lowered at parse time, so no
+// gate-definition machinery exists downstream of this table.
+type gateSpec struct {
+	angles int
+	qargs  int
+	lower  func(p *parser, pos ir.Pos, qs []int, a []angleArg)
+}
+
+// lowerNamed emits one gate of the configured operation set.
+func lowerNamed(name string) func(*parser, ir.Pos, []int, []angleArg) {
+	return func(p *parser, pos ir.Pos, qs []int, _ []angleArg) {
+		p.emit(ir.Gate{Name: name, Qubits: qs, Pos: pos})
+	}
+}
+
+// lowerRot emits one axis rotation with a literal or symbolic angle.
+func lowerRot(name string) func(*parser, ir.Pos, []int, []angleArg) {
+	return func(p *parser, pos ir.Pos, qs []int, a []angleArg) {
+		p.emitRot(name, qs[0], a[0], pos)
+	}
+}
+
+// lowerFixedRZ emits RZ at a fixed angle (sdg, tdg: equal to the
+// defined unitaries up to global phase).
+func lowerFixedRZ(angle float64) func(*parser, ir.Pos, []int, []angleArg) {
+	return func(p *parser, pos ir.Pos, qs []int, _ []angleArg) {
+		p.emit(ir.Gate{Name: "RZ", Qubits: qs, Angle: angle, Pos: pos})
+	}
+}
+
+// lowerU emits the primitive U(θ,φ,λ) = Rz(φ) Ry(θ) Rz(λ) as the
+// rotation sequence RZ(λ), RY(θ), RZ(φ) in circuit order, eliding
+// exact-zero literal components (so u1(λ) = U(0,0,λ) is a single RZ).
+func lowerU(p *parser, pos ir.Pos, qs []int, a []angleArg) {
+	theta, phi, lambda := a[0], a[1], a[2]
+	p.emitRotNonzero("RZ", qs[0], lambda, pos)
+	p.emitRotNonzero("RY", qs[0], theta, pos)
+	p.emitRotNonzero("RZ", qs[0], phi, pos)
+}
+
+// lowerU2 emits u2(φ,λ) = U(π/2, φ, λ).
+func lowerU2(p *parser, pos ir.Pos, qs []int, a []angleArg) {
+	lowerU(p, pos, qs, []angleArg{{val: math.Pi / 2}, a[0], a[1]})
+}
+
+// lowerU1 emits u1(λ) = U(0, 0, λ): a single RZ (never elided — an
+// explicitly written rotation keeps its gate, exactly as rz does).
+func lowerU1(p *parser, pos ir.Pos, qs []int, a []angleArg) {
+	p.emitRot("RZ", qs[0], a[0], pos)
+}
+
+// lowerSwap expands SWAP into three CNOTs — the identical expansion the
+// cQASM front end uses, so the same circuit through either front end
+// compiles to byte-identical eQASM.
+func lowerSwap(p *parser, pos ir.Pos, qs []int, _ []angleArg) {
+	a, b := qs[0], qs[1]
+	p.emit(ir.Gate{Name: "CNOT", Qubits: []int{a, b}, Pos: pos})
+	p.emit(ir.Gate{Name: "CNOT", Qubits: []int{b, a}, Pos: pos})
+	p.emit(ir.Gate{Name: "CNOT", Qubits: []int{a, b}, Pos: pos})
+}
+
+// gates maps the primitive gates (U, CX) and the qelib1.inc sugar onto
+// the default operation configuration. Names are case-sensitive, as
+// the OpenQASM specification requires.
+var gates = map[string]gateSpec{
+	"U":    {angles: 3, qargs: 1, lower: lowerU},
+	"CX":   {qargs: 2, lower: lowerNamed("CNOT")},
+	"id":   {qargs: 1, lower: lowerNamed("I")},
+	"x":    {qargs: 1, lower: lowerNamed("X")},
+	"y":    {qargs: 1, lower: lowerNamed("Y")},
+	"z":    {qargs: 1, lower: lowerNamed("Z")},
+	"h":    {qargs: 1, lower: lowerNamed("H")},
+	"s":    {qargs: 1, lower: lowerNamed("S")},
+	"t":    {qargs: 1, lower: lowerNamed("T")},
+	"sdg":  {qargs: 1, lower: lowerFixedRZ(-math.Pi / 2)},
+	"tdg":  {qargs: 1, lower: lowerFixedRZ(-math.Pi / 4)},
+	"rx":   {angles: 1, qargs: 1, lower: lowerRot("RX")},
+	"ry":   {angles: 1, qargs: 1, lower: lowerRot("RY")},
+	"rz":   {angles: 1, qargs: 1, lower: lowerRot("RZ")},
+	"u1":   {angles: 1, qargs: 1, lower: lowerU1},
+	"u2":   {angles: 2, qargs: 1, lower: lowerU2},
+	"u3":   {angles: 3, qargs: 1, lower: lowerU},
+	"cx":   {qargs: 2, lower: lowerNamed("CNOT")},
+	"cz":   {qargs: 2, lower: lowerNamed("CZ")},
+	"swap": {qargs: 2, lower: lowerSwap},
+}
+
+func (p *parser) emit(g ir.Gate) {
+	p.prog.Gates = append(p.prog.Gates, g)
+}
+
+func (p *parser) emitRot(name string, q int, a angleArg, pos ir.Pos) {
+	p.emit(ir.Gate{Name: name, Qubits: []int{q}, Angle: a.val, Param: a.param, Pos: pos})
+}
+
+// emitRotNonzero emits a rotation unless its angle is an exact-zero
+// literal (a symbolic parameter always keeps its gate).
+func (p *parser) emitRotNonzero(name string, q int, a angleArg, pos ir.Pos) {
+	if a.param == "" && a.val == 0 {
+		return
+	}
+	p.emitRot(name, q, a, pos)
+}
+
+// parseGate parses one gate-application statement: the primitive U/CX
+// or standard-header sugar, with optional (angle, ...) parameters and
+// one or two register arguments fanned out under the broadcast rule.
+func (p *parser) parseGate() {
+	name := p.next()
+	spec, known := gates[name.text]
+	if !known {
+		if _, declared := p.regs[name.text]; declared {
+			p.errorf(name, "expected a statement, register %q cannot start one", name.text)
+		} else {
+			p.errorf(name, "unknown operation %q", name.text)
+		}
+		p.sync()
+		return
+	}
+
+	var angles []angleArg
+	if spec.angles > 0 {
+		if _, ok := p.expect(tokLParen, "'('"); !ok {
+			p.sync()
+			return
+		}
+		for {
+			a, ok := p.parseAngleArg(name.text)
+			if !ok {
+				p.sync()
+				return
+			}
+			angles = append(angles, a)
+			if p.cur().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, ok := p.expect(tokRParen, "')'"); !ok {
+			p.sync()
+			return
+		}
+		if len(angles) != spec.angles {
+			p.errorf(name, "%s takes %d angle parameter(s), got %d", name.text, spec.angles, len(angles))
+			p.sync()
+			return
+		}
+	} else if p.cur().kind == tokLParen {
+		p.errorf(p.cur(), "%s takes no parameters", name.text)
+		p.sync()
+		return
+	}
+
+	ops := make([]operand, 0, spec.qargs)
+	for k := 0; k < spec.qargs; k++ {
+		if k > 0 {
+			if _, ok := p.expect(tokComma, "','"); !ok {
+				p.sync()
+				return
+			}
+		}
+		o, ok := p.parseOperand(true)
+		if !ok {
+			p.sync()
+			return
+		}
+		ops = append(ops, o)
+	}
+
+	n, ok := p.fanWidth(name, ops)
+	if !ok {
+		p.sync()
+		return
+	}
+	pos := ir.Pos{Line: name.line, Col: name.col}
+	for k := 0; k < n; k++ {
+		qs := make([]int, len(ops))
+		for j, o := range ops {
+			qs[j] = o.at(k % o.width())
+		}
+		if len(qs) == 2 && qs[0] == qs[1] {
+			p.errorf(name, "%s uses qubit %s[%d] twice", name.text, ops[0].reg.name, qs[0]-ops[0].reg.offset)
+			p.sync()
+			return
+		}
+		spec.lower(p, pos, qs, angles)
+	}
+	p.sawGate = true
+	p.expectSemi()
+}
+
+// parseAngleArg parses one angle argument: a %name parameter (which
+// must be the whole argument) or a constant expression over decimal
+// literals and pi, evaluated at parse time.
+func (p *parser) parseAngleArg(gate string) (angleArg, bool) {
+	t := p.cur()
+	if t.kind == tokParam {
+		p.advance()
+		nxt := p.cur()
+		switch nxt.kind {
+		case tokComma, tokRParen:
+			return angleArg{param: t.text, pos: ir.Pos{Line: t.line, Col: t.col}}, true
+		}
+		p.errorf(nxt, "a parameter must be the whole angle argument (no arithmetic over %%%s)", t.text)
+		return angleArg{}, false
+	}
+	v, ok := p.parseExpr(gate)
+	if !ok {
+		return angleArg{}, false
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		p.errorf(t, "angle expression of %s does not evaluate to a finite number", gate)
+		return angleArg{}, false
+	}
+	return angleArg{val: v, pos: ir.Pos{Line: t.line, Col: t.col}}, true
+}
+
+// parseExpr parses an additive constant expression.
+func (p *parser) parseExpr(gate string) (float64, bool) {
+	v, ok := p.parseTerm(gate)
+	if !ok {
+		return 0, false
+	}
+	for {
+		switch p.cur().kind {
+		case tokPlus:
+			p.advance()
+			w, ok := p.parseTerm(gate)
+			if !ok {
+				return 0, false
+			}
+			v += w
+		case tokMinus:
+			p.advance()
+			w, ok := p.parseTerm(gate)
+			if !ok {
+				return 0, false
+			}
+			v -= w
+		default:
+			return v, true
+		}
+	}
+}
+
+// parseTerm parses a multiplicative expression.
+func (p *parser) parseTerm(gate string) (float64, bool) {
+	v, ok := p.parseUnary(gate)
+	if !ok {
+		return 0, false
+	}
+	for {
+		switch p.cur().kind {
+		case tokStar:
+			p.advance()
+			w, ok := p.parseUnary(gate)
+			if !ok {
+				return 0, false
+			}
+			v *= w
+		case tokSlash:
+			p.advance()
+			t := p.cur()
+			w, ok := p.parseUnary(gate)
+			if !ok {
+				return 0, false
+			}
+			if w == 0 {
+				p.errorf(t, "division by zero in angle expression")
+				return 0, false
+			}
+			v /= w
+		default:
+			return v, true
+		}
+	}
+}
+
+// parseUnary parses an optionally signed power expression.
+func (p *parser) parseUnary(gate string) (float64, bool) {
+	switch p.cur().kind {
+	case tokMinus:
+		p.advance()
+		v, ok := p.parseUnary(gate)
+		return -v, ok
+	case tokPlus:
+		p.advance()
+		return p.parseUnary(gate)
+	}
+	return p.parsePow(gate)
+}
+
+// parsePow parses primary ['^' unary] (right-associative).
+func (p *parser) parsePow(gate string) (float64, bool) {
+	v, ok := p.parsePrimary(gate)
+	if !ok {
+		return 0, false
+	}
+	if p.cur().kind == tokCaret {
+		p.advance()
+		w, ok := p.parseUnary(gate)
+		if !ok {
+			return 0, false
+		}
+		return math.Pow(v, w), true
+	}
+	return v, true
+}
+
+func (p *parser) parsePrimary(gate string) (float64, bool) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return float64(t.num), true
+	case tokReal:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			p.errorf(t, "malformed angle %q", t.text)
+			return 0, false
+		}
+		return v, true
+	case tokIdent:
+		if t.text == "pi" {
+			p.advance()
+			return math.Pi, true
+		}
+		p.errorf(t, "%s angles are constant expressions over literals and pi (or a whole %%name parameter); %q is neither", gate, t.text)
+		return 0, false
+	case tokParam:
+		p.errorf(t, "a parameter must be the whole angle argument (no arithmetic over %%%s)", t.text)
+		return 0, false
+	case tokLParen:
+		p.advance()
+		v, ok := p.parseExpr(gate)
+		if !ok {
+			return 0, false
+		}
+		if _, ok := p.expect(tokRParen, "')'"); !ok {
+			return 0, false
+		}
+		return v, true
+	}
+	p.errorf(t, "expected an angle expression, got %s", t.kind)
+	return 0, false
+}

@@ -1,0 +1,302 @@
+// Package openqasm is the second textual circuit front end of the
+// compiler: a lexer and parser for a subset of OpenQASM 2.0 (Cross et
+// al. 2017), the dominant quantum-circuit interchange format — the
+// common QASM every Qiskit export speaks. Parse produces the same typed
+// circuit IR (internal/ir) as the cQASM front end, so the whole pass
+// pipeline, the decode-once execution plan, parametric binding and
+// plan-time gate fusion apply unchanged, and the same circuit written
+// in either syntax compiles to byte-identical eQASM.
+//
+// The accepted subset:
+//
+//	OPENQASM 2.0;               // required first statement
+//	include "qelib1.inc";       // accepted; the standard gates are built in
+//	qreg q[3];                  // quantum registers (several allowed,
+//	                            // flattened in declaration order)
+//	creg c[2];                  // classical registers (measure targets)
+//	U(0.3, 0, pi/2) q[0];       // the primitive single-qubit gate
+//	CX q[0], q[1];              // the primitive two-qubit gate
+//	h q[0];                     // standard-header sugar, lowered at
+//	x q;                        // parse time (whole-register forms fan
+//	cx q[0], r;                 // out; registers broadcast pairwise)
+//	rz(pi/4) q[0];              // rotations take constant expressions
+//	rx(%theta) q[0];            // ... or a %name parameter, bound per run
+//	measure q[0] -> c[0];       // measurement (creg index checked;
+//	measure q -> c;             // whole-register form fans out)
+//	barrier q[0], r;            // accepted and validated (see below)
+//	// comments run to end of line
+//
+// Statements end with ';' and may span lines. Gate and register names
+// are case-sensitive, as the specification requires. The sugar set is
+// the qelib1.inc subset h x y z s sdg t tdg rx ry rz cx cz swap id u1
+// u2 u3; U and u3 lower to the RZ(λ) RY(θ) RZ(φ) rotation sequence
+// (exact-zero literal components elided), sdg and tdg lower to
+// RZ(-π/2) and RZ(-π/4) — all equal to the defined unitaries up to
+// global phase. Angle arguments are constant expressions over decimal
+// literals and pi with + - * / ^ and parentheses, evaluated at parse
+// time, or a %name parameter naming a symbolic rotation angle bound at
+// run time (the parametric-compilation path: one compiled plan serves
+// every parameter point). A parameter must be the whole argument;
+// arithmetic over parameters is rejected.
+//
+// barrier is parsed and its operands validated, but it lowers to no IR:
+// the pass pipeline never reorders gates that share a qubit, performs
+// no inter-statement algebraic rewriting at the circuit level, and the
+// plan-time fusion that does combine gates is bit-identical by
+// construction, so the optimization fence barrier exists to provide is
+// already the pipeline's default behavior. Absolute timing control is
+// what explicit eQASM QWAITs are for.
+//
+// gate definitions, opaque declarations, if statements, reset and
+// gates outside the subset are rejected with positioned diagnostics;
+// parsing continues past statement-level faults so one run reports
+// every diagnostic (the shared internal/srcerr shape, identical to the
+// cQASM front end's).
+package openqasm
+
+import (
+	"fmt"
+	"strings"
+
+	"eqasm/internal/srcerr"
+)
+
+// Error is one parse diagnostic: the shared front-end diagnostic of
+// internal/srcerr, so cQASM and OpenQASM faults print, wrap and test
+// identically.
+type Error = srcerr.Error
+
+// ErrorList collects parse diagnostics.
+type ErrorList = srcerr.List
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota
+	tokInt
+	tokReal
+	tokString
+	tokParam
+	tokSemi
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokArrow
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokCaret
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokReal:
+		return "number"
+	case tokString:
+		return "string"
+	case tokParam:
+		return "parameter"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokArrow:
+		return "'->'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokCaret:
+		return "'^'"
+	case tokEOF:
+		return "end of input"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexeme with its 1-based source position. Numbers keep
+// their text so "2.0" survives for the version check; tokInt also
+// carries the parsed value.
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+// lex tokenizes the whole source. OpenQASM statements span lines, so
+// unlike the cQASM lexer this one produces a single stream ending in
+// tokEOF; malformed lexemes become diagnostics and lexing continues, so
+// one run still reports every fault it can.
+func lex(src string, errs *ErrorList) []token {
+	var toks []token
+	line, lineStart := 1, 0
+	i, n := 0, len(src)
+	col := func(pos int) int { return pos - lineStart + 1 }
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			lineStart = i
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", 0, line, col(i)})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", 0, line, col(i)})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", 0, line, col(i)})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", 0, line, col(i)})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", 0, line, col(i)})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", 0, line, col(i)})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", 0, line, col(i)})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", 0, line, col(i)})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", 0, line, col(i)})
+			i++
+		case c == '^':
+			toks = append(toks, token{tokCaret, "^", 0, line, col(i)})
+			i++
+		case c == '-':
+			if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "->", 0, line, col(i)})
+				i += 2
+			} else {
+				toks = append(toks, token{tokMinus, "-", 0, line, col(i)})
+				i++
+			}
+		case c == '"':
+			start := i
+			i++
+			for i < n && src[i] != '"' && src[i] != '\n' {
+				i++
+			}
+			if i >= n || src[i] != '"' {
+				errs.Addf(line, col(start), "unterminated string literal")
+				continue
+			}
+			toks = append(toks, token{tokString, src[start+1 : i], 0, line, col(start)})
+			i++
+		case c == '%':
+			start := i
+			i++
+			if i >= n || !isIdentStart(src[i]) {
+				errs.Addf(line, col(start), "expected a parameter name after '%%' (e.g. %%theta)")
+				continue
+			}
+			nameStart := i
+			for i < n && isIdentChar(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tokParam, src[nameStart:i], 0, line, col(start)})
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			dots := 0
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				if src[i] == '.' {
+					dots++
+				}
+				i++
+			}
+			// Exponent part of a scientific-notation real.
+			hasExp := false
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					hasExp = true
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			text := src[start:i]
+			if dots > 1 || text == "." || strings.HasSuffix(text, ".") {
+				errs.Addf(line, col(start), "malformed number %q", text)
+				continue
+			}
+			if dots == 0 && !hasExp {
+				var v int64
+				ok := true
+				for _, d := range text {
+					v = v*10 + int64(d-'0')
+					if v > 1<<31 {
+						errs.Addf(line, col(start), "number %q out of range", text)
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				toks = append(toks, token{tokInt, text, v, line, col(start)})
+			} else {
+				toks = append(toks, token{tokReal, text, 0, line, col(start)})
+			}
+		case isIdentStart(c):
+			start := i
+			i++
+			for i < n && isIdentChar(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], 0, line, col(start)})
+		default:
+			errs.Addf(line, col(i), "unexpected character %q", string(c))
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", 0, line, col(i)})
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,366 @@
+package openqasm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"eqasm/internal/ir"
+)
+
+func parseOK(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+// wantGate is the shape tests assert per lowered IR gate.
+type wantGate struct {
+	name    string
+	qubits  []int
+	measure bool
+	angle   float64
+	param   string
+}
+
+func checkGates(t *testing.T, p *ir.Program, want []wantGate) {
+	t.Helper()
+	if len(p.Gates) != len(want) {
+		t.Fatalf("got %d gates, want %d: %+v", len(p.Gates), len(want), p.Gates)
+	}
+	for i, w := range want {
+		g := p.Gates[i]
+		if g.Name != w.name || g.Measure != w.measure || g.Param != w.param {
+			t.Errorf("gate %d = %+v, want %+v", i, g, w)
+		}
+		if math.Abs(g.Angle-w.angle) > 1e-15 {
+			t.Errorf("gate %d angle = %v, want %v", i, g.Angle, w.angle)
+		}
+		if len(g.Qubits) != len(w.qubits) {
+			t.Errorf("gate %d qubits = %v, want %v", i, g.Qubits, w.qubits)
+			continue
+		}
+		for k, q := range w.qubits {
+			if g.Qubits[k] != q {
+				t.Errorf("gate %d qubits = %v, want %v", i, g.Qubits, w.qubits)
+			}
+		}
+	}
+}
+
+func TestParseBell(t *testing.T) {
+	p := parseOK(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+// Bell pair
+qreg q[3];
+creg c[2];
+h q[0];
+cx q[0], q[2];
+measure q[0] -> c[0];
+measure q[2] -> c[1];
+`)
+	if p.NumQubits != 3 {
+		t.Fatalf("qubits = %d", p.NumQubits)
+	}
+	checkGates(t, p, []wantGate{
+		{name: "H", qubits: []int{0}},
+		{name: "CNOT", qubits: []int{0, 2}},
+		{name: "MEASZ", qubits: []int{0}, measure: true},
+		{name: "MEASZ", qubits: []int{2}, measure: true},
+	})
+	for i, g := range p.Gates {
+		if g.Pos.Line == 0 || g.Pos.Col == 0 {
+			t.Errorf("gate %d lost its source position: %+v", i, g.Pos)
+		}
+	}
+}
+
+func TestMultiRegisterFlattening(t *testing.T) {
+	p := parseOK(t, `OPENQASM 2.0;
+qreg a[2]; qreg b[3]; creg c[5];
+x a[1]; h b[0]; CX a[0], b[2];
+measure b[2] -> c[0];`)
+	if p.NumQubits != 5 {
+		t.Fatalf("qubits = %d", p.NumQubits)
+	}
+	checkGates(t, p, []wantGate{
+		{name: "X", qubits: []int{1}},
+		{name: "H", qubits: []int{2}},
+		{name: "CNOT", qubits: []int{0, 4}},
+		{name: "MEASZ", qubits: []int{4}, measure: true},
+	})
+}
+
+func TestWholeRegisterFanOut(t *testing.T) {
+	p := parseOK(t, `OPENQASM 2.0;
+qreg q[3]; qreg r[3]; creg c[3];
+h q;
+cx q, r;
+cx q[0], r;
+measure q -> c;`)
+	checkGates(t, p, []wantGate{
+		{name: "H", qubits: []int{0}},
+		{name: "H", qubits: []int{1}},
+		{name: "H", qubits: []int{2}},
+		{name: "CNOT", qubits: []int{0, 3}},
+		{name: "CNOT", qubits: []int{1, 4}},
+		{name: "CNOT", qubits: []int{2, 5}},
+		{name: "CNOT", qubits: []int{0, 3}},
+		{name: "CNOT", qubits: []int{0, 4}},
+		{name: "CNOT", qubits: []int{0, 5}},
+		{name: "MEASZ", qubits: []int{0}, measure: true},
+		{name: "MEASZ", qubits: []int{1}, measure: true},
+		{name: "MEASZ", qubits: []int{2}, measure: true},
+	})
+}
+
+func TestSugarLowering(t *testing.T) {
+	p := parseOK(t, `OPENQASM 2.0;
+qreg q[2];
+id q[0]; y q[0]; z q[0]; s q[0]; t q[0];
+sdg q[0]; tdg q[0];
+swap q[0], q[1];
+cz q[0], q[1];`)
+	checkGates(t, p, []wantGate{
+		{name: "I", qubits: []int{0}},
+		{name: "Y", qubits: []int{0}},
+		{name: "Z", qubits: []int{0}},
+		{name: "S", qubits: []int{0}},
+		{name: "T", qubits: []int{0}},
+		{name: "RZ", qubits: []int{0}, angle: -math.Pi / 2},
+		{name: "RZ", qubits: []int{0}, angle: -math.Pi / 4},
+		{name: "CNOT", qubits: []int{0, 1}},
+		{name: "CNOT", qubits: []int{1, 0}},
+		{name: "CNOT", qubits: []int{0, 1}},
+		{name: "CZ", qubits: []int{0, 1}},
+	})
+}
+
+func TestULowering(t *testing.T) {
+	p := parseOK(t, `OPENQASM 2.0;
+qreg q[1];
+U(0.3, 0.5, 0.7) q[0];
+U(0, 0, pi/2) q[0];
+u3(0.3, 0.5, 0.7) q[0];
+u2(0.5, 0.7) q[0];
+u1(pi/4) q[0];
+u1(0) q[0];`)
+	checkGates(t, p, []wantGate{
+		// U(θ,φ,λ) → RZ(λ), RY(θ), RZ(φ) in circuit order.
+		{name: "RZ", qubits: []int{0}, angle: 0.7},
+		{name: "RY", qubits: []int{0}, angle: 0.3},
+		{name: "RZ", qubits: []int{0}, angle: 0.5},
+		// Exact-zero literal components elide.
+		{name: "RZ", qubits: []int{0}, angle: math.Pi / 2},
+		{name: "RZ", qubits: []int{0}, angle: 0.7},
+		{name: "RY", qubits: []int{0}, angle: 0.3},
+		{name: "RZ", qubits: []int{0}, angle: 0.5},
+		// u2(φ,λ) = U(π/2, φ, λ).
+		{name: "RZ", qubits: []int{0}, angle: 0.7},
+		{name: "RY", qubits: []int{0}, angle: math.Pi / 2},
+		{name: "RZ", qubits: []int{0}, angle: 0.5},
+		// u1 always keeps its explicit rotation, even at zero.
+		{name: "RZ", qubits: []int{0}, angle: math.Pi / 4},
+		{name: "RZ", qubits: []int{0}, angle: 0},
+	})
+}
+
+func TestAngleExpressions(t *testing.T) {
+	p := parseOK(t, `OPENQASM 2.0;
+qreg q[1];
+rz(pi) q[0];
+rz(-pi/2) q[0];
+rz(2*pi) q[0];
+rz(pi/2 + pi/4) q[0];
+rz((1+2)*0.5) q[0];
+rz(2^3) q[0];
+rz(-2^2) q[0];
+rz(1.5e-3) q[0];
+rx(0.25) q[0];
+ry(%theta) q[0];`)
+	wantAngles := []float64{math.Pi, -math.Pi / 2, 2 * math.Pi, 3 * math.Pi / 4, 1.5, 8, -4, 1.5e-3, 0.25}
+	for i, w := range wantAngles {
+		if g := p.Gates[i]; math.Abs(g.Angle-w) > 1e-15 {
+			t.Errorf("gate %d angle = %v, want %v", i, g.Angle, w)
+		}
+	}
+	last := p.Gates[len(p.Gates)-1]
+	if last.Name != "RY" || last.Param != "theta" || last.Angle != 0 {
+		t.Errorf("parametric gate = %+v", last)
+	}
+}
+
+func TestBarrierValidatedNoOp(t *testing.T) {
+	p := parseOK(t, `OPENQASM 2.0;
+qreg q[2]; qreg r[1];
+h q[0];
+barrier q, r[0];
+x q[1];`)
+	checkGates(t, p, []wantGate{
+		{name: "H", qubits: []int{0}},
+		{name: "X", qubits: []int{1}},
+	})
+	// Barrier operands are still validated.
+	_, err := Parse("OPENQASM 2.0;\nqreg q[1];\nbarrier nope;\n")
+	if err == nil || !strings.Contains(err.Error(), "undeclared register") {
+		t.Fatalf("bad barrier operand not caught: %v", err)
+	}
+}
+
+// errCase drives one rejection and asserts the diagnostic substring.
+func errCase(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("accepted %q", src)
+	}
+	var list ErrorList
+	if !errors.As(err, &list) || len(list) == 0 {
+		t.Fatalf("rejection is not an ErrorList: %v", err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("diagnostics %q do not mention %q", err.Error(), want)
+	}
+	for _, e := range list {
+		if e.Line <= 0 {
+			t.Fatalf("diagnostic without a line: %+v", e)
+		}
+	}
+}
+
+func TestRejections(t *testing.T) {
+	hdr := "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n"
+	for _, tc := range []struct{ src, want string }{
+		{"qreg q[1];\n", "must start with \"OPENQASM 2.0;\""},
+		{"OPENQASM 3.0;\nqreg q[1];\n", "unsupported OpenQASM version"},
+		{"OPENQASM 2.0;\n", "no quantum register declared"},
+		{"OPENQASM 2.0;\ninclude \"other.inc\";\nqreg q[1];\n", "cannot include"},
+		{hdr + "wobble q[0];\n", "unknown operation"},
+		{hdr + "qreg q[2];\n", "duplicate register"},
+		{hdr + "x q[5];\n", "index 5 outside register q[2]"},
+		{hdr + "cx q[0], q[0];\n", "uses qubit q[0] twice"},
+		{hdr + "cx q, r;\n", "undeclared register"},
+		{hdr + "x c[0];\n", "classical register"},
+		{hdr + "measure q[0] -> q[1];\n", "quantum register"},
+		{hdr + "measure q -> c[0];\n", "shapes must match"},
+		{hdr + "measure q[0];\n", "'->'"},
+		{hdr + "rz(pi) q[0]\n", "expected ';'"},
+		{hdr + "rz(%theta * 2) q[0];\n", "whole angle argument"},
+		{hdr + "rz(2 * %theta) q[0];\n", "whole angle argument"},
+		{hdr + "rz(1/0) q[0];\n", "division by zero"},
+		{hdr + "rz(theta) q[0];\n", "constant expressions over literals and pi"},
+		{hdr + "h(0.5) q[0];\n", "takes no parameters"},
+		{hdr + "u2(1) q[0];\n", "takes 2 angle parameter(s)"},
+		{hdr + "gate foo a { U(0,0,0) a; }\n", "gate definitions are outside"},
+		{hdr + "if (c==1) x q[0];\n", "classically controlled"},
+		{hdr + "reset q[0];\n", "reset is outside"},
+		{hdr + "opaque foo a;\n", "opaque declarations"},
+		{hdr + "x q[0]; qreg r[1];\n", "must precede the first operation"},
+		{"OPENQASM 2.0;\nqreg q[40];\nqreg r[30];\n", "exceed 64 qubits"},
+		{"OPENQASM 2.0;\nqreg q[0];\n", "must be positive"},
+		{hdr + "include \"unterminated;\n", "unterminated string"},
+		{hdr + "x q[2], ;\n", "index 2 outside"},
+		{hdr + "qreg q2[1]; creg q2[1];\n", "duplicate register"},
+	} {
+		errCase(t, tc.src, tc.want)
+	}
+}
+
+func TestMismatchedRegisterSizes(t *testing.T) {
+	errCase(t, "OPENQASM 2.0;\nqreg q[2];\nqreg r[3];\ncx q, r;\n", "mismatched register sizes")
+	errCase(t, "OPENQASM 2.0;\nqreg q[2];\ncreg c[3];\nmeasure q -> c;\n", "shapes must match")
+}
+
+func TestMultiDiagnosticRecovery(t *testing.T) {
+	_, err := Parse(`OPENQASM 2.0;
+qreg q[2];
+wobble q[0];
+x q[9];
+h q[0];
+cx q[1], q[1];
+`)
+	if err == nil {
+		t.Fatal("accepted a broken program")
+	}
+	var list ErrorList
+	if !errors.As(err, &list) {
+		t.Fatalf("not an ErrorList: %v", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(list), err)
+	}
+	wantLines := []int{3, 4, 6}
+	for i, e := range list {
+		if e.Line != wantLines[i] {
+			t.Errorf("diagnostic %d at line %d, want %d (%v)", i, e.Line, wantLines[i], e)
+		}
+	}
+}
+
+func TestStatementsSpanLines(t *testing.T) {
+	p := parseOK(t, "OPENQASM 2.0;\nqreg\n  q[2];\nh\n  q[0]\n;\ncx q[0],\n   q[1];")
+	checkGates(t, p, []wantGate{
+		{name: "H", qubits: []int{0}},
+		{name: "CNOT", qubits: []int{0, 1}},
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nh q[0];\ncx q[0], q[2];\nmeasure q[0] -> c[0];\nmeasure q[2] -> c[1];\n",
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nU(pi/2, 0, pi) q[0];\nCX q[0], q[1];\nmeasure q -> c;\n",
+		"OPENQASM 2.0;\nqreg q[2];\nrz(%theta) q[0];\nrx(-pi/4) q[1];\nbarrier q;\n",
+		"OPENQASM 2.0;\nqreg a[2]; qreg b[2]; creg c[4];\nswap a[0], b[1];\ncx a, b;\n",
+		"OPENQASM 2.0;\nqreg q[1];\nu3(0.1, 0.2, 0.3) q[0];\nu2(0.1, 0.2) q[0];\nu1(2^3) q[0];\nsdg q[0];\ntdg q[0];\n",
+		"OPENQASM 3.0;\nqreg q[1];\n",
+		"OPENQASM 2.0;\nqreg q[64];\nx q[63];\n",
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nrz(1/0) q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nmeasure q[0] -> ;\n",
+		"OPENQASM 2.0;\nqreg q[2];\nx q[",
+		"OPENQASM 2.0;\nqreg q[2];\nrz(%) q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nrz(1.5.7) q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nif (c==0) x q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\n// just a comment\n",
+		"OPENQASM 2.0;;;\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			var list ErrorList
+			if !errors.As(err, &list) || len(list) == 0 {
+				t.Fatalf("rejection is not an ErrorList with diagnostics: %v", err)
+			}
+			for _, e := range list {
+				if e.Line <= 0 {
+					t.Fatalf("diagnostic without a line number: %+v in %v", e, err)
+				}
+			}
+			return
+		}
+		if p == nil || p.NumQubits < 1 || p.NumQubits > MaxQubits {
+			t.Fatalf("accepted a program with %v qubits", p)
+		}
+		for i, g := range p.Gates {
+			if len(g.Qubits) < 1 || len(g.Qubits) > 2 {
+				t.Fatalf("gate %d has %d operands: %+v", i, len(g.Qubits), g)
+			}
+			for _, q := range g.Qubits {
+				if q < 0 || q >= p.NumQubits {
+					t.Fatalf("gate %d targets qubit %d outside [0,%d)", i, q, p.NumQubits)
+				}
+			}
+			if math.IsNaN(g.Angle) || math.IsInf(g.Angle, 0) {
+				t.Fatalf("gate %d has a non-finite angle: %+v", i, g)
+			}
+		}
+	})
+}

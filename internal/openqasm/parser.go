@@ -1,0 +1,396 @@
+package openqasm
+
+import (
+	"eqasm/internal/ir"
+)
+
+// MaxQubits bounds the total declared qubits across all quantum
+// registers: SMIS/SMIT addressing masks are 64-bit throughout the
+// stack (the same bound as the cQASM front end).
+const MaxQubits = 64
+
+// reg is one declared register. Quantum registers are flattened into
+// the IR's single qubit index space in declaration order: a register's
+// qubit i is IR qubit offset+i. Classical registers share the offset
+// scheme for measure-target validation; classical bits do not reach
+// the IR (results are keyed by qubit, exactly as the cQASM front end
+// and the eQASM measurement record do).
+type reg struct {
+	name    string
+	size    int
+	offset  int
+	quantum bool
+}
+
+// operand is one parsed argument: a whole register (index -1) or a
+// single element reg[index].
+type operand struct {
+	reg   *reg
+	index int
+	pos   ir.Pos
+}
+
+func (o operand) whole() bool { return o.index < 0 }
+
+// width returns the operand's element count under the fan-out rule.
+func (o operand) width() int {
+	if o.whole() {
+		return o.reg.size
+	}
+	return 1
+}
+
+// at returns the flattened element index for fan-out step k.
+func (o operand) at(k int) int {
+	if o.whole() {
+		return o.reg.offset + k
+	}
+	return o.reg.offset + o.index
+}
+
+// angleArg is one parsed angle argument: a constant expression already
+// evaluated to radians, or a %name parameter bound at run time.
+type angleArg struct {
+	val   float64
+	param string
+	pos   ir.Pos
+}
+
+// Parse parses OpenQASM 2.0 source into the circuit IR. Parsing
+// continues past statement-level faults (recovering at the next ';')
+// so one run reports every diagnostic; the returned error is an
+// ErrorList with 1-based line/column positions.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{prog: &ir.Program{}, regs: map[string]*reg{}}
+	p.toks = lex(src, &p.errs)
+	p.parseProgram()
+	if p.nqubits == 0 && len(p.errs) == 0 {
+		p.errs.Addf(1, 0, "no quantum register declared (e.g. \"qreg q[3];\")")
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	p.prog.NumQubits = p.nqubits
+	return p.prog, nil
+}
+
+// parser holds per-run state.
+type parser struct {
+	toks []token
+	i    int
+	errs ErrorList
+
+	prog    *ir.Program
+	regs    map[string]*reg
+	qregs   []*reg
+	nqubits int
+
+	sawHeader bool
+	sawGate   bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.advance(); return t }
+
+func (p *parser) advance() {
+	if p.toks[p.i].kind != tokEOF {
+		p.i++
+	}
+}
+
+func (p *parser) errorf(t token, format string, args ...any) {
+	p.errs.Addf(t.line, t.col, format, args...)
+}
+
+// sync skips to just past the next ';' (or to EOF) — statement-level
+// error recovery, so one parse reports every statement's fault.
+func (p *parser) sync() {
+	for {
+		switch p.cur().kind {
+		case tokSemi:
+			p.advance()
+			return
+		case tokEOF:
+			return
+		}
+		p.advance()
+	}
+}
+
+// expect consumes a token of the wanted kind or reports what was found.
+func (p *parser) expect(kind tokenKind, what string) (token, bool) {
+	t := p.cur()
+	if t.kind != kind {
+		p.errorf(t, "expected %s, got %s", what, t.kind)
+		return t, false
+	}
+	p.advance()
+	return t, true
+}
+
+// expectSemi closes a statement.
+func (p *parser) expectSemi() bool {
+	t := p.cur()
+	if t.kind != tokSemi {
+		p.errorf(t, "expected ';' after statement, got %s", t.kind)
+		p.sync()
+		return false
+	}
+	p.advance()
+	return true
+}
+
+func (p *parser) parseProgram() {
+	p.parseHeader()
+	for p.cur().kind != tokEOF {
+		p.parseStatement()
+	}
+}
+
+// parseHeader requires "OPENQASM 2.0;" as the first statement.
+func (p *parser) parseHeader() {
+	t := p.cur()
+	if t.kind != tokIdent || t.text != "OPENQASM" {
+		p.errorf(t, "source must start with \"OPENQASM 2.0;\"")
+		return
+	}
+	p.advance()
+	v := p.cur()
+	if v.kind != tokReal && v.kind != tokInt {
+		p.errorf(v, "OPENQASM needs a version number (OPENQASM 2.0;)")
+		p.sync()
+		return
+	}
+	p.advance()
+	if v.text != "2.0" && v.text != "2" {
+		p.errorf(v, "unsupported OpenQASM version %q (this front end reads the 2.0 subset)", v.text)
+		p.sync()
+		return
+	}
+	p.sawHeader = true
+	p.expectSemi()
+}
+
+// unsupported statements common in full OpenQASM 2.0, called out with a
+// specific diagnostic instead of "unknown operation".
+var unsupported = map[string]string{
+	"gate":   "gate definitions are outside the OpenQASM subset (the standard-header gates are built in)",
+	"opaque": "opaque declarations are outside the OpenQASM subset",
+	"if":     "classically controlled statements are outside the OpenQASM subset (use the configured fast-conditional eQASM operations)",
+	"reset":  "reset is outside the OpenQASM subset (qubits start in |0>; use active-reset eQASM programs for mid-circuit reset)",
+	"ccx":    "three-qubit gates are outside the OpenQASM subset (decompose to CX/CZ first)",
+	"cswap":  "three-qubit gates are outside the OpenQASM subset (decompose to CX/CZ first)",
+}
+
+func (p *parser) parseStatement() {
+	t := p.cur()
+	if t.kind != tokIdent {
+		p.errorf(t, "expected a statement, got %s", t.kind)
+		p.sync()
+		return
+	}
+	switch t.text {
+	case "OPENQASM":
+		p.errorf(t, "duplicate OPENQASM header")
+		p.sync()
+	case "include":
+		p.parseInclude()
+	case "qreg", "creg":
+		p.parseDecl()
+	case "measure":
+		p.parseMeasure()
+	case "barrier":
+		p.parseBarrier()
+	default:
+		if msg, known := unsupported[t.text]; known {
+			p.errorf(t, "%s: %s", t.text, msg)
+			p.sync()
+			return
+		}
+		p.parseGate()
+	}
+}
+
+func (p *parser) parseInclude() {
+	kw := p.next()
+	f, ok := p.expect(tokString, "a quoted filename")
+	if !ok {
+		p.sync()
+		return
+	}
+	if f.text != "qelib1.inc" {
+		p.errorf(kw, "only include \"qelib1.inc\" is supported (its gate set is built in); cannot include %q", f.text)
+		p.sync()
+		return
+	}
+	p.expectSemi()
+}
+
+func (p *parser) parseDecl() {
+	kw := p.next()
+	quantum := kw.text == "qreg"
+	if p.sawGate {
+		p.errorf(kw, "%s declarations must precede the first operation", kw.text)
+		p.sync()
+		return
+	}
+	name, ok := p.expect(tokIdent, "a register name")
+	if !ok {
+		p.sync()
+		return
+	}
+	if _, taken := p.regs[name.text]; taken {
+		p.errorf(name, "duplicate register %q", name.text)
+		p.sync()
+		return
+	}
+	if _, ok := p.expect(tokLBracket, "'['"); !ok {
+		p.sync()
+		return
+	}
+	size, ok := p.expect(tokInt, "a register size")
+	if !ok {
+		p.sync()
+		return
+	}
+	if _, ok := p.expect(tokRBracket, "']'"); !ok {
+		p.sync()
+		return
+	}
+	if size.num < 1 {
+		p.errorf(size, "register size %d must be positive", size.num)
+		p.sync()
+		return
+	}
+	r := &reg{name: name.text, size: int(size.num), quantum: quantum}
+	if quantum {
+		r.offset = p.nqubits
+		if p.nqubits+r.size > MaxQubits {
+			p.errorf(size, "quantum registers exceed %d qubits total (%d declared, %q adds %d)",
+				MaxQubits, p.nqubits, r.name, r.size)
+			p.sync()
+			return
+		}
+		p.nqubits += r.size
+		p.qregs = append(p.qregs, r)
+	} else {
+		if size.num > 1<<20 {
+			p.errorf(size, "classical register size %d out of range", size.num)
+			p.sync()
+			return
+		}
+	}
+	p.regs[name.text] = r
+	p.expectSemi()
+}
+
+// parseOperand parses reg or reg[index], resolving the register and
+// range-checking the index.
+func (p *parser) parseOperand(wantQuantum bool) (operand, bool) {
+	name, ok := p.expect(tokIdent, "a register operand")
+	if !ok {
+		return operand{}, false
+	}
+	r, declared := p.regs[name.text]
+	if !declared {
+		p.errorf(name, "undeclared register %q", name.text)
+		return operand{}, false
+	}
+	if r.quantum != wantQuantum {
+		if wantQuantum {
+			p.errorf(name, "%q is a classical register; a quantum register is required here", name.text)
+		} else {
+			p.errorf(name, "%q is a quantum register; a classical register is required here", name.text)
+		}
+		return operand{}, false
+	}
+	op := operand{reg: r, index: -1, pos: ir.Pos{Line: name.line, Col: name.col}}
+	if p.cur().kind != tokLBracket {
+		return op, true
+	}
+	p.advance()
+	idx, ok := p.expect(tokInt, "an index")
+	if !ok {
+		return operand{}, false
+	}
+	if _, ok := p.expect(tokRBracket, "']'"); !ok {
+		return operand{}, false
+	}
+	if idx.num >= int64(r.size) {
+		p.errorf(idx, "index %d outside register %s[%d]", idx.num, r.name, r.size)
+		return operand{}, false
+	}
+	op.index = int(idx.num)
+	return op, true
+}
+
+// fanWidth applies the OpenQASM broadcast rule to a statement's
+// operands: every whole-register operand must have the same size n,
+// single elements broadcast; the statement expands to n applications.
+func (p *parser) fanWidth(stmt token, ops []operand) (int, bool) {
+	n := 1
+	for _, o := range ops {
+		w := o.width()
+		if w == 1 || w == n {
+			continue
+		}
+		if n == 1 {
+			n = w
+			continue
+		}
+		p.errorf(stmt, "mismatched register sizes in %s (%d and %d)", stmt.text, n, w)
+		return 0, false
+	}
+	return n, true
+}
+
+func (p *parser) parseMeasure() {
+	kw := p.next()
+	q, ok := p.parseOperand(true)
+	if !ok {
+		p.sync()
+		return
+	}
+	if _, ok := p.expect(tokArrow, "'->'"); !ok {
+		p.sync()
+		return
+	}
+	c, ok := p.parseOperand(false)
+	if !ok {
+		p.sync()
+		return
+	}
+	if q.width() != c.width() {
+		p.errorf(kw, "measure maps %d qubit(s) onto %d classical bit(s); the shapes must match", q.width(), c.width())
+		p.sync()
+		return
+	}
+	p.sawGate = true
+	pos := ir.Pos{Line: kw.line, Col: kw.col}
+	for k := 0; k < q.width(); k++ {
+		// The classical target is validated (register kind, index range,
+		// matching shape) but not carried into the IR: measurement
+		// results key by qubit, exactly as the cQASM front end and the
+		// eQASM measurement record do.
+		p.prog.Gates = append(p.prog.Gates, ir.Gate{Name: "MEASZ", Qubits: []int{q.at(k)}, Measure: true, Pos: pos})
+	}
+	p.expectSemi()
+}
+
+func (p *parser) parseBarrier() {
+	kw := p.next()
+	for {
+		if _, ok := p.parseOperand(true); !ok {
+			p.sync()
+			return
+		}
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	_ = kw // barrier lowers to no IR; see the package comment.
+	p.sawGate = true
+	p.expectSemi()
+}

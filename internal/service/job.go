@@ -55,6 +55,9 @@ const (
 	// FormatCQASM is hardware-independent cQASM circuit text, compiled
 	// server-side through the pass pipeline before execution.
 	FormatCQASM = "cqasm"
+	// FormatOpenQASM is OpenQASM 2.0 circuit text, compiled server-side
+	// through the same pipeline via the OpenQASM front end.
+	FormatOpenQASM = "openqasm"
 )
 
 // RequestSpec describes one program execution within a batch job.
@@ -62,8 +65,8 @@ type RequestSpec struct {
 	// Source is program text in the language named by Format. Exactly
 	// one of Source and Circuit must be set.
 	Source string
-	// Format is the Source language: FormatEQASM (default) or
-	// FormatCQASM.
+	// Format is the Source language: FormatEQASM (default),
+	// FormatCQASM or FormatOpenQASM.
 	Format string
 	// Circuit is a hardware-independent circuit to schedule and emit
 	// before execution.
@@ -170,13 +173,13 @@ func (spec RequestSpec) validate(i int) error {
 	}
 	switch spec.Format {
 	case "", FormatEQASM:
-	case FormatCQASM:
+	case FormatCQASM, FormatOpenQASM:
 		if spec.Circuit != nil {
 			return fail(errors.New("format applies to Source text, not Circuit jobs"))
 		}
 	default:
-		return fail(fmt.Errorf("unknown format %q (valid: %s, %s)",
-			spec.Format, FormatEQASM, FormatCQASM))
+		return fail(fmt.Errorf("unknown format %q (valid: %s, %s, %s)",
+			spec.Format, FormatEQASM, FormatCQASM, FormatOpenQASM))
 	}
 	if spec.Shots < 0 {
 		return fail(fmt.Errorf("negative shot count %d", spec.Shots))
@@ -241,9 +244,11 @@ func (spec BatchSpec) withDefaults() BatchSpec {
 
 // CacheKey is the content hash under which the compiled program is
 // cached: the source text prefixed by its format, or a canonical
-// rendering of the circuit. cQASM and eQASM sources hash into disjoint
-// keys, so compiled circuits are cached alongside assembled programs
-// without collisions. Requests of one batch that hash alike share one
+// rendering of the circuit. cQASM, OpenQASM and eQASM sources hash
+// into disjoint key spaces, so compiled circuits are cached alongside
+// assembled programs without collisions (identical circuit text in two
+// front-end syntaxes is still two cache entries — the key is content,
+// not meaning). Requests of one batch that hash alike share one
 // program (and one execution plan). The coordinator tier keys both its
 // own cache and its content-affinity routing on the same hash, so the
 // requests it steers to one worker are exactly the ones that hit that
@@ -261,6 +266,9 @@ func (spec RequestSpec) CacheKey() (string, error) {
 		}
 	case spec.Format == FormatCQASM:
 		fmt.Fprintf(h, "cqasm:")
+		h.Write([]byte(spec.Source))
+	case spec.Format == FormatOpenQASM:
+		fmt.Fprintf(h, "openqasm:")
 		h.Write([]byte(spec.Source))
 	default:
 		fmt.Fprintf(h, "source:")

@@ -415,6 +415,8 @@ func (s *Service) resolve(spec RequestSpec) (prog *eqasm.Program, hit bool, d ti
 		prog, err = s.compile(spec.Circuit)
 	case spec.Format == FormatCQASM:
 		prog, err = eqasm.CompileCircuit(spec.Source, s.compileOpts()...)
+	case spec.Format == FormatOpenQASM:
+		prog, err = eqasm.CompileOpenQASM(spec.Source, s.compileOpts()...)
 	default:
 		prog, err = eqasm.Assemble(spec.Source, s.cfg.Machine...)
 	}

@@ -1,0 +1,49 @@
+// Package srcerr is the shared multi-diagnostic error machinery of the
+// textual circuit front ends (internal/cqasm, internal/openqasm): one
+// positioned diagnostic type and an accumulating list, with the exact
+// line:col rendering the public API wraps into *eqasm.AssembleError.
+// Keeping it in one place means the front ends' diagnostics cannot
+// drift — a cQASM fault and an OpenQASM fault print, wrap and test
+// identically.
+package srcerr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is one parse diagnostic. Line and Col are 1-based source
+// positions; Col 0 means the diagnostic covers the whole line. The
+// shape mirrors the assembler's diagnostics so the public API wraps
+// both into the same *AssembleError.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// List collects parse diagnostics in source order.
+type List []Error
+
+func (l List) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// Addf appends a formatted diagnostic at line:col.
+func (l *List) Addf(line, col int, format string, args ...any) {
+	*l = append(*l, Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,27 @@
+package srcerr
+
+import "testing"
+
+func TestErrorRendering(t *testing.T) {
+	e := Error{Line: 3, Col: 7, Msg: "bad gate"}
+	if got, want := e.Error(), "line 3:7: bad gate"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	e.Col = 0
+	if got, want := e.Error(), "line 3: bad gate"; got != want {
+		t.Fatalf("Error() without column = %q, want %q", got, want)
+	}
+}
+
+func TestListRendering(t *testing.T) {
+	var l List
+	if got, want := l.Error(), "no errors"; got != want {
+		t.Fatalf("empty List.Error() = %q, want %q", got, want)
+	}
+	l.Addf(1, 2, "first %s", "fault")
+	l.Addf(4, 0, "second fault")
+	want := "line 1:2: first fault\nline 4: second fault"
+	if got := l.Error(); got != want {
+		t.Fatalf("List.Error() = %q, want %q", got, want)
+	}
+}

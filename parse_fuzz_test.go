@@ -57,3 +57,47 @@ func FuzzParseCircuit(f *testing.F) {
 		_, _ = eqasm.CompileCircuit(src, eqasm.WithSOMQ())
 	})
 }
+
+// FuzzParseOpenQASM drives the public OpenQASM 2.0 entry point with
+// arbitrary input, under the same contract as FuzzParseCircuit: no
+// panic anywhere, every rejection an *AssembleError whose diagnostics
+// all carry a line, and no crash compiling whatever parses. CI runs
+// this as a fuzz smoke step (go test -fuzz=FuzzParseOpenQASM
+// -fuzztime=20s .).
+func FuzzParseOpenQASM(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nh q[0];\ncx q[0], q[2];\nmeasure q[0] -> c[0];\nmeasure q[2] -> c[1];\n",
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nU(pi/2, 0, pi) q[0];\nCX q[0], q[1];\nmeasure q -> c;\n",
+		"OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nrx(%theta) q[0];\nrz(%theta) q[2];\ncx q[0], q[2];\nbarrier q;\nmeasure q[0] -> c[0];\n",
+		"OPENQASM 2.0;\nqreg a[2]; qreg b[2]; creg c[4];\nswap a[0], b[1];\ncx a, b;\nmeasure a -> c;\n",
+		"OPENQASM 2.0;\nqreg q[1];\nu3(0.1, 0.2, 0.3) q[0];\nu2(0.1, 0.2) q[0];\nu1(-pi/4) q[0];\nsdg q[0];\ntdg q[0];\n",
+		"OPENQASM 3.0;\nqreg q[1];\n",
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nrz(1/0) q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nif (c==0) x q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nx q[",
+		"qreg q[1];\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := eqasm.ParseOpenQASM(src)
+		if err != nil {
+			var ae *eqasm.AssembleError
+			if !errors.As(err, &ae) || len(ae.Diagnostics) == 0 {
+				t.Fatalf("rejection is not an *AssembleError with diagnostics: %v", err)
+			}
+			for _, d := range ae.Diagnostics {
+				if d.Line <= 0 {
+					t.Fatalf("diagnostic without a line number: %+v in %v", d, err)
+				}
+			}
+			return
+		}
+		if c == nil || c.NumQubits < 1 {
+			t.Fatalf("accepted a circuit with no qubits: %+v", c)
+		}
+		_, _ = eqasm.CompileOpenQASM(src, eqasm.WithSOMQ())
+	})
+}

@@ -2,6 +2,7 @@ package eqasm
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"eqasm/internal/asm"
@@ -9,6 +10,7 @@ import (
 	"eqasm/internal/cqasm"
 	"eqasm/internal/ir"
 	"eqasm/internal/isa"
+	"eqasm/internal/openqasm"
 	"eqasm/internal/plan"
 )
 
@@ -312,6 +314,82 @@ func CompileCircuit(src string, opts ...Option) (*Program, error) {
 		return nil, wrapParseErr(err)
 	}
 	return compileIR(cfg, st, p)
+}
+
+// ParseOpenQASM parses OpenQASM 2.0 source (the subset documented in
+// the package comment of internal/openqasm: the OPENQASM 2.0 header,
+// qreg/creg declarations, the primitive U/CX gates plus the
+// standard-header sugar, measure, barrier, and %name rotation
+// parameters) into the same hardware-independent Circuit the cQASM
+// front end produces: the same circuit written in either syntax
+// compiles to byte-identical eQASM. Malformed source fails with an
+// *AssembleError carrying per-diagnostic line and column positions,
+// exactly like ParseCircuit and Assemble.
+func ParseOpenQASM(src string) (*Circuit, error) {
+	p, err := openqasm.Parse(src)
+	if err != nil {
+		return nil, wrapParseErr(err)
+	}
+	return circuitFromInternal(compiler.FromIR(p)), nil
+}
+
+// CompileOpenQASM parses OpenQASM 2.0 source and compiles it down to
+// an executable eQASM program for the configured chip — the same one
+// call as CompileCircuit, fed by the OpenQASM front end. It accepts
+// the same functional options; gate-level compile faults point back at
+// the OpenQASM source line.
+func CompileOpenQASM(src string, opts ...Option) (*Program, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.resolveStack()
+	if err != nil {
+		return nil, err
+	}
+	p, err := openqasm.Parse(src)
+	if err != nil {
+		return nil, wrapParseErr(err)
+	}
+	return compileIR(cfg, st, p)
+}
+
+// Source-format names, as used on the service wire ("format" field)
+// and returned by DetectFormat.
+const (
+	// FormatEQASM is eQASM assembly.
+	FormatEQASM = "eqasm"
+	// FormatCQASM is the cQASM 1.0 circuit subset (ParseCircuit).
+	FormatCQASM = "cqasm"
+	// FormatOpenQASM is the OpenQASM 2.0 circuit subset (ParseOpenQASM).
+	FormatOpenQASM = "openqasm"
+)
+
+// DetectFormat sniffs the language of program source text from its
+// first significant line: FormatOpenQASM for an "OPENQASM" header,
+// FormatCQASM for a cQASM "version"/"qubits" header, FormatEQASM
+// otherwise. It reads only the leading tokens — a detection aid for
+// tools accepting mixed inputs (cmd/eqasm-run picks the front end this
+// way when the file extension is ambiguous), not a validator.
+func DetectFormat(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		word := line
+		if k := strings.IndexAny(word, " \t"); k >= 0 {
+			word = word[:k]
+		}
+		switch word {
+		case "OPENQASM":
+			return FormatOpenQASM
+		case "version", "qubits":
+			return FormatCQASM
+		}
+		return FormatEQASM
+	}
+	return FormatEQASM
 }
 
 // compileIR drives the circuit IR through the compiler's pass pipeline

@@ -1,0 +1,13 @@
+// Bell pair on the two-qubit validation chip (Section 5), as an
+// OpenQASM 2.0 circuit: H on qubit 0, CNOT over the (0, 2) coupling,
+// then measure both qubits. The same circuit as bell.cq in the other
+// front-end syntax — both compile to byte-identical eQASM and
+// reproduce the shipped bell.eqasm fixture's fixed-seed histogram.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[0];
+cx q[0], q[2];
+measure q[0] -> c[0];
+measure q[2] -> c[1];

@@ -1,0 +1,13 @@
+// Three-qubit GHZ state on the seven-qubit surface-code fragment
+// (Fig. 6), entangling over its real couplings: 2->0 and 0->3. The
+// cQASM twin is ghz.cq; both compile to byte-identical eQASM.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[7];
+creg c[3];
+h q[2];
+cx q[2], q[0];
+cx q[0], q[3];
+measure q[2] -> c[0];
+measure q[0] -> c[1];
+measure q[3] -> c[2];

@@ -1,0 +1,21 @@
+// One surface-code syndrome-extraction cycle on the seven-qubit chip
+// (Fig. 6): Z-ancilla parity checks onto qubits 0 and 1 (couplings
+// 2->0, 3->0, 3->1, 4->1), then an X-ancilla check on qubit 5 in the
+// Hadamard frame (couplings 5->3, 5->2, the latter the reverse of
+// 2->5). The cQASM twin is qec.cq; both compile to byte-identical
+// eQASM.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[7];
+creg c[3];
+cx q[2], q[0];
+cx q[3], q[0];
+measure q[0] -> c[0];
+cx q[3], q[1];
+cx q[4], q[1];
+measure q[1] -> c[1];
+h q[5];
+cx q[5], q[3];
+cx q[5], q[2];
+h q[5];
+measure q[5] -> c[2];

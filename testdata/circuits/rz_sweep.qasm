@@ -1,0 +1,13 @@
+// Parametric ansatz on the two-qubit validation chip: symbolic %theta
+// rotations around the (0, 2) entangler. Compiled once, the plan binds
+// a fresh theta per sweep point. The cQASM twin is rz_sweep.cq; both
+// compile to byte-identical eQASM.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+rx(%theta) q[0];
+rz(%theta) q[2];
+cx q[0], q[2];
+measure q[0] -> c[0];
+measure q[2] -> c[1];
